@@ -1,0 +1,878 @@
+// AGG_dev1 — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_ver;
+    bit<16> a1_bmp_idx;
+    bit<16> a2_agg_idx;
+    bit<16> a3_mask;
+    bit<8> a4_exp;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<16> k1_t393;
+    bit<32> k1_t394;
+    bit<1> k1_t395;
+    bit<32> k1_t396;
+    bit<32> k1_t397;
+    bit<32> k1_t398;
+    bit<16> k1_t399;
+    bit<32> k1_t400;
+    bit<16> k1_t401;
+    bit<32> k1_t402;
+    bit<16> k1_t403;
+    bit<32> k1_t404;
+    bit<1> k1_t405;
+    bit<32> k1_t406;
+    bit<1> k1_t407;
+    bit<1> k1_t408;
+    bit<1> k1_t409;
+    bit<1> k1_t410;
+    bit<1> k1_t411;
+    bit<1> k1_t412;
+    bit<1> k1_t413;
+    bit<1> k1_t414;
+    bit<1> k1_t415;
+    bit<1> k1_t416;
+    bit<1> k1_t417;
+    bit<1> k1_t418;
+    bit<1> k1_t419;
+    bit<1> k1_t420;
+    bit<1> k1_t421;
+    bit<1> k1_t422;
+    bit<1> k1_t423;
+    bit<1> k1_t424;
+    bit<1> k1_t425;
+    bit<1> k1_t426;
+    bit<1> k1_t427;
+    bit<1> k1_t428;
+    bit<1> k1_t429;
+    bit<1> k1_t430;
+    bit<1> k1_t431;
+    bit<1> k1_t432;
+    bit<1> k1_t433;
+    bit<1> k1_t434;
+    bit<1> k1_t435;
+    bit<1> k1_t436;
+    bit<1> k1_t437;
+    bit<1> k1_t438;
+    bit<1> k1_t439;
+    bit<1> k1_t440;
+    bit<1> k1_t441;
+    bit<8> k1_t443;
+    bit<8> k1_t476;
+    bit<32> k1_t543;
+    bit<1> k1_t544;
+    bit<1> k1_t545;
+    bit<16> k1_t546;
+    bit<16> k1_t547;
+    bit<16> k1_t548;
+    bit<16> k1_t549;
+    bit<8> k1_l0_ver;
+    bit<16> k1_l1_bmp_idx;
+    bit<16> k1_l2_agg_idx;
+    bit<16> k1_l3_mask;
+    bit<16> k1_l4_bitmap;
+    bit<32> k1_l5_seen;
+    bit<8> k1_l6_cnt;
+    bit<16> k1_l7_bitmap_ph;
+    bit<1> k1_rc38;
+    bit<1> k1_rc39;
+    bit<1> k1_rc40;
+    bit<1> k1_rc41;
+    bit<1> k1_rc42;
+    bit<1> k1_rc43;
+    bit<1> k1_rc44;
+    bit<1> k1_rc45;
+    bit<1> k1_rc46;
+    bit<1> k1_rc47;
+    bit<1> k1_rc48;
+    bit<1> k1_rc49;
+    bit<1> k1_rc50;
+    bit<1> k1_rc51;
+    bit<1> k1_rc52;
+    bit<1> k1_rc53;
+    bit<1> k1_rc54;
+    bit<1> k1_rc55;
+    bit<1> k1_rc56;
+    bit<1> k1_rc57;
+    bit<1> k1_rc58;
+    bit<1> k1_rc59;
+    bit<1> k1_rc60;
+    bit<1> k1_rc61;
+    bit<1> k1_rc62;
+    bit<1> k1_rc63;
+    bit<1> k1_rc64;
+    bit<1> k1_rc65;
+    bit<1> k1_rc66;
+    bit<1> k1_rc67;
+    bit<1> k1_rc68;
+    bit<1> k1_rc69;
+    bit<1> k1_rc70;
+    bit<1> k1_rc71;
+    Register<bit<8>, bit<32>>(32) Count;
+    Register<bit<8>, bit<32>>(32) Exp;
+    Register<bit<16>, bit<32>>(16) Bitmap__0;
+    Register<bit<16>, bit<32>>(16) Bitmap__1;
+    Register<bit<32>, bit<32>>(32) Agg__0;
+    Register<bit<32>, bit<32>>(32) Agg__1;
+    Register<bit<32>, bit<32>>(32) Agg__2;
+    Register<bit<32>, bit<32>>(32) Agg__3;
+    Register<bit<32>, bit<32>>(32) Agg__4;
+    Register<bit<32>, bit<32>>(32) Agg__5;
+    Register<bit<32>, bit<32>>(32) Agg__6;
+    Register<bit<32>, bit<32>>(32) Agg__7;
+    Register<bit<32>, bit<32>>(32) Agg__8;
+    Register<bit<32>, bit<32>>(32) Agg__9;
+    Register<bit<32>, bit<32>>(32) Agg__10;
+    Register<bit<32>, bit<32>>(32) Agg__11;
+    Register<bit<32>, bit<32>>(32) Agg__12;
+    Register<bit<32>, bit<32>>(32) Agg__13;
+    Register<bit<32>, bit<32>>(32) Agg__14;
+    Register<bit<32>, bit<32>>(32) Agg__15;
+    Register<bit<32>, bit<32>>(32) Agg__16;
+    Register<bit<32>, bit<32>>(32) Agg__17;
+    Register<bit<32>, bit<32>>(32) Agg__18;
+    Register<bit<32>, bit<32>>(32) Agg__19;
+    Register<bit<32>, bit<32>>(32) Agg__20;
+    Register<bit<32>, bit<32>>(32) Agg__21;
+    Register<bit<32>, bit<32>>(32) Agg__22;
+    Register<bit<32>, bit<32>>(32) Agg__23;
+    Register<bit<32>, bit<32>>(32) Agg__24;
+    Register<bit<32>, bit<32>>(32) Agg__25;
+    Register<bit<32>, bit<32>>(32) Agg__26;
+    Register<bit<32>, bit<32>>(32) Agg__27;
+    Register<bit<32>, bit<32>>(32) Agg__28;
+    Register<bit<32>, bit<32>>(32) Agg__29;
+    Register<bit<32>, bit<32>>(32) Agg__30;
+    Register<bit<32>, bit<32>>(32) Agg__31;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Bitmap__0) ra_Bitmap__0_0 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = m | meta.k1_t393;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Bitmap__1) ra_Bitmap__1_1 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = m & meta.k1_t401;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Bitmap__0) ra_Bitmap__0_2 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = m & meta.k1_t399;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Bitmap__1) ra_Bitmap__1_3 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = m | meta.k1_t393;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Count) ra_Count_4 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w5;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Exp) ra_Exp_5 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = hdr.args_c1.a4_exp;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__0) ra_Agg__0_6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[0].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__1) ra_Agg__1_7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[1].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__2) ra_Agg__2_8 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[2].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__3) ra_Agg__3_9 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[3].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__4) ra_Agg__4_10 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[4].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__5) ra_Agg__5_11 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[5].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__6) ra_Agg__6_12 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[6].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__7) ra_Agg__7_13 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[7].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__8) ra_Agg__8_14 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[8].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__9) ra_Agg__9_15 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[9].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__10) ra_Agg__10_16 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[10].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__11) ra_Agg__11_17 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[11].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__12) ra_Agg__12_18 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[12].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__13) ra_Agg__13_19 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[13].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__14) ra_Agg__14_20 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[14].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__15) ra_Agg__15_21 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[15].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__16) ra_Agg__16_22 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[16].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__17) ra_Agg__17_23 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[17].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__18) ra_Agg__18_24 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[18].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__19) ra_Agg__19_25 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[19].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__20) ra_Agg__20_26 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[20].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__21) ra_Agg__21_27 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[21].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__22) ra_Agg__22_28 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[22].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__23) ra_Agg__23_29 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[23].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__24) ra_Agg__24_30 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[24].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__25) ra_Agg__25_31 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[25].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__26) ra_Agg__26_32 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[26].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__27) ra_Agg__27_33 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[27].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__28) ra_Agg__28_34 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[28].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__29) ra_Agg__29_35 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[29].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__30) ra_Agg__30_36 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[30].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__31) ra_Agg__31_37 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[31].value;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Count) ra_Count_38 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            if ((meta.k1_rc38 == 1w1)) {
+                m = m |-| 1;
+            }
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Exp) ra_Exp_39 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            if ((meta.k1_rc39 == 1w1)) {
+                m = max(m, hdr.args_c1.a4_exp);
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__0) ra_Agg__0_40 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc40 == 1w1)) {
+                m = m + hdr.arr_c1_a5[0].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__1) ra_Agg__1_41 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc41 == 1w1)) {
+                m = m + hdr.arr_c1_a5[1].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__2) ra_Agg__2_42 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc42 == 1w1)) {
+                m = m + hdr.arr_c1_a5[2].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__3) ra_Agg__3_43 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc43 == 1w1)) {
+                m = m + hdr.arr_c1_a5[3].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__4) ra_Agg__4_44 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc44 == 1w1)) {
+                m = m + hdr.arr_c1_a5[4].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__5) ra_Agg__5_45 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc45 == 1w1)) {
+                m = m + hdr.arr_c1_a5[5].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__6) ra_Agg__6_46 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc46 == 1w1)) {
+                m = m + hdr.arr_c1_a5[6].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__7) ra_Agg__7_47 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc47 == 1w1)) {
+                m = m + hdr.arr_c1_a5[7].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__8) ra_Agg__8_48 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc48 == 1w1)) {
+                m = m + hdr.arr_c1_a5[8].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__9) ra_Agg__9_49 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc49 == 1w1)) {
+                m = m + hdr.arr_c1_a5[9].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__10) ra_Agg__10_50 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc50 == 1w1)) {
+                m = m + hdr.arr_c1_a5[10].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__11) ra_Agg__11_51 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc51 == 1w1)) {
+                m = m + hdr.arr_c1_a5[11].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__12) ra_Agg__12_52 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc52 == 1w1)) {
+                m = m + hdr.arr_c1_a5[12].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__13) ra_Agg__13_53 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc53 == 1w1)) {
+                m = m + hdr.arr_c1_a5[13].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__14) ra_Agg__14_54 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc54 == 1w1)) {
+                m = m + hdr.arr_c1_a5[14].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__15) ra_Agg__15_55 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc55 == 1w1)) {
+                m = m + hdr.arr_c1_a5[15].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__16) ra_Agg__16_56 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc56 == 1w1)) {
+                m = m + hdr.arr_c1_a5[16].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__17) ra_Agg__17_57 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc57 == 1w1)) {
+                m = m + hdr.arr_c1_a5[17].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__18) ra_Agg__18_58 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc58 == 1w1)) {
+                m = m + hdr.arr_c1_a5[18].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__19) ra_Agg__19_59 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc59 == 1w1)) {
+                m = m + hdr.arr_c1_a5[19].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__20) ra_Agg__20_60 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc60 == 1w1)) {
+                m = m + hdr.arr_c1_a5[20].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__21) ra_Agg__21_61 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc61 == 1w1)) {
+                m = m + hdr.arr_c1_a5[21].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__22) ra_Agg__22_62 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc62 == 1w1)) {
+                m = m + hdr.arr_c1_a5[22].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__23) ra_Agg__23_63 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc63 == 1w1)) {
+                m = m + hdr.arr_c1_a5[23].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__24) ra_Agg__24_64 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc64 == 1w1)) {
+                m = m + hdr.arr_c1_a5[24].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__25) ra_Agg__25_65 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc65 == 1w1)) {
+                m = m + hdr.arr_c1_a5[25].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__26) ra_Agg__26_66 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc66 == 1w1)) {
+                m = m + hdr.arr_c1_a5[26].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__27) ra_Agg__27_67 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc67 == 1w1)) {
+                m = m + hdr.arr_c1_a5[27].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__28) ra_Agg__28_68 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc68 == 1w1)) {
+                m = m + hdr.arr_c1_a5[28].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__29) ra_Agg__29_69 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc69 == 1w1)) {
+                m = m + hdr.arr_c1_a5[29].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__30) ra_Agg__30_70 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc70 == 1w1)) {
+                m = m + hdr.arr_c1_a5[30].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg__31) ra_Agg__31_71 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.k1_rc71 == 1w1)) {
+                m = m + hdr.arr_c1_a5[31].value;
+            }
+            o = m;
+        }
+    };
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_t393 = hdr.args_c1.a3_mask;
+                meta.k1_t394 = (bit<32>)(hdr.args_c1.a0_ver);
+                meta.k1_t395 = (bit<1>)((meta.k1_t394 == 32w0));
+                meta.k1_t396 = (bit<32>)(hdr.args_c1.a1_bmp_idx);
+                meta.k1_t397 = (bit<32>)(meta.k1_t393);
+                meta.k1_t398 = (meta.k1_t397 ^ 32w4294967295);
+                meta.k1_t399 = (bit<16>)(meta.k1_t398);
+                meta.k1_t400 = (meta.k1_t397 ^ 32w4294967295);
+                meta.k1_t401 = (bit<16>)(meta.k1_t400);
+                meta.k1_t402 = (bit<32>)(hdr.args_c1.a2_agg_idx);
+                if ((meta.k1_t395 == 1w1)) {
+                    meta.k1_t546 = ra_Bitmap__0_0.execute((bit<32>)(meta.k1_t396));
+                    meta.k1_t547 = ra_Bitmap__1_1.execute((bit<32>)(meta.k1_t396));
+                    meta.k1_l7_bitmap_ph = meta.k1_t546;
+                } else {
+                    meta.k1_t548 = ra_Bitmap__0_2.execute((bit<32>)(meta.k1_t396));
+                    meta.k1_t549 = ra_Bitmap__1_3.execute((bit<32>)(meta.k1_t396));
+                    meta.k1_l7_bitmap_ph = meta.k1_t549;
+                }
+                meta.k1_t403 = meta.k1_l7_bitmap_ph;
+                meta.k1_t404 = (bit<32>)(meta.k1_t403);
+                meta.k1_t405 = (bit<1>)((meta.k1_t404 == 32w0));
+                meta.k1_t406 = (meta.k1_t404 & meta.k1_t397);
+                meta.k1_t407 = (bit<1>)((meta.k1_t406 != 32w0));
+                meta.k1_t408 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t409 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t410 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t411 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t412 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t413 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t414 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t415 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t416 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t417 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t418 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t419 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t420 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t421 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t422 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t423 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t424 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t425 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t426 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t427 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t428 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t429 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t430 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t431 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t432 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t433 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t434 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t435 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t436 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t437 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t438 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t439 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t440 = (meta.k1_t407 ^ 1w1);
+                meta.k1_t441 = (meta.k1_t407 ^ 1w1);
+                if ((meta.k1_t405 == 1w1)) {
+                    ra_Count_4.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_t443 = ra_Exp_5.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__0_6.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__1_7.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__2_8.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__3_9.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__4_10.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__5_11.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__6_12.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__7_13.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__8_14.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__9_15.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__10_16.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__11_17.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__12_18.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__13_19.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__14_20.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__15_21.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__16_22.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__17_23.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__18_24.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__19_25.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__20_26.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__21_27.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__22_28.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__23_29.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__24_30.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__25_31.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__26_32.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__27_33.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__28_34.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__29_35.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__30_36.execute((bit<32>)(meta.k1_t402));
+                    ra_Agg__31_37.execute((bit<32>)(meta.k1_t402));
+                    hdr.ncl.action = 8w1;
+                } else {
+                    meta.k1_rc38 = (bit<1>)((meta.k1_t441 == 1w1));
+                    meta.k1_t476 = ra_Count_38.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc39 = (bit<1>)((meta.k1_t408 == 1w1));
+                    hdr.args_c1.a4_exp = ra_Exp_39.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc40 = (bit<1>)((meta.k1_t409 == 1w1));
+                    hdr.arr_c1_a5[0].value = ra_Agg__0_40.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc41 = (bit<1>)((meta.k1_t410 == 1w1));
+                    hdr.arr_c1_a5[1].value = ra_Agg__1_41.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc42 = (bit<1>)((meta.k1_t411 == 1w1));
+                    hdr.arr_c1_a5[2].value = ra_Agg__2_42.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc43 = (bit<1>)((meta.k1_t412 == 1w1));
+                    hdr.arr_c1_a5[3].value = ra_Agg__3_43.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc44 = (bit<1>)((meta.k1_t413 == 1w1));
+                    hdr.arr_c1_a5[4].value = ra_Agg__4_44.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc45 = (bit<1>)((meta.k1_t414 == 1w1));
+                    hdr.arr_c1_a5[5].value = ra_Agg__5_45.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc46 = (bit<1>)((meta.k1_t415 == 1w1));
+                    hdr.arr_c1_a5[6].value = ra_Agg__6_46.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc47 = (bit<1>)((meta.k1_t416 == 1w1));
+                    hdr.arr_c1_a5[7].value = ra_Agg__7_47.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc48 = (bit<1>)((meta.k1_t417 == 1w1));
+                    hdr.arr_c1_a5[8].value = ra_Agg__8_48.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc49 = (bit<1>)((meta.k1_t418 == 1w1));
+                    hdr.arr_c1_a5[9].value = ra_Agg__9_49.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc50 = (bit<1>)((meta.k1_t419 == 1w1));
+                    hdr.arr_c1_a5[10].value = ra_Agg__10_50.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc51 = (bit<1>)((meta.k1_t420 == 1w1));
+                    hdr.arr_c1_a5[11].value = ra_Agg__11_51.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc52 = (bit<1>)((meta.k1_t421 == 1w1));
+                    hdr.arr_c1_a5[12].value = ra_Agg__12_52.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc53 = (bit<1>)((meta.k1_t422 == 1w1));
+                    hdr.arr_c1_a5[13].value = ra_Agg__13_53.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc54 = (bit<1>)((meta.k1_t423 == 1w1));
+                    hdr.arr_c1_a5[14].value = ra_Agg__14_54.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc55 = (bit<1>)((meta.k1_t424 == 1w1));
+                    hdr.arr_c1_a5[15].value = ra_Agg__15_55.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc56 = (bit<1>)((meta.k1_t425 == 1w1));
+                    hdr.arr_c1_a5[16].value = ra_Agg__16_56.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc57 = (bit<1>)((meta.k1_t426 == 1w1));
+                    hdr.arr_c1_a5[17].value = ra_Agg__17_57.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc58 = (bit<1>)((meta.k1_t427 == 1w1));
+                    hdr.arr_c1_a5[18].value = ra_Agg__18_58.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc59 = (bit<1>)((meta.k1_t428 == 1w1));
+                    hdr.arr_c1_a5[19].value = ra_Agg__19_59.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc60 = (bit<1>)((meta.k1_t429 == 1w1));
+                    hdr.arr_c1_a5[20].value = ra_Agg__20_60.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc61 = (bit<1>)((meta.k1_t430 == 1w1));
+                    hdr.arr_c1_a5[21].value = ra_Agg__21_61.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc62 = (bit<1>)((meta.k1_t431 == 1w1));
+                    hdr.arr_c1_a5[22].value = ra_Agg__22_62.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc63 = (bit<1>)((meta.k1_t432 == 1w1));
+                    hdr.arr_c1_a5[23].value = ra_Agg__23_63.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc64 = (bit<1>)((meta.k1_t433 == 1w1));
+                    hdr.arr_c1_a5[24].value = ra_Agg__24_64.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc65 = (bit<1>)((meta.k1_t434 == 1w1));
+                    hdr.arr_c1_a5[25].value = ra_Agg__25_65.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc66 = (bit<1>)((meta.k1_t435 == 1w1));
+                    hdr.arr_c1_a5[26].value = ra_Agg__26_66.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc67 = (bit<1>)((meta.k1_t436 == 1w1));
+                    hdr.arr_c1_a5[27].value = ra_Agg__27_67.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc68 = (bit<1>)((meta.k1_t437 == 1w1));
+                    hdr.arr_c1_a5[28].value = ra_Agg__28_68.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc69 = (bit<1>)((meta.k1_t438 == 1w1));
+                    hdr.arr_c1_a5[29].value = ra_Agg__29_69.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc70 = (bit<1>)((meta.k1_t439 == 1w1));
+                    hdr.arr_c1_a5[30].value = ra_Agg__30_70.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_rc71 = (bit<1>)((meta.k1_t440 == 1w1));
+                    hdr.arr_c1_a5[31].value = ra_Agg__31_71.execute((bit<32>)(meta.k1_t402));
+                    meta.k1_t543 = (bit<32>)(meta.k1_t476);
+                    meta.k1_t544 = (bit<1>)((meta.k1_t543 == 32w1));
+                    meta.k1_t545 = (bit<1>)((meta.k1_t543 == 32w0));
+                    if ((meta.k1_t407 == 1w1)) {
+                        if ((meta.k1_t545 == 1w1)) {
+                            hdr.ncl.action = 8w5;
+                        } else {
+                            hdr.ncl.action = 8w1;
+                        }
+                    } else {
+                        if ((meta.k1_t544 == 1w1)) {
+                            hdr.ncl.action = 8w4;
+                            hdr.ncl.target = (bit<16>)(16w42);
+                        } else {
+                            hdr.ncl.action = 8w1;
+                        }
+                    }
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

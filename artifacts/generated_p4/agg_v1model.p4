@@ -1,0 +1,638 @@
+// AGG_dev1 — generated for v1model
+#include <core.p4>
+#include <v1model.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_ver;
+    bit<16> a1_bmp_idx;
+    bit<16> a2_agg_idx;
+    bit<16> a3_mask;
+    bit<8> a4_exp;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<16> k1_t391;
+    bit<16> k1_t392;
+    bit<16> k1_t393;
+    bit<32> k1_t394;
+    bit<1> k1_t395;
+    bit<16> k1_t396;
+    bit<32> k1_t397;
+    bit<1> k1_t398;
+    bit<32> k1_t400;
+    bit<32> k1_t402;
+    bit<32> k1_t404;
+    bit<32> k1_t406;
+    bit<32> k1_t408;
+    bit<32> k1_t410;
+    bit<32> k1_t412;
+    bit<32> k1_t414;
+    bit<32> k1_t416;
+    bit<32> k1_t418;
+    bit<32> k1_t420;
+    bit<32> k1_t422;
+    bit<32> k1_t424;
+    bit<32> k1_t426;
+    bit<32> k1_t428;
+    bit<32> k1_t430;
+    bit<32> k1_t432;
+    bit<32> k1_t434;
+    bit<32> k1_t436;
+    bit<32> k1_t438;
+    bit<32> k1_t440;
+    bit<32> k1_t442;
+    bit<32> k1_t444;
+    bit<32> k1_t446;
+    bit<32> k1_t448;
+    bit<32> k1_t450;
+    bit<32> k1_t452;
+    bit<32> k1_t454;
+    bit<32> k1_t456;
+    bit<32> k1_t458;
+    bit<32> k1_t460;
+    bit<32> k1_t462;
+    bit<32> k1_t463;
+    bit<8> k1_t465;
+    bit<32> k1_t466;
+    bit<32> k1_t467;
+    bit<32> k1_t468;
+    bit<32> k1_t469;
+    bit<32> k1_t470;
+    bit<1> k1_t471;
+    bit<1> k1_t472;
+    bit<32> k1_t475;
+    bit<1> k1_t476;
+    bit<1> k1_t477;
+    bit<32> k1_t480;
+    bit<1> k1_t481;
+    bit<1> k1_t482;
+    bit<32> k1_t485;
+    bit<1> k1_t486;
+    bit<1> k1_t487;
+    bit<32> k1_t490;
+    bit<1> k1_t491;
+    bit<1> k1_t492;
+    bit<32> k1_t495;
+    bit<1> k1_t496;
+    bit<1> k1_t497;
+    bit<32> k1_t500;
+    bit<1> k1_t501;
+    bit<1> k1_t502;
+    bit<32> k1_t505;
+    bit<1> k1_t506;
+    bit<1> k1_t507;
+    bit<32> k1_t510;
+    bit<1> k1_t511;
+    bit<1> k1_t512;
+    bit<32> k1_t515;
+    bit<1> k1_t516;
+    bit<1> k1_t517;
+    bit<32> k1_t520;
+    bit<1> k1_t521;
+    bit<1> k1_t522;
+    bit<32> k1_t525;
+    bit<1> k1_t526;
+    bit<1> k1_t527;
+    bit<32> k1_t530;
+    bit<1> k1_t531;
+    bit<1> k1_t532;
+    bit<32> k1_t535;
+    bit<1> k1_t536;
+    bit<1> k1_t537;
+    bit<32> k1_t540;
+    bit<1> k1_t541;
+    bit<1> k1_t542;
+    bit<32> k1_t545;
+    bit<1> k1_t546;
+    bit<1> k1_t547;
+    bit<32> k1_t550;
+    bit<1> k1_t551;
+    bit<1> k1_t552;
+    bit<32> k1_t555;
+    bit<1> k1_t556;
+    bit<1> k1_t557;
+    bit<32> k1_t560;
+    bit<1> k1_t561;
+    bit<1> k1_t562;
+    bit<32> k1_t565;
+    bit<1> k1_t566;
+    bit<1> k1_t567;
+    bit<32> k1_t570;
+    bit<1> k1_t571;
+    bit<1> k1_t572;
+    bit<32> k1_t575;
+    bit<1> k1_t576;
+    bit<1> k1_t577;
+    bit<32> k1_t580;
+    bit<1> k1_t581;
+    bit<1> k1_t582;
+    bit<32> k1_t585;
+    bit<1> k1_t586;
+    bit<1> k1_t587;
+    bit<32> k1_t590;
+    bit<1> k1_t591;
+    bit<1> k1_t592;
+    bit<32> k1_t595;
+    bit<1> k1_t596;
+    bit<1> k1_t597;
+    bit<32> k1_t600;
+    bit<1> k1_t601;
+    bit<1> k1_t602;
+    bit<32> k1_t605;
+    bit<1> k1_t606;
+    bit<1> k1_t607;
+    bit<32> k1_t610;
+    bit<1> k1_t611;
+    bit<1> k1_t612;
+    bit<32> k1_t615;
+    bit<1> k1_t616;
+    bit<1> k1_t617;
+    bit<32> k1_t620;
+    bit<1> k1_t621;
+    bit<1> k1_t622;
+    bit<32> k1_t625;
+    bit<1> k1_t626;
+    bit<1> k1_t627;
+    bit<32> k1_t630;
+    bit<1> k1_t631;
+    bit<1> k1_t632;
+    bit<32> k1_t635;
+    bit<1> k1_t636;
+    bit<1> k1_t637;
+    bit<8> k1_t638;
+    bit<1> k1_t639;
+    bit<32> k1_t640;
+    bit<1> k1_t641;
+    bit<32> k1_t642;
+    bit<1> k1_t643;
+    bit<32> k1_t644;
+    bit<16> k1_t645;
+    bit<32> k1_t646;
+    bit<32> k1_t647;
+    bit<32> k1_t648;
+    bit<16> k1_t649;
+    bit<16> k1_t650;
+    bit<32> k1_t651;
+    bit<32> k1_t652;
+    bit<32> k1_t653;
+    bit<16> k1_t654;
+    bit<16> k1_t655;
+    bit<32> k1_t656;
+    bit<16> k1_t657;
+    bit<8> k1_l0_ver;
+    bit<16> k1_l1_bmp_idx;
+    bit<16> k1_l2_agg_idx;
+    bit<16> k1_l3_mask;
+    bit<16> k1_l4_bitmap;
+    bit<32> k1_l5_seen;
+    bit<8> k1_l6_cnt;
+    bit<16> k1_l7_bitmap_ph;
+    bit<1> k1_rc38;
+    bit<1> k1_rc39;
+    bit<1> k1_rc40;
+    bit<1> k1_rc41;
+    bit<1> k1_rc42;
+    bit<1> k1_rc43;
+    bit<1> k1_rc44;
+    bit<1> k1_rc45;
+    bit<1> k1_rc46;
+    bit<1> k1_rc47;
+    bit<1> k1_rc48;
+    bit<1> k1_rc49;
+    bit<1> k1_rc50;
+    bit<1> k1_rc51;
+    bit<1> k1_rc52;
+    bit<1> k1_rc53;
+    bit<1> k1_rc54;
+    bit<1> k1_rc55;
+    bit<1> k1_rc56;
+    bit<1> k1_rc57;
+    bit<1> k1_rc58;
+    bit<1> k1_rc59;
+    bit<1> k1_rc60;
+    bit<1> k1_rc61;
+    bit<1> k1_rc62;
+    bit<1> k1_rc63;
+    bit<1> k1_rc64;
+    bit<1> k1_rc65;
+    bit<1> k1_rc66;
+    bit<1> k1_rc67;
+    bit<1> k1_rc68;
+    bit<1> k1_rc69;
+    bit<1> k1_rc70;
+    bit<1> k1_rc71;
+    register<bit<16>>(32) Bitmap;
+    register<bit<32>>(1024) Agg;
+    register<bit<8>>(32) Count;
+    register<bit<8>>(32) Exp;
+    /* RegisterAction ra_Bitmap_0 on Bitmap: atomic_or */
+    /* RegisterAction ra_Bitmap_1 on Bitmap: atomic_and */
+    /* RegisterAction ra_Bitmap_2 on Bitmap: atomic_and */
+    /* RegisterAction ra_Bitmap_3 on Bitmap: atomic_or */
+    /* RegisterAction ra_Agg_4 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_5 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_6 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_7 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_8 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_9 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_10 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_11 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_12 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_13 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_14 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_15 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_16 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_17 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_18 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_19 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_20 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_21 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_22 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_23 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_24 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_25 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_26 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_27 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_28 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_29 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_30 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_31 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_32 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_33 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_34 on Agg: atomic_swap */
+    /* RegisterAction ra_Agg_35 on Agg: atomic_swap */
+    /* RegisterAction ra_Exp_36 on Exp: atomic_swap */
+    /* RegisterAction ra_Count_37 on Count: atomic_swap */
+    /* RegisterAction ra_Exp_38 on Exp: atomic_cond_max_new */
+    /* RegisterAction ra_Agg_39 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_40 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_41 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_42 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_43 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_44 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_45 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_46 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_47 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_48 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_49 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_50 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_51 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_52 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_53 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_54 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_55 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_56 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_57 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_58 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_59 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_60 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_61 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_62 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_63 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_64 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_65 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_66 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_67 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_68 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_69 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Agg_70 on Agg: atomic_cond_add_new */
+    /* RegisterAction ra_Count_71 on Count: atomic_cond_dec */
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_t391 = hdr.args_c1.a1_bmp_idx;
+                meta.k1_t392 = hdr.args_c1.a2_agg_idx;
+                meta.k1_t393 = hdr.args_c1.a3_mask;
+                meta.k1_t394 = (bit<32>)(hdr.args_c1.a0_ver);
+                meta.k1_t395 = (bit<1>)((meta.k1_t394 == 32w0));
+                if ((meta.k1_t395 == 1w1)) {
+                    meta.k1_t644 = (bit<32>)(meta.k1_t391);
+                    meta.k1_t645 = ra_Bitmap_0.execute((((bit<32>)(32w0) * 32w16) + (bit<32>)(meta.k1_t644)));
+                    meta.k1_t646 = (bit<32>)(meta.k1_t391);
+                    meta.k1_t647 = (bit<32>)(meta.k1_t393);
+                    meta.k1_t648 = (meta.k1_t647 ^ 32w4294967295);
+                    meta.k1_t649 = (bit<16>)(meta.k1_t648);
+                    meta.k1_t650 = ra_Bitmap_1.execute((((bit<32>)(32w1) * 32w16) + (bit<32>)(meta.k1_t646)));
+                    meta.k1_l7_bitmap_ph = meta.k1_t645;
+                } else {
+                    meta.k1_t651 = (bit<32>)(meta.k1_t391);
+                    meta.k1_t652 = (bit<32>)(meta.k1_t393);
+                    meta.k1_t653 = (meta.k1_t652 ^ 32w4294967295);
+                    meta.k1_t654 = (bit<16>)(meta.k1_t653);
+                    meta.k1_t655 = ra_Bitmap_2.execute((((bit<32>)(32w0) * 32w16) + (bit<32>)(meta.k1_t651)));
+                    meta.k1_t656 = (bit<32>)(meta.k1_t391);
+                    meta.k1_t657 = ra_Bitmap_3.execute((((bit<32>)(32w1) * 32w16) + (bit<32>)(meta.k1_t656)));
+                    meta.k1_l7_bitmap_ph = meta.k1_t657;
+                }
+                meta.k1_t396 = meta.k1_l7_bitmap_ph;
+                meta.k1_t397 = (bit<32>)(meta.k1_t396);
+                meta.k1_t398 = (bit<1>)((meta.k1_t397 == 32w0));
+                if ((meta.k1_t398 == 1w1)) {
+                    meta.k1_t400 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_4.execute((((bit<32>)(32w0) * 32w32) + (bit<32>)(meta.k1_t400)));
+                    meta.k1_t402 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_5.execute((((bit<32>)(32w1) * 32w32) + (bit<32>)(meta.k1_t402)));
+                    meta.k1_t404 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_6.execute((((bit<32>)(32w2) * 32w32) + (bit<32>)(meta.k1_t404)));
+                    meta.k1_t406 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_7.execute((((bit<32>)(32w3) * 32w32) + (bit<32>)(meta.k1_t406)));
+                    meta.k1_t408 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_8.execute((((bit<32>)(32w4) * 32w32) + (bit<32>)(meta.k1_t408)));
+                    meta.k1_t410 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_9.execute((((bit<32>)(32w5) * 32w32) + (bit<32>)(meta.k1_t410)));
+                    meta.k1_t412 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_10.execute((((bit<32>)(32w6) * 32w32) + (bit<32>)(meta.k1_t412)));
+                    meta.k1_t414 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_11.execute((((bit<32>)(32w7) * 32w32) + (bit<32>)(meta.k1_t414)));
+                    meta.k1_t416 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_12.execute((((bit<32>)(32w8) * 32w32) + (bit<32>)(meta.k1_t416)));
+                    meta.k1_t418 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_13.execute((((bit<32>)(32w9) * 32w32) + (bit<32>)(meta.k1_t418)));
+                    meta.k1_t420 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_14.execute((((bit<32>)(32w10) * 32w32) + (bit<32>)(meta.k1_t420)));
+                    meta.k1_t422 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_15.execute((((bit<32>)(32w11) * 32w32) + (bit<32>)(meta.k1_t422)));
+                    meta.k1_t424 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_16.execute((((bit<32>)(32w12) * 32w32) + (bit<32>)(meta.k1_t424)));
+                    meta.k1_t426 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_17.execute((((bit<32>)(32w13) * 32w32) + (bit<32>)(meta.k1_t426)));
+                    meta.k1_t428 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_18.execute((((bit<32>)(32w14) * 32w32) + (bit<32>)(meta.k1_t428)));
+                    meta.k1_t430 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_19.execute((((bit<32>)(32w15) * 32w32) + (bit<32>)(meta.k1_t430)));
+                    meta.k1_t432 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_20.execute((((bit<32>)(32w16) * 32w32) + (bit<32>)(meta.k1_t432)));
+                    meta.k1_t434 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_21.execute((((bit<32>)(32w17) * 32w32) + (bit<32>)(meta.k1_t434)));
+                    meta.k1_t436 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_22.execute((((bit<32>)(32w18) * 32w32) + (bit<32>)(meta.k1_t436)));
+                    meta.k1_t438 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_23.execute((((bit<32>)(32w19) * 32w32) + (bit<32>)(meta.k1_t438)));
+                    meta.k1_t440 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_24.execute((((bit<32>)(32w20) * 32w32) + (bit<32>)(meta.k1_t440)));
+                    meta.k1_t442 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_25.execute((((bit<32>)(32w21) * 32w32) + (bit<32>)(meta.k1_t442)));
+                    meta.k1_t444 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_26.execute((((bit<32>)(32w22) * 32w32) + (bit<32>)(meta.k1_t444)));
+                    meta.k1_t446 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_27.execute((((bit<32>)(32w23) * 32w32) + (bit<32>)(meta.k1_t446)));
+                    meta.k1_t448 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_28.execute((((bit<32>)(32w24) * 32w32) + (bit<32>)(meta.k1_t448)));
+                    meta.k1_t450 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_29.execute((((bit<32>)(32w25) * 32w32) + (bit<32>)(meta.k1_t450)));
+                    meta.k1_t452 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_30.execute((((bit<32>)(32w26) * 32w32) + (bit<32>)(meta.k1_t452)));
+                    meta.k1_t454 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_31.execute((((bit<32>)(32w27) * 32w32) + (bit<32>)(meta.k1_t454)));
+                    meta.k1_t456 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_32.execute((((bit<32>)(32w28) * 32w32) + (bit<32>)(meta.k1_t456)));
+                    meta.k1_t458 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_33.execute((((bit<32>)(32w29) * 32w32) + (bit<32>)(meta.k1_t458)));
+                    meta.k1_t460 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_34.execute((((bit<32>)(32w30) * 32w32) + (bit<32>)(meta.k1_t460)));
+                    meta.k1_t462 = (bit<32>)(meta.k1_t392);
+                    ra_Agg_35.execute((((bit<32>)(32w31) * 32w32) + (bit<32>)(meta.k1_t462)));
+                    meta.k1_t463 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t465 = ra_Exp_36.execute((bit<32>)(meta.k1_t463));
+                    meta.k1_t466 = (bit<32>)(meta.k1_t392);
+                    ra_Count_37.execute((bit<32>)(meta.k1_t466));
+                    hdr.ncl.action = 8w1;
+                } else {
+                    meta.k1_t467 = (bit<32>)(meta.k1_t396);
+                    meta.k1_t468 = (bit<32>)(meta.k1_t393);
+                    meta.k1_t469 = (meta.k1_t467 & meta.k1_t468);
+                    meta.k1_t470 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t471 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t472 = (meta.k1_t471 ^ 1w1);
+                    meta.k1_rc38 = (bit<1>)((meta.k1_t472 == 1w1));
+                    hdr.args_c1.a4_exp = ra_Exp_38.execute((bit<32>)(meta.k1_t470));
+                    meta.k1_t475 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t476 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t477 = (meta.k1_t476 ^ 1w1);
+                    meta.k1_rc39 = (bit<1>)((meta.k1_t477 == 1w1));
+                    hdr.arr_c1_a5[0].value = ra_Agg_39.execute((((bit<32>)(32w0) * 32w32) + (bit<32>)(meta.k1_t475)));
+                    meta.k1_t480 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t481 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t482 = (meta.k1_t481 ^ 1w1);
+                    meta.k1_rc40 = (bit<1>)((meta.k1_t482 == 1w1));
+                    hdr.arr_c1_a5[1].value = ra_Agg_40.execute((((bit<32>)(32w1) * 32w32) + (bit<32>)(meta.k1_t480)));
+                    meta.k1_t485 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t486 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t487 = (meta.k1_t486 ^ 1w1);
+                    meta.k1_rc41 = (bit<1>)((meta.k1_t487 == 1w1));
+                    hdr.arr_c1_a5[2].value = ra_Agg_41.execute((((bit<32>)(32w2) * 32w32) + (bit<32>)(meta.k1_t485)));
+                    meta.k1_t490 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t491 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t492 = (meta.k1_t491 ^ 1w1);
+                    meta.k1_rc42 = (bit<1>)((meta.k1_t492 == 1w1));
+                    hdr.arr_c1_a5[3].value = ra_Agg_42.execute((((bit<32>)(32w3) * 32w32) + (bit<32>)(meta.k1_t490)));
+                    meta.k1_t495 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t496 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t497 = (meta.k1_t496 ^ 1w1);
+                    meta.k1_rc43 = (bit<1>)((meta.k1_t497 == 1w1));
+                    hdr.arr_c1_a5[4].value = ra_Agg_43.execute((((bit<32>)(32w4) * 32w32) + (bit<32>)(meta.k1_t495)));
+                    meta.k1_t500 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t501 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t502 = (meta.k1_t501 ^ 1w1);
+                    meta.k1_rc44 = (bit<1>)((meta.k1_t502 == 1w1));
+                    hdr.arr_c1_a5[5].value = ra_Agg_44.execute((((bit<32>)(32w5) * 32w32) + (bit<32>)(meta.k1_t500)));
+                    meta.k1_t505 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t506 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t507 = (meta.k1_t506 ^ 1w1);
+                    meta.k1_rc45 = (bit<1>)((meta.k1_t507 == 1w1));
+                    hdr.arr_c1_a5[6].value = ra_Agg_45.execute((((bit<32>)(32w6) * 32w32) + (bit<32>)(meta.k1_t505)));
+                    meta.k1_t510 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t511 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t512 = (meta.k1_t511 ^ 1w1);
+                    meta.k1_rc46 = (bit<1>)((meta.k1_t512 == 1w1));
+                    hdr.arr_c1_a5[7].value = ra_Agg_46.execute((((bit<32>)(32w7) * 32w32) + (bit<32>)(meta.k1_t510)));
+                    meta.k1_t515 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t516 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t517 = (meta.k1_t516 ^ 1w1);
+                    meta.k1_rc47 = (bit<1>)((meta.k1_t517 == 1w1));
+                    hdr.arr_c1_a5[8].value = ra_Agg_47.execute((((bit<32>)(32w8) * 32w32) + (bit<32>)(meta.k1_t515)));
+                    meta.k1_t520 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t521 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t522 = (meta.k1_t521 ^ 1w1);
+                    meta.k1_rc48 = (bit<1>)((meta.k1_t522 == 1w1));
+                    hdr.arr_c1_a5[9].value = ra_Agg_48.execute((((bit<32>)(32w9) * 32w32) + (bit<32>)(meta.k1_t520)));
+                    meta.k1_t525 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t526 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t527 = (meta.k1_t526 ^ 1w1);
+                    meta.k1_rc49 = (bit<1>)((meta.k1_t527 == 1w1));
+                    hdr.arr_c1_a5[10].value = ra_Agg_49.execute((((bit<32>)(32w10) * 32w32) + (bit<32>)(meta.k1_t525)));
+                    meta.k1_t530 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t531 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t532 = (meta.k1_t531 ^ 1w1);
+                    meta.k1_rc50 = (bit<1>)((meta.k1_t532 == 1w1));
+                    hdr.arr_c1_a5[11].value = ra_Agg_50.execute((((bit<32>)(32w11) * 32w32) + (bit<32>)(meta.k1_t530)));
+                    meta.k1_t535 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t536 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t537 = (meta.k1_t536 ^ 1w1);
+                    meta.k1_rc51 = (bit<1>)((meta.k1_t537 == 1w1));
+                    hdr.arr_c1_a5[12].value = ra_Agg_51.execute((((bit<32>)(32w12) * 32w32) + (bit<32>)(meta.k1_t535)));
+                    meta.k1_t540 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t541 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t542 = (meta.k1_t541 ^ 1w1);
+                    meta.k1_rc52 = (bit<1>)((meta.k1_t542 == 1w1));
+                    hdr.arr_c1_a5[13].value = ra_Agg_52.execute((((bit<32>)(32w13) * 32w32) + (bit<32>)(meta.k1_t540)));
+                    meta.k1_t545 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t546 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t547 = (meta.k1_t546 ^ 1w1);
+                    meta.k1_rc53 = (bit<1>)((meta.k1_t547 == 1w1));
+                    hdr.arr_c1_a5[14].value = ra_Agg_53.execute((((bit<32>)(32w14) * 32w32) + (bit<32>)(meta.k1_t545)));
+                    meta.k1_t550 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t551 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t552 = (meta.k1_t551 ^ 1w1);
+                    meta.k1_rc54 = (bit<1>)((meta.k1_t552 == 1w1));
+                    hdr.arr_c1_a5[15].value = ra_Agg_54.execute((((bit<32>)(32w15) * 32w32) + (bit<32>)(meta.k1_t550)));
+                    meta.k1_t555 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t556 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t557 = (meta.k1_t556 ^ 1w1);
+                    meta.k1_rc55 = (bit<1>)((meta.k1_t557 == 1w1));
+                    hdr.arr_c1_a5[16].value = ra_Agg_55.execute((((bit<32>)(32w16) * 32w32) + (bit<32>)(meta.k1_t555)));
+                    meta.k1_t560 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t561 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t562 = (meta.k1_t561 ^ 1w1);
+                    meta.k1_rc56 = (bit<1>)((meta.k1_t562 == 1w1));
+                    hdr.arr_c1_a5[17].value = ra_Agg_56.execute((((bit<32>)(32w17) * 32w32) + (bit<32>)(meta.k1_t560)));
+                    meta.k1_t565 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t566 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t567 = (meta.k1_t566 ^ 1w1);
+                    meta.k1_rc57 = (bit<1>)((meta.k1_t567 == 1w1));
+                    hdr.arr_c1_a5[18].value = ra_Agg_57.execute((((bit<32>)(32w18) * 32w32) + (bit<32>)(meta.k1_t565)));
+                    meta.k1_t570 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t571 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t572 = (meta.k1_t571 ^ 1w1);
+                    meta.k1_rc58 = (bit<1>)((meta.k1_t572 == 1w1));
+                    hdr.arr_c1_a5[19].value = ra_Agg_58.execute((((bit<32>)(32w19) * 32w32) + (bit<32>)(meta.k1_t570)));
+                    meta.k1_t575 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t576 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t577 = (meta.k1_t576 ^ 1w1);
+                    meta.k1_rc59 = (bit<1>)((meta.k1_t577 == 1w1));
+                    hdr.arr_c1_a5[20].value = ra_Agg_59.execute((((bit<32>)(32w20) * 32w32) + (bit<32>)(meta.k1_t575)));
+                    meta.k1_t580 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t581 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t582 = (meta.k1_t581 ^ 1w1);
+                    meta.k1_rc60 = (bit<1>)((meta.k1_t582 == 1w1));
+                    hdr.arr_c1_a5[21].value = ra_Agg_60.execute((((bit<32>)(32w21) * 32w32) + (bit<32>)(meta.k1_t580)));
+                    meta.k1_t585 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t586 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t587 = (meta.k1_t586 ^ 1w1);
+                    meta.k1_rc61 = (bit<1>)((meta.k1_t587 == 1w1));
+                    hdr.arr_c1_a5[22].value = ra_Agg_61.execute((((bit<32>)(32w22) * 32w32) + (bit<32>)(meta.k1_t585)));
+                    meta.k1_t590 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t591 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t592 = (meta.k1_t591 ^ 1w1);
+                    meta.k1_rc62 = (bit<1>)((meta.k1_t592 == 1w1));
+                    hdr.arr_c1_a5[23].value = ra_Agg_62.execute((((bit<32>)(32w23) * 32w32) + (bit<32>)(meta.k1_t590)));
+                    meta.k1_t595 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t596 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t597 = (meta.k1_t596 ^ 1w1);
+                    meta.k1_rc63 = (bit<1>)((meta.k1_t597 == 1w1));
+                    hdr.arr_c1_a5[24].value = ra_Agg_63.execute((((bit<32>)(32w24) * 32w32) + (bit<32>)(meta.k1_t595)));
+                    meta.k1_t600 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t601 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t602 = (meta.k1_t601 ^ 1w1);
+                    meta.k1_rc64 = (bit<1>)((meta.k1_t602 == 1w1));
+                    hdr.arr_c1_a5[25].value = ra_Agg_64.execute((((bit<32>)(32w25) * 32w32) + (bit<32>)(meta.k1_t600)));
+                    meta.k1_t605 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t606 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t607 = (meta.k1_t606 ^ 1w1);
+                    meta.k1_rc65 = (bit<1>)((meta.k1_t607 == 1w1));
+                    hdr.arr_c1_a5[26].value = ra_Agg_65.execute((((bit<32>)(32w26) * 32w32) + (bit<32>)(meta.k1_t605)));
+                    meta.k1_t610 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t611 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t612 = (meta.k1_t611 ^ 1w1);
+                    meta.k1_rc66 = (bit<1>)((meta.k1_t612 == 1w1));
+                    hdr.arr_c1_a5[27].value = ra_Agg_66.execute((((bit<32>)(32w27) * 32w32) + (bit<32>)(meta.k1_t610)));
+                    meta.k1_t615 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t616 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t617 = (meta.k1_t616 ^ 1w1);
+                    meta.k1_rc67 = (bit<1>)((meta.k1_t617 == 1w1));
+                    hdr.arr_c1_a5[28].value = ra_Agg_67.execute((((bit<32>)(32w28) * 32w32) + (bit<32>)(meta.k1_t615)));
+                    meta.k1_t620 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t621 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t622 = (meta.k1_t621 ^ 1w1);
+                    meta.k1_rc68 = (bit<1>)((meta.k1_t622 == 1w1));
+                    hdr.arr_c1_a5[29].value = ra_Agg_68.execute((((bit<32>)(32w29) * 32w32) + (bit<32>)(meta.k1_t620)));
+                    meta.k1_t625 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t626 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t627 = (meta.k1_t626 ^ 1w1);
+                    meta.k1_rc69 = (bit<1>)((meta.k1_t627 == 1w1));
+                    hdr.arr_c1_a5[30].value = ra_Agg_69.execute((((bit<32>)(32w30) * 32w32) + (bit<32>)(meta.k1_t625)));
+                    meta.k1_t630 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t631 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t632 = (meta.k1_t631 ^ 1w1);
+                    meta.k1_rc70 = (bit<1>)((meta.k1_t632 == 1w1));
+                    hdr.arr_c1_a5[31].value = ra_Agg_70.execute((((bit<32>)(32w31) * 32w32) + (bit<32>)(meta.k1_t630)));
+                    meta.k1_t635 = (bit<32>)(meta.k1_t392);
+                    meta.k1_t636 = (bit<1>)((meta.k1_t469 != 32w0));
+                    meta.k1_t637 = (meta.k1_t636 ^ 1w1);
+                    meta.k1_rc71 = (bit<1>)((meta.k1_t637 == 1w1));
+                    meta.k1_t638 = ra_Count_71.execute((bit<32>)(meta.k1_t635));
+                    meta.k1_t639 = (bit<1>)((meta.k1_t469 != 32w0));
+                    if ((meta.k1_t639 == 1w1)) {
+                        meta.k1_t640 = (bit<32>)(meta.k1_t638);
+                        meta.k1_t641 = (bit<1>)((meta.k1_t640 == 32w0));
+                        if ((meta.k1_t641 == 1w1)) {
+                            hdr.ncl.action = 8w5;
+                        } else {
+                            hdr.ncl.action = 8w1;
+                        }
+                    } else {
+                        meta.k1_t642 = (bit<32>)(meta.k1_t638);
+                        meta.k1_t643 = (bit<1>)((meta.k1_t642 == 32w1));
+                        if ((meta.k1_t643 == 1w1)) {
+                            hdr.ncl.action = 8w4;
+                            hdr.ncl.target = (bit<16>)(16w42);
+                        } else {
+                            hdr.ncl.action = 8w1;
+                        }
+                    }
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

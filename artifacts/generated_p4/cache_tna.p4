@@ -1,0 +1,587 @@
+// CACHE_dev1 — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a4_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_op;
+    bit<64> a1_k;
+    bit<8> a2_hit;
+    bit<32> a3_hot;
+}
+
+header k1_loc7_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a4);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<1> k1_t203;
+    bit<16> k1_t204;
+    bit<8> k1_t206;
+    bit<32> k1_t207;
+    bit<1> k1_t208;
+    bit<1> k1_t209;
+    bit<1> k1_t210;
+    bit<1> k1_t211;
+    bit<32> k1_t212;
+    bit<16> k1_t213;
+    bit<32> k1_t214;
+    bit<32> k1_t215;
+    bit<16> k1_t216;
+    bit<32> k1_t217;
+    bit<32> k1_t218;
+    bit<16> k1_t219;
+    bit<32> k1_t220;
+    bit<32> k1_t221;
+    bit<32> k1_t222;
+    bit<32> k1_t223;
+    bit<32> k1_t224;
+    bit<32> k1_t225;
+    bit<16> k1_t226;
+    bit<32> k1_t227;
+    bit<16> k1_t228;
+    bit<8> k1_t229;
+    bit<1> k1_t230;
+    bit<32> k1_t231;
+    bit<32> k1_t232;
+    bit<1> k1_t233;
+    bit<32> k1_t234;
+    bit<32> k1_t235;
+    bit<1> k1_t236;
+    bit<32> k1_t237;
+    bit<32> k1_t238;
+    bit<1> k1_t239;
+    bit<32> k1_t240;
+    bit<32> k1_t241;
+    bit<1> k1_t242;
+    bit<32> k1_t243;
+    bit<32> k1_t244;
+    bit<1> k1_t245;
+    bit<32> k1_t246;
+    bit<32> k1_t247;
+    bit<1> k1_t248;
+    bit<32> k1_t249;
+    bit<32> k1_t250;
+    bit<1> k1_t251;
+    bit<32> k1_t252;
+    bit<32> k1_t253;
+    bit<1> k1_t254;
+    bit<32> k1_t255;
+    bit<32> k1_t264;
+    bit<32> k1_t265;
+    bit<32> k1_t266;
+    bit<32> k1_t267;
+    bit<32> k1_t268;
+    bit<32> k1_t269;
+    bit<1> k1_t270;
+    bit<32> k1_t271;
+    bit<32> k1_t272;
+    bit<32> k1_t273;
+    bit<1> k1_t274;
+    bit<32> k1_t275;
+    bit<1> k1_t276;
+    bit<8> k1_t277;
+    bit<8> k1_t278;
+    bit<32> k1_t279;
+    bit<1> k1_t280;
+    bit<32> k1_t281;
+    bit<1> k1_t282;
+    bit<1> k1_t283;
+    bit<32> k1_t284;
+    bit<32> k1_t285;
+    bit<32> k1_t286;
+    bit<32> k1_t287;
+    bit<32> k1_t288;
+    bit<32> k1_t289;
+    bit<32> k1_t290;
+    bit<32> k1_t291;
+    bit<32> k1_t292;
+    bit<1> k1_t293;
+    bit<32> k1_t294;
+    bit<32> k1_t295;
+    bit<32> k1_t296;
+    bit<1> k1_t297;
+    bit<32> k1_t298;
+    bit<1> k1_t299;
+    bit<8> k1_t300;
+    bit<8> k1_t301;
+    bit<32> k1_t302;
+    bit<1> k1_t303;
+    bit<32> k1_t304;
+    bit<1> k1_t305;
+    bit<1> k1_t306;
+    bit<32> k1_t307;
+    bit<32> k1_t308;
+    bit<32> k1_t309;
+    bit<16> k1_t310;
+    bit<8> k1_t311;
+    bit<32> k1_t313;
+    bit<32> k1_t315;
+    bit<32> k1_t317;
+    bit<32> k1_t319;
+    bit<32> k1_t321;
+    bit<32> k1_t323;
+    bit<32> k1_t325;
+    bit<32> k1_t327;
+    bit<8> k1_t328;
+    bit<8> k1_l0_op;
+    bit<64> k1_l1_k;
+    bit<16> k1_l2_idx;
+    bit<8> k1_l3_cached;
+    bit<16> k1_l4_share;
+    bit<8> k1_l5_valid;
+    bit<32> k1_l6_kh;
+    bit<8> k1_l8_b0;
+    bit<8> k1_l9_b1;
+    bit<16> k1_l10_idx_ph;
+    bit<64> k1_lk0;
+    Register<bit<16>, bit<32>>(64) Share;
+    Register<bit<8>, bit<32>>(64) Valid;
+    Register<bit<32>, bit<32>>(64) HitCount;
+    Register<bit<32>, bit<32>>(64) Val__0;
+    Register<bit<32>, bit<32>>(64) Val__1;
+    Register<bit<32>, bit<32>>(64) Val__2;
+    Register<bit<32>, bit<32>>(64) Val__3;
+    Register<bit<32>, bit<32>>(64) Val__4;
+    Register<bit<32>, bit<32>>(64) Val__5;
+    Register<bit<32>, bit<32>>(64) Val__6;
+    Register<bit<32>, bit<32>>(64) Val__7;
+    Register<bit<32>, bit<32>>(4096) cms__0;
+    Register<bit<32>, bit<32>>(4096) cms__1;
+    Register<bit<32>, bit<32>>(4096) cms__2;
+    Register<bit<8>, bit<32>>(4096) Bloom__0;
+    Register<bit<8>, bit<32>>(4096) Bloom__1;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Share) ra_Share_0 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Valid) ra_Valid_1 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(HitCount) ra_HitCount_2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = m + 1;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__0) ra_Val__0_3 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__1) ra_Val__1_4 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__2) ra_Val__2_5 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__3) ra_Val__3_6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__4) ra_Val__4_7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__5) ra_Val__5_8 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__6) ra_Val__6_9 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__7) ra_Val__7_10 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms__0) ra_cms__0_11 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms__1) ra_cms__1_12 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms__2) ra_cms__2_13 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Bloom__0) ra_Bloom__0_14 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Bloom__1) ra_Bloom__1_15 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms__0) ra_cms__0_16 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms__1) ra_cms__1_17 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms__2) ra_cms__2_18 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Bloom__0) ra_Bloom__0_19 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Bloom__1) ra_Bloom__1_20 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Share) ra_Share_21 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = 16w255;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Valid) ra_Valid_22 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__0) ra_Val__0_23 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[0].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__1) ra_Val__1_24 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[1].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__2) ra_Val__2_25 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[2].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__3) ra_Val__3_26 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[3].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__4) ra_Val__4_27 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[4].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__5) ra_Val__5_28 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[5].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__6) ra_Val__6_29 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[6].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val__7) ra_Val__7_30 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[7].value;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Valid) ra_Valid_31 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w0;
+        }
+    };
+    Hash<bit<32>>(HashAlgorithm_t.CRC32) hash_0;
+    Hash<bit<16>>(HashAlgorithm_t.XOR16) hash_1;
+    Hash<bit<16>>(HashAlgorithm_t.CRC32) hash_2;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) hash_3;
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    action lu_hit_index_0(bit<16> v) {
+        meta.k1_t204 = v;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    table lu_index_0 {
+        key = { meta.k1_lk0 : exact }
+        actions = { lu_hit_index_0; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_lk0 = hdr.args_c1.a1_k;
+                meta.k1_t203 = 1w0;
+                meta.k1_t204 = 16w0;
+                if (lu_index_0.apply().hit) {
+                    meta.k1_t203 = 1w1;
+                }
+                meta.k1_t206 = (bit<8>)(meta.k1_t203);
+                meta.k1_t207 = (bit<32>)(hdr.args_c1.a0_op);
+                meta.k1_t208 = (bit<1>)((meta.k1_t207 == 32w1));
+                meta.k1_t209 = (bit<1>)((meta.k1_t206 != 8w0));
+                meta.k1_t210 = (bit<1>)((meta.k1_t207 == 32w2));
+                meta.k1_t211 = (bit<1>)((meta.k1_t207 == 32w3));
+                meta.k1_t212 = hash_0.get({(bit<64>)(hdr.args_c1.a1_k)});
+                meta.k1_t213 = hash_1.get({(bit<32>)(meta.k1_t212)});
+                meta.k1_t214 = (bit<32>)(meta.k1_t213);
+                meta.k1_t215 = (meta.k1_t214 & 32w4095);
+                meta.k1_t216 = hash_2.get({(bit<32>)(meta.k1_t212)});
+                meta.k1_t217 = (bit<32>)(meta.k1_t216);
+                meta.k1_t218 = (meta.k1_t217 & 32w4095);
+                meta.k1_t219 = hash_3.get({(bit<32>)(meta.k1_t212)});
+                meta.k1_t220 = (bit<32>)(meta.k1_t219);
+                meta.k1_t221 = (meta.k1_t220 & 32w4095);
+                meta.k1_t222 = (bit<32>)(meta.k1_t213);
+                meta.k1_t223 = (meta.k1_t222 & 32w4095);
+                meta.k1_t224 = (bit<32>)(meta.k1_t219);
+                meta.k1_t225 = (meta.k1_t224 & 32w4095);
+                meta.k1_l10_idx_ph = 16w0;
+                if ((meta.k1_t203 == 1w1)) {
+                    meta.k1_l10_idx_ph = meta.k1_t204;
+                }
+                meta.k1_t226 = meta.k1_l10_idx_ph;
+                meta.k1_t227 = (bit<32>)(meta.k1_t226);
+                if ((meta.k1_t208 == 1w1)) {
+                    meta.k1_t228 = ra_Share_0.execute((bit<32>)(meta.k1_t227));
+                    meta.k1_t229 = ra_Valid_1.execute((bit<32>)(meta.k1_t227));
+                    meta.k1_t230 = (bit<1>)((meta.k1_t229 != 8w0));
+                    meta.k1_t231 = (bit<32>)(meta.k1_t228);
+                    meta.k1_t232 = (meta.k1_t231 & 32w1);
+                    meta.k1_t233 = (bit<1>)((meta.k1_t232 != 32w0));
+                    meta.k1_t234 = (meta.k1_t231 >> 32w1);
+                    meta.k1_t235 = (meta.k1_t234 & 32w1);
+                    meta.k1_t236 = (bit<1>)((meta.k1_t235 != 32w0));
+                    meta.k1_t237 = (meta.k1_t231 >> 32w2);
+                    meta.k1_t238 = (meta.k1_t237 & 32w1);
+                    meta.k1_t239 = (bit<1>)((meta.k1_t238 != 32w0));
+                    meta.k1_t240 = (meta.k1_t231 >> 32w3);
+                    meta.k1_t241 = (meta.k1_t240 & 32w1);
+                    meta.k1_t242 = (bit<1>)((meta.k1_t241 != 32w0));
+                    meta.k1_t243 = (meta.k1_t231 >> 32w4);
+                    meta.k1_t244 = (meta.k1_t243 & 32w1);
+                    meta.k1_t245 = (bit<1>)((meta.k1_t244 != 32w0));
+                    meta.k1_t246 = (meta.k1_t231 >> 32w5);
+                    meta.k1_t247 = (meta.k1_t246 & 32w1);
+                    meta.k1_t248 = (bit<1>)((meta.k1_t247 != 32w0));
+                    meta.k1_t249 = (meta.k1_t231 >> 32w6);
+                    meta.k1_t250 = (meta.k1_t249 & 32w1);
+                    meta.k1_t251 = (bit<1>)((meta.k1_t250 != 32w0));
+                    meta.k1_t252 = (meta.k1_t231 >> 32w7);
+                    meta.k1_t253 = (meta.k1_t252 & 32w1);
+                    meta.k1_t254 = (bit<1>)((meta.k1_t253 != 32w0));
+                    if ((meta.k1_t209 == 1w1)) {
+                        if ((meta.k1_t230 == 1w1)) {
+                            meta.k1_t255 = ra_HitCount_2.execute((bit<32>)(meta.k1_t227));
+                            if ((meta.k1_t233 == 1w1)) {
+                                hdr.arr_c1_a4[0].value = ra_Val__0_3.execute((bit<32>)(meta.k1_t227));
+                            }
+                            if ((meta.k1_t236 == 1w1)) {
+                                hdr.arr_c1_a4[1].value = ra_Val__1_4.execute((bit<32>)(meta.k1_t227));
+                            }
+                            if ((meta.k1_t239 == 1w1)) {
+                                hdr.arr_c1_a4[2].value = ra_Val__2_5.execute((bit<32>)(meta.k1_t227));
+                            }
+                            if ((meta.k1_t242 == 1w1)) {
+                                hdr.arr_c1_a4[3].value = ra_Val__3_6.execute((bit<32>)(meta.k1_t227));
+                            }
+                            if ((meta.k1_t245 == 1w1)) {
+                                hdr.arr_c1_a4[4].value = ra_Val__4_7.execute((bit<32>)(meta.k1_t227));
+                            }
+                            if ((meta.k1_t248 == 1w1)) {
+                                hdr.arr_c1_a4[5].value = ra_Val__5_8.execute((bit<32>)(meta.k1_t227));
+                            }
+                            if ((meta.k1_t251 == 1w1)) {
+                                hdr.arr_c1_a4[6].value = ra_Val__6_9.execute((bit<32>)(meta.k1_t227));
+                            }
+                            if ((meta.k1_t254 == 1w1)) {
+                                hdr.arr_c1_a4[7].value = ra_Val__7_10.execute((bit<32>)(meta.k1_t227));
+                            }
+                            hdr.args_c1.a2_hit = 8w1;
+                            hdr.ncl.action = 8w5;
+                        } else {
+                            meta.k1_t264 = ra_cms__0_11.execute((bit<32>)(meta.k1_t215));
+                            meta.k1_t265 = ra_cms__1_12.execute((bit<32>)(meta.k1_t218));
+                            meta.k1_t266 = ra_cms__2_13.execute((bit<32>)(meta.k1_t221));
+                            hdr.k1_loc7[0].value = meta.k1_t264;
+                            hdr.k1_loc7[1].value = meta.k1_t265;
+                            hdr.k1_loc7[2].value = meta.k1_t266;
+                            meta.k1_t267 = hdr.k1_loc7[1].value;
+                            meta.k1_t268 = hdr.k1_loc7[0].value;
+                            meta.k1_t269 = (meta.k1_t268 |-| meta.k1_t267);
+                            meta.k1_t270 = (bit<1>)((meta.k1_t269 != 32w0));
+                            if ((meta.k1_t270 == 1w1)) {
+                                meta.k1_t286 = hdr.k1_loc7[1].value;
+                                hdr.k1_loc7[0].value = meta.k1_t286;
+                            }
+                            meta.k1_t271 = hdr.k1_loc7[2].value;
+                            meta.k1_t272 = hdr.k1_loc7[0].value;
+                            meta.k1_t273 = (meta.k1_t272 |-| meta.k1_t271);
+                            meta.k1_t274 = (bit<1>)((meta.k1_t273 != 32w0));
+                            if ((meta.k1_t274 == 1w1)) {
+                                meta.k1_t285 = hdr.k1_loc7[2].value;
+                                hdr.k1_loc7[0].value = meta.k1_t285;
+                            }
+                            meta.k1_t275 = hdr.k1_loc7[0].value;
+                            meta.k1_t276 = (bit<1>)((meta.k1_t275 > 32w64));
+                            if ((meta.k1_t276 == 1w1)) {
+                                meta.k1_t277 = ra_Bloom__0_14.execute((bit<32>)(meta.k1_t223));
+                                meta.k1_t278 = ra_Bloom__1_15.execute((bit<32>)(meta.k1_t225));
+                                meta.k1_t279 = (bit<32>)(meta.k1_t277);
+                                meta.k1_t280 = (bit<1>)((meta.k1_t279 == 32w0));
+                                meta.k1_t281 = (bit<32>)(meta.k1_t278);
+                                meta.k1_t282 = (bit<1>)((meta.k1_t281 == 32w0));
+                                meta.k1_t283 = (meta.k1_t280 | meta.k1_t282);
+                                if ((meta.k1_t283 == 1w1)) {
+                                    meta.k1_t284 = hdr.k1_loc7[0].value;
+                                    hdr.args_c1.a3_hot = meta.k1_t284;
+                                }
+                            }
+                            hdr.ncl.action = 8w0;
+                        }
+                    } else {
+                        meta.k1_t287 = ra_cms__0_16.execute((bit<32>)(meta.k1_t215));
+                        meta.k1_t288 = ra_cms__1_17.execute((bit<32>)(meta.k1_t218));
+                        meta.k1_t289 = ra_cms__2_18.execute((bit<32>)(meta.k1_t221));
+                        hdr.k1_loc7[0].value = meta.k1_t287;
+                        hdr.k1_loc7[1].value = meta.k1_t288;
+                        hdr.k1_loc7[2].value = meta.k1_t289;
+                        meta.k1_t290 = hdr.k1_loc7[1].value;
+                        meta.k1_t291 = hdr.k1_loc7[0].value;
+                        meta.k1_t292 = (meta.k1_t291 |-| meta.k1_t290);
+                        meta.k1_t293 = (bit<1>)((meta.k1_t292 != 32w0));
+                        if ((meta.k1_t293 == 1w1)) {
+                            meta.k1_t309 = hdr.k1_loc7[1].value;
+                            hdr.k1_loc7[0].value = meta.k1_t309;
+                        }
+                        meta.k1_t294 = hdr.k1_loc7[2].value;
+                        meta.k1_t295 = hdr.k1_loc7[0].value;
+                        meta.k1_t296 = (meta.k1_t295 |-| meta.k1_t294);
+                        meta.k1_t297 = (bit<1>)((meta.k1_t296 != 32w0));
+                        if ((meta.k1_t297 == 1w1)) {
+                            meta.k1_t308 = hdr.k1_loc7[2].value;
+                            hdr.k1_loc7[0].value = meta.k1_t308;
+                        }
+                        meta.k1_t298 = hdr.k1_loc7[0].value;
+                        meta.k1_t299 = (bit<1>)((meta.k1_t298 > 32w64));
+                        if ((meta.k1_t299 == 1w1)) {
+                            meta.k1_t300 = ra_Bloom__0_19.execute((bit<32>)(meta.k1_t223));
+                            meta.k1_t301 = ra_Bloom__1_20.execute((bit<32>)(meta.k1_t225));
+                            meta.k1_t302 = (bit<32>)(meta.k1_t300);
+                            meta.k1_t303 = (bit<1>)((meta.k1_t302 == 32w0));
+                            meta.k1_t304 = (bit<32>)(meta.k1_t301);
+                            meta.k1_t305 = (bit<1>)((meta.k1_t304 == 32w0));
+                            meta.k1_t306 = (meta.k1_t303 | meta.k1_t305);
+                            if ((meta.k1_t306 == 1w1)) {
+                                meta.k1_t307 = hdr.k1_loc7[0].value;
+                                hdr.args_c1.a3_hot = meta.k1_t307;
+                            }
+                        }
+                        hdr.ncl.action = 8w0;
+                    }
+                } else {
+                    if ((meta.k1_t210 == 1w1)) {
+                        if ((meta.k1_t209 == 1w1)) {
+                            meta.k1_t310 = ra_Share_21.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t311 = ra_Valid_22.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t313 = ra_Val__0_23.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t315 = ra_Val__1_24.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t317 = ra_Val__2_25.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t319 = ra_Val__3_26.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t321 = ra_Val__4_27.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t323 = ra_Val__5_28.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t325 = ra_Val__6_29.execute((bit<32>)(meta.k1_t227));
+                            meta.k1_t327 = ra_Val__7_30.execute((bit<32>)(meta.k1_t227));
+                        }
+                    } else {
+                        if ((meta.k1_t211 == 1w1)) {
+                            if ((meta.k1_t209 == 1w1)) {
+                                meta.k1_t328 = ra_Valid_31.execute((bit<32>)(meta.k1_t227));
+                            }
+                        }
+                    }
+                    hdr.ncl.action = 8w0;
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

@@ -1,0 +1,531 @@
+// CACHE_dev1 — generated for v1model
+#include <core.p4>
+#include <v1model.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a4_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_op;
+    bit<64> a1_k;
+    bit<8> a2_hit;
+    bit<32> a3_hot;
+}
+
+header k1_loc7_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a4);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<8> k1_t200;
+    bit<64> k1_t201;
+    bit<1> k1_t202;
+    bit<16> k1_t203;
+    bit<16> k1_t204;
+    bit<8> k1_t205;
+    bit<32> k1_t206;
+    bit<1> k1_t207;
+    bit<32> k1_t208;
+    bit<16> k1_t209;
+    bit<32> k1_t210;
+    bit<8> k1_t211;
+    bit<1> k1_t212;
+    bit<1> k1_t213;
+    bit<32> k1_t214;
+    bit<32> k1_t215;
+    bit<32> k1_t216;
+    bit<32> k1_t217;
+    bit<1> k1_t218;
+    bit<32> k1_t219;
+    bit<32> k1_t220;
+    bit<32> k1_t221;
+    bit<1> k1_t222;
+    bit<32> k1_t223;
+    bit<32> k1_t224;
+    bit<32> k1_t225;
+    bit<1> k1_t226;
+    bit<32> k1_t227;
+    bit<32> k1_t228;
+    bit<32> k1_t229;
+    bit<1> k1_t230;
+    bit<32> k1_t231;
+    bit<32> k1_t232;
+    bit<32> k1_t233;
+    bit<1> k1_t234;
+    bit<32> k1_t235;
+    bit<32> k1_t236;
+    bit<32> k1_t237;
+    bit<1> k1_t238;
+    bit<32> k1_t239;
+    bit<32> k1_t240;
+    bit<32> k1_t241;
+    bit<1> k1_t242;
+    bit<32> k1_t243;
+    bit<32> k1_t244;
+    bit<32> k1_t245;
+    bit<1> k1_t246;
+    bit<32> k1_t247;
+    bit<32> k1_t249;
+    bit<32> k1_t251;
+    bit<32> k1_t253;
+    bit<32> k1_t255;
+    bit<32> k1_t257;
+    bit<32> k1_t259;
+    bit<32> k1_t261;
+    bit<32> k1_t263;
+    bit<16> k1_t264;
+    bit<32> k1_t265;
+    bit<32> k1_t266;
+    bit<32> k1_t267;
+    bit<16> k1_t268;
+    bit<32> k1_t269;
+    bit<32> k1_t270;
+    bit<32> k1_t271;
+    bit<16> k1_t272;
+    bit<32> k1_t273;
+    bit<32> k1_t274;
+    bit<32> k1_t275;
+    bit<32> k1_t276;
+    bit<32> k1_t277;
+    bit<1> k1_t278;
+    bit<32> k1_t279;
+    bit<32> k1_t280;
+    bit<1> k1_t281;
+    bit<32> k1_t282;
+    bit<1> k1_t283;
+    bit<16> k1_t284;
+    bit<32> k1_t285;
+    bit<32> k1_t286;
+    bit<8> k1_t287;
+    bit<16> k1_t288;
+    bit<32> k1_t289;
+    bit<32> k1_t290;
+    bit<8> k1_t291;
+    bit<32> k1_t292;
+    bit<1> k1_t293;
+    bit<32> k1_t294;
+    bit<1> k1_t295;
+    bit<1> k1_t296;
+    bit<32> k1_t297;
+    bit<32> k1_t298;
+    bit<32> k1_t299;
+    bit<32> k1_t300;
+    bit<16> k1_t301;
+    bit<32> k1_t302;
+    bit<32> k1_t303;
+    bit<32> k1_t304;
+    bit<16> k1_t305;
+    bit<32> k1_t306;
+    bit<32> k1_t307;
+    bit<32> k1_t308;
+    bit<16> k1_t309;
+    bit<32> k1_t310;
+    bit<32> k1_t311;
+    bit<32> k1_t312;
+    bit<32> k1_t313;
+    bit<32> k1_t314;
+    bit<1> k1_t315;
+    bit<32> k1_t316;
+    bit<32> k1_t317;
+    bit<1> k1_t318;
+    bit<32> k1_t319;
+    bit<1> k1_t320;
+    bit<16> k1_t321;
+    bit<32> k1_t322;
+    bit<32> k1_t323;
+    bit<8> k1_t324;
+    bit<16> k1_t325;
+    bit<32> k1_t326;
+    bit<32> k1_t327;
+    bit<8> k1_t328;
+    bit<32> k1_t329;
+    bit<1> k1_t330;
+    bit<32> k1_t331;
+    bit<1> k1_t332;
+    bit<1> k1_t333;
+    bit<32> k1_t334;
+    bit<32> k1_t335;
+    bit<32> k1_t336;
+    bit<32> k1_t337;
+    bit<1> k1_t338;
+    bit<1> k1_t339;
+    bit<32> k1_t340;
+    bit<16> k1_t341;
+    bit<32> k1_t342;
+    bit<8> k1_t343;
+    bit<32> k1_t344;
+    bit<32> k1_t346;
+    bit<32> k1_t347;
+    bit<32> k1_t349;
+    bit<32> k1_t350;
+    bit<32> k1_t352;
+    bit<32> k1_t353;
+    bit<32> k1_t355;
+    bit<32> k1_t356;
+    bit<32> k1_t358;
+    bit<32> k1_t359;
+    bit<32> k1_t361;
+    bit<32> k1_t362;
+    bit<32> k1_t364;
+    bit<32> k1_t365;
+    bit<32> k1_t367;
+    bit<32> k1_t368;
+    bit<1> k1_t369;
+    bit<1> k1_t370;
+    bit<32> k1_t371;
+    bit<8> k1_t372;
+    bit<8> k1_l0_op;
+    bit<64> k1_l1_k;
+    bit<16> k1_l2_idx;
+    bit<8> k1_l3_cached;
+    bit<16> k1_l4_share;
+    bit<8> k1_l5_valid;
+    bit<32> k1_l6_kh;
+    bit<8> k1_l8_b0;
+    bit<8> k1_l9_b1;
+    bit<16> k1_l10_idx_ph;
+    bit<64> k1_lk0;
+    register<bit<16>>(64) Share;
+    register<bit<8>>(64) Valid;
+    register<bit<32>>(64) HitCount;
+    register<bit<32>>(512) Val;
+    register<bit<32>>(12288) cms;
+    register<bit<8>>(8192) Bloom;
+    /* RegisterAction ra_Share_0 on Share: atomic_read */
+    /* RegisterAction ra_Valid_1 on Valid: atomic_read */
+    /* RegisterAction ra_HitCount_2 on HitCount: atomic_inc */
+    /* RegisterAction ra_Val_3 on Val: atomic_read */
+    /* RegisterAction ra_Val_4 on Val: atomic_read */
+    /* RegisterAction ra_Val_5 on Val: atomic_read */
+    /* RegisterAction ra_Val_6 on Val: atomic_read */
+    /* RegisterAction ra_Val_7 on Val: atomic_read */
+    /* RegisterAction ra_Val_8 on Val: atomic_read */
+    /* RegisterAction ra_Val_9 on Val: atomic_read */
+    /* RegisterAction ra_Val_10 on Val: atomic_read */
+    /* RegisterAction ra_cms_11 on cms: atomic_sadd_new */
+    /* RegisterAction ra_cms_12 on cms: atomic_sadd_new */
+    /* RegisterAction ra_cms_13 on cms: atomic_sadd_new */
+    /* RegisterAction ra_Bloom_14 on Bloom: atomic_swap */
+    /* RegisterAction ra_Bloom_15 on Bloom: atomic_swap */
+    /* RegisterAction ra_cms_16 on cms: atomic_sadd_new */
+    /* RegisterAction ra_cms_17 on cms: atomic_sadd_new */
+    /* RegisterAction ra_cms_18 on cms: atomic_sadd_new */
+    /* RegisterAction ra_Bloom_19 on Bloom: atomic_swap */
+    /* RegisterAction ra_Bloom_20 on Bloom: atomic_swap */
+    /* RegisterAction ra_Share_21 on Share: atomic_swap */
+    /* RegisterAction ra_Valid_22 on Valid: atomic_swap */
+    /* RegisterAction ra_Val_23 on Val: atomic_swap */
+    /* RegisterAction ra_Val_24 on Val: atomic_swap */
+    /* RegisterAction ra_Val_25 on Val: atomic_swap */
+    /* RegisterAction ra_Val_26 on Val: atomic_swap */
+    /* RegisterAction ra_Val_27 on Val: atomic_swap */
+    /* RegisterAction ra_Val_28 on Val: atomic_swap */
+    /* RegisterAction ra_Val_29 on Val: atomic_swap */
+    /* RegisterAction ra_Val_30 on Val: atomic_swap */
+    /* RegisterAction ra_Valid_31 on Valid: atomic_swap */
+    Hash<bit<32>>(HashAlgorithm_t.CRC32) hash_0;
+    Hash<bit<16>>(HashAlgorithm_t.XOR16) hash_1;
+    Hash<bit<16>>(HashAlgorithm_t.CRC32) hash_2;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) hash_3;
+    Hash<bit<16>>(HashAlgorithm_t.XOR16) hash_4;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) hash_5;
+    Hash<bit<32>>(HashAlgorithm_t.CRC32) hash_6;
+    Hash<bit<16>>(HashAlgorithm_t.XOR16) hash_7;
+    Hash<bit<16>>(HashAlgorithm_t.CRC32) hash_8;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) hash_9;
+    Hash<bit<16>>(HashAlgorithm_t.XOR16) hash_10;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) hash_11;
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    action lu_hit_index_0(bit<16> v) {
+        meta.k1_t203 = v;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    table lu_index_0 {
+        key = { meta.k1_lk0 : exact }
+        actions = { lu_hit_index_0; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_t200 = hdr.args_c1.a0_op;
+                meta.k1_t201 = hdr.args_c1.a1_k;
+                meta.k1_lk0 = meta.k1_t201;
+                meta.k1_t202 = 1w0;
+                meta.k1_t203 = 16w0;
+                if (lu_index_0.apply().hit) {
+                    meta.k1_t202 = 1w1;
+                }
+                meta.k1_l10_idx_ph = 16w0;
+                if ((meta.k1_t202 == 1w1)) {
+                    meta.k1_l10_idx_ph = meta.k1_t203;
+                }
+                meta.k1_t204 = meta.k1_l10_idx_ph;
+                meta.k1_t205 = (bit<8>)(meta.k1_t202);
+                meta.k1_t206 = (bit<32>)(meta.k1_t200);
+                meta.k1_t207 = (bit<1>)((meta.k1_t206 == 32w1));
+                if ((meta.k1_t207 == 1w1)) {
+                    meta.k1_t208 = (bit<32>)(meta.k1_t204);
+                    meta.k1_t209 = ra_Share_0.execute((bit<32>)(meta.k1_t208));
+                    meta.k1_t210 = (bit<32>)(meta.k1_t204);
+                    meta.k1_t211 = ra_Valid_1.execute((bit<32>)(meta.k1_t210));
+                    meta.k1_t212 = (bit<1>)((meta.k1_t205 != 8w0));
+                    if ((meta.k1_t212 == 1w1)) {
+                        meta.k1_t213 = (bit<1>)((meta.k1_t211 != 8w0));
+                        if ((meta.k1_t213 == 1w1)) {
+                            meta.k1_t214 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t215 = ra_HitCount_2.execute((bit<32>)(meta.k1_t214));
+                            meta.k1_t216 = (bit<32>)(meta.k1_t209);
+                            meta.k1_t217 = (meta.k1_t216 & 32w1);
+                            meta.k1_t218 = (bit<1>)((meta.k1_t217 != 32w0));
+                            if ((meta.k1_t218 == 1w1)) {
+                                meta.k1_t261 = (bit<32>)(meta.k1_t204);
+                                hdr.arr_c1_a4[0].value = ra_Val_3.execute((((bit<32>)(32w0) * 32w64) + (bit<32>)(meta.k1_t261)));
+                            }
+                            meta.k1_t219 = (bit<32>)(meta.k1_t209);
+                            meta.k1_t220 = (meta.k1_t219 >> 32w1);
+                            meta.k1_t221 = (meta.k1_t220 & 32w1);
+                            meta.k1_t222 = (bit<1>)((meta.k1_t221 != 32w0));
+                            if ((meta.k1_t222 == 1w1)) {
+                                meta.k1_t259 = (bit<32>)(meta.k1_t204);
+                                hdr.arr_c1_a4[1].value = ra_Val_4.execute((((bit<32>)(32w1) * 32w64) + (bit<32>)(meta.k1_t259)));
+                            }
+                            meta.k1_t223 = (bit<32>)(meta.k1_t209);
+                            meta.k1_t224 = (meta.k1_t223 >> 32w2);
+                            meta.k1_t225 = (meta.k1_t224 & 32w1);
+                            meta.k1_t226 = (bit<1>)((meta.k1_t225 != 32w0));
+                            if ((meta.k1_t226 == 1w1)) {
+                                meta.k1_t257 = (bit<32>)(meta.k1_t204);
+                                hdr.arr_c1_a4[2].value = ra_Val_5.execute((((bit<32>)(32w2) * 32w64) + (bit<32>)(meta.k1_t257)));
+                            }
+                            meta.k1_t227 = (bit<32>)(meta.k1_t209);
+                            meta.k1_t228 = (meta.k1_t227 >> 32w3);
+                            meta.k1_t229 = (meta.k1_t228 & 32w1);
+                            meta.k1_t230 = (bit<1>)((meta.k1_t229 != 32w0));
+                            if ((meta.k1_t230 == 1w1)) {
+                                meta.k1_t255 = (bit<32>)(meta.k1_t204);
+                                hdr.arr_c1_a4[3].value = ra_Val_6.execute((((bit<32>)(32w3) * 32w64) + (bit<32>)(meta.k1_t255)));
+                            }
+                            meta.k1_t231 = (bit<32>)(meta.k1_t209);
+                            meta.k1_t232 = (meta.k1_t231 >> 32w4);
+                            meta.k1_t233 = (meta.k1_t232 & 32w1);
+                            meta.k1_t234 = (bit<1>)((meta.k1_t233 != 32w0));
+                            if ((meta.k1_t234 == 1w1)) {
+                                meta.k1_t253 = (bit<32>)(meta.k1_t204);
+                                hdr.arr_c1_a4[4].value = ra_Val_7.execute((((bit<32>)(32w4) * 32w64) + (bit<32>)(meta.k1_t253)));
+                            }
+                            meta.k1_t235 = (bit<32>)(meta.k1_t209);
+                            meta.k1_t236 = (meta.k1_t235 >> 32w5);
+                            meta.k1_t237 = (meta.k1_t236 & 32w1);
+                            meta.k1_t238 = (bit<1>)((meta.k1_t237 != 32w0));
+                            if ((meta.k1_t238 == 1w1)) {
+                                meta.k1_t251 = (bit<32>)(meta.k1_t204);
+                                hdr.arr_c1_a4[5].value = ra_Val_8.execute((((bit<32>)(32w5) * 32w64) + (bit<32>)(meta.k1_t251)));
+                            }
+                            meta.k1_t239 = (bit<32>)(meta.k1_t209);
+                            meta.k1_t240 = (meta.k1_t239 >> 32w6);
+                            meta.k1_t241 = (meta.k1_t240 & 32w1);
+                            meta.k1_t242 = (bit<1>)((meta.k1_t241 != 32w0));
+                            if ((meta.k1_t242 == 1w1)) {
+                                meta.k1_t249 = (bit<32>)(meta.k1_t204);
+                                hdr.arr_c1_a4[6].value = ra_Val_9.execute((((bit<32>)(32w6) * 32w64) + (bit<32>)(meta.k1_t249)));
+                            }
+                            meta.k1_t243 = (bit<32>)(meta.k1_t209);
+                            meta.k1_t244 = (meta.k1_t243 >> 32w7);
+                            meta.k1_t245 = (meta.k1_t244 & 32w1);
+                            meta.k1_t246 = (bit<1>)((meta.k1_t245 != 32w0));
+                            if ((meta.k1_t246 == 1w1)) {
+                                meta.k1_t247 = (bit<32>)(meta.k1_t204);
+                                hdr.arr_c1_a4[7].value = ra_Val_10.execute((((bit<32>)(32w7) * 32w64) + (bit<32>)(meta.k1_t247)));
+                            }
+                            hdr.args_c1.a2_hit = 8w1;
+                            hdr.ncl.action = 8w5;
+                        } else {
+                            meta.k1_t263 = hash_0.get({(bit<64>)(meta.k1_t201)});
+                            meta.k1_t264 = hash_1.get({(bit<32>)(meta.k1_t263)});
+                            meta.k1_t265 = (bit<32>)(meta.k1_t264);
+                            meta.k1_t266 = (meta.k1_t265 & 32w4095);
+                            meta.k1_t267 = ra_cms_11.execute((((bit<32>)(32w0) * 32w4096) + (bit<32>)(meta.k1_t266)));
+                            hdr.k1_loc7[0].value = meta.k1_t267;
+                            meta.k1_t268 = hash_2.get({(bit<32>)(meta.k1_t263)});
+                            meta.k1_t269 = (bit<32>)(meta.k1_t268);
+                            meta.k1_t270 = (meta.k1_t269 & 32w4095);
+                            meta.k1_t271 = ra_cms_12.execute((((bit<32>)(32w1) * 32w4096) + (bit<32>)(meta.k1_t270)));
+                            hdr.k1_loc7[1].value = meta.k1_t271;
+                            meta.k1_t272 = hash_3.get({(bit<32>)(meta.k1_t263)});
+                            meta.k1_t273 = (bit<32>)(meta.k1_t272);
+                            meta.k1_t274 = (meta.k1_t273 & 32w4095);
+                            meta.k1_t275 = ra_cms_13.execute((((bit<32>)(32w2) * 32w4096) + (bit<32>)(meta.k1_t274)));
+                            hdr.k1_loc7[2].value = meta.k1_t275;
+                            meta.k1_t276 = hdr.k1_loc7[1].value;
+                            meta.k1_t277 = hdr.k1_loc7[0].value;
+                            meta.k1_t278 = (bit<1>)((meta.k1_t276 < meta.k1_t277));
+                            if ((meta.k1_t278 == 1w1)) {
+                                meta.k1_t299 = hdr.k1_loc7[1].value;
+                                hdr.k1_loc7[0].value = meta.k1_t299;
+                            }
+                            meta.k1_t279 = hdr.k1_loc7[2].value;
+                            meta.k1_t280 = hdr.k1_loc7[0].value;
+                            meta.k1_t281 = (bit<1>)((meta.k1_t279 < meta.k1_t280));
+                            if ((meta.k1_t281 == 1w1)) {
+                                meta.k1_t298 = hdr.k1_loc7[2].value;
+                                hdr.k1_loc7[0].value = meta.k1_t298;
+                            }
+                            meta.k1_t282 = hdr.k1_loc7[0].value;
+                            meta.k1_t283 = (bit<1>)((meta.k1_t282 > 32w64));
+                            if ((meta.k1_t283 == 1w1)) {
+                                meta.k1_t284 = hash_4.get({(bit<32>)(meta.k1_t263)});
+                                meta.k1_t285 = (bit<32>)(meta.k1_t284);
+                                meta.k1_t286 = (meta.k1_t285 & 32w4095);
+                                meta.k1_t287 = ra_Bloom_14.execute((((bit<32>)(32w0) * 32w4096) + (bit<32>)(meta.k1_t286)));
+                                meta.k1_t288 = hash_5.get({(bit<32>)(meta.k1_t263)});
+                                meta.k1_t289 = (bit<32>)(meta.k1_t288);
+                                meta.k1_t290 = (meta.k1_t289 & 32w4095);
+                                meta.k1_t291 = ra_Bloom_15.execute((((bit<32>)(32w1) * 32w4096) + (bit<32>)(meta.k1_t290)));
+                                meta.k1_t292 = (bit<32>)(meta.k1_t287);
+                                meta.k1_t293 = (bit<1>)((meta.k1_t292 == 32w0));
+                                meta.k1_t294 = (bit<32>)(meta.k1_t291);
+                                meta.k1_t295 = (bit<1>)((meta.k1_t294 == 32w0));
+                                meta.k1_t296 = (meta.k1_t293 | meta.k1_t295);
+                                if ((meta.k1_t296 == 1w1)) {
+                                    meta.k1_t297 = hdr.k1_loc7[0].value;
+                                    hdr.args_c1.a3_hot = meta.k1_t297;
+                                }
+                            }
+                            hdr.ncl.action = 8w0;
+                        }
+                    } else {
+                        meta.k1_t300 = hash_6.get({(bit<64>)(meta.k1_t201)});
+                        meta.k1_t301 = hash_7.get({(bit<32>)(meta.k1_t300)});
+                        meta.k1_t302 = (bit<32>)(meta.k1_t301);
+                        meta.k1_t303 = (meta.k1_t302 & 32w4095);
+                        meta.k1_t304 = ra_cms_16.execute((((bit<32>)(32w0) * 32w4096) + (bit<32>)(meta.k1_t303)));
+                        hdr.k1_loc7[0].value = meta.k1_t304;
+                        meta.k1_t305 = hash_8.get({(bit<32>)(meta.k1_t300)});
+                        meta.k1_t306 = (bit<32>)(meta.k1_t305);
+                        meta.k1_t307 = (meta.k1_t306 & 32w4095);
+                        meta.k1_t308 = ra_cms_17.execute((((bit<32>)(32w1) * 32w4096) + (bit<32>)(meta.k1_t307)));
+                        hdr.k1_loc7[1].value = meta.k1_t308;
+                        meta.k1_t309 = hash_9.get({(bit<32>)(meta.k1_t300)});
+                        meta.k1_t310 = (bit<32>)(meta.k1_t309);
+                        meta.k1_t311 = (meta.k1_t310 & 32w4095);
+                        meta.k1_t312 = ra_cms_18.execute((((bit<32>)(32w2) * 32w4096) + (bit<32>)(meta.k1_t311)));
+                        hdr.k1_loc7[2].value = meta.k1_t312;
+                        meta.k1_t313 = hdr.k1_loc7[1].value;
+                        meta.k1_t314 = hdr.k1_loc7[0].value;
+                        meta.k1_t315 = (bit<1>)((meta.k1_t313 < meta.k1_t314));
+                        if ((meta.k1_t315 == 1w1)) {
+                            meta.k1_t336 = hdr.k1_loc7[1].value;
+                            hdr.k1_loc7[0].value = meta.k1_t336;
+                        }
+                        meta.k1_t316 = hdr.k1_loc7[2].value;
+                        meta.k1_t317 = hdr.k1_loc7[0].value;
+                        meta.k1_t318 = (bit<1>)((meta.k1_t316 < meta.k1_t317));
+                        if ((meta.k1_t318 == 1w1)) {
+                            meta.k1_t335 = hdr.k1_loc7[2].value;
+                            hdr.k1_loc7[0].value = meta.k1_t335;
+                        }
+                        meta.k1_t319 = hdr.k1_loc7[0].value;
+                        meta.k1_t320 = (bit<1>)((meta.k1_t319 > 32w64));
+                        if ((meta.k1_t320 == 1w1)) {
+                            meta.k1_t321 = hash_10.get({(bit<32>)(meta.k1_t300)});
+                            meta.k1_t322 = (bit<32>)(meta.k1_t321);
+                            meta.k1_t323 = (meta.k1_t322 & 32w4095);
+                            meta.k1_t324 = ra_Bloom_19.execute((((bit<32>)(32w0) * 32w4096) + (bit<32>)(meta.k1_t323)));
+                            meta.k1_t325 = hash_11.get({(bit<32>)(meta.k1_t300)});
+                            meta.k1_t326 = (bit<32>)(meta.k1_t325);
+                            meta.k1_t327 = (meta.k1_t326 & 32w4095);
+                            meta.k1_t328 = ra_Bloom_20.execute((((bit<32>)(32w1) * 32w4096) + (bit<32>)(meta.k1_t327)));
+                            meta.k1_t329 = (bit<32>)(meta.k1_t324);
+                            meta.k1_t330 = (bit<1>)((meta.k1_t329 == 32w0));
+                            meta.k1_t331 = (bit<32>)(meta.k1_t328);
+                            meta.k1_t332 = (bit<1>)((meta.k1_t331 == 32w0));
+                            meta.k1_t333 = (meta.k1_t330 | meta.k1_t332);
+                            if ((meta.k1_t333 == 1w1)) {
+                                meta.k1_t334 = hdr.k1_loc7[0].value;
+                                hdr.args_c1.a3_hot = meta.k1_t334;
+                            }
+                        }
+                        hdr.ncl.action = 8w0;
+                    }
+                } else {
+                    meta.k1_t337 = (bit<32>)(meta.k1_t200);
+                    meta.k1_t338 = (bit<1>)((meta.k1_t337 == 32w2));
+                    if ((meta.k1_t338 == 1w1)) {
+                        meta.k1_t339 = (bit<1>)((meta.k1_t205 != 8w0));
+                        if ((meta.k1_t339 == 1w1)) {
+                            meta.k1_t340 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t341 = ra_Share_21.execute((bit<32>)(meta.k1_t340));
+                            meta.k1_t342 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t343 = ra_Valid_22.execute((bit<32>)(meta.k1_t342));
+                            meta.k1_t344 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t346 = ra_Val_23.execute((((bit<32>)(32w0) * 32w64) + (bit<32>)(meta.k1_t344)));
+                            meta.k1_t347 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t349 = ra_Val_24.execute((((bit<32>)(32w1) * 32w64) + (bit<32>)(meta.k1_t347)));
+                            meta.k1_t350 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t352 = ra_Val_25.execute((((bit<32>)(32w2) * 32w64) + (bit<32>)(meta.k1_t350)));
+                            meta.k1_t353 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t355 = ra_Val_26.execute((((bit<32>)(32w3) * 32w64) + (bit<32>)(meta.k1_t353)));
+                            meta.k1_t356 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t358 = ra_Val_27.execute((((bit<32>)(32w4) * 32w64) + (bit<32>)(meta.k1_t356)));
+                            meta.k1_t359 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t361 = ra_Val_28.execute((((bit<32>)(32w5) * 32w64) + (bit<32>)(meta.k1_t359)));
+                            meta.k1_t362 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t364 = ra_Val_29.execute((((bit<32>)(32w6) * 32w64) + (bit<32>)(meta.k1_t362)));
+                            meta.k1_t365 = (bit<32>)(meta.k1_t204);
+                            meta.k1_t367 = ra_Val_30.execute((((bit<32>)(32w7) * 32w64) + (bit<32>)(meta.k1_t365)));
+                        }
+                    } else {
+                        meta.k1_t368 = (bit<32>)(meta.k1_t200);
+                        meta.k1_t369 = (bit<1>)((meta.k1_t368 == 32w3));
+                        if ((meta.k1_t369 == 1w1)) {
+                            meta.k1_t370 = (bit<1>)((meta.k1_t205 != 8w0));
+                            if ((meta.k1_t370 == 1w1)) {
+                                meta.k1_t371 = (bit<32>)(meta.k1_t204);
+                                meta.k1_t372 = ra_Valid_31.execute((bit<32>)(meta.k1_t371));
+                            }
+                        }
+                    }
+                    hdr.ncl.action = 8w0;
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

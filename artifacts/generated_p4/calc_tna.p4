@@ -1,0 +1,96 @@
+// CALC_dev1 — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header args_c1_t {
+    bit<8> a0_op;
+    bit<32> a1_a;
+    bit<32> a2_b;
+    bit<32> a3_result;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<32> k1_t41;
+    bit<1> k1_t42;
+    bit<32> k1_t43;
+    bit<1> k1_t44;
+    bit<32> k1_t45;
+    bit<1> k1_t46;
+    bit<32> k1_t47;
+    bit<1> k1_t48;
+    bit<32> k1_t49;
+    bit<1> k1_t50;
+    bit<32> k1_t51;
+    bit<8> k1_l0_op;
+    bit<32> k1_l1_a;
+    bit<32> k1_l2_b;
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_t41 = (bit<32>)(hdr.args_c1.a0_op);
+                meta.k1_t42 = (bit<1>)((meta.k1_t41 == 32w43));
+                meta.k1_t43 = (hdr.args_c1.a1_a + hdr.args_c1.a2_b);
+                meta.k1_t44 = (bit<1>)((meta.k1_t41 == 32w45));
+                meta.k1_t45 = (hdr.args_c1.a1_a - hdr.args_c1.a2_b);
+                meta.k1_t46 = (bit<1>)((meta.k1_t41 == 32w38));
+                meta.k1_t47 = (hdr.args_c1.a1_a & hdr.args_c1.a2_b);
+                meta.k1_t48 = (bit<1>)((meta.k1_t41 == 32w124));
+                meta.k1_t49 = (hdr.args_c1.a1_a | hdr.args_c1.a2_b);
+                meta.k1_t50 = (bit<1>)((meta.k1_t41 == 32w94));
+                meta.k1_t51 = (hdr.args_c1.a1_a ^ hdr.args_c1.a2_b);
+                if ((meta.k1_t42 == 1w1)) {
+                    hdr.args_c1.a3_result = meta.k1_t43;
+                }
+                if ((meta.k1_t44 == 1w1)) {
+                    hdr.args_c1.a3_result = meta.k1_t45;
+                }
+                if ((meta.k1_t46 == 1w1)) {
+                    hdr.args_c1.a3_result = meta.k1_t47;
+                }
+                if ((meta.k1_t48 == 1w1)) {
+                    hdr.args_c1.a3_result = meta.k1_t49;
+                }
+                if ((meta.k1_t50 == 1w1)) {
+                    hdr.args_c1.a3_result = meta.k1_t51;
+                }
+                hdr.ncl.action = 8w5;
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

@@ -1,0 +1,232 @@
+// PACC_dev2 — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_type;
+    bit<32> a1_instance;
+    bit<16> a2_round;
+    bit<16> a3_vround;
+    bit<8> a4_vote;
+}
+
+header k1_loc1_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<16> k1_t77;
+    bit<32> k1_t87;
+    bit<1> k1_t88;
+    bit<32> k1_t89;
+    bit<32> k1_t91;
+    bit<16> k1_t92;
+    bit<32> k1_t93;
+    bit<32> k1_t94;
+    bit<32> k1_t95;
+    bit<32> k1_t96;
+    bit<1> k1_t97;
+    bit<32> k1_t99;
+    bit<16> k1_t100;
+    bit<32> k1_t102;
+    bit<32> k1_t103;
+    bit<32> k1_t104;
+    bit<32> k1_t106;
+    bit<32> k1_t107;
+    bit<32> k1_t108;
+    bit<32> k1_t110;
+    bit<32> k1_t111;
+    bit<32> k1_t112;
+    bit<32> k1_t114;
+    bit<32> k1_t115;
+    bit<32> k1_t116;
+    bit<32> k1_t118;
+    bit<32> k1_t119;
+    bit<32> k1_t120;
+    bit<32> k1_t122;
+    bit<32> k1_t123;
+    bit<32> k1_t124;
+    bit<32> k1_t126;
+    bit<32> k1_t127;
+    bit<32> k1_t128;
+    bit<32> k1_t130;
+    bit<32> k1_t131;
+    bit<32> k1_t132;
+    bit<16> k1_l0_round;
+    bit<16> k1_l2_r;
+    Register<bit<16>, bit<32>>(1024) VRound;
+    Register<bit<16>, bit<32>>(1024) Round;
+    Register<bit<32>, bit<32>>(1024) Value__0;
+    Register<bit<32>, bit<32>>(1024) Value__1;
+    Register<bit<32>, bit<32>>(1024) Value__2;
+    Register<bit<32>, bit<32>>(1024) Value__3;
+    Register<bit<32>, bit<32>>(1024) Value__4;
+    Register<bit<32>, bit<32>>(1024) Value__5;
+    Register<bit<32>, bit<32>>(1024) Value__6;
+    Register<bit<32>, bit<32>>(1024) Value__7;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Round) ra_Round_0 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            m = max(m, meta.k1_t77);
+            o = m;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(VRound) ra_VRound_1 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = meta.k1_t77;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__0) ra_Value__0_2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t103;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__1) ra_Value__1_3 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t107;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__2) ra_Value__2_4 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t111;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__3) ra_Value__3_5 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t115;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__4) ra_Value__4_6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t119;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__5) ra_Value__5_7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t123;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__6) ra_Value__6_8 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t127;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__7) ra_Value__7_9 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t131;
+        }
+    };
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w2))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_t77 = hdr.args_c1.a2_round;
+                hdr.k1_loc1[0].value = hdr.arr_c1_a5[0].value;
+                hdr.k1_loc1[1].value = hdr.arr_c1_a5[1].value;
+                hdr.k1_loc1[2].value = hdr.arr_c1_a5[2].value;
+                hdr.k1_loc1[3].value = hdr.arr_c1_a5[3].value;
+                hdr.k1_loc1[4].value = hdr.arr_c1_a5[4].value;
+                hdr.k1_loc1[5].value = hdr.arr_c1_a5[5].value;
+                hdr.k1_loc1[6].value = hdr.arr_c1_a5[6].value;
+                hdr.k1_loc1[7].value = hdr.arr_c1_a5[7].value;
+                meta.k1_t87 = (bit<32>)(hdr.args_c1.a0_type);
+                meta.k1_t88 = (bit<1>)((meta.k1_t87 == 32w2));
+                meta.k1_t89 = (bit<32>)(meta.k1_t77);
+                if ((meta.k1_t88 == 1w1)) {
+                    meta.k1_t91 = (hdr.args_c1.a1_instance & 32w1023);
+                    meta.k1_t92 = ra_Round_0.execute((bit<32>)(meta.k1_t91));
+                    meta.k1_t93 = (bit<32>)(meta.k1_t92);
+                    meta.k1_t94 = (meta.k1_t89 ^ 32w2147483648);
+                    meta.k1_t95 = (meta.k1_t93 ^ 32w2147483648);
+                    meta.k1_t96 = (meta.k1_t95 |-| meta.k1_t94);
+                    meta.k1_t97 = (bit<1>)((meta.k1_t96 == 32w0));
+                    if ((meta.k1_t97 == 1w1)) {
+                        meta.k1_t99 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t100 = ra_VRound_1.execute((bit<32>)(meta.k1_t99));
+                        meta.k1_t102 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t103 = hdr.k1_loc1[0].value;
+                        meta.k1_t104 = ra_Value__0_2.execute((bit<32>)(meta.k1_t102));
+                        meta.k1_t106 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t107 = hdr.k1_loc1[1].value;
+                        meta.k1_t108 = ra_Value__1_3.execute((bit<32>)(meta.k1_t106));
+                        meta.k1_t110 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t111 = hdr.k1_loc1[2].value;
+                        meta.k1_t112 = ra_Value__2_4.execute((bit<32>)(meta.k1_t110));
+                        meta.k1_t114 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t115 = hdr.k1_loc1[3].value;
+                        meta.k1_t116 = ra_Value__3_5.execute((bit<32>)(meta.k1_t114));
+                        meta.k1_t118 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t119 = hdr.k1_loc1[4].value;
+                        meta.k1_t120 = ra_Value__4_6.execute((bit<32>)(meta.k1_t118));
+                        meta.k1_t122 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t123 = hdr.k1_loc1[5].value;
+                        meta.k1_t124 = ra_Value__5_7.execute((bit<32>)(meta.k1_t122));
+                        meta.k1_t126 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t127 = hdr.k1_loc1[6].value;
+                        meta.k1_t128 = ra_Value__6_8.execute((bit<32>)(meta.k1_t126));
+                        meta.k1_t130 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t131 = hdr.k1_loc1[7].value;
+                        meta.k1_t132 = ra_Value__7_9.execute((bit<32>)(meta.k1_t130));
+                        hdr.args_c1.a0_type = 8w3;
+                        hdr.args_c1.a3_vround = meta.k1_t77;
+                        hdr.args_c1.a4_vote = 8w1;
+                        hdr.ncl.action = 8w3;
+                        hdr.ncl.target = (bit<16>)(16w5);
+                    } else {
+                        hdr.ncl.action = 8w1;
+                    }
+                } else {
+                    hdr.ncl.action = 8w0;
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

@@ -1,0 +1,169 @@
+// PACC_dev2 — generated for v1model
+#include <core.p4>
+#include <v1model.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_type;
+    bit<32> a1_instance;
+    bit<16> a2_round;
+    bit<16> a3_vround;
+    bit<8> a4_vote;
+}
+
+header k1_loc1_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<16> k1_t74;
+    bit<32> k1_t84;
+    bit<1> k1_t85;
+    bit<32> k1_t87;
+    bit<16> k1_t88;
+    bit<32> k1_t89;
+    bit<32> k1_t90;
+    bit<1> k1_t91;
+    bit<32> k1_t93;
+    bit<16> k1_t94;
+    bit<32> k1_t96;
+    bit<32> k1_t97;
+    bit<32> k1_t98;
+    bit<32> k1_t100;
+    bit<32> k1_t101;
+    bit<32> k1_t102;
+    bit<32> k1_t104;
+    bit<32> k1_t105;
+    bit<32> k1_t106;
+    bit<32> k1_t108;
+    bit<32> k1_t109;
+    bit<32> k1_t110;
+    bit<32> k1_t112;
+    bit<32> k1_t113;
+    bit<32> k1_t114;
+    bit<32> k1_t116;
+    bit<32> k1_t117;
+    bit<32> k1_t118;
+    bit<32> k1_t120;
+    bit<32> k1_t121;
+    bit<32> k1_t122;
+    bit<32> k1_t124;
+    bit<32> k1_t125;
+    bit<32> k1_t126;
+    bit<16> k1_l0_round;
+    bit<16> k1_l2_r;
+    register<bit<16>>(1024) VRound;
+    register<bit<16>>(1024) Round;
+    register<bit<32>>(8192) Value;
+    /* RegisterAction ra_Round_0 on Round: atomic_max_new */
+    /* RegisterAction ra_VRound_1 on VRound: atomic_swap */
+    /* RegisterAction ra_Value_2 on Value: atomic_swap */
+    /* RegisterAction ra_Value_3 on Value: atomic_swap */
+    /* RegisterAction ra_Value_4 on Value: atomic_swap */
+    /* RegisterAction ra_Value_5 on Value: atomic_swap */
+    /* RegisterAction ra_Value_6 on Value: atomic_swap */
+    /* RegisterAction ra_Value_7 on Value: atomic_swap */
+    /* RegisterAction ra_Value_8 on Value: atomic_swap */
+    /* RegisterAction ra_Value_9 on Value: atomic_swap */
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w2))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_t74 = hdr.args_c1.a2_round;
+                hdr.k1_loc1[0].value = hdr.arr_c1_a5[0].value;
+                hdr.k1_loc1[1].value = hdr.arr_c1_a5[1].value;
+                hdr.k1_loc1[2].value = hdr.arr_c1_a5[2].value;
+                hdr.k1_loc1[3].value = hdr.arr_c1_a5[3].value;
+                hdr.k1_loc1[4].value = hdr.arr_c1_a5[4].value;
+                hdr.k1_loc1[5].value = hdr.arr_c1_a5[5].value;
+                hdr.k1_loc1[6].value = hdr.arr_c1_a5[6].value;
+                hdr.k1_loc1[7].value = hdr.arr_c1_a5[7].value;
+                meta.k1_t84 = (bit<32>)(hdr.args_c1.a0_type);
+                meta.k1_t85 = (bit<1>)((meta.k1_t84 == 32w2));
+                if ((meta.k1_t85 == 1w1)) {
+                    meta.k1_t87 = (hdr.args_c1.a1_instance & 32w1023);
+                    meta.k1_t88 = ra_Round_0.execute((bit<32>)(meta.k1_t87));
+                    meta.k1_t89 = (bit<32>)(meta.k1_t74);
+                    meta.k1_t90 = (bit<32>)(meta.k1_t88);
+                    meta.k1_t91 = (bit<1>)(((meta.k1_t89 ^ 32w2147483648) >= (meta.k1_t90 ^ 32w2147483648)));
+                    if ((meta.k1_t91 == 1w1)) {
+                        meta.k1_t93 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t94 = ra_VRound_1.execute((bit<32>)(meta.k1_t93));
+                        meta.k1_t96 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t97 = hdr.k1_loc1[0].value;
+                        meta.k1_t98 = ra_Value_2.execute((((bit<32>)(32w0) * 32w1024) + (bit<32>)(meta.k1_t96)));
+                        meta.k1_t100 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t101 = hdr.k1_loc1[1].value;
+                        meta.k1_t102 = ra_Value_3.execute((((bit<32>)(32w1) * 32w1024) + (bit<32>)(meta.k1_t100)));
+                        meta.k1_t104 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t105 = hdr.k1_loc1[2].value;
+                        meta.k1_t106 = ra_Value_4.execute((((bit<32>)(32w2) * 32w1024) + (bit<32>)(meta.k1_t104)));
+                        meta.k1_t108 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t109 = hdr.k1_loc1[3].value;
+                        meta.k1_t110 = ra_Value_5.execute((((bit<32>)(32w3) * 32w1024) + (bit<32>)(meta.k1_t108)));
+                        meta.k1_t112 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t113 = hdr.k1_loc1[4].value;
+                        meta.k1_t114 = ra_Value_6.execute((((bit<32>)(32w4) * 32w1024) + (bit<32>)(meta.k1_t112)));
+                        meta.k1_t116 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t117 = hdr.k1_loc1[5].value;
+                        meta.k1_t118 = ra_Value_7.execute((((bit<32>)(32w5) * 32w1024) + (bit<32>)(meta.k1_t116)));
+                        meta.k1_t120 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t121 = hdr.k1_loc1[6].value;
+                        meta.k1_t122 = ra_Value_8.execute((((bit<32>)(32w6) * 32w1024) + (bit<32>)(meta.k1_t120)));
+                        meta.k1_t124 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t125 = hdr.k1_loc1[7].value;
+                        meta.k1_t126 = ra_Value_9.execute((((bit<32>)(32w7) * 32w1024) + (bit<32>)(meta.k1_t124)));
+                        hdr.args_c1.a0_type = 8w3;
+                        hdr.args_c1.a3_vround = meta.k1_t74;
+                        hdr.args_c1.a4_vote = 8w1;
+                        hdr.ncl.action = 8w3;
+                        hdr.ncl.target = (bit<16>)(16w5);
+                    } else {
+                        hdr.ncl.action = 8w1;
+                    }
+                } else {
+                    hdr.ncl.action = 8w0;
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

@@ -1,0 +1,93 @@
+// PLDR_dev1 — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_type;
+    bit<32> a1_instance;
+    bit<16> a2_round;
+    bit<16> a3_vround;
+    bit<8> a4_vote;
+}
+
+header k1_loc1_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<32> k1_t24;
+    bit<1> k1_t25;
+    bit<16> k1_l0_round;
+    Register<bit<32>, bit<32>>(1) Instance;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Instance) ra_Instance_0 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m + 1;
+            o = m;
+        }
+    };
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                hdr.k1_loc1[0].value = hdr.arr_c1_a5[0].value;
+                hdr.k1_loc1[1].value = hdr.arr_c1_a5[1].value;
+                hdr.k1_loc1[2].value = hdr.arr_c1_a5[2].value;
+                hdr.k1_loc1[3].value = hdr.arr_c1_a5[3].value;
+                hdr.k1_loc1[4].value = hdr.arr_c1_a5[4].value;
+                hdr.k1_loc1[5].value = hdr.arr_c1_a5[5].value;
+                hdr.k1_loc1[6].value = hdr.arr_c1_a5[6].value;
+                hdr.k1_loc1[7].value = hdr.arr_c1_a5[7].value;
+                meta.k1_t24 = (bit<32>)(hdr.args_c1.a0_type);
+                meta.k1_t25 = (bit<1>)((meta.k1_t24 == 32w1));
+                if ((meta.k1_t25 == 1w1)) {
+                    hdr.args_c1.a1_instance = ra_Instance_0.execute(32w0);
+                    hdr.args_c1.a0_type = 8w2;
+                    hdr.ncl.action = 8w4;
+                    hdr.ncl.target = (bit<16>)(16w43);
+                } else {
+                    hdr.ncl.action = 8w0;
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

@@ -1,0 +1,277 @@
+// PLRN_dev5 — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_type;
+    bit<32> a1_instance;
+    bit<16> a2_round;
+    bit<16> a3_vround;
+    bit<8> a4_vote;
+}
+
+header k1_loc1_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<16> k1_t107;
+    bit<32> k1_t117;
+    bit<1> k1_t118;
+    bit<32> k1_t119;
+    bit<32> k1_t121;
+    bit<16> k1_t122;
+    bit<32> k1_t123;
+    bit<32> k1_t124;
+    bit<32> k1_t125;
+    bit<32> k1_t126;
+    bit<1> k1_t127;
+    bit<32> k1_t129;
+    bit<8> k1_t131;
+    bit<32> k1_t133;
+    bit<32> k1_t134;
+    bit<32> k1_t135;
+    bit<8> k1_t136;
+    bit<32> k1_t137;
+    bit<1> k1_t138;
+    bit<1> k1_t139;
+    bit<1> k1_t140;
+    bit<1> k1_t141;
+    bit<1> k1_t142;
+    bit<1> k1_t143;
+    bit<1> k1_t144;
+    bit<1> k1_t145;
+    bit<1> k1_t146;
+    bit<1> k1_t147;
+    bit<1> k1_t148;
+    bit<1> k1_t149;
+    bit<1> k1_t150;
+    bit<1> k1_t151;
+    bit<32> k1_t153;
+    bit<32> k1_t154;
+    bit<32> k1_t155;
+    bit<32> k1_t157;
+    bit<32> k1_t158;
+    bit<32> k1_t159;
+    bit<32> k1_t161;
+    bit<32> k1_t162;
+    bit<32> k1_t163;
+    bit<32> k1_t165;
+    bit<32> k1_t166;
+    bit<32> k1_t167;
+    bit<32> k1_t169;
+    bit<32> k1_t170;
+    bit<32> k1_t171;
+    bit<32> k1_t173;
+    bit<32> k1_t174;
+    bit<32> k1_t175;
+    bit<32> k1_t177;
+    bit<32> k1_t178;
+    bit<32> k1_t179;
+    bit<32> k1_t181;
+    bit<32> k1_t182;
+    bit<32> k1_t183;
+    bit<16> k1_l0_round;
+    bit<16> k1_l2_r;
+    bit<8> k1_l3_count;
+    bit<8> k1_l4_hist;
+    Register<bit<8>, bit<32>>(1024) VoteHistory;
+    Register<bit<16>, bit<32>>(1024) Round;
+    Register<bit<32>, bit<32>>(1024) Value__0;
+    Register<bit<32>, bit<32>>(1024) Value__1;
+    Register<bit<32>, bit<32>>(1024) Value__2;
+    Register<bit<32>, bit<32>>(1024) Value__3;
+    Register<bit<32>, bit<32>>(1024) Value__4;
+    Register<bit<32>, bit<32>>(1024) Value__5;
+    Register<bit<32>, bit<32>>(1024) Value__6;
+    Register<bit<32>, bit<32>>(1024) Value__7;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Round) ra_Round_0 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            m = max(m, meta.k1_t107);
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(VoteHistory) ra_VoteHistory_1 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = m | hdr.args_c1.a4_vote;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__0) ra_Value__0_2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t154;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__1) ra_Value__1_3 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t158;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__2) ra_Value__2_4 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t162;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__3) ra_Value__3_5 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t166;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__4) ra_Value__4_6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t170;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__5) ra_Value__5_7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t174;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__6) ra_Value__6_8 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t178;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Value__7) ra_Value__7_9 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = meta.k1_t182;
+        }
+    };
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w5))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_t107 = hdr.args_c1.a2_round;
+                hdr.k1_loc1[0].value = hdr.arr_c1_a5[0].value;
+                hdr.k1_loc1[1].value = hdr.arr_c1_a5[1].value;
+                hdr.k1_loc1[2].value = hdr.arr_c1_a5[2].value;
+                hdr.k1_loc1[3].value = hdr.arr_c1_a5[3].value;
+                hdr.k1_loc1[4].value = hdr.arr_c1_a5[4].value;
+                hdr.k1_loc1[5].value = hdr.arr_c1_a5[5].value;
+                hdr.k1_loc1[6].value = hdr.arr_c1_a5[6].value;
+                hdr.k1_loc1[7].value = hdr.arr_c1_a5[7].value;
+                meta.k1_t117 = (bit<32>)(hdr.args_c1.a0_type);
+                meta.k1_t118 = (bit<1>)((meta.k1_t117 == 32w3));
+                meta.k1_t119 = (bit<32>)(meta.k1_t107);
+                if ((meta.k1_t118 == 1w1)) {
+                    meta.k1_t121 = (hdr.args_c1.a1_instance & 32w1023);
+                    meta.k1_t122 = ra_Round_0.execute((bit<32>)(meta.k1_t121));
+                    meta.k1_t123 = (bit<32>)(meta.k1_t122);
+                    meta.k1_t124 = (meta.k1_t119 ^ 32w2147483648);
+                    meta.k1_t125 = (meta.k1_t123 ^ 32w2147483648);
+                    meta.k1_t126 = (meta.k1_t125 |-| meta.k1_t124);
+                    meta.k1_t127 = (bit<1>)((meta.k1_t126 == 32w0));
+                    if ((meta.k1_t127 == 1w1)) {
+                        meta.k1_t129 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t131 = ra_VoteHistory_1.execute((bit<32>)(meta.k1_t129));
+                        meta.k1_t133 = (bit<32>)(meta.k1_t131);
+                        meta.k1_t134 = (bit<32>)(hdr.args_c1.a4_vote);
+                        meta.k1_t135 = (meta.k1_t133 | meta.k1_t134);
+                        meta.k1_t136 = (bit<8>)(meta.k1_t135);
+                        meta.k1_t137 = (bit<32>)(meta.k1_t136);
+                        meta.k1_t138 = (bit<1>)((meta.k1_t137 == 32w3));
+                        meta.k1_t139 = (bit<1>)((meta.k1_t137 == 32w5));
+                        meta.k1_t140 = (meta.k1_t138 | meta.k1_t139);
+                        meta.k1_t141 = (bit<1>)((meta.k1_t137 == 32w6));
+                        meta.k1_t142 = (meta.k1_t140 | meta.k1_t141);
+                        meta.k1_t143 = (bit<1>)((meta.k1_t137 == 32w7));
+                        meta.k1_t144 = (meta.k1_t142 | meta.k1_t143);
+                        meta.k1_t145 = (bit<1>)((meta.k1_t133 == 32w3));
+                        meta.k1_t146 = (bit<1>)((meta.k1_t133 == 32w5));
+                        meta.k1_t147 = (meta.k1_t145 | meta.k1_t146);
+                        meta.k1_t148 = (bit<1>)((meta.k1_t133 == 32w6));
+                        meta.k1_t149 = (meta.k1_t147 | meta.k1_t148);
+                        meta.k1_t150 = (bit<1>)((meta.k1_t133 == 32w7));
+                        meta.k1_t151 = (meta.k1_t149 | meta.k1_t150);
+                        if ((meta.k1_t144 == 1w1)) {
+                            if ((meta.k1_t151 == 1w1)) {
+                                hdr.ncl.action = 8w1;
+                            } else {
+                                meta.k1_t153 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t154 = hdr.k1_loc1[0].value;
+                                meta.k1_t155 = ra_Value__0_2.execute((bit<32>)(meta.k1_t153));
+                                meta.k1_t157 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t158 = hdr.k1_loc1[1].value;
+                                meta.k1_t159 = ra_Value__1_3.execute((bit<32>)(meta.k1_t157));
+                                meta.k1_t161 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t162 = hdr.k1_loc1[2].value;
+                                meta.k1_t163 = ra_Value__2_4.execute((bit<32>)(meta.k1_t161));
+                                meta.k1_t165 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t166 = hdr.k1_loc1[3].value;
+                                meta.k1_t167 = ra_Value__3_5.execute((bit<32>)(meta.k1_t165));
+                                meta.k1_t169 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t170 = hdr.k1_loc1[4].value;
+                                meta.k1_t171 = ra_Value__4_6.execute((bit<32>)(meta.k1_t169));
+                                meta.k1_t173 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t174 = hdr.k1_loc1[5].value;
+                                meta.k1_t175 = ra_Value__5_7.execute((bit<32>)(meta.k1_t173));
+                                meta.k1_t177 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t178 = hdr.k1_loc1[6].value;
+                                meta.k1_t179 = ra_Value__6_8.execute((bit<32>)(meta.k1_t177));
+                                meta.k1_t181 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t182 = hdr.k1_loc1[7].value;
+                                meta.k1_t183 = ra_Value__7_9.execute((bit<32>)(meta.k1_t181));
+                                hdr.args_c1.a0_type = 8w4;
+                                hdr.ncl.action = 8w0;
+                            }
+                        } else {
+                            hdr.ncl.action = 8w1;
+                        }
+                    } else {
+                        hdr.ncl.action = 8w1;
+                    }
+                } else {
+                    hdr.ncl.action = 8w0;
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

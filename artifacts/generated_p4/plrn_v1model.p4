@@ -1,0 +1,228 @@
+// PLRN_dev5 — generated for v1model
+#include <core.p4>
+#include <v1model.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+header args_c1_t {
+    bit<8> a0_type;
+    bit<32> a1_instance;
+    bit<16> a2_round;
+    bit<16> a3_vround;
+    bit<8> a4_vote;
+}
+
+header k1_loc1_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_c1;
+            default: accept;
+        }
+    }
+    state parse_c1 {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> egress_port;
+    bit<16> k1_t104;
+    bit<32> k1_t114;
+    bit<1> k1_t115;
+    bit<32> k1_t117;
+    bit<16> k1_t118;
+    bit<32> k1_t119;
+    bit<32> k1_t120;
+    bit<1> k1_t121;
+    bit<32> k1_t123;
+    bit<8> k1_t125;
+    bit<32> k1_t127;
+    bit<32> k1_t128;
+    bit<32> k1_t129;
+    bit<8> k1_t130;
+    bit<32> k1_t131;
+    bit<1> k1_t132;
+    bit<32> k1_t133;
+    bit<1> k1_t134;
+    bit<1> k1_t135;
+    bit<32> k1_t136;
+    bit<1> k1_t137;
+    bit<1> k1_t138;
+    bit<32> k1_t139;
+    bit<1> k1_t140;
+    bit<1> k1_t141;
+    bit<32> k1_t142;
+    bit<1> k1_t143;
+    bit<32> k1_t144;
+    bit<1> k1_t145;
+    bit<1> k1_t146;
+    bit<32> k1_t147;
+    bit<1> k1_t148;
+    bit<1> k1_t149;
+    bit<32> k1_t150;
+    bit<1> k1_t151;
+    bit<1> k1_t152;
+    bit<32> k1_t154;
+    bit<32> k1_t155;
+    bit<32> k1_t156;
+    bit<32> k1_t158;
+    bit<32> k1_t159;
+    bit<32> k1_t160;
+    bit<32> k1_t162;
+    bit<32> k1_t163;
+    bit<32> k1_t164;
+    bit<32> k1_t166;
+    bit<32> k1_t167;
+    bit<32> k1_t168;
+    bit<32> k1_t170;
+    bit<32> k1_t171;
+    bit<32> k1_t172;
+    bit<32> k1_t174;
+    bit<32> k1_t175;
+    bit<32> k1_t176;
+    bit<32> k1_t178;
+    bit<32> k1_t179;
+    bit<32> k1_t180;
+    bit<32> k1_t182;
+    bit<32> k1_t183;
+    bit<32> k1_t184;
+    bit<16> k1_l0_round;
+    bit<16> k1_l2_r;
+    bit<8> k1_l3_count;
+    bit<8> k1_l4_hist;
+    register<bit<8>>(1024) VoteHistory;
+    register<bit<16>>(1024) Round;
+    register<bit<32>>(8192) Value;
+    /* RegisterAction ra_Round_0 on Round: atomic_max_new */
+    /* RegisterAction ra_VoteHistory_1 on VoteHistory: atomic_or */
+    /* RegisterAction ra_Value_2 on Value: atomic_swap */
+    /* RegisterAction ra_Value_3 on Value: atomic_swap */
+    /* RegisterAction ra_Value_4 on Value: atomic_swap */
+    /* RegisterAction ra_Value_5 on Value: atomic_swap */
+    /* RegisterAction ra_Value_6 on Value: atomic_swap */
+    /* RegisterAction ra_Value_7 on Value: atomic_swap */
+    /* RegisterAction ra_Value_8 on Value: atomic_swap */
+    /* RegisterAction ra_Value_9 on Value: atomic_swap */
+    action set_egress(bit<16> port) {
+        meta.egress_port = port;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { set_egress; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w5))) {
+            if ((hdr.ncl.comp == 8w1)) {
+                meta.k1_t104 = hdr.args_c1.a2_round;
+                hdr.k1_loc1[0].value = hdr.arr_c1_a5[0].value;
+                hdr.k1_loc1[1].value = hdr.arr_c1_a5[1].value;
+                hdr.k1_loc1[2].value = hdr.arr_c1_a5[2].value;
+                hdr.k1_loc1[3].value = hdr.arr_c1_a5[3].value;
+                hdr.k1_loc1[4].value = hdr.arr_c1_a5[4].value;
+                hdr.k1_loc1[5].value = hdr.arr_c1_a5[5].value;
+                hdr.k1_loc1[6].value = hdr.arr_c1_a5[6].value;
+                hdr.k1_loc1[7].value = hdr.arr_c1_a5[7].value;
+                meta.k1_t114 = (bit<32>)(hdr.args_c1.a0_type);
+                meta.k1_t115 = (bit<1>)((meta.k1_t114 == 32w3));
+                if ((meta.k1_t115 == 1w1)) {
+                    meta.k1_t117 = (hdr.args_c1.a1_instance & 32w1023);
+                    meta.k1_t118 = ra_Round_0.execute((bit<32>)(meta.k1_t117));
+                    meta.k1_t119 = (bit<32>)(meta.k1_t104);
+                    meta.k1_t120 = (bit<32>)(meta.k1_t118);
+                    meta.k1_t121 = (bit<1>)(((meta.k1_t119 ^ 32w2147483648) >= (meta.k1_t120 ^ 32w2147483648)));
+                    if ((meta.k1_t121 == 1w1)) {
+                        meta.k1_t123 = (hdr.args_c1.a1_instance & 32w1023);
+                        meta.k1_t125 = ra_VoteHistory_1.execute((bit<32>)(meta.k1_t123));
+                        meta.k1_t127 = (bit<32>)(meta.k1_t125);
+                        meta.k1_t128 = (bit<32>)(hdr.args_c1.a4_vote);
+                        meta.k1_t129 = (meta.k1_t127 | meta.k1_t128);
+                        meta.k1_t130 = (bit<8>)(meta.k1_t129);
+                        meta.k1_t131 = (bit<32>)(meta.k1_t130);
+                        meta.k1_t132 = (bit<1>)((meta.k1_t131 == 32w3));
+                        meta.k1_t133 = (bit<32>)(meta.k1_t130);
+                        meta.k1_t134 = (bit<1>)((meta.k1_t133 == 32w5));
+                        meta.k1_t135 = (meta.k1_t132 | meta.k1_t134);
+                        meta.k1_t136 = (bit<32>)(meta.k1_t130);
+                        meta.k1_t137 = (bit<1>)((meta.k1_t136 == 32w6));
+                        meta.k1_t138 = (meta.k1_t135 | meta.k1_t137);
+                        meta.k1_t139 = (bit<32>)(meta.k1_t130);
+                        meta.k1_t140 = (bit<1>)((meta.k1_t139 == 32w7));
+                        meta.k1_t141 = (meta.k1_t138 | meta.k1_t140);
+                        if ((meta.k1_t141 == 1w1)) {
+                            meta.k1_t142 = (bit<32>)(meta.k1_t125);
+                            meta.k1_t143 = (bit<1>)((meta.k1_t142 == 32w3));
+                            meta.k1_t144 = (bit<32>)(meta.k1_t125);
+                            meta.k1_t145 = (bit<1>)((meta.k1_t144 == 32w5));
+                            meta.k1_t146 = (meta.k1_t143 | meta.k1_t145);
+                            meta.k1_t147 = (bit<32>)(meta.k1_t125);
+                            meta.k1_t148 = (bit<1>)((meta.k1_t147 == 32w6));
+                            meta.k1_t149 = (meta.k1_t146 | meta.k1_t148);
+                            meta.k1_t150 = (bit<32>)(meta.k1_t125);
+                            meta.k1_t151 = (bit<1>)((meta.k1_t150 == 32w7));
+                            meta.k1_t152 = (meta.k1_t149 | meta.k1_t151);
+                            if ((meta.k1_t152 == 1w1)) {
+                                hdr.ncl.action = 8w1;
+                            } else {
+                                meta.k1_t154 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t155 = hdr.k1_loc1[0].value;
+                                meta.k1_t156 = ra_Value_2.execute((((bit<32>)(32w0) * 32w1024) + (bit<32>)(meta.k1_t154)));
+                                meta.k1_t158 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t159 = hdr.k1_loc1[1].value;
+                                meta.k1_t160 = ra_Value_3.execute((((bit<32>)(32w1) * 32w1024) + (bit<32>)(meta.k1_t158)));
+                                meta.k1_t162 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t163 = hdr.k1_loc1[2].value;
+                                meta.k1_t164 = ra_Value_4.execute((((bit<32>)(32w2) * 32w1024) + (bit<32>)(meta.k1_t162)));
+                                meta.k1_t166 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t167 = hdr.k1_loc1[3].value;
+                                meta.k1_t168 = ra_Value_5.execute((((bit<32>)(32w3) * 32w1024) + (bit<32>)(meta.k1_t166)));
+                                meta.k1_t170 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t171 = hdr.k1_loc1[4].value;
+                                meta.k1_t172 = ra_Value_6.execute((((bit<32>)(32w4) * 32w1024) + (bit<32>)(meta.k1_t170)));
+                                meta.k1_t174 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t175 = hdr.k1_loc1[5].value;
+                                meta.k1_t176 = ra_Value_7.execute((((bit<32>)(32w5) * 32w1024) + (bit<32>)(meta.k1_t174)));
+                                meta.k1_t178 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t179 = hdr.k1_loc1[6].value;
+                                meta.k1_t180 = ra_Value_8.execute((((bit<32>)(32w6) * 32w1024) + (bit<32>)(meta.k1_t178)));
+                                meta.k1_t182 = (hdr.args_c1.a1_instance & 32w1023);
+                                meta.k1_t183 = hdr.k1_loc1[7].value;
+                                meta.k1_t184 = ra_Value_9.execute((((bit<32>)(32w7) * 32w1024) + (bit<32>)(meta.k1_t182)));
+                                hdr.args_c1.a0_type = 8w4;
+                                hdr.ncl.action = 8w0;
+                            }
+                        } else {
+                            hdr.ncl.action = 8w1;
+                        }
+                    } else {
+                        hdr.ncl.action = 8w1;
+                    }
+                } else {
+                    hdr.ncl.action = 8w0;
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

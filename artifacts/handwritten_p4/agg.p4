@@ -1,0 +1,701 @@
+// agg_handwritten — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header args_c1_t {
+    bit<8> a0_ver;
+    bit<16> a1_bmp_idx;
+    bit<16> a2_agg_idx;
+    bit<16> a3_mask;
+    bit<8> a4_exp;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_agg;
+            default: accept;
+        }
+    }
+    state parse_agg {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> bitmap;
+    bit<16> seen;
+    bit<8> cnt;
+    bit<8> decision;
+    Register<bit<16>, bit<32>>(16) Bitmap0;
+    Register<bit<16>, bit<32>>(16) Bitmap1;
+    Register<bit<32>, bit<32>>(32) Agg0;
+    Register<bit<32>, bit<32>>(32) Agg1;
+    Register<bit<32>, bit<32>>(32) Agg2;
+    Register<bit<32>, bit<32>>(32) Agg3;
+    Register<bit<32>, bit<32>>(32) Agg4;
+    Register<bit<32>, bit<32>>(32) Agg5;
+    Register<bit<32>, bit<32>>(32) Agg6;
+    Register<bit<32>, bit<32>>(32) Agg7;
+    Register<bit<32>, bit<32>>(32) Agg8;
+    Register<bit<32>, bit<32>>(32) Agg9;
+    Register<bit<32>, bit<32>>(32) Agg10;
+    Register<bit<32>, bit<32>>(32) Agg11;
+    Register<bit<32>, bit<32>>(32) Agg12;
+    Register<bit<32>, bit<32>>(32) Agg13;
+    Register<bit<32>, bit<32>>(32) Agg14;
+    Register<bit<32>, bit<32>>(32) Agg15;
+    Register<bit<32>, bit<32>>(32) Agg16;
+    Register<bit<32>, bit<32>>(32) Agg17;
+    Register<bit<32>, bit<32>>(32) Agg18;
+    Register<bit<32>, bit<32>>(32) Agg19;
+    Register<bit<32>, bit<32>>(32) Agg20;
+    Register<bit<32>, bit<32>>(32) Agg21;
+    Register<bit<32>, bit<32>>(32) Agg22;
+    Register<bit<32>, bit<32>>(32) Agg23;
+    Register<bit<32>, bit<32>>(32) Agg24;
+    Register<bit<32>, bit<32>>(32) Agg25;
+    Register<bit<32>, bit<32>>(32) Agg26;
+    Register<bit<32>, bit<32>>(32) Agg27;
+    Register<bit<32>, bit<32>>(32) Agg28;
+    Register<bit<32>, bit<32>>(32) Agg29;
+    Register<bit<32>, bit<32>>(32) Agg30;
+    Register<bit<32>, bit<32>>(32) Agg31;
+    Register<bit<8>, bit<32>>(32) Count;
+    Register<bit<8>, bit<32>>(32) ExpR;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Bitmap0) bmp_set0 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = m | hdr.args_c1.a3_mask;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Bitmap0) bmp_clr0 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = m & ~(hdr.args_c1.a3_mask);
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Bitmap1) bmp_set1 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = m | hdr.args_c1.a3_mask;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(Bitmap1) bmp_clr1 = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = m & ~(hdr.args_c1.a3_mask);
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg0) agg_write0 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[0].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg0) agg_add0 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[0].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg1) agg_write1 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[1].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg1) agg_add1 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[1].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg2) agg_write2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[2].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg2) agg_add2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[2].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg3) agg_write3 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[3].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg3) agg_add3 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[3].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg4) agg_write4 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[4].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg4) agg_add4 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[4].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg5) agg_write5 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[5].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg5) agg_add5 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[5].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg6) agg_write6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[6].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg6) agg_add6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[6].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg7) agg_write7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[7].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg7) agg_add7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[7].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg8) agg_write8 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[8].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg8) agg_add8 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[8].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg9) agg_write9 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[9].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg9) agg_add9 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[9].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg10) agg_write10 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[10].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg10) agg_add10 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[10].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg11) agg_write11 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[11].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg11) agg_add11 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[11].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg12) agg_write12 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[12].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg12) agg_add12 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[12].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg13) agg_write13 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[13].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg13) agg_add13 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[13].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg14) agg_write14 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[14].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg14) agg_add14 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[14].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg15) agg_write15 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[15].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg15) agg_add15 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[15].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg16) agg_write16 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[16].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg16) agg_add16 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[16].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg17) agg_write17 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[17].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg17) agg_add17 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[17].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg18) agg_write18 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[18].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg18) agg_add18 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[18].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg19) agg_write19 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[19].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg19) agg_add19 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[19].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg20) agg_write20 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[20].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg20) agg_add20 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[20].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg21) agg_write21 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[21].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg21) agg_add21 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[21].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg22) agg_write22 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[22].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg22) agg_add22 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[22].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg23) agg_write23 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[23].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg23) agg_add23 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[23].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg24) agg_write24 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[24].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg24) agg_add24 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[24].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg25) agg_write25 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[25].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg25) agg_add25 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[25].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg26) agg_write26 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[26].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg26) agg_add26 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[26].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg27) agg_write27 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[27].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg27) agg_add27 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[27].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg28) agg_write28 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[28].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg28) agg_add28 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[28].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg29) agg_write29 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[29].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg29) agg_add29 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[29].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg30) agg_write30 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[30].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg30) agg_add30 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[30].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg31) agg_write31 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[31].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Agg31) agg_add31 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.seen == 16w0)) {
+                m = m + hdr.arr_c1_a5[31].value;
+            }
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Count) count_reset = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w5;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Count) count_dec = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            if ((meta.seen == 16w0)) {
+                m = m |-| 1;
+            }
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(ExpR) exp_write = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = hdr.args_c1.a4_exp;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(ExpR) exp_max = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            if ((meta.seen == 16w0)) {
+                m = max(m, hdr.args_c1.a4_exp);
+            }
+            o = m;
+        }
+    };
+    action act_reflect() {
+        hdr.ncl.action = 8w5;
+    }
+    action act_mcast() {
+        hdr.ncl.action = 8w4;
+    }
+    action act_drop() {
+        hdr.ncl.action = 8w1;
+    }
+    action set_mcast_target() {
+        hdr.ncl.target = 16w42;
+    }
+    table slot_decision {
+        key = { meta.seen : ternary; meta.cnt : ternary }
+        actions = { act_reflect; act_mcast; act_drop; NoAction; }
+        default_action = act_drop();
+        const entries = {
+            (1 .. 65535, 0) : act_reflect();
+            (0, 1) : act_mcast();
+        }
+        size = 4;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            if ((hdr.args_c1.a0_ver == 8w0)) {
+                meta.bitmap = bmp_set0.execute(hdr.args_c1.a1_bmp_idx);
+                bmp_clr1.execute(hdr.args_c1.a1_bmp_idx);
+            } else {
+                bmp_clr0.execute(hdr.args_c1.a1_bmp_idx);
+                meta.bitmap = bmp_set1.execute(hdr.args_c1.a1_bmp_idx);
+            }
+            meta.seen = (meta.bitmap & hdr.args_c1.a3_mask);
+            if ((meta.bitmap == 16w0)) {
+                exp_write.execute(hdr.args_c1.a2_agg_idx);
+                count_reset.execute(hdr.args_c1.a2_agg_idx);
+                hdr.ncl.action = 8w1;
+                agg_write0.execute(hdr.args_c1.a2_agg_idx);
+                agg_write1.execute(hdr.args_c1.a2_agg_idx);
+                agg_write2.execute(hdr.args_c1.a2_agg_idx);
+                agg_write3.execute(hdr.args_c1.a2_agg_idx);
+                agg_write4.execute(hdr.args_c1.a2_agg_idx);
+                agg_write5.execute(hdr.args_c1.a2_agg_idx);
+                agg_write6.execute(hdr.args_c1.a2_agg_idx);
+                agg_write7.execute(hdr.args_c1.a2_agg_idx);
+                agg_write8.execute(hdr.args_c1.a2_agg_idx);
+                agg_write9.execute(hdr.args_c1.a2_agg_idx);
+                agg_write10.execute(hdr.args_c1.a2_agg_idx);
+                agg_write11.execute(hdr.args_c1.a2_agg_idx);
+                agg_write12.execute(hdr.args_c1.a2_agg_idx);
+                agg_write13.execute(hdr.args_c1.a2_agg_idx);
+                agg_write14.execute(hdr.args_c1.a2_agg_idx);
+                agg_write15.execute(hdr.args_c1.a2_agg_idx);
+                agg_write16.execute(hdr.args_c1.a2_agg_idx);
+                agg_write17.execute(hdr.args_c1.a2_agg_idx);
+                agg_write18.execute(hdr.args_c1.a2_agg_idx);
+                agg_write19.execute(hdr.args_c1.a2_agg_idx);
+                agg_write20.execute(hdr.args_c1.a2_agg_idx);
+                agg_write21.execute(hdr.args_c1.a2_agg_idx);
+                agg_write22.execute(hdr.args_c1.a2_agg_idx);
+                agg_write23.execute(hdr.args_c1.a2_agg_idx);
+                agg_write24.execute(hdr.args_c1.a2_agg_idx);
+                agg_write25.execute(hdr.args_c1.a2_agg_idx);
+                agg_write26.execute(hdr.args_c1.a2_agg_idx);
+                agg_write27.execute(hdr.args_c1.a2_agg_idx);
+                agg_write28.execute(hdr.args_c1.a2_agg_idx);
+                agg_write29.execute(hdr.args_c1.a2_agg_idx);
+                agg_write30.execute(hdr.args_c1.a2_agg_idx);
+                agg_write31.execute(hdr.args_c1.a2_agg_idx);
+            } else {
+                hdr.args_c1.a4_exp = exp_max.execute(hdr.args_c1.a2_agg_idx);
+                meta.cnt = count_dec.execute(hdr.args_c1.a2_agg_idx);
+                slot_decision.apply();
+                if ((hdr.ncl.action == 8w4)) {
+                    set_mcast_target();
+                }
+                hdr.arr_c1_a5[0].value = agg_add0.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[1].value = agg_add1.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[2].value = agg_add2.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[3].value = agg_add3.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[4].value = agg_add4.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[5].value = agg_add5.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[6].value = agg_add6.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[7].value = agg_add7.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[8].value = agg_add8.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[9].value = agg_add9.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[10].value = agg_add10.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[11].value = agg_add11.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[12].value = agg_add12.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[13].value = agg_add13.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[14].value = agg_add14.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[15].value = agg_add15.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[16].value = agg_add16.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[17].value = agg_add17.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[18].value = agg_add18.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[19].value = agg_add19.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[20].value = agg_add20.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[21].value = agg_add21.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[22].value = agg_add22.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[23].value = agg_add23.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[24].value = agg_add24.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[25].value = agg_add25.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[26].value = agg_add26.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[27].value = agg_add27.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[28].value = agg_add28.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[29].value = agg_add29.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[30].value = agg_add30.execute(hdr.args_c1.a2_agg_idx);
+                hdr.arr_c1_a5[31].value = agg_add31.execute(hdr.args_c1.a2_agg_idx);
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

@@ -1,0 +1,323 @@
+// cache_handwritten — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header args_c1_t {
+    bit<8> a0_op;
+    bit<64> a1_k;
+    bit<8> a2_hit;
+    bit<32> a3_hot;
+}
+
+header arr_c1_a4_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_kv;
+            default: accept;
+        }
+    }
+    state parse_kv {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a4);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> idx;
+    bit<1> cached;
+    bit<16> share;
+    bit<8> valid;
+    bit<32> kh;
+    bit<16> h0;
+    bit<16> h1;
+    bit<16> h2;
+    bit<32> c0;
+    bit<32> c1;
+    bit<32> c2;
+    bit<8> b0;
+    bit<8> b1;
+    Register<bit<16>, bit<32>>(64) ShareR;
+    Register<bit<8>, bit<32>>(64) ValidR;
+    Register<bit<32>, bit<32>>(64) HitCountR;
+    Register<bit<32>, bit<32>>(64) Val0;
+    Register<bit<32>, bit<32>>(64) Val1;
+    Register<bit<32>, bit<32>>(64) Val2;
+    Register<bit<32>, bit<32>>(64) Val3;
+    Register<bit<32>, bit<32>>(64) Val4;
+    Register<bit<32>, bit<32>>(64) Val5;
+    Register<bit<32>, bit<32>>(64) Val6;
+    Register<bit<32>, bit<32>>(64) Val7;
+    Register<bit<32>, bit<32>>(4096) Cms0;
+    Register<bit<32>, bit<32>>(4096) Cms1;
+    Register<bit<32>, bit<32>>(4096) Cms2;
+    Register<bit<8>, bit<32>>(4096) Bloom0;
+    Register<bit<8>, bit<32>>(4096) Bloom1;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(ShareR) share_read = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(ShareR) share_fill = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = 16w255;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(ValidR) valid_read = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(ValidR) valid_set = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(ValidR) valid_clr = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w0;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(HitCountR) hit_inc = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = m + 1;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val0) val_read0 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val0) val_write0 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[0].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val1) val_read1 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val1) val_write1 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[1].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val2) val_read2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val2) val_write2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[2].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val3) val_read3 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val3) val_write3 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[3].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val4) val_read4 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val4) val_write4 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[4].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val5) val_read5 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val5) val_write5 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[5].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val6) val_read6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val6) val_write6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[6].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val7) val_read7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Val7) val_write7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a4[7].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Cms0) cms_count0 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Cms1) cms_count1 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Cms2) cms_count2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Bloom0) bloom_set0 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(Bloom1) bloom_set1 = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    Hash<bit<16>>(HashAlgorithm_t.XOR16) HashA;
+    Hash<bit<16>>(HashAlgorithm_t.CRC32) HashB;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) HashC;
+    Hash<bit<32>>(HashAlgorithm_t.CRC32) HashK;
+    action set_idx(bit<16> i) {
+        meta.idx = i;
+    }
+    table cache_index {
+        key = { hdr.args_c1.a1_k : exact }
+        actions = { set_idx; NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            meta.cached = 1w0;
+            if (cache_index.apply().hit) {
+                meta.cached = 1w1;
+            }
+            if ((hdr.args_c1.a0_op == 8w1)) {
+                meta.share = share_read.execute(meta.idx);
+                meta.valid = valid_read.execute(meta.idx);
+                if (((meta.cached == 1w1) && (meta.valid == 8w1))) {
+                    hit_inc.execute(meta.idx);
+                    if (((meta.share)[0:0] == 1w1)) {
+                        hdr.arr_c1_a4[0].value = val_read0.execute(meta.idx);
+                    }
+                    if (((meta.share)[1:1] == 1w1)) {
+                        hdr.arr_c1_a4[1].value = val_read1.execute(meta.idx);
+                    }
+                    if (((meta.share)[2:2] == 1w1)) {
+                        hdr.arr_c1_a4[2].value = val_read2.execute(meta.idx);
+                    }
+                    if (((meta.share)[3:3] == 1w1)) {
+                        hdr.arr_c1_a4[3].value = val_read3.execute(meta.idx);
+                    }
+                    if (((meta.share)[4:4] == 1w1)) {
+                        hdr.arr_c1_a4[4].value = val_read4.execute(meta.idx);
+                    }
+                    if (((meta.share)[5:5] == 1w1)) {
+                        hdr.arr_c1_a4[5].value = val_read5.execute(meta.idx);
+                    }
+                    if (((meta.share)[6:6] == 1w1)) {
+                        hdr.arr_c1_a4[6].value = val_read6.execute(meta.idx);
+                    }
+                    if (((meta.share)[7:7] == 1w1)) {
+                        hdr.arr_c1_a4[7].value = val_read7.execute(meta.idx);
+                    }
+                    hdr.args_c1.a2_hit = 8w1;
+                    hdr.ncl.action = 8w5;
+                } else {
+                    meta.kh = HashK.get({hdr.args_c1.a1_k});
+                    meta.h0 = HashA.get({meta.kh});
+                    meta.h1 = HashB.get({meta.kh});
+                    meta.h2 = HashC.get({meta.kh});
+                    meta.c0 = cms_count0.execute((meta.h0 & 16w4095));
+                    meta.c1 = cms_count1.execute((meta.h1 & 16w4095));
+                    meta.c2 = cms_count2.execute((meta.h2 & 16w4095));
+                    if ((meta.c1 < meta.c0)) {
+                        meta.c0 = meta.c1;
+                    }
+                    if ((meta.c2 < meta.c0)) {
+                        meta.c0 = meta.c2;
+                    }
+                    if ((meta.c0 > 32w64)) {
+                        meta.b0 = bloom_set0.execute((meta.h0 & 16w4095));
+                        meta.b1 = bloom_set1.execute((meta.h2 & 16w4095));
+                        if (((meta.b0 == 8w0) || (meta.b1 == 8w0))) {
+                            hdr.args_c1.a3_hot = meta.c0;
+                        }
+                    }
+                }
+            } else {
+                if (((hdr.args_c1.a0_op == 8w2) && (meta.cached == 1w1))) {
+                    share_fill.execute(meta.idx);
+                    valid_set.execute(meta.idx);
+                    val_write0.execute(meta.idx);
+                    val_write1.execute(meta.idx);
+                    val_write2.execute(meta.idx);
+                    val_write3.execute(meta.idx);
+                    val_write4.execute(meta.idx);
+                    val_write5.execute(meta.idx);
+                    val_write6.execute(meta.idx);
+                    val_write7.execute(meta.idx);
+                } else {
+                    if (((hdr.args_c1.a0_op == 8w3) && (meta.cached == 1w1))) {
+                        valid_clr.execute(meta.idx);
+                    }
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

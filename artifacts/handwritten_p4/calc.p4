@@ -1,0 +1,79 @@
+// calc_handwritten — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header args_c1_t {
+    bit<8> a0_op;
+    bit<32> a1_a;
+    bit<32> a2_b;
+    bit<32> a3_result;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_calc;
+            default: accept;
+        }
+    }
+    state parse_calc {
+        pkt.extract(hdr.args_c1);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    action op_add() {
+        hdr.args_c1.a3_result = (hdr.args_c1.a1_a + hdr.args_c1.a2_b);
+    }
+    action op_sub() {
+        hdr.args_c1.a3_result = (hdr.args_c1.a1_a - hdr.args_c1.a2_b);
+    }
+    action op_and() {
+        hdr.args_c1.a3_result = (hdr.args_c1.a1_a & hdr.args_c1.a2_b);
+    }
+    action op_or() {
+        hdr.args_c1.a3_result = (hdr.args_c1.a1_a | hdr.args_c1.a2_b);
+    }
+    action op_xor() {
+        hdr.args_c1.a3_result = (hdr.args_c1.a1_a ^ hdr.args_c1.a2_b);
+    }
+    table calculate {
+        key = { hdr.args_c1.a0_op : exact }
+        actions = { op_add; op_sub; op_and; op_or; op_xor; NoAction; }
+        default_action = NoAction();
+        const entries = {
+            43 : op_add();
+            45 : op_sub();
+            38 : op_and();
+            124 : op_or();
+            94 : op_xor();
+        }
+        size = 8;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            calculate.apply();
+            hdr.ncl.action = 8w5;
+        }
+        l2_fwd.apply();
+    }
+}
+

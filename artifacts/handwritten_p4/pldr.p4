@@ -1,0 +1,68 @@
+// pldr_handwritten — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header args_c1_t {
+    bit<8> a0_type;
+    bit<32> a1_instance;
+    bit<16> a2_round;
+    bit<16> a3_vround;
+    bit<8> a4_vote;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_paxos;
+            default: accept;
+        }
+    }
+    state parse_paxos {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    Register<bit<32>, bit<32>>(1) InstanceR;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(InstanceR) next_instance = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m + 1;
+            o = m;
+        }
+    };
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w1))) {
+            if ((hdr.args_c1.a0_type == 8w1)) {
+                hdr.args_c1.a1_instance = next_instance.execute(32w0);
+                hdr.args_c1.a0_type = 8w2;
+                hdr.ncl.action = 8w4;
+                hdr.ncl.target = 16w43;
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

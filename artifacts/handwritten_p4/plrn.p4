@@ -1,0 +1,167 @@
+// plrn_handwritten — generated for Intel Tofino (TNA)
+#include <core.p4>
+#include <tna.p4>
+
+header ncl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> action;
+    bit<16> target;
+}
+
+header args_c1_t {
+    bit<8> a0_type;
+    bit<32> a1_instance;
+    bit<16> a2_round;
+    bit<16> a3_vround;
+    bit<8> a4_vote;
+}
+
+header arr_c1_a5_t {
+    bit<32> value;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.ncl);
+        transition select(hdr.ncl.comp) {
+            1: parse_paxos;
+            default: accept;
+        }
+    }
+    state parse_paxos {
+        pkt.extract(hdr.args_c1);
+        pkt.extract(hdr.arr_c1_a5);
+        transition accept;
+    }
+}
+
+control Ig(inout headers_t hdr, inout metadata_t meta) {
+    bit<16> rmax;
+    bit<8> count;
+    bit<8> hist;
+    Register<bit<16>, bit<32>>(1024) RoundR;
+    Register<bit<8>, bit<32>>(1024) HistoryR;
+    Register<bit<32>, bit<32>>(1024) ValueR0;
+    Register<bit<32>, bit<32>>(1024) ValueR1;
+    Register<bit<32>, bit<32>>(1024) ValueR2;
+    Register<bit<32>, bit<32>>(1024) ValueR3;
+    Register<bit<32>, bit<32>>(1024) ValueR4;
+    Register<bit<32>, bit<32>>(1024) ValueR5;
+    Register<bit<32>, bit<32>>(1024) ValueR6;
+    Register<bit<32>, bit<32>>(1024) ValueR7;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(RoundR) round_max = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            m = max(m, hdr.args_c1.a2_round);
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(HistoryR) vote_or = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = m | hdr.args_c1.a4_vote;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(ValueR0) value_store0 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[0].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(ValueR1) value_store1 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[1].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(ValueR2) value_store2 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[2].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(ValueR3) value_store3 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[3].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(ValueR4) value_store4 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[4].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(ValueR5) value_store5 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[5].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(ValueR6) value_store6 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[6].value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(ValueR7) value_store7 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+            m = hdr.arr_c1_a5[7].value;
+        }
+    };
+    action mark_majority() {
+        meta.hist = 8w255;
+    }
+    table majority {
+        key = { meta.count : exact }
+        actions = { mark_majority; NoAction; }
+        default_action = NoAction();
+        const entries = {
+            3 : mark_majority();
+            5 : mark_majority();
+            6 : mark_majority();
+            7 : mark_majority();
+        }
+        size = 8;
+    }
+    table l2_fwd {
+        key = { hdr.ncl.dst : exact }
+        actions = { NoAction; }
+        default_action = NoAction();
+        size = 64;
+    }
+    apply {
+        if ((hdr.ncl.isValid() && (hdr.ncl.to == 16w5))) {
+            if ((hdr.args_c1.a0_type == 8w3)) {
+                hdr.ncl.action = 8w1;
+                meta.rmax = round_max.execute((hdr.args_c1.a1_instance & 32w1023));
+                if ((hdr.args_c1.a2_round >= meta.rmax)) {
+                    meta.count = vote_or.execute((hdr.args_c1.a1_instance & 32w1023));
+                    majority.apply();
+                    if ((meta.hist == 8w0)) {
+                        meta.count = (meta.count | hdr.args_c1.a4_vote);
+                        majority.apply();
+                        if ((meta.hist == 8w255)) {
+                            value_store0.execute((hdr.args_c1.a1_instance & 32w1023));
+                            value_store1.execute((hdr.args_c1.a1_instance & 32w1023));
+                            value_store2.execute((hdr.args_c1.a1_instance & 32w1023));
+                            value_store3.execute((hdr.args_c1.a1_instance & 32w1023));
+                            value_store4.execute((hdr.args_c1.a1_instance & 32w1023));
+                            value_store5.execute((hdr.args_c1.a1_instance & 32w1023));
+                            value_store6.execute((hdr.args_c1.a1_instance & 32w1023));
+                            value_store7.execute((hdr.args_c1.a1_instance & 32w1023));
+                            hdr.args_c1.a0_type = 8w4;
+                            hdr.ncl.action = 8w0;
+                        }
+                    }
+                }
+            }
+        }
+        l2_fwd.apply();
+    }
+}
+

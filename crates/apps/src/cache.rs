@@ -1,0 +1,862 @@
+//! CACHE — in-network key-value caching (NetCache [16], paper §VII).
+//!
+//! Extends Fig. 4 the way the paper describes: GET/PUT/DEL operations, a
+//! validity bit implementing the write-back policy, two-step cache-line
+//! access (a MAT maps the 8-byte key to a slot index, registers hold the
+//! value words), the cache-line *sharing* bitmap tracking which words of a
+//! line belong to the key, per-slot hit counters, and hot-key detection via
+//! a count-min sketch followed by a Bloom filter. Unlike [16], misses are
+//! marked hot in an extra header field on their way to the KVS server
+//! (which then populates the cache through the control plane).
+
+use std::sync::{Arc, Mutex};
+
+use netcl_bmv2::Switch;
+use netcl_net::{HostEvent, LinkSpec, NetworkBuilder, Outbox};
+use netcl_p4::ast::*;
+use netcl_runtime::managed::ManagedMemory;
+use netcl_runtime::message::{pack, unpack, Message};
+use netcl_sema::builtins::{AtomicOp, AtomicRmw, HashKind};
+use netcl_sema::model::{LookupEntry, Specification};
+
+/// GET opcode.
+pub const OP_GET: u64 = 1;
+/// PUT opcode.
+pub const OP_PUT: u64 = 2;
+/// DEL opcode.
+pub const OP_DEL: u64 = 3;
+
+/// CACHE parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Cache slots.
+    pub slots: u32,
+    /// Value words per cache line (the paper supports 128-byte values = 32
+    /// words; we default smaller for simulation speed).
+    pub words: u32,
+    /// Hot-key threshold for the count-min sketch.
+    pub threshold: u32,
+    /// Sketch/Bloom row width.
+    pub sketch_cols: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { slots: 64, words: 8, threshold: 64, sketch_cols: 4096 }
+    }
+}
+
+/// The NetCL device code (the paper's ~90-line CACHE).
+pub fn netcl_source(cfg: &CacheConfig) -> String {
+    format!(
+        r#"#define NSLOTS {slots}
+#define W {words}
+#define THRESH {thresh}
+#define COLS {cols}
+#define FULL_SHARE {full}
+#define GET_REQ 1
+#define PUT_REQ 2
+#define DEL_REQ 3
+
+_managed_ _lookup_ ncl::kv<uint64_t, uint16_t> index[NSLOTS];
+_managed_ uint16_t Share[NSLOTS];
+_managed_ uint8_t Valid[NSLOTS];
+_net_ unsigned HitCount[NSLOTS];
+_managed_ unsigned Val[W][NSLOTS];
+_managed_ unsigned cms[3][COLS];
+_net_ uint8_t Bloom[2][COLS];
+
+_net_ void classify(unsigned kh, unsigned &hot) {{
+  unsigned c[3];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(kh) & (COLS - 1)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(kh) & (COLS - 1)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(kh) & (COLS - 1)], 1);
+  for (auto i = 1; i < 3; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  if (c[0] > THRESH) {{
+    uint8_t b0 = ncl::atomic_swap(&Bloom[0][ncl::xor16(kh) & (COLS - 1)], 1);
+    uint8_t b1 = ncl::atomic_swap(&Bloom[1][ncl::crc16(kh) & (COLS - 1)], 1);
+    if (b0 == 0 || b1 == 0)
+      hot = c[0];
+  }}
+}}
+
+_kernel(1) _at(1) void query(char op, uint64_t k, char &hit, unsigned &hot,
+                             uint32_t _spec(W) *v) {{
+  uint16_t idx = 0;
+  char cached = ncl::lookup(index, k, idx);
+  if (op == GET_REQ) {{
+    uint16_t share = ncl::atomic_read(&Share[idx]);
+    uint8_t valid = ncl::atomic_read(&Valid[idx]);
+    if (cached) {{
+      if (valid) {{
+        ncl::atomic_inc(&HitCount[idx]);
+        for (auto i = 0; i < W; ++i)
+          if (ncl::bit_chk(share, i))
+            v[i] = ncl::atomic_read(&Val[i][idx]);
+        hit = 1;
+        return ncl::reflect();
+      }}
+    }}
+    classify(ncl::crc32(k), hot);
+  }} else {{
+    if (op == PUT_REQ) {{
+      if (cached) {{
+        ncl::atomic_swap(&Share[idx], FULL_SHARE);
+        ncl::atomic_swap(&Valid[idx], 1);
+        for (auto i = 0; i < W; ++i)
+          ncl::atomic_swap(&Val[i][idx], v[i]);
+      }}
+    }} else {{
+      if (op == DEL_REQ) {{
+        if (cached) ncl::atomic_swap(&Valid[idx], 0);
+      }}
+    }}
+  }}
+  return ncl::pass();
+}}
+"#,
+        slots = cfg.slots,
+        words = cfg.words,
+        thresh = cfg.threshold,
+        cols = cfg.sketch_cols,
+        full = (1u64 << cfg.words) - 1,
+    )
+}
+
+/// Kernel specification.
+pub fn spec(cfg: &CacheConfig) -> Specification {
+    use netcl_sema::model::SpecItem;
+    use netcl_sema::Ty;
+    Specification {
+        items: vec![
+            SpecItem { count: 1, ty: Ty::U8 },  // op
+            SpecItem { count: 1, ty: Ty::U64 }, // k (8-byte keys, as in [16])
+            SpecItem { count: 1, ty: Ty::U8 },  // hit
+            SpecItem { count: 1, ty: Ty::U32 }, // hot
+            SpecItem { count: cfg.words, ty: Ty::U32 }, // v
+        ],
+    }
+}
+
+/// Builds a query packet. `client` is the host, `server` the KVS host.
+pub fn request(
+    cfg: &CacheConfig,
+    client: u16,
+    server: u16,
+    op: u64,
+    key: u64,
+    value: Option<&[u64]>,
+) -> Vec<u8> {
+    let m = Message::new(client, server, 1, 1);
+    pack(&m, &spec(cfg), &[Some(&[op]), Some(&[key]), None, None, value]).expect("packs")
+}
+
+/// The deterministic server-side value for a key.
+pub fn server_value(cfg: &CacheConfig, key: u64) -> Vec<u64> {
+    (0..cfg.words as u64).map(|i| (key.wrapping_mul(31) + i) & 0xFFFF_FFFF).collect()
+}
+
+/// Populates cache slot `slot` with `key` through the control plane —
+/// what the NetCache controller does when the server reports a hot key.
+pub fn populate(
+    mm: &ManagedMemory,
+    sw: &mut Switch,
+    cfg: &CacheConfig,
+    slot: u16,
+    key: u64,
+    value: &[u64],
+) {
+    mm.lookup_insert(sw, "index", LookupEntry::Exact { key, value: slot as u64 }).unwrap();
+    for (i, &w) in value.iter().enumerate() {
+        mm.write(sw, "Val", &[i, slot as usize], w).unwrap();
+    }
+    mm.write(sw, "Share", &[slot as usize], (1u64 << cfg.words) - 1).unwrap();
+    mm.write(sw, "Valid", &[slot as usize], 1).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Handwritten P4 baseline
+// ---------------------------------------------------------------------------
+
+/// Handwritten P4₁₆ NetCache over the same wire format: index MAT, per-word
+/// value registers, share/valid registers, CMS + Bloom with hash externs.
+pub fn handwritten(cfg: &CacheConfig) -> P4Program {
+    let w = cfg.words;
+    let cols = cfg.sketch_cols;
+    let headers = vec![
+        HeaderDef {
+            name: "ncl_t".into(),
+            fields: vec![
+                ("src".into(), 16),
+                ("dst".into(), 16),
+                ("from".into(), 16),
+                ("to".into(), 16),
+                ("comp".into(), 8),
+                ("action".into(), 8),
+                ("target".into(), 16),
+            ],
+            stack: 1,
+        },
+        HeaderDef {
+            name: "args_c1_t".into(),
+            fields: vec![
+                ("a0_op".into(), 8),
+                ("a1_k".into(), 64),
+                ("a2_hit".into(), 8),
+                ("a3_hot".into(), 32),
+            ],
+            stack: 1,
+        },
+        HeaderDef {
+            name: "arr_c1_a4_t".into(),
+            fields: vec![("value".into(), 32)],
+            stack: w,
+        },
+    ];
+    let parser = ParserDef {
+        name: "IgParser".into(),
+        states: vec![
+            ParserState {
+                name: "start".into(),
+                extracts: vec!["hdr.ncl".into()],
+                transition: Transition::Select {
+                    selector: Expr::field(&["hdr", "ncl", "comp"]),
+                    cases: vec![(1, "parse_kv".into())],
+                    default: "accept".into(),
+                },
+            },
+            ParserState {
+                name: "parse_kv".into(),
+                extracts: vec!["hdr.args_c1".into(), "hdr.arr_c1_a4".into()],
+                transition: Transition::Accept,
+            },
+        ],
+    };
+
+    let mut c = ControlDef { name: "Ig".into(), ..Default::default() };
+    let idx = Expr::field(&["meta", "idx"]);
+    c.locals.extend([
+        ("idx".into(), 16),
+        ("cached".into(), 1),
+        ("share".into(), 16),
+        ("valid".into(), 8),
+        ("kh".into(), 32),
+        ("h0".into(), 16),
+        ("h1".into(), 16),
+        ("h2".into(), 16),
+        ("c0".into(), 32),
+        ("c1".into(), 32),
+        ("c2".into(), 32),
+        ("b0".into(), 8),
+        ("b1".into(), 8),
+    ]);
+
+    // The index MAT: key → slot (control-plane managed).
+    c.actions.push(ActionDef {
+        name: "set_idx".into(),
+        params: vec![("i".into(), 16)],
+        body: vec![Stmt::Assign(idx.clone(), Expr::field(&["i"]))],
+    });
+    c.tables.push(TableDef {
+        name: "cache_index".into(),
+        keys: vec![(Expr::field(&["hdr", "args_c1", "a1_k"]), MatchKind::Exact)],
+        actions: vec!["set_idx".into()],
+        entries: vec![],
+        default_action: "NoAction".into(),
+        size: cfg.slots,
+    });
+
+    // Registers.
+    for (name, bits, size) in [
+        ("ShareR", 16, cfg.slots),
+        ("ValidR", 8, cfg.slots),
+        ("HitCountR", 32, cfg.slots),
+    ] {
+        c.registers.push(RegisterDef { name: name.into(), elem_bits: bits, size });
+    }
+    for i in 0..w {
+        c.registers.push(RegisterDef { name: format!("Val{i}"), elem_bits: 32, size: cfg.slots });
+    }
+    for i in 0..3 {
+        c.registers.push(RegisterDef { name: format!("Cms{i}"), elem_bits: 32, size: cols });
+    }
+    for i in 0..2 {
+        c.registers.push(RegisterDef { name: format!("Bloom{i}"), elem_bits: 8, size: cols });
+    }
+
+    // Register actions.
+    let ra = |name: &str, reg: &str, rmw: AtomicRmw, ret_new: bool, operands: Vec<Expr>| {
+        RegisterActionDef {
+            name: name.into(),
+            register: reg.into(),
+            op: AtomicOp { rmw, cond: false, ret_new },
+            cond: None,
+            operands,
+        }
+    };
+    c.register_actions.push(ra("share_read", "ShareR", AtomicRmw::Read, false, vec![]));
+    c.register_actions.push(ra(
+        "share_fill",
+        "ShareR",
+        AtomicRmw::Swap,
+        false,
+        vec![Expr::Const((1u64 << w) - 1, 16)],
+    ));
+    c.register_actions.push(ra("valid_read", "ValidR", AtomicRmw::Read, false, vec![]));
+    c.register_actions.push(ra("valid_set", "ValidR", AtomicRmw::Swap, false, vec![Expr::Const(1, 8)]));
+    c.register_actions.push(ra("valid_clr", "ValidR", AtomicRmw::Swap, false, vec![Expr::Const(0, 8)]));
+    c.register_actions.push(ra("hit_inc", "HitCountR", AtomicRmw::Inc, false, vec![]));
+    for i in 0..w {
+        let vfield = Expr::Field(vec![
+            PathSeg::new("hdr"),
+            PathSeg::indexed("arr_c1_a4", i),
+            PathSeg::new("value"),
+        ]);
+        c.register_actions.push(ra(&format!("val_read{i}"), &format!("Val{i}"), AtomicRmw::Read, false, vec![]));
+        c.register_actions.push(ra(
+            &format!("val_write{i}"),
+            &format!("Val{i}"),
+            AtomicRmw::Swap,
+            false,
+            vec![vfield],
+        ));
+    }
+    for i in 0..3 {
+        c.register_actions.push(ra(
+            &format!("cms_count{i}"),
+            &format!("Cms{i}"),
+            AtomicRmw::SAdd,
+            true,
+            vec![Expr::Const(1, 32)],
+        ));
+    }
+    for i in 0..2 {
+        c.register_actions.push(ra(
+            &format!("bloom_set{i}"),
+            &format!("Bloom{i}"),
+            AtomicRmw::Swap,
+            false,
+            vec![Expr::Const(1, 8)],
+        ));
+    }
+
+    // Hash engines over the folded key.
+    for (name, algo) in
+        [("HashA", HashKind::Xor16), ("HashB", HashKind::Crc32), ("HashC", HashKind::Crc16)]
+    {
+        c.hashes.push(HashDef { name: name.into(), algo, out_bits: 16 });
+    }
+    c.hashes.push(HashDef { name: "HashK".into(), algo: HashKind::Crc32, out_bits: 32 });
+
+    let field = |p: &[&str]| Expr::field(p);
+    let colmask = |e: Expr| {
+        Expr::Bin(P4BinOp::And, Box::new(e), Box::new(Expr::Const((cols - 1) as u64, 16)))
+    };
+
+    // GET hit path.
+    let mut get_hit: Vec<Stmt> = vec![Stmt::ExecuteRegisterAction {
+        dst: None,
+        ra: "hit_inc".into(),
+        index: idx.clone(),
+    }];
+    for i in 0..w {
+        let vfield = Expr::Field(vec![
+            PathSeg::new("hdr"),
+            PathSeg::indexed("arr_c1_a4", i),
+            PathSeg::new("value"),
+        ]);
+        get_hit.push(Stmt::If {
+            cond: Expr::Bin(
+                P4BinOp::Eq,
+                Box::new(Expr::Slice(Box::new(field(&["meta", "share"])), i, i)),
+                Box::new(Expr::Const(1, 1)),
+            ),
+            then: vec![Stmt::ExecuteRegisterAction {
+                dst: Some(vfield),
+                ra: format!("val_read{i}"),
+                index: idx.clone(),
+            }],
+            els: vec![],
+        });
+    }
+    get_hit.push(Stmt::Assign(field(&["hdr", "args_c1", "a2_hit"]), Expr::Const(1, 8)));
+    get_hit.push(Stmt::Assign(field(&["hdr", "ncl", "action"]), Expr::Const(5, 8))); // reflect
+
+    // Miss path: CMS + Bloom.
+    let mut miss: Vec<Stmt> = vec![
+        Stmt::HashGet {
+            dst: field(&["meta", "kh"]),
+            hash: "HashK".into(),
+            args: vec![field(&["hdr", "args_c1", "a1_k"])],
+        },
+        Stmt::HashGet { dst: field(&["meta", "h0"]), hash: "HashA".into(), args: vec![field(&["meta", "kh"])] },
+        Stmt::HashGet { dst: field(&["meta", "h1"]), hash: "HashB".into(), args: vec![field(&["meta", "kh"])] },
+        Stmt::HashGet { dst: field(&["meta", "h2"]), hash: "HashC".into(), args: vec![field(&["meta", "kh"])] },
+    ];
+    for i in 0..3 {
+        let h = field(&["meta", &format!("h{i}")]);
+        miss.push(Stmt::ExecuteRegisterAction {
+            dst: Some(field(&["meta", &format!("c{i}")])),
+            ra: format!("cms_count{i}"),
+            index: colmask(h),
+        });
+    }
+    // min(c0, c1, c2) into c0.
+    for i in 1..3 {
+        miss.push(Stmt::If {
+            cond: Expr::Bin(
+                P4BinOp::Lt,
+                Box::new(field(&["meta", &format!("c{i}")])),
+                Box::new(field(&["meta", "c0"])),
+            ),
+            then: vec![Stmt::Assign(field(&["meta", "c0"]), field(&["meta", &format!("c{i}")]))],
+            els: vec![],
+        });
+    }
+    miss.push(Stmt::If {
+        cond: Expr::Bin(
+            P4BinOp::Gt,
+            Box::new(field(&["meta", "c0"])),
+            Box::new(Expr::Const(cfg.threshold as u64, 32)),
+        ),
+        then: vec![
+            Stmt::ExecuteRegisterAction {
+                dst: Some(field(&["meta", "b0"])),
+                ra: "bloom_set0".into(),
+                index: colmask(field(&["meta", "h0"])),
+            },
+            Stmt::ExecuteRegisterAction {
+                dst: Some(field(&["meta", "b1"])),
+                ra: "bloom_set1".into(),
+                index: colmask(field(&["meta", "h2"])),
+            },
+            Stmt::If {
+                cond: Expr::Bin(
+                    P4BinOp::LOr,
+                    Box::new(Expr::Bin(
+                        P4BinOp::Eq,
+                        Box::new(field(&["meta", "b0"])),
+                        Box::new(Expr::Const(0, 8)),
+                    )),
+                    Box::new(Expr::Bin(
+                        P4BinOp::Eq,
+                        Box::new(field(&["meta", "b1"])),
+                        Box::new(Expr::Const(0, 8)),
+                    )),
+                ),
+                then: vec![Stmt::Assign(field(&["hdr", "args_c1", "a3_hot"]), field(&["meta", "c0"]))],
+                els: vec![],
+            },
+        ],
+        els: vec![],
+    });
+
+    // PUT path.
+    let mut put: Vec<Stmt> = vec![
+        Stmt::ExecuteRegisterAction { dst: None, ra: "share_fill".into(), index: idx.clone() },
+        Stmt::ExecuteRegisterAction { dst: None, ra: "valid_set".into(), index: idx.clone() },
+    ];
+    for i in 0..w {
+        put.push(Stmt::ExecuteRegisterAction {
+            dst: None,
+            ra: format!("val_write{i}"),
+            index: idx.clone(),
+        });
+    }
+
+    let op = field(&["hdr", "args_c1", "a0_op"]);
+    let get_body = vec![
+        Stmt::ExecuteRegisterAction {
+            dst: Some(field(&["meta", "share"])),
+            ra: "share_read".into(),
+            index: idx.clone(),
+        },
+        Stmt::ExecuteRegisterAction {
+            dst: Some(field(&["meta", "valid"])),
+            ra: "valid_read".into(),
+            index: idx.clone(),
+        },
+        Stmt::If {
+            cond: Expr::Bin(
+                P4BinOp::LAnd,
+                Box::new(Expr::Bin(
+                    P4BinOp::Eq,
+                    Box::new(field(&["meta", "cached"])),
+                    Box::new(Expr::Const(1, 1)),
+                )),
+                Box::new(Expr::Bin(
+                    P4BinOp::Eq,
+                    Box::new(field(&["meta", "valid"])),
+                    Box::new(Expr::Const(1, 8)),
+                )),
+            ),
+            then: get_hit,
+            els: miss,
+        },
+    ];
+
+    let kernel = vec![
+        Stmt::Assign(field(&["meta", "cached"]), Expr::Const(0, 1)),
+        Stmt::If {
+            cond: Expr::TableHit("cache_index".into()),
+            then: vec![Stmt::Assign(field(&["meta", "cached"]), Expr::Const(1, 1))],
+            els: vec![],
+        },
+        Stmt::If {
+            cond: Expr::Bin(P4BinOp::Eq, Box::new(op.clone()), Box::new(Expr::Const(OP_GET, 8))),
+            then: get_body,
+            els: vec![Stmt::If {
+                cond: Expr::Bin(
+                    P4BinOp::LAnd,
+                    Box::new(Expr::Bin(
+                        P4BinOp::Eq,
+                        Box::new(op.clone()),
+                        Box::new(Expr::Const(OP_PUT, 8)),
+                    )),
+                    Box::new(Expr::Bin(
+                        P4BinOp::Eq,
+                        Box::new(field(&["meta", "cached"])),
+                        Box::new(Expr::Const(1, 1)),
+                    )),
+                ),
+                then: put,
+                els: vec![Stmt::If {
+                    cond: Expr::Bin(
+                        P4BinOp::LAnd,
+                        Box::new(Expr::Bin(
+                            P4BinOp::Eq,
+                            Box::new(op),
+                            Box::new(Expr::Const(OP_DEL, 8)),
+                        )),
+                        Box::new(Expr::Bin(
+                            P4BinOp::Eq,
+                            Box::new(field(&["meta", "cached"])),
+                            Box::new(Expr::Const(1, 1)),
+                        )),
+                    ),
+                    then: vec![Stmt::ExecuteRegisterAction {
+                        dst: None,
+                        ra: "valid_clr".into(),
+                        index: idx,
+                    }],
+                    els: vec![],
+                }],
+            }],
+        },
+    ];
+
+    c.tables.push(TableDef {
+        name: "l2_fwd".into(),
+        keys: vec![(Expr::field(&["hdr", "ncl", "dst"]), MatchKind::Exact)],
+        actions: vec![],
+        entries: vec![],
+        default_action: "NoAction".into(),
+        size: 64,
+    });
+    c.apply = vec![
+        Stmt::If {
+            cond: Expr::Bin(
+                P4BinOp::LAnd,
+                Box::new(Expr::Field(vec![
+                    PathSeg::new("hdr"),
+                    PathSeg::new("ncl"),
+                    PathSeg::new("$isValid"),
+                ])),
+                Box::new(Expr::Bin(
+                    P4BinOp::Eq,
+                    Box::new(Expr::field(&["hdr", "ncl", "to"])),
+                    Box::new(Expr::val(1, 16)),
+                )),
+            ),
+            then: kernel,
+            els: vec![],
+        },
+        Stmt::ApplyTable("l2_fwd".into()),
+    ];
+
+    P4Program {
+        name: "cache_handwritten".into(),
+        target: Target::Tna,
+        headers,
+        parser: Some(parser),
+        controls: vec![c],
+    }
+}
+
+/// Populates the handwritten program's cache directly (its register names
+/// differ from the compiled module's).
+pub fn populate_handwritten(
+    sw: &mut Switch,
+    cfg: &CacheConfig,
+    slot: u16,
+    key: u64,
+    value: &[u64],
+) {
+    sw.table_insert(
+        "cache_index",
+        TableEntry {
+            keys: vec![EntryKey::Value(key)],
+            action: "set_idx".into(),
+            args: vec![slot as u64],
+        },
+    );
+    for (i, &v) in value.iter().enumerate() {
+        sw.register_write(&format!("Val{i}"), slot as usize, v);
+    }
+    sw.register_write("ShareR", slot as usize, (1u64 << cfg.words) - 1);
+    sw.register_write("ValidR", slot as usize, 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end experiment (Fig. 14 right)
+// ---------------------------------------------------------------------------
+
+/// Result of a cache response-time run.
+#[derive(Debug)]
+pub struct CacheRunResult {
+    /// Mean response time in nanoseconds.
+    pub mean_response_ns: f64,
+    /// Fraction of queries answered by the switch.
+    pub hit_rate: f64,
+    /// Queries completed.
+    pub completed: u64,
+}
+
+/// Runs `queries` GETs over `total_keys` keys with the first `cached_keys`
+/// keys resident in the cache. Returns mean response time and hit rate —
+/// the Fig. 14 (right) series.
+pub fn run_cache_experiment(
+    program: &P4Program,
+    populate_fn: impl Fn(&mut Switch),
+    cfg: &CacheConfig,
+    total_keys: u64,
+    queries: u32,
+) -> CacheRunResult {
+    let topo = netcl_net::topo::star(1, &[1, 2], LinkSpec::default());
+    let s = spec(cfg);
+
+    // Host 2: KVS server answering misses.
+    let cfg2 = *cfg;
+    let s2 = s.clone();
+    let server = Box::new(move |_now: u64, ev: HostEvent, out: &mut Outbox| {
+        let HostEvent::Message(bytes) = ev else { return };
+        let mut op = Vec::new();
+        let mut k = Vec::new();
+        let Ok(msg) = unpack(&bytes, &s2, &mut [Some(&mut op), Some(&mut k), None, None, None])
+        else {
+            return;
+        };
+        if op[0] != OP_GET {
+            return;
+        }
+        let reply = Message::new(msg.dst, msg.src, 0, netcl_runtime::device::NO_DEVICE);
+        let value = server_value(&cfg2, k[0]);
+        let packed = pack(
+            &reply,
+            &s2,
+            &[Some(&[OP_GET]), Some(&[k[0]]), Some(&[0]), Some(&[0]), Some(&value)],
+        )
+        .unwrap();
+        // Server-side KVS processing cost (microseconds, as in the paper's
+        // testbed where the host path dominates response time).
+        out.send(8_000, packed);
+    });
+
+    // Host 1: client issuing closed-loop queries.
+    let state = Arc::new(Mutex::new((0u64, Vec::<u64>::new(), 0u64))); // (hits, latencies, outstanding_key)
+    let st2 = state.clone();
+    let s3 = s.clone();
+    let cfg3 = *cfg;
+    let sent_at = Arc::new(Mutex::new(0u64));
+    let sent_at2 = sent_at.clone();
+    let queries_total = queries;
+    let issued = Arc::new(Mutex::new(1u32));
+    let issued2 = issued.clone();
+    let client = Box::new(move |now: u64, ev: HostEvent, out: &mut Outbox| {
+        let HostEvent::Message(bytes) = ev else { return };
+        let mut hit = Vec::new();
+        if unpack(&bytes, &s3, &mut [None, None, Some(&mut hit), None, None]).is_err() {
+            return;
+        }
+        let mut st = st2.lock().unwrap();
+        st.0 += hit[0];
+        let t0 = *sent_at2.lock().unwrap();
+        st.1.push(now - t0);
+        let mut n = issued2.lock().unwrap();
+        if *n < queries_total {
+            let key = (*n as u64) % total_keys;
+            *n += 1;
+            drop(st);
+            *sent_at2.lock().unwrap() = now + 2000;
+            out.send(0, request(&cfg3, 1, 2, OP_GET, key, None));
+        }
+    });
+
+    let unit_latency = 700; // ns, per Fig. 13 scale
+    let mut sw = Switch::new(program.clone());
+    populate_fn(&mut sw);
+    let mut net = NetworkBuilder::new(topo)
+        .device(1, sw, unit_latency)
+        .host(1, client)
+        .host(2, server)
+        .build();
+    *sent_at.lock().unwrap() = 0;
+    net.send_from_host(1, 0, request(cfg, 1, 2, OP_GET, 0, None));
+    net.run(40 * queries as u64 + 1000);
+
+    let st = state.lock().unwrap();
+    let completed = st.1.len() as u64;
+    CacheRunResult {
+        mean_response_ns: st.1.iter().sum::<u64>() as f64 / completed.max(1) as f64,
+        hit_rate: st.0 as f64 / completed.max(1) as f64,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn tiny() -> CacheConfig {
+        CacheConfig { slots: 16, words: 4, threshold: 8, sketch_cols: 256 }
+    }
+
+    #[test]
+    fn compiles_and_fits() {
+        let cfg = CacheConfig::default();
+        let unit = compile("cache.ncl", &netcl_source(&cfg));
+        let fit = netcl_tofino::fit(&unit.devices[0].tna_p4).unwrap_or_else(|e| panic!("{e}"));
+        assert!(fit.stages_used <= 12, "CACHE uses {} stages", fit.stages_used);
+        // Paper: generated CACHE needs extra stages vs handwritten (the
+        // min-chain); both must fit.
+        let hfit = netcl_tofino::fit(&handwritten(&cfg)).unwrap();
+        assert!(hfit.stages_used <= fit.stages_used, "handwritten should be no deeper");
+    }
+
+    #[test]
+    fn get_put_del_semantics() {
+        let cfg = tiny();
+        let unit = compile("cache.ncl", &netcl_source(&cfg));
+        let mut sw = Switch::new(unit.devices[0].tna_p4.clone());
+        let mm = ManagedMemory::new(&unit.devices[0].tna_ir);
+        let s = spec(&cfg);
+
+        // Populate slot 3 with key 0xABCD.
+        let val = server_value(&cfg, 0xABCD);
+        populate(&mm, &mut sw, &cfg, 3, 0xABCD, &val);
+
+        // GET hit: reflected with the value.
+        let (pkt, out) = sw.process(&request(&cfg, 1, 2, OP_GET, 0xABCD, None)).unwrap();
+        assert_eq!(pkt.get("ncl.action"), 5);
+        let mut hit = Vec::new();
+        let mut v = Vec::new();
+        unpack(&out, &s, &mut [None, None, Some(&mut hit), None, Some(&mut v)]).unwrap();
+        assert_eq!(hit[0], 1);
+        assert_eq!(v, val);
+
+        // DEL invalidates: next GET misses (passes to server).
+        let (pkt, _) = sw.process(&request(&cfg, 1, 2, OP_DEL, 0xABCD, None)).unwrap();
+        assert_eq!(pkt.get("ncl.action"), 0, "DEL passes through");
+        let (pkt, out) = sw.process(&request(&cfg, 1, 2, OP_GET, 0xABCD, None)).unwrap();
+        assert_eq!(pkt.get("ncl.action"), 0, "invalidated entry misses");
+        let mut hit = Vec::new();
+        unpack(&out, &s, &mut [None, None, Some(&mut hit), None, None]).unwrap();
+        assert_eq!(hit[0], 0);
+
+        // PUT revalidates with fresh words.
+        let newval: Vec<u64> = (0..cfg.words as u64).map(|i| 100 + i).collect();
+        sw.process(&request(&cfg, 1, 2, OP_PUT, 0xABCD, Some(&newval))).unwrap();
+        let (pkt, out) = sw.process(&request(&cfg, 1, 2, OP_GET, 0xABCD, None)).unwrap();
+        assert_eq!(pkt.get("ncl.action"), 5);
+        let mut v = Vec::new();
+        unpack(&out, &s, &mut [None, None, None, None, Some(&mut v)]).unwrap();
+        assert_eq!(v, newval);
+    }
+
+    #[test]
+    fn hot_key_reported_once() {
+        let cfg = tiny();
+        let unit = compile("cache.ncl", &netcl_source(&cfg));
+        let mut sw = Switch::new(unit.devices[0].tna_p4.clone());
+        let s = spec(&cfg);
+        let mut hot_reports = 0;
+        for _ in 0..(cfg.threshold + 8) {
+            let (_, out) = sw.process(&request(&cfg, 1, 2, OP_GET, 777, None)).unwrap();
+            let mut hot = Vec::new();
+            unpack(&out, &s, &mut [None, None, None, Some(&mut hot), None]).unwrap();
+            if hot[0] > 0 {
+                hot_reports += 1;
+            }
+        }
+        assert_eq!(hot_reports, 1, "Bloom filter deduplicates hot reports");
+    }
+
+    #[test]
+    fn handwritten_matches_generated() {
+        let cfg = tiny();
+        let unit = compile("cache.ncl", &netcl_source(&cfg));
+        let mut gen = Switch::new(unit.devices[0].tna_p4.clone());
+        let mm = ManagedMemory::new(&unit.devices[0].tna_ir);
+        let mut hand = Switch::new(handwritten(&cfg));
+        let s = spec(&cfg);
+        let val = server_value(&cfg, 42);
+        populate(&mm, &mut gen, &cfg, 0, 42, &val);
+        populate_handwritten(&mut hand, &cfg, 0, 42, &val);
+
+        for key in [42u64, 43, 42, 44, 42] {
+            let req = request(&cfg, 1, 2, OP_GET, key, None);
+            let (pg, og) = gen.process(&req).unwrap();
+            let (ph, oh) = hand.process(&req).unwrap();
+            assert_eq!(pg.get("ncl.action"), ph.get("ncl.action"), "key {key}");
+            let mut vg = Vec::new();
+            let mut vh = Vec::new();
+            let mut hg = Vec::new();
+            let mut hh = Vec::new();
+            unpack(&og, &s, &mut [None, None, Some(&mut hg), None, Some(&mut vg)]).unwrap();
+            unpack(&oh, &s, &mut [None, None, Some(&mut hh), None, Some(&mut vh)]).unwrap();
+            assert_eq!(hg, hh, "hit flag for key {key}");
+            assert_eq!(vg, vh, "value for key {key}");
+        }
+    }
+
+    #[test]
+    fn response_time_improves_with_cache_ratio() {
+        let cfg = tiny();
+        let unit = compile("cache.ncl", &netcl_source(&cfg));
+        let program = unit.devices[0].tna_p4.clone();
+        let mm = ManagedMemory::new(&unit.devices[0].tna_ir);
+        let total_keys = 8u64;
+
+        let mut results = Vec::new();
+        for cached in [0u64, 4, 8] {
+            let mm = mm.clone();
+            let cfg2 = cfg;
+            let r = run_cache_experiment(
+                &program,
+                move |sw| {
+                    for k in 0..cached {
+                        let val = server_value(&cfg2, k);
+                        populate(&mm, sw, &cfg2, k as u16, k, &val);
+                    }
+                },
+                &cfg,
+                total_keys,
+                24,
+            );
+            results.push(r);
+        }
+        assert!(results[0].hit_rate < 0.01, "{:?}", results[0]);
+        assert!(results[2].hit_rate > 0.99, "{:?}", results[2]);
+        // Fig. 14 right: all-hit response time well below all-miss.
+        assert!(
+            results[2].mean_response_ns * 2.0 < results[0].mean_response_ns,
+            "all-hit {} vs all-miss {}",
+            results[2].mean_response_ns,
+            results[0].mean_response_ns
+        );
+        // Monotone improvement.
+        assert!(results[1].mean_response_ns < results[0].mean_response_ns);
+    }
+}

@@ -1,0 +1,151 @@
+//! The paper's evaluation applications (§VII, Table III).
+//!
+//! Each application ships in three forms:
+//!
+//! 1. **NetCL source** — the device code as the paper writes it (AGG is
+//!    Fig. 7 plus the max-exponent extension; CACHE extends Fig. 4 with
+//!    PUT/DEL, validity, cache-line sharing, and hot-key reporting; P4xos
+//!    is Fig. 11's three kernels; CALC is the P4-tutorials calculator).
+//! 2. **Handwritten P4 baseline** — an idiomatic P4₁₆ implementation of the
+//!    same functionality over the same wire format, playing the role of the
+//!    paper's "P4" column. Baselines deliberately use the structures a P4
+//!    programmer would reach for (e.g. AGG decides slot completion with a
+//!    ternary MAT where the NetCL compiler uses in-SALU conditionals —
+//!    the TCAM-vs-SRAM contrast Table V highlights).
+//! 3. **Host-side drivers and workload generators** for the end-to-end
+//!    experiments (Fig. 14).
+
+pub mod agg;
+pub mod cache;
+pub mod calc;
+pub mod paxos;
+pub mod workload;
+
+use netcl::{CompileOptions, CompiledUnit, Compiler};
+
+/// Compiles a NetCL application source with default options.
+pub fn compile(name: &str, source: &str) -> CompiledUnit {
+    Compiler::new(CompileOptions::default())
+        .compile(name, source)
+        .unwrap_or_else(|e| panic!("{name} failed to compile:\n{e}"))
+}
+
+/// One evaluation application: name, NetCL source, handwritten baseline.
+pub struct App {
+    /// Table III name (`AGG`, `CACHE`, `PACC`, `PLRN`, `PLDR`, `CALC`).
+    pub name: &'static str,
+    /// NetCL device source.
+    pub netcl_source: String,
+    /// Handwritten P4 baseline.
+    pub handwritten: netcl_p4::P4Program,
+    /// The device the kernel is placed at.
+    pub device: u16,
+}
+
+/// All Table III rows in paper order.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        App {
+            name: "AGG",
+            netcl_source: agg::netcl_source(&agg::AggConfig::default()),
+            handwritten: agg::handwritten(&agg::AggConfig::default()),
+            device: 1,
+        },
+        App {
+            name: "CACHE",
+            netcl_source: cache::netcl_source(&cache::CacheConfig::default()),
+            handwritten: cache::handwritten(&cache::CacheConfig::default()),
+            device: 1,
+        },
+        App {
+            name: "PACC",
+            netcl_source: paxos::acceptor_source(),
+            handwritten: paxos::handwritten_acceptor(),
+            device: paxos::ACCEPTOR_DEV,
+        },
+        App {
+            name: "PLRN",
+            netcl_source: paxos::learner_source(),
+            handwritten: paxos::handwritten_learner(),
+            device: paxos::LEARNER_DEV,
+        },
+        App {
+            name: "PLDR",
+            netcl_source: paxos::leader_source(),
+            handwritten: paxos::handwritten_leader(),
+            device: paxos::LEADER_DEV,
+        },
+        App {
+            name: "CALC",
+            netcl_source: calc::netcl_source(),
+            handwritten: calc::handwritten(),
+            device: 1,
+        },
+    ]
+}
+
+/// The empty program (Table V's EMPTY column): just the NetCL runtime shim
+/// and base forwarding, no kernels.
+pub fn empty_program() -> netcl_p4::P4Program {
+    let unit = compile("empty.ncl", "_net_ unsigned unused_;\n");
+    unit.devices[0].tna_p4.clone()
+}
+
+/// Counts the non-blank, non-comment lines of a NetCL source (Table III's
+/// NetCL column).
+pub fn netcl_loc(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_compile_and_fit() {
+        for app in all_apps() {
+            let unit = compile(app.name, &app.netcl_source);
+            let dev = unit
+                .device(app.device)
+                .unwrap_or_else(|| panic!("{}: device {} missing", app.name, app.device));
+            let fit = netcl_tofino::fit(&dev.tna_p4)
+                .unwrap_or_else(|e| panic!("{} does not fit Tofino: {e}", app.name));
+            assert!(fit.stages_used <= 12, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn all_baselines_fit() {
+        for app in all_apps() {
+            let fit = netcl_tofino::fit(&app.handwritten)
+                .unwrap_or_else(|e| panic!("{} baseline does not fit: {e}", app.name));
+            assert!(fit.stages_used <= 12, "{} baseline", app.name);
+        }
+    }
+
+    #[test]
+    fn loc_reduction_order_of_magnitude() {
+        // Table III: NetCL needs O(10) LoC where P4 needs O(100).
+        for app in all_apps() {
+            let ncl = netcl_loc(&app.netcl_source);
+            let p4 = netcl_p4::print::loc(&netcl_p4::print::print_program(&app.handwritten));
+            assert!(
+                p4 >= 3 * ncl,
+                "{}: NetCL {ncl} LoC vs P4 {p4} LoC — expected ≥3x reduction",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn empty_program_is_small() {
+        let p = empty_program();
+        let fit = netcl_tofino::fit(&p).unwrap();
+        assert!(fit.stages_used <= 2);
+        assert!(fit.phv.percent() < 25.0);
+    }
+}

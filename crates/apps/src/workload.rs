@@ -1,0 +1,129 @@
+//! Workload generators for the evaluation harness.
+
+/// Deterministic xorshift RNG for reproducible workloads.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A Zipfian key sampler — KVS workloads are heavily skewed, which is
+/// exactly why an in-network cache of the few hottest keys can serve most
+/// queries (NetCache's premise).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: Rng,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` keys with exponent `s` (≈0.99 in YCSB).
+    pub fn new(n: usize, s: f64, seed: u64) -> Zipf {
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Zipf { cdf: weights, rng: Rng::new(seed) }
+    }
+
+    /// Samples a key in `[0, n)`; key 0 is the hottest.
+    pub fn sample(&mut self) -> u64 {
+        let u = self.rng.f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i.min(self.cdf.len() - 1)) as u64,
+        }
+    }
+}
+
+/// A tensor chunked for AllReduce streaming.
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    /// Values.
+    pub data: Vec<u64>,
+    /// Chunk (slot payload) size.
+    pub chunk: usize,
+}
+
+impl Tensor {
+    /// Deterministic per-worker tensor.
+    pub fn synthetic(worker: u32, elements: usize, chunk: usize) -> Tensor {
+        let mut rng = Rng::new(0x1000 + worker as u64);
+        Tensor { data: (0..elements).map(|_| rng.below(1 << 16)).collect(), chunk }
+    }
+
+    /// Number of chunks.
+    pub fn chunks(&self) -> usize {
+        self.data.len().div_ceil(self.chunk)
+    }
+
+    /// The values of chunk `c` (zero-padded to the chunk size).
+    pub fn chunk_values(&self, c: usize) -> Vec<u64> {
+        let start = c * self.chunk;
+        (0..self.chunk)
+            .map(|i| self.data.get(start + i).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut z = Zipf::new(1000, 0.99, 42);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample() as usize] += 1;
+        }
+        // The hottest key dominates any mid-rank key.
+        assert!(counts[0] > 10 * counts[500].max(1), "{} vs {}", counts[0], counts[500]);
+        // Top-10 keys carry a large fraction of traffic (cacheability).
+        let top10: u64 = counts[..10].iter().sum();
+        assert!(top10 as f64 > 0.3 * 20_000.0, "top10 = {top10}");
+    }
+
+    #[test]
+    fn tensor_chunks_pad() {
+        let t = Tensor::synthetic(0, 10, 4);
+        assert_eq!(t.chunks(), 3);
+        assert_eq!(t.chunk_values(2).len(), 4);
+        assert_eq!(t.chunk_values(2)[2..], [0, 0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Criterion benches for the time-sensitive evaluation rows:
+//! per-application compile times (Table IV) and the end-to-end experiments
+//! (Fig. 14), plus the bmv2 per-packet processing cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netcl::{CompileOptions, Compiler};
+use netcl_apps::{agg, cache, calc};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ncc_compile");
+    g.sample_size(10);
+    for app in netcl_apps::all_apps() {
+        g.bench_function(app.name, |b| {
+            b.iter(|| {
+                Compiler::new(CompileOptions::default())
+                    .compile(app.name, &app.netcl_source)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tofino_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tofino_fit");
+    g.sample_size(10);
+    for app in netcl_apps::all_apps() {
+        let unit = Compiler::new(CompileOptions::default())
+            .compile(app.name, &app.netcl_source)
+            .unwrap();
+        let p4 = unit.device(app.device).unwrap().tna_p4.clone();
+        g.bench_function(app.name, |b| b.iter(|| netcl_tofino::fit(&p4).unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_switch_packet(c: &mut Criterion) {
+    // Per-packet bmv2 cost on the CALC program (the smallest kernel).
+    let unit =
+        Compiler::new(CompileOptions::default()).compile("calc.ncl", &calc::netcl_source()).unwrap();
+    let mut sw = netcl_bmv2::Switch::new(unit.devices[0].tna_p4.clone());
+    let req = calc::request(7, calc::OP_ADD, 3, 4);
+    c.bench_function("bmv2_packet_calc", |b| b.iter(|| sw.process(&req).unwrap()));
+}
+
+fn bench_e2e_agg(c: &mut Criterion) {
+    let cfg = agg::AggConfig { num_workers: 4, num_slots: 4, slot_size: 8 };
+    let unit = Compiler::new(CompileOptions::default())
+        .compile("agg.ncl", &agg::netcl_source(&cfg))
+        .unwrap();
+    let p4 = unit.devices[0].tna_p4.clone();
+    let mut g = c.benchmark_group("e2e_agg");
+    g.sample_size(10);
+    g.bench_function("allreduce_16_chunks", |b| {
+        b.iter(|| {
+            let r = agg::run_allreduce(&p4, &cfg, 16, 600, 0.0);
+            assert!(r.all_correct);
+            r.duration_ns
+        })
+    });
+    g.finish();
+}
+
+fn bench_e2e_cache(c: &mut Criterion) {
+    let cfg = cache::CacheConfig { slots: 16, words: 4, threshold: 64, sketch_cols: 256 };
+    let unit = Compiler::new(CompileOptions::default())
+        .compile("cache.ncl", &cache::netcl_source(&cfg))
+        .unwrap();
+    let p4 = unit.devices[0].tna_p4.clone();
+    let mm = netcl_runtime::managed::ManagedMemory::new(&unit.devices[0].tna_ir);
+    let mut g = c.benchmark_group("e2e_cache");
+    g.sample_size(10);
+    g.bench_function("queries_half_cached", |b| {
+        b.iter(|| {
+            let mm = mm.clone();
+            cache::run_cache_experiment(
+                &p4,
+                move |sw| {
+                    for k in 0..4u64 {
+                        let v = cache::server_value(&cfg, k);
+                        cache::populate(&mm, sw, &cfg, k as u16, k, &v);
+                    }
+                },
+                &cfg,
+                8,
+                16,
+            )
+            .mean_response_ns
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_tofino_fit,
+    bench_switch_packet,
+    bench_e2e_agg,
+    bench_e2e_cache
+);
+criterion_main!(benches);

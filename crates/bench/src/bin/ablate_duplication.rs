@@ -1,0 +1,4 @@
+//! Prints the lookup-duplication ablation.
+fn main() {
+    print!("{}", netcl_bench::report_ablate_duplication());
+}

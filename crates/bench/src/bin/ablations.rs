@@ -1,0 +1,4 @@
+//! Prints the ablations reproduction (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", netcl_bench::report_ablations());
+}

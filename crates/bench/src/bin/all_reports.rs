@@ -1,0 +1,17 @@
+//! Prints every table/figure reproduction in paper order.
+fn main() {
+    for r in [
+        netcl_bench::report_table3(),
+        netcl_bench::report_fig12(),
+        netcl_bench::report_table4(3),
+        netcl_bench::report_table5(),
+        netcl_bench::report_table6(),
+        netcl_bench::report_fig13(),
+        netcl_bench::report_fig14_agg(&[2, 4, 6], 32),
+        netcl_bench::report_fig14_cache(),
+        netcl_bench::report_ablations(),
+        netcl_bench::report_ablate_duplication(),
+    ] {
+        println!("{r}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Writes every application's generated and handwritten P4 to
+//! `artifacts/{generated,handwritten}_p4/` so the compiler output can be
+//! inspected as text (these are the files Table III measures).
+use netcl::{CompileOptions, Compiler};
+use netcl_p4::print::print_program;
+
+fn main() {
+    std::fs::create_dir_all("artifacts/generated_p4").unwrap();
+    std::fs::create_dir_all("artifacts/handwritten_p4").unwrap();
+    std::fs::create_dir_all("artifacts/netcl_src").unwrap();
+    for app in netcl_apps::all_apps() {
+        let name = app.name.to_lowercase();
+        std::fs::write(format!("artifacts/netcl_src/{name}.ncl"), &app.netcl_source).unwrap();
+        std::fs::write(
+            format!("artifacts/handwritten_p4/{name}.p4"),
+            print_program(&app.handwritten),
+        )
+        .unwrap();
+        let unit = Compiler::new(CompileOptions::default())
+            .compile(app.name, &app.netcl_source)
+            .unwrap();
+        let dev = unit.device(app.device).unwrap();
+        std::fs::write(format!("artifacts/generated_p4/{name}_tna.p4"), print_program(&dev.tna_p4))
+            .unwrap();
+        std::fs::write(
+            format!("artifacts/generated_p4/{name}_v1model.p4"),
+            print_program(&dev.v1_p4),
+        )
+        .unwrap();
+        eprintln!("wrote artifacts for {}", app.name);
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints the fig12 reproduction (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", netcl_bench::report_fig12());
+}

@@ -1,0 +1,4 @@
+//! Prints the Figure 14 (left) reproduction: AGG end-to-end throughput.
+fn main() {
+    print!("{}", netcl_bench::report_fig14_agg(&[2, 4, 6], 32));
+}

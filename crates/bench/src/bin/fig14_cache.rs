@@ -1,0 +1,4 @@
+//! Prints the Figure 14 (right) reproduction: CACHE response times.
+fn main() {
+    print!("{}", netcl_bench::report_fig14_cache());
+}

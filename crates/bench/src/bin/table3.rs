@@ -1,0 +1,4 @@
+//! Prints the table3 reproduction (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", netcl_bench::report_table3());
+}

@@ -1,0 +1,4 @@
+//! Prints the Table IV reproduction (compilation times, 5 runs).
+fn main() {
+    print!("{}", netcl_bench::report_table4(5));
+}

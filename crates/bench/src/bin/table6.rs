@@ -1,0 +1,4 @@
+//! Prints the table6 reproduction (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", netcl_bench::report_table6());
+}

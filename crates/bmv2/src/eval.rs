@@ -1,0 +1,199 @@
+//! Expression evaluation against a packet.
+
+use crate::packet::Packet;
+use netcl_p4::ast::{Expr, P4BinOp, PathSeg};
+
+/// Evaluates a P4 expression. Returns the value and its width in bits (the
+/// width drives wrapping; boolean results are 1 bit).
+pub fn eval(e: &Expr, pkt: &Packet, widths: &dyn Fn(&str) -> u32) -> (u64, u32) {
+    match e {
+        Expr::Const(v, bits) => (*v, *bits),
+        Expr::Bool(b) => (*b as u64, 1),
+        Expr::Field(segs) => {
+            // `$isValid` pseudo-field.
+            if segs.last().map(|s| s.name.as_str()) == Some("$isValid") {
+                let inst = instance_of(segs);
+                return (pkt.is_valid(&inst) as u64, 1);
+            }
+            let path = canonical(segs);
+            let w = widths(&path);
+            match segs.first().map(|s| s.name.as_str()) {
+                Some("meta") => (pkt.get_meta(&path), w),
+                Some("hdr") => (pkt.get(&path), w),
+                // Bare names are action parameters / locals (metadata
+                // namespace) first, header fields otherwise.
+                _ => match pkt.meta.get(&path) {
+                    Some(v) => (*v, w),
+                    None => (pkt.get(&path), w),
+                },
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let (va, wa) = eval(a, pkt, widths);
+            let (vb, wb) = eval(b, pkt, widths);
+            let w = wa.max(wb);
+            let mask = mask_of(w);
+            let r = match op {
+                P4BinOp::Add => (va.wrapping_add(vb)) & mask,
+                P4BinOp::Sub => (va.wrapping_sub(vb)) & mask,
+                P4BinOp::Mul => (va.wrapping_mul(vb)) & mask,
+                P4BinOp::And => va & vb,
+                P4BinOp::Or => va | vb,
+                P4BinOp::Xor => (va ^ vb) & mask,
+                P4BinOp::Shl => {
+                    if vb >= w as u64 {
+                        0
+                    } else {
+                        (va << vb) & mask
+                    }
+                }
+                P4BinOp::Shr => {
+                    if vb >= 64 {
+                        0
+                    } else {
+                        va >> vb
+                    }
+                }
+                P4BinOp::SatAdd => va.saturating_add(vb).min(mask),
+                P4BinOp::SatSub => va.saturating_sub(vb),
+                P4BinOp::Eq => return ((va == vb) as u64, 1),
+                P4BinOp::Ne => return ((va != vb) as u64, 1),
+                P4BinOp::Lt => return ((va < vb) as u64, 1),
+                P4BinOp::Le => return ((va <= vb) as u64, 1),
+                P4BinOp::Gt => return ((va > vb) as u64, 1),
+                P4BinOp::Ge => return ((va >= vb) as u64, 1),
+                P4BinOp::LAnd => return (((va != 0) && (vb != 0)) as u64, 1),
+                P4BinOp::LOr => return (((va != 0) || (vb != 0)) as u64, 1),
+            };
+            (r, w)
+        }
+        Expr::Not(x) => {
+            let (v, _) = eval(x, pkt, widths);
+            ((v == 0) as u64, 1)
+        }
+        Expr::BitNot(x) => {
+            let (v, w) = eval(x, pkt, widths);
+            ((!v) & mask_of(w), w)
+        }
+        Expr::Cast(bits, x) => {
+            let (v, _) = eval(x, pkt, widths);
+            (v & mask_of(*bits), *bits)
+        }
+        Expr::Slice(x, hi, lo) => {
+            let (v, _) = eval(x, pkt, widths);
+            let width = hi - lo + 1;
+            ((v >> lo) & mask_of(width), width)
+        }
+        Expr::TableHit(_) | Expr::TableMiss(_) => {
+            // Table applications are handled at statement level; reaching
+            // here is a program-structure bug — fail closed.
+            (0, 1)
+        }
+    }
+}
+
+/// Canonical field path string (matching the code generator's layout).
+pub fn canonical(segs: &[PathSeg]) -> String {
+    let body: Vec<String> = segs
+        .iter()
+        .filter(|s| s.name != "hdr" && s.name != "meta")
+        .map(|s| match s.index {
+            Some(i) => format!("{}[{i}]", s.name),
+            None => s.name.clone(),
+        })
+        .collect();
+    body.join(".")
+}
+
+/// The header instance a path refers to (`hdr.ncl.src` → `ncl`).
+pub fn instance_of(segs: &[PathSeg]) -> String {
+    segs.iter()
+        .find(|s| s.name != "hdr" && !s.name.starts_with('$'))
+        .map(|s| s.name.clone())
+        .unwrap_or_default()
+}
+
+/// Low `bits` mask.
+pub fn mask_of(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_p4::ast::Expr as E;
+
+    fn widths(_: &str) -> u32 {
+        16
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        let mut p = Packet::default();
+        p.set("ncl.src", 0xFFFF);
+        let e = E::Bin(
+            P4BinOp::Add,
+            Box::new(E::field(&["hdr", "ncl", "src"])),
+            Box::new(E::Const(1, 16)),
+        );
+        assert_eq!(eval(&e, &p, &widths).0, 0);
+        let e = E::Bin(
+            P4BinOp::SatAdd,
+            Box::new(E::field(&["hdr", "ncl", "src"])),
+            Box::new(E::Const(1, 16)),
+        );
+        assert_eq!(eval(&e, &p, &widths).0, 0xFFFF);
+    }
+
+    #[test]
+    fn comparisons_yield_bool() {
+        let p = Packet::default();
+        let e = E::Bin(P4BinOp::Lt, Box::new(E::Const(3, 16)), Box::new(E::Const(5, 16)));
+        assert_eq!(eval(&e, &p, &widths), (1, 1));
+    }
+
+    #[test]
+    fn meta_vs_header_namespaces() {
+        let mut p = Packet::default();
+        p.set_meta("t0", 42);
+        p.set("t0", 7); // header field with same name must not collide
+        let e = E::field(&["meta", "t0"]);
+        assert_eq!(eval(&e, &p, &widths).0, 42);
+    }
+
+    #[test]
+    fn validity_pseudo_field() {
+        let mut p = Packet::default();
+        p.set_valid("ncl", true);
+        let e = E::Field(vec![
+            PathSeg::new("hdr"),
+            PathSeg::new("ncl"),
+            PathSeg::new("$isValid"),
+        ]);
+        assert_eq!(eval(&e, &p, &widths), (1, 1));
+    }
+
+    #[test]
+    fn slices_and_casts() {
+        let p = Packet::default();
+        let e = E::Slice(Box::new(E::Const(0xABCD, 16)), 15, 8);
+        assert_eq!(eval(&e, &p, &widths), (0xAB, 8));
+        let e = E::Cast(8, Box::new(E::Const(0xABCD, 16)));
+        assert_eq!(eval(&e, &p, &widths), (0xCD, 8));
+    }
+
+    #[test]
+    fn stack_paths_canonicalize() {
+        let segs = vec![
+            PathSeg::new("hdr"),
+            PathSeg::indexed("arr_c1_a4", 3),
+            PathSeg::new("value"),
+        ];
+        assert_eq!(canonical(&segs), "arr_c1_a4[3].value");
+        assert_eq!(instance_of(&segs), "arr_c1_a4");
+    }
+}

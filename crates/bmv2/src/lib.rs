@@ -1,0 +1,24 @@
+//! A v1model-style software switch: executes P4 programs packet by packet.
+//!
+//! This is the repository's analogue of the p4lang behavioral model (BMv2):
+//! "a software emulator that will execute *any* valid P4 program" (§III).
+//! It drives the same [`netcl_p4::ast::P4Program`] the code generator emits
+//! (or the parser reads from handwritten `.p4` baselines):
+//!
+//! 1. the parser FSM extracts headers from the wire bytes,
+//! 2. the ingress control runs — tables match (first-entry priority),
+//!    actions execute, `RegisterAction`s perform their SALU microprograms
+//!    against persistent register state, hash externs compute with the
+//!    exact algorithms of `netcl_util::hash`,
+//! 3. valid headers deparse back to bytes in extraction order.
+//!
+//! Register and table state persist across packets, and a control-plane
+//! interface ([`Switch::register_write`], [`Switch::table_insert`], ...)
+//! backs the NetCL `_managed_` memory API (§V-B).
+
+pub mod eval;
+pub mod packet;
+pub mod switch;
+
+pub use packet::{Packet, PacketError};
+pub use switch::{Switch, SwitchError};

@@ -1,0 +1,144 @@
+//! The in-flight packet representation: parsed headers + metadata.
+
+use std::collections::HashMap;
+
+/// Errors while parsing/deparsing wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// Ran out of bytes while extracting a header.
+    Truncated {
+        /// Header being extracted.
+        header: String,
+    },
+    /// A referenced header type is unknown.
+    UnknownHeader(String),
+    /// Non-byte-aligned header (the wire format is byte-aligned).
+    Unaligned(String),
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated { header } => write!(f, "packet truncated in `{header}`"),
+            PacketError::UnknownHeader(h) => write!(f, "unknown header `{h}`"),
+            PacketError::Unaligned(h) => write!(f, "header `{h}` is not byte aligned"),
+        }
+    }
+}
+
+/// A parsed packet: header fields, validity, metadata, and residual payload.
+#[derive(Debug, Clone, Default)]
+pub struct Packet {
+    /// Field values keyed by canonical path (`ncl.src`, `arr_c1_a4[3].value`).
+    pub fields: HashMap<String, u64>,
+    /// Valid header instances (`ncl`, `args_c1`, `arr_c1_a4`).
+    pub valid: HashMap<String, bool>,
+    /// Extraction order (deparse emits valid headers in this order).
+    pub order: Vec<String>,
+    /// Metadata fields (zero-initialized on read).
+    pub meta: HashMap<String, u64>,
+    /// Bytes following the parsed headers.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Reads a header field (0 when missing).
+    pub fn get(&self, path: &str) -> u64 {
+        self.fields.get(path).copied().unwrap_or(0)
+    }
+
+    /// Writes a header field.
+    pub fn set(&mut self, path: &str, value: u64) {
+        self.fields.insert(path.to_string(), value);
+    }
+
+    /// Reads metadata (zero default).
+    pub fn get_meta(&self, name: &str) -> u64 {
+        self.meta.get(name).copied().unwrap_or(0)
+    }
+
+    /// Writes metadata.
+    pub fn set_meta(&mut self, name: &str, value: u64) {
+        self.meta.insert(name.to_string(), value);
+    }
+
+    /// Header validity.
+    pub fn is_valid(&self, instance: &str) -> bool {
+        self.valid.get(instance).copied().unwrap_or(false)
+    }
+
+    /// Marks a header (in)valid, preserving first-extraction order.
+    pub fn set_valid(&mut self, instance: &str, valid: bool) {
+        if valid && !self.order.iter().any(|o| o == instance) {
+            self.order.push(instance.to_string());
+        }
+        self.valid.insert(instance.to_string(), valid);
+    }
+}
+
+/// Reads `bits` (byte-aligned, big-endian network order) from `bytes` at
+/// `*cursor`, advancing it.
+pub fn read_field(bytes: &[u8], cursor: &mut usize, bits: u32) -> Option<u64> {
+    let nbytes = (bits / 8) as usize;
+    if bits % 8 != 0 || *cursor + nbytes > bytes.len() {
+        return None;
+    }
+    let mut v = 0u64;
+    for i in 0..nbytes {
+        v = (v << 8) | bytes[*cursor + i] as u64;
+    }
+    *cursor += nbytes;
+    Some(v)
+}
+
+/// Appends `bits` of `value` in network order.
+pub fn write_field(out: &mut Vec<u8>, value: u64, bits: u32) {
+    let nbytes = (bits / 8) as usize;
+    for i in (0..nbytes).rev() {
+        out.push((value >> (8 * i)) as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_roundtrip() {
+        let mut out = Vec::new();
+        write_field(&mut out, 0xDEAD, 16);
+        write_field(&mut out, 0xBEEFCAFE, 32);
+        write_field(&mut out, 7, 8);
+        let mut cur = 0;
+        assert_eq!(read_field(&out, &mut cur, 16), Some(0xDEAD));
+        assert_eq!(read_field(&out, &mut cur, 32), Some(0xBEEFCAFE));
+        assert_eq!(read_field(&out, &mut cur, 8), Some(7));
+        assert_eq!(cur, out.len());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = [1u8, 2];
+        let mut cur = 0;
+        assert_eq!(read_field(&bytes, &mut cur, 32), None);
+    }
+
+    #[test]
+    fn validity_tracks_order() {
+        let mut p = Packet::default();
+        p.set_valid("ncl", true);
+        p.set_valid("args_c1", true);
+        p.set_valid("ncl", true); // re-validation keeps position
+        assert_eq!(p.order, vec!["ncl".to_string(), "args_c1".to_string()]);
+        p.set_valid("args_c1", false);
+        assert!(!p.is_valid("args_c1"));
+        assert!(p.is_valid("ncl"));
+    }
+
+    #[test]
+    fn metadata_zero_default() {
+        let p = Packet::default();
+        assert_eq!(p.get_meta("anything"), 0);
+        assert_eq!(p.get("ncl.src"), 0);
+    }
+}

@@ -1,0 +1,690 @@
+//! The switch: parser FSM, ingress execution, deparser, and state.
+
+use std::collections::HashMap;
+
+use crate::eval::{canonical, eval, instance_of, mask_of};
+use crate::packet::{read_field, write_field, Packet, PacketError};
+use netcl_ir::interp::eval_intrinsic;
+use netcl_p4::ast::*;
+
+/// Runtime errors (all indicate malformed programs or packets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// Packet parse failure.
+    Packet(PacketError),
+    /// Program references an unknown entity.
+    Unknown(String),
+}
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwitchError::Packet(p) => write!(f, "{p}"),
+            SwitchError::Unknown(s) => write!(f, "unknown entity `{s}`"),
+        }
+    }
+}
+
+impl From<PacketError> for SwitchError {
+    fn from(p: PacketError) -> Self {
+        SwitchError::Packet(p)
+    }
+}
+
+/// A software switch instance executing one P4 program.
+pub struct Switch {
+    program: P4Program,
+    /// Register name → element values.
+    registers: HashMap<String, Vec<u64>>,
+    /// Runtime table entries (initialized from `const entries`; mutable via
+    /// the control plane — the `_managed_ _lookup_` path).
+    tables: HashMap<String, Vec<TableEntry>>,
+    /// Width lookup caches.
+    field_widths: HashMap<String, u32>,
+    rng: u64,
+    /// Packets processed (telemetry).
+    pub packets_processed: u64,
+}
+
+impl Switch {
+    /// Instantiates a switch for `program` with zeroed registers.
+    pub fn new(program: P4Program) -> Switch {
+        let mut registers = HashMap::new();
+        let mut tables = HashMap::new();
+        let mut field_widths = HashMap::new();
+        for c in &program.controls {
+            for r in &c.registers {
+                registers.insert(r.name.clone(), vec![0u64; r.size as usize]);
+            }
+            for t in &c.tables {
+                tables.insert(t.name.clone(), t.entries.clone());
+            }
+            for (n, w) in &c.locals {
+                field_widths.insert(n.clone(), *w);
+            }
+        }
+        for h in &program.headers {
+            let instance = h.name.strip_suffix("_t").unwrap_or(&h.name).to_string();
+            for (f, w) in &h.fields {
+                if h.stack > 1 {
+                    for i in 0..h.stack {
+                        field_widths.insert(format!("{instance}[{i}].{f}"), *w);
+                    }
+                } else {
+                    field_widths.insert(format!("{instance}.{f}"), *w);
+                }
+            }
+        }
+        Switch {
+            program,
+            registers,
+            tables,
+            field_widths,
+            rng: 0x9E37_79B9_97F4_A7C1,
+            packets_processed: 0,
+        }
+    }
+
+    /// The program this switch runs.
+    pub fn program(&self) -> &P4Program {
+        &self.program
+    }
+
+    // ---- control plane (backs `_managed_` memory, §V-B) -----------------
+
+    /// Reads one register element.
+    pub fn register_read(&self, name: &str, index: usize) -> Option<u64> {
+        self.registers.get(name)?.get(index).copied()
+    }
+
+    /// Writes one register element.
+    pub fn register_write(&mut self, name: &str, index: usize, value: u64) -> bool {
+        match self.registers.get_mut(name).and_then(|r| r.get_mut(index)) {
+            Some(cell) => {
+                *cell = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a table entry (control-plane `_managed_ _lookup_` update).
+    pub fn table_insert(&mut self, table: &str, entry: TableEntry) -> bool {
+        match self.tables.get_mut(table) {
+            Some(t) => {
+                t.push(entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes entries matching `key` from a table.
+    pub fn table_delete(&mut self, table: &str, key: &[EntryKey]) -> usize {
+        match self.tables.get_mut(table) {
+            Some(t) => {
+                let before = t.len();
+                t.retain(|e| e.keys != key);
+                before - t.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Replaces every entry of a table.
+    pub fn table_set(&mut self, table: &str, entries: Vec<TableEntry>) -> bool {
+        match self.tables.get_mut(table) {
+            Some(t) => {
+                *t = entries;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tables whose names start with `prefix` (lookup duplication creates
+    /// `name`, `name__dup1`, ... that must be updated together).
+    pub fn tables_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.tables.keys().filter(|k| k.starts_with(prefix)).cloned().collect()
+    }
+
+    // ---- packet processing ----------------------------------------------
+
+    /// Runs one packet through parser → ingress → deparser.
+    pub fn process(&mut self, wire: &[u8]) -> Result<(Packet, Vec<u8>), SwitchError> {
+        self.packets_processed += 1;
+        let mut pkt = self.parse(wire)?;
+        let controls = self.program.controls.clone();
+        for control in &controls {
+            let apply = control.apply.clone();
+            self.exec_stmts(&apply, control, &mut pkt)?;
+        }
+        let out = self.deparse(&pkt)?;
+        Ok((pkt, out))
+    }
+
+    fn header_def(&self, instance: &str) -> Option<&HeaderDef> {
+        let ty = format!("{instance}_t");
+        self.program.headers.iter().find(|h| h.name == ty)
+    }
+
+    fn parse(&self, wire: &[u8]) -> Result<Packet, SwitchError> {
+        let mut pkt = Packet::default();
+        let Some(parser) = self.program.parser.clone() else {
+            pkt.payload = wire.to_vec();
+            return Ok(pkt);
+        };
+        let mut cursor = 0usize;
+        let mut state = "start".to_string();
+        let mut hops = 0;
+        while state != "accept" && state != "reject" {
+            hops += 1;
+            if hops > 64 {
+                return Err(SwitchError::Unknown("parser loop".into()));
+            }
+            let Some(st) = parser.states.iter().find(|s| s.name == state) else {
+                return Err(SwitchError::Unknown(format!("parser state `{state}`")));
+            };
+            for ex in &st.extracts {
+                let instance = ex.strip_prefix("hdr.").unwrap_or(ex).to_string();
+                let def = self
+                    .header_def(&instance)
+                    .ok_or_else(|| SwitchError::Unknown(format!("header `{instance}`")))?;
+                for i in 0..def.stack {
+                    for (fname, bits) in &def.fields {
+                        let v = read_field(wire, &mut cursor, *bits).ok_or(
+                            PacketError::Truncated { header: instance.clone() },
+                        )?;
+                        let path = if def.stack > 1 {
+                            format!("{instance}[{i}].{fname}")
+                        } else {
+                            format!("{instance}.{fname}")
+                        };
+                        pkt.set(&path, v);
+                    }
+                }
+                pkt.set_valid(&instance, true);
+            }
+            state = match &st.transition {
+                Transition::Accept => "accept".into(),
+                Transition::Reject => "reject".into(),
+                Transition::Direct(t) => t.clone(),
+                Transition::Select { selector, cases, default } => {
+                    let widths = self.width_fn();
+                    let (v, _) = eval(selector, &pkt, &widths);
+                    cases
+                        .iter()
+                        .find(|(c, _)| *c == v)
+                        .map(|(_, t)| t.clone())
+                        .unwrap_or_else(|| default.clone())
+                }
+            };
+        }
+        pkt.payload = wire[cursor..].to_vec();
+        Ok(pkt)
+    }
+
+    fn deparse(&self, pkt: &Packet) -> Result<Vec<u8>, SwitchError> {
+        let mut out = Vec::new();
+        for instance in &pkt.order {
+            if !pkt.is_valid(instance) {
+                continue;
+            }
+            let def = self
+                .header_def(instance)
+                .ok_or_else(|| SwitchError::Unknown(format!("header `{instance}`")))?;
+            for i in 0..def.stack {
+                for (fname, bits) in &def.fields {
+                    let path = if def.stack > 1 {
+                        format!("{instance}[{i}].{fname}")
+                    } else {
+                        format!("{instance}.{fname}")
+                    };
+                    write_field(&mut out, pkt.get(&path), *bits);
+                }
+            }
+        }
+        out.extend_from_slice(&pkt.payload);
+        Ok(out)
+    }
+
+    fn width_fn(&self) -> impl Fn(&str) -> u32 + '_ {
+        move |path: &str| self.field_widths.get(path).copied().unwrap_or(32)
+    }
+
+    fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        control: &ControlDef,
+        pkt: &mut Packet,
+    ) -> Result<(), SwitchError> {
+        for s in stmts {
+            self.exec_stmt(s, control, pkt)?;
+        }
+        Ok(())
+    }
+
+    fn assign(&self, pkt: &mut Packet, dst: &Expr, value: u64) {
+        let Expr::Field(segs) = dst else { return };
+        let path = canonical(segs);
+        let width = self.field_widths.get(&path).copied().unwrap_or(32);
+        let v = value & mask_of(width);
+        if segs.first().map(|s| s.name.as_str()) == Some("meta") {
+            pkt.set_meta(&path, v);
+        } else {
+            pkt.set(&path, v);
+        }
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        control: &ControlDef,
+        pkt: &mut Packet,
+    ) -> Result<(), SwitchError> {
+        match stmt {
+            Stmt::Assign(dst, rhs) => {
+                let widths = self.width_fn();
+                let (v, _) = eval(rhs, pkt, &widths);
+                self.assign(pkt, dst, v);
+            }
+            Stmt::CallAction(name) => {
+                let a = control
+                    .action(name)
+                    .ok_or_else(|| SwitchError::Unknown(format!("action `{name}`")))?
+                    .clone();
+                self.exec_action(&a, &[], control, pkt)?;
+            }
+            Stmt::ApplyTable(name) => {
+                self.apply_table(name, control, pkt)?;
+            }
+            Stmt::ExecuteRegisterAction { dst, ra, index } => {
+                let radef = control
+                    .register_action(ra)
+                    .ok_or_else(|| SwitchError::Unknown(format!("RegisterAction `{ra}`")))?
+                    .clone();
+                let reg = control
+                    .register(&radef.register)
+                    .ok_or_else(|| SwitchError::Unknown(format!("register `{}`", radef.register)))?;
+                let bits = reg.elem_bits;
+                let widths = self.width_fn();
+                let (idx, _) = eval(index, pkt, &widths);
+                let cond = match &radef.cond {
+                    Some(c) => eval(c, pkt, &widths).0 != 0,
+                    None => true,
+                };
+                let mut ops = Vec::new();
+                for o in &radef.operands {
+                    ops.push(eval(o, pkt, &widths).0 & mask_of(bits));
+                }
+                drop(widths);
+                let cells = self
+                    .registers
+                    .get_mut(&radef.register)
+                    .ok_or_else(|| SwitchError::Unknown(format!("register `{}`", radef.register)))?;
+                let i = (idx as usize).min(cells.len().saturating_sub(1));
+                let old = cells.get(i).copied().unwrap_or(0);
+                let sty = netcl_sema::Ty::Int { bits: (bits as u8).max(8).min(64), signed: false };
+                let (new, ret) = radef.op.execute(old, cond, &ops, sty);
+                if let Some(cell) = cells.get_mut(i) {
+                    *cell = new & mask_of(bits);
+                }
+                if let Some(d) = dst {
+                    self.assign(pkt, d, ret);
+                }
+            }
+            Stmt::HashGet { dst, hash, args } => {
+                let h = control
+                    .hashes
+                    .iter()
+                    .find(|h| h.name == *hash)
+                    .ok_or_else(|| SwitchError::Unknown(format!("hash `{hash}`")))?
+                    .clone();
+                let widths = self.width_fn();
+                // Hash the concatenated little-endian bytes of all args, as
+                // the IR interpreter does for its single-key form.
+                let mut key = 0u64;
+                let mut key_bits = 0u32;
+                for a in args {
+                    let (v, w) = eval(a, pkt, &widths);
+                    key |= (v & mask_of(w)) << key_bits.min(63);
+                    key_bits += w;
+                }
+                let key_bytes = key_bits.div_ceil(8).max(1);
+                let v = h.algo.compute(key, key_bytes, h.out_bits.min(64) as u8);
+                drop(widths);
+                self.assign(pkt, dst, v);
+            }
+            Stmt::If { cond, then, els } => {
+                let taken = match cond {
+                    Expr::TableHit(t) => self.apply_table(t, control, pkt)?,
+                    Expr::TableMiss(t) => !self.apply_table(t, control, pkt)?,
+                    other => {
+                        let widths = self.width_fn();
+                        let r = eval(other, pkt, &widths).0 != 0;
+                        r
+                    }
+                };
+                if taken {
+                    self.exec_stmts(then, control, pkt)?;
+                } else {
+                    self.exec_stmts(els, control, pkt)?;
+                }
+            }
+            Stmt::ExternCall { dst, func, args } => {
+                let widths = self.width_fn();
+                let mut vals = Vec::new();
+                for a in args {
+                    vals.push(eval(a, pkt, &widths).0);
+                }
+                drop(widths);
+                let v = match func.as_str() {
+                    "random" => {
+                        // SplitMix64, mirroring the IR interpreter's RNG.
+                        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let mut z = self.rng;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                        z ^ (z >> 31)
+                    }
+                    other => match other.split_once('_') {
+                        Some((target, name)) => eval_intrinsic(target, name, &vals),
+                        None => eval_intrinsic("", other, &vals),
+                    },
+                };
+                if let Some(d) = dst {
+                    self.assign(pkt, d, v);
+                }
+            }
+            Stmt::SetValid(e) => {
+                if let Expr::Field(segs) = e {
+                    let inst = instance_of(segs);
+                    pkt.set_valid(&inst, true);
+                }
+            }
+            Stmt::SetInvalid(e) => {
+                if let Expr::Field(segs) = e {
+                    let inst = instance_of(segs);
+                    pkt.set_valid(&inst, false);
+                }
+            }
+            Stmt::Exit => {}
+        }
+        Ok(())
+    }
+
+    /// Applies a table; returns hit/miss.
+    fn apply_table(
+        &mut self,
+        name: &str,
+        control: &ControlDef,
+        pkt: &mut Packet,
+    ) -> Result<bool, SwitchError> {
+        let t = control
+            .table(name)
+            .ok_or_else(|| SwitchError::Unknown(format!("table `{name}`")))?
+            .clone();
+        let widths = self.width_fn();
+        let key_vals: Vec<u64> = t.keys.iter().map(|(k, _)| eval(k, pkt, &widths).0).collect();
+        drop(widths);
+        let entries = self.tables.get(name).cloned().unwrap_or_default();
+        let hit = entries.iter().find(|e| {
+            e.keys.len() == key_vals.len()
+                && e.keys.iter().zip(&key_vals).all(|(ek, kv)| match ek {
+                    EntryKey::Value(v) => v == kv,
+                    EntryKey::Range(lo, hi) => lo <= kv && kv <= hi,
+                })
+        });
+        match hit {
+            Some(entry) => {
+                let entry = entry.clone();
+                if let Some(a) = control.action(&entry.action) {
+                    let a = a.clone();
+                    self.exec_action(&a, &entry.args, control, pkt)?;
+                }
+                Ok(true)
+            }
+            None => {
+                if t.default_action != "NoAction" {
+                    if let Some(a) = control.action(&t.default_action) {
+                        let a = a.clone();
+                        self.exec_action(&a, &[], control, pkt)?;
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    fn exec_action(
+        &mut self,
+        action: &ActionDef,
+        args: &[u64],
+        control: &ControlDef,
+        pkt: &mut Packet,
+    ) -> Result<(), SwitchError> {
+        // Bind parameters as metadata under their bare names (action-local).
+        let saved: Vec<(String, Option<u64>)> = action
+            .params
+            .iter()
+            .map(|(n, _)| (n.clone(), pkt.meta.get(n).copied()))
+            .collect();
+        for ((n, w), v) in action.params.iter().zip(args) {
+            pkt.set_meta(n, v & mask_of(*w));
+        }
+        self.exec_stmts(&action.body, control, pkt)?;
+        for (n, old) in saved {
+            match old {
+                Some(v) => pkt.set_meta(&n, v),
+                None => {
+                    pkt.meta.remove(&n);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_sema::builtins::{AtomicOp, AtomicRmw};
+
+    /// A tiny hand-built program: parse one header, count packets in a
+    /// register, set a field from a table.
+    fn counting_program() -> P4Program {
+        P4Program {
+            name: "count".into(),
+            target: Target::V1Model,
+            headers: vec![HeaderDef {
+                name: "h_t".into(),
+                fields: vec![("k".into(), 16), ("v".into(), 16)],
+                stack: 1,
+            }],
+            parser: Some(ParserDef {
+                name: "P".into(),
+                states: vec![ParserState {
+                    name: "start".into(),
+                    extracts: vec!["hdr.h".into()],
+                    transition: Transition::Accept,
+                }],
+            }),
+            controls: vec![ControlDef {
+                name: "Ig".into(),
+                locals: vec![("cnt".into(), 32)],
+                registers: vec![RegisterDef { name: "R".into(), elem_bits: 32, size: 8 }],
+                register_actions: vec![RegisterActionDef {
+                    name: "bump".into(),
+                    register: "R".into(),
+                    op: AtomicOp { rmw: AtomicRmw::Add, cond: false, ret_new: true },
+                    cond: None,
+                    operands: vec![Expr::val(1, 32)],
+                }],
+                hashes: vec![],
+                actions: vec![ActionDef {
+                    name: "setv".into(),
+                    params: vec![("x".into(), 16)],
+                    body: vec![Stmt::Assign(Expr::field(&["hdr", "h", "v"]), Expr::field(&["x"]))],
+                }],
+                tables: vec![TableDef {
+                    name: "t".into(),
+                    keys: vec![(Expr::field(&["hdr", "h", "k"]), MatchKind::Exact)],
+                    actions: vec!["setv".into()],
+                    entries: vec![TableEntry {
+                        keys: vec![EntryKey::Value(7)],
+                        action: "setv".into(),
+                        args: vec![99],
+                    }],
+                    default_action: "NoAction".into(),
+                    size: 8,
+                }],
+                apply: vec![
+                    Stmt::ExecuteRegisterAction {
+                        dst: Some(Expr::field(&["meta", "cnt"])),
+                        ra: "bump".into(),
+                        index: Expr::val(0, 32),
+                    },
+                    Stmt::ApplyTable("t".into()),
+                ],
+            }],
+        }
+    }
+
+    fn wire(k: u16, v: u16) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_field(&mut out, k as u64, 16);
+        write_field(&mut out, v as u64, 16);
+        out
+    }
+
+    #[test]
+    fn parse_execute_deparse_roundtrip() {
+        let mut sw = Switch::new(counting_program());
+        let (pkt, out) = sw.process(&wire(7, 0)).unwrap();
+        assert_eq!(pkt.get("h.k"), 7);
+        assert_eq!(pkt.get("h.v"), 99, "table hit writes v");
+        // Deparsed bytes reflect the modified header.
+        assert_eq!(out, wire(7, 99));
+        // Register counted the packet.
+        assert_eq!(sw.register_read("R", 0), Some(1));
+        // Miss leaves v alone.
+        let (_, out) = sw.process(&wire(8, 5)).unwrap();
+        assert_eq!(out, wire(8, 5));
+        assert_eq!(sw.register_read("R", 0), Some(2));
+    }
+
+    #[test]
+    fn control_plane_table_updates() {
+        let mut sw = Switch::new(counting_program());
+        assert!(sw.table_insert(
+            "t",
+            TableEntry { keys: vec![EntryKey::Value(8)], action: "setv".into(), args: vec![11] }
+        ));
+        let (_, out) = sw.process(&wire(8, 0)).unwrap();
+        assert_eq!(out, wire(8, 11));
+        assert_eq!(sw.table_delete("t", &[EntryKey::Value(8)]), 1);
+        let (_, out) = sw.process(&wire(8, 0)).unwrap();
+        assert_eq!(out, wire(8, 0));
+    }
+
+    #[test]
+    fn register_control_plane() {
+        let mut sw = Switch::new(counting_program());
+        assert!(sw.register_write("R", 3, 500));
+        assert_eq!(sw.register_read("R", 3), Some(500));
+        assert!(!sw.register_write("missing", 0, 1));
+        assert!(!sw.register_write("R", 99, 1));
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let mut sw = Switch::new(counting_program());
+        let r = sw.process(&[0x01]);
+        assert!(matches!(r, Err(SwitchError::Packet(PacketError::Truncated { .. }))));
+    }
+
+    /// Differential test: the compiled Fig. 4 kernel behaves identically on
+    /// the IR interpreter and on the generated P4 running here.
+    #[test]
+    fn generated_p4_matches_ir_interpreter() {
+        let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile("fig4.ncl", FIG4)
+            .unwrap();
+        let dev = &unit.devices[0];
+        let mut sw = Switch::new(dev.tna_p4.clone());
+        let module = &dev.tna_ir;
+        let kernel = &module.kernels[0];
+        let mut st = netcl_ir::interp::DeviceState::new(module);
+        let mut env = netcl_ir::interp::ExecEnv { to: 1, ..Default::default() };
+
+        for (op, k) in [(1u64, 2u64), (1, 99), (1, 2), (0, 3), (1, 99), (1, 4)] {
+            // IR side.
+            let mut args = vec![vec![op], vec![k], vec![0u64], vec![0u64], vec![0u64]];
+            let r = netcl_ir::interp::execute(kernel, module, &mut st, &mut args, &mut env)
+                .unwrap();
+
+            // P4 side: build the NetCL wire packet (Fig. 10 layout).
+            let mut w = Vec::new();
+            write_field(&mut w, 1, 16); // src
+            write_field(&mut w, 2, 16); // dst
+            write_field(&mut w, 1, 16); // from
+            write_field(&mut w, 1, 16); // to (this device)
+            write_field(&mut w, 1, 8); // comp
+            write_field(&mut w, 0, 8); // action
+            write_field(&mut w, 0, 16); // target
+            write_field(&mut w, op, 8); // a0_op
+            write_field(&mut w, k, 32); // a1_k
+            write_field(&mut w, 0, 32); // a2_v
+            write_field(&mut w, 0, 8); // a3_hit
+            write_field(&mut w, 0, 32); // a4_hot
+            let (pkt, _) = sw.process(&w).unwrap();
+
+            assert_eq!(
+                pkt.get("ncl.action"),
+                r.action.code() as u64,
+                "action diverges on op={op} k={k}"
+            );
+            assert_eq!(pkt.get("args_c1.a2_v"), args[2][0], "v diverges on k={k}");
+            assert_eq!(pkt.get("args_c1.a3_hit"), args[3][0], "hit diverges on k={k}");
+            assert_eq!(pkt.get("args_c1.a4_hot"), args[4][0], "hot diverges on k={k}");
+        }
+        // Register state agrees too (CMS partitions).
+        for p in 0..3 {
+            let name = format!("cms__{p}");
+            let (mem, g) = module.global_by_name(&name).unwrap();
+            for i in 0..g.element_count() {
+                if st.read(mem, i) != 0 {
+                    assert_eq!(
+                        sw.register_read(&name, i),
+                        Some(st.read(mem, i)),
+                        "{name}[{i}] diverges"
+                    );
+                }
+            }
+        }
+    }
+
+    const FIG4: &str = r#"
+#define CMS_HASHES 3
+#define THRESH 512
+#define GET_REQ 1
+_managed_ unsigned cms[CMS_HASHES][65536];
+_net_ void sketch(unsigned k, unsigned &hot) {
+  unsigned c[CMS_HASHES];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(k)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(k)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(k)], 1);
+  for (auto i = 1; i < CMS_HASHES; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  hot = c[0] > THRESH ? c[0] : 0;
+}
+_net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42}, {2,42}, {3,42}, {4,42}};
+_kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
+                             char &hit, unsigned &hot) {
+  if (op == GET_REQ) {
+    hit = ncl::lookup(cache, k, v);
+    return hit ? ncl::reflect() : sketch(k, hot);
+  }
+}
+"#;
+}

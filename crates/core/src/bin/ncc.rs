@@ -1,0 +1,122 @@
+//! `ncc` — the NetCL compiler driver (paper Fig. 3).
+//!
+//! ```text
+//! ncc <file.ncl> [--device N] [--target tna|v1model|both]
+//!     [--emit-p4 DIR] [--dump-ir] [--no-speculation] [--no-dup-lookup]
+//!     [--no-icmp-rewrite] [--report]
+//! ```
+//!
+//! Compiles a NetCL-C translation unit for every device it mentions,
+//! optionally writing the generated P4 programs, dumping the IR, and
+//! printing the Tofino fit report.
+
+use netcl::{CompileOptions, Compiler, EmitTarget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut opts = CompileOptions::default();
+    let mut emit_dir: Option<String> = None;
+    let mut dump_ir = false;
+    let mut report = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => {
+                i += 1;
+                let d: u16 = args[i].parse().expect("--device takes a number");
+                opts.devices.get_or_insert_with(Vec::new).push(d);
+            }
+            "--target" => {
+                i += 1;
+                opts.target = match args[i].as_str() {
+                    "tna" => EmitTarget::Tna,
+                    "v1model" => EmitTarget::V1Model,
+                    "both" => EmitTarget::Both,
+                    other => {
+                        eprintln!("unknown target `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--emit-p4" => {
+                i += 1;
+                emit_dir = Some(args[i].clone());
+            }
+            "--dump-ir" => dump_ir = true,
+            "--report" => report = true,
+            "--no-speculation" => opts.flags.speculation = false,
+            "--no-dup-lookup" => opts.flags.duplicate_lookup = false,
+            "--no-icmp-rewrite" => opts.flags.icmp_to_sub_msb = false,
+            "--help" | "-h" => {
+                eprintln!("usage: ncc <file.ncl> [--device N] [--target tna|v1model|both] [--emit-p4 DIR] [--dump-ir] [--report] [--no-speculation] [--no-dup-lookup] [--no-icmp-rewrite]");
+                return;
+            }
+            f if !f.starts_with('-') => file = Some(f.to_string()),
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("usage: ncc <file.ncl> [flags] (try --help)");
+        std::process::exit(2);
+    };
+    let source = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("ncc: cannot read `{file}`: {e}");
+        std::process::exit(1);
+    });
+
+    match Compiler::new(opts).compile(&file, &source) {
+        Ok(unit) => {
+            for w in &unit.warnings {
+                eprintln!("{w}");
+            }
+            for dev in &unit.devices {
+                eprintln!(
+                    "compiled device {} ({} kernel(s))",
+                    dev.device,
+                    dev.tna_ir.kernels.len().max(dev.v1_ir.kernels.len())
+                );
+                if dump_ir {
+                    println!("{}", netcl::ir::print::print_module(&dev.tna_ir));
+                }
+                if let Some(dir) = &emit_dir {
+                    std::fs::create_dir_all(dir).expect("create emit dir");
+                    let base = std::path::Path::new(&file)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("out");
+                    for (suffix, p4) in [("tna", &dev.tna_p4), ("v1model", &dev.v1_p4)] {
+                        if p4.controls.is_empty() {
+                            continue;
+                        }
+                        let path = format!("{dir}/{base}_dev{}_{suffix}.p4", dev.device);
+                        std::fs::write(&path, netcl::p4::print::print_program(p4))
+                            .expect("write p4");
+                        eprintln!("  wrote {path}");
+                    }
+                }
+                if report {
+                    match netcl_tofino::fit(&dev.tna_p4) {
+                        Ok(r) => println!("{}", r.table_v_row()),
+                        Err(e) => println!("device {}: does not fit: {e}", dev.device),
+                    }
+                }
+            }
+            eprintln!(
+                "ncc: {:.1} ms total ({:.1} ms frontend, {:.1} ms passes, {:.1} ms codegen)",
+                unit.timings.total().as_secs_f64() * 1e3,
+                (unit.timings.frontend + unit.timings.sema).as_secs_f64() * 1e3,
+                (unit.timings.lower + unit.timings.passes).as_secs_f64() * 1e3,
+                unit.timings.codegen.as_secs_f64() * 1e3,
+            );
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The `ncc` compiler driver (paper Fig. 3, steps 1–2).
+//!
+//! Orchestrates the full pipeline — parse, semantic analysis, per-device
+//! lowering, the §VI-B pass pipeline, and P4 code generation — and reports
+//! per-phase timings (the `ncc` rows of Table IV).
+
+use std::time::{Duration, Instant};
+
+use netcl_ir::Module;
+use netcl_p4::ast::{P4Program, Target};
+use netcl_passes::{PassFlags, PipelineTarget};
+use netcl_sema::Model;
+use netcl_util::DiagnosticSink;
+
+use crate::codegen;
+use crate::lower;
+
+/// Which P4 dialects to emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EmitTarget {
+    /// Intel Tofino (TNA) only.
+    Tna,
+    /// v1model only.
+    V1Model,
+    /// Both (default) — the paper develops backends for both extremes.
+    #[default]
+    Both,
+}
+
+/// Compiler configuration.
+#[derive(Clone, Debug, Default)]
+pub struct CompileOptions {
+    /// Emitted dialects.
+    pub target: EmitTarget,
+    /// Pass pipeline flags (§VI-B transformation toggles).
+    pub flags: PassFlags,
+    /// Devices to compile for; defaults to every device mentioned in an
+    /// `_at(...)` (or device 0 for location-less programs).
+    pub devices: Option<Vec<u16>>,
+}
+
+/// Per-phase wall-clock timings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompileTimings {
+    /// Preprocess + lex + parse.
+    pub frontend: Duration,
+    /// Semantic analysis.
+    pub sema: Duration,
+    /// Lowering (all devices).
+    pub lower: Duration,
+    /// Pass pipelines (all devices, both targets).
+    pub passes: Duration,
+    /// P4 code generation (all devices, both targets).
+    pub codegen: Duration,
+}
+
+impl CompileTimings {
+    /// Total `ncc` time.
+    pub fn total(&self) -> Duration {
+        self.frontend + self.sema + self.lower + self.passes + self.codegen
+    }
+}
+
+/// The output for one device.
+#[derive(Clone, Debug)]
+pub struct CompiledDevice {
+    /// Device id.
+    pub device: u16,
+    /// Tofino-legal IR (post Tofino pipeline) — the allocator's input.
+    pub tna_ir: Module,
+    /// v1model-legal IR (common pipeline only).
+    pub v1_ir: Module,
+    /// Generated TNA P4.
+    pub tna_p4: P4Program,
+    /// Generated v1model P4.
+    pub v1_p4: P4Program,
+}
+
+/// A fully compiled translation unit.
+#[derive(Debug)]
+pub struct CompiledUnit {
+    /// The semantic model (kernel specifications for the host runtime).
+    pub model: Model,
+    /// Per-device outputs.
+    pub devices: Vec<CompiledDevice>,
+    /// Phase timings.
+    pub timings: CompileTimings,
+    /// Warnings (rendered).
+    pub warnings: Vec<String>,
+}
+
+impl CompiledUnit {
+    /// The output for a specific device id.
+    pub fn device(&self, id: u16) -> Option<&CompiledDevice> {
+        self.devices.iter().find(|d| d.device == id)
+    }
+}
+
+/// Compilation failure: rendered diagnostics.
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    /// Human-readable diagnostics, one per line group.
+    pub message: String,
+    /// Machine-readable codes in order of emission.
+    pub codes: Vec<String>,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The NetCL compiler.
+pub struct Compiler {
+    options: CompileOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler with the given options.
+    pub fn new(options: CompileOptions) -> Compiler {
+        Compiler { options }
+    }
+
+    /// Compiles one NetCL-C translation unit.
+    pub fn compile(&self, name: &str, source: &str) -> Result<CompiledUnit, CompileError> {
+        let mut timings = CompileTimings::default();
+
+        let t0 = Instant::now();
+        let (unit, mut diags) = netcl_lang::parse(name, source);
+        timings.frontend = t0.elapsed();
+        if diags.has_errors() {
+            return Err(render(&diags, &unit.source_map));
+        }
+
+        let t0 = Instant::now();
+        let (analysis, sema_diags) = netcl_sema::analyze(&unit);
+        timings.sema = t0.elapsed();
+        diags.absorb(sema_diags);
+        if diags.has_errors() {
+            return Err(render(&diags, &unit.source_map));
+        }
+
+        let devices = self
+            .options
+            .devices
+            .clone()
+            .unwrap_or_else(|| analysis.model.mentioned_devices());
+
+        let mut out_devices = Vec::new();
+        for dev in devices {
+            let t0 = Instant::now();
+            let base = lower::lower_device(&unit, &analysis, dev, &mut diags);
+            timings.lower += t0.elapsed();
+            if diags.has_errors() {
+                return Err(render(&diags, &unit.source_map));
+            }
+            if let Err(errs) = netcl_ir::verify::verify_module(&base) {
+                let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+                return Err(CompileError {
+                    message: format!("internal: lowered IR fails verification:\n{}", msgs.join("\n")),
+                    codes: vec!["E0399".into()],
+                });
+            }
+
+            let want_tna = self.options.target != EmitTarget::V1Model;
+            let want_v1 = self.options.target != EmitTarget::Tna;
+
+            let t0 = Instant::now();
+            let mut tna_ir = base.clone();
+            if want_tna
+                && netcl_passes::run_pipeline(
+                    &mut tna_ir,
+                    PipelineTarget::Tofino,
+                    &self.options.flags,
+                    &mut diags,
+                )
+                .is_err()
+            {
+                return Err(render(&diags, &unit.source_map));
+            }
+            let mut v1_ir = base;
+            if want_v1
+                && netcl_passes::run_pipeline(
+                    &mut v1_ir,
+                    PipelineTarget::V1Model,
+                    &self.options.flags,
+                    &mut diags,
+                )
+                .is_err()
+            {
+                return Err(render(&diags, &unit.source_map));
+            }
+            timings.passes += t0.elapsed();
+
+            let t0 = Instant::now();
+            let empty = P4Program::default();
+            let tna_p4 = if want_tna {
+                codegen::generate(&tna_ir, Target::Tna).map_err(|e| CompileError {
+                    message: e.to_string(),
+                    codes: vec![e.code.to_string()],
+                })?
+            } else {
+                empty.clone()
+            };
+            let v1_p4 = if want_v1 {
+                codegen::generate(&v1_ir, Target::V1Model).map_err(|e| CompileError {
+                    message: e.to_string(),
+                    codes: vec![e.code.to_string()],
+                })?
+            } else {
+                empty
+            };
+            timings.codegen += t0.elapsed();
+
+            out_devices.push(CompiledDevice { device: dev, tna_ir, v1_ir, tna_p4, v1_p4 });
+        }
+
+        let warnings = diags
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == netcl_util::Severity::Warning)
+            .map(|d| d.render(&unit.source_map))
+            .collect();
+        Ok(CompiledUnit { model: analysis.model, devices: out_devices, timings, warnings })
+    }
+}
+
+fn render(diags: &DiagnosticSink, map: &netcl_util::SourceMap) -> CompileError {
+    CompileError {
+        message: diags.render_all(map),
+        codes: diags.diagnostics().iter().map(|d| d.code.to_string()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_ir::interp::{execute, DeviceState, ExecEnv};
+    use netcl_sema::builtins::ActionKind;
+
+    pub const FIG4_CACHE: &str = r#"
+#define CMS_HASHES 3
+#define THRESH 512
+#define GET_REQ 1
+_managed_ unsigned cms[CMS_HASHES][65536];
+
+_net_ void sketch(unsigned k, unsigned &hot) {
+  unsigned c[CMS_HASHES];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(k)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(k)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(k)], 1);
+  for (auto i = 1; i < CMS_HASHES; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  hot = c[0] > THRESH ? c[0] : 0;
+}
+
+_net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42}, {2,42},
+                                                      {3,42}, {4,42}};
+
+_kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
+                             char &hit, unsigned &hot) {
+  if (op == GET_REQ) {
+    hit = ncl::lookup(cache, k, v);
+    return hit ? ncl::reflect() : sketch(k, hot);
+  }
+}
+"#;
+
+    #[test]
+    fn compiles_figure4_cache() {
+        let unit = Compiler::new(CompileOptions::default())
+            .compile("fig4.ncl", FIG4_CACHE)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(unit.devices.len(), 1);
+        let dev = &unit.devices[0];
+        assert_eq!(dev.device, 1);
+        // TNA P4 carries the cache MAT and three CMS registers (partitioned).
+        let ig = dev.tna_p4.control("Ig").unwrap();
+        assert!(ig.tables.iter().any(|t| t.name.starts_with("lu_cache")), "cache MAT missing");
+        let cms_regs =
+            ig.registers.iter().filter(|r| r.name.starts_with("cms__")).count();
+        assert_eq!(cms_regs, 3, "partitioning should split cms into 3 registers");
+        assert_eq!(ig.register_actions.len(), 3);
+        assert!(ig.register_actions.iter().all(|ra| ra.op.name() == "atomic_sadd_new"));
+        // Hash engines for xor16/crc32<16>/crc16.
+        assert_eq!(ig.hashes.len(), 3);
+        // v1model P4 also generated.
+        assert!(!dev.v1_p4.controls.is_empty());
+    }
+
+    /// Execute the compiled cache kernel on the IR interpreter:
+    /// hit → reflect + value written; miss → pass + CMS counted.
+    #[test]
+    fn figure4_semantics_hit_and_miss() {
+        let unit = Compiler::new(CompileOptions::default())
+            .compile("fig4.ncl", FIG4_CACHE)
+            .unwrap();
+        let dev = &unit.devices[0];
+        let module = &dev.tna_ir;
+        let kernel = &module.kernels[0];
+        let mut st = DeviceState::new(module);
+        let mut env = ExecEnv::default();
+
+        // args: op, k, v, hit, hot
+        let mut args = vec![vec![1u64], vec![2u64], vec![0u64], vec![0u64], vec![0u64]];
+        let r = execute(kernel, module, &mut st, &mut args, &mut env).unwrap();
+        assert_eq!(r.action, ActionKind::Reflect);
+        assert_eq!(args[2][0], 42, "cache value written to v");
+        assert_eq!(args[3][0], 1, "hit flag set");
+
+        // Miss: key 99 → pass, sketch counts it (hot still 0 below THRESH).
+        let mut args = vec![vec![1u64], vec![99u64], vec![0u64], vec![0u64], vec![0u64]];
+        let r = execute(kernel, module, &mut st, &mut args, &mut env).unwrap();
+        assert_eq!(r.action, ActionKind::Pass);
+        assert_eq!(args[3][0], 0);
+        // One CMS row counted once in each of the three partitions.
+        let total: u64 = (0..3)
+            .map(|p| {
+                let (mem, g) = module
+                    .global_by_name(&format!("cms__{p}"))
+                    .expect("partitioned cms");
+                (0..g.element_count()).map(|i| st.read(mem, i)).sum::<u64>()
+            })
+            .sum();
+        assert_eq!(total, 3, "each hash partition counted the miss once");
+
+        // Non-GET op: implicit pass, nothing written.
+        let mut args = vec![vec![0u64], vec![1u64], vec![0u64], vec![0u64], vec![0u64]];
+        let r = execute(kernel, module, &mut st, &mut args, &mut env).unwrap();
+        assert_eq!(r.action, ActionKind::Pass);
+        assert_eq!(args[2][0], 0);
+    }
+
+    /// Hot detection: drive the same key past THRESH misses.
+    #[test]
+    fn figure4_hot_key_detection() {
+        let unit = Compiler::new(CompileOptions::default())
+            .compile("fig4.ncl", FIG4_CACHE)
+            .unwrap();
+        let dev = &unit.devices[0];
+        let module = &dev.tna_ir;
+        let kernel = &module.kernels[0];
+        let mut st = DeviceState::new(module);
+        let mut env = ExecEnv::default();
+        let mut last_hot = 0u64;
+        for _ in 0..520 {
+            let mut args = vec![vec![1u64], vec![77u64], vec![0u64], vec![0u64], vec![0u64]];
+            execute(kernel, module, &mut st, &mut args, &mut env).unwrap();
+            last_hot = args[4][0];
+        }
+        assert!(last_hot > 512, "key should be reported hot after 520 misses, got {last_hot}");
+    }
+
+    #[test]
+    fn unrollable_loop_limits() {
+        let src = r#"
+_net_ unsigned Acc[8];
+_kernel(1) void k(unsigned x) {
+  for (auto i = 0; i < x; ++i)
+    ncl::atomic_add(&Acc[0], 1);
+}
+"#;
+        let err = Compiler::new(CompileOptions::default()).compile("t.ncl", src).unwrap_err();
+        assert!(err.codes.iter().any(|c| c == "E0306"), "{err}");
+    }
+
+    #[test]
+    fn while_rejected() {
+        let src = "_kernel(1) void k(unsigned &x) { while (x > 0) { x = x - 1; } }";
+        let err = Compiler::new(CompileOptions::default()).compile("t.ncl", src).unwrap_err();
+        assert!(err.codes.iter().any(|c| c == "E0306"), "{err}");
+    }
+
+    #[test]
+    fn same_path_double_access_rejected_for_tofino_only() {
+        let src = r#"
+_net_ int m[42];
+_kernel(2) void a(int x, int &o) { o = m[0] + m[1]; }
+"#;
+        // Tofino target rejects (§V-D)...
+        let err = Compiler::new(CompileOptions {
+            target: EmitTarget::Tna,
+            ..Default::default()
+        })
+        .compile("t.ncl", src)
+        .unwrap_err();
+        assert!(err.codes.iter().any(|c| c == "E0302"), "{err}");
+        // ...while the v1model software switch accepts.
+        let ok = Compiler::new(CompileOptions {
+            target: EmitTarget::V1Model,
+            ..Default::default()
+        })
+        .compile("t.ncl", src);
+        assert!(ok.is_ok(), "{:?}", ok.err().map(|e| e.message));
+    }
+
+    #[test]
+    fn multi_device_compilation() {
+        let src = r#"
+_net_ _at(1,2) int m[42];
+_kernel(1) _at(1,2) void a(int x, int &o) {
+  if (device.id == 1) { o = ncl::atomic_add(&m[0], x); }
+  else { o = ncl::atomic_add(&m[1], x); }
+}
+"#;
+        let unit = Compiler::new(CompileOptions::default()).compile("t.ncl", src).unwrap();
+        assert_eq!(unit.devices.len(), 2);
+        // device.id materialization folds each device's branch away: each
+        // module's kernel has exactly one atomic.
+        for d in &unit.devices {
+            let atomics: usize = d
+                .tna_ir
+                .kernels[0]
+                .blocks
+                .iter()
+                .map(|b| {
+                    b.insts
+                        .iter()
+                        .filter(|i| matches!(i.kind, netcl_ir::InstKind::AtomicRmw { .. }))
+                        .count()
+                })
+                .sum();
+            assert_eq!(atomics, 1, "device {} kept both branches", d.device);
+        }
+    }
+
+    #[test]
+    fn timings_populated() {
+        let unit = Compiler::new(CompileOptions::default())
+            .compile("fig4.ncl", FIG4_CACHE)
+            .unwrap();
+        assert!(unit.timings.total() > Duration::ZERO);
+    }
+}

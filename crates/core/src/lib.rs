@@ -1,0 +1,48 @@
+//! NetCL — a unified programming framework for in-network computing.
+//!
+//! This crate is the paper's primary contribution as a Rust library: the
+//! `ncc` compiler pipeline that turns NetCL-C device code into P4 programs
+//! for Intel Tofino (TNA) and the v1model software switch (paper §III, §VI).
+//!
+//! ```text
+//!  NetCL-C source ──lang──▶ AST ──sema──▶ model ──lower──▶ SSA IR
+//!        ──passes──▶ target-legal IR ──codegen──▶ P4 (TNA / v1model)
+//! ```
+//!
+//! The public entry point is [`Compiler`]:
+//!
+//! ```
+//! use netcl::{Compiler, CompileOptions};
+//!
+//! let source = r#"
+//!     _net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42},{2,43}};
+//!     _kernel(1) void query(char op, unsigned k, unsigned &v, char &hit) {
+//!         if (op == 'G') {
+//!             hit = ncl::lookup(cache, k, v);
+//!             if (hit) return ncl::reflect();
+//!         }
+//!     }
+//! "#;
+//! let unit = Compiler::new(CompileOptions::default())
+//!     .compile("cache.ncl", source)
+//!     .expect("compiles");
+//! assert_eq!(unit.devices.len(), 1);
+//! let p4 = &unit.devices[0].tna_p4;
+//! assert!(p4.controls.iter().any(|c| !c.tables.is_empty()));
+//! ```
+
+pub mod codegen;
+pub mod compiler;
+pub mod lower;
+
+pub use compiler::{
+    CompileError, CompileOptions, CompiledDevice, CompiledUnit, Compiler, EmitTarget,
+};
+
+// Re-export the layers for downstream crates (runtime, apps, benches).
+pub use netcl_ir as ir;
+pub use netcl_lang as lang;
+pub use netcl_p4 as p4;
+pub use netcl_passes as passes;
+pub use netcl_sema as sema;
+pub use netcl_util as util;

@@ -1,0 +1,314 @@
+//! CFG orders and dominance.
+//!
+//! Implements reverse postorder, the Cooper–Harvey–Kennedy iterative
+//! dominator algorithm, and dominance frontiers. Used by mem2reg (φ
+//! placement), hoisting (nearest common dominator), the distance checks of
+//! §VI-B, and the code generator's lexical-scope construction.
+
+use crate::func::{BlockId, Function};
+use netcl_util::idx::{Idx, IndexVec};
+use std::collections::HashMap;
+
+/// Reverse postorder of reachable blocks starting at the entry.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    // Iterative DFS with explicit successor cursor.
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+    visited[f.entry.index()] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.blocks[b].term.successors();
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if s.index() >= n {
+                continue; // malformed target; the verifier reports it
+            }
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            postorder.push(b);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Dominator tree over a function's reachable blocks.
+#[derive(Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block (entry maps to itself).
+    pub idom: HashMap<BlockId, BlockId>,
+    /// Reverse postorder used to build the tree.
+    pub rpo: Vec<BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+}
+
+impl DomTree {
+    /// Computes dominators (Cooper–Harvey–Kennedy).
+    pub fn compute(f: &Function) -> DomTree {
+        let rpo = reverse_postorder(f);
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let preds = f.predecessors();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(f.entry, f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b] {
+                    if !idom.contains_key(&p) {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, rpo, rpo_index }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(&cur) {
+                Some(&p) if p != cur => cur = p,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Nearest common dominator of two blocks.
+    pub fn nearest_common_dominator(&self, a: BlockId, b: BlockId) -> BlockId {
+        intersect(&self.idom, &self.rpo_index, a, b)
+    }
+
+    /// Immediate dominator (None for the entry).
+    pub fn immediate_dominator(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom.get(&b) {
+            Some(&p) if p != b => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether a block is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index.contains_key(&b)
+    }
+
+    /// Dominance frontiers (Cytron et al.), for φ placement.
+    pub fn dominance_frontiers(&self, f: &Function) -> IndexVec<BlockId, Vec<BlockId>> {
+        let preds = f.predecessors();
+        let mut df: IndexVec<BlockId, Vec<BlockId>> =
+            f.blocks.indices().map(|_| Vec::new()).collect();
+        for &b in &self.rpo {
+            if preds[b].len() < 2 {
+                continue;
+            }
+            let Some(&id) = self.idom.get(&b) else { continue };
+            for &p in &preds[b] {
+                if !self.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != id {
+                    if !df[runner].contains(&b) {
+                        df[runner].push(b);
+                    }
+                    match self.immediate_dominator(runner) {
+                        Some(next) => runner = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Minimum number of conditional branches on any path from the entry to each
+/// block — the paper's "approximate distance" metric for the §VI-B
+/// same-stage memory check ("we count the minimum number of conditional
+/// branches required to reach each access from the entry block").
+pub fn min_branch_depth(f: &Function) -> IndexVec<BlockId, u32> {
+    let mut depth: IndexVec<BlockId, u32> = f.blocks.indices().map(|_| u32::MAX).collect();
+    depth[f.entry] = 0;
+    // The CFG is a DAG at this point, so one pass in RPO converges; fall back
+    // to fixpoint iteration to stay correct on cyclic inputs.
+    let rpo = reverse_postorder(f);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            let d = depth[b];
+            if d == u32::MAX {
+                continue;
+            }
+            let succs = f.blocks[b].term.successors();
+            let cost = if succs.len() > 1 { 1 } else { 0 };
+            for s in succs {
+                let nd = d + cost;
+                if nd < depth[s] {
+                    depth[s] = nd;
+                    changed = true;
+                }
+            }
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{ActionRef, FuncBuilder, Terminator};
+    use crate::types::{IrTy, Operand};
+
+    /// Builds the classic diamond: entry → {t, e} → join.
+    fn diamond() -> (Function, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = FuncBuilder::new("k", 1);
+        let entry = b.current;
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.terminate(Terminator::CondBr {
+            cond: Operand::imm(1, IrTy::I1),
+            then_bb: t,
+            else_bb: e,
+        });
+        b.switch_to(t);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(e);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(j);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        (b.finish(), entry, t, e, j)
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_ends_at_exit() {
+        let (f, entry, _, _, j) = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], entry);
+        assert_eq!(*rpo.last().unwrap(), j);
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let (f, entry, t, e, j) = diamond();
+        let dt = DomTree::compute(&f);
+        assert!(dt.dominates(entry, j));
+        assert!(dt.dominates(entry, t));
+        assert!(!dt.dominates(t, j));
+        assert!(!dt.dominates(e, j));
+        assert_eq!(dt.immediate_dominator(j), Some(entry));
+        assert_eq!(dt.nearest_common_dominator(t, e), entry);
+        assert_eq!(dt.nearest_common_dominator(t, j), entry);
+        assert_eq!(dt.nearest_common_dominator(j, j), j);
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let (f, _, t, e, j) = diamond();
+        let dt = DomTree::compute(&f);
+        let df = dt.dominance_frontiers(&f);
+        assert_eq!(df[t], vec![j]);
+        assert_eq!(df[e], vec![j]);
+        assert!(df[j].is_empty());
+    }
+
+    #[test]
+    fn branch_depth() {
+        let (f, entry, t, e, j) = diamond();
+        let d = min_branch_depth(&f);
+        assert_eq!(d[entry], 0);
+        assert_eq!(d[t], 1);
+        assert_eq!(d[e], 1);
+        assert_eq!(d[j], 1);
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut b = FuncBuilder::new("k", 1);
+        let dead = b.new_block();
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        b.switch_to(dead);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        assert!(dt.is_reachable(f.entry));
+        assert!(!dt.is_reachable(dead));
+    }
+
+    #[test]
+    fn nested_diamond_dominance() {
+        // entry → {a, b}; a → {c, d} → m → j; b → j
+        let mut fb = FuncBuilder::new("k", 1);
+        let entry = fb.current;
+        let a = fb.new_block();
+        let bb = fb.new_block();
+        let c = fb.new_block();
+        let d = fb.new_block();
+        let m = fb.new_block();
+        let j = fb.new_block();
+        let cnd = Operand::imm(1, IrTy::I1);
+        fb.terminate(Terminator::CondBr { cond: cnd, then_bb: a, else_bb: bb });
+        fb.switch_to(a);
+        fb.terminate(Terminator::CondBr { cond: cnd, then_bb: c, else_bb: d });
+        fb.switch_to(c);
+        fb.terminate(Terminator::Br(m));
+        fb.switch_to(d);
+        fb.terminate(Terminator::Br(m));
+        fb.switch_to(m);
+        fb.terminate(Terminator::Br(j));
+        fb.switch_to(bb);
+        fb.terminate(Terminator::Br(j));
+        fb.switch_to(j);
+        fb.terminate(Terminator::Ret(ActionRef::pass()));
+        let f = fb.finish();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.immediate_dominator(m), Some(a));
+        assert_eq!(dt.immediate_dominator(j), Some(entry));
+        assert!(dt.dominates(a, m));
+        assert!(!dt.dominates(a, j));
+        let depth = min_branch_depth(&f);
+        assert_eq!(depth[m], 2);
+        assert_eq!(depth[j], 1); // via bb
+    }
+}

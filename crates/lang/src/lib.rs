@@ -1,0 +1,54 @@
+//! The NetCL-C language frontend.
+//!
+//! NetCL (SC 2024) extends C/C++ with a handful of specifiers and a small
+//! device/host library so that in-network computations can be written as
+//! kernel functions (paper §V). This crate implements the complete textual
+//! frontend for NetCL-C — the C subset plus every extension the paper uses:
+//!
+//! * `_kernel(c)` — declares a kernel belonging to computation `c`
+//! * `_net_` — device functions and device-only global memory
+//! * `_managed_` — global memory writable from host code
+//! * `_lookup_` — match-action-table backed memory, searched not indexed
+//! * `_at(l, ...)` — placement of an entity on specific device IDs
+//! * `_spec(n)` — element-count specification for pointer kernel arguments
+//! * `ncl::` device/host library calls, `ncl::kv<K,V>` / `ncl::rv<R,V>`
+//!   lookup element types, and the `device.id` builtin
+//!
+//! The pipeline is [`preprocess`] → [`lexer`] → [`parser`] producing the
+//! [`ast`]. Semantic analysis lives in the `netcl-sema` crate.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod preprocess;
+pub mod print;
+pub mod token;
+
+pub use ast::Program;
+
+use netcl_util::{DiagnosticSink, Interner, SourceMap};
+
+/// Everything produced by a successful front-end run.
+pub struct ParsedUnit {
+    /// The parsed translation unit.
+    pub program: Program,
+    /// Interner holding every identifier in the program.
+    pub interner: Interner,
+    /// Source map for diagnostics (file 0 is the preprocessed source).
+    pub source_map: SourceMap,
+}
+
+/// Convenience entry point: preprocess, lex, and parse `source`.
+///
+/// Returns the parsed unit and any diagnostics; `program` is best-effort when
+/// errors were reported.
+pub fn parse(name: &str, source: &str) -> (ParsedUnit, DiagnosticSink) {
+    let mut diags = DiagnosticSink::new();
+    let mut interner = Interner::new();
+    let mut source_map = SourceMap::new();
+    let expanded = preprocess::preprocess(source, &mut diags);
+    source_map.add_file(name, expanded.clone());
+    let tokens = lexer::lex(&expanded, &mut interner, &mut diags);
+    let program = parser::parse_tokens(&tokens, &mut interner, &mut diags);
+    (ParsedUnit { program, interner, source_map }, diags)
+}

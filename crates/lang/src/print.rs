@@ -1,0 +1,457 @@
+//! AST pretty-printer.
+//!
+//! Renders an AST back to NetCL-C source. Used by compiler `--dump-ast`
+//! output, by golden tests (parse → print → parse must be a fixpoint), and
+//! by the LoC-measurement harness which needs normalized source.
+
+use crate::ast::*;
+use netcl_util::Interner;
+use std::fmt::Write;
+
+/// Pretty-prints a whole program.
+pub fn print_program(program: &Program, interner: &Interner) -> String {
+    let mut p = Printer { out: String::new(), interner, indent: 0 };
+    for item in &program.items {
+        match item {
+            Item::Global(g) => p.global(g),
+            Item::Function(f) => p.function(f),
+        }
+    }
+    p.out
+}
+
+/// Pretty-prints a single expression.
+pub fn print_expr(expr: &Expr, interner: &Interner) -> String {
+    let mut p = Printer { out: String::new(), interner, indent: 0 };
+    p.expr(expr);
+    p.out
+}
+
+/// Pretty-prints a type.
+pub fn print_type(ty: &TypeExpr, interner: &Interner) -> String {
+    let mut p = Printer { out: String::new(), interner, indent: 0 };
+    p.ty(ty);
+    p.out
+}
+
+struct Printer<'a> {
+    out: String,
+    interner: &'a Interner,
+    indent: usize,
+}
+
+impl<'a> Printer<'a> {
+    fn line(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn name(&mut self, sym: netcl_util::Symbol) {
+        self.out.push_str(self.interner.resolve(sym));
+    }
+
+    fn ty(&mut self, ty: &TypeExpr) {
+        match ty {
+            TypeExpr::Void => self.out.push_str("void"),
+            TypeExpr::Bool => self.out.push_str("bool"),
+            TypeExpr::Auto => self.out.push_str("auto"),
+            TypeExpr::Int { bits, signed } => {
+                let _ = write!(self.out, "{}int{}_t", if *signed { "" } else { "u" }, bits);
+            }
+            TypeExpr::Kv(k, v) => {
+                self.out.push_str("ncl::kv<");
+                self.ty(k);
+                self.out.push_str(", ");
+                self.ty(v);
+                self.out.push('>');
+            }
+            TypeExpr::Rv(r, v) => {
+                self.out.push_str("ncl::rv<");
+                self.ty(r);
+                self.out.push_str(", ");
+                self.ty(v);
+                self.out.push('>');
+            }
+            TypeExpr::Named(s) => self.name(*s),
+        }
+    }
+
+    fn specs(&mut self, specs: &Specifiers) {
+        if let Some((c, _)) = &specs.kernel {
+            self.out.push_str("_kernel(");
+            self.expr(c);
+            self.out.push_str(") ");
+        }
+        if specs.is_net {
+            self.out.push_str("_net_ ");
+        }
+        if specs.is_managed {
+            self.out.push_str("_managed_ ");
+        }
+        if specs.is_lookup {
+            self.out.push_str("_lookup_ ");
+        }
+        if let Some((locs, _)) = &specs.at {
+            self.out.push_str("_at(");
+            for (i, l) in locs.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.expr(l);
+            }
+            self.out.push_str(") ");
+        }
+        if specs.is_const {
+            self.out.push_str("const ");
+        }
+        if specs.is_static {
+            self.out.push_str("static ");
+        }
+    }
+
+    fn global(&mut self, g: &GlobalDecl) {
+        self.specs(&g.specs);
+        self.ty(&g.ty);
+        self.out.push(' ');
+        self.name(g.name);
+        for d in &g.dims {
+            self.out.push('[');
+            if let Some(e) = d {
+                self.expr(e);
+            }
+            self.out.push(']');
+        }
+        if let Some(init) = &g.init {
+            self.out.push_str(" = ");
+            self.init(init);
+        }
+        self.out.push(';');
+        self.line();
+    }
+
+    fn init(&mut self, init: &Init) {
+        match init {
+            Init::Expr(e) => self.expr(e),
+            Init::List(items, _) => {
+                self.out.push('{');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.init(item);
+                }
+                self.out.push('}');
+            }
+        }
+    }
+
+    fn function(&mut self, f: &FunctionDecl) {
+        self.specs(&f.specs);
+        self.ty(&f.ret);
+        self.out.push(' ');
+        self.name(f.name);
+        self.out.push('(');
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.param(p);
+        }
+        self.out.push(')');
+        match &f.body {
+            Some(b) => {
+                self.out.push(' ');
+                self.block(b);
+            }
+            None => self.out.push(';'),
+        }
+        self.line();
+    }
+
+    fn param(&mut self, p: &Param) {
+        self.ty(&p.ty);
+        if let Some(s) = &p.spec {
+            self.out.push_str(" _spec(");
+            self.expr(s);
+            self.out.push(')');
+        }
+        match p.mode {
+            PassMode::Value => self.out.push(' '),
+            PassMode::Reference => self.out.push_str(" &"),
+            PassMode::Pointer => self.out.push_str(" *"),
+        }
+        self.name(p.name);
+        for d in &p.dims {
+            self.out.push('[');
+            self.expr(d);
+            self.out.push(']');
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.out.push('{');
+        self.indent += 1;
+        for s in &b.stmts {
+            self.line();
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line();
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(d) => {
+                self.ty(&d.ty);
+                self.out.push(' ');
+                self.name(d.name);
+                for dim in &d.dims {
+                    self.out.push('[');
+                    self.expr(dim);
+                    self.out.push(']');
+                }
+                if let Some(init) = &d.init {
+                    self.out.push_str(" = ");
+                    self.init(init);
+                }
+                self.out.push(';');
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+                self.out.push(';');
+            }
+            Stmt::If { cond, then, els, .. } => {
+                self.out.push_str("if (");
+                self.expr(cond);
+                self.out.push_str(") ");
+                self.block(then);
+                if let Some(e) = els {
+                    self.out.push_str(" else ");
+                    self.block(e);
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.out.push_str("for (");
+                match init {
+                    Some(s) => self.stmt(s),
+                    None => self.out.push(';'),
+                }
+                self.out.push(' ');
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                self.out.push_str("; ");
+                if let Some(s) = step {
+                    self.expr(s);
+                }
+                self.out.push_str(") ");
+                self.block(body);
+            }
+            Stmt::While { cond, body, .. } => {
+                self.out.push_str("while (");
+                self.expr(cond);
+                self.out.push_str(") ");
+                self.block(body);
+            }
+            Stmt::Return { value, .. } => {
+                self.out.push_str("return");
+                if let Some(v) = value {
+                    self.out.push(' ');
+                    self.expr(v);
+                }
+                self.out.push(';');
+            }
+            Stmt::Break(_) => self.out.push_str("break;"),
+            Stmt::Continue(_) => self.out.push_str("continue;"),
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            ExprKind::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            ExprKind::Char(c) => {
+                let _ = write!(self.out, "'{}'", *c as char);
+            }
+            ExprKind::Ident(s) => self.name(*s),
+            ExprKind::Path { segments, targs } => {
+                for (i, s) in segments.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str("::");
+                    }
+                    self.name(*s);
+                }
+                if !targs.is_empty() {
+                    self.out.push('<');
+                    for (i, t) in targs.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        match t {
+                            TemplateArg::Type(ty) => self.ty(ty),
+                            TemplateArg::Const(c) => {
+                                let _ = write!(self.out, "{c}");
+                            }
+                        }
+                    }
+                    self.out.push('>');
+                }
+            }
+            ExprKind::Unary(op, x) => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                    UnOp::AddrOf => "&",
+                    UnOp::Deref => "*",
+                };
+                self.out.push_str(sym);
+                self.paren_expr(x);
+            }
+            ExprKind::Binary(op, a, b) => {
+                self.paren_expr(a);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.paren_expr(b);
+            }
+            ExprKind::Assign { op, target, value } => {
+                self.expr(target);
+                match op {
+                    Some(o) => {
+                        let _ = write!(self.out, " {}= ", o.symbol());
+                    }
+                    None => self.out.push_str(" = "),
+                }
+                self.expr(value);
+            }
+            ExprKind::Ternary(c, a, b) => {
+                self.paren_expr(c);
+                self.out.push_str(" ? ");
+                self.expr(a);
+                self.out.push_str(" : ");
+                self.expr(b);
+            }
+            ExprKind::Call { callee, args } => {
+                self.expr(callee);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Index(b, i) => {
+                self.expr(b);
+                self.out.push('[');
+                self.expr(i);
+                self.out.push(']');
+            }
+            ExprKind::Member(b, f) => {
+                self.expr(b);
+                self.out.push('.');
+                self.name(*f);
+            }
+            ExprKind::Cast(ty, x) => {
+                self.out.push('(');
+                self.ty(ty);
+                self.out.push(')');
+                self.paren_expr(x);
+            }
+            ExprKind::IncDec { inc, postfix, expr } => {
+                let op = if *inc { "++" } else { "--" };
+                if *postfix {
+                    self.expr(expr);
+                    self.out.push_str(op);
+                } else {
+                    self.out.push_str(op);
+                    self.expr(expr);
+                }
+            }
+            ExprKind::Sizeof(ty) => {
+                self.out.push_str("sizeof(");
+                self.ty(ty);
+                self.out.push(')');
+            }
+            ExprKind::Error => self.out.push_str("<error>"),
+        }
+    }
+
+    /// Prints sub-expressions with parentheses when they are compound, which
+    /// keeps the output unambiguous without tracking precedence.
+    fn paren_expr(&mut self, e: &Expr) {
+        let atomic = matches!(
+            e.kind,
+            ExprKind::Int(_)
+                | ExprKind::Bool(_)
+                | ExprKind::Char(_)
+                | ExprKind::Ident(_)
+                | ExprKind::Path { .. }
+                | ExprKind::Call { .. }
+                | ExprKind::Index(..)
+                | ExprKind::Member(..)
+        );
+        if atomic {
+            self.expr(e);
+        } else {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// parse → print → parse must converge (print is a parser fixpoint).
+    fn roundtrip(src: &str) {
+        let (unit, diags) = crate::parse("t.ncl", src);
+        assert!(!diags.has_errors(), "{}", diags.render_all(&unit.source_map));
+        let printed = print_program(&unit.program, &unit.interner);
+        let (unit2, diags2) = crate::parse("t2.ncl", &printed);
+        assert!(!diags2.has_errors(), "printed source failed to parse:\n{printed}\n{}",
+            diags2.render_all(&unit2.source_map));
+        let printed2 = print_program(&unit2.program, &unit2.interner);
+        assert_eq!(printed, printed2, "print not a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_globals() {
+        roundtrip("_net_ _managed_ _at(1, 2) unsigned m[4][8];");
+        roundtrip("_net_ _lookup_ ncl::kv<unsigned, unsigned> c[] = {{1,2},{3,4}};");
+        roundtrip("_net_ _lookup_ ncl::rv<int, int> r[] = {{{1,10},1},{{11,20},2}};");
+    }
+
+    #[test]
+    fn roundtrip_kernel() {
+        roundtrip(
+            "_kernel(1) _at(1) void q(char op, unsigned k, unsigned &v) { if (op == 'G') { v = k + 1; } return ncl::reflect(); }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_expressions() {
+        roundtrip(
+            "_net_ void f(unsigned a, unsigned b, unsigned &o) { o = a > b ? (a << 2) | 1 : ~b & 0xFF; }",
+        );
+        roundtrip("_net_ void g(unsigned k, unsigned &o) { o = ncl::crc32<16>(k); }");
+        roundtrip("_net_ void h(int x, int &o) { o = -x + !x - (int)x; }");
+    }
+
+    #[test]
+    fn roundtrip_statements() {
+        roundtrip(
+            "_net_ void f(unsigned &o) { for (auto i = 0; i < 4; ++i) { o += i; } while (o > 8) { o -= 1; } }",
+        );
+    }
+}

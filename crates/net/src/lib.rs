@@ -1,0 +1,17 @@
+//! A discrete-event network simulator for NetCL systems.
+//!
+//! Plays the role of the paper's testbed (§VII: six servers and a Tofino
+//! switch): hosts and programmable devices connected by links, exchanging
+//! NetCL-over-UDP messages. Devices run compiled (or handwritten) P4 on the
+//! bmv2 interpreter with per-packet latency taken from the Tofino model;
+//! the NetCL device runtime applies Table II forwarding; hosts are
+//! event-driven application handlers with timers (retransmission etc.).
+//!
+//! The simulator is deterministic: a seeded RNG drives loss injection, and
+//! events at equal timestamps process in insertion order.
+
+pub mod sim;
+pub mod topo;
+
+pub use sim::{HostEvent, HostHandler, NetStats, Network, NetworkBuilder, Outbox};
+pub use topo::{LinkSpec, NodeId, Topology};

@@ -1,0 +1,512 @@
+//! The event-driven simulator core.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use netcl_bmv2::Switch;
+use netcl_runtime::device::{DeviceRuntime, Forward};
+use netcl_runtime::message::Message;
+use netcl_sema::builtins::ActionKind;
+
+use crate::topo::{NodeId, Topology};
+
+/// Events delivered to a host handler.
+#[derive(Debug, Clone)]
+pub enum HostEvent {
+    /// A NetCL message arrived.
+    Message(Vec<u8>),
+    /// A timer the host armed fired.
+    Timer(u64),
+}
+
+/// What a host does in response: sends and timer arms, all relative to now.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    sends: Vec<(u64, Vec<u8>)>,
+    timers: Vec<(u64, u64)>,
+}
+
+impl Outbox {
+    /// Sends `bytes` after `delay_ns` (0 = immediately).
+    pub fn send(&mut self, delay_ns: u64, bytes: Vec<u8>) {
+        self.sends.push((delay_ns, bytes));
+    }
+
+    /// Arms a timer with a token after `delay_ns`.
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        self.timers.push((delay_ns, token));
+    }
+}
+
+/// A host's application logic.
+pub type HostHandler = Box<dyn FnMut(u64, HostEvent, &mut Outbox)>;
+
+struct DeviceNode {
+    switch: Switch,
+    runtime: DeviceRuntime,
+    /// Per-packet processing latency (from the Tofino model's Fig. 13 path).
+    latency_ns: u64,
+}
+
+struct HostNode {
+    handler: Option<HostHandler>,
+    received: Vec<(u64, Vec<u8>)>,
+    /// Host-side processing cost before a handler's sends go out (socket +
+    /// kernel path; the paper attributes its end-to-end deltas to this).
+    process_ns: u64,
+}
+
+/// Simulation statistics.
+#[derive(Debug, Default, Clone)]
+pub struct NetStats {
+    /// Messages delivered to hosts.
+    pub delivered: u64,
+    /// Messages dropped by kernels (`ncl::drop()`).
+    pub kernel_drops: u64,
+    /// Messages lost on links.
+    pub link_losses: u64,
+    /// Device kernel executions.
+    pub kernel_executions: u64,
+    /// Total events processed.
+    pub events: u64,
+}
+
+/// Builder for a [`Network`].
+#[derive(Default)]
+pub struct NetworkBuilder {
+    topology: Topology,
+    devices: Vec<(u16, Switch, u64)>,
+    hosts: Vec<(u16, Option<HostHandler>, u64)>,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Starts from a topology.
+    pub fn new(topology: Topology) -> NetworkBuilder {
+        NetworkBuilder { topology, seed: 0x5DEECE66D, ..Default::default() }
+    }
+
+    /// Adds a device running `switch`, with per-packet latency.
+    pub fn device(mut self, id: u16, switch: Switch, latency_ns: u64) -> Self {
+        self.devices.push((id, switch, latency_ns));
+        self
+    }
+
+    /// Adds a host with an event handler.
+    pub fn host(mut self, id: u16, handler: HostHandler) -> Self {
+        self.hosts.push((id, Some(handler), 2000));
+        self
+    }
+
+    /// Adds a passive host (messages recorded, no reaction).
+    pub fn sink_host(mut self, id: u16) -> Self {
+        self.hosts.push((id, None, 2000));
+        self
+    }
+
+    /// Sets the loss-RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the network.
+    pub fn build(self) -> Network {
+        let mut devices = HashMap::new();
+        for (id, switch, latency_ns) in self.devices {
+            devices.insert(
+                id,
+                DeviceNode { switch, runtime: DeviceRuntime::new(id), latency_ns },
+            );
+        }
+        let mut hosts = HashMap::new();
+        for (id, handler, process_ns) in self.hosts {
+            hosts.insert(id, HostNode { handler, received: Vec::new(), process_ns });
+        }
+        Network {
+            topology: self.topology,
+            devices,
+            hosts,
+            events: BinaryHeap::new(),
+            clock: 0,
+            seq: 0,
+            rng: self.seed,
+            stats: NetStats::default(),
+        }
+    }
+}
+
+/// The running simulation.
+pub struct Network {
+    topology: Topology,
+    devices: HashMap<u16, DeviceNode>,
+    hosts: HashMap<u16, HostNode>,
+    events: BinaryHeap<Reverse<(u64, u64, NodeOrd)>>,
+    clock: u64,
+    seq: u64,
+    rng: u64,
+    /// Statistics.
+    pub stats: NetStats,
+}
+
+// BinaryHeap payload must be Ord; carry the event in a side map keyed by
+// seq... simpler: make Event itself ordered via a wrapper.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct NodeOrd(Vec<u8>, EventOrd);
+
+#[derive(PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum EventOrd {
+    Arrive(NodeId),
+    Timer(NodeId, u64),
+    HostSend(NodeId),
+}
+
+impl Network {
+    /// Current simulated time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Messages a host received, with arrival timestamps.
+    pub fn host_received(&self, id: u16) -> &[(u64, Vec<u8>)] {
+        self.hosts.get(&id).map(|h| h.received.as_slice()).unwrap_or(&[])
+    }
+
+    /// Direct control-plane access to a device's switch.
+    pub fn switch_mut(&mut self, id: u16) -> Option<&mut Switch> {
+        self.devices.get_mut(&id).map(|d| &mut d.switch)
+    }
+
+    /// Immutable switch access.
+    pub fn switch(&self, id: u16) -> Option<&Switch> {
+        self.devices.get(&id).map(|d| &d.switch)
+    }
+
+    fn push(&mut self, time: u64, ord: EventOrd, bytes: Vec<u8>) {
+        self.seq += 1;
+        self.events.push(Reverse((time, self.seq, NodeOrd(bytes, ord))));
+    }
+
+    /// Injects a send from a host at an absolute time.
+    pub fn send_from_host(&mut self, host: u16, at_ns: u64, bytes: Vec<u8>) {
+        self.push(at_ns, EventOrd::HostSend(NodeId::Host(host)), bytes);
+    }
+
+    /// Arms a host timer at an absolute time.
+    pub fn set_host_timer(&mut self, host: u16, at_ns: u64, token: u64) {
+        self.push(at_ns, EventOrd::Timer(NodeId::Host(host), token), Vec::new());
+    }
+
+    fn rand01(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    }
+
+    /// Runs until the event queue drains or `max_events` processed.
+    /// Returns the number of events processed.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            let Some(Reverse((time, _, NodeOrd(bytes, ord)))) = self.events.pop() else {
+                break;
+            };
+            self.clock = self.clock.max(time);
+            self.stats.events += 1;
+            n += 1;
+            match ord {
+                EventOrd::HostSend(NodeId::Host(h)) => self.host_transmit(h, bytes),
+                EventOrd::Arrive(NodeId::Device(d)) => self.device_receive(d, bytes),
+                EventOrd::Arrive(NodeId::Host(h)) => self.host_receive(h, bytes),
+                EventOrd::Timer(NodeId::Host(h), token) => self.host_timer(h, token),
+                _ => {}
+            }
+        }
+        n
+    }
+
+    fn host_transmit(&mut self, host: u16, bytes: Vec<u8>) {
+        // Route toward the computing device (or destination host).
+        let Ok(msg) = Message::read_header(&bytes) else { return };
+        let target = if msg.to != netcl_runtime::device::NO_DEVICE {
+            NodeId::Device(msg.to)
+        } else {
+            NodeId::Host(msg.dst)
+        };
+        self.transmit(NodeId::Host(host), target, bytes);
+    }
+
+    /// Moves a message one hop toward `target`.
+    fn transmit(&mut self, from: NodeId, target: NodeId, bytes: Vec<u8>) {
+        if from == target {
+            if let NodeId::Host(h) = target {
+                self.push(self.clock, EventOrd::Arrive(NodeId::Host(h)), bytes);
+            }
+            return;
+        }
+        let Some((hop, link)) = self.topology.next_hop(from, target) else {
+            return; // unroutable: drop silently (counted as loss)
+        };
+        if link.loss > 0.0 && self.rand01() < link.loss {
+            self.stats.link_losses += 1;
+            return;
+        }
+        let at = self.clock + link.transit_ns(bytes.len());
+        self.push(at, EventOrd::Arrive(hop), bytes);
+    }
+
+    fn device_receive(&mut self, dev: u16, bytes: Vec<u8>) {
+        let Some(node) = self.devices.get_mut(&dev) else { return };
+        let Ok(mut msg) = Message::read_header(&bytes) else { return };
+        let runtime = node.runtime;
+        if !runtime.should_compute(&msg) {
+            // No implicit computation: transit toward the target (§IV).
+            let fwd = runtime.transit(&msg);
+            self.apply_forward(dev, fwd, bytes);
+            return;
+        }
+        // Execute the kernel (with recirculation for repeat(), capped).
+        let mut wire = bytes;
+        let mut latency = 0u64;
+        for _pass in 0..8 {
+            let node = self.devices.get_mut(&dev).expect("device exists");
+            self.stats.kernel_executions += 1;
+            latency += node.latency_ns;
+            let Ok((_, out)) = node.switch.process(&wire) else { return };
+            wire = out;
+            let Ok(m2) = Message::read_header(&wire) else { return };
+            let action = ActionKind::from_code(m2.action).unwrap_or(ActionKind::Pass);
+            msg = m2;
+            if action != ActionKind::Repeat {
+                // Apply runtime forwarding and rewrite the header in place.
+                let target = msg.target;
+                let fwd = self.devices[&dev].runtime.forward(&mut msg, action, target);
+                // Clear the per-hop action fields for the next node.
+                msg.action = 0;
+                msg.target = 0;
+                let mut hdr = Vec::with_capacity(netcl_runtime::NCL_HEADER_BYTES);
+                msg.write_header(&mut hdr);
+                wire[..netcl_runtime::NCL_HEADER_BYTES].copy_from_slice(&hdr);
+                self.clock += latency;
+                self.apply_forward(dev, fwd, wire);
+                return;
+            }
+        }
+        // Recirculation cap exceeded: drop.
+        self.stats.kernel_drops += 1;
+    }
+
+    fn apply_forward(&mut self, dev: u16, fwd: Forward, bytes: Vec<u8>) {
+        match fwd {
+            Forward::Drop => {
+                self.stats.kernel_drops += 1;
+            }
+            Forward::ToHost(h) => self.transmit(NodeId::Device(dev), NodeId::Host(h), bytes),
+            Forward::ToDevice(d) => {
+                self.transmit(NodeId::Device(dev), NodeId::Device(d), bytes)
+            }
+            Forward::Multicast(gid) => {
+                let members = self.topology.groups.get(&gid).cloned().unwrap_or_default();
+                for m in members {
+                    let mut copy = bytes.clone();
+                    // A device member of the group becomes the computing
+                    // target of its copy (P4xos: the leader multicasts
+                    // phase-2A to the acceptor set).
+                    if let NodeId::Device(d) = m {
+                        if let Ok(mut msg) = Message::read_header(&copy) {
+                            msg.to = d;
+                            let mut hdr = Vec::with_capacity(netcl_runtime::NCL_HEADER_BYTES);
+                            msg.write_header(&mut hdr);
+                            copy[..netcl_runtime::NCL_HEADER_BYTES].copy_from_slice(&hdr);
+                        }
+                    }
+                    self.transmit(NodeId::Device(dev), m, copy);
+                }
+            }
+            Forward::Recirculate => unreachable!("handled in device_receive"),
+        }
+    }
+
+    fn host_receive(&mut self, host: u16, bytes: Vec<u8>) {
+        self.stats.delivered += 1;
+        let now = self.clock;
+        let Some(node) = self.hosts.get_mut(&host) else { return };
+        node.received.push((now, bytes.clone()));
+        let process_ns = node.process_ns;
+        if let Some(mut handler) = node.handler.take() {
+            let mut outbox = Outbox::default();
+            handler(now, HostEvent::Message(bytes), &mut outbox);
+            if let Some(node) = self.hosts.get_mut(&host) {
+                node.handler = Some(handler);
+            }
+            self.flush_outbox(host, now + process_ns, outbox);
+        }
+    }
+
+    fn host_timer(&mut self, host: u16, token: u64) {
+        let now = self.clock;
+        let Some(node) = self.hosts.get_mut(&host) else { return };
+        if let Some(mut handler) = node.handler.take() {
+            let mut outbox = Outbox::default();
+            handler(now, HostEvent::Timer(token), &mut outbox);
+            if let Some(node) = self.hosts.get_mut(&host) {
+                node.handler = Some(handler);
+            }
+            self.flush_outbox(host, now, outbox);
+        }
+    }
+
+    fn flush_outbox(&mut self, host: u16, base: u64, outbox: Outbox) {
+        for (delay, bytes) in outbox.sends {
+            self.push(base + delay, EventOrd::HostSend(NodeId::Host(host)), bytes);
+        }
+        for (delay, token) in outbox.timers {
+            self.push(base + delay, EventOrd::Timer(NodeId::Host(host), token), Vec::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{star, LinkSpec};
+    use netcl_runtime::message::{pack, unpack};
+
+    const CACHE_SRC: &str = r#"
+_managed_ _lookup_ ncl::kv<unsigned, unsigned> cache[64] = {{1,42}, {2,43}};
+_kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
+  if (op == 1) {
+    hit = ncl::lookup(cache, k, v);
+    if (hit) return ncl::reflect();
+  }
+}
+"#;
+
+    fn build_cache_network() -> (Network, netcl_sema::Specification) {
+        let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile("cache.ncl", CACHE_SRC)
+            .unwrap();
+        let spec = unit.model.kernels[0].specification();
+        let report = netcl_tofino::fit(&unit.devices[0].tna_p4).unwrap();
+        let switch = Switch::new(unit.devices[0].tna_p4.clone());
+        let topo = star(1, &[1, 2], LinkSpec::default());
+
+        // Host 2 is the KVS server: answer misses with v = k * 1000.
+        let spec2 = spec.clone();
+        let server = Box::new(move |_now: u64, ev: HostEvent, out: &mut Outbox| {
+            let HostEvent::Message(bytes) = ev else { return };
+            let mut op = Vec::new();
+            let mut k = Vec::new();
+            let msg =
+                unpack(&bytes, &spec2, &mut [Some(&mut op), Some(&mut k), None, None]).unwrap();
+            let reply = Message::new(msg.dst, msg.src, 0, netcl_runtime::device::NO_DEVICE);
+            let v = k[0] * 1000;
+            let packed =
+                pack(&reply, &spec2, &[Some(&[0]), Some(&[k[0]]), Some(&[v]), Some(&[0])])
+                    .unwrap();
+            out.send(0, packed);
+        });
+
+        let net = NetworkBuilder::new(topo)
+            .device(1, switch, report.latency_ns.ceil() as u64)
+            .sink_host(1)
+            .host(2, server)
+            .build();
+        (net, spec)
+    }
+
+    fn query(net: &mut Network, spec: &netcl_sema::Specification, at: u64, key: u64) {
+        let m = Message::new(1, 2, 1, 1);
+        let packed = pack(&m, spec, &[Some(&[1]), Some(&[key]), None, None]).unwrap();
+        net.send_from_host(1, at, packed);
+    }
+
+    /// The flagship end-to-end path: a cached key reflects at the switch
+    /// (fast), a miss goes to the server and back (slow) — Fig. 14 right.
+    #[test]
+    fn cache_hit_beats_miss_latency() {
+        let (mut net, spec) = build_cache_network();
+        query(&mut net, &spec, 0, 1); // cached
+        net.run(100);
+        let hit_reply_at = net.host_received(1)[0].0;
+        let mut v = Vec::new();
+        let mut hit = Vec::new();
+        unpack(
+            &net.host_received(1)[0].1,
+            &spec,
+            &mut [None, None, Some(&mut v), Some(&mut hit)],
+        )
+        .unwrap();
+        assert_eq!((v[0], hit[0]), (42, 1), "served from the in-network cache");
+
+        let t0 = net.now();
+        query(&mut net, &spec, t0 + 1000, 9); // miss → server
+        net.run(100);
+        let miss_reply = net.host_received(1).last().unwrap().clone();
+        let mut v = Vec::new();
+        let mut hit = Vec::new();
+        unpack(&miss_reply.1, &spec, &mut [None, None, Some(&mut v), Some(&mut hit)]).unwrap();
+        assert_eq!(v[0], 9000, "server answered the miss");
+        assert_eq!(hit[0], 0);
+        let miss_rtt = miss_reply.0 - (t0 + 1000);
+        assert!(
+            miss_rtt > 2 * hit_reply_at,
+            "miss RTT {miss_rtt} should well exceed hit RTT {hit_reply_at}"
+        );
+    }
+
+    #[test]
+    fn transit_messages_not_computed() {
+        // comp targets device 7 (absent); device 1 must pass it through
+        // untouched to the destination host.
+        let (mut net, spec) = build_cache_network();
+        let m = Message::new(1, 2, 1, 7);
+        let packed = pack(&m, &spec, &[Some(&[1]), Some(&[1]), None, None]).unwrap();
+        net.send_from_host(1, 0, packed);
+        net.run(100);
+        // Server host (2) received it but as a computation-7 message the
+        // server's unpack still works; the key's cache entry was NOT used.
+        assert_eq!(net.stats.kernel_executions, 0);
+    }
+
+    #[test]
+    fn link_loss_drops_messages() {
+        let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile("cache.ncl", CACHE_SRC)
+            .unwrap();
+        let spec = unit.model.kernels[0].specification();
+        let switch = Switch::new(unit.devices[0].tna_p4.clone());
+        let topo = star(1, &[1, 2], LinkSpec { loss: 1.0, ..Default::default() });
+        let mut net = NetworkBuilder::new(topo)
+            .device(1, switch, 500)
+            .sink_host(1)
+            .sink_host(2)
+            .build();
+        let m = Message::new(1, 2, 1, 1);
+        let packed = pack(&m, &spec, &[Some(&[1]), Some(&[1]), None, None]).unwrap();
+        net.send_from_host(1, 0, packed);
+        net.run(100);
+        assert_eq!(net.stats.link_losses, 1);
+        assert_eq!(net.stats.delivered, 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let topo = star(1, &[1], LinkSpec::default());
+        let fired = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let f2 = fired.clone();
+        let handler = Box::new(move |now: u64, ev: HostEvent, _out: &mut Outbox| {
+            if let HostEvent::Timer(tok) = ev {
+                f2.lock().unwrap().push((now, tok));
+            }
+        });
+        let mut net = NetworkBuilder::new(topo).host(1, handler).build();
+        net.set_host_timer(1, 500, 2);
+        net.set_host_timer(1, 100, 1);
+        net.set_host_timer(1, 900, 3);
+        net.run(10);
+        assert_eq!(*fired.lock().unwrap(), vec![(100, 1), (500, 2), (900, 3)]);
+    }
+}

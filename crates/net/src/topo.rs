@@ -1,0 +1,174 @@
+//! Topology: nodes, links, routes, multicast groups.
+//!
+//! The paper leaves abstract→physical deployment to future work and
+//! "assumes that the abstract topology is the real topology" (§VI-C); the
+//! simulator does the same — the programmer's assumed topology (Fig. 5c) is
+//! built directly.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A network node: a host (end system) or a programmable device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// Host with NetCL host id.
+    Host(u16),
+    /// Programmable device with NetCL device id.
+    Device(u16),
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeId::Host(h) => write!(f, "h{h}"),
+            NodeId::Device(d) => write!(f, "dev{d}"),
+        }
+    }
+}
+
+/// Link parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// Propagation latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Bandwidth in gigabits per second (serialization delay).
+    pub gbps: f64,
+    /// Packet loss probability (0.0 – 1.0).
+    pub loss: f64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        // 100G link, ~1µs propagation, lossless — the paper's testbed NICs.
+        LinkSpec { latency_ns: 1000, gbps: 100.0, loss: 0.0 }
+    }
+}
+
+impl LinkSpec {
+    /// Time to put `bytes` on the wire plus propagation.
+    pub fn transit_ns(&self, bytes: usize) -> u64 {
+        let ser = (bytes as f64 * 8.0) / self.gbps; // ns at gbps
+        self.latency_ns + ser.ceil() as u64
+    }
+}
+
+/// The physical topology.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    links: HashMap<NodeId, Vec<(NodeId, LinkSpec)>>,
+    /// Multicast group id → member nodes.
+    pub groups: HashMap<u16, Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a bidirectional link.
+    pub fn link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.links.entry(a).or_default().push((b, spec));
+        self.links.entry(b).or_default().push((a, spec));
+    }
+
+    /// Registers a multicast group.
+    pub fn multicast_group(&mut self, gid: u16, members: Vec<NodeId>) {
+        self.groups.insert(gid, members);
+    }
+
+    /// Neighbors of a node.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkSpec)] {
+        self.links.get(&n).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Next hop from `from` toward `to` (BFS shortest path), with the link.
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<(NodeId, LinkSpec)> {
+        if from == to {
+            return None;
+        }
+        // BFS from `from`; record parents.
+        let mut parent: HashMap<NodeId, (NodeId, LinkSpec)> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                break;
+            }
+            for &(next, spec) in self.neighbors(n) {
+                if next != from && !parent.contains_key(&next) {
+                    parent.insert(next, (n, spec));
+                    queue.push_back(next);
+                }
+            }
+        }
+        // Walk back from `to` to the first hop.
+        let mut cur = to;
+        let mut hop = None;
+        while cur != from {
+            let &(prev, spec) = parent.get(&cur)?;
+            hop = Some((cur, spec));
+            cur = prev;
+        }
+        hop
+    }
+
+    /// All nodes that appear in links.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.links.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Builds the single-switch star of Fig. 5(c) left: every listed host
+/// connected to one device.
+pub fn star(device: u16, hosts: &[u16], spec: LinkSpec) -> Topology {
+    let mut t = Topology::new();
+    for &h in hosts {
+        t.link(NodeId::Host(h), NodeId::Device(device), spec);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_routes_through_device() {
+        let t = star(1, &[1, 2, 3], LinkSpec::default());
+        let (hop, _) = t.next_hop(NodeId::Host(1), NodeId::Host(3)).unwrap();
+        assert_eq!(hop, NodeId::Device(1));
+        let (hop, _) = t.next_hop(NodeId::Device(1), NodeId::Host(2)).unwrap();
+        assert_eq!(hop, NodeId::Host(2));
+        assert!(t.next_hop(NodeId::Host(1), NodeId::Host(1)).is_none());
+    }
+
+    #[test]
+    fn chain_routing() {
+        // h1 — dev1 — dev2 — h2 (Fig. 5c middle).
+        let mut t = Topology::new();
+        t.link(NodeId::Host(1), NodeId::Device(1), LinkSpec::default());
+        t.link(NodeId::Device(1), NodeId::Device(2), LinkSpec::default());
+        t.link(NodeId::Device(2), NodeId::Host(2), LinkSpec::default());
+        let (hop, _) = t.next_hop(NodeId::Host(1), NodeId::Host(2)).unwrap();
+        assert_eq!(hop, NodeId::Device(1));
+        let (hop, _) = t.next_hop(NodeId::Device(1), NodeId::Host(2)).unwrap();
+        assert_eq!(hop, NodeId::Device(2));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        t.link(NodeId::Host(1), NodeId::Device(1), LinkSpec::default());
+        t.link(NodeId::Host(9), NodeId::Device(9), LinkSpec::default());
+        assert!(t.next_hop(NodeId::Host(1), NodeId::Host(9)).is_none());
+    }
+
+    #[test]
+    fn transit_time_includes_serialization() {
+        let l = LinkSpec { latency_ns: 1000, gbps: 100.0, loss: 0.0 };
+        // 1250 bytes at 100 Gb/s = 100 ns serialization.
+        assert_eq!(l.transit_ns(1250), 1100);
+        assert_eq!(l.transit_ns(0), 1000);
+    }
+}

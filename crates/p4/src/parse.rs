@@ -1,0 +1,1218 @@
+//! Parser for the P4-16 subset this toolchain emits and consumes.
+//!
+//! `parse_program(print_program(p))` reproduces `p` up to layout — the
+//! round-trip property is tested below and in the app baselines, which are
+//! stored as `.p4` text files and parsed through here before execution on
+//! the bmv2 model or allocation on the Tofino model.
+
+use crate::ast::*;
+use netcl_sema::builtins::{AtomicOp, AtomicRmw, HashKind};
+
+/// Parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p4:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parses a P4 program from text.
+pub fn parse_program(text: &str) -> Result<P4Program, ParseError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+// ---- lexer ---------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    /// Width-tagged literal `16w5`.
+    Wint(u32, u64),
+    Punct(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    "|+|", "|-|", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "..", "(", ")",
+    "{", "}", "[", "]", "<", ">", ";", ",", ".", ":", "=", "+", "-", "*", "/", "&", "|", "^",
+    "~", "!", "@", "#",
+];
+
+fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        // Preprocessor-ish lines: `#include <...>` — skip whole line.
+        if c == b'#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut value: u64;
+            if c == b'0' && matches!(bytes.get(i + 1), Some(b'x' | b'X')) {
+                i += 2;
+                value = 0;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    value = value * 16 + (bytes[i] as char).to_digit(16).unwrap() as u64;
+                    i += 1;
+                }
+            } else {
+                value = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    value = value * 10 + (bytes[i] - b'0') as u64;
+                    i += 1;
+                }
+                // Width-tagged literal `Ww V`.
+                if i < bytes.len() && bytes[i] == b'w' {
+                    i += 1;
+                    let width = value as u32;
+                    let mut v2 = 0u64;
+                    if bytes.get(i) == Some(&b'0') && matches!(bytes.get(i + 1), Some(b'x' | b'X')) {
+                        i += 2;
+                        while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                            v2 = v2 * 16 + (bytes[i] as char).to_digit(16).unwrap() as u64;
+                            i += 1;
+                        }
+                    } else {
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            v2 = v2 * 10 + (bytes[i] - b'0') as u64;
+                            i += 1;
+                        }
+                    }
+                    out.push(Token { tok: Tok::Wint(width, v2), line });
+                    continue;
+                }
+            }
+            let _ = start;
+            out.push(Token { tok: Tok::Int(value), line });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                tok: Tok::Ident(std::str::from_utf8(&bytes[start..i]).unwrap().to_string()),
+                line,
+            });
+            continue;
+        }
+        let rest = &text[i..];
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                out.push(Token { tok: Tok::Punct(p), line });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(ParseError {
+                line,
+                message: format!("unexpected character `{}`", c as char),
+            });
+        }
+    }
+    Ok(out)
+}
+
+// ---- parser ----------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + n).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: msg.into() })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        // Split `>>` into two `>` when closing nested template argument
+        // lists (`Register<bit<32>, bit<32>>`).
+        if p == ">" {
+            if matches!(self.peek(), Some(Tok::Punct(">>"))) {
+                self.tokens[self.pos].tok = Tok::Punct(">");
+                return Ok(());
+            }
+        }
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(v),
+            Some(Tok::Wint(_, v)) => Ok(v),
+            other => self.err(format!("expected integer, found {other:?}")),
+        }
+    }
+
+    /// `bit<W>` — returns W.
+    fn bit_type(&mut self) -> Result<u32, ParseError> {
+        if !self.eat_kw("bit") {
+            // `bool` is accepted as bit<1>.
+            if self.eat_kw("bool") {
+                return Ok(1);
+            }
+            return self.err("expected `bit<...>`");
+        }
+        self.expect_punct("<")?;
+        let w = self.expect_int()? as u32;
+        self.expect_punct(">")?;
+        Ok(w)
+    }
+
+    /// Skips a balanced `( ... )` group (already past the opening paren).
+    fn skip_parens(&mut self) -> Result<(), ParseError> {
+        let mut depth = 1;
+        while depth > 0 {
+            match self.bump() {
+                Some(Tok::Punct("(")) => depth += 1,
+                Some(Tok::Punct(")")) => depth -= 1,
+                Some(_) => {}
+                None => return self.err("unbalanced parentheses"),
+            }
+        }
+        Ok(())
+    }
+
+    fn program(&mut self) -> Result<P4Program, ParseError> {
+        let mut p = P4Program { name: "parsed".into(), target: Target::Tna, ..Default::default() };
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(kw) if kw == "header" => {
+                    self.bump();
+                    p.headers.push(self.header()?);
+                }
+                Tok::Ident(kw) if kw == "parser" => {
+                    self.bump();
+                    p.parser = Some(self.parser_def()?);
+                }
+                Tok::Ident(kw) if kw == "control" => {
+                    self.bump();
+                    p.controls.push(self.control()?);
+                }
+                Tok::Ident(kw) if kw == "struct" || kw == "typedef" => {
+                    // struct defs are layout-only in our subset; skip body.
+                    self.bump();
+                    while !matches!(self.peek(), Some(Tok::Punct("{")) | None) {
+                        self.bump();
+                    }
+                    self.skip_braces()?;
+                }
+                Tok::Ident(kw) if kw == "Pipeline" || kw == "Switch" || kw == "V1Switch" => {
+                    // Instantiations at the end — consume to the `;`.
+                    while !matches!(self.peek(), Some(Tok::Punct(";")) | None) {
+                        self.bump();
+                    }
+                    self.eat_punct(";");
+                }
+                _ => return self.err(format!("unexpected top-level token {tok:?}")),
+            }
+        }
+        Ok(p)
+    }
+
+    fn skip_braces(&mut self) -> Result<(), ParseError> {
+        self.expect_punct("{")?;
+        let mut depth = 1;
+        while depth > 0 {
+            match self.bump() {
+                Some(Tok::Punct("{")) => depth += 1,
+                Some(Tok::Punct("}")) => depth -= 1,
+                Some(_) => {}
+                None => return self.err("unbalanced braces"),
+            }
+        }
+        Ok(())
+    }
+
+    fn header(&mut self) -> Result<HeaderDef, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct("}") {
+            let bits = self.bit_type()?;
+            let fname = self.expect_ident()?;
+            self.expect_punct(";")?;
+            fields.push((fname, bits));
+        }
+        Ok(HeaderDef { name, fields, stack: 1 })
+    }
+
+    fn parser_def(&mut self) -> Result<ParserDef, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        self.skip_parens()?;
+        self.expect_punct("{")?;
+        let mut states = Vec::new();
+        while !self.eat_punct("}") {
+            if !self.eat_kw("state") {
+                return self.err("expected `state`");
+            }
+            let sname = self.expect_ident()?;
+            self.expect_punct("{")?;
+            let mut extracts = Vec::new();
+            let mut transition = Transition::Accept;
+            while !self.eat_punct("}") {
+                if self.eat_kw("transition") {
+                    if self.eat_kw("select") {
+                        self.expect_punct("(")?;
+                        let selector = self.expr()?;
+                        self.expect_punct(")")?;
+                        self.expect_punct("{")?;
+                        let mut cases = Vec::new();
+                        let mut default = "reject".to_string();
+                        while !self.eat_punct("}") {
+                            if self.eat_kw("default") {
+                                self.expect_punct(":")?;
+                                default = self.expect_ident()?;
+                                self.expect_punct(";")?;
+                            } else {
+                                let v = self.expect_int()?;
+                                self.expect_punct(":")?;
+                                let target = self.expect_ident()?;
+                                self.expect_punct(";")?;
+                                cases.push((v, target));
+                            }
+                        }
+                        transition = Transition::Select { selector, cases, default };
+                    } else {
+                        let target = self.expect_ident()?;
+                        self.expect_punct(";")?;
+                        transition = match target.as_str() {
+                            "accept" => Transition::Accept,
+                            "reject" => Transition::Reject,
+                            other => Transition::Direct(other.to_string()),
+                        };
+                    }
+                } else {
+                    // `pkt.extract(hdr.x);`
+                    let obj = self.expect_ident()?;
+                    self.expect_punct(".")?;
+                    let method = self.expect_ident()?;
+                    if method != "extract" {
+                        return self.err(format!("unsupported parser call `{obj}.{method}`"));
+                    }
+                    self.expect_punct("(")?;
+                    let mut path = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(Tok::Ident(s)) => path.push_str(&s),
+                            Some(Tok::Punct(".")) => path.push('.'),
+                            Some(Tok::Punct(")")) => break,
+                            other => return self.err(format!("bad extract path: {other:?}")),
+                        }
+                    }
+                    self.expect_punct(";")?;
+                    extracts.push(path);
+                }
+            }
+            states.push(ParserState { name: sname, extracts, transition });
+        }
+        Ok(ParserDef { name, states })
+    }
+
+    fn control(&mut self) -> Result<ControlDef, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        self.skip_parens()?;
+        self.expect_punct("{")?;
+        let mut c = ControlDef { name, ..Default::default() };
+        while !self.eat_punct("}") {
+            match self.peek() {
+                Some(Tok::Ident(kw)) if kw == "bit" || kw == "bool" => {
+                    let bits = self.bit_type()?;
+                    let lname = self.expect_ident()?;
+                    self.expect_punct(";")?;
+                    c.locals.push((lname, bits));
+                }
+                Some(Tok::Ident(kw)) if kw == "Register" || kw == "register" => {
+                    self.bump();
+                    self.expect_punct("<")?;
+                    let elem_bits = self.bit_type()?;
+                    if self.eat_punct(",") {
+                        let _idx = self.bit_type()?;
+                    }
+                    self.expect_punct(">")?;
+                    self.expect_punct("(")?;
+                    let size = self.expect_int()? as u32;
+                    self.expect_punct(")")?;
+                    let rname = self.expect_ident()?;
+                    self.expect_punct(";")?;
+                    c.registers.push(RegisterDef { name: rname, elem_bits, size });
+                }
+                Some(Tok::Ident(kw)) if kw == "RegisterAction" => {
+                    self.bump();
+                    let ra = self.register_action()?;
+                    c.register_actions.push(ra);
+                }
+                Some(Tok::Ident(kw)) if kw == "Hash" => {
+                    self.bump();
+                    self.expect_punct("<")?;
+                    let out_bits = self.bit_type()?;
+                    self.expect_punct(">")?;
+                    self.expect_punct("(")?;
+                    // HashAlgorithm_t.CRC16
+                    let _ns = self.expect_ident()?;
+                    self.expect_punct(".")?;
+                    let algo = match self.expect_ident()?.as_str() {
+                        "CRC16" => HashKind::Crc16,
+                        "CRC32" => HashKind::Crc32,
+                        "XOR16" => HashKind::Xor16,
+                        "IDENTITY" => HashKind::Identity,
+                        other => return self.err(format!("unknown hash algorithm `{other}`")),
+                    };
+                    self.expect_punct(")")?;
+                    let hname = self.expect_ident()?;
+                    self.expect_punct(";")?;
+                    c.hashes.push(HashDef { name: hname, algo, out_bits });
+                }
+                Some(Tok::Ident(kw)) if kw == "action" => {
+                    self.bump();
+                    let aname = self.expect_ident()?;
+                    self.expect_punct("(")?;
+                    let mut params = Vec::new();
+                    while !self.eat_punct(")") {
+                        let bits = self.bit_type()?;
+                        let pname = self.expect_ident()?;
+                        params.push((pname, bits));
+                        self.eat_punct(",");
+                    }
+                    self.expect_punct("{")?;
+                    let body = self.stmts_until_close()?;
+                    c.actions.push(ActionDef { name: aname, params, body });
+                }
+                Some(Tok::Ident(kw)) if kw == "table" => {
+                    self.bump();
+                    c.tables.push(self.table()?);
+                }
+                Some(Tok::Ident(kw)) if kw == "apply" => {
+                    self.bump();
+                    self.expect_punct("{")?;
+                    c.apply = self.stmts_until_close()?;
+                }
+                other => return self.err(format!("unexpected control member {other:?}")),
+            }
+        }
+        Ok(c)
+    }
+
+    fn register_action(&mut self) -> Result<RegisterActionDef, ParseError> {
+        self.expect_punct("<")?;
+        // Type args; may be 2 or 3.
+        let _ = self.bit_type()?;
+        while self.eat_punct(",") {
+            let _ = self.bit_type()?;
+        }
+        self.expect_punct(">")?;
+        self.expect_punct("(")?;
+        let register = self.expect_ident()?;
+        self.expect_punct(")")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("=")?;
+        self.expect_punct("{")?;
+        // void apply(inout bit<W> m, out bit<W> o) { ... }
+        if !self.eat_kw("void") {
+            return self.err("expected `void apply`");
+        }
+        if !self.eat_kw("apply") {
+            return self.err("expected `apply`");
+        }
+        self.expect_punct("(")?;
+        self.skip_parens()?;
+        self.expect_punct("{")?;
+        let body = self.stmts_until_close()?;
+        self.expect_punct("}")?;
+        self.expect_punct(";")?;
+        let (op, cond, operands) = recover_salu(&body)
+            .ok_or_else(|| ParseError {
+                line: self.line(),
+                message: format!("unrecognized SALU microprogram in RegisterAction `{name}`"),
+            })?;
+        Ok(RegisterActionDef { name, register, op, cond, operands })
+    }
+
+    fn table(&mut self) -> Result<TableDef, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut t = TableDef {
+            name,
+            keys: vec![],
+            actions: vec![],
+            entries: vec![],
+            default_action: "NoAction".into(),
+            size: 1,
+        };
+        while !self.eat_punct("}") {
+            if self.eat_kw("key") {
+                self.expect_punct("=")?;
+                self.expect_punct("{")?;
+                while !self.eat_punct("}") {
+                    let e = self.expr()?;
+                    self.expect_punct(":")?;
+                    let kind = match self.expect_ident()?.as_str() {
+                        "exact" => MatchKind::Exact,
+                        "range" => MatchKind::Range,
+                        "ternary" => MatchKind::Ternary,
+                        "lpm" => MatchKind::Lpm,
+                        other => return self.err(format!("unknown match kind `{other}`")),
+                    };
+                    t.keys.push((e, kind));
+                    self.eat_punct(";");
+                }
+                self.eat_punct(";");
+            } else if self.eat_kw("actions") {
+                self.expect_punct("=")?;
+                self.expect_punct("{")?;
+                while !self.eat_punct("}") {
+                    let a = self.expect_ident()?;
+                    if a != "NoAction" {
+                        t.actions.push(a);
+                    }
+                    self.eat_punct(";");
+                    self.eat_punct(",");
+                }
+                self.eat_punct(";");
+            } else if self.eat_kw("default_action") {
+                self.expect_punct("=")?;
+                t.default_action = self.expect_ident()?;
+                if self.eat_punct("(") {
+                    self.skip_parens()?;
+                }
+                self.expect_punct(";")?;
+            } else if self.eat_kw("const") || matches!(self.peek(), Some(Tok::Ident(k)) if k == "entries")
+            {
+                self.eat_kw("entries");
+                self.expect_punct("=")?;
+                self.expect_punct("{")?;
+                while !self.eat_punct("}") {
+                    t.entries.push(self.table_entry()?);
+                }
+                self.eat_punct(";");
+            } else if self.eat_kw("size") {
+                self.expect_punct("=")?;
+                t.size = self.expect_int()? as u32;
+                self.expect_punct(";")?;
+            } else {
+                return self.err(format!("unexpected table member {:?}", self.peek()));
+            }
+        }
+        Ok(t)
+    }
+
+    fn table_entry(&mut self) -> Result<TableEntry, ParseError> {
+        let mut keys = Vec::new();
+        if self.eat_punct("(") {
+            loop {
+                keys.push(self.entry_key()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        } else {
+            keys.push(self.entry_key()?);
+        }
+        self.expect_punct(":")?;
+        let action = self.expect_ident()?;
+        let mut args = Vec::new();
+        if self.eat_punct("(") {
+            while !self.eat_punct(")") {
+                args.push(self.expect_int()?);
+                self.eat_punct(",");
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(TableEntry { keys, action, args })
+    }
+
+    fn entry_key(&mut self) -> Result<EntryKey, ParseError> {
+        let lo = self.expect_int()?;
+        if self.eat_punct("..") {
+            let hi = self.expect_int()?;
+            Ok(EntryKey::Range(lo, hi))
+        } else {
+            Ok(EntryKey::Value(lo))
+        }
+    }
+
+    fn stmts_until_close(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let then = self.stmts_until_close()?;
+            let els = if self.eat_kw("else") {
+                if self.eat_kw("if") {
+                    // `else if` — re-parse as nested if.
+                    self.pos -= 1; // rewind the `if`
+                    vec![self.stmt()?]
+                } else {
+                    self.expect_punct("{")?;
+                    self.stmts_until_close()?
+                }
+            } else {
+                vec![]
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_kw("exit") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Exit);
+        }
+        // `name();` / `func(args);` — bare call statements.
+        if let (Some(Tok::Ident(_)), Some(Tok::Punct("("))) = (self.peek(), self.peek_at(1)) {
+            let name = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let mut args = Vec::new();
+            while !self.eat_punct(")") {
+                args.push(self.expr()?);
+                self.eat_punct(",");
+            }
+            self.expect_punct(";")?;
+            return Ok(if args.is_empty() {
+                Stmt::CallAction(name)
+            } else {
+                Stmt::ExternCall { dst: None, func: name, args }
+            });
+        }
+        // `table.apply();` / `hdr.x.setValid();` / assignment.
+        let lhs = self.expr()?;
+        if self.eat_punct(";") {
+            // A bare expression statement: only valid for certain shapes.
+            return match lhs {
+                Expr::TableHit(t) | Expr::TableMiss(t) => Ok(Stmt::ApplyTable(t)),
+                Expr::Field(segs) if segs.len() == 1 => Ok(Stmt::CallAction(segs[0].name.clone())),
+                other => self.err(format!("expression `{other:?}` is not a statement")),
+            };
+        }
+        self.expect_punct("=")?;
+        // RHS: check for `.execute(` / `.get(` method forms.
+        let save = self.pos;
+        if let Ok(rhs_path) = self.try_method_call() {
+            if let Some((obj, method, args)) = rhs_path {
+                self.expect_punct(";")?;
+                return match method.as_str() {
+                    "execute" => Ok(Stmt::ExecuteRegisterAction {
+                        dst: Some(lhs),
+                        ra: obj,
+                        index: args.into_iter().next().unwrap_or(Expr::val(0, 32)),
+                    }),
+                    "get" => Ok(Stmt::HashGet { dst: lhs, hash: obj, args }),
+                    other => self.err(format!("unknown method `{other}`")),
+                };
+            }
+        }
+        self.pos = save;
+        // `x = func(args);` extern call form.
+        if let (Some(Tok::Ident(f)), Some(Tok::Punct("("))) = (self.peek(), self.peek_at(1)) {
+            let func = f.clone();
+            // Exclude table-hit expressions (`x = t.apply()...` never occurs).
+            self.bump();
+            self.expect_punct("(")?;
+            let mut args = Vec::new();
+            while !self.eat_punct(")") {
+                args.push(self.expr()?);
+                self.eat_punct(",");
+            }
+            self.expect_punct(";")?;
+            return Ok(Stmt::ExternCall { dst: Some(lhs), func, args });
+        }
+        let rhs = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Assign(lhs, rhs))
+    }
+
+    /// Tries `ident.method({args})` / `ident.method(args)`; returns `None`
+    /// (with position untouched by the caller) when the shape doesn't match.
+    fn try_method_call(&mut self) -> Result<Option<(String, String, Vec<Expr>)>, ParseError> {
+        let save = self.pos;
+        let obj = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            _ => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        if !self.eat_punct(".") {
+            self.pos = save;
+            return Ok(None);
+        }
+        let method = match self.bump() {
+            Some(Tok::Ident(s)) if s == "execute" || s == "get" => s,
+            _ => {
+                self.pos = save;
+                return Ok(None);
+            }
+        };
+        self.expect_punct("(")?;
+        let braced = self.eat_punct("{");
+        let mut args = Vec::new();
+        if braced {
+            while !self.eat_punct("}") {
+                args.push(self.expr()?);
+                self.eat_punct(",");
+            }
+            self.expect_punct(")")?;
+        } else if !self.eat_punct(")") {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(Some((obj, method, args)))
+    }
+
+    // Expressions, precedence climbing.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Some(Tok::Punct("||")) => (P4BinOp::LOr, 1),
+                Some(Tok::Punct("&&")) => (P4BinOp::LAnd, 2),
+                Some(Tok::Punct("|")) => (P4BinOp::Or, 3),
+                Some(Tok::Punct("^")) => (P4BinOp::Xor, 4),
+                Some(Tok::Punct("&")) => (P4BinOp::And, 5),
+                Some(Tok::Punct("==")) => (P4BinOp::Eq, 6),
+                Some(Tok::Punct("!=")) => (P4BinOp::Ne, 6),
+                Some(Tok::Punct("<")) => (P4BinOp::Lt, 7),
+                Some(Tok::Punct("<=")) => (P4BinOp::Le, 7),
+                Some(Tok::Punct(">")) => (P4BinOp::Gt, 7),
+                Some(Tok::Punct(">=")) => (P4BinOp::Ge, 7),
+                Some(Tok::Punct("<<")) => (P4BinOp::Shl, 8),
+                Some(Tok::Punct(">>")) => (P4BinOp::Shr, 8),
+                Some(Tok::Punct("+")) => (P4BinOp::Add, 9),
+                Some(Tok::Punct("-")) => (P4BinOp::Sub, 9),
+                Some(Tok::Punct("|+|")) => (P4BinOp::SatAdd, 9),
+                Some(Tok::Punct("|-|")) => (P4BinOp::SatSub, 9),
+                Some(Tok::Punct("*")) => (P4BinOp::Mul, 10),
+                _ => return Ok(lhs),
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("!") {
+            let e = self.unary()?;
+            // `!t.apply().hit` → TableMiss.
+            if let Expr::TableHit(t) = e {
+                return Ok(Expr::TableMiss(t));
+            }
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::BitNot(Box::new(self.unary()?)));
+        }
+        // Cast `(bit<w>)expr` vs parenthesized expr.
+        if self.eat_punct("(") {
+            if matches!(self.peek(), Some(Tok::Ident(k)) if k == "bit") {
+                let bits = self.bit_type()?;
+                self.expect_punct(")")?;
+                return Ok(Expr::Cast(bits, Box::new(self.unary()?)));
+            }
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return self.postfix(e);
+        }
+        let e = self.primary()?;
+        self.postfix(e)
+    }
+
+    fn postfix(&mut self, mut e: Expr) -> Result<Expr, ParseError> {
+        // Bit slice `[hi:lo]`.
+        while self.eat_punct("[") {
+            let hi = self.expect_int()? as u32;
+            self.expect_punct(":")?;
+            let lo = self.expect_int()? as u32;
+            self.expect_punct("]")?;
+            e = Expr::Slice(Box::new(e), hi, lo);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Const(v, 32)),
+            Some(Tok::Wint(w, v)) => Ok(Expr::Const(v, w)),
+            Some(Tok::Ident(s)) if s == "true" => Ok(Expr::Bool(true)),
+            Some(Tok::Ident(s)) if s == "false" => Ok(Expr::Bool(false)),
+            Some(Tok::Ident(first)) => {
+                let mut segs = vec![self.seg(first)?];
+                while matches!(self.peek(), Some(Tok::Punct(".")))
+                    && matches!(self.peek_at(1), Some(Tok::Ident(_)))
+                {
+                    self.bump(); // .
+                    let name = self.expect_ident()?;
+                    // `t.apply().hit` / `.miss` / method calls.
+                    if name == "apply" && matches!(self.peek(), Some(Tok::Punct("("))) {
+                        self.bump();
+                        self.expect_punct(")")?;
+                        if self.eat_punct(".") {
+                            let what = self.expect_ident()?;
+                            return match what.as_str() {
+                                "hit" => Ok(Expr::TableHit(segs[0].name.clone())),
+                                "miss" => Ok(Expr::TableMiss(segs[0].name.clone())),
+                                other => self.err(format!("unknown apply result `{other}`")),
+                            };
+                        }
+                        return Ok(Expr::TableHit(segs[0].name.clone()));
+                    }
+                    if (name == "setValid" || name == "setInvalid" || name == "isValid")
+                        && matches!(self.peek(), Some(Tok::Punct("(")))
+                    {
+                        self.bump();
+                        self.expect_punct(")")?;
+                        // Validity tests appear in conditions; model as a
+                        // field read of a validity pseudo-field.
+                        segs.push(PathSeg::new(&format!("${name}")));
+                        return Ok(Expr::Field(segs));
+                    }
+                    segs.push(self.seg(name)?);
+                }
+                Ok(Expr::Field(segs))
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    /// A path segment with optional `[index]` (only constant stack indices
+    /// appear in the printed subset; slices are handled in `postfix`, so a
+    /// `[a:b]` here is left for postfix by not consuming).
+    fn seg(&mut self, name: String) -> Result<PathSeg, ParseError> {
+        if matches!(self.peek(), Some(Tok::Punct("[")))
+            && matches!(self.peek_at(1), Some(Tok::Int(_) | Tok::Wint(..)))
+            && matches!(self.peek_at(2), Some(Tok::Punct("]")))
+        {
+            self.bump();
+            let idx = self.expect_int()? as u32;
+            self.expect_punct("]")?;
+            Ok(PathSeg { name, index: Some(idx) })
+        } else {
+            Ok(PathSeg { name, index: None })
+        }
+    }
+}
+
+/// Reconstructs the structured SALU descriptor from a parsed apply body —
+/// the inverse of `print::salu_body`.
+fn recover_salu(body: &[Stmt]) -> Option<(AtomicOp, Option<Expr>, Vec<Expr>)> {
+    let is_out = |e: &Expr| matches!(e, Expr::Field(s) if s.len() == 1 && s[0].name == "o");
+    let is_mem = |e: &Expr| matches!(e, Expr::Field(s) if s.len() == 1 && s[0].name == "m");
+    // Recognize an RMW statement `m = ...`, returning (rmw, operands).
+    let rmw_of = |s: &Stmt| -> Option<(AtomicRmw, Vec<Expr>)> {
+        let Stmt::Assign(lhs, rhs) = s else { return None };
+        if !is_mem(lhs) {
+            return None;
+        }
+        match rhs {
+            Expr::Bin(op, a, b) if is_mem(a) => {
+                let rmw = match op {
+                    P4BinOp::Add => AtomicRmw::Add,
+                    P4BinOp::Sub => AtomicRmw::Sub,
+                    P4BinOp::SatAdd => AtomicRmw::SAdd,
+                    P4BinOp::SatSub => AtomicRmw::SSub,
+                    P4BinOp::Or => AtomicRmw::Or,
+                    P4BinOp::And => AtomicRmw::And,
+                    P4BinOp::Xor => AtomicRmw::Xor,
+                    _ => return None,
+                };
+                // `m + 1` with value one ⇒ inc; `m |-| 1` ⇒ dec.
+                if let Expr::Const(1, _) = **b {
+                    if rmw == AtomicRmw::Add {
+                        return Some((AtomicRmw::Inc, vec![]));
+                    }
+                    if rmw == AtomicRmw::SSub {
+                        return Some((AtomicRmw::Dec, vec![]));
+                    }
+                }
+                Some((rmw, vec![(**b).clone()]))
+            }
+            other if !is_mem(other) => Some((AtomicRmw::Swap, vec![other.clone()])),
+            _ => None,
+        }
+    };
+    let out_stmt = |s: &Stmt| -> bool {
+        matches!(s, Stmt::Assign(lhs, rhs) if is_out(lhs) && is_mem(rhs))
+    };
+
+    match body {
+        // o = m;                       → atomic_read
+        [s] if out_stmt(s) => {
+            Some((AtomicOp { rmw: AtomicRmw::Read, cond: false, ret_new: false }, None, vec![]))
+        }
+        // if (c) { m = RMW; } o = m;   → conditional, new-returning
+        [Stmt::If { cond, then, els }, s2] if els.is_empty() && out_stmt(s2) => {
+            let (rmw, ops) = rmw_of(then.first()?)?;
+            Some((AtomicOp { rmw, cond: true, ret_new: true }, Some(cond.clone()), ops))
+        }
+        // if (m == e) { m = d; } with `o = m` first → compare-and-swap
+        [s1, Stmt::If { cond: Expr::Bin(P4BinOp::Eq, a, b), then, els }]
+            if els.is_empty() && out_stmt(s1) && is_mem(a) =>
+        {
+            let Stmt::Assign(lhs, rhs) = then.first()? else { return None };
+            if !is_mem(lhs) {
+                return None;
+            }
+            Some((
+                AtomicOp { rmw: AtomicRmw::Cas, cond: false, ret_new: false },
+                None,
+                vec![(**b).clone(), rhs.clone()],
+            ))
+        }
+        // o = m; if (c) { m = RMW; }   → conditional, old-returning
+        [s1, Stmt::If { cond, then, els }] if els.is_empty() && out_stmt(s1) => {
+            let (rmw, ops) = rmw_of(then.first()?)?;
+            Some((AtomicOp { rmw, cond: true, ret_new: false }, Some(cond.clone()), ops))
+        }
+        // o = m; m = RMW;              → old-returning unconditional
+        [s1, s2] if out_stmt(s1) => {
+            let (rmw, ops) = rmw_of(s2)?;
+            Some((AtomicOp { rmw, cond: false, ret_new: false }, None, ops))
+        }
+        // m = RMW; o = m;              → new-returning unconditional
+        [s1, s2] if out_stmt(s2) => {
+            let (rmw, ops) = rmw_of(s1)?;
+            Some((AtomicOp { rmw, cond: false, ret_new: true }, None, ops))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_program;
+
+    #[test]
+    fn parses_header() {
+        let p = parse_program("header cache_t { bit<8> Op; bit<32> K; }").unwrap();
+        assert_eq!(p.headers.len(), 1);
+        assert_eq!(p.headers[0].fields, vec![("Op".into(), 8), ("K".into(), 32)]);
+    }
+
+    #[test]
+    fn parses_control_with_register_action() {
+        let src = r#"
+control C(inout headers_t hdr, inout metadata_t meta) {
+    bit<32> c0;
+    Register<bit<32>, bit<32>>(65536) Cnt0;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(Cnt0) Incr0 = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = m |+| 32w1;
+            o = m;
+        }
+    };
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) Hash0;
+    apply {
+        meta.h0 = Hash0.get({hdr.ncl.K});
+        meta.c0 = Incr0.execute(meta.h0);
+    }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let c = &p.controls[0];
+        assert_eq!(c.registers[0], RegisterDef { name: "Cnt0".into(), elem_bits: 32, size: 65536 });
+        let ra = &c.register_actions[0];
+        assert_eq!(ra.op.name(), "atomic_sadd_new");
+        assert_eq!(c.hashes[0].algo, HashKind::Crc16);
+        assert_eq!(c.apply.len(), 2);
+        assert!(matches!(&c.apply[0], Stmt::HashGet { hash, .. } if hash == "Hash0"));
+        assert!(matches!(&c.apply[1], Stmt::ExecuteRegisterAction { ra, .. } if ra == "Incr0"));
+    }
+
+    #[test]
+    fn parses_table_with_entries() {
+        let src = r#"
+control C(inout headers_t hdr) {
+    action CacheHit(bit<32> v) { hdr.cache.V = v; }
+    table cache {
+        key = { hdr.cache.K : exact }
+        actions = { CacheHit; NoAction; }
+        default_action = NoAction();
+        const entries = {
+            1 : CacheHit(42);
+            2 : CacheHit(43);
+        }
+        size = 4;
+    }
+    apply { if (!cache.apply().hit) { hdr.cache.Hit = 8w0; } }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let t = &p.controls[0].tables[0];
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].keys, vec![EntryKey::Value(1)]);
+        assert_eq!(t.entries[0].args, vec![42]);
+        match &p.controls[0].apply[0] {
+            Stmt::If { cond: Expr::TableMiss(t), .. } => assert_eq!(t, "cache"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parser_fsm() {
+        let src = r#"
+parser P(packet_in pkt, out headers_t hdr) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ty) {
+            2048: parse_ip;
+            default: accept;
+        }
+    }
+    state parse_ip {
+        pkt.extract(hdr.ip);
+        transition accept;
+    }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let pd = p.parser.unwrap();
+        assert_eq!(pd.states.len(), 2);
+        assert_eq!(pd.states[0].extracts, vec!["hdr.eth".to_string()]);
+        match &pd.states[0].transition {
+            Transition::Select { cases, default, .. } => {
+                assert_eq!(cases[0], (2048, "parse_ip".into()));
+                assert_eq!(default, "accept");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn salu_recovery_all_variants() {
+        for (body, expect) in [
+            ("o = m;", "atomic_read"),
+            ("o = m; m = m + meta.v;", "atomic_add"),
+            ("m = m | meta.v; o = m;", "atomic_or_new"),
+            ("o = m; m = m |-| 16w1;", "atomic_dec"),
+            ("if (meta.c) { m = m |+| meta.v; } o = m;", "atomic_cond_sadd_new"),
+            ("o = m; if (meta.c) { m = m & meta.v; }", "atomic_cond_and"),
+            ("o = m; m = meta.v;", "atomic_swap"),
+        ] {
+            let src = format!(
+                "control C(inout h x) {{ Register<bit<16>, bit<32>>(4) R;\n\
+                 RegisterAction<bit<16>, bit<32>, bit<16>>(R) ra = {{\n\
+                 void apply(inout bit<16> m, out bit<16> o) {{ {body} }}\n\
+                 }};\napply {{ }} }}"
+            );
+            let p = parse_program(&src).unwrap_or_else(|e| panic!("{body}: {e}"));
+            assert_eq!(p.controls[0].register_actions[0].op.name(), expect, "{body}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_print_parse_print() {
+        use crate::ast::*;
+        use netcl_sema::builtins::AtomicOp;
+        let prog = P4Program {
+            name: "rt".into(),
+            target: Target::Tna,
+            headers: vec![HeaderDef {
+                name: "ncl_t".into(),
+                fields: vec![("src".into(), 16), ("dst".into(), 16)],
+                stack: 1,
+            }],
+            parser: Some(ParserDef {
+                name: "IgP".into(),
+                states: vec![ParserState {
+                    name: "start".into(),
+                    extracts: vec!["hdr.ncl".into()],
+                    transition: Transition::Accept,
+                }],
+            }),
+            controls: vec![ControlDef {
+                name: "Ig".into(),
+                locals: vec![("t0".into(), 16)],
+                registers: vec![RegisterDef { name: "R".into(), elem_bits: 16, size: 128 }],
+                register_actions: vec![RegisterActionDef {
+                    name: "bump".into(),
+                    register: "R".into(),
+                    op: AtomicOp {
+                        rmw: AtomicRmw::Or,
+                        cond: true,
+                        ret_new: true,
+                    },
+                    cond: Some(Expr::Bin(
+                        P4BinOp::Ne,
+                        Box::new(Expr::field(&["meta", "c"])),
+                        Box::new(Expr::val(0, 16)),
+                    )),
+                    operands: vec![Expr::field(&["meta", "mask"])],
+                }],
+                hashes: vec![],
+                actions: vec![ActionDef {
+                    name: "set".into(),
+                    params: vec![("v".into(), 16)],
+                    body: vec![Stmt::Assign(Expr::field(&["hdr", "ncl", "dst"]), Expr::field(&["v"]))],
+                }],
+                tables: vec![TableDef {
+                    name: "fwd".into(),
+                    keys: vec![(Expr::field(&["hdr", "ncl", "dst"]), MatchKind::Exact)],
+                    actions: vec!["set".into()],
+                    entries: vec![TableEntry {
+                        keys: vec![EntryKey::Value(7)],
+                        action: "set".into(),
+                        args: vec![9],
+                    }],
+                    default_action: "NoAction".into(),
+                    size: 16,
+                }],
+                apply: vec![
+                    Stmt::ApplyTable("fwd".into()),
+                    Stmt::If {
+                        cond: Expr::Bin(
+                            P4BinOp::Eq,
+                            Box::new(Expr::field(&["hdr", "ncl", "src"])),
+                            Box::new(Expr::val(3, 16)),
+                        ),
+                        then: vec![Stmt::Assign(
+                            Expr::field(&["meta", "t0"]),
+                            Expr::val(1, 16),
+                        )],
+                        els: vec![],
+                    },
+                ],
+            }],
+        };
+        let text1 = print_program(&prog);
+        let parsed = parse_program(&text1).unwrap_or_else(|e| panic!("{e}\n{text1}"));
+        let text2 = print_program(&parsed);
+        // Compare modulo the program-name comment line.
+        let body1: Vec<&str> = text1.lines().skip(1).collect();
+        let body2: Vec<&str> = text2.lines().skip(1).collect();
+        assert_eq!(body1, body2);
+    }
+
+    #[test]
+    fn error_carries_line() {
+        let err = parse_program("header X {\n bit<8> a;\n $$$ }").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

@@ -1,0 +1,262 @@
+//! CFG simplification and the DAG check.
+//!
+//! §VI-B: "The main goal is for the CFG to become a DAG; otherwise, a
+//! relevant error is issued" — P4 pipelines are feed-forward, so any
+//! remaining loop (a `while` the unroller could not remove, or irreducible
+//! flow) rejects the program.
+
+use netcl_ir::dom::reverse_postorder;
+use netcl_ir::func::{BlockId, Function, InstKind, Terminator};
+use netcl_util::idx::Idx;
+use std::collections::HashMap;
+
+/// Simplifies the CFG: forwards branches through empty blocks, merges
+/// single-pred/single-succ straight lines, and collapses condbr with equal
+/// targets. Returns whether anything changed.
+pub fn simplify(f: &mut Function) -> bool {
+    let mut changed = false;
+    changed |= collapse_trivial_condbr(f);
+    changed |= thread_empty_blocks(f);
+    changed |= merge_straight_lines(f);
+    changed
+}
+
+fn collapse_trivial_condbr(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.blocks.iter_mut() {
+        if let Terminator::CondBr { then_bb, else_bb, .. } = b.term {
+            if then_bb == else_bb {
+                b.term = Terminator::Br(then_bb);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Redirects branches whose target is an empty block that just branches on.
+fn thread_empty_blocks(f: &mut Function) -> bool {
+    // target → final destination, skipping chains of empty forwarders. A
+    // block with φ-nodes is not skippable (the edge identity matters).
+    let mut forward: HashMap<BlockId, BlockId> = HashMap::new();
+    for (bid, b) in f.blocks.iter_enumerated() {
+        if b.insts.is_empty() {
+            if let Terminator::Br(t) = b.term {
+                if t != bid && !has_phis(f, t) {
+                    forward.insert(bid, t);
+                }
+            }
+        }
+    }
+    if forward.is_empty() {
+        return false;
+    }
+    let resolve = |mut b: BlockId| {
+        for _ in 0..forward.len() + 1 {
+            match forward.get(&b) {
+                Some(&n) if n != b => b = n,
+                _ => break,
+            }
+        }
+        b
+    };
+    let mut changed = false;
+    for b in f.blocks.iter_mut() {
+        match &mut b.term {
+            Terminator::Br(t) => {
+                let n = resolve(*t);
+                if n != *t {
+                    *t = n;
+                    changed = true;
+                }
+            }
+            Terminator::CondBr { then_bb, else_bb, .. } => {
+                let nt = resolve(*then_bb);
+                let ne = resolve(*else_bb);
+                if nt != *then_bb || ne != *else_bb {
+                    *then_bb = nt;
+                    *else_bb = ne;
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+fn has_phis(f: &Function, b: BlockId) -> bool {
+    f.blocks[b].insts.iter().any(|i| matches!(i.kind, InstKind::Phi { .. }))
+}
+
+/// Merges `a → b` when `a` ends in an unconditional branch to `b` and `b`
+/// has exactly one predecessor.
+fn merge_straight_lines(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let reachable: std::collections::HashSet<BlockId> =
+            reverse_postorder(f).into_iter().collect();
+        let preds = f.predecessors();
+        let mut merged = false;
+        for a in f.blocks.indices().collect::<Vec<_>>() {
+            if !reachable.contains(&a) {
+                continue;
+            }
+            let Terminator::Br(b) = f.blocks[a].term else { continue };
+            // Unreachable predecessors don't block merging.
+            let live_preds = preds[b].iter().filter(|p| reachable.contains(p)).count();
+            if b == a || live_preds != 1 || b == f.entry || has_phis(f, b) {
+                continue;
+            }
+            // Splice b into a.
+            let mut b_insts = std::mem::take(&mut f.blocks[b].insts);
+            let b_term = std::mem::replace(&mut f.blocks[b].term, Terminator::Br(b));
+            f.blocks[a].insts.append(&mut b_insts);
+            f.blocks[a].term = b_term;
+            // φ-nodes in b's successors must re-home their incoming edge.
+            for s in f.blocks[a].term.successors() {
+                for inst in &mut f.blocks[s].insts {
+                    if let InstKind::Phi { incoming } = &mut inst.kind {
+                        for (p, _) in incoming {
+                            if *p == b {
+                                *p = a;
+                            }
+                        }
+                    }
+                }
+            }
+            merged = true;
+            changed = true;
+            break; // preds are stale; recompute
+        }
+        if !merged {
+            return changed;
+        }
+    }
+}
+
+/// Checks that the reachable CFG is a DAG. Returns a description of the
+/// offending cycle otherwise.
+pub fn check_dag(f: &Function) -> Result<(), String> {
+    // A back edge in DFS ⇔ a cycle.
+    let n = f.blocks.len();
+    let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+    color[f.entry.index()] = 1;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.blocks[b].term.successors();
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            match color.get(s.index()).copied().unwrap_or(2) {
+                0 => {
+                    color[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+                1 => {
+                    return Err(format!(
+                        "kernel `{}` contains a loop the compiler could not fully unroll \
+                         ({b:?} → {s:?}); P4 pipelines are feed-forward (§V-D)",
+                        f.name
+                    ));
+                }
+                _ => {}
+            }
+        } else {
+            color[b.index()] = 2;
+            stack.pop();
+        }
+    }
+    Ok(())
+}
+
+/// Number of reachable blocks (handy in tests).
+pub fn reachable_block_count(f: &Function) -> usize {
+    reverse_postorder(f).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_ir::func::{ActionRef, FuncBuilder};
+    use netcl_ir::types::{IrBinOp, IrTy, Operand as Op};
+
+    #[test]
+    fn threads_empty_blocks() {
+        let mut b = FuncBuilder::new("k", 1);
+        let mid = b.new_block();
+        let end = b.new_block();
+        b.terminate(Terminator::Br(mid));
+        b.switch_to(mid);
+        b.terminate(Terminator::Br(end));
+        b.switch_to(end);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        assert!(simplify(&mut f));
+        // After threading + merging, the entry returns directly.
+        assert!(matches!(f.blocks[f.entry].term, Terminator::Ret(_)));
+        assert_eq!(reachable_block_count(&f), 1);
+    }
+
+    #[test]
+    fn merges_straight_line_with_instructions() {
+        let mut b = FuncBuilder::new("k", 1);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let next = b.new_block();
+        let x = b.bin(IrBinOp::Add, Op::imm(1, IrTy::I32), Op::imm(2, IrTy::I32), IrTy::I32);
+        b.terminate(Terminator::Br(next));
+        b.switch_to(next);
+        b.emit(InstKind::ArgWrite { arg: out, index: Op::imm(0, IrTy::I32), value: x }, IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        assert!(simplify(&mut f));
+        assert_eq!(f.blocks[f.entry].insts.len(), 2);
+        assert!(matches!(f.blocks[f.entry].term, Terminator::Ret(_)));
+    }
+
+    #[test]
+    fn collapses_equal_target_condbr() {
+        let mut b = FuncBuilder::new("k", 1);
+        let t = b.new_block();
+        b.terminate(Terminator::CondBr { cond: Op::imm(1, IrTy::I1), then_bb: t, else_bb: t });
+        b.switch_to(t);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        assert!(simplify(&mut f));
+        assert!(matches!(f.blocks[f.entry].term, Terminator::Ret(_)));
+    }
+
+    #[test]
+    fn dag_check_accepts_diamond() {
+        let mut b = FuncBuilder::new("k", 1);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.terminate(Terminator::CondBr { cond: Op::imm(1, IrTy::I1), then_bb: t, else_bb: e });
+        b.switch_to(t);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(e);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(j);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let f = b.finish();
+        assert!(check_dag(&f).is_ok());
+    }
+
+    #[test]
+    fn dag_check_rejects_loop() {
+        let mut b = FuncBuilder::new("spin", 1);
+        let body = b.new_block();
+        b.terminate(Terminator::Br(body));
+        b.switch_to(body);
+        b.terminate(Terminator::CondBr {
+            cond: Op::imm(1, IrTy::I1),
+            then_bb: body,
+            else_bb: b.func.entry,
+        });
+        let f = b.finish();
+        let err = check_dag(&f).unwrap_err();
+        assert!(err.contains("feed-forward"));
+        assert!(err.contains("spin"));
+    }
+}

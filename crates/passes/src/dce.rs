@@ -1,0 +1,181 @@
+//! Dead code elimination.
+//!
+//! Removes side-effect-free instructions with no used results and blocks
+//! unreachable from the entry (fixing up φ-nodes of their successors).
+
+use netcl_ir::dom::reverse_postorder;
+use netcl_ir::func::{Function, InstKind, Terminator};
+use netcl_ir::types::Operand;
+use netcl_ir::ValueId;
+use std::collections::HashSet;
+
+/// Runs DCE on `f`; returns whether anything was removed.
+pub fn run_on_function(f: &mut Function) -> bool {
+    let mut changed = remove_unreachable_blocks(f);
+    changed |= remove_dead_instructions(f);
+    changed
+}
+
+fn remove_dead_instructions(f: &mut Function) -> bool {
+    // Compute the live set by backwards propagation to handle chains of
+    // dead instructions in one pass (iterate until fixpoint).
+    let mut used: HashSet<ValueId> = HashSet::new();
+    loop {
+        let mut grew = false;
+        for b in f.blocks.iter() {
+            for inst in &b.insts {
+                let keep = inst.kind.has_side_effects()
+                    || inst.results.iter().any(|r| used.contains(r));
+                if keep {
+                    for op in inst.kind.operands() {
+                        if let Operand::Value(v) = op {
+                            grew |= used.insert(v);
+                        }
+                    }
+                }
+            }
+            match &b.term {
+                Terminator::CondBr { cond: Operand::Value(v), .. } => {
+                    grew |= used.insert(*v);
+                }
+                Terminator::Ret(a) => {
+                    if let Some(Operand::Value(v)) = a.target {
+                        grew |= used.insert(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let mut changed = false;
+    for b in f.blocks.iter_mut() {
+        let before = b.insts.len();
+        b.insts.retain(|inst| {
+            inst.kind.has_side_effects() || inst.results.iter().any(|r| used.contains(r))
+        });
+        changed |= b.insts.len() != before;
+    }
+    changed
+}
+
+fn remove_unreachable_blocks(f: &mut Function) -> bool {
+    let reachable: HashSet<_> = reverse_postorder(f).into_iter().collect();
+    if reachable.len() == f.blocks.len() {
+        return false;
+    }
+    let mut changed = false;
+    // Empty out unreachable blocks (ids stay stable; empty blocks with a
+    // self-branch are ignored by all later passes and the printer).
+    let ids: Vec<_> = f.blocks.indices().collect();
+    for bid in ids {
+        if !reachable.contains(&bid) {
+            let b = &mut f.blocks[bid];
+            if !b.insts.is_empty() || !matches!(b.term, Terminator::Br(x) if x == bid) {
+                b.insts.clear();
+                b.term = Terminator::Br(bid); // inert self-loop marker
+                changed = true;
+            }
+        }
+    }
+    // Drop φ incomings that came from now-unreachable blocks.
+    for bid in f.blocks.indices().collect::<Vec<_>>() {
+        if !reachable.contains(&bid) {
+            continue;
+        }
+        for inst in &mut f.blocks[bid].insts {
+            if let InstKind::Phi { incoming } = &mut inst.kind {
+                let before = incoming.len();
+                incoming.retain(|(p, _)| reachable.contains(p));
+                changed |= incoming.len() != before;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_ir::func::{ActionRef, FuncBuilder};
+    use netcl_ir::types::{IrBinOp, IrTy, Operand as Op};
+
+    #[test]
+    fn removes_dead_chain() {
+        let mut b = FuncBuilder::new("k", 1);
+        let x = b.bin(IrBinOp::Add, Op::imm(1, IrTy::I32), Op::imm(2, IrTy::I32), IrTy::I32);
+        let _y = b.bin(IrBinOp::Mul, x, Op::imm(3, IrTy::I32), IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        assert!(run_on_function(&mut f));
+        assert_eq!(f.inst_count(), 0);
+    }
+
+    #[test]
+    fn keeps_side_effects_and_their_inputs() {
+        let mut b = FuncBuilder::new("k", 1);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let x = b.bin(IrBinOp::Add, Op::imm(1, IrTy::I32), Op::imm(2, IrTy::I32), IrTy::I32);
+        b.emit(InstKind::ArgWrite { arg: out, index: Op::imm(0, IrTy::I32), value: x }, IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        run_on_function(&mut f);
+        assert_eq!(f.inst_count(), 2);
+    }
+
+    #[test]
+    fn keeps_condbr_inputs() {
+        let mut b = FuncBuilder::new("k", 1);
+        let t = b.new_block();
+        let e = b.new_block();
+        let arg = b.add_arg("x", IrTy::I32, 1, false);
+        let x = b.emit(InstKind::ArgRead { arg, index: Op::imm(0, IrTy::I32) }, IrTy::I32).unwrap();
+        let c = b.icmp(netcl_ir::types::IcmpPred::Eq, Op::Value(x), Op::imm(0, IrTy::I32));
+        b.terminate(Terminator::CondBr { cond: c, then_bb: t, else_bb: e });
+        b.switch_to(t);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        b.switch_to(e);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        run_on_function(&mut f);
+        assert_eq!(f.inst_count(), 2);
+    }
+
+    #[test]
+    fn clears_unreachable_blocks() {
+        let mut b = FuncBuilder::new("k", 1);
+        let dead = b.new_block();
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        b.switch_to(dead);
+        b.bin(IrBinOp::Add, Op::imm(1, IrTy::I32), Op::imm(2, IrTy::I32), IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        assert!(run_on_function(&mut f));
+        assert!(f.blocks[dead].insts.is_empty());
+    }
+
+    #[test]
+    fn atomics_never_removed() {
+        use netcl_ir::func::{MemId, MemRef};
+        let mut b = FuncBuilder::new("k", 1);
+        b.emit(
+            InstKind::AtomicRmw {
+                op: netcl_sema::builtins::AtomicOp {
+                    rmw: netcl_sema::builtins::AtomicRmw::Inc,
+                    cond: false,
+                    ret_new: false,
+                },
+                mem: MemRef { mem: MemId(0), indices: vec![Op::imm(0, IrTy::I32)] },
+                cond: None,
+                operands: vec![],
+            },
+            IrTy::I32,
+        );
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        run_on_function(&mut f);
+        assert_eq!(f.inst_count(), 1);
+    }
+}

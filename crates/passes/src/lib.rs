@@ -1,0 +1,167 @@
+//! The NetCL device pass pipeline (paper §VI-B).
+//!
+//! "Our backend performs over 20 custom passes mixed with an equal number of
+//! LLVM passes." This crate reimplements that pipeline over `netcl-ir`:
+//!
+//! **Common stage (all P4 targets)** — constant folding and instruction
+//! simplification ([`fold`]), dead-code elimination and unreachable-block
+//! removal ([`dce`]), CFG simplification and the CFG-is-a-DAG check
+//! ([`cfg`]), and mem2reg promotion of scalar locals to SSA ([`mem2reg`]).
+//! Reaching the end of this stage guarantees the program compiles for the
+//! v1model target.
+//!
+//! **Tofino stage** — access-based memory partitioning and lookup-memory
+//! duplication ([`partition`]), the stage-local memory checks (mutual
+//! exclusion via branch-distance approximation, cross-object access-order
+//! verification with reordering) ([`memcheck`]), common-value hoisting and
+//! aggressive speculation ([`hoist`]), inefficient-pattern rewrites
+//! (`icmp`→`sub`+MSB, byte-swap detection) ([`rewrite`]).
+//!
+//! **Codegen preparation** — CFG structurization based on predicate
+//! variables when the CFG is not already structured ([`structurize`]) and
+//! φ-node elimination by fresh variables ([`phielim`]).
+//!
+//! Every transform pass preserves kernel semantics; the test-suite checks
+//! this differentially with the IR interpreter on randomized inputs.
+
+pub mod cfg;
+pub mod dce;
+pub mod fold;
+pub mod hoist;
+pub mod mem2reg;
+pub mod memcheck;
+pub mod partition;
+pub mod phielim;
+pub mod rewrite;
+pub mod structurize;
+
+use netcl_ir::Module;
+use netcl_util::DiagnosticSink;
+
+/// Compiler flags controlling optional transformations (§VI-B: "we provide
+/// several compiler flags to control certain transformations").
+#[derive(Clone, Debug)]
+pub struct PassFlags {
+    /// Aggressive speculation of pure instructions to the earliest block.
+    /// Reduces critical path length (it is what made AGG fit Tofino) but may
+    /// raise PHV pressure.
+    pub speculation: bool,
+    /// Duplicate non-managed lookup memory per access site.
+    pub duplicate_lookup: bool,
+    /// Rewrite dynamic-operand relational `icmp`s to `sub` + MSB check.
+    pub icmp_to_sub_msb: bool,
+    /// Place bitcast-like width changes on hash engines instead of ALUs.
+    pub bitcast_on_hash: bool,
+    /// Branch-distance threshold for the same-stage memory check.
+    pub distance_threshold: u32,
+}
+
+impl Default for PassFlags {
+    fn default() -> Self {
+        PassFlags {
+            speculation: true,
+            duplicate_lookup: true,
+            icmp_to_sub_msb: true,
+            bitcast_on_hash: false,
+            distance_threshold: 10,
+        }
+    }
+}
+
+/// Which backend the pipeline is preparing the module for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineTarget {
+    /// Intel Tofino (TNA): full restriction checking.
+    Tofino,
+    /// p4lang v1model software switch: common stage only.
+    V1Model,
+}
+
+/// Runs the full pipeline in paper order. Returns `Err` (with diagnostics in
+/// `diags`) when a target restriction rejects the program.
+pub fn run_pipeline(
+    module: &mut Module,
+    target: PipelineTarget,
+    flags: &PassFlags,
+    diags: &mut DiagnosticSink,
+) -> Result<(), ()> {
+    // Common stage: "peephole optimization, instruction simplification and
+    // DCE passes. The main goal is for the CFG to become a DAG."
+    for f in module.kernels.iter_mut() {
+        for _ in 0..4 {
+            let mut changed = fold::fold_function(f);
+            changed |= fold::strength_reduce(f) > 0;
+            changed |= dce::run_on_function(f);
+            changed |= cfg::simplify(f);
+            if !changed {
+                break;
+            }
+        }
+    }
+    for f in &module.kernels {
+        if let Err(msg) = cfg::check_dag(f) {
+            diags.error("E0301", msg, netcl_util::Span::DUMMY);
+        }
+    }
+    if diags.has_errors() {
+        return Err(());
+    }
+    for f in module.kernels.iter_mut() {
+        mem2reg::run_on_function(f);
+        for _ in 0..4 {
+            let mut changed = fold::fold_function(f);
+            changed |= dce::run_on_function(f);
+            changed |= cfg::simplify(f);
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    if target == PipelineTarget::Tofino {
+        partition::partition_module(module);
+        if flags.duplicate_lookup {
+            partition::duplicate_lookup_memory(module);
+        }
+        for f in module.kernels.iter_mut() {
+            hoist::hoist_common_values(f);
+            if flags.speculation {
+                hoist::speculate(f);
+            }
+            if flags.icmp_to_sub_msb {
+                rewrite::icmp_to_sub_msb(f);
+            }
+            rewrite::detect_bswap(f);
+            // The icmp rewrite leaves `or x, 0` copies behind; fold them.
+            fold::fold_function(f);
+            dce::run_on_function(f);
+        }
+        memcheck::check_module(module, flags.distance_threshold, diags);
+        if diags.has_errors() {
+            return Err(());
+        }
+    }
+
+    // Codegen preparation (both targets emit P4). φ-elimination first — the
+    // structurizer requires φ-free IR (cross-join dataflow must already flow
+    // through local slots so tail duplication is sound).
+    for f in module.kernels.iter_mut() {
+        phielim::run_on_function(f);
+        if let Err(msg) = structurize::ensure_structured(f) {
+            diags.error("E0305", msg, netcl_util::Span::DUMMY);
+        }
+        dce::run_on_function(f);
+    }
+    if diags.has_errors() {
+        return Err(());
+    }
+
+    // Sanity: passes must leave verifiable IR behind.
+    if let Err(errs) = netcl_ir::verify::verify_module(module) {
+        for e in errs {
+            diags.error("E0399", format!("internal: post-pass verification failed: {e}"), netcl_util::Span::DUMMY);
+        }
+        return Err(());
+    }
+    Ok(())
+}

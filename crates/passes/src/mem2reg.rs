@@ -1,0 +1,358 @@
+//! Promotion of scalar local slots to SSA values (LLVM's `mem2reg`).
+//!
+//! Lowering gives every source variable a local slot and accesses it with
+//! loads/stores; this pass promotes every scalar slot (element count 1,
+//! constant index) to SSA form with φ-nodes at iterated dominance frontiers.
+//! Local *arrays* with dynamic indices are left alone — they become header
+//! stacks with index tables in the P4 backend (Fig. 9, rightmost column).
+//!
+//! Loads that can execute before any store read 0. (The paper leaves
+//! default-initialized locals undefined; the compiler is entitled to pick a
+//! value, and 0 matches what the P4 backend's zero-initialized metadata
+//! produces, keeping IR and P4 semantics aligned.)
+
+use netcl_ir::dom::DomTree;
+use netcl_ir::func::{BlockId, Function, Inst, InstKind, LocalId, ValueId};
+use netcl_ir::types::Operand;
+use std::collections::{HashMap, HashSet};
+
+/// Runs mem2reg; returns the number of promoted slots.
+pub fn run_on_function(f: &mut Function) -> usize {
+    let promotable = find_promotable(f);
+    if promotable.is_empty() {
+        return 0;
+    }
+    let dt = DomTree::compute(f);
+    let df = dt.dominance_frontiers(f);
+    let preds = f.predecessors();
+
+    // 1. Insert empty φ-nodes at iterated dominance frontiers of defs.
+    //    phi_of[(block, slot)] = value id of the φ.
+    let mut phi_of: HashMap<(BlockId, LocalId), ValueId> = HashMap::new();
+    for &slot in &promotable {
+        let mut def_blocks: Vec<BlockId> = Vec::new();
+        for (bid, b) in f.blocks.iter_enumerated() {
+            if b.insts.iter().any(
+                |i| matches!(&i.kind, InstKind::LocalStore { slot: s, .. } if *s == slot),
+            ) {
+                def_blocks.push(bid);
+            }
+        }
+        let mut work = def_blocks.clone();
+        let mut placed: HashSet<BlockId> = HashSet::new();
+        while let Some(b) = work.pop() {
+            if !dt.is_reachable(b) {
+                continue;
+            }
+            for &fr in &df[b] {
+                if placed.insert(fr) {
+                    let ty = f.locals[slot].ty;
+                    let v = f.values.push(netcl_ir::func::ValueInfo {
+                        ty,
+                        name: Some(f.locals[slot].name.clone()),
+                    });
+                    f.blocks[fr]
+                        .insts
+                        .insert(0, Inst { kind: InstKind::Phi { incoming: vec![] }, results: vec![v] });
+                    phi_of.insert((fr, slot), v);
+                    work.push(fr);
+                }
+            }
+        }
+    }
+
+    // 2. Rename along the dominator tree.
+    let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for &b in &dt.rpo {
+        if let Some(p) = dt.immediate_dominator(b) {
+            children.entry(p).or_default().push(b);
+        }
+    }
+    let mut replace: HashMap<ValueId, Operand> = HashMap::new();
+    let promoset: HashSet<LocalId> = promotable.iter().copied().collect();
+
+    // Iterative DFS with per-slot definition stacks.
+    struct Frame {
+        block: BlockId,
+        pushed: Vec<LocalId>,
+        visited: bool,
+    }
+    let mut stacks: HashMap<LocalId, Vec<Operand>> = HashMap::new();
+    let resolve = |op: Operand, replace: &HashMap<ValueId, Operand>| -> Operand {
+        let mut cur = op;
+        for _ in 0..replace.len() + 1 {
+            match cur {
+                Operand::Value(v) => match replace.get(&v) {
+                    Some(&n) => cur = n,
+                    None => break,
+                },
+                _ => break,
+            }
+        }
+        cur
+    };
+    let zero = |f: &Function, slot: LocalId| Operand::Const(0, f.locals[slot].ty);
+
+    let mut stack = vec![Frame { block: f.entry, pushed: vec![], visited: false }];
+    while let Some(frame) = stack.last_mut() {
+        if frame.visited {
+            // Unwind: pop definitions pushed by this block.
+            for slot in frame.pushed.drain(..) {
+                stacks.get_mut(&slot).unwrap().pop();
+            }
+            stack.pop();
+            continue;
+        }
+        frame.visited = true;
+        let bid = frame.block;
+        let mut pushed: Vec<LocalId> = Vec::new();
+
+        // Process instructions.
+        let mut insts = std::mem::take(&mut f.blocks[bid].insts);
+        for inst in &mut insts {
+            match &inst.kind {
+                InstKind::Phi { .. } => {
+                    if let Some((&(_, slot), _)) = phi_of
+                        .iter()
+                        .find(|((b, _), &v)| *b == bid && inst.results.first() == Some(&v))
+                        .map(|(k, v)| (k, v))
+                    {
+                        stacks.entry(slot).or_default().push(Operand::Value(inst.results[0]));
+                        pushed.push(slot);
+                    }
+                }
+                InstKind::LocalLoad { slot, .. } if promoset.contains(slot) => {
+                    let cur = stacks
+                        .get(slot)
+                        .and_then(|s| s.last().copied())
+                        .unwrap_or_else(|| zero(f, *slot));
+                    let cur = resolve(cur, &replace);
+                    replace.insert(inst.results[0], cur);
+                }
+                InstKind::LocalStore { slot, value, .. } if promoset.contains(slot) => {
+                    let v = resolve(*value, &replace);
+                    stacks.entry(*slot).or_default().push(v);
+                    pushed.push(*slot);
+                }
+                _ => {}
+            }
+        }
+        f.blocks[bid].insts = insts;
+
+        // Fill φ incoming of CFG successors.
+        for succ in f.blocks[bid].term.successors() {
+            let slots: Vec<LocalId> = phi_of
+                .iter()
+                .filter(|((b, _), _)| *b == succ)
+                .map(|((_, s), _)| *s)
+                .collect();
+            for slot in slots {
+                let phi_v = phi_of[&(succ, slot)];
+                let cur = stacks
+                    .get(&slot)
+                    .and_then(|s| s.last().copied())
+                    .unwrap_or_else(|| zero(f, slot));
+                let cur = resolve(cur, &replace);
+                for inst in &mut f.blocks[succ].insts {
+                    if inst.results.first() == Some(&phi_v) {
+                        if let InstKind::Phi { incoming } = &mut inst.kind {
+                            if !incoming.iter().any(|(p, _)| *p == bid) {
+                                incoming.push((bid, cur));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let frame = stack.last_mut().unwrap();
+        frame.pushed = pushed;
+        // Recurse into dominator-tree children.
+        if let Some(kids) = children.get(&bid) {
+            for &k in kids {
+                stack.push(Frame { block: k, pushed: vec![], visited: false });
+            }
+        }
+    }
+
+    // 3. Remove promoted loads/stores and apply replacements.
+    for b in f.blocks.iter_mut() {
+        b.insts.retain(|inst| match &inst.kind {
+            InstKind::LocalLoad { slot, .. } | InstKind::LocalStore { slot, .. } => {
+                !promoset.contains(slot)
+            }
+            _ => true,
+        });
+    }
+    for b in f.blocks.iter_mut() {
+        for inst in &mut b.insts {
+            inst.kind.map_operands(|op| resolve(op, &replace));
+        }
+        match &mut b.term {
+            netcl_ir::Terminator::CondBr { cond, .. } => *cond = resolve(*cond, &replace),
+            netcl_ir::Terminator::Ret(a) => {
+                if let Some(t) = &mut a.target {
+                    *t = resolve(*t, &replace);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Ensure any φ with missing incoming (unreachable preds) defaults to 0.
+    let preds_now = preds;
+    for bid in f.blocks.indices().collect::<Vec<_>>() {
+        for inst in &mut f.blocks[bid].insts {
+            if let InstKind::Phi { incoming } = &mut inst.kind {
+                for &p in &preds_now[bid] {
+                    if !incoming.iter().any(|(q, _)| *q == p) {
+                        let ty = f.values[inst.results[0]].ty;
+                        incoming.push((p, Operand::Const(0, ty)));
+                    }
+                }
+            }
+        }
+    }
+    promotable.len()
+}
+
+fn find_promotable(f: &Function) -> Vec<LocalId> {
+    let mut bad: HashSet<LocalId> = HashSet::new();
+    for b in f.blocks.iter() {
+        for inst in &b.insts {
+            match &inst.kind {
+                InstKind::LocalLoad { slot, index } | InstKind::LocalStore { slot, index, .. } => {
+                    if index.as_const() != Some(0) {
+                        bad.insert(*slot);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    f.locals
+        .iter_enumerated()
+        .filter(|(id, l)| l.count == 1 && !bad.contains(id))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_ir::func::{ActionRef, FuncBuilder, Terminator};
+    use netcl_ir::types::{IcmpPred, IrBinOp, IrTy, Operand as Op};
+    use netcl_ir::verify::verify_function;
+
+    /// x = 1; if (c) x = 2; out = x  — needs a φ at the join.
+    #[test]
+    fn promotes_with_phi() {
+        let mut b = FuncBuilder::new("k", 1);
+        let argc = b.add_arg("c", IrTy::I32, 1, false);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let x = b.add_local("x", IrTy::I32, 1);
+        let i0 = Op::imm(0, IrTy::I32);
+        b.emit(InstKind::LocalStore { slot: x, index: i0, value: Op::imm(1, IrTy::I32) }, IrTy::I32);
+        let c = b.emit(InstKind::ArgRead { arg: argc, index: i0 }, IrTy::I32).unwrap();
+        let cond = b.icmp(IcmpPred::Ne, Op::Value(c), Op::imm(0, IrTy::I32));
+        let t = b.new_block();
+        let j = b.new_block();
+        b.terminate(Terminator::CondBr { cond, then_bb: t, else_bb: j });
+        b.switch_to(t);
+        b.emit(InstKind::LocalStore { slot: x, index: i0, value: Op::imm(2, IrTy::I32) }, IrTy::I32);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(j);
+        let v = b.emit(InstKind::LocalLoad { slot: x, index: i0 }, IrTy::I32).unwrap();
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: Op::Value(v) }, IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+
+        assert_eq!(run_on_function(&mut f), 1);
+        verify_function(&f, None).unwrap();
+        // No local loads/stores remain; a φ exists in the join block.
+        assert!(!f.blocks.iter().any(|b| b
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::LocalLoad { .. } | InstKind::LocalStore { .. }))));
+        assert!(f.blocks[j].insts.iter().any(|i| matches!(i.kind, InstKind::Phi { .. })));
+
+        // Semantics: c=0 → 1, c≠0 → 2.
+        let m = netcl_ir::Module::default();
+        let mut st = netcl_ir::interp::DeviceState::new(&m);
+        let mut env = netcl_ir::interp::ExecEnv::default();
+        let mut args = vec![vec![0u64], vec![0u64]];
+        netcl_ir::interp::execute(&f, &m, &mut st, &mut args, &mut env).unwrap();
+        assert_eq!(args[1][0], 1);
+        let mut args = vec![vec![5u64], vec![0u64]];
+        netcl_ir::interp::execute(&f, &m, &mut st, &mut args, &mut env).unwrap();
+        assert_eq!(args[1][0], 2);
+    }
+
+    #[test]
+    fn load_before_store_reads_zero() {
+        let mut b = FuncBuilder::new("k", 1);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let x = b.add_local("x", IrTy::I32, 1);
+        let i0 = Op::imm(0, IrTy::I32);
+        let v = b.emit(InstKind::LocalLoad { slot: x, index: i0 }, IrTy::I32).unwrap();
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: Op::Value(v) }, IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        run_on_function(&mut f);
+        match &f.blocks[f.entry].insts[0].kind {
+            InstKind::ArgWrite { value, .. } => assert_eq!(value.as_const(), Some(0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_arrays_not_promoted() {
+        let mut b = FuncBuilder::new("k", 1);
+        let argi = b.add_arg("i", IrTy::I32, 1, false);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let arr = b.add_local("c", IrTy::I32, 3);
+        let i0 = Op::imm(0, IrTy::I32);
+        let i = b.emit(InstKind::ArgRead { arg: argi, index: i0 }, IrTy::I32).unwrap();
+        b.emit(
+            InstKind::LocalStore { slot: arr, index: Op::Value(i), value: Op::imm(7, IrTy::I32) },
+            IrTy::I32,
+        );
+        let v = b.emit(InstKind::LocalLoad { slot: arr, index: Op::Value(i) }, IrTy::I32).unwrap();
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: Op::Value(v) }, IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        assert_eq!(run_on_function(&mut f), 0);
+        assert!(f.blocks[f.entry]
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, InstKind::LocalStore { .. })));
+    }
+
+    /// Sequential overwrites in one block need no φ.
+    #[test]
+    fn straightline_promotion() {
+        let mut b = FuncBuilder::new("k", 1);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let x = b.add_local("x", IrTy::I32, 1);
+        let i0 = Op::imm(0, IrTy::I32);
+        b.emit(InstKind::LocalStore { slot: x, index: i0, value: Op::imm(1, IrTy::I32) }, IrTy::I32);
+        let v1 = b.emit(InstKind::LocalLoad { slot: x, index: i0 }, IrTy::I32).unwrap();
+        let v2 = b.bin(IrBinOp::Add, Op::Value(v1), Op::imm(10, IrTy::I32), IrTy::I32);
+        b.emit(InstKind::LocalStore { slot: x, index: i0, value: v2 }, IrTy::I32);
+        let v3 = b.emit(InstKind::LocalLoad { slot: x, index: i0 }, IrTy::I32).unwrap();
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: Op::Value(v3) }, IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        run_on_function(&mut f);
+        crate::fold::fold_function(&mut f);
+        crate::dce::run_on_function(&mut f);
+        verify_function(&f, None).unwrap();
+        // add(1, 10) folded; the write carries 11.
+        match f.blocks[f.entry].insts.iter().find(|i| matches!(i.kind, InstKind::ArgWrite { .. })) {
+            Some(inst) => match &inst.kind {
+                InstKind::ArgWrite { value, .. } => assert_eq!(value.as_const(), Some(11)),
+                _ => unreachable!(),
+            },
+            None => panic!("write disappeared"),
+        }
+    }
+}

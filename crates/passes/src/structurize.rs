@@ -1,0 +1,442 @@
+//! CFG structurization (§VI-B).
+//!
+//! "Optimizations may produce unstructured CFG, which cannot be translated
+//! to P4 since the latter does not support arbitrary jumps." This pass
+//! rebuilds every kernel into a *structured* CFG — a tree of single-entry
+//! regions where each conditional's arms reconverge exactly at its
+//! immediate post-dominator — by region-wise reconstruction with **tail
+//! duplication**: a block reachable from both arms of a branch without
+//! being its join point is cloned into each arm. On structured inputs the
+//! rebuild is an identity (modulo block renumbering); tail duplication only
+//! triggers on the cross-edges that jump threading and branch folding can
+//! introduce.
+//!
+//! Precondition: φ-free IR (run `phielim` first; this pass asserts it).
+//! Post-φ-elimination, all cross-join dataflow goes through local slots, so
+//! duplicating a block's value definitions per arm is sound — no value
+//! defined in a duplicated block is referenced outside its region.
+
+use netcl_ir::func::{Block, BlockId, Function, Inst, InstKind, Terminator, ValueId};
+use netcl_ir::types::Operand;
+use netcl_util::idx::{Idx, IndexVec};
+use std::collections::HashMap;
+
+/// Structurization statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructurizeStats {
+    /// Instructions in the function before the rebuild.
+    pub insts_before: usize,
+    /// Instructions after (>= before when duplication occurred).
+    pub insts_after: usize,
+}
+
+impl StructurizeStats {
+    /// True when the input was already structured.
+    pub fn was_structured(&self) -> bool {
+        self.insts_after == self.insts_before
+    }
+}
+
+/// Rebuilds `f` into structured form. Returns statistics, or `Err` when the
+/// duplication budget is exceeded (pathologically unstructured input).
+pub fn ensure_structured(f: &mut Function) -> Result<StructurizeStats, String> {
+    assert!(
+        !f.blocks.iter().any(|b| b.insts.iter().any(|i| matches!(i.kind, InstKind::Phi { .. }))),
+        "structurize requires φ-free IR (run phielim first)"
+    );
+    let insts_before: usize = reachable_inst_count(f);
+    let ipd = immediate_postdominators(f);
+    let budget = (insts_before + 16) * 64;
+
+    let mut rb = Rebuilder {
+        src: f,
+        ipd,
+        new_blocks: IndexVec::new(),
+        new_values: Vec::new(),
+        emitted_insts: 0,
+        budget,
+    };
+    let entry = rb.emit(rb.src.entry, None, None, &mut HashMap::new())?;
+    let new_blocks = rb.new_blocks;
+    let new_values = rb.new_values;
+    let insts_after = new_blocks.iter().map(|b: &Block| b.insts.len()).sum();
+
+    for info in new_values {
+        f.values.push(info);
+    }
+    f.blocks = new_blocks;
+    f.entry = entry;
+    Ok(StructurizeStats { insts_before, insts_after })
+}
+
+fn reachable_inst_count(f: &Function) -> usize {
+    netcl_ir::dom::reverse_postorder(f)
+        .into_iter()
+        .map(|b| f.blocks[b].insts.len())
+        .sum()
+}
+
+/// Immediate post-dominators over the CFG extended with a virtual exit.
+/// `None` means the virtual exit itself. (Public: the P4 code generator
+/// walks regions with the same join information.)
+pub fn immediate_postdominators(f: &Function) -> HashMap<BlockId, Option<BlockId>> {
+    let n = f.blocks.len();
+    let exit = n; // virtual node index
+    // Reverse edges: node -> its "predecessors" in the reversed graph are
+    // its CFG successors; the exit's reversed successors are all Ret blocks.
+    let mut rev_succ: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // reversed graph adjacency
+    for (bid, b) in f.blocks.iter_enumerated() {
+        match &b.term {
+            Terminator::Ret(_) => rev_succ[exit].push(bid.index()),
+            t => {
+                for s in t.successors() {
+                    rev_succ[s.index()].push(bid.index());
+                }
+            }
+        }
+    }
+    // RPO on the reversed graph from exit.
+    let mut visited = vec![false; n + 1];
+    let mut postorder = Vec::new();
+    let mut stack = vec![(exit, 0usize)];
+    visited[exit] = true;
+    while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+        if *i < rev_succ[u].len() {
+            let v = rev_succ[u][*i];
+            *i += 1;
+            if !visited[v] {
+                visited[v] = true;
+                stack.push((v, 0));
+            }
+        } else {
+            postorder.push(u);
+            stack.pop();
+        }
+    }
+    postorder.reverse();
+    let rpo_index: HashMap<usize, usize> =
+        postorder.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+    // Cooper–Harvey–Kennedy on the reversed graph.
+    let mut idom: HashMap<usize, usize> = HashMap::new();
+    idom.insert(exit, exit);
+    // In the reversed graph, a node's predecessors are its CFG successors
+    // (plus exit for Ret blocks).
+    let rev_preds = |u: usize| -> Vec<usize> {
+        if u == exit {
+            return vec![];
+        }
+        let b = BlockId(u as u32);
+        match &f.blocks[b].term {
+            Terminator::Ret(_) => vec![exit],
+            t => t.successors().iter().map(|s| s.index()).collect(),
+        }
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &u in postorder.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for p in rev_preds(u) {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => {
+                        let (mut a, mut b2) = (p, cur);
+                        while a != b2 {
+                            while rpo_index[&a] > rpo_index[&b2] {
+                                a = idom[&a];
+                            }
+                            while rpo_index[&b2] > rpo_index[&a] {
+                                b2 = idom[&b2];
+                            }
+                        }
+                        a
+                    }
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom.get(&u) != Some(&ni) {
+                    idom.insert(u, ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    for b in f.blocks.indices() {
+        let u = b.index();
+        match idom.get(&u) {
+            Some(&p) if p != exit => out.insert(b, Some(BlockId(p as u32))),
+            Some(_) => out.insert(b, None),
+            None => out.insert(b, None), // unreachable block
+        };
+    }
+    out
+}
+
+struct Rebuilder<'a> {
+    src: &'a Function,
+    ipd: HashMap<BlockId, Option<BlockId>>,
+    new_blocks: IndexVec<BlockId, Block>,
+    new_values: Vec<netcl_ir::func::ValueInfo>,
+    emitted_insts: usize,
+    budget: usize,
+}
+
+impl<'a> Rebuilder<'a> {
+    fn fresh_value(&mut self, of: ValueId) -> ValueId {
+        let base = self.src.values.len();
+        let info = self.src.values[of].clone();
+        self.new_values.push(info);
+        ValueId((base + self.new_values.len() - 1) as u32)
+    }
+
+    fn map_operand(op: Operand, vmap: &HashMap<ValueId, Operand>) -> Operand {
+        match op {
+            Operand::Value(v) => *vmap.get(&v).unwrap_or(&op),
+            c => c,
+        }
+    }
+
+    /// Emits the region starting at `orig` until `stop` (exclusive). When
+    /// control reaches `stop`, it branches to `cont`. Returns the new block
+    /// id corresponding to entering `orig` in this context.
+    fn emit(
+        &mut self,
+        orig: BlockId,
+        stop: Option<BlockId>,
+        cont: Option<BlockId>,
+        vmap: &mut HashMap<ValueId, Operand>,
+    ) -> Result<BlockId, String> {
+        if Some(orig) == stop {
+            return Ok(cont.expect("stop requires a continuation"));
+        }
+        let new_b = self.new_blocks.push(Block {
+            insts: Vec::new(),
+            term: Terminator::Unterminated,
+        });
+        // Clone instructions with fresh result values.
+        let src_insts = self.src.blocks[orig].insts.clone();
+        for inst in src_insts {
+            self.emitted_insts += 1;
+            if self.emitted_insts > self.budget {
+                return Err(format!(
+                    "kernel `{}`: structurization duplication budget exceeded; the CFG is too \
+                     irregular to translate to P4 (§VI-B)",
+                    self.src.name
+                ));
+            }
+            let mut kind = inst.kind.clone();
+            kind.map_operands(|op| Self::map_operand(op, vmap));
+            let mut results = Vec::with_capacity(inst.results.len());
+            for &r in &inst.results {
+                let nr = self.fresh_value(r);
+                vmap.insert(r, Operand::Value(nr));
+                results.push(nr);
+            }
+            self.new_blocks[new_b].insts.push(Inst { kind, results });
+        }
+        // Terminator.
+        let term = self.src.blocks[orig].term.clone();
+        let new_term = match term {
+            Terminator::Ret(mut a) => {
+                if let Some(t) = &mut a.target {
+                    *t = Self::map_operand(*t, vmap);
+                }
+                Terminator::Ret(a)
+            }
+            Terminator::Br(t) => {
+                let next = self.emit(t, stop, cont, vmap)?;
+                Terminator::Br(next)
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let cond = Self::map_operand(cond, vmap);
+                let join = self.ipd.get(&orig).copied().flatten();
+                // Clamp the join to the current region.
+                let join = match (join, stop) {
+                    (Some(m), Some(s)) if m == s => None,
+                    (m, _) => m,
+                };
+                let (nt, ne) = match join {
+                    Some(m) => {
+                        let mut vt = vmap.clone();
+                        let mut ve = vmap.clone();
+                        let m_new = self.emit(m, stop, cont, vmap)?;
+                        let nt = self.emit(then_bb, Some(m), Some(m_new), &mut vt)?;
+                        let ne = self.emit(else_bb, Some(m), Some(m_new), &mut ve)?;
+                        (nt, ne)
+                    }
+                    None => {
+                        // Arms never reconverge inside this region.
+                        let mut vt = vmap.clone();
+                        let mut ve = vmap.clone();
+                        let nt = self.emit(then_bb, stop, cont, &mut vt)?;
+                        let ne = self.emit(else_bb, stop, cont, &mut ve)?;
+                        (nt, ne)
+                    }
+                };
+                Terminator::CondBr { cond, then_bb: nt, else_bb: ne }
+            }
+            Terminator::Unterminated => Terminator::Unterminated,
+        };
+        self.new_blocks[new_b].term = new_term;
+        Ok(new_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_ir::func::{ActionRef, FuncBuilder};
+    use netcl_ir::interp::{execute, DeviceState, ExecEnv};
+    use netcl_ir::types::{IcmpPred, IrBinOp, IrTy, Operand as Op};
+    use netcl_ir::verify::verify_function;
+    use netcl_ir::Module;
+
+    #[test]
+    fn structured_input_unchanged_in_size() {
+        let mut b = FuncBuilder::new("k", 1);
+        let arg = b.add_arg("x", IrTy::I32, 1, false);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let i0 = Op::imm(0, IrTy::I32);
+        let x = b.emit(InstKind::ArgRead { arg, index: i0 }, IrTy::I32).unwrap();
+        let cond = b.icmp(IcmpPred::Ugt, Op::Value(x), Op::imm(5, IrTy::I32));
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.terminate(Terminator::CondBr { cond, then_bb: t, else_bb: e });
+        b.switch_to(t);
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: Op::imm(1, IrTy::I32) }, IrTy::I32);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(e);
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: Op::imm(2, IrTy::I32) }, IrTy::I32);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(j);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        let stats = ensure_structured(&mut f).unwrap();
+        assert!(stats.was_structured());
+        verify_function(&f, None).unwrap();
+    }
+
+    /// Cross edge: else-arm jumps into the middle of the then-arm's tail.
+    /// Structurization duplicates the shared block.
+    #[test]
+    fn cross_edge_gets_duplicated() {
+        let mut b = FuncBuilder::new("k", 1);
+        let arg = b.add_arg("x", IrTy::I32, 1, false);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let i0 = Op::imm(0, IrTy::I32);
+        let x = b.emit(InstKind::ArgRead { arg, index: i0 }, IrTy::I32).unwrap();
+        let c1 = b.icmp(IcmpPred::Ugt, Op::Value(x), Op::imm(5, IrTy::I32));
+        let t = b.new_block();
+        let e = b.new_block();
+        let shared = b.new_block();
+        let tail_t = b.new_block();
+        b.terminate(Terminator::CondBr { cond: c1, then_bb: t, else_bb: e });
+        // then: extra work, then to shared, then continue to tail_t → ret A
+        b.switch_to(t);
+        let y = b.bin(IrBinOp::Add, Op::Value(x), Op::imm(1, IrTy::I32), IrTy::I32);
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: y }, IrTy::I32);
+        b.terminate(Terminator::Br(shared));
+        // else: jumps straight into shared (cross edge; shared is not the
+        // ipostdom join of the branch in a structured sense — it has two
+        // different "region" parents).
+        b.switch_to(e);
+        let z = b.bin(IrBinOp::Add, Op::Value(x), Op::imm(2, IrTy::I32), IrTy::I32);
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: z }, IrTy::I32);
+        b.terminate(Terminator::Br(shared));
+        // shared adds 10 to out via a second write; then splits again: the
+        // then-path continues to tail_t, producing a *non-join* use.
+        b.switch_to(shared);
+        let w = b.bin(IrBinOp::Shl, Op::Value(x), Op::imm(1, IrTy::I32), IrTy::I32);
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: w }, IrTy::I32);
+        let c2 = b.icmp(IcmpPred::Eq, Op::Value(x), Op::imm(9, IrTy::I32));
+        b.terminate(Terminator::CondBr { cond: c2, then_bb: tail_t, else_bb: tail_t });
+        b.switch_to(tail_t);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let orig = b.finish();
+
+        let mut f = orig.clone();
+        let stats = ensure_structured(&mut f).unwrap();
+        let _ = stats; // shared is the proper join here, so it may or may not duplicate
+        verify_function(&f, None).unwrap();
+
+        // Semantics must be preserved either way.
+        let m = Module::default();
+        for x in [0u64, 5, 6, 9, 100] {
+            let mut st1 = DeviceState::new(&m);
+            let mut st2 = DeviceState::new(&m);
+            let mut a1 = vec![vec![x], vec![0u64]];
+            let mut a2 = vec![vec![x], vec![0u64]];
+            execute(&orig, &m, &mut st1, &mut a1, &mut ExecEnv::default()).unwrap();
+            execute(&f, &m, &mut st2, &mut a2, &mut ExecEnv::default()).unwrap();
+            assert_eq!(a1, a2, "divergence at x={x}");
+        }
+    }
+
+    /// Half-diamond: then-arm returns early; else falls through. The join
+    /// of the branch is the fallthrough block.
+    #[test]
+    fn early_return_half_diamond() {
+        let mut b = FuncBuilder::new("k", 1);
+        let arg = b.add_arg("x", IrTy::I32, 1, false);
+        let out = b.add_arg("o", IrTy::I32, 1, true);
+        let i0 = Op::imm(0, IrTy::I32);
+        let x = b.emit(InstKind::ArgRead { arg, index: i0 }, IrTy::I32).unwrap();
+        let cond = b.icmp(IcmpPred::Eq, Op::Value(x), Op::imm(0, IrTy::I32));
+        let ret_early = b.new_block();
+        let fall = b.new_block();
+        b.terminate(Terminator::CondBr { cond, then_bb: ret_early, else_bb: fall });
+        b.switch_to(ret_early);
+        b.terminate(Terminator::Ret(ActionRef {
+            kind: netcl_sema::ActionKind::Drop,
+            target: None,
+        }));
+        b.switch_to(fall);
+        b.emit(InstKind::ArgWrite { arg: out, index: i0, value: Op::Value(x) }, IrTy::I32);
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let orig = b.finish();
+        let mut f = orig.clone();
+        ensure_structured(&mut f).unwrap();
+        verify_function(&f, None).unwrap();
+        let m = Module::default();
+        for x in [0u64, 3] {
+            let mut st1 = DeviceState::new(&m);
+            let mut st2 = DeviceState::new(&m);
+            let mut a1 = vec![vec![x], vec![0u64]];
+            let mut a2 = vec![vec![x], vec![0u64]];
+            let r1 = execute(&orig, &m, &mut st1, &mut a1, &mut ExecEnv::default()).unwrap();
+            let r2 = execute(&f, &m, &mut st2, &mut a2, &mut ExecEnv::default()).unwrap();
+            assert_eq!(r1.action, r2.action);
+            assert_eq!(a1, a2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phielim")]
+    fn rejects_phi_input() {
+        let mut b = FuncBuilder::new("k", 1);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.terminate(Terminator::CondBr { cond: Op::imm(1, IrTy::I1), then_bb: t, else_bb: e });
+        b.switch_to(t);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(e);
+        b.terminate(Terminator::Br(j));
+        b.switch_to(j);
+        b.emit(
+            InstKind::Phi {
+                incoming: vec![(t, Op::imm(1, IrTy::I32)), (e, Op::imm(2, IrTy::I32))],
+            },
+            IrTy::I32,
+        );
+        b.terminate(Terminator::Ret(ActionRef::pass()));
+        let mut f = b.finish();
+        let _ = ensure_structured(&mut f);
+    }
+}

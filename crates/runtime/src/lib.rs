@@ -1,0 +1,23 @@
+//! The NetCL runtimes (paper §VI-C).
+//!
+//! **Host runtime** — everything a NetCL application links against on the
+//! host side: [`message`] implements `ncl::message` / `ncl::pack` /
+//! `ncl::unpack` over the UDP wire layout of Fig. 10, driven by the kernel
+//! specifications the compiler records (§V-A); [`managed`] implements
+//! `ncl::managed_read` / `ncl::managed_write` and `_managed_ _lookup_`
+//! table updates through the device's control plane, transparently
+//! resolving compiler memory partitioning.
+//!
+//! **Device runtime** — [`device`] implements the NetCL forwarding
+//! semantics: given the action a kernel selected (Table II) and the header
+//! 4-tuple, it decides the next hop and updates the tuple, enforcing the
+//! no-implicit-computation rule (§IV). The base program / network layer
+//! (the `netcl-net` simulator) then moves the message.
+
+pub mod device;
+pub mod managed;
+pub mod message;
+
+pub use device::{DeviceRuntime, Forward, NO_DEVICE};
+pub use managed::ManagedMemory;
+pub use message::{Message, MessageError, NCL_HEADER_BYTES};

@@ -1,0 +1,353 @@
+//! NetCL messages: construction, packing, and unpacking (Fig. 6, Fig. 10).
+//!
+//! A NetCL-over-UDP packet is the shim header — the 4-tuple `(src, dst,
+//! from, to)`, the computation id, and the runtime's action/target fields —
+//! followed by the kernel arguments laid out by the kernel *specification*
+//! (§V-A): scalar arguments first in declaration order, then array
+//! arguments, each element in network byte order. This matches exactly what
+//! the generated P4 parser extracts, which the cross-substrate differential
+//! tests rely on.
+//!
+//! As in the paper's Fig. 6, `pack`/`unpack` accept `None` for arguments the
+//! caller wants to skip ("to avoid unnecessary copying the programmer may
+//! supply NULL to ignore an argument"): packing writes zeros, unpacking
+//! skips the copy.
+
+use netcl_sema::model::Specification;
+
+/// Size of the NetCL shim header on the wire:
+/// src(2) dst(2) from(2) to(2) comp(1) action(1) target(2).
+pub const NCL_HEADER_BYTES: usize = 12;
+
+/// Errors from pack/unpack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageError {
+    /// Supplied argument count does not match the specification.
+    ArgCount {
+        /// Expected (specification items).
+        expected: usize,
+        /// Supplied.
+        got: usize,
+    },
+    /// A supplied argument's element count mismatches its specification.
+    ArgLen {
+        /// Argument position.
+        arg: usize,
+        /// Expected element count.
+        expected: u32,
+        /// Supplied element count.
+        got: usize,
+    },
+    /// Buffer too short to unpack.
+    Truncated,
+}
+
+impl std::fmt::Display for MessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageError::ArgCount { expected, got } => {
+                write!(f, "specification has {expected} arguments, got {got}")
+            }
+            MessageError::ArgLen { arg, expected, got } => {
+                write!(f, "argument {arg} needs {expected} elements, got {got}")
+            }
+            MessageError::Truncated => write!(f, "message buffer too short"),
+        }
+    }
+}
+
+/// A NetCL message header — `ncl::message m(src, dst, comp, dev)` (Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Source host id.
+    pub src: u16,
+    /// Destination host id.
+    pub dst: u16,
+    /// Previous hop device ([`crate::device::NO_DEVICE`] when fresh).
+    pub from: u16,
+    /// Device requested to compute.
+    pub to: u16,
+    /// Computation id.
+    pub comp: u8,
+    /// Action code (set by devices; 0 = pass on fresh messages).
+    pub action: u8,
+    /// Action target (set by devices).
+    pub target: u16,
+}
+
+impl Message {
+    /// `send_{src→dst}(comp, dev, m)` header (§IV).
+    pub fn new(src: u16, dst: u16, comp: u8, dev: u16) -> Message {
+        Message {
+            src,
+            dst,
+            from: crate::device::NO_DEVICE,
+            to: dev,
+            comp,
+            action: 0,
+            target: 0,
+        }
+    }
+
+    /// Total packet size for a kernel specification.
+    pub fn size(spec: &Specification) -> usize {
+        NCL_HEADER_BYTES + spec.payload_bytes() as usize
+    }
+
+    /// Serializes the header into the first [`NCL_HEADER_BYTES`] bytes.
+    pub fn write_header(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src.to_be_bytes());
+        out.extend_from_slice(&self.dst.to_be_bytes());
+        out.extend_from_slice(&self.from.to_be_bytes());
+        out.extend_from_slice(&self.to.to_be_bytes());
+        out.push(self.comp);
+        out.push(self.action);
+        out.extend_from_slice(&self.target.to_be_bytes());
+    }
+
+    /// Parses a header from wire bytes.
+    pub fn read_header(bytes: &[u8]) -> Result<Message, MessageError> {
+        if bytes.len() < NCL_HEADER_BYTES {
+            return Err(MessageError::Truncated);
+        }
+        let u16at = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+        Ok(Message {
+            src: u16at(0),
+            dst: u16at(2),
+            from: u16at(4),
+            to: u16at(6),
+            comp: bytes[8],
+            action: bytes[9],
+            target: u16at(10),
+        })
+    }
+}
+
+/// Wire order of specification items: scalars first, then arrays — mirroring
+/// the generated parser (`args_c<N>` header, then per-argument stacks).
+pub fn wire_order(spec: &Specification) -> Vec<usize> {
+    let mut order: Vec<usize> = Vec::with_capacity(spec.items.len());
+    order.extend(spec.items.iter().enumerate().filter(|(_, i)| i.count == 1).map(|(i, _)| i));
+    order.extend(spec.items.iter().enumerate().filter(|(_, i)| i.count > 1).map(|(i, _)| i));
+    order
+}
+
+/// Packs a message: header + arguments per the specification. `args[i]` is
+/// `Some(elements)` or `None` to send zeros (ignored argument).
+pub fn pack(
+    msg: &Message,
+    spec: &Specification,
+    args: &[Option<&[u64]>],
+) -> Result<Vec<u8>, MessageError> {
+    if args.len() != spec.items.len() {
+        return Err(MessageError::ArgCount { expected: spec.items.len(), got: args.len() });
+    }
+    let mut out = Vec::with_capacity(Message::size(spec));
+    msg.write_header(&mut out);
+    for &i in &wire_order(spec) {
+        let item = spec.items[i];
+        let bytes = item.ty.size_bytes() as usize;
+        match args[i] {
+            Some(vals) => {
+                if vals.len() != item.count as usize {
+                    return Err(MessageError::ArgLen {
+                        arg: i,
+                        expected: item.count,
+                        got: vals.len(),
+                    });
+                }
+                for &v in vals {
+                    let wrapped = item.ty.wrap(v);
+                    for b in (0..bytes).rev() {
+                        out.push((wrapped >> (8 * b)) as u8);
+                    }
+                }
+            }
+            None => out.extend(std::iter::repeat_n(0u8, bytes * item.count as usize)),
+        }
+    }
+    Ok(out)
+}
+
+/// Unpacks a message into `args`. `args[i]` is `Some(&mut Vec)` to receive
+/// the values (resized to the element count) or `None` to skip.
+pub fn unpack(
+    bytes: &[u8],
+    spec: &Specification,
+    args: &mut [Option<&mut Vec<u64>>],
+) -> Result<Message, MessageError> {
+    if args.len() != spec.items.len() {
+        return Err(MessageError::ArgCount { expected: spec.items.len(), got: args.len() });
+    }
+    let msg = Message::read_header(bytes)?;
+    if bytes.len() < Message::size(spec) {
+        return Err(MessageError::Truncated);
+    }
+    let mut cursor = NCL_HEADER_BYTES;
+    for &i in &wire_order(spec) {
+        let item = spec.items[i];
+        let nbytes = item.ty.size_bytes() as usize;
+        match &mut args[i] {
+            Some(out) => {
+                out.clear();
+                for _ in 0..item.count {
+                    let mut v = 0u64;
+                    for b in 0..nbytes {
+                        v = (v << 8) | bytes[cursor + b] as u64;
+                    }
+                    out.push(v);
+                    cursor += nbytes;
+                }
+            }
+            None => cursor += nbytes * item.count as usize,
+        }
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_sema::model::{SpecItem, Specification};
+    use netcl_sema::Ty;
+
+    fn cache_spec() -> Specification {
+        // Fig. 4 query kernel: [1,1,1,1,1][u8,u32,u32,u8,u32]
+        Specification {
+            items: vec![
+                SpecItem { count: 1, ty: Ty::U8 },
+                SpecItem { count: 1, ty: Ty::U32 },
+                SpecItem { count: 1, ty: Ty::U32 },
+                SpecItem { count: 1, ty: Ty::U8 },
+                SpecItem { count: 1, ty: Ty::U32 },
+            ],
+        }
+    }
+
+    fn agg_spec() -> Specification {
+        // Fig. 7: [1,1,1,1,32][u8,u16,u16,u16,u32]
+        Specification {
+            items: vec![
+                SpecItem { count: 1, ty: Ty::U8 },
+                SpecItem { count: 1, ty: Ty::U16 },
+                SpecItem { count: 1, ty: Ty::U16 },
+                SpecItem { count: 1, ty: Ty::U16 },
+                SpecItem { count: 32, ty: Ty::U32 },
+            ],
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let m = Message::new(1, 2, 1, 1);
+        let mut w = Vec::new();
+        m.write_header(&mut w);
+        assert_eq!(w.len(), NCL_HEADER_BYTES);
+        assert_eq!(Message::read_header(&w).unwrap(), m);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let spec = cache_spec();
+        let m = Message::new(1, 2, 1, 1);
+        // Fig. 6: val and hit are placeholders (NULL); hot skipped too.
+        let packed =
+            pack(&m, &spec, &[Some(&[1]), Some(&[0xDEAD_BEEF]), None, None, None]).unwrap();
+        assert_eq!(packed.len(), Message::size(&spec));
+
+        let mut op = Vec::new();
+        let mut key = Vec::new();
+        let mut val = Vec::new();
+        let got = unpack(
+            &packed,
+            &spec,
+            &mut [Some(&mut op), Some(&mut key), Some(&mut val), None, None],
+        )
+        .unwrap();
+        assert_eq!(got, m);
+        assert_eq!(op, vec![1]);
+        assert_eq!(key, vec![0xDEAD_BEEF]);
+        assert_eq!(val, vec![0]);
+    }
+
+    #[test]
+    fn array_arguments_pack_after_scalars() {
+        let spec = agg_spec();
+        let m = Message::new(3, 3, 1, 1);
+        let values: Vec<u64> = (0..32).map(|i| i * 10).collect();
+        let packed = pack(
+            &m,
+            &spec,
+            &[Some(&[0]), Some(&[7]), Some(&[7]), Some(&[1 << 3]), Some(&values)],
+        )
+        .unwrap();
+        assert_eq!(packed.len(), NCL_HEADER_BYTES + (1 + 2 + 2 + 2) + 32 * 4);
+        let mut out = Vec::new();
+        unpack(&packed, &spec, &mut [None, None, None, None, Some(&mut out)]).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn values_wrap_to_argument_width() {
+        let spec = Specification { items: vec![SpecItem { count: 1, ty: Ty::U8 }] };
+        let m = Message::new(1, 2, 1, 1);
+        let packed = pack(&m, &spec, &[Some(&[0x1FF])]).unwrap();
+        let mut v = Vec::new();
+        unpack(&packed, &spec, &mut [Some(&mut v)]).unwrap();
+        assert_eq!(v, vec![0xFF]);
+    }
+
+    #[test]
+    fn errors() {
+        let spec = cache_spec();
+        let m = Message::new(1, 2, 1, 1);
+        assert_eq!(
+            pack(&m, &spec, &[None, None]).unwrap_err(),
+            MessageError::ArgCount { expected: 5, got: 2 }
+        );
+        assert!(matches!(
+            pack(&m, &spec, &[Some(&[1, 2]), None, None, None, None]).unwrap_err(),
+            MessageError::ArgLen { arg: 0, .. }
+        ));
+        assert_eq!(
+            unpack(&[0u8; 4], &spec, &mut [None, None, None, None, None]).unwrap_err(),
+            MessageError::Truncated
+        );
+    }
+
+    /// The packed bytes parse on the generated P4 program's parser — the
+    /// wire format and the compiler agree.
+    #[test]
+    fn wire_format_matches_generated_parser() {
+        let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile(
+                "t.ncl",
+                r#"
+_kernel(1) _at(1) void k(char op, unsigned key, uint16_t &small,
+                         uint32_t _spec(4) *arr) {
+  arr[0] = key;
+  small = 9;
+}
+"#,
+            )
+            .unwrap();
+        let spec = unit.model.kernels[0].specification();
+        let m = Message::new(5, 6, 1, 1);
+        let packed = pack(
+            &m,
+            &spec,
+            &[Some(&[7]), Some(&[0xAABBCCDD]), Some(&[3]), Some(&[1, 2, 3, 4])],
+        )
+        .unwrap();
+        let mut sw = netcl_bmv2::Switch::new(unit.devices[0].tna_p4.clone());
+        let (pkt, _) = sw.process(&packed).unwrap();
+        assert_eq!(pkt.get("ncl.src"), 5);
+        assert_eq!(pkt.get("ncl.to"), 1);
+        assert_eq!(pkt.get("args_c1.a0_op"), 7);
+        assert_eq!(pkt.get("args_c1.a1_key"), 0xAABBCCDD);
+        assert_eq!(pkt.get("arr_c1_a3[3].value"), 4);
+        // Kernel ran: arr[0] = key, small = 9.
+        assert_eq!(pkt.get("arr_c1_a3[0].value"), 0xAABBCCDD);
+        assert_eq!(pkt.get("args_c1.a2_small"), 9);
+    }
+}

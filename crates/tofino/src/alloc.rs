@@ -1,0 +1,794 @@
+//! The stage allocator.
+//!
+//! Places every match-action unit of a P4 program onto the RMT pipeline:
+//!
+//! * a unit may execute no earlier than the stage where all its inputs are
+//!   available (a value written in stage *s* is readable from stage *s+1* —
+//!   results travel on the PHV between stages),
+//! * gateway conditions gate their region: everything inside an `if` sits
+//!   at or after the stage where the condition is evaluable,
+//! * a `Register` lives on exactly one stage; every `RegisterAction` on it
+//!   executes there (stage-local stateful memory, §V-D) — if data
+//!   dependences force a later access, allocation restarts with the
+//!   register pinned later, and fails if the constraint set is
+//!   unsatisfiable,
+//! * per-stage budgets (SRAM/TCAM bits, SALUs, VLIW slots, hash units,
+//!   logical tables) overflow units into later stages,
+//! * running out of stages rejects the program — exactly how `bf-p4c`
+//!   behaves (§VI-B: "there are no guarantees that a given program will fit
+//!   an RMT pipeline").
+
+use std::collections::HashMap;
+
+use crate::latency;
+use crate::phv;
+use crate::report::{AllocationReport, StageUse};
+use crate::spec::TofinoSpec;
+use netcl_p4::ast::*;
+
+/// Why a program did not fit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// PHV demand exceeds capacity.
+    PhvOverflow {
+        /// Bits requested.
+        used: u32,
+        /// Bits available.
+        capacity: u32,
+    },
+    /// A unit could not be placed before the last stage.
+    OutOfStages {
+        /// What was being placed.
+        what: String,
+        /// The stage the unit needed (>= spec.stages).
+        needed_stage: u32,
+    },
+    /// A register's accesses demand two different stages.
+    RegisterStageConflict {
+        /// Register name.
+        register: String,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::PhvOverflow { used, capacity } => {
+                write!(f, "PHV overflow: {used} bits needed, {capacity} available")
+            }
+            AllocError::OutOfStages { what, needed_stage } => {
+                write!(f, "{what} requires stage {needed_stage}, pipeline exhausted")
+            }
+            AllocError::RegisterStageConflict { register } => {
+                write!(f, "register `{register}` cannot satisfy all access stages")
+            }
+        }
+    }
+}
+
+/// Allocates `program` on `spec`.
+pub fn allocate(program: &P4Program, spec: &TofinoSpec) -> Result<AllocationReport, AllocError> {
+    let phv = phv::account(program, spec);
+    if phv.used_bits() > phv.capacity_bits {
+        return Err(AllocError::PhvOverflow {
+            used: phv.used_bits(),
+            capacity: phv.capacity_bits,
+        });
+    }
+
+    // Iterate until register pinning reaches a fixpoint. Each round repins
+    // one register monotonically later, so rounds are bounded by
+    // #registers × #stages.
+    let nregs: usize = program.controls.iter().map(|c| c.registers.len()).sum();
+    let mut pins: HashMap<String, u32> = HashMap::new();
+    for _round in 0..((nregs + 2) * spec.stages as usize) {
+        let mut a = Allocator {
+            spec,
+            program,
+            stages: vec![StageUse::default(); spec.stages as usize],
+            avail: HashMap::new(),
+            reg_stage: pins.clone(),
+            reg_sram_counted: Default::default(),
+            repin: None,
+        };
+        for control in &program.controls {
+            a.walk(&control.apply, control, 0)?;
+        }
+        if let Some((reg, stage)) = a.repin {
+            // A register access needed a later stage than the register got;
+            // pin it later and retry from scratch.
+            if stage >= spec.stages || pins.get(&reg).copied() == Some(stage) {
+                return Err(AllocError::RegisterStageConflict { register: reg });
+            }
+            pins.insert(reg, stage);
+            continue;
+        }
+        let stages_used = a
+            .stages
+            .iter()
+            .rposition(|s| !s.is_empty())
+            .map(|i| i as u32 + 1)
+            .unwrap_or(0)
+            // Even an empty program traverses at least one stage for the
+            // base forwarding decision.
+            .max(1);
+        let (latency_cycles, latency_ns) = latency::pipeline_latency(spec, stages_used);
+        return Ok(AllocationReport {
+            program: program.name.clone(),
+            stages_used,
+            per_stage: a.stages,
+            phv,
+            spec: spec.clone(),
+            latency_cycles,
+            latency_ns,
+        });
+    }
+    Err(AllocError::RegisterStageConflict { register: "<unresolved>".into() })
+}
+
+struct Allocator<'a> {
+    spec: &'a TofinoSpec,
+    program: &'a P4Program,
+    stages: Vec<StageUse>,
+    /// Field path → first stage where its value is readable.
+    avail: HashMap<String, u32>,
+    /// Register → assigned stage.
+    reg_stage: HashMap<String, u32>,
+    reg_sram_counted: std::collections::HashSet<String>,
+    /// Set when a register needs re-pinning to a later stage.
+    repin: Option<(String, u32)>,
+}
+
+/// Resource demand of a single unit.
+#[derive(Default, Clone, Copy)]
+struct Demand {
+    sram_bits: u64,
+    tcam_bits: u64,
+    salus: u32,
+    vliw: u32,
+    hash_units: u32,
+    tables: u32,
+}
+
+impl<'a> Allocator<'a> {
+    fn avail_of(&self, fields: &[String]) -> u32 {
+        fields.iter().map(|f| self.avail.get(f).copied().unwrap_or(0)).max().unwrap_or(0)
+    }
+
+    fn define(&mut self, field: String, stage: u32) {
+        let e = self.avail.entry(field).or_insert(0);
+        *e = (*e).max(stage + 1);
+    }
+
+    /// Places a unit at the earliest stage ≥ `min` with room for `d`.
+    fn place(&mut self, what: &str, min: u32, d: Demand) -> Result<u32, AllocError> {
+        let mut s = min;
+        loop {
+            if s >= self.spec.stages {
+                return Err(AllocError::OutOfStages { what: what.to_string(), needed_stage: s });
+            }
+            let u = &self.stages[s as usize];
+            let fits = u.sram_bits + d.sram_bits <= self.spec.sram_bits_per_stage
+                && u.tcam_bits + d.tcam_bits <= self.spec.tcam_bits_per_stage
+                && u.salus + d.salus <= self.spec.salus_per_stage
+                && u.vliw + d.vliw <= self.spec.vliw_per_stage
+                && u.hash_units + d.hash_units <= self.spec.hash_units_per_stage
+                && u.tables + d.tables <= self.spec.tables_per_stage;
+            if fits {
+                let u = &mut self.stages[s as usize];
+                u.sram_bits += d.sram_bits;
+                u.tcam_bits += d.tcam_bits;
+                u.salus += d.salus;
+                u.vliw += d.vliw;
+                u.hash_units += d.hash_units;
+                u.tables += d.tables;
+                return Ok(s);
+            }
+            s += 1;
+        }
+    }
+
+    fn walk(
+        &mut self,
+        stmts: &[Stmt],
+        control: &ControlDef,
+        gate: u32,
+    ) -> Result<(), AllocError> {
+        for stmt in stmts {
+            self.stmt(stmt, control, gate)?;
+            if self.repin.is_some() {
+                return Ok(()); // abort round; restart with new pin
+            }
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, control: &ControlDef, gate: u32) -> Result<(), AllocError> {
+        match stmt {
+            Stmt::Assign(dst, rhs) => {
+                let reads = fields_of(rhs);
+                let min = gate.max(self.avail_of(&reads));
+                // 1-bit flag computations are gateway/predicate work: they
+                // evaluate within the stage their inputs arrive in, like
+                // Tofino's per-stage gateway comparators.
+                let flag_dst = expr_bits(dst, self.program, control) == 1;
+                if is_move(rhs) || flag_dst {
+                    // Pure moves and width casts are folded into their
+                    // consumer's crossbar input on Tofino: the destination
+                    // is usable as soon as the source is, and no stage hop
+                    // is paid. One VLIW slot still performs the copy.
+                    self.place("move", min.saturating_sub(0), Demand { vliw: 1, ..Default::default() })?;
+                    let e = self.avail.entry(field_path(dst)).or_insert(0);
+                    *e = (*e).max(min);
+                    return Ok(());
+                }
+                let d = Demand { vliw: op_count(rhs), ..Default::default() };
+                let s = self.place("ALU op", min, d)?;
+                self.define(field_path(dst), s);
+            }
+            Stmt::ExternCall { dst, args, .. } => {
+                let mut reads = Vec::new();
+                for a in args {
+                    reads.extend(fields_of(a));
+                }
+                let min = gate.max(self.avail_of(&reads));
+                let s = self.place("extern", min, Demand { vliw: 1, ..Default::default() })?;
+                if let Some(d) = dst {
+                    self.define(field_path(d), s);
+                }
+            }
+            Stmt::HashGet { dst, args, .. } => {
+                let mut reads = Vec::new();
+                for a in args {
+                    reads.extend(fields_of(a));
+                }
+                let min = gate.max(self.avail_of(&reads));
+                let s = self.place(
+                    "hash",
+                    min,
+                    Demand { hash_units: 1, ..Default::default() },
+                )?;
+                self.define(field_path(dst), s);
+            }
+            Stmt::ExecuteRegisterAction { dst, ra, index } => {
+                let Some(radef) = control.register_action(ra) else { return Ok(()) };
+                let mut reads = fields_of(index);
+                if let Some(c) = &radef.cond {
+                    reads.extend(fields_of(c));
+                }
+                for o in &radef.operands {
+                    reads.extend(fields_of(o));
+                }
+                let min = gate.max(self.avail_of(&reads));
+                let reg_name = radef.register.clone();
+                let reg = control.register(&reg_name);
+                // Register SRAM counted once, on the register's stage.
+                let first_placement = !self.reg_sram_counted.contains(&reg_name);
+                let sram = if first_placement {
+                    reg.map(|r| r.elem_bits as u64 * r.size as u64).unwrap_or(0)
+                } else {
+                    0
+                };
+                match self.reg_stage.get(&reg_name).copied() {
+                    Some(fixed) if min > fixed => {
+                        // Data deps need the register later than it sits.
+                        self.repin = Some((reg_name, min));
+                        return Ok(());
+                    }
+                    Some(fixed) if (fixed as usize) < self.stages.len() => {
+                        // Execute at the register's stage. The register's
+                        // single SALU is shared by all its RegisterActions
+                        // (mutually-exclusive accesses use the same ALU);
+                        // only the register's first access this round pays
+                        // the SALU and SRAM — including registers pre-pinned
+                        // by an earlier repin round.
+                        if first_placement {
+                            if self.stages[fixed as usize].salus + 1 > self.spec.salus_per_stage
+                            {
+                                // No SALU left at the pinned stage: push the
+                                // register later and retry the round.
+                                self.repin = Some((reg_name, fixed + 1));
+                                return Ok(());
+                            }
+                            let u = &mut self.stages[fixed as usize];
+                            u.salus += 1;
+                            u.sram_bits += sram;
+                        }
+                        if let Some(d) = dst {
+                            self.define(field_path(d), fixed);
+                        }
+                    }
+                    Some(_) => {
+                        return Err(AllocError::RegisterStageConflict { register: reg_name });
+                    }
+                    None => {
+                        let d = Demand { salus: 1, sram_bits: sram, ..Default::default() };
+                        let s = self.place(&format!("register `{reg_name}`"), min, d)?;
+                        self.reg_stage.insert(reg_name.clone(), s);
+                        if let Some(d) = dst {
+                            self.define(field_path(d), s);
+                        }
+                    }
+                }
+                self.reg_sram_counted.insert(radef.register.clone());
+            }
+            Stmt::ApplyTable(t) => {
+                self.table(t, control, gate)?;
+            }
+            Stmt::CallAction(name) => {
+                if let Some(a) = control.action(name) {
+                    let body = a.body.clone();
+                    self.walk(&body, control, gate)?;
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                // Tables applied in the condition.
+                let g = if let Some(t) = table_in_cond(cond) {
+                    let s = self.table(&t, control, gate)?;
+                    s + 1
+                } else {
+                    gate.max(self.avail_of(&fields_of(cond)))
+                };
+                // Branches see the same availability; merge maxwise after.
+                let snapshot = self.avail.clone();
+                self.walk(then, control, g)?;
+                if self.repin.is_some() {
+                    return Ok(());
+                }
+                let then_avail = std::mem::replace(&mut self.avail, snapshot);
+                self.walk(els, control, g)?;
+                for (k, v) in then_avail {
+                    let e = self.avail.entry(k).or_insert(0);
+                    *e = (*e).max(v);
+                }
+            }
+            Stmt::SetValid(_) | Stmt::SetInvalid(_) | Stmt::Exit => {
+                self.place("header op", gate, Demand { vliw: 1, ..Default::default() })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates a table application; returns its stage.
+    fn table(&mut self, name: &str, control: &ControlDef, gate: u32) -> Result<u32, AllocError> {
+        let Some(t) = control.table(name) else { return Ok(gate) };
+        let mut reads = Vec::new();
+        for (k, _) in &t.keys {
+            reads.extend(fields_of(k));
+        }
+        let min = gate.max(self.avail_of(&reads));
+        let key_bits: u64 = t.keys.iter().map(|(k, _)| expr_bits(k, self.program, control)).sum();
+        let action_data_bits: u64 = t
+            .actions
+            .iter()
+            .filter_map(|a| control.action(a))
+            .map(|a| a.params.iter().map(|(_, b)| *b as u64).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let rows = (t.size.max(t.entries.len() as u32)).max(1) as u64;
+        // Entry overhead: action select + validity.
+        let row_bits = key_bits + action_data_bits + 8;
+        let ternary = t
+            .keys
+            .iter()
+            .any(|(_, mk)| matches!(mk, MatchKind::Ternary | MatchKind::Range | MatchKind::Lpm));
+        let d = Demand {
+            tables: 1,
+            sram_bits: if ternary { action_data_bits * rows } else { row_bits * rows },
+            tcam_bits: if ternary { (key_bits + 2) * rows } else { 0 },
+            // Action bodies execute in this stage's VLIW.
+            vliw: t
+                .actions
+                .iter()
+                .filter_map(|a| control.action(a))
+                .map(|a| a.body.len() as u32)
+                .max()
+                .unwrap_or(0)
+                .max(1),
+            ..Default::default()
+        };
+        let s = self.place(&format!("table `{name}`"), min, d)?;
+        // Action writes become available after this stage.
+        for aname in &t.actions {
+            if let Some(a) = control.action(aname) {
+                for st in &a.body {
+                    if let Stmt::Assign(dst, _) = st {
+                        self.define(field_path(dst), s);
+                    }
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// Collects field paths read by an expression.
+fn fields_of(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_fields(e, &mut out);
+    out
+}
+
+fn collect_fields(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Field(segs) => {
+            if !segs.iter().any(|s| s.name.starts_with('$')) {
+                out.push(path_string(segs));
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            collect_fields(a, out);
+            collect_fields(b, out);
+        }
+        Expr::Not(x) | Expr::BitNot(x) | Expr::Cast(_, x) | Expr::Slice(x, _, _) => {
+            collect_fields(x, out)
+        }
+        _ => {}
+    }
+}
+
+fn path_string(segs: &[PathSeg]) -> String {
+    segs.iter()
+        .map(|s| match s.index {
+            Some(i) => format!("{}[{i}]", s.name),
+            None => s.name.clone(),
+        })
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn field_path(e: &Expr) -> String {
+    match e {
+        Expr::Field(segs) => path_string(segs),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Number of VLIW operations an expression tree costs (≥1).
+fn op_count(e: &Expr) -> u32 {
+    fn inner(e: &Expr) -> u32 {
+        match e {
+            Expr::Bin(_, a, b) => 1 + inner(a) + inner(b),
+            Expr::Not(x) | Expr::BitNot(x) | Expr::Cast(_, x) | Expr::Slice(x, _, _) => {
+                1 + inner(x)
+            }
+            _ => 0,
+        }
+    }
+    inner(e).max(1)
+}
+
+/// Bit width of a key expression (header field lookup, else 32).
+fn expr_bits(e: &Expr, program: &P4Program, control: &ControlDef) -> u64 {
+    match e {
+        Expr::Field(segs) => {
+            let last = segs.last().map(|s| s.name.as_str()).unwrap_or("");
+            // meta local?
+            if segs.first().map(|s| s.name.as_str()) == Some("meta") {
+                if let Some((_, bits)) = control.locals.iter().find(|(n, _)| n == last) {
+                    return *bits as u64;
+                }
+            }
+            // header field: search all headers.
+            for h in &program.headers {
+                if let Some((_, bits)) = h.fields.iter().find(|(n, _)| n == last) {
+                    return *bits as u64;
+                }
+            }
+            32
+        }
+        Expr::Const(_, bits) => *bits as u64,
+        Expr::Cast(bits, _) => *bits as u64,
+        _ => 32,
+    }
+}
+
+/// True for register-to-register moves and pure width casts, which Tofino
+/// folds into the consumer's operand crossbar.
+fn is_move(e: &Expr) -> bool {
+    match e {
+        Expr::Field(_) | Expr::Const(..) | Expr::Bool(_) => true,
+        Expr::Cast(_, x) => is_move(x),
+        _ => false,
+    }
+}
+
+fn table_in_cond(e: &Expr) -> Option<String> {
+    match e {
+        Expr::TableHit(t) | Expr::TableMiss(t) => Some(t.clone()),
+        Expr::Not(x) => table_in_cond(x),
+        Expr::Bin(_, a, b) => table_in_cond(a).or_else(|| table_in_cond(b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcl_sema::builtins::{AtomicOp, AtomicRmw, HashKind};
+
+    fn spec() -> TofinoSpec {
+        TofinoSpec::tofino1()
+    }
+
+    /// hash → register chain needs two stages: the register index depends on
+    /// the hash output.
+    #[test]
+    fn dependent_units_take_consecutive_stages() {
+        let control = ControlDef {
+            name: "Ig".into(),
+            locals: vec![("h0".into(), 16), ("c0".into(), 32)],
+            registers: vec![RegisterDef { name: "Cnt".into(), elem_bits: 32, size: 1024 }],
+            register_actions: vec![RegisterActionDef {
+                name: "Incr".into(),
+                register: "Cnt".into(),
+                op: AtomicOp { rmw: AtomicRmw::SAdd, cond: false, ret_new: true },
+                cond: None,
+                operands: vec![Expr::val(1, 32)],
+            }],
+            hashes: vec![HashDef { name: "H".into(), algo: HashKind::Crc16, out_bits: 16 }],
+            actions: vec![],
+            tables: vec![],
+            apply: vec![
+                Stmt::HashGet {
+                    dst: Expr::field(&["meta", "h0"]),
+                    hash: "H".into(),
+                    args: vec![Expr::field(&["hdr", "ncl", "K"])],
+                },
+                Stmt::ExecuteRegisterAction {
+                    dst: Some(Expr::field(&["meta", "c0"])),
+                    ra: "Incr".into(),
+                    index: Expr::field(&["meta", "h0"]),
+                },
+            ],
+        };
+        let p = P4Program {
+            name: "t".into(),
+            target: Target::Tna,
+            headers: vec![HeaderDef {
+                name: "ncl_t".into(),
+                fields: vec![("K".into(), 32)],
+                stack: 1,
+            }],
+            parser: None,
+            controls: vec![control],
+        };
+        let r = allocate(&p, &spec()).unwrap();
+        assert_eq!(r.stages_used, 2, "{:?}", r.per_stage);
+        assert_eq!(r.per_stage[0].hash_units, 1);
+        assert_eq!(r.per_stage[1].salus, 1);
+        assert!(r.per_stage[1].sram_bits >= 32 * 1024);
+    }
+
+    /// Two accesses to one register from sibling branches share its stage.
+    #[test]
+    fn register_shared_across_exclusive_branches() {
+        let ra = |name: &str| RegisterActionDef {
+            name: name.into(),
+            register: "R".into(),
+            op: AtomicOp { rmw: AtomicRmw::Add, cond: false, ret_new: false },
+            cond: None,
+            operands: vec![Expr::val(1, 16)],
+        };
+        let control = ControlDef {
+            name: "Ig".into(),
+            locals: vec![("x".into(), 16)],
+            registers: vec![RegisterDef { name: "R".into(), elem_bits: 16, size: 64 }],
+            register_actions: vec![ra("a"), ra("b")],
+            apply: vec![Stmt::If {
+                cond: Expr::Bin(
+                    P4BinOp::Eq,
+                    Box::new(Expr::field(&["hdr", "ncl", "K"])),
+                    Box::new(Expr::val(0, 32)),
+                ),
+                then: vec![Stmt::ExecuteRegisterAction {
+                    dst: None,
+                    ra: "a".into(),
+                    index: Expr::val(0, 32),
+                }],
+                els: vec![Stmt::ExecuteRegisterAction {
+                    dst: None,
+                    ra: "b".into(),
+                    index: Expr::val(1, 32),
+                }],
+            }],
+            ..Default::default()
+        };
+        let p = P4Program {
+            name: "t".into(),
+            target: Target::Tna,
+            headers: vec![HeaderDef {
+                name: "ncl_t".into(),
+                fields: vec![("K".into(), 32)],
+                stack: 1,
+            }],
+            parser: None,
+            controls: vec![control],
+        };
+        let r = allocate(&p, &spec()).unwrap();
+        // One register binds one SALU on one stage, shared by both
+        // (mutually-exclusive) RegisterActions.
+        let total_salus: u32 = r.per_stage.iter().map(|s| s.salus).sum();
+        assert_eq!(total_salus, 1);
+        assert_eq!(r.per_stage.iter().filter(|s| s.salus > 0).count(), 1);
+    }
+
+    /// A register read whose index depends on a value computed after the
+    /// register's first access cannot fit → repin, then conflict error.
+    #[test]
+    fn register_repinning_resolves_late_dependence() {
+        // First access at stage 0; second access's index depends on the
+        // first's output → needs stage ≥ 2. Repinning moves the register to
+        // stage 2, where both accesses work (the first has no deps).
+        let mk = |name: &str, idx: Expr| Stmt::ExecuteRegisterAction {
+            dst: Some(Expr::field(&["meta", name])),
+            ra: "ra".into(),
+            index: idx,
+        };
+        let control = ControlDef {
+            name: "Ig".into(),
+            locals: vec![("a".into(), 16), ("b".into(), 16), ("c".into(), 16)],
+            registers: vec![RegisterDef { name: "R".into(), elem_bits: 16, size: 64 }],
+            register_actions: vec![RegisterActionDef {
+                name: "ra".into(),
+                register: "R".into(),
+                op: AtomicOp { rmw: AtomicRmw::Read, cond: false, ret_new: false },
+                cond: None,
+                operands: vec![],
+            }],
+            apply: vec![
+                mk("a", Expr::val(0, 32)),
+                // b = a + 1 (stage 1)
+                Stmt::Assign(
+                    Expr::field(&["meta", "b"]),
+                    Expr::Bin(
+                        P4BinOp::Add,
+                        Box::new(Expr::field(&["meta", "a"])),
+                        Box::new(Expr::val(1, 16)),
+                    ),
+                ),
+                mk("c", Expr::field(&["meta", "b"])),
+            ],
+            ..Default::default()
+        };
+        let p = P4Program {
+            name: "t".into(),
+            target: Target::Tna,
+            headers: vec![],
+            parser: None,
+            controls: vec![control],
+        };
+        // The second access needs stage ≥ 2 while the first pinned R at 0.
+        // Repinning moves R to 2 — but then the FIRST access reads R at 2
+        // and `b` computes at 3, making the second access need ≥ 4; this
+        // never converges → conflict.
+        let r = allocate(&p, &spec());
+        assert!(
+            matches!(r, Err(AllocError::RegisterStageConflict { .. })),
+            "expected conflict, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_stages_on_tiny_pipeline() {
+        // A chain of 5 dependent ALU ops needs 5 stages; tiny has 3.
+        let mut apply = Vec::new();
+        let mut prev = "f0".to_string();
+        let mut locals = vec![("f0".into(), 16)];
+        for i in 1..=5 {
+            let cur = format!("f{i}");
+            locals.push((cur.clone(), 16));
+            apply.push(Stmt::Assign(
+                Expr::field(&["meta", &cur]),
+                Expr::Bin(
+                    P4BinOp::Add,
+                    Box::new(Expr::field(&["meta", &prev])),
+                    Box::new(Expr::val(1, 16)),
+                ),
+            ));
+            prev = cur;
+        }
+        let p = P4Program {
+            name: "chain".into(),
+            target: Target::Tna,
+            headers: vec![],
+            parser: None,
+            controls: vec![ControlDef { name: "Ig".into(), locals, apply, ..Default::default() }],
+        };
+        let r = allocate(&p, &TofinoSpec::tiny());
+        assert!(matches!(r, Err(AllocError::OutOfStages { .. })), "{r:?}");
+        // But it fits the full pipeline.
+        assert!(allocate(&p, &TofinoSpec::tofino1()).is_ok());
+    }
+
+    #[test]
+    fn ternary_tables_consume_tcam_exact_consume_sram() {
+        let mk_table = |name: &str, kind: MatchKind| TableDef {
+            name: name.into(),
+            keys: vec![(Expr::field(&["hdr", "ncl", "K"]), kind)],
+            actions: vec![],
+            entries: vec![],
+            default_action: "NoAction".into(),
+            size: 128,
+        };
+        let p = P4Program {
+            name: "t".into(),
+            target: Target::Tna,
+            headers: vec![HeaderDef {
+                name: "ncl_t".into(),
+                fields: vec![("K".into(), 32)],
+                stack: 1,
+            }],
+            parser: None,
+            controls: vec![ControlDef {
+                name: "Ig".into(),
+                tables: vec![mk_table("e", MatchKind::Exact), mk_table("r", MatchKind::Range)],
+                apply: vec![Stmt::ApplyTable("e".into()), Stmt::ApplyTable("r".into())],
+                ..Default::default()
+            }],
+        };
+        let r = allocate(&p, &spec()).unwrap();
+        let sram: u64 = r.per_stage.iter().map(|s| s.sram_bits).sum();
+        let tcam: u64 = r.per_stage.iter().map(|s| s.tcam_bits).sum();
+        assert!(sram > 0);
+        assert!(tcam > 0);
+        assert!(!r.tcam_free());
+    }
+
+    #[test]
+    fn phv_overflow_rejected() {
+        let p = P4Program {
+            name: "fat".into(),
+            target: Target::Tna,
+            headers: vec![HeaderDef {
+                name: "big_t".into(),
+                fields: vec![("v".into(), 32)],
+                stack: 200, // 6400 bits > 4096
+            }],
+            parser: None,
+            controls: vec![],
+        };
+        let r = allocate(&p, &spec());
+        assert!(matches!(r, Err(AllocError::PhvOverflow { .. })));
+    }
+
+    /// End-to-end: the compiled Fig. 4 cache fits the 12-stage pipe.
+    #[test]
+    fn compiled_cache_fits() {
+        let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile("fig4.ncl", FIG4)
+            .unwrap();
+        let p4 = &unit.devices[0].tna_p4;
+        let r = allocate(p4, &spec()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(r.stages_used <= 12);
+        assert!(r.stages_used >= 3, "hash → CMS chain needs depth, got {}", r.stages_used);
+        let salus: u32 = r.per_stage.iter().map(|s| s.salus).sum();
+        assert_eq!(salus, 3, "three CMS partitions");
+        assert!(r.phv.percent() < 100.0);
+        assert!(r.latency_ns < 1000.0, "sub-µs per-packet latency (Fig. 13)");
+    }
+
+    const FIG4: &str = r#"
+#define CMS_HASHES 3
+#define THRESH 512
+#define GET_REQ 1
+_managed_ unsigned cms[CMS_HASHES][65536];
+_net_ void sketch(unsigned k, unsigned &hot) {
+  unsigned c[CMS_HASHES];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(k)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(k)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(k)], 1);
+  for (auto i = 1; i < CMS_HASHES; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  hot = c[0] > THRESH ? c[0] : 0;
+}
+_net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42}, {2,42}, {3,42}, {4,42}};
+_kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
+                             char &hit, unsigned &hot) {
+  if (op == GET_REQ) {
+    hit = ncl::lookup(cache, k, v);
+    return hit ? ncl::reflect() : sketch(k, hot);
+  }
+}
+"#;
+}

@@ -1,0 +1,194 @@
+//! A compact growable bitset.
+//!
+//! Used by the dominance computation, liveness in φ-elimination, the Tofino
+//! stage allocator (which resources a stage still has free), and by the
+//! AllReduce worker bitmaps in tests.
+
+/// Growable bitset backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset with capacity for `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of bits tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`, returning whether it changed.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old != self.words[w]
+    }
+
+    /// Clears bit `i`, returning whether it changed.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] &= !(1 << b);
+        old != self.words[w]
+    }
+
+    /// Whether bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets every bit.
+    pub fn insert_all(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.trim();
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self &= other`; returns whether `self` changed. Lengths must match.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a &= b;
+            changed |= old != *a;
+        }
+        changed
+    }
+
+    /// `self |= other`; returns whether `self` changed. Lengths must match.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= old != *a;
+        }
+        changed
+    }
+
+    /// Iterates over set bit indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    fn trim(&mut self) {
+        let spare = self.words.len() * 64 - self.len;
+        if spare > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> spare;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map(|&m| m + 1).unwrap_or(0);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert reports no change");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn insert_all_respects_len() {
+        let mut s = BitSet::new(70);
+        s.insert_all();
+        assert_eq!(s.count(), 70);
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let mut a: BitSet = [1usize, 3, 5].into_iter().collect();
+        let mut b = BitSet::new(a.len());
+        b.insert(3);
+        b.insert(4);
+        let mut inter = a.clone();
+        assert!(inter.intersect_with(&b));
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![3]);
+        assert!(a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [127usize, 0, 63, 64].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        BitSet::new(4).insert(4);
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared infrastructure for the NetCL toolchain.
+//!
+//! This crate hosts the pieces that every other layer of the system needs:
+//! source locations and diagnostics ([`diag`]), interned identifiers
+//! ([`intern`]), stable typed index handles ([`idx`]), the hash functions the
+//! NetCL device library exposes ([`hash`]), and a small fixed-capacity bitset
+//! ([`bitset`]) used by the resource allocator and the AllReduce application.
+
+pub mod bitset;
+pub mod diag;
+pub mod hash;
+pub mod idx;
+pub mod intern;
+
+pub use diag::{Diagnostic, DiagnosticSink, Severity, SourceMap, Span};
+pub use intern::{Interner, Symbol};

@@ -1,0 +1,25 @@
+//! The P4-tutorials calculator: arithmetic served by the switch.
+//!
+//! ```text
+//! cargo run --example calculator
+//! ```
+
+use netcl_apps::calc::*;
+use netcl_bmv2::Switch;
+
+fn main() {
+    let unit = netcl_apps::compile("calc.ncl", &netcl_source());
+    let mut sw = Switch::new(unit.devices[0].tna_p4.clone());
+    for (op, sym, a, b) in [
+        (OP_ADD, '+', 20u64, 22u64),
+        (OP_SUB, '-', 100, 58),
+        (OP_AND, '&', 0xF0F0, 0x00FF),
+        (OP_OR, '|', 0xF000, 0x000F),
+        (OP_XOR, '^', 0xFFFF, 0xF0F0),
+    ] {
+        let (_, reply) = sw.process(&request(7, op, a, b)).unwrap();
+        let r = result_of(&reply).unwrap();
+        println!("{a:#x} {sym} {b:#x} = {r:#x}");
+        assert_eq!(r, reference(op, a, b));
+    }
+}

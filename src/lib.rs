@@ -1,0 +1,13 @@
+//! Umbrella crate for the NetCL reproduction: re-exports every layer and
+//! hosts the cross-crate integration tests in `tests/`.
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use netcl;
+pub use netcl_apps as apps;
+pub use netcl_bmv2 as bmv2;
+pub use netcl_net as net;
+pub use netcl_p4 as p4;
+pub use netcl_runtime as runtime;
+pub use netcl_tofino as tofino;

@@ -1,0 +1,140 @@
+//! Property-based tests over core invariants (proptest).
+
+use netcl::{CompileOptions, Compiler};
+use netcl_bmv2::Switch;
+use netcl_runtime::message::{pack, unpack, Message};
+use netcl::sema::model::{SpecItem, Specification};
+use netcl::sema::Ty;
+use proptest::prelude::*;
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![
+        Just(Ty::U8),
+        Just(Ty::U16),
+        Just(Ty::U32),
+        Just(Ty::U64),
+        Just(Ty::Bool),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = Specification> {
+    proptest::collection::vec((arb_ty(), 1u32..5), 1..6).prop_map(|items| Specification {
+        items: items.into_iter().map(|(ty, count)| SpecItem { count, ty }).collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// pack ∘ unpack is the identity for any specification and payload.
+    #[test]
+    fn pack_unpack_roundtrip(spec in arb_spec(), seed in any::<u64>()) {
+        let mut rng = seed;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 16
+        };
+        let payload: Vec<Vec<u64>> = spec
+            .items
+            .iter()
+            .map(|item| (0..item.count).map(|_| item.ty.wrap(next())).collect())
+            .collect();
+        let m = Message::new(1, 2, 7, 3);
+        let refs: Vec<Option<&[u64]>> = payload.iter().map(|v| Some(v.as_slice())).collect();
+        let bytes = pack(&m, &spec, &refs).unwrap();
+        prop_assert_eq!(bytes.len(), Message::size(&spec));
+
+        let mut outs: Vec<Vec<u64>> = vec![Vec::new(); spec.items.len()];
+        {
+            let mut refs: Vec<Option<&mut Vec<u64>>> = outs.iter_mut().map(Some).collect();
+            let hdr = unpack(&bytes, &spec, &mut refs).unwrap();
+            prop_assert_eq!(hdr, m);
+        }
+        prop_assert_eq!(outs, payload);
+    }
+
+    /// The compiled calculator agrees with the reference semantics on
+    /// arbitrary operands — through the full pipeline and the switch.
+    #[test]
+    fn calculator_differential(a in any::<u32>(), b in any::<u32>(), op_idx in 0usize..5) {
+        use netcl_apps::calc;
+        let ops = [calc::OP_ADD, calc::OP_SUB, calc::OP_AND, calc::OP_OR, calc::OP_XOR];
+        let op = ops[op_idx];
+        // Compile once per process.
+        use std::sync::OnceLock;
+        static PROGRAM: OnceLock<netcl_p4::P4Program> = OnceLock::new();
+        let program = PROGRAM.get_or_init(|| {
+            Compiler::new(CompileOptions::default())
+                .compile("calc.ncl", &calc::netcl_source())
+                .unwrap()
+                .devices[0]
+                .tna_p4
+                .clone()
+        });
+        let mut sw = Switch::new(program.clone());
+        let (_, reply) = sw.process(&calc::request(7, op, a as u64, b as u64)).unwrap();
+        prop_assert_eq!(calc::result_of(&reply).unwrap(), calc::reference(op, a as u64, b as u64));
+    }
+
+    /// Every lookup-table state the host installs is observed exactly by
+    /// the data plane (managed memory coherence).
+    #[test]
+    fn managed_lookup_coherent(keys in proptest::collection::btree_set(1u64..1000, 1..8)) {
+        use netcl_runtime::managed::ManagedMemory;
+        use netcl::sema::model::LookupEntry;
+        static UNIT: std::sync::OnceLock<netcl::CompiledUnit> = std::sync::OnceLock::new();
+        let unit = UNIT.get_or_init(|| {
+            Compiler::new(CompileOptions::default())
+                .compile(
+                    "t.ncl",
+                    "_managed_ _lookup_ ncl::kv<unsigned, unsigned> t[64];\n\
+                     _kernel(1) _at(1) void k(unsigned key, unsigned &v, char &hit) {\n\
+                       hit = ncl::lookup(t, key, v);\n\
+                     }\n",
+                )
+                .unwrap()
+        });
+        let spec = unit.model.kernels[0].specification();
+        let mut sw = Switch::new(unit.devices[0].tna_p4.clone());
+        let mm = ManagedMemory::new(&unit.devices[0].tna_ir);
+        for &k in &keys {
+            mm.lookup_insert(&mut sw, "t", LookupEntry::Exact { key: k, value: k * 7 }).unwrap();
+        }
+        for probe in 0u64..1000 {
+            if probe % 97 != 0 && !keys.contains(&probe) {
+                continue; // subsample misses
+            }
+            let m = Message::new(1, 2, 1, 1);
+            let req = pack(&m, &spec, &[Some(&[probe]), None, None]).unwrap();
+            let (_, reply) = sw.process(&req).unwrap();
+            let mut v = Vec::new();
+            let mut hit = Vec::new();
+            unpack(&reply, &spec, &mut [None, Some(&mut v), Some(&mut hit)]).unwrap();
+            if keys.contains(&probe) {
+                prop_assert_eq!((hit[0], v[0]), (1, probe * 7));
+            } else {
+                prop_assert_eq!(hit[0], 0);
+            }
+        }
+    }
+}
+
+/// AllReduce correctness under randomized loss rates (failure injection).
+#[test]
+fn allreduce_correct_under_random_loss() {
+    use netcl_apps::agg;
+    let cfg = agg::AggConfig { num_workers: 3, num_slots: 4, slot_size: 8 };
+    let unit = Compiler::new(CompileOptions::default())
+        .compile("agg.ncl", &agg::netcl_source(&cfg))
+        .unwrap();
+    for loss_pct in [0u32, 2, 5, 10] {
+        let r = agg::run_allreduce(
+            &unit.devices[0].tna_p4,
+            &cfg,
+            8,
+            500,
+            loss_pct as f64 / 100.0,
+        );
+        assert!(r.all_correct, "loss {loss_pct}%: {r:?}");
+    }
+}
