@@ -91,11 +91,11 @@ pub fn spec(cfg: &AggConfig) -> Specification {
     use netcl_sema::Ty;
     Specification {
         items: vec![
-            SpecItem { count: 1, ty: Ty::U8 },  // ver
-            SpecItem { count: 1, ty: Ty::U16 }, // bmp_idx
-            SpecItem { count: 1, ty: Ty::U16 }, // agg_idx
-            SpecItem { count: 1, ty: Ty::U16 }, // mask
-            SpecItem { count: 1, ty: Ty::U8 },  // exp (by-ref)
+            SpecItem { count: 1, ty: Ty::U8 },              // ver
+            SpecItem { count: 1, ty: Ty::U16 },             // bmp_idx
+            SpecItem { count: 1, ty: Ty::U16 },             // agg_idx
+            SpecItem { count: 1, ty: Ty::U16 },             // mask
+            SpecItem { count: 1, ty: Ty::U8 },              // exp (by-ref)
             SpecItem { count: cfg.slot_size, ty: Ty::U32 }, // v
         ],
     }
@@ -267,16 +267,11 @@ pub fn handwritten(cfg: &AggConfig) -> P4Program {
 
     // The SwitchML-style ternary decision table: count → forwarding action
     // (consumes TCAM, unlike the generated SALU conditionals).
-    for (name, code) in
-        [("act_reflect", 5u64), ("act_mcast", 4), ("act_drop", 1)]
-    {
+    for (name, code) in [("act_reflect", 5u64), ("act_mcast", 4), ("act_drop", 1)] {
         c.actions.push(ActionDef {
             name: name.into(),
             params: vec![],
-            body: vec![Stmt::Assign(
-                Expr::field(&["hdr", "ncl", "action"]),
-                Expr::Const(code, 8),
-            )],
+            body: vec![Stmt::Assign(Expr::field(&["hdr", "ncl", "action"]), Expr::Const(code, 8))],
         });
     }
     c.actions.push(ActionDef {
@@ -368,8 +363,16 @@ pub fn handwritten(cfg: &AggConfig) -> P4Program {
     // pipe — the decision MAT depends only on the counter, and the value
     // lanes fill the later stages independently.
     let mut first: Vec<Stmt> = Vec::new();
-    first.push(Stmt::ExecuteRegisterAction { dst: None, ra: "exp_write".into(), index: idx.clone() });
-    first.push(Stmt::ExecuteRegisterAction { dst: None, ra: "count_reset".into(), index: idx.clone() });
+    first.push(Stmt::ExecuteRegisterAction {
+        dst: None,
+        ra: "exp_write".into(),
+        index: idx.clone(),
+    });
+    first.push(Stmt::ExecuteRegisterAction {
+        dst: None,
+        ra: "count_reset".into(),
+        index: idx.clone(),
+    });
     first.push(Stmt::Assign(Expr::field(&["hdr", "ncl", "action"]), Expr::Const(1, 8)));
     for i in 0..ss {
         first.push(Stmt::ExecuteRegisterAction {
@@ -379,27 +382,28 @@ pub fn handwritten(cfg: &AggConfig) -> P4Program {
         });
     }
 
-    let mut aggr: Vec<Stmt> = Vec::new();
-    aggr.push(Stmt::ExecuteRegisterAction {
-        dst: Some(Expr::field(&["hdr", "args_c1", "a4_exp"])),
-        ra: "exp_max".into(),
-        index: idx.clone(),
-    });
-    aggr.push(Stmt::ExecuteRegisterAction {
-        dst: Some(Expr::field(&["meta", "cnt"])),
-        ra: "count_dec".into(),
-        index: idx.clone(),
-    });
-    aggr.push(Stmt::ApplyTable("slot_decision".into()));
-    aggr.push(Stmt::If {
-        cond: Expr::Bin(
-            P4BinOp::Eq,
-            Box::new(Expr::field(&["hdr", "ncl", "action"])),
-            Box::new(Expr::Const(4, 8)),
-        ),
-        then: vec![Stmt::CallAction("set_mcast_target".into())],
-        els: vec![],
-    });
+    let mut aggr: Vec<Stmt> = vec![
+        Stmt::ExecuteRegisterAction {
+            dst: Some(Expr::field(&["hdr", "args_c1", "a4_exp"])),
+            ra: "exp_max".into(),
+            index: idx.clone(),
+        },
+        Stmt::ExecuteRegisterAction {
+            dst: Some(Expr::field(&["meta", "cnt"])),
+            ra: "count_dec".into(),
+            index: idx.clone(),
+        },
+        Stmt::ApplyTable("slot_decision".into()),
+        Stmt::If {
+            cond: Expr::Bin(
+                P4BinOp::Eq,
+                Box::new(Expr::field(&["hdr", "ncl", "action"])),
+                Box::new(Expr::Const(4, 8)),
+            ),
+            then: vec![Stmt::CallAction("set_mcast_target".into())],
+            els: vec![],
+        },
+    ];
     for i in 0..ss {
         aggr.push(Stmt::ExecuteRegisterAction {
             dst: Some(Expr::Field(vec![
@@ -534,9 +538,7 @@ pub fn worker_handler(
             HostEvent::Timer(chunk64) => {
                 let chunk = chunk64 as u32;
                 let slot = chunk % cfg.num_slots;
-                if st.inflight.get(&slot) == Some(&chunk)
-                    && !st.results.contains_key(&chunk)
-                {
+                if st.inflight.get(&slot) == Some(&chunk) && !st.results.contains_key(&chunk) {
                     st.retransmits += 1;
                     out.send(0, chunk_packet(&cfg, w, chunk));
                     out.set_timer(RTO_NS, chunk64);
@@ -574,11 +576,9 @@ pub fn run_allreduce(
         &(0..cfg.num_workers).map(|w| 100 + w as u16).collect::<Vec<_>>(),
         LinkSpec { loss, ..Default::default() },
     );
-    topo.multicast_group(
-        42,
-        (0..cfg.num_workers).map(|w| NodeId::Host(100 + w as u16)).collect(),
-    );
-    let mut builder = NetworkBuilder::new(topo).device(1, Switch::new(program.clone()), device_latency_ns);
+    topo.multicast_group(42, (0..cfg.num_workers).map(|w| NodeId::Host(100 + w as u16)).collect());
+    let mut builder =
+        NetworkBuilder::new(topo).device(1, Switch::new(program.clone()), device_latency_ns);
     let states: Vec<Arc<Mutex<WorkerState>>> =
         (0..cfg.num_workers).map(|_| Arc::new(Mutex::new(WorkerState::default()))).collect();
     for w in 0..cfg.num_workers {
@@ -695,15 +695,12 @@ mod tests {
         let unit = compile("agg.ncl", &netcl_source(&cfg));
         let mut topo = netcl_net::topo::star(1, &[100, 101, 102], LinkSpec::default());
         topo.multicast_group(42, vec![NodeId::Host(100), NodeId::Host(101), NodeId::Host(102)]);
-        let states: Vec<_> =
-            (0..3).map(|_| Arc::new(Mutex::new(WorkerState::default()))).collect();
-        let mut builder = NetworkBuilder::new(topo)
-            .device(1, Switch::new(unit.devices[0].tna_p4.clone()), 500);
+        let states: Vec<_> = (0..3).map(|_| Arc::new(Mutex::new(WorkerState::default()))).collect();
+        let mut builder =
+            NetworkBuilder::new(topo).device(1, Switch::new(unit.devices[0].tna_p4.clone()), 500);
         for w in 0..3u32 {
-            builder = builder.host(
-                100 + w as u16,
-                worker_handler(cfg, w, 1, states[w as usize].clone()),
-            );
+            builder =
+                builder.host(100 + w as u16, worker_handler(cfg, w, 1, states[w as usize].clone()));
         }
         let mut net = builder.build();
         for w in 0..3u32 {

@@ -130,10 +130,10 @@ pub fn spec(cfg: &CacheConfig) -> Specification {
     use netcl_sema::Ty;
     Specification {
         items: vec![
-            SpecItem { count: 1, ty: Ty::U8 },  // op
-            SpecItem { count: 1, ty: Ty::U64 }, // k (8-byte keys, as in [16])
-            SpecItem { count: 1, ty: Ty::U8 },  // hit
-            SpecItem { count: 1, ty: Ty::U32 }, // hot
+            SpecItem { count: 1, ty: Ty::U8 },          // op
+            SpecItem { count: 1, ty: Ty::U64 },         // k (8-byte keys, as in [16])
+            SpecItem { count: 1, ty: Ty::U8 },          // hit
+            SpecItem { count: 1, ty: Ty::U32 },         // hot
             SpecItem { count: cfg.words, ty: Ty::U32 }, // v
         ],
     }
@@ -208,11 +208,7 @@ pub fn handwritten(cfg: &CacheConfig) -> P4Program {
             ],
             stack: 1,
         },
-        HeaderDef {
-            name: "arr_c1_a4_t".into(),
-            fields: vec![("value".into(), 32)],
-            stack: w,
-        },
+        HeaderDef { name: "arr_c1_a4_t".into(), fields: vec![("value".into(), 32)], stack: w },
     ];
     let parser = ParserDef {
         name: "IgParser".into(),
@@ -268,11 +264,9 @@ pub fn handwritten(cfg: &CacheConfig) -> P4Program {
     });
 
     // Registers.
-    for (name, bits, size) in [
-        ("ShareR", 16, cfg.slots),
-        ("ValidR", 8, cfg.slots),
-        ("HitCountR", 32, cfg.slots),
-    ] {
+    for (name, bits, size) in
+        [("ShareR", 16, cfg.slots), ("ValidR", 8, cfg.slots), ("HitCountR", 32, cfg.slots)]
+    {
         c.registers.push(RegisterDef { name: name.into(), elem_bits: bits, size });
     }
     for i in 0..w {
@@ -304,8 +298,20 @@ pub fn handwritten(cfg: &CacheConfig) -> P4Program {
         vec![Expr::Const((1u64 << w) - 1, 16)],
     ));
     c.register_actions.push(ra("valid_read", "ValidR", AtomicRmw::Read, false, vec![]));
-    c.register_actions.push(ra("valid_set", "ValidR", AtomicRmw::Swap, false, vec![Expr::Const(1, 8)]));
-    c.register_actions.push(ra("valid_clr", "ValidR", AtomicRmw::Swap, false, vec![Expr::Const(0, 8)]));
+    c.register_actions.push(ra(
+        "valid_set",
+        "ValidR",
+        AtomicRmw::Swap,
+        false,
+        vec![Expr::Const(1, 8)],
+    ));
+    c.register_actions.push(ra(
+        "valid_clr",
+        "ValidR",
+        AtomicRmw::Swap,
+        false,
+        vec![Expr::Const(0, 8)],
+    ));
     c.register_actions.push(ra("hit_inc", "HitCountR", AtomicRmw::Inc, false, vec![]));
     for i in 0..w {
         let vfield = Expr::Field(vec![
@@ -313,7 +319,13 @@ pub fn handwritten(cfg: &CacheConfig) -> P4Program {
             PathSeg::indexed("arr_c1_a4", i),
             PathSeg::new("value"),
         ]);
-        c.register_actions.push(ra(&format!("val_read{i}"), &format!("Val{i}"), AtomicRmw::Read, false, vec![]));
+        c.register_actions.push(ra(
+            &format!("val_read{i}"),
+            &format!("Val{i}"),
+            AtomicRmw::Read,
+            false,
+            vec![],
+        ));
         c.register_actions.push(ra(
             &format!("val_write{i}"),
             &format!("Val{i}"),
@@ -355,11 +367,8 @@ pub fn handwritten(cfg: &CacheConfig) -> P4Program {
     };
 
     // GET hit path.
-    let mut get_hit: Vec<Stmt> = vec![Stmt::ExecuteRegisterAction {
-        dst: None,
-        ra: "hit_inc".into(),
-        index: idx.clone(),
-    }];
+    let mut get_hit: Vec<Stmt> =
+        vec![Stmt::ExecuteRegisterAction { dst: None, ra: "hit_inc".into(), index: idx.clone() }];
     for i in 0..w {
         let vfield = Expr::Field(vec![
             PathSeg::new("hdr"),
@@ -390,9 +399,21 @@ pub fn handwritten(cfg: &CacheConfig) -> P4Program {
             hash: "HashK".into(),
             args: vec![field(&["hdr", "args_c1", "a1_k"])],
         },
-        Stmt::HashGet { dst: field(&["meta", "h0"]), hash: "HashA".into(), args: vec![field(&["meta", "kh"])] },
-        Stmt::HashGet { dst: field(&["meta", "h1"]), hash: "HashB".into(), args: vec![field(&["meta", "kh"])] },
-        Stmt::HashGet { dst: field(&["meta", "h2"]), hash: "HashC".into(), args: vec![field(&["meta", "kh"])] },
+        Stmt::HashGet {
+            dst: field(&["meta", "h0"]),
+            hash: "HashA".into(),
+            args: vec![field(&["meta", "kh"])],
+        },
+        Stmt::HashGet {
+            dst: field(&["meta", "h1"]),
+            hash: "HashB".into(),
+            args: vec![field(&["meta", "kh"])],
+        },
+        Stmt::HashGet {
+            dst: field(&["meta", "h2"]),
+            hash: "HashC".into(),
+            args: vec![field(&["meta", "kh"])],
+        },
     ];
     for i in 0..3 {
         let h = field(&["meta", &format!("h{i}")]);
@@ -445,7 +466,10 @@ pub fn handwritten(cfg: &CacheConfig) -> P4Program {
                         Box::new(Expr::Const(0, 8)),
                     )),
                 ),
-                then: vec![Stmt::Assign(field(&["hdr", "args_c1", "a3_hot"]), field(&["meta", "c0"]))],
+                then: vec![Stmt::Assign(
+                    field(&["hdr", "args_c1", "a3_hot"]),
+                    field(&["meta", "c0"]),
+                )],
                 els: vec![],
             },
         ],

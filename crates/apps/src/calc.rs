@@ -149,11 +149,27 @@ pub fn handwritten() -> P4Program {
             "op_xor".into(),
         ],
         entries: vec![
-            TableEntry { keys: vec![EntryKey::Value(OP_ADD)], action: "op_add".into(), args: vec![] },
-            TableEntry { keys: vec![EntryKey::Value(OP_SUB)], action: "op_sub".into(), args: vec![] },
-            TableEntry { keys: vec![EntryKey::Value(OP_AND)], action: "op_and".into(), args: vec![] },
+            TableEntry {
+                keys: vec![EntryKey::Value(OP_ADD)],
+                action: "op_add".into(),
+                args: vec![],
+            },
+            TableEntry {
+                keys: vec![EntryKey::Value(OP_SUB)],
+                action: "op_sub".into(),
+                args: vec![],
+            },
+            TableEntry {
+                keys: vec![EntryKey::Value(OP_AND)],
+                action: "op_and".into(),
+                args: vec![],
+            },
             TableEntry { keys: vec![EntryKey::Value(OP_OR)], action: "op_or".into(), args: vec![] },
-            TableEntry { keys: vec![EntryKey::Value(OP_XOR)], action: "op_xor".into(), args: vec![] },
+            TableEntry {
+                keys: vec![EntryKey::Value(OP_XOR)],
+                action: "op_xor".into(),
+                args: vec![],
+            },
         ],
         default_action: "NoAction".into(),
         size: 8,

@@ -94,11 +94,7 @@ pub fn empty_program() -> netcl_p4::P4Program {
 /// Counts the non-blank, non-comment lines of a NetCL source (Table III's
 /// NetCL column).
 pub fn netcl_loc(source: &str) -> usize {
-    source
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//"))
-        .count()
+    source.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with("//")).count()
 }
 
 #[cfg(test)]

@@ -203,12 +203,8 @@ pub fn parse_delivery(bytes: &[u8]) -> Option<(u64, Vec<u64>)> {
     let mut ty = Vec::new();
     let mut inst = Vec::new();
     let mut val = Vec::new();
-    unpack(
-        bytes,
-        &spec(),
-        &mut [Some(&mut ty), Some(&mut inst), None, None, None, Some(&mut val)],
-    )
-    .ok()?;
+    unpack(bytes, &spec(), &mut [Some(&mut ty), Some(&mut inst), None, None, None, Some(&mut val)])
+        .ok()?;
     if ty[0] == T_DELIVER {
         Some((inst[0], val))
     } else {
@@ -394,9 +390,11 @@ pub fn handwritten_acceptor_at(acc: u16) -> P4Program {
         });
     }
     c.tables.push(l2());
-    let mut accept = vec![
-        Stmt::ExecuteRegisterAction { dst: None, ra: "vround_store".into(), index: inst.clone() },
-    ];
+    let mut accept = vec![Stmt::ExecuteRegisterAction {
+        dst: None,
+        ra: "vround_store".into(),
+        index: inst.clone(),
+    }];
     for i in 0..8 {
         accept.push(Stmt::ExecuteRegisterAction {
             dst: None,
@@ -412,10 +410,7 @@ pub fn handwritten_acceptor_at(acc: u16) -> P4Program {
         ),
         Stmt::Assign(Expr::field(&["hdr", "args_c1", "a4_vote"]), Expr::Const(1 << acc, 8)),
         Stmt::Assign(Expr::field(&["hdr", "ncl", "action"]), Expr::Const(3, 8)),
-        Stmt::Assign(
-            Expr::field(&["hdr", "ncl", "target"]),
-            Expr::Const(LEARNER_DEV as u64, 16),
-        ),
+        Stmt::Assign(Expr::field(&["hdr", "ncl", "target"]), Expr::Const(LEARNER_DEV as u64, 16)),
     ]);
     let body = vec![Stmt::If {
         cond: Expr::Bin(
@@ -436,10 +431,7 @@ pub fn handwritten_acceptor_at(acc: u16) -> P4Program {
                     Box::new(Expr::field(&["meta", "rmax"])),
                 ),
                 then: accept,
-                els: vec![Stmt::Assign(
-                    Expr::field(&["hdr", "ncl", "action"]),
-                    Expr::Const(1, 8),
-                )],
+                els: vec![Stmt::Assign(Expr::field(&["hdr", "ncl", "action"]), Expr::Const(1, 8))],
             },
         ],
         els: vec![],
@@ -675,11 +667,8 @@ mod tests {
         }
         net.run(1_000_000);
 
-        let delivered: Vec<(u64, Vec<u64>)> = net
-            .host_received(2)
-            .iter()
-            .filter_map(|(_, bytes)| parse_delivery(bytes))
-            .collect();
+        let delivered: Vec<(u64, Vec<u64>)> =
+            net.host_received(2).iter().filter_map(|(_, bytes)| parse_delivery(bytes)).collect();
         assert_eq!(delivered.len(), proposals as usize, "one delivery per proposal");
         let mut instances: Vec<u64> = delivered.iter().map(|(i, _)| *i).collect();
         instances.sort_unstable();

@@ -86,9 +86,7 @@ impl Tensor {
     /// The values of chunk `c` (zero-padded to the chunk size).
     pub fn chunk_values(&self, c: usize) -> Vec<u64> {
         let start = c * self.chunk;
-        (0..self.chunk)
-            .map(|i| self.data.get(start + i).copied().unwrap_or(0))
-            .collect()
+        (0..self.chunk).map(|i| self.data.get(start + i).copied().unwrap_or(0)).collect()
     }
 }
 

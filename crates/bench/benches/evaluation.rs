@@ -25,9 +25,8 @@ fn bench_tofino_fit(c: &mut Criterion) {
     let mut g = c.benchmark_group("tofino_fit");
     g.sample_size(10);
     for app in netcl_apps::all_apps() {
-        let unit = Compiler::new(CompileOptions::default())
-            .compile(app.name, &app.netcl_source)
-            .unwrap();
+        let unit =
+            Compiler::new(CompileOptions::default()).compile(app.name, &app.netcl_source).unwrap();
         let p4 = unit.device(app.device).unwrap().tna_p4.clone();
         g.bench_function(app.name, |b| b.iter(|| netcl_tofino::fit(&p4).unwrap()));
     }
@@ -36,8 +35,9 @@ fn bench_tofino_fit(c: &mut Criterion) {
 
 fn bench_switch_packet(c: &mut Criterion) {
     // Per-packet bmv2 cost on the CALC program (the smallest kernel).
-    let unit =
-        Compiler::new(CompileOptions::default()).compile("calc.ncl", &calc::netcl_source()).unwrap();
+    let unit = Compiler::new(CompileOptions::default())
+        .compile("calc.ncl", &calc::netcl_source())
+        .unwrap();
     let mut sw = netcl_bmv2::Switch::new(unit.devices[0].tna_p4.clone());
     let req = calc::request(7, calc::OP_ADD, 3, 4);
     c.bench_function("bmv2_packet_calc", |b| b.iter(|| sw.process(&req).unwrap()));

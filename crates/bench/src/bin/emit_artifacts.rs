@@ -16,9 +16,8 @@ fn main() {
             print_program(&app.handwritten),
         )
         .unwrap();
-        let unit = Compiler::new(CompileOptions::default())
-            .compile(app.name, &app.netcl_source)
-            .unwrap();
+        let unit =
+            Compiler::new(CompileOptions::default()).compile(app.name, &app.netcl_source).unwrap();
         let dev = unit.device(app.device).unwrap();
         std::fs::write(format!("artifacts/generated_p4/{name}_tna.p4"), print_program(&dev.tna_p4))
             .unwrap();

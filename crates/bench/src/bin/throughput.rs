@@ -1,0 +1,170 @@
+//! Packets/sec throughput of the bmv2 software switch: the compiled fast
+//! path versus the tree-walking interpreter oracle, per application.
+//!
+//! Run `cargo run --release -p netcl-bench --bin throughput` to reproduce
+//! `BENCH_switch.json` at the repository root. Pass `--smoke` for a
+//! seconds-scale CI sanity run that prints results without writing the file.
+//!
+//! Each application processes a small rotating set of representative
+//! packets through one long-lived `Switch`, reusing one packet and one
+//! output buffer (`process_into`), so the measurement isolates per-packet
+//! execution cost rather than allocation or setup.
+
+use std::time::Instant;
+
+use netcl_apps::{agg, cache, calc, paxos};
+use netcl_bmv2::Switch;
+use netcl_runtime::managed::ManagedMemory;
+use netcl_runtime::message::{pack, Message};
+
+struct BenchApp {
+    name: &'static str,
+    switch: Switch,
+    packets: Vec<Vec<u8>>,
+}
+
+fn calc_app() -> BenchApp {
+    let unit = netcl_apps::compile("calc.ncl", &calc::netcl_source());
+    let switch = Switch::new(unit.devices[0].tna_p4.clone());
+    let packets = vec![
+        calc::request(7, calc::OP_ADD, 3, 4),
+        calc::request(7, calc::OP_XOR, 0xAA, 0x55),
+        calc::request(7, calc::OP_AND, 0xF0, 0x1F),
+    ];
+    BenchApp { name: "CALC", switch, packets }
+}
+
+fn agg_app() -> BenchApp {
+    let cfg = agg::AggConfig::default();
+    let unit = netcl_apps::compile("agg.ncl", &agg::netcl_source(&cfg));
+    let switch = Switch::new(unit.devices[0].tna_p4.clone());
+    let mut packets = Vec::new();
+    for c in 0..4 {
+        for w in 0..cfg.num_workers {
+            packets.push(agg::chunk_packet(&cfg, w, c));
+        }
+    }
+    BenchApp { name: "AGG", switch, packets }
+}
+
+fn cache_app() -> BenchApp {
+    let cfg = cache::CacheConfig::default();
+    let unit = netcl_apps::compile("cache.ncl", &cache::netcl_source(&cfg));
+    let dev = &unit.devices[0];
+    let mut switch = Switch::new(dev.tna_p4.clone());
+    // Half the keys are cached so the workload exercises both the lookup
+    // hit path and the miss path through the hot-key sketch.
+    let mm = ManagedMemory::new(&dev.tna_ir);
+    for k in 0..4u64 {
+        let v = cache::server_value(&cfg, k);
+        cache::populate(&mm, &mut switch, &cfg, k as u16, k, &v);
+    }
+    let packets = (0..8u64).map(|k| cache::request(&cfg, 1, 2, 1, k, None)).collect();
+    BenchApp { name: "CACHE", switch, packets }
+}
+
+fn pacc_app() -> BenchApp {
+    let unit = netcl_apps::compile("pacc.ncl", &paxos::acceptor_source());
+    let dev = unit.device(paxos::ACCEPTOR_DEV).expect("acceptor device");
+    let switch = Switch::new(dev.tna_p4.clone());
+    let spec = paxos::spec();
+    let value = [11u64, 22, 33, 44, 55, 66, 77, 88];
+    let packets = (0..8u64)
+        .map(|inst| {
+            let m = Message::new(1, 2, 1, paxos::ACCEPTOR_DEV);
+            pack(
+                &m,
+                &spec,
+                &[
+                    Some(&[paxos::T_PHASE2A]),
+                    Some(&[inst]),
+                    Some(&[1]),
+                    Some(&[0]),
+                    Some(&[0]),
+                    Some(&value),
+                ],
+            )
+            .expect("packs")
+        })
+        .collect();
+    BenchApp { name: "PACC", switch, packets }
+}
+
+/// Processes `total` packets (cycling over the set) and returns packets/sec.
+fn measure(sw: &mut Switch, packets: &[Vec<u8>], total: usize) -> f64 {
+    let mut pkt = sw.new_packet();
+    let mut out = Vec::new();
+    // Warm up state, caches, and scratch buffers.
+    for wire in packets {
+        let _ = sw.process_into(wire, &mut pkt, &mut out);
+    }
+    let start = Instant::now();
+    let mut done = 0usize;
+    'outer: loop {
+        for wire in packets {
+            let _ = sw.process_into(wire, &mut pkt, &mut out);
+            done += 1;
+            if done >= total {
+                break 'outer;
+            }
+        }
+    }
+    done as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    name: &'static str,
+    compiled_pps: f64,
+    interpreted_pps: f64,
+}
+
+fn main() {
+    let mut smoke = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("error: unknown argument `{other}` (expected `--smoke`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (compiled_n, interp_n) = if smoke { (2_000, 200) } else { (400_000, 40_000) };
+
+    let mut rows = Vec::new();
+    for mut app in [calc_app(), agg_app(), cache_app(), pacc_app()] {
+        app.switch.set_interpreted(false);
+        let compiled_pps = measure(&mut app.switch, &app.packets, compiled_n);
+        app.switch.set_interpreted(true);
+        let interpreted_pps = measure(&mut app.switch, &app.packets, interp_n);
+        println!(
+            "{:<6} compiled {:>12.0} pps   interpreted {:>12.0} pps   speedup {:.2}x",
+            app.name,
+            compiled_pps,
+            interpreted_pps,
+            compiled_pps / interpreted_pps,
+        );
+        rows.push(Row { name: app.name, compiled_pps, interpreted_pps });
+    }
+
+    if smoke {
+        println!("smoke run: not writing BENCH_switch.json");
+        return;
+    }
+    let mut json = String::from("{\n  \"benchmark\": \"bmv2_throughput\",\n");
+    json.push_str(&format!("  \"packets_per_measurement\": {compiled_n},\n"));
+    json.push_str("  \"apps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"compiled_pps\": {:.0}, \"interpreted_pps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.compiled_pps,
+            r.interpreted_pps,
+            r.compiled_pps / r.interpreted_pps,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_switch.json", &json).expect("write BENCH_switch.json");
+    println!("wrote BENCH_switch.json");
+}

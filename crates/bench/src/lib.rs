@@ -30,7 +30,8 @@ pub fn report_table3() -> String {
         ratios.push(r);
         let _ = writeln!(out, "{:<8} {:>7} {:>7} {:>9.2}x", app.name, n, p, r);
     }
-    let _ = writeln!(out, "{:<8} {:>26.2}x  (paper: 11.93x vs own P4-16)", "GEOMEAN", geomean(&ratios));
+    let _ =
+        writeln!(out, "{:<8} {:>26.2}x  (paper: 11.93x vs own P4-16)", "GEOMEAN", geomean(&ratios));
     out
 }
 
@@ -118,26 +119,24 @@ pub fn report_table5() -> String {
         "{:<14} {:>6} {:>15} {:>15} {:>13} {:>13}",
         "PROGRAM", "STAGES", "SRAM", "TCAM", "SALUs", "VLIW"
     );
-    let mut row = |label: String, p: &netcl_p4::P4Program| {
-        match fit(p) {
-            Ok(r) => {
-                let cell = |k: ResourceKind| {
-                    format!("{:.2}/{:.2}", r.total_percent(k), r.worst_stage_percent(k))
-                };
-                let _ = writeln!(
-                    out,
-                    "{:<14} {:>6} {:>15} {:>15} {:>13} {:>13}",
-                    label,
-                    r.stages_used,
-                    cell(ResourceKind::Sram),
-                    cell(ResourceKind::Tcam),
-                    cell(ResourceKind::Salus),
-                    cell(ResourceKind::Vliw),
-                );
-            }
-            Err(e) => {
-                let _ = writeln!(out, "{label:<14} DOES NOT FIT: {e}");
-            }
+    let mut row = |label: String, p: &netcl_p4::P4Program| match fit(p) {
+        Ok(r) => {
+            let cell = |k: ResourceKind| {
+                format!("{:.2}/{:.2}", r.total_percent(k), r.worst_stage_percent(k))
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>6} {:>15} {:>15} {:>13} {:>13}",
+                label,
+                r.stages_used,
+                cell(ResourceKind::Sram),
+                cell(ResourceKind::Tcam),
+                cell(ResourceKind::Salus),
+                cell(ResourceKind::Vliw),
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "{label:<14} DOES NOT FIT: {e}");
         }
     };
     for app in all_apps() {
@@ -419,13 +418,8 @@ mod tests {
         assert!(t.contains("AGG"));
         assert!(t.contains("GEOMEAN"));
         let geo_line = t.lines().find(|l| l.starts_with("GEOMEAN")).unwrap();
-        let val: f64 = geo_line
-            .split_whitespace()
-            .nth(1)
-            .unwrap()
-            .trim_end_matches('x')
-            .parse()
-            .unwrap();
+        let val: f64 =
+            geo_line.split_whitespace().nth(1).unwrap().trim_end_matches('x').parse().unwrap();
         assert!(val > 4.0, "geomean reduction {val} too small");
     }
 

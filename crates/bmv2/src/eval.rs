@@ -22,8 +22,8 @@ pub fn eval(e: &Expr, pkt: &Packet, widths: &dyn Fn(&str) -> u32) -> (u64, u32) 
                 Some("hdr") => (pkt.get(&path), w),
                 // Bare names are action parameters / locals (metadata
                 // namespace) first, header fields otherwise.
-                _ => match pkt.meta.get(&path) {
-                    Some(v) => (*v, w),
+                _ => match pkt.meta_opt(&path) {
+                    Some(v) => (v, w),
                     None => (pkt.get(&path), w),
                 },
             }
@@ -31,41 +31,7 @@ pub fn eval(e: &Expr, pkt: &Packet, widths: &dyn Fn(&str) -> u32) -> (u64, u32) 
         Expr::Bin(op, a, b) => {
             let (va, wa) = eval(a, pkt, widths);
             let (vb, wb) = eval(b, pkt, widths);
-            let w = wa.max(wb);
-            let mask = mask_of(w);
-            let r = match op {
-                P4BinOp::Add => (va.wrapping_add(vb)) & mask,
-                P4BinOp::Sub => (va.wrapping_sub(vb)) & mask,
-                P4BinOp::Mul => (va.wrapping_mul(vb)) & mask,
-                P4BinOp::And => va & vb,
-                P4BinOp::Or => va | vb,
-                P4BinOp::Xor => (va ^ vb) & mask,
-                P4BinOp::Shl => {
-                    if vb >= w as u64 {
-                        0
-                    } else {
-                        (va << vb) & mask
-                    }
-                }
-                P4BinOp::Shr => {
-                    if vb >= 64 {
-                        0
-                    } else {
-                        va >> vb
-                    }
-                }
-                P4BinOp::SatAdd => va.saturating_add(vb).min(mask),
-                P4BinOp::SatSub => va.saturating_sub(vb),
-                P4BinOp::Eq => return ((va == vb) as u64, 1),
-                P4BinOp::Ne => return ((va != vb) as u64, 1),
-                P4BinOp::Lt => return ((va < vb) as u64, 1),
-                P4BinOp::Le => return ((va <= vb) as u64, 1),
-                P4BinOp::Gt => return ((va > vb) as u64, 1),
-                P4BinOp::Ge => return ((va >= vb) as u64, 1),
-                P4BinOp::LAnd => return (((va != 0) && (vb != 0)) as u64, 1),
-                P4BinOp::LOr => return (((va != 0) || (vb != 0)) as u64, 1),
-            };
-            (r, w)
+            bin_value(*op, va, wa, vb, wb)
         }
         Expr::Not(x) => {
             let (v, _) = eval(x, pkt, widths);
@@ -89,6 +55,46 @@ pub fn eval(e: &Expr, pkt: &Packet, widths: &dyn Fn(&str) -> u32) -> (u64, u32) 
             // here is a program-structure bug — fail closed.
             (0, 1)
         }
+    }
+}
+
+/// One binary operation at the given operand widths, with the P4 result
+/// width/wrapping rules. Shared by the tree-walking evaluator above and the
+/// compiled postfix executor so the two paths cannot drift.
+pub fn bin_value(op: P4BinOp, va: u64, wa: u32, vb: u64, wb: u32) -> (u64, u32) {
+    let w = wa.max(wb);
+    let mask = mask_of(w);
+    match op {
+        P4BinOp::Add => ((va.wrapping_add(vb)) & mask, w),
+        P4BinOp::Sub => ((va.wrapping_sub(vb)) & mask, w),
+        P4BinOp::Mul => ((va.wrapping_mul(vb)) & mask, w),
+        P4BinOp::And => (va & vb, w),
+        P4BinOp::Or => (va | vb, w),
+        P4BinOp::Xor => ((va ^ vb) & mask, w),
+        P4BinOp::Shl => {
+            if vb >= w as u64 {
+                (0, w)
+            } else {
+                ((va << vb) & mask, w)
+            }
+        }
+        P4BinOp::Shr => {
+            if vb >= 64 {
+                (0, w)
+            } else {
+                (va >> vb, w)
+            }
+        }
+        P4BinOp::SatAdd => (va.saturating_add(vb).min(mask), w),
+        P4BinOp::SatSub => (va.saturating_sub(vb), w),
+        P4BinOp::Eq => ((va == vb) as u64, 1),
+        P4BinOp::Ne => ((va != vb) as u64, 1),
+        P4BinOp::Lt => ((va < vb) as u64, 1),
+        P4BinOp::Le => ((va <= vb) as u64, 1),
+        P4BinOp::Gt => ((va > vb) as u64, 1),
+        P4BinOp::Ge => ((va >= vb) as u64, 1),
+        P4BinOp::LAnd => (((va != 0) && (vb != 0)) as u64, 1),
+        P4BinOp::LOr => (((va != 0) || (vb != 0)) as u64, 1),
     }
 }
 
@@ -169,11 +175,7 @@ mod tests {
     fn validity_pseudo_field() {
         let mut p = Packet::default();
         p.set_valid("ncl", true);
-        let e = E::Field(vec![
-            PathSeg::new("hdr"),
-            PathSeg::new("ncl"),
-            PathSeg::new("$isValid"),
-        ]);
+        let e = E::Field(vec![PathSeg::new("hdr"), PathSeg::new("ncl"), PathSeg::new("$isValid")]);
         assert_eq!(eval(&e, &p, &widths), (1, 1));
     }
 
@@ -188,11 +190,8 @@ mod tests {
 
     #[test]
     fn stack_paths_canonicalize() {
-        let segs = vec![
-            PathSeg::new("hdr"),
-            PathSeg::indexed("arr_c1_a4", 3),
-            PathSeg::new("value"),
-        ];
+        let segs =
+            vec![PathSeg::new("hdr"), PathSeg::indexed("arr_c1_a4", 3), PathSeg::new("value")];
         assert_eq!(canonical(&segs), "arr_c1_a4[3].value");
         assert_eq!(instance_of(&segs), "arr_c1_a4");
     }

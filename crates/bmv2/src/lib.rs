@@ -15,10 +15,18 @@
 //! Register and table state persist across packets, and a control-plane
 //! interface ([`Switch::register_write`], [`Switch::table_insert`], ...)
 //! backs the NetCL `_managed_` memory API (§V-B).
+//!
+//! Programs are lowered once at [`Switch::new`] by [`compile`] into flat,
+//! index-addressed op arrays; per-packet execution walks those arrays with
+//! zero heap allocation for interned fields. The original tree-walking
+//! interpreter remains available via [`Switch::set_interpreted`] as the
+//! differential-testing oracle.
 
+pub mod compile;
 pub mod eval;
 pub mod packet;
 pub mod switch;
 
-pub use packet::{Packet, PacketError};
+pub use compile::{compile, CompiledProgram, FieldSlot, HeaderId, SlotTable};
+pub use packet::{FieldError, Packet, PacketError};
 pub use switch::{Switch, SwitchError};

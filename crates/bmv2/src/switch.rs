@@ -1,9 +1,22 @@
 //! The switch: parser FSM, ingress execution, deparser, and state.
+//!
+//! Two execution engines share one runtime state:
+//!
+//! * the **compiled** fast path (default): flat op arrays produced by
+//!   [`crate::compile`], slot-addressed packet fields, zero per-packet heap
+//!   allocation for already-interned fields;
+//! * the **tree-walking interpreter** (behind [`Switch::set_interpreted`]):
+//!   re-evaluates the AST per packet through the string compatibility
+//!   layer. It is intentionally kept simple and serves as the differential
+//!   oracle for the compiled path.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use crate::eval::{canonical, eval, instance_of, mask_of};
-use crate::packet::{read_field, write_field, Packet, PacketError};
+use crate::compile::{
+    self, CExtract, COp, CTransition, CompiledProgram, Dest, EOp, ExternFn, Span, StateRef,
+};
+use crate::eval::{bin_value, canonical, eval, instance_of, mask_of};
+use crate::packet::{read_field, write_field, FieldError, Packet, PacketError};
 use netcl_ir::interp::eval_intrinsic;
 use netcl_p4::ast::*;
 
@@ -31,58 +44,65 @@ impl From<PacketError> for SwitchError {
     }
 }
 
+fn field_err(e: FieldError, header: &str) -> SwitchError {
+    match e {
+        FieldError::Unaligned { .. } => PacketError::Unaligned(header.to_string()).into(),
+        FieldError::Truncated => PacketError::Truncated { header: header.to_string() }.into(),
+    }
+}
+
+/// Mutable per-switch state shared by both engines, plus the compiled
+/// path's reusable scratch buffers (all stack-disciplined so re-entrant
+/// table/action execution never allocates in steady state).
+struct RuntimeState {
+    /// Register cells, by [`CompiledProgram`] register index.
+    registers: Vec<Vec<u64>>,
+    /// Table entries, by table-state index (shared by name).
+    tables: Vec<Vec<TableEntry>>,
+    rng: u64,
+    /// Postfix evaluation stack.
+    stack: Vec<(u64, u32)>,
+    /// Table key values for in-flight applies.
+    keys: Vec<u64>,
+    /// Action args / RA operands / extern arg values.
+    scratch: Vec<u64>,
+    /// Saved `(slot, value, present)` for action-parameter bindings.
+    param_saves: Vec<(compile::FieldSlot, u64, bool)>,
+}
+
+impl RuntimeState {
+    fn new(cp: &CompiledProgram) -> RuntimeState {
+        RuntimeState {
+            registers: cp.regs.iter().map(|r| vec![0u64; r.size]).collect(),
+            tables: cp.table_states.iter().map(|t| t.entries.clone()).collect(),
+            rng: 0x9E37_79B9_97F4_A7C1,
+            stack: Vec::new(),
+            keys: Vec::new(),
+            scratch: Vec::new(),
+            param_saves: Vec::new(),
+        }
+    }
+}
+
 /// A software switch instance executing one P4 program.
 pub struct Switch {
     program: P4Program,
-    /// Register name → element values.
-    registers: HashMap<String, Vec<u64>>,
-    /// Runtime table entries (initialized from `const entries`; mutable via
-    /// the control plane — the `_managed_ _lookup_` path).
-    tables: HashMap<String, Vec<TableEntry>>,
-    /// Width lookup caches.
-    field_widths: HashMap<String, u32>,
-    rng: u64,
+    compiled: Arc<CompiledProgram>,
+    st: RuntimeState,
+    /// When set, `process` runs the tree-walking oracle instead of the
+    /// compiled ops.
+    interpreted: bool,
     /// Packets processed (telemetry).
     pub packets_processed: u64,
 }
 
 impl Switch {
-    /// Instantiates a switch for `program` with zeroed registers.
+    /// Instantiates a switch for `program` with zeroed registers. The
+    /// program is compiled to flat form here, once.
     pub fn new(program: P4Program) -> Switch {
-        let mut registers = HashMap::new();
-        let mut tables = HashMap::new();
-        let mut field_widths = HashMap::new();
-        for c in &program.controls {
-            for r in &c.registers {
-                registers.insert(r.name.clone(), vec![0u64; r.size as usize]);
-            }
-            for t in &c.tables {
-                tables.insert(t.name.clone(), t.entries.clone());
-            }
-            for (n, w) in &c.locals {
-                field_widths.insert(n.clone(), *w);
-            }
-        }
-        for h in &program.headers {
-            let instance = h.name.strip_suffix("_t").unwrap_or(&h.name).to_string();
-            for (f, w) in &h.fields {
-                if h.stack > 1 {
-                    for i in 0..h.stack {
-                        field_widths.insert(format!("{instance}[{i}].{f}"), *w);
-                    }
-                } else {
-                    field_widths.insert(format!("{instance}.{f}"), *w);
-                }
-            }
-        }
-        Switch {
-            program,
-            registers,
-            tables,
-            field_widths,
-            rng: 0x9E37_79B9_97F4_A7C1,
-            packets_processed: 0,
-        }
+        let compiled = Arc::new(compile::compile(&program));
+        let st = RuntimeState::new(&compiled);
+        Switch { program, compiled, st, interpreted: false, packets_processed: 0 }
     }
 
     /// The program this switch runs.
@@ -90,16 +110,40 @@ impl Switch {
         &self.program
     }
 
+    /// The compiled form of the program.
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.compiled
+    }
+
+    /// Selects the tree-walking interpreter (`true`) or the compiled fast
+    /// path (`false`, the default). State carries over either way.
+    pub fn set_interpreted(&mut self, interpreted: bool) {
+        self.interpreted = interpreted;
+    }
+
+    /// Whether the interpreter oracle is selected.
+    pub fn interpreted(&self) -> bool {
+        self.interpreted
+    }
+
+    /// A packet shaped for this switch's slot table, for reuse with
+    /// [`Switch::process_into`].
+    pub fn new_packet(&self) -> Packet {
+        Packet::with_slots(Arc::clone(&self.compiled.slots))
+    }
+
     // ---- control plane (backs `_managed_` memory, §V-B) -----------------
 
     /// Reads one register element.
     pub fn register_read(&self, name: &str, index: usize) -> Option<u64> {
-        self.registers.get(name)?.get(index).copied()
+        let i = *self.compiled.reg_index.get(name)?;
+        self.st.registers[i as usize].get(index).copied()
     }
 
     /// Writes one register element.
     pub fn register_write(&mut self, name: &str, index: usize, value: u64) -> bool {
-        match self.registers.get_mut(name).and_then(|r| r.get_mut(index)) {
+        let Some(&i) = self.compiled.reg_index.get(name) else { return false };
+        match self.st.registers[i as usize].get_mut(index) {
             Some(cell) => {
                 *cell = value;
                 true
@@ -108,11 +152,21 @@ impl Switch {
         }
     }
 
+    /// All registers with their current contents (diagnostics and
+    /// differential tests).
+    pub fn registers(&self) -> impl Iterator<Item = (&str, &[u64])> {
+        self.compiled
+            .regs
+            .iter()
+            .zip(&self.st.registers)
+            .map(|(r, cells)| (r.name.as_str(), cells.as_slice()))
+    }
+
     /// Inserts a table entry (control-plane `_managed_ _lookup_` update).
     pub fn table_insert(&mut self, table: &str, entry: TableEntry) -> bool {
-        match self.tables.get_mut(table) {
-            Some(t) => {
-                t.push(entry);
+        match self.compiled.table_index.get(table) {
+            Some(&i) => {
+                self.st.tables[i as usize].push(entry);
                 true
             }
             None => false,
@@ -121,8 +175,9 @@ impl Switch {
 
     /// Removes entries matching `key` from a table.
     pub fn table_delete(&mut self, table: &str, key: &[EntryKey]) -> usize {
-        match self.tables.get_mut(table) {
-            Some(t) => {
+        match self.compiled.table_index.get(table) {
+            Some(&i) => {
+                let t = &mut self.st.tables[i as usize];
                 let before = t.len();
                 t.retain(|e| e.keys != key);
                 before - t.len()
@@ -133,9 +188,9 @@ impl Switch {
 
     /// Replaces every entry of a table.
     pub fn table_set(&mut self, table: &str, entries: Vec<TableEntry>) -> bool {
-        match self.tables.get_mut(table) {
-            Some(t) => {
-                *t = entries;
+        match self.compiled.table_index.get(table) {
+            Some(&i) => {
+                self.st.tables[i as usize] = entries;
                 true
             }
             None => false,
@@ -145,34 +200,68 @@ impl Switch {
     /// Tables whose names start with `prefix` (lookup duplication creates
     /// `name`, `name__dup1`, ... that must be updated together).
     pub fn tables_with_prefix(&self, prefix: &str) -> Vec<String> {
-        self.tables.keys().filter(|k| k.starts_with(prefix)).cloned().collect()
+        self.compiled
+            .table_states
+            .iter()
+            .filter(|t| t.name.starts_with(prefix))
+            .map(|t| t.name.clone())
+            .collect()
     }
 
     // ---- packet processing ----------------------------------------------
 
-    /// Runs one packet through parser → ingress → deparser.
+    /// Runs one packet through parser → ingress → deparser, allocating a
+    /// fresh packet and output buffer. Prefer [`Switch::process_into`] on
+    /// hot paths.
     pub fn process(&mut self, wire: &[u8]) -> Result<(Packet, Vec<u8>), SwitchError> {
-        self.packets_processed += 1;
-        let mut pkt = self.parse(wire)?;
-        let controls = self.program.controls.clone();
-        for control in &controls {
-            let apply = control.apply.clone();
-            self.exec_stmts(&apply, control, &mut pkt)?;
-        }
-        let out = self.deparse(&pkt)?;
+        let mut pkt = self.new_packet();
+        let mut out = Vec::new();
+        self.process_into(wire, &mut pkt, &mut out)?;
         Ok((pkt, out))
     }
+
+    /// Runs one packet, reusing the caller's packet and output buffer. On
+    /// the compiled path this performs no heap allocation for fields the
+    /// program interned (errors and payload growth aside).
+    pub fn process_into(
+        &mut self,
+        wire: &[u8],
+        pkt: &mut Packet,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SwitchError> {
+        self.packets_processed += 1;
+        out.clear();
+        pkt.ensure_slots(&self.compiled.slots);
+        pkt.reset();
+        if self.interpreted {
+            self.parse_interp(wire, pkt)?;
+            let controls = self.program.controls.clone();
+            for control in &controls {
+                let apply = control.apply.clone();
+                self.exec_stmts(&apply, control, pkt)?;
+            }
+            self.deparse_interp(pkt, out)
+        } else {
+            let cp = Arc::clone(&self.compiled);
+            parse_compiled(&cp, wire, pkt, &mut self.st)?;
+            for &region in &cp.applies {
+                exec_region(&cp, region, pkt, &mut self.st)?;
+            }
+            deparse_compiled(&cp, pkt, out)
+        }
+    }
+
+    // ---- interpreter oracle ---------------------------------------------
 
     fn header_def(&self, instance: &str) -> Option<&HeaderDef> {
         let ty = format!("{instance}_t");
         self.program.headers.iter().find(|h| h.name == ty)
     }
 
-    fn parse(&self, wire: &[u8]) -> Result<Packet, SwitchError> {
-        let mut pkt = Packet::default();
+    fn parse_interp(&self, wire: &[u8], pkt: &mut Packet) -> Result<(), SwitchError> {
         let Some(parser) = self.program.parser.clone() else {
-            pkt.payload = wire.to_vec();
-            return Ok(pkt);
+            pkt.payload.extend_from_slice(wire);
+            return Ok(());
         };
         let mut cursor = 0usize;
         let mut state = "start".to_string();
@@ -192,9 +281,8 @@ impl Switch {
                     .ok_or_else(|| SwitchError::Unknown(format!("header `{instance}`")))?;
                 for i in 0..def.stack {
                     for (fname, bits) in &def.fields {
-                        let v = read_field(wire, &mut cursor, *bits).ok_or(
-                            PacketError::Truncated { header: instance.clone() },
-                        )?;
+                        let v = read_field(wire, &mut cursor, *bits)
+                            .map_err(|e| field_err(e, &instance))?;
                         let path = if def.stack > 1 {
                             format!("{instance}[{i}].{fname}")
                         } else {
@@ -211,7 +299,7 @@ impl Switch {
                 Transition::Direct(t) => t.clone(),
                 Transition::Select { selector, cases, default } => {
                     let widths = self.width_fn();
-                    let (v, _) = eval(selector, &pkt, &widths);
+                    let (v, _) = eval(selector, pkt, &widths);
                     cases
                         .iter()
                         .find(|(c, _)| *c == v)
@@ -220,16 +308,16 @@ impl Switch {
                 }
             };
         }
-        pkt.payload = wire[cursor..].to_vec();
-        Ok(pkt)
+        pkt.payload.extend_from_slice(&wire[cursor..]);
+        Ok(())
     }
 
-    fn deparse(&self, pkt: &Packet) -> Result<Vec<u8>, SwitchError> {
-        let mut out = Vec::new();
-        for instance in &pkt.order {
-            if !pkt.is_valid(instance) {
+    fn deparse_interp(&self, pkt: &Packet, out: &mut Vec<u8>) -> Result<(), SwitchError> {
+        for &id in pkt.order_ids() {
+            if !pkt.is_valid_id(id) {
                 continue;
             }
+            let instance = pkt.instance_name(id);
             let def = self
                 .header_def(instance)
                 .ok_or_else(|| SwitchError::Unknown(format!("header `{instance}`")))?;
@@ -240,16 +328,16 @@ impl Switch {
                     } else {
                         format!("{instance}.{fname}")
                     };
-                    write_field(&mut out, pkt.get(&path), *bits);
+                    write_field(out, pkt.get(&path), *bits).map_err(|e| field_err(e, instance))?;
                 }
             }
         }
         out.extend_from_slice(&pkt.payload);
-        Ok(out)
+        Ok(())
     }
 
     fn width_fn(&self) -> impl Fn(&str) -> u32 + '_ {
-        move |path: &str| self.field_widths.get(path).copied().unwrap_or(32)
+        move |path: &str| self.compiled.field_widths.get(path).copied().unwrap_or(32)
     }
 
     fn exec_stmts(
@@ -267,7 +355,7 @@ impl Switch {
     fn assign(&self, pkt: &mut Packet, dst: &Expr, value: u64) {
         let Expr::Field(segs) = dst else { return };
         let path = canonical(segs);
-        let width = self.field_widths.get(&path).copied().unwrap_or(32);
+        let width = self.compiled.field_widths.get(&path).copied().unwrap_or(32);
         let v = value & mask_of(width);
         if segs.first().map(|s| s.name.as_str()) == Some("meta") {
             pkt.set_meta(&path, v);
@@ -303,9 +391,9 @@ impl Switch {
                     .register_action(ra)
                     .ok_or_else(|| SwitchError::Unknown(format!("RegisterAction `{ra}`")))?
                     .clone();
-                let reg = control
-                    .register(&radef.register)
-                    .ok_or_else(|| SwitchError::Unknown(format!("register `{}`", radef.register)))?;
+                let reg = control.register(&radef.register).ok_or_else(|| {
+                    SwitchError::Unknown(format!("register `{}`", radef.register))
+                })?;
                 let bits = reg.elem_bits;
                 let widths = self.width_fn();
                 let (idx, _) = eval(index, pkt, &widths);
@@ -318,13 +406,14 @@ impl Switch {
                     ops.push(eval(o, pkt, &widths).0 & mask_of(bits));
                 }
                 drop(widths);
-                let cells = self
-                    .registers
-                    .get_mut(&radef.register)
-                    .ok_or_else(|| SwitchError::Unknown(format!("register `{}`", radef.register)))?;
+                let reg_i =
+                    self.compiled.reg_index.get(&radef.register).copied().ok_or_else(|| {
+                        SwitchError::Unknown(format!("register `{}`", radef.register))
+                    })?;
+                let cells = &mut self.st.registers[reg_i as usize];
                 let i = (idx as usize).min(cells.len().saturating_sub(1));
                 let old = cells.get(i).copied().unwrap_or(0);
-                let sty = netcl_sema::Ty::Int { bits: (bits as u8).max(8).min(64), signed: false };
+                let sty = netcl_sema::Ty::Int { bits: (bits as u8).clamp(8, 64), signed: false };
                 let (new, ret) = radef.op.execute(old, cond, &ops, sty);
                 if let Some(cell) = cells.get_mut(i) {
                     *cell = new & mask_of(bits);
@@ -361,8 +450,7 @@ impl Switch {
                     Expr::TableMiss(t) => !self.apply_table(t, control, pkt)?,
                     other => {
                         let widths = self.width_fn();
-                        let r = eval(other, pkt, &widths).0 != 0;
-                        r
+                        eval(other, pkt, &widths).0 != 0
                     }
                 };
                 if taken {
@@ -381,8 +469,8 @@ impl Switch {
                 let v = match func.as_str() {
                     "random" => {
                         // SplitMix64, mirroring the IR interpreter's RNG.
-                        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                        let mut z = self.rng;
+                        self.st.rng = self.st.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let mut z = self.st.rng;
                         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                         z ^ (z >> 31)
@@ -427,7 +515,12 @@ impl Switch {
         let widths = self.width_fn();
         let key_vals: Vec<u64> = t.keys.iter().map(|(k, _)| eval(k, pkt, &widths).0).collect();
         drop(widths);
-        let entries = self.tables.get(name).cloned().unwrap_or_default();
+        let entries = self
+            .compiled
+            .table_index
+            .get(name)
+            .map(|&i| self.st.tables[i as usize].clone())
+            .unwrap_or_default();
         let hit = entries.iter().find(|e| {
             e.keys.len() == key_vals.len()
                 && e.keys.iter().zip(&key_vals).all(|(ek, kv)| match ek {
@@ -464,11 +557,8 @@ impl Switch {
         pkt: &mut Packet,
     ) -> Result<(), SwitchError> {
         // Bind parameters as metadata under their bare names (action-local).
-        let saved: Vec<(String, Option<u64>)> = action
-            .params
-            .iter()
-            .map(|(n, _)| (n.clone(), pkt.meta.get(n).copied()))
-            .collect();
+        let saved: Vec<(String, Option<u64>)> =
+            action.params.iter().map(|(n, _)| (n.clone(), pkt.meta_opt(n))).collect();
         for ((n, w), v) in action.params.iter().zip(args) {
             pkt.set_meta(n, v & mask_of(*w));
         }
@@ -476,13 +566,356 @@ impl Switch {
         for (n, old) in saved {
             match old {
                 Some(v) => pkt.set_meta(&n, v),
-                None => {
-                    pkt.meta.remove(&n);
-                }
+                None => pkt.meta_remove(&n),
             }
         }
         Ok(())
     }
+}
+
+// ---- compiled fast path -------------------------------------------------
+
+/// Evaluates a postfix expression region against the reusable stack.
+/// Re-entrant: operates relative to the current stack top.
+fn eval_ref(
+    cp: &CompiledProgram,
+    r: Span,
+    pkt: &Packet,
+    stack: &mut Vec<(u64, u32)>,
+) -> (u64, u32) {
+    let base = stack.len();
+    for op in &cp.eops[r.start as usize..(r.start + r.len) as usize] {
+        match *op {
+            EOp::Const(v, w) => stack.push((v, w)),
+            EOp::Load(s, w) => stack.push((pkt.value(s), w)),
+            EOp::LoadBare { meta, hdr, width } => {
+                let v = if pkt.meta_present(meta) { pkt.value(meta) } else { pkt.value(hdr) };
+                stack.push((v, width));
+            }
+            EOp::LoadValid(i) => stack.push((pkt.is_valid_id(i) as u64, 1)),
+            EOp::Bin(op) => {
+                let (vb, wb) = stack.pop().expect("postfix underflow");
+                let top = stack.last_mut().expect("postfix underflow");
+                *top = bin_value(op, top.0, top.1, vb, wb);
+            }
+            EOp::Not => {
+                let top = stack.last_mut().expect("postfix underflow");
+                *top = ((top.0 == 0) as u64, 1);
+            }
+            EOp::BitNot => {
+                let top = stack.last_mut().expect("postfix underflow");
+                *top = ((!top.0) & mask_of(top.1), top.1);
+            }
+            EOp::Cast(bits) => {
+                let top = stack.last_mut().expect("postfix underflow");
+                *top = (top.0 & mask_of(bits), bits);
+            }
+            EOp::Slice(hi, lo) => {
+                let top = stack.last_mut().expect("postfix underflow");
+                let width = hi - lo + 1;
+                *top = ((top.0 >> lo) & mask_of(width), width);
+            }
+        }
+    }
+    debug_assert_eq!(stack.len(), base + 1, "unbalanced postfix expression");
+    stack.pop().expect("postfix produced no value")
+}
+
+fn assign_to(pkt: &mut Packet, dst: Dest, v: u64) {
+    match dst {
+        Dest::None => {}
+        Dest::Header(s, w) => pkt.set_value(s, v & mask_of(w)),
+        Dest::Meta(s, w) => pkt.set_meta_slot(s, v & mask_of(w)),
+    }
+}
+
+fn fail(cp: &CompiledProgram, id: u32) -> SwitchError {
+    SwitchError::Unknown(cp.fail_msg(id).to_string())
+}
+
+fn parse_compiled(
+    cp: &CompiledProgram,
+    wire: &[u8],
+    pkt: &mut Packet,
+    st: &mut RuntimeState,
+) -> Result<(), SwitchError> {
+    let Some(parser) = &cp.parser else {
+        pkt.payload.extend_from_slice(wire);
+        return Ok(());
+    };
+    let mut cursor = 0usize;
+    let mut state = parser.start;
+    let mut hops = 0;
+    loop {
+        if matches!(state, StateRef::Accept | StateRef::Reject) {
+            break;
+        }
+        hops += 1;
+        if hops > 64 {
+            return Err(SwitchError::Unknown("parser loop".into()));
+        }
+        let si = match state {
+            StateRef::State(i) => i as usize,
+            StateRef::Unknown(m) => return Err(fail(cp, m)),
+            _ => unreachable!(),
+        };
+        let cstate = &parser.states[si];
+        for ex in &cstate.extracts {
+            match *ex {
+                CExtract::Unknown(m) => return Err(fail(cp, m)),
+                CExtract::Header(inst) => {
+                    let plan = cp.slots.layout(inst).expect("extract compiled for known header");
+                    for &(slot, bits) in plan {
+                        let v = read_field(wire, &mut cursor, bits)
+                            .map_err(|e| field_err(e, pkt.instance_name(inst)))?;
+                        pkt.set_value(slot, v);
+                    }
+                    pkt.set_valid_id(inst, true);
+                }
+            }
+        }
+        state = match &cstate.transition {
+            CTransition::Accept => StateRef::Accept,
+            CTransition::Reject => StateRef::Reject,
+            CTransition::Direct(t) => *t,
+            CTransition::Select { selector, cases, default } => {
+                let (v, _) = eval_ref(cp, *selector, pkt, &mut st.stack);
+                cases.iter().find(|(c, _)| *c == v).map(|(_, t)| *t).unwrap_or(*default)
+            }
+        };
+    }
+    pkt.payload.extend_from_slice(&wire[cursor..]);
+    Ok(())
+}
+
+fn deparse_compiled(
+    cp: &CompiledProgram,
+    pkt: &Packet,
+    out: &mut Vec<u8>,
+) -> Result<(), SwitchError> {
+    for &inst in pkt.order_ids() {
+        if !pkt.is_valid_id(inst) {
+            continue;
+        }
+        let Some(plan) = cp.slots.layout(inst) else {
+            return Err(SwitchError::Unknown(format!("header `{}`", pkt.instance_name(inst))));
+        };
+        for &(slot, bits) in plan {
+            write_field(out, pkt.value(slot), bits)
+                .map_err(|e| field_err(e, pkt.instance_name(inst)))?;
+        }
+    }
+    out.extend_from_slice(&pkt.payload);
+    Ok(())
+}
+
+fn exec_region(
+    cp: &CompiledProgram,
+    region: Span,
+    pkt: &mut Packet,
+    st: &mut RuntimeState,
+) -> Result<(), SwitchError> {
+    let start = region.start as usize;
+    let end = start + region.len as usize;
+    let mut pc = start;
+    while pc < end {
+        match cp.cops[pc] {
+            COp::Assign { dst, expr } => {
+                let (v, _) = eval_ref(cp, expr, pkt, &mut st.stack);
+                assign_to(pkt, dst, v);
+            }
+            COp::CallAction(a) => call_action(cp, a, 0, 0, pkt, st)?,
+            COp::ApplyTable(t) => {
+                apply_table_compiled(cp, t, pkt, st)?;
+            }
+            COp::ExecRegAction { dst, ra, index } => exec_reg_action(cp, dst, ra, index, pkt, st)?,
+            COp::HashGet { dst, hash, args } => {
+                let ch = &cp.hashes[hash as usize];
+                let mut key = 0u64;
+                let mut key_bits = 0u32;
+                for ai in args.start..args.start + args.len {
+                    let (v, w) = eval_ref(cp, cp.args[ai as usize], pkt, &mut st.stack);
+                    key |= (v & mask_of(w)) << key_bits.min(63);
+                    key_bits += w;
+                }
+                let key_bytes = key_bits.div_ceil(8).max(1);
+                let v = ch.algo.compute(key, key_bytes, ch.out_bits.min(64) as u8);
+                assign_to(pkt, dst, v);
+            }
+            COp::ExternCall { dst, func, args } => {
+                let vbase = st.scratch.len();
+                for ai in args.start..args.start + args.len {
+                    let (v, _) = eval_ref(cp, cp.args[ai as usize], pkt, &mut st.stack);
+                    st.scratch.push(v);
+                }
+                let v = match func {
+                    ExternFn::Random => {
+                        st.rng = st.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let mut z = st.rng;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                        z ^ (z >> 31)
+                    }
+                    ExternFn::Intrinsic(i) => {
+                        let (target, name) = &cp.externs[i as usize];
+                        eval_intrinsic(target, name, &st.scratch[vbase..])
+                    }
+                };
+                st.scratch.truncate(vbase);
+                assign_to(pkt, dst, v);
+            }
+            COp::BranchExpr { cond, else_skip } => {
+                if eval_ref(cp, cond, pkt, &mut st.stack).0 == 0 {
+                    pc += else_skip as usize;
+                }
+            }
+            COp::BranchTable { table, want_hit, else_skip } => {
+                let hit = apply_table_compiled(cp, table, pkt, st)?;
+                if hit != want_hit {
+                    pc += else_skip as usize;
+                }
+            }
+            COp::Jump(n) => pc += n as usize,
+            COp::SetValid(i) => pkt.set_valid_id(i, true),
+            COp::SetInvalid(i) => pkt.set_valid_id(i, false),
+            COp::Fail(m) => return Err(fail(cp, m)),
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+/// Invokes a compiled action. `args_base`/`args_len` index the scratch
+/// buffer (stack discipline keeps nested calls allocation-free).
+fn call_action(
+    cp: &CompiledProgram,
+    action: u32,
+    args_base: usize,
+    args_len: usize,
+    pkt: &mut Packet,
+    st: &mut RuntimeState,
+) -> Result<(), SwitchError> {
+    let a = &cp.actions[action as usize];
+    let save_base = st.param_saves.len();
+    for &(slot, _) in &a.params {
+        st.param_saves.push((slot, pkt.value(slot), pkt.meta_present(slot)));
+    }
+    for (i, &(slot, w)) in a.params.iter().take(args_len).enumerate() {
+        let v = st.scratch[args_base + i];
+        pkt.set_meta_slot(slot, v & mask_of(w));
+    }
+    let r = exec_region(cp, a.body, pkt, st);
+    if r.is_ok() {
+        // The interpreter restores bindings only on success; match it.
+        for i in save_base..st.param_saves.len() {
+            let (slot, val, present) = st.param_saves[i];
+            if present {
+                pkt.set_meta_slot(slot, val);
+            } else {
+                pkt.clear_meta_slot(slot);
+            }
+        }
+    }
+    st.param_saves.truncate(save_base);
+    r
+}
+
+/// Applies a compiled table; returns hit/miss.
+fn apply_table_compiled(
+    cp: &CompiledProgram,
+    table: u32,
+    pkt: &mut Packet,
+    st: &mut RuntimeState,
+) -> Result<bool, SwitchError> {
+    let t = &cp.tables[table as usize];
+    let kbase = st.keys.len();
+    for &(kref, _) in &t.keys {
+        let v = eval_ref(cp, kref, pkt, &mut st.stack).0;
+        st.keys.push(v);
+    }
+    let nkeys = st.keys.len() - kbase;
+    let state = t.state as usize;
+    let mut hit_idx = None;
+    {
+        let entries = &st.tables[state];
+        let keys = &st.keys[kbase..];
+        for (ei, e) in entries.iter().enumerate() {
+            let matches = e.keys.len() == nkeys
+                && e.keys.iter().zip(keys).all(|(ek, kv)| match ek {
+                    EntryKey::Value(v) => v == kv,
+                    EntryKey::Range(lo, hi) => lo <= kv && kv <= hi,
+                });
+            if matches {
+                hit_idx = Some(ei);
+                break;
+            }
+        }
+    }
+    st.keys.truncate(kbase);
+    match hit_idx {
+        Some(ei) => {
+            // Entry actions resolve by name in the applying table's scope
+            // (runtime entries may name any action; unknown ones are
+            // silently skipped, as in the interpreter).
+            let aid = t.action_ids.get(st.tables[state][ei].action.as_str()).copied();
+            if let Some(aid) = aid {
+                let abase = st.scratch.len();
+                {
+                    let RuntimeState { tables, scratch, .. } = st;
+                    scratch.extend_from_slice(&tables[state][ei].args);
+                }
+                let n_args = st.scratch.len() - abase;
+                let r = call_action(cp, aid, abase, n_args, pkt, st);
+                st.scratch.truncate(abase);
+                r?;
+            }
+            Ok(true)
+        }
+        None => {
+            if let Some(aid) = t.default_action {
+                call_action(cp, aid, 0, 0, pkt, st)?;
+            }
+            Ok(false)
+        }
+    }
+}
+
+fn exec_reg_action(
+    cp: &CompiledProgram,
+    dst: Dest,
+    ra: u32,
+    index: Span,
+    pkt: &mut Packet,
+    st: &mut RuntimeState,
+) -> Result<(), SwitchError> {
+    let cra = &cp.reg_actions[ra as usize];
+    let (idx, _) = eval_ref(cp, index, pkt, &mut st.stack);
+    let cond = match cra.cond {
+        Some(c) => eval_ref(cp, c, pkt, &mut st.stack).0 != 0,
+        None => true,
+    };
+    let bits = cra.elem_bits;
+    let obase = st.scratch.len();
+    for ai in cra.operands.start..cra.operands.start + cra.operands.len {
+        let v = eval_ref(cp, cp.args[ai as usize], pkt, &mut st.stack).0 & mask_of(bits);
+        st.scratch.push(v);
+    }
+    let sty = netcl_sema::Ty::Int { bits: (bits as u8).clamp(8, 64), signed: false };
+    let (new, ret) = {
+        let RuntimeState { registers, scratch, .. } = st;
+        let cells = &mut registers[cra.reg as usize];
+        let i = (idx as usize).min(cells.len().saturating_sub(1));
+        let old = cells.get(i).copied().unwrap_or(0);
+        let (new, ret) = cra.op.execute(old, cond, &scratch[obase..], sty);
+        if let Some(cell) = cells.get_mut(i) {
+            *cell = new & mask_of(bits);
+        }
+        (new, ret)
+    };
+    let _ = new;
+    st.scratch.truncate(obase);
+    assign_to(pkt, dst, ret);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -552,8 +985,8 @@ mod tests {
 
     fn wire(k: u16, v: u16) -> Vec<u8> {
         let mut out = Vec::new();
-        write_field(&mut out, k as u64, 16);
-        write_field(&mut out, v as u64, 16);
+        write_field(&mut out, k as u64, 16).unwrap();
+        write_field(&mut out, v as u64, 16).unwrap();
         out
     }
 
@@ -601,6 +1034,82 @@ mod tests {
         let mut sw = Switch::new(counting_program());
         let r = sw.process(&[0x01]);
         assert!(matches!(r, Err(SwitchError::Packet(PacketError::Truncated { .. }))));
+        // The interpreter agrees.
+        sw.set_interpreted(true);
+        let r = sw.process(&[0x01]);
+        assert!(matches!(r, Err(SwitchError::Packet(PacketError::Truncated { .. }))));
+    }
+
+    /// The compiled path and the interpreter oracle agree byte-for-byte on
+    /// outputs and register state, including across control-plane updates.
+    #[test]
+    fn compiled_matches_interpreter() {
+        let mut fast = Switch::new(counting_program());
+        let mut oracle = Switch::new(counting_program());
+        oracle.set_interpreted(true);
+        assert!(!fast.interpreted());
+        assert!(oracle.interpreted());
+
+        let extra =
+            TableEntry { keys: vec![EntryKey::Value(3)], action: "setv".into(), args: vec![42] };
+        assert!(fast.table_insert("t", extra.clone()));
+        assert!(oracle.table_insert("t", extra));
+
+        for (k, v) in [(7u16, 0u16), (8, 5), (3, 1), (7, 7), (0xFFFF, 0xFFFF)] {
+            let (pf, of) = fast.process(&wire(k, v)).unwrap();
+            let (po, oo) = oracle.process(&wire(k, v)).unwrap();
+            assert_eq!(of, oo, "output diverges on k={k} v={v}");
+            assert_eq!(pf.get("h.v"), po.get("h.v"));
+        }
+        let fr: Vec<_> = fast.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+        let or: Vec<_> = oracle.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+        assert_eq!(fr, or, "register state diverges");
+    }
+
+    /// Deferred compilation errors surface with the interpreter's message,
+    /// at the same (execution) time.
+    #[test]
+    fn unknown_action_fails_lazily_like_interpreter() {
+        let mut p = counting_program();
+        // Reference a missing action, but only behind a miss-only branch.
+        p.controls[0].apply = vec![Stmt::If {
+            cond: Expr::Bin(
+                P4BinOp::Eq,
+                Box::new(Expr::field(&["hdr", "h", "k"])),
+                Box::new(Expr::val(1, 16)),
+            ),
+            then: vec![Stmt::CallAction("missing".into())],
+            els: vec![],
+        }];
+        let mut fast = Switch::new(p.clone());
+        let mut oracle = Switch::new(p);
+        oracle.set_interpreted(true);
+        // Not taken: no error.
+        assert!(fast.process(&wire(2, 0)).is_ok());
+        assert!(oracle.process(&wire(2, 0)).is_ok());
+        // Taken: identical error text.
+        let ef = fast.process(&wire(1, 0)).unwrap_err();
+        let eo = oracle.process(&wire(1, 0)).unwrap_err();
+        assert_eq!(ef, eo);
+        assert_eq!(ef, SwitchError::Unknown("action `missing`".into()));
+    }
+
+    /// `process_into` reuses caller buffers and matches `process`.
+    #[test]
+    fn process_into_reuses_buffers() {
+        let mut sw = Switch::new(counting_program());
+        let mut pkt = sw.new_packet();
+        let mut out = Vec::new();
+        sw.process_into(&wire(7, 0), &mut pkt, &mut out).unwrap();
+        assert_eq!(out, wire(7, 99));
+        // Second run reuses the same packet without stale state.
+        sw.process_into(&wire(8, 5), &mut pkt, &mut out).unwrap();
+        assert_eq!(out, wire(8, 5));
+        assert_eq!(pkt.get("h.v"), 5);
+        // A default packet is re-shaped on entry.
+        let mut stale = Packet::default();
+        sw.process_into(&wire(7, 0), &mut stale, &mut out).unwrap();
+        assert_eq!(out, wire(7, 99));
     }
 
     /// Differential test: the compiled Fig. 4 kernel behaves identically on
@@ -620,23 +1129,23 @@ mod tests {
         for (op, k) in [(1u64, 2u64), (1, 99), (1, 2), (0, 3), (1, 99), (1, 4)] {
             // IR side.
             let mut args = vec![vec![op], vec![k], vec![0u64], vec![0u64], vec![0u64]];
-            let r = netcl_ir::interp::execute(kernel, module, &mut st, &mut args, &mut env)
-                .unwrap();
+            let r =
+                netcl_ir::interp::execute(kernel, module, &mut st, &mut args, &mut env).unwrap();
 
             // P4 side: build the NetCL wire packet (Fig. 10 layout).
             let mut w = Vec::new();
-            write_field(&mut w, 1, 16); // src
-            write_field(&mut w, 2, 16); // dst
-            write_field(&mut w, 1, 16); // from
-            write_field(&mut w, 1, 16); // to (this device)
-            write_field(&mut w, 1, 8); // comp
-            write_field(&mut w, 0, 8); // action
-            write_field(&mut w, 0, 16); // target
-            write_field(&mut w, op, 8); // a0_op
-            write_field(&mut w, k, 32); // a1_k
-            write_field(&mut w, 0, 32); // a2_v
-            write_field(&mut w, 0, 8); // a3_hit
-            write_field(&mut w, 0, 32); // a4_hot
+            write_field(&mut w, 1, 16).unwrap(); // src
+            write_field(&mut w, 2, 16).unwrap(); // dst
+            write_field(&mut w, 1, 16).unwrap(); // from
+            write_field(&mut w, 1, 16).unwrap(); // to (this device)
+            write_field(&mut w, 1, 8).unwrap(); // comp
+            write_field(&mut w, 0, 8).unwrap(); // action
+            write_field(&mut w, 0, 16).unwrap(); // target
+            write_field(&mut w, op, 8).unwrap(); // a0_op
+            write_field(&mut w, k, 32).unwrap(); // a1_k
+            write_field(&mut w, 0, 32).unwrap(); // a2_v
+            write_field(&mut w, 0, 8).unwrap(); // a3_hit
+            write_field(&mut w, 0, 32).unwrap(); // a4_hot
             let (pkt, _) = sw.process(&w).unwrap();
 
             assert_eq!(

@@ -358,9 +358,9 @@ impl InlinePlan {
                             continue;
                         }
                         let max_use = vuses.iter().map(|(_, j)| *j).max().unwrap();
-                        let clean = b.insts[i + 1..max_use.min(b.insts.len())]
-                            .iter()
-                            .all(|x| !matches!(&x.kind, InstKind::ArgWrite { arg: a, .. } if a == arg));
+                        let clean = b.insts[i + 1..max_use.min(b.insts.len())].iter().all(
+                            |x| !matches!(&x.kind, InstKind::ArgWrite { arg: a, .. } if a == arg),
+                        );
                         if !clean {
                             continue;
                         }
@@ -457,11 +457,9 @@ impl<'a, 'b> KernelCg<'a, 'b> {
     fn cond_expr(&self, op: Operand) -> Expr {
         match op {
             Operand::Const(c, _) => Expr::Bool(c != 0),
-            Operand::Value(_) => Expr::Bin(
-                P4BinOp::Eq,
-                Box::new(self.op_expr(op)),
-                Box::new(Expr::Const(1, 1)),
-            ),
+            Operand::Value(_) => {
+                Expr::Bin(P4BinOp::Eq, Box::new(self.op_expr(op)), Box::new(Expr::Const(1, 1)))
+            }
         }
     }
 
@@ -569,9 +567,7 @@ impl<'a, 'b> KernelCg<'a, 'b> {
                             ),
                             _ => {
                                 // 32-bit: two slice pairs.
-                                let sl = |hi, lo| {
-                                    Expr::Slice(Box::new(self.op_expr(*a)), hi, lo)
-                                };
+                                let sl = |hi, lo| Expr::Slice(Box::new(self.op_expr(*a)), hi, lo);
                                 // (b0 << 24)|(b1 << 16)|(b2 << 8)|b3 via casts.
                                 let b0 = Expr::Cast(32, Box::new(sl(7, 0)));
                                 let b1 = Expr::Cast(32, Box::new(sl(15, 8)));
@@ -608,10 +604,7 @@ impl<'a, 'b> KernelCg<'a, 'b> {
                         let n = self.cg.fresh("clz");
                         let key = format!("{}_clzk{}", self.prefix(), n);
                         self.cg.control.locals.push((key.clone(), src_w));
-                        out.push(Stmt::Assign(
-                            Expr::field(&["meta", &key]),
-                            self.op_expr(*a),
-                        ));
+                        out.push(Stmt::Assign(Expr::field(&["meta", &key]), self.op_expr(*a)));
                         let act = format!("clz_set_{n}");
                         self.cg.control.actions.push(ActionDef {
                             name: act.clone(),
@@ -843,7 +836,10 @@ impl<'a, 'b> KernelCg<'a, 'b> {
         let ae = self.op_expr(a);
         let be = self.op_expr(b);
         let simple = |p4op: P4BinOp| -> Vec<Stmt> {
-            vec![Stmt::Assign(dst.clone(), Expr::Bin(p4op, Box::new(ae.clone()), Box::new(be.clone())))]
+            vec![Stmt::Assign(
+                dst.clone(),
+                Expr::Bin(p4op, Box::new(ae.clone()), Box::new(be.clone())),
+            )]
         };
         Ok(match op {
             IrBinOp::Add => simple(P4BinOp::Add),
@@ -1111,7 +1107,13 @@ impl<'a, 'b> KernelCg<'a, 'b> {
             None => {
                 // Dynamic index: index table (Fig. 9 rightmost column).
                 debug_assert!(is_read, "dynamic local writes go through local_store");
-                let tmp = self.index_table_read(&name, info.count, (info.ty.bits as u32).max(8), index, out);
+                let tmp = self.index_table_read(
+                    &name,
+                    info.count,
+                    (info.ty.bits as u32).max(8),
+                    index,
+                    out,
+                );
                 Ok(tmp)
             }
         }
@@ -1142,7 +1144,14 @@ impl<'a, 'b> KernelCg<'a, 'b> {
                 ));
             }
             None => {
-                self.index_table_write(&name, info.count, (info.ty.bits as u32).max(8), index, value, out);
+                self.index_table_write(
+                    &name,
+                    info.count,
+                    (info.ty.bits as u32).max(8),
+                    index,
+                    value,
+                    out,
+                );
             }
         }
         Ok(())
@@ -1168,7 +1177,13 @@ impl<'a, 'b> KernelCg<'a, 'b> {
             ])),
             None => {
                 debug_assert!(is_read);
-                Ok(self.index_table_read(&stack, info.count, (info.ty.bits as u32).max(8), index, out))
+                Ok(self.index_table_read(
+                    &stack,
+                    info.count,
+                    (info.ty.bits as u32).max(8),
+                    index,
+                    out,
+                ))
             }
         }
     }
@@ -1198,7 +1213,14 @@ impl<'a, 'b> KernelCg<'a, 'b> {
                 ));
             }
             None => {
-                self.index_table_write(&stack, info.count, (info.ty.bits as u32).max(8), index, value, out);
+                self.index_table_write(
+                    &stack,
+                    info.count,
+                    (info.ty.bits as u32).max(8),
+                    index,
+                    value,
+                    out,
+                );
             }
         }
         Ok(())
@@ -1240,7 +1262,11 @@ impl<'a, 'b> KernelCg<'a, 'b> {
                 )],
             });
             actions.push(act.clone());
-            entries.push(TableEntry { keys: vec![EntryKey::Value(k as u64)], action: act, args: vec![] });
+            entries.push(TableEntry {
+                keys: vec![EntryKey::Value(k as u64)],
+                action: act,
+                args: vec![],
+            });
         }
         self.cg.control.tables.push(TableDef {
             name: format!("idx_tbl_r{n}"),
@@ -1291,7 +1317,11 @@ impl<'a, 'b> KernelCg<'a, 'b> {
                 )],
             });
             actions.push(act.clone());
-            entries.push(TableEntry { keys: vec![EntryKey::Value(k as u64)], action: act, args: vec![] });
+            entries.push(TableEntry {
+                keys: vec![EntryKey::Value(k as u64)],
+                action: act,
+                args: vec![],
+            });
         }
         self.cg.control.tables.push(TableDef {
             name: format!("idx_tbl_w{n}"),

@@ -143,11 +143,8 @@ impl Compiler {
             return Err(render(&diags, &unit.source_map));
         }
 
-        let devices = self
-            .options
-            .devices
-            .clone()
-            .unwrap_or_else(|| analysis.model.mentioned_devices());
+        let devices =
+            self.options.devices.clone().unwrap_or_else(|| analysis.model.mentioned_devices());
 
         let mut out_devices = Vec::new();
         for dev in devices {
@@ -160,7 +157,10 @@ impl Compiler {
             if let Err(errs) = netcl_ir::verify::verify_module(&base) {
                 let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
                 return Err(CompileError {
-                    message: format!("internal: lowered IR fails verification:\n{}", msgs.join("\n")),
+                    message: format!(
+                        "internal: lowered IR fails verification:\n{}",
+                        msgs.join("\n")
+                    ),
                     codes: vec!["E0399".into()],
                 });
             }
@@ -280,8 +280,7 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
         // TNA P4 carries the cache MAT and three CMS registers (partitioned).
         let ig = dev.tna_p4.control("Ig").unwrap();
         assert!(ig.tables.iter().any(|t| t.name.starts_with("lu_cache")), "cache MAT missing");
-        let cms_regs =
-            ig.registers.iter().filter(|r| r.name.starts_with("cms__")).count();
+        let cms_regs = ig.registers.iter().filter(|r| r.name.starts_with("cms__")).count();
         assert_eq!(cms_regs, 3, "partitioning should split cms into 3 registers");
         assert_eq!(ig.register_actions.len(), 3);
         assert!(ig.register_actions.iter().all(|ra| ra.op.name() == "atomic_sadd_new"));
@@ -295,9 +294,8 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
     /// hit → reflect + value written; miss → pass + CMS counted.
     #[test]
     fn figure4_semantics_hit_and_miss() {
-        let unit = Compiler::new(CompileOptions::default())
-            .compile("fig4.ncl", FIG4_CACHE)
-            .unwrap();
+        let unit =
+            Compiler::new(CompileOptions::default()).compile("fig4.ncl", FIG4_CACHE).unwrap();
         let dev = &unit.devices[0];
         let module = &dev.tna_ir;
         let kernel = &module.kernels[0];
@@ -319,9 +317,8 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
         // One CMS row counted once in each of the three partitions.
         let total: u64 = (0..3)
             .map(|p| {
-                let (mem, g) = module
-                    .global_by_name(&format!("cms__{p}"))
-                    .expect("partitioned cms");
+                let (mem, g) =
+                    module.global_by_name(&format!("cms__{p}")).expect("partitioned cms");
                 (0..g.element_count()).map(|i| st.read(mem, i)).sum::<u64>()
             })
             .sum();
@@ -337,9 +334,8 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
     /// Hot detection: drive the same key past THRESH misses.
     #[test]
     fn figure4_hot_key_detection() {
-        let unit = Compiler::new(CompileOptions::default())
-            .compile("fig4.ncl", FIG4_CACHE)
-            .unwrap();
+        let unit =
+            Compiler::new(CompileOptions::default()).compile("fig4.ncl", FIG4_CACHE).unwrap();
         let dev = &unit.devices[0];
         let module = &dev.tna_ir;
         let kernel = &module.kernels[0];
@@ -381,19 +377,14 @@ _net_ int m[42];
 _kernel(2) void a(int x, int &o) { o = m[0] + m[1]; }
 "#;
         // Tofino target rejects (§V-D)...
-        let err = Compiler::new(CompileOptions {
-            target: EmitTarget::Tna,
-            ..Default::default()
-        })
-        .compile("t.ncl", src)
-        .unwrap_err();
+        let err = Compiler::new(CompileOptions { target: EmitTarget::Tna, ..Default::default() })
+            .compile("t.ncl", src)
+            .unwrap_err();
         assert!(err.codes.iter().any(|c| c == "E0302"), "{err}");
         // ...while the v1model software switch accepts.
-        let ok = Compiler::new(CompileOptions {
-            target: EmitTarget::V1Model,
-            ..Default::default()
-        })
-        .compile("t.ncl", src);
+        let ok =
+            Compiler::new(CompileOptions { target: EmitTarget::V1Model, ..Default::default() })
+                .compile("t.ncl", src);
         assert!(ok.is_ok(), "{:?}", ok.err().map(|e| e.message));
     }
 
@@ -411,9 +402,7 @@ _kernel(1) _at(1,2) void a(int x, int &o) {
         // device.id materialization folds each device's branch away: each
         // module's kernel has exactly one atomic.
         for d in &unit.devices {
-            let atomics: usize = d
-                .tna_ir
-                .kernels[0]
+            let atomics: usize = d.tna_ir.kernels[0]
                 .blocks
                 .iter()
                 .map(|b| {
@@ -429,9 +418,8 @@ _kernel(1) _at(1,2) void a(int x, int &o) {
 
     #[test]
     fn timings_populated() {
-        let unit = Compiler::new(CompileOptions::default())
-            .compile("fig4.ncl", FIG4_CACHE)
-            .unwrap();
+        let unit =
+            Compiler::new(CompileOptions::default()).compile("fig4.ncl", FIG4_CACHE).unwrap();
         assert!(unit.timings.total() > Duration::ZERO);
     }
 }

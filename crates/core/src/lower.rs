@@ -190,10 +190,10 @@ impl<'a> Lower<'a> {
             let in_message = pi.mode != PassMode::Value;
             self.builder.add_arg(&pi.name, ir_storage_ty(pi.ty), pi.count, in_message);
             if in_message {
-                self.scopes.last_mut().unwrap().insert(
-                    p.name,
-                    Binding::ArgMsg { index: i as u32, ty: pi.ty },
-                );
+                self.scopes
+                    .last_mut()
+                    .unwrap()
+                    .insert(p.name, Binding::ArgMsg { index: i as u32, ty: pi.ty });
             } else {
                 // By-value: copy into a local so updates stay device-local.
                 let slot = self.builder.add_local(&pi.name, ir_storage_ty(pi.ty), pi.count);
@@ -208,10 +208,7 @@ impl<'a> Lower<'a> {
                         ir_storage_ty(pi.ty),
                     );
                 }
-                self.scopes
-                    .last_mut()
-                    .unwrap()
-                    .insert(p.name, Binding::Local { slot, ty: pi.ty });
+                self.scopes.last_mut().unwrap().insert(p.name, Binding::Local { slot, ty: pi.ty });
             }
         }
         if let Some(body) = &decl.body {
@@ -300,11 +297,11 @@ impl<'a> Lower<'a> {
                 Some(ctx) => self.builder.terminate(Terminator::Br(ctx.continue_to)),
                 None => self.error("E0221", "`continue` outside loop".into(), *span),
             },
-            Stmt::Return { value, span } => self.lower_return(value.as_ref(), *span, inline_ret),
+            Stmt::Return { value, span: _ } => self.lower_return(value.as_ref(), inline_ret),
         }
     }
 
-    fn lower_return(&mut self, value: Option<&Expr>, span: Span, inline_ret: Option<&InlineRet>) {
+    fn lower_return(&mut self, value: Option<&Expr>, inline_ret: Option<&InlineRet>) {
         if let Some(ir) = inline_ret {
             // Inlined net function: store the value (if any), jump to exit.
             if let (Some(v), Some((slot, ty))) = (value, ir.slot) {
@@ -323,13 +320,13 @@ impl<'a> Lower<'a> {
         }
         match value {
             None => self.builder.terminate(Terminator::Ret(ActionRef::pass())),
-            Some(v) => self.lower_action_expr(v, span),
+            Some(v) => self.lower_action_expr(v),
         }
     }
 
     /// Lowers a kernel `return <expr>` where expr is an action, a void call,
     /// or a ternary mixing them (Fig. 4 line 19).
-    fn lower_action_expr(&mut self, e: &Expr, span: Span) {
+    fn lower_action_expr(&mut self, e: &Expr) {
         match &e.kind {
             ExprKind::Ternary(c, a, b) => {
                 let cond = self.condition(c);
@@ -337,25 +334,23 @@ impl<'a> Lower<'a> {
                 let else_bb = self.builder.new_block();
                 self.builder.terminate(Terminator::CondBr { cond, then_bb, else_bb });
                 self.builder.switch_to(then_bb);
-                self.lower_action_expr(a, span);
+                self.lower_action_expr(a);
                 self.builder.switch_to(else_bb);
-                self.lower_action_expr(b, span);
+                self.lower_action_expr(b);
             }
             ExprKind::Call { callee, args } => {
-                if let Some(b) = self.resolve_builtin(callee) {
-                    if let Builtin::Action(kind) = b {
-                        let target = match args.first() {
-                            Some(t) => {
-                                let (op, ty) = self.expr(t);
-                                Some(self.coerce(op, ty, Ty::U16))
-                            }
-                            None => None,
-                        };
-                        if !self.builder.is_terminated() {
-                            self.builder.terminate(Terminator::Ret(ActionRef { kind, target }));
+                if let Some(Builtin::Action(kind)) = self.resolve_builtin(callee) {
+                    let target = match args.first() {
+                        Some(t) => {
+                            let (op, ty) = self.expr(t);
+                            Some(self.coerce(op, ty, Ty::U16))
                         }
-                        return;
+                        None => None,
+                    };
+                    if !self.builder.is_terminated() {
+                        self.builder.terminate(Terminator::Ret(ActionRef { kind, target }));
                     }
+                    return;
                 }
                 // A void net-function call followed by implicit pass().
                 self.expr(e);
@@ -385,13 +380,7 @@ impl<'a> Lower<'a> {
                 .unwrap_or(Ty::I32),
             other => Ty::from_type_expr(other).unwrap_or(Ty::I32),
         };
-        let count: u32 = d
-            .dims
-            .first()
-            .and_then(try_eval)
-            .map(|v| v as u32)
-            .unwrap_or(1)
-            .max(1);
+        let count: u32 = d.dims.first().and_then(try_eval).map(|v| v as u32).unwrap_or(1).max(1);
         let lname = self.name(d.name).to_string();
         let slot = self.builder.add_local(&lname, ir_storage_ty(ty), count);
         match &d.init {
@@ -421,10 +410,7 @@ impl<'a> Lower<'a> {
             }
             None => {}
         }
-        self.scopes
-            .last_mut()
-            .unwrap()
-            .insert(d.name, Binding::Local { slot, ty });
+        self.scopes.last_mut().unwrap().insert(d.name, Binding::Local { slot, ty });
     }
 
     // ---- loop unrolling --------------------------------------------------
@@ -518,14 +504,19 @@ impl<'a> Lower<'a> {
                     None => {
                         self.error(
                             "E0306",
-                            "loop step must be `++i`, `i++`, `i += C`, `i -= C`, or `i = i + C`".into(),
+                            "loop step must be `++i`, `i++`, `i += C`, `i -= C`, or `i = i + C`"
+                                .into(),
                             s.span,
                         );
                         break;
                     }
                 },
                 None => {
-                    self.error("E0306", "loop without a step clause cannot be unrolled".into(), *span);
+                    self.error(
+                        "E0306",
+                        "loop without a step clause cannot be unrolled".into(),
+                        *span,
+                    );
                     break;
                 }
             }
@@ -605,10 +596,8 @@ impl<'a> Lower<'a> {
                                 "from" => MsgField::From,
                                 _ => MsgField::To,
                             };
-                            let v = self
-                                .builder
-                                .emit(InstKind::MsgField { field }, IrTy::I16)
-                                .unwrap();
+                            let v =
+                                self.builder.emit(InstKind::MsgField { field }, IrTy::I16).unwrap();
                             return (Operand::Value(v), Ty::U16);
                         }
                         _ => {}
@@ -667,11 +656,7 @@ impl<'a> Lower<'a> {
                 if let Some(PlaceOrConst::Place(p)) = self.place(target) {
                     self.store_place(&p, rhs, tty);
                 } else {
-                    self.error(
-                        "E0202",
-                        "cannot assign to this expression".into(),
-                        target.span,
-                    );
+                    self.error("E0202", "cannot assign to this expression".into(), target.span);
                 }
                 (rhs, tty)
             }
@@ -700,10 +685,7 @@ impl<'a> Lower<'a> {
                     let av = self.coerce(av, at, result_ty);
                     let bv = self.coerce(bv, bt, result_ty);
                     let w = ir_value_ty(result_ty);
-                    let v = self
-                        .builder
-                        .emit(InstKind::Select { cond, a: av, b: bv }, w)
-                        .unwrap();
+                    let v = self.builder.emit(InstKind::Select { cond, a: av, b: bv }, w).unwrap();
                     (Operand::Value(v), result_ty)
                 } else {
                     // Side effects: branch + temp slot (mem2reg rebuilds SSA).
@@ -879,11 +861,7 @@ impl<'a> Lower<'a> {
             Builtin::Action(_) => {
                 // Actions reaching expression position outside `return` were
                 // rejected by sema; emit a pass-through zero.
-                self.error(
-                    "E0204",
-                    "action used outside a kernel return".into(),
-                    e.span,
-                );
+                self.error("E0204", "action used outside a kernel return".into(), e.span);
                 (Operand::imm(0, IrTy::I32), Ty::I32)
             }
             Builtin::Atomic(op) => {
@@ -927,8 +905,7 @@ impl<'a> Lower<'a> {
                 let (kv, kt) = self.expr(&args[1]);
                 let key = self.coerce(kv, kt, key_ty);
                 let (hit, value) =
-                    self.builder
-                        .emit_lookup(mem, key, ir_storage_ty(val_ty.unwrap_or(Ty::U32)));
+                    self.builder.emit_lookup(mem, key, ir_storage_ty(val_ty.unwrap_or(Ty::U32)));
                 // Conditional out-write: the destination keeps its value on a
                 // miss (§V-B example: `lookup(b, 21, y); // false, y = 42`).
                 if let (Some(out), Some(vt)) = (args.get(2), val_ty) {
@@ -953,10 +930,7 @@ impl<'a> Lower<'a> {
                 let out_ty = result_ty;
                 let h = self
                     .builder
-                    .emit(
-                        InstKind::Hash { kind: *kind, bits: *bits, a: v },
-                        ir_value_ty(out_ty),
-                    )
+                    .emit(InstKind::Hash { kind: *kind, bits: *bits, a: v }, ir_value_ty(out_ty))
                     .unwrap();
                 (Operand::Value(h), out_ty)
             }
@@ -1061,32 +1035,23 @@ impl<'a> Lower<'a> {
                     let v = self.coerce_to_storage(v, pi.ty);
                     let slot = self.builder.add_local(&pi.name, ir_storage_ty(pi.ty), 1);
                     self.builder.emit(
-                        InstKind::LocalStore {
-                            slot,
-                            index: Operand::imm(0, IrTy::I32),
-                            value: v,
-                        },
+                        InstKind::LocalStore { slot, index: Operand::imm(0, IrTy::I32), value: v },
                         ir_storage_ty(pi.ty),
                     );
                     bindings.insert(p.name, Binding::Local { slot, ty: pi.ty });
                 }
-                PassMode::Reference | PassMode::Pointer => {
-                    match self.place(arg) {
-                        Some(PlaceOrConst::Place(place)) => {
-                            bindings.insert(p.name, Binding::Alias(place));
-                        }
-                        _ => {
-                            self.error(
-                                "E0307",
-                                format!(
-                                    "cannot pass this expression by reference to `{}`",
-                                    info.name
-                                ),
-                                arg.span,
-                            );
-                        }
+                PassMode::Reference | PassMode::Pointer => match self.place(arg) {
+                    Some(PlaceOrConst::Place(place)) => {
+                        bindings.insert(p.name, Binding::Alias(place));
                     }
-                }
+                    _ => {
+                        self.error(
+                            "E0307",
+                            format!("cannot pass this expression by reference to `{}`", info.name),
+                            arg.span,
+                        );
+                    }
+                },
             }
         }
         // Return slot and exit block.
@@ -1099,7 +1064,7 @@ impl<'a> Lower<'a> {
             None
         };
         let exit = self.builder.new_block();
-        let inline_ret = InlineRet { slot: ret_slot.map(|(s, t)| (s, t)), exit };
+        let inline_ret = InlineRet { slot: ret_slot, exit };
 
         // New scope stack fragment: only the bindings (net fns can't see
         // caller locals).
@@ -1262,9 +1227,7 @@ impl<'a> Lower<'a> {
                 let v = self
                     .builder
                     .emit(
-                        InstKind::MemRead {
-                            mem: MemRef { mem: *mem, indices: indices.clone() },
-                        },
+                        InstKind::MemRead { mem: MemRef { mem: *mem, indices: indices.clone() } },
                         ir_storage_ty(*ty),
                     )
                     .unwrap();
@@ -1369,8 +1332,13 @@ fn bin_ir_op(op: BinOp, ty: Ty) -> IrBinOp {
 /// True when an expression has no side effects (safe to evaluate eagerly).
 fn is_pure(e: &Expr) -> bool {
     match &e.kind {
-        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Char(_) | ExprKind::Ident(_)
-        | ExprKind::Sizeof(_) | ExprKind::Path { .. } | ExprKind::Error => true,
+        ExprKind::Int(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Char(_)
+        | ExprKind::Ident(_)
+        | ExprKind::Sizeof(_)
+        | ExprKind::Path { .. }
+        | ExprKind::Error => true,
         ExprKind::Member(b, _) => is_pure(b),
         ExprKind::Unary(_, x) | ExprKind::Cast(_, x) => is_pure(x),
         ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => is_pure(a) && is_pure(b),

@@ -206,11 +206,7 @@ mod tests {
         let t = b.new_block();
         let e = b.new_block();
         let j = b.new_block();
-        b.terminate(Terminator::CondBr {
-            cond: Operand::imm(1, IrTy::I1),
-            then_bb: t,
-            else_bb: e,
-        });
+        b.terminate(Terminator::CondBr { cond: Operand::imm(1, IrTy::I1), then_bb: t, else_bb: e });
         b.switch_to(t);
         b.terminate(Terminator::Br(j));
         b.switch_to(e);

@@ -226,9 +226,9 @@ impl InstKind {
     /// Number of results this instruction defines.
     pub fn result_count(&self) -> usize {
         match self {
-            InstKind::LocalStore { .. }
-            | InstKind::ArgWrite { .. }
-            | InstKind::MemWrite { .. } => 0,
+            InstKind::LocalStore { .. } | InstKind::ArgWrite { .. } | InstKind::MemWrite { .. } => {
+                0
+            }
             InstKind::Lookup { .. } => 2,
             _ => 1,
         }
@@ -272,11 +272,8 @@ impl InstKind {
                 out.push(*b);
             }
             InstKind::Phi { incoming } => out.extend(incoming.iter().map(|(_, v)| *v)),
-            InstKind::LocalLoad { index, .. } | InstKind::ArgRead { index, .. } => {
-                out.push(*index)
-            }
-            InstKind::LocalStore { index, value, .. }
-            | InstKind::ArgWrite { index, value, .. } => {
+            InstKind::LocalLoad { index, .. } | InstKind::ArgRead { index, .. } => out.push(*index),
+            InstKind::LocalStore { index, value, .. } | InstKind::ArgWrite { index, value, .. } => {
                 out.push(*index);
                 out.push(*value);
             }
@@ -322,8 +319,7 @@ impl InstKind {
             InstKind::LocalLoad { index, .. } | InstKind::ArgRead { index, .. } => {
                 *index = f(*index)
             }
-            InstKind::LocalStore { index, value, .. }
-            | InstKind::ArgWrite { index, value, .. } => {
+            InstKind::LocalStore { index, value, .. } | InstKind::ArgWrite { index, value, .. } => {
                 *index = f(*index);
                 *value = f(*value);
             }
@@ -594,11 +590,7 @@ impl FuncBuilder {
 
     /// Emits an instruction, returning its primary result (if any).
     pub fn emit(&mut self, kind: InstKind, ty: IrTy) -> Option<ValueId> {
-        assert!(
-            !self.is_terminated(),
-            "emitting into terminated block {:?}",
-            self.current
-        );
+        assert!(!self.is_terminated(), "emitting into terminated block {:?}", self.current);
         let n = kind.result_count();
         let mut results = Vec::with_capacity(n);
         for i in 0..n {
@@ -613,7 +605,12 @@ impl FuncBuilder {
     }
 
     /// Emits a lookup with distinct hit (`i1`) and value types.
-    pub fn emit_lookup(&mut self, table: MemId, key: Operand, value_ty: IrTy) -> (ValueId, ValueId) {
+    pub fn emit_lookup(
+        &mut self,
+        table: MemId,
+        key: Operand,
+        value_ty: IrTy,
+    ) -> (ValueId, ValueId) {
         let hit = self.fresh_value(IrTy::I1, None);
         let value = self.fresh_value(value_ty, None);
         self.func.blocks[self.current]
@@ -751,8 +748,12 @@ mod tests {
             value: Op::imm(0, IrTy::I8)
         }
         .has_side_effects());
-        assert!(!InstKind::Bin { op: IrBinOp::Add, a: Op::imm(1, IrTy::I8), b: Op::imm(2, IrTy::I8) }
-            .has_side_effects());
+        assert!(!InstKind::Bin {
+            op: IrBinOp::Add,
+            a: Op::imm(1, IrTy::I8),
+            b: Op::imm(2, IrTy::I8)
+        }
+        .has_side_effects());
     }
 
     #[test]

@@ -169,9 +169,7 @@ pub fn search_table(entries: &[LookupEntry], key: u64) -> Option<u64> {
         match *e {
             LookupEntry::Member { key: k } if k == key => return Some(1),
             LookupEntry::Exact { key: k, value } if k == key => return Some(value),
-            LookupEntry::Range { lo, hi, value } if lo <= key && key <= hi => {
-                return Some(value)
-            }
+            LookupEntry::Range { lo, hi, value } if lo <= key && key <= hi => return Some(value),
             _ => {}
         }
     }
@@ -191,8 +189,7 @@ pub fn execute(
 ) -> Result<ExecResult, ExecError> {
     debug_assert_eq!(args.len(), f.args.len(), "argument count mismatch");
     let mut values: Vec<Option<u64>> = vec![None; f.values.len()];
-    let mut locals: Vec<Vec<u64>> =
-        f.locals.iter().map(|l| vec![0u64; l.count as usize]).collect();
+    let mut locals: Vec<Vec<u64>> = f.locals.iter().map(|l| vec![0u64; l.count as usize]).collect();
     let mut block = f.entry;
     let mut prev_block: Option<crate::func::BlockId> = None;
     let mut steps = 0usize;
@@ -257,8 +254,9 @@ pub fn execute(
 fn read_op(op: Operand, values: &[Option<u64>]) -> Result<u64, ExecError> {
     match op {
         Operand::Const(c, _) => Ok(c),
-        Operand::Value(v) => values[v.index()]
-            .ok_or_else(|| ExecError::UndefinedValue(format!("{v:?}"))),
+        Operand::Value(v) => {
+            values[v.index()].ok_or_else(|| ExecError::UndefinedValue(format!("{v:?}")))
+        }
     }
 }
 
@@ -273,24 +271,21 @@ fn step(
     values: &mut [Option<u64>],
     locals: &mut [Vec<u64>],
 ) -> Result<(), ExecError> {
-    let set = |values: &mut [Option<u64>], r: crate::func::ValueId, v: u64| {
-        values[r.index()] = Some(v)
-    };
-    let flat_index = |mem: &crate::func::MemRef, values: &[Option<u64>]| -> Result<usize, ExecError> {
-        let g = module.global(mem.mem);
-        let mut idx = 0usize;
-        for (dim, op) in g.dims.iter().zip(&mem.indices) {
-            let i = read_op(*op, values)? as usize;
-            if i >= *dim {
-                return Err(ExecError::OutOfBounds(format!(
-                    "{}[{i}] (dim {dim})",
-                    g.name
-                )));
+    let set =
+        |values: &mut [Option<u64>], r: crate::func::ValueId, v: u64| values[r.index()] = Some(v);
+    let flat_index =
+        |mem: &crate::func::MemRef, values: &[Option<u64>]| -> Result<usize, ExecError> {
+            let g = module.global(mem.mem);
+            let mut idx = 0usize;
+            for (dim, op) in g.dims.iter().zip(&mem.indices) {
+                let i = read_op(*op, values)? as usize;
+                if i >= *dim {
+                    return Err(ExecError::OutOfBounds(format!("{}[{i}] (dim {dim})", g.name)));
+                }
+                idx = idx * dim + i;
             }
-            idx = idx * dim + i;
-        }
-        Ok(idx)
-    };
+            Ok(idx)
+        };
 
     match &inst.kind {
         InstKind::Bin { op, a, b } => {
@@ -325,9 +320,9 @@ fn step(
         InstKind::LocalLoad { slot, index } => {
             let i = read_op(*index, values)? as usize;
             let mem = &locals[slot.index()];
-            let v = *mem.get(i).ok_or_else(|| {
-                ExecError::OutOfBounds(format!("{}[{i}]", f.locals[*slot].name))
-            })?;
+            let v = *mem
+                .get(i)
+                .ok_or_else(|| ExecError::OutOfBounds(format!("{}[{i}]", f.locals[*slot].name)))?;
             set(values, inst.results[0], v);
         }
         InstKind::LocalStore { slot, index, value } => {
@@ -335,9 +330,8 @@ fn step(
             let v = read_op(*value, values)?;
             let name = &f.locals[*slot].name;
             let mem = &mut locals[slot.index()];
-            let cell = mem
-                .get_mut(i)
-                .ok_or_else(|| ExecError::OutOfBounds(format!("{name}[{i}]")))?;
+            let cell =
+                mem.get_mut(i).ok_or_else(|| ExecError::OutOfBounds(format!("{name}[{i}]")))?;
             *cell = f.locals[*slot].ty.wrap(v);
         }
         InstKind::ArgRead { arg, index } => {
@@ -426,9 +420,7 @@ fn step(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::func::{
-        ActionRef, FuncBuilder, GlobalDef, InstKind, MemId, MemRef, Terminator,
-    };
+    use crate::func::{ActionRef, FuncBuilder, GlobalDef, InstKind, MemId, MemRef, Terminator};
     use crate::types::{IcmpPred, IrBinOp, IrTy, Operand as Op};
     use netcl_sema::builtins::{AtomicOp, AtomicRmw};
 
@@ -623,7 +615,7 @@ mod tests {
         b2.terminate(Terminator::Br(e2));
         let f2 = b2.finish();
         let _ = f;
-        let r = execute(&f2, &m, &mut st, &mut vec![], &mut env);
+        let r = execute(&f2, &m, &mut st, &mut [], &mut env);
         assert_eq!(r.unwrap_err(), ExecError::Timeout);
     }
 
@@ -650,8 +642,14 @@ mod tests {
 
     #[test]
     fn intrinsic_eval_stable() {
-        assert_eq!(eval_intrinsic("tna", "crc64", &[1, 2]), eval_intrinsic("tna", "crc64", &[1, 2]));
-        assert_ne!(eval_intrinsic("tna", "crc64", &[1, 2]), eval_intrinsic("tna", "crc64", &[2, 1]));
+        assert_eq!(
+            eval_intrinsic("tna", "crc64", &[1, 2]),
+            eval_intrinsic("tna", "crc64", &[1, 2])
+        );
+        assert_ne!(
+            eval_intrinsic("tna", "crc64", &[1, 2]),
+            eval_intrinsic("tna", "crc64", &[2, 1])
+        );
         // csum16r of zeros is all-ones.
         assert_eq!(eval_intrinsic("v1", "csum16r", &[0]), 0xFFFF);
     }
@@ -660,14 +658,16 @@ mod tests {
     fn out_of_bounds_detected() {
         let mut b = FuncBuilder::new("k", 1);
         b.emit(
-            InstKind::MemRead { mem: MemRef { mem: MemId(0), indices: vec![Op::imm(9, IrTy::I32)] } },
+            InstKind::MemRead {
+                mem: MemRef { mem: MemId(0), indices: vec![Op::imm(9, IrTy::I32)] },
+            },
             IrTy::I32,
         );
         b.terminate(Terminator::Ret(ActionRef::pass()));
         let f = b.finish();
         let m = module_with_counter();
         let mut st = DeviceState::new(&m);
-        let r = execute(&f, &m, &mut st, &mut vec![], &mut ExecEnv::default());
+        let r = execute(&f, &m, &mut st, &mut [], &mut ExecEnv::default());
         assert!(matches!(r, Err(ExecError::OutOfBounds(_))));
     }
 }

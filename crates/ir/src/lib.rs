@@ -24,7 +24,7 @@ pub mod types;
 pub mod verify;
 
 pub use func::{
-    ArgInfo, Block, BlockId, FuncBuilder, Function, GlobalDef, Inst, InstKind, LocalId,
-    LocalSlot, MemRef, Module, Terminator, ValueId, ValueInfo,
+    ArgInfo, Block, BlockId, FuncBuilder, Function, GlobalDef, Inst, InstKind, LocalId, LocalSlot,
+    MemRef, Module, Terminator, ValueId, ValueInfo,
 };
 pub use types::{CastKind, IcmpPred, IrBinOp, IrTy, IrUnOp, Operand};

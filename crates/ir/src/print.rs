@@ -29,7 +29,11 @@ pub fn print_module(m: &Module) -> String {
             g.name,
             dims.join(""),
             attrs.join(" "),
-            if g.entries.is_empty() { String::new() } else { format!(" {} entries", g.entries.len()) }
+            if g.entries.is_empty() {
+                String::new()
+            } else {
+                format!(" {} entries", g.entries.len())
+            }
         );
     }
     for k in &m.kernels {
@@ -94,18 +98,9 @@ fn fmt_ops(ops: &[Operand]) -> String {
 
 /// Prints a single instruction.
 pub fn print_inst(f: &Function, inst: &Inst) -> String {
-    let results = inst
-        .results
-        .iter()
-        .map(|r| format!("{r}"))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let results = inst.results.iter().map(|r| format!("{r}")).collect::<Vec<_>>().join(", ");
     let lhs = if results.is_empty() { String::new() } else { format!("{results} = ") };
-    let ty = inst
-        .results
-        .first()
-        .map(|&r| format!("{}", f.value_ty(r)))
-        .unwrap_or_default();
+    let ty = inst.results.first().map(|&r| format!("{}", f.value_ty(r))).unwrap_or_default();
     let body = match &inst.kind {
         InstKind::Bin { op, a, b } => {
             format!("{} {ty} {}, {}", op.mnemonic(), fmt_op(*a), fmt_op(*b))
@@ -126,10 +121,8 @@ pub fn print_inst(f: &Function, inst: &Inst) -> String {
             format!("{k} {} to {to}", fmt_op(*a))
         }
         InstKind::Phi { incoming } => {
-            let items: Vec<String> = incoming
-                .iter()
-                .map(|(b, v)| format!("[{b}, {}]", fmt_op(*v)))
-                .collect();
+            let items: Vec<String> =
+                incoming.iter().map(|(b, v)| format!("[{b}, {}]", fmt_op(*v))).collect();
             format!("phi {ty} {}", items.join(", "))
         }
         InstKind::LocalLoad { slot, index } => format!("load {slot}[{}]", fmt_op(*index)),
@@ -185,7 +178,11 @@ mod tests {
         let k = b.emit(InstKind::ArgRead { arg, index: Op::imm(0, IrTy::I32) }, IrTy::I32).unwrap();
         let h = b
             .emit(
-                InstKind::Hash { kind: netcl_sema::builtins::HashKind::Crc16, bits: 16, a: Op::Value(k) },
+                InstKind::Hash {
+                    kind: netcl_sema::builtins::HashKind::Crc16,
+                    bits: 16,
+                    a: Op::Value(k),
+                },
                 IrTy::I16,
             )
             .unwrap();

@@ -271,8 +271,8 @@ impl IrUnOp {
                 let bytes = (ty.bits / 8).max(1) as usize;
                 let le = a.to_le_bytes();
                 let mut out = 0u64;
-                for i in 0..bytes {
-                    out = (out << 8) | le[i] as u64;
+                for &b in le.iter().take(bytes) {
+                    out = (out << 8) | b as u64;
                 }
                 ty.wrap(out)
             }

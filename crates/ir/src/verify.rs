@@ -70,11 +70,7 @@ struct Verifier<'a> {
 
 impl<'a> Verifier<'a> {
     fn err(&mut self, block: Option<BlockId>, msg: impl Into<String>) {
-        self.errors.push(VerifyError {
-            func: self.f.name.clone(),
-            block,
-            message: msg.into(),
-        });
+        self.errors.push(VerifyError { func: self.f.name.clone(), block, message: msg.into() });
     }
 
     fn run(&mut self) {
@@ -272,15 +268,15 @@ impl<'a> Verifier<'a> {
                     }
                 }
             }
-            InstKind::LocalLoad { slot, .. } | InstKind::LocalStore { slot, .. } => {
-                if self.f.locals.get(*slot).is_none() {
-                    self.err(Some(bid), format!("unknown local slot {slot:?}"));
-                }
+            InstKind::LocalLoad { slot, .. } | InstKind::LocalStore { slot, .. }
+                if self.f.locals.get(*slot).is_none() =>
+            {
+                self.err(Some(bid), format!("unknown local slot {slot:?}"));
             }
-            InstKind::ArgRead { arg, .. } | InstKind::ArgWrite { arg, .. } => {
-                if *arg as usize >= self.f.args.len() {
-                    self.err(Some(bid), format!("argument index {arg} out of range"));
-                }
+            InstKind::ArgRead { arg, .. } | InstKind::ArgWrite { arg, .. }
+                if *arg as usize >= self.f.args.len() =>
+            {
+                self.err(Some(bid), format!("argument index {arg} out of range"));
             }
             _ => {}
         }
@@ -297,9 +293,7 @@ mod tests {
     fn valid_function_passes() {
         let mut b = FuncBuilder::new("k", 1);
         let arg = b.add_arg("x", IrTy::I32, 1, false);
-        let x = b
-            .emit(InstKind::ArgRead { arg, index: Op::imm(0, IrTy::I32) }, IrTy::I32)
-            .unwrap();
+        let x = b.emit(InstKind::ArgRead { arg, index: Op::imm(0, IrTy::I32) }, IrTy::I32).unwrap();
         b.bin(IrBinOp::Add, Op::Value(x), Op::imm(1, IrTy::I32), IrTy::I32);
         b.terminate(Terminator::Ret(ActionRef::pass()));
         let f = b.finish();
@@ -322,15 +316,15 @@ mod tests {
         // Manually craft a use of a value defined later.
         let later = b.func.values.push(crate::func::ValueInfo { ty: IrTy::I32, name: None });
         b.func.blocks[b.current].insts.push(Inst {
-            kind: InstKind::Bin {
-                op: IrBinOp::Add,
-                a: Op::Value(later),
-                b: Op::imm(1, IrTy::I32),
-            },
+            kind: InstKind::Bin { op: IrBinOp::Add, a: Op::Value(later), b: Op::imm(1, IrTy::I32) },
             results: vec![b.func.values.push(crate::func::ValueInfo { ty: IrTy::I32, name: None })],
         });
         b.func.blocks[b.current].insts.push(Inst {
-            kind: InstKind::Bin { op: IrBinOp::Add, a: Op::imm(1, IrTy::I32), b: Op::imm(2, IrTy::I32) },
+            kind: InstKind::Bin {
+                op: IrBinOp::Add,
+                a: Op::imm(1, IrTy::I32),
+                b: Op::imm(2, IrTy::I32),
+            },
             results: vec![later],
         });
         b.terminate(Terminator::Ret(ActionRef::pass()));
@@ -353,11 +347,7 @@ mod tests {
         let mut b = FuncBuilder::new("k", 1);
         let t = b.new_block();
         let e = b.new_block();
-        b.terminate(Terminator::CondBr {
-            cond: Op::imm(1, IrTy::I32),
-            then_bb: t,
-            else_bb: e,
-        });
+        b.terminate(Terminator::CondBr { cond: Op::imm(1, IrTy::I32), then_bb: t, else_bb: e });
         b.switch_to(t);
         b.terminate(Terminator::Ret(ActionRef::pass()));
         b.switch_to(e);

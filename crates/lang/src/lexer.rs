@@ -129,10 +129,7 @@ impl<'a> Lexer<'a> {
                     format!("invalid character `{}` in number", c as char),
                     self.span_from(start),
                 );
-                while self
-                    .peek()
-                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
-                {
+                while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
                     self.pos += 1;
                 }
             }
@@ -153,10 +150,7 @@ impl<'a> Lexer<'a> {
                 other => {
                     self.diags.error(
                         "E0013",
-                        format!(
-                            "unknown escape `\\{}`",
-                            other.map(|c| c as char).unwrap_or('?')
-                        ),
+                        format!("unknown escape `\\{}`", other.map(|c| c as char).unwrap_or('?')),
                         self.span_from(start),
                     );
                     b'?'
@@ -176,10 +170,7 @@ impl<'a> Lexer<'a> {
 
     fn lex_word(&mut self) -> Option<TokenKind> {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
-        {
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
             self.pos += 1;
         }
         let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
@@ -342,8 +333,10 @@ mod tests {
     fn operators_maximal_munch() {
         assert_eq!(
             kinds("<<= >>= << >> <= >= == != && || ++ -- ::")[..13],
-            [ShlEq, ShrEq, Shl, Shr, Le, Ge, EqEq, Ne, AmpAmp, PipePipe, PlusPlus, MinusMinus,
-             ColonColon]
+            [
+                ShlEq, ShrEq, Shl, Shr, Le, Ge, EqEq, Ne, AmpAmp, PipePipe, PlusPlus, MinusMinus,
+                ColonColon
+            ]
         );
     }
 

@@ -719,10 +719,7 @@ impl<'a> Parser<'a> {
         self.bump();
         let rhs = self.parse_assign();
         let span = lhs.span.to(rhs.span);
-        self.mk(
-            ExprKind::Assign { op, target: Box::new(lhs), value: Box::new(rhs) },
-            span,
-        )
+        self.mk(ExprKind::Assign { op, target: Box::new(lhs), value: Box::new(rhs) }, span)
     }
 
     fn parse_ternary(&mut self) -> Expr {
@@ -854,10 +851,7 @@ impl<'a> Parser<'a> {
                         }
                     }
                     let end = self.expect(TokenKind::RParen);
-                    e = self.mk(
-                        ExprKind::Call { callee: Box::new(e), args },
-                        start.to(end),
-                    );
+                    e = self.mk(ExprKind::Call { callee: Box::new(e), args }, start.to(end));
                 }
                 TokenKind::LBracket => {
                     self.bump();
@@ -1046,9 +1040,8 @@ mod tests {
 
     #[test]
     fn parses_lookup_kv_initializer() {
-        let (p, _) = parse_ok(
-            "_net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42},{2,42}};",
-        );
+        let (p, _) =
+            parse_ok("_net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42},{2,42}};");
         let g = p.globals().next().unwrap();
         assert!(g.specs.is_lookup);
         assert!(matches!(g.ty, TypeExpr::Kv(_, _)));
@@ -1100,7 +1093,8 @@ _net_ void sketch(unsigned k, unsigned &hot) {
 
     #[test]
     fn parses_ternary_and_shift() {
-        let (p, _) = parse_ok("_net_ void f(unsigned x, unsigned &o) { o = x > 2 ? x << 1 : x >> 1; }");
+        let (p, _) =
+            parse_ok("_net_ void f(unsigned x, unsigned &o) { o = x > 2 ? x << 1 : x >> 1; }");
         let f = p.functions().next().unwrap();
         match &f.body.as_ref().unwrap().stmts[0] {
             Stmt::Expr(e) => match &e.kind {
@@ -1181,7 +1175,8 @@ _net_ void sketch(unsigned k, unsigned &hot) {
     fn recovery_continues_after_error() {
         let mut interner = Interner::new();
         let mut diags = DiagnosticSink::new();
-        let toks = lex("_net_ void f() { int x = $$; } _net_ void g() {}", &mut interner, &mut diags);
+        let toks =
+            lex("_net_ void f() { int x = $$; } _net_ void g() {}", &mut interner, &mut diags);
         let p = parse_tokens(&toks, &mut interner, &mut diags);
         assert!(diags.has_errors());
         // g still parsed.

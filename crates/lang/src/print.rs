@@ -419,8 +419,11 @@ mod tests {
         assert!(!diags.has_errors(), "{}", diags.render_all(&unit.source_map));
         let printed = print_program(&unit.program, &unit.interner);
         let (unit2, diags2) = crate::parse("t2.ncl", &printed);
-        assert!(!diags2.has_errors(), "printed source failed to parse:\n{printed}\n{}",
-            diags2.render_all(&unit2.source_map));
+        assert!(
+            !diags2.has_errors(),
+            "printed source failed to parse:\n{printed}\n{}",
+            diags2.render_all(&unit2.source_map)
+        );
         let printed2 = print_program(&unit2.program, &unit2.interner);
         assert_eq!(printed, printed2, "print not a fixpoint");
     }

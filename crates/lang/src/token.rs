@@ -168,7 +168,10 @@ pub enum Keyword {
 }
 
 impl Keyword {
-    /// Maps an identifier spelling to a keyword, if reserved.
+    /// Maps an identifier spelling to a keyword, if reserved. Not the
+    /// `FromStr` trait: lookup failure is ordinary (any identifier), not an
+    /// error.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

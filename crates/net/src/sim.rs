@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use netcl_bmv2::Switch;
+use netcl_bmv2::{Packet, Switch};
 use netcl_runtime::device::{DeviceRuntime, Forward};
 use netcl_runtime::message::Message;
 use netcl_sema::builtins::ActionKind;
@@ -46,6 +46,10 @@ struct DeviceNode {
     runtime: DeviceRuntime,
     /// Per-packet processing latency (from the Tofino model's Fig. 13 path).
     latency_ns: u64,
+    /// Reusable packet and output buffer so steady-state processing does
+    /// not allocate per packet.
+    pkt: Packet,
+    out: Vec<u8>,
 }
 
 struct HostNode {
@@ -114,9 +118,16 @@ impl NetworkBuilder {
     pub fn build(self) -> Network {
         let mut devices = HashMap::new();
         for (id, switch, latency_ns) in self.devices {
+            let pkt = switch.new_packet();
             devices.insert(
                 id,
-                DeviceNode { switch, runtime: DeviceRuntime::new(id), latency_ns },
+                DeviceNode {
+                    switch,
+                    runtime: DeviceRuntime::new(id),
+                    latency_ns,
+                    pkt,
+                    out: Vec::new(),
+                },
             );
         }
         let mut hosts = HashMap::new();
@@ -209,6 +220,7 @@ impl Network {
     /// Returns the number of events processed.
     pub fn run(&mut self, max_events: u64) -> u64 {
         let mut n = 0;
+        let mut batch: Vec<Vec<u8>> = Vec::new();
         while n < max_events {
             let Some(Reverse((time, _, NodeOrd(bytes, ord)))) = self.events.pop() else {
                 break;
@@ -218,7 +230,34 @@ impl Network {
             n += 1;
             match ord {
                 EventOrd::HostSend(NodeId::Host(h)) => self.host_transmit(h, bytes),
-                EventOrd::Arrive(NodeId::Device(d)) => self.device_receive(d, bytes),
+                EventOrd::Arrive(NodeId::Device(d)) => {
+                    // Batch all same-timestamp arrivals at this device: they
+                    // are processed back-to-back in pop order, so a burst
+                    // stays in the switch's warm scratch buffers instead of
+                    // interleaving heap pops with processing.
+                    batch.clear();
+                    batch.push(bytes);
+                    while n < max_events {
+                        match self.events.peek() {
+                            Some(Reverse((
+                                t,
+                                _,
+                                NodeOrd(_, EventOrd::Arrive(NodeId::Device(d2))),
+                            ))) if *t == time && *d2 == d => {
+                                let Some(Reverse((_, _, NodeOrd(b, _)))) = self.events.pop() else {
+                                    break;
+                                };
+                                self.stats.events += 1;
+                                n += 1;
+                                batch.push(b);
+                            }
+                            _ => break,
+                        }
+                    }
+                    for b in batch.drain(..) {
+                        self.device_receive(d, b);
+                    }
+                }
                 EventOrd::Arrive(NodeId::Host(h)) => self.host_receive(h, bytes),
                 EventOrd::Timer(NodeId::Host(h), token) => self.host_timer(h, token),
                 _ => {}
@@ -267,35 +306,42 @@ impl Network {
             self.apply_forward(dev, fwd, bytes);
             return;
         }
-        // Execute the kernel (with recirculation for repeat(), capped).
+        // Execute the kernel (with recirculation for repeat(), capped),
+        // ping-ponging between the wire buffer and the node's scratch so
+        // recirculation passes reuse the same allocations.
         let mut wire = bytes;
         let mut latency = 0u64;
+        let mut result = None;
         for _pass in 0..8 {
-            let node = self.devices.get_mut(&dev).expect("device exists");
             self.stats.kernel_executions += 1;
             latency += node.latency_ns;
-            let Ok((_, out)) = node.switch.process(&wire) else { return };
-            wire = out;
+            if node.switch.process_into(&wire, &mut node.pkt, &mut node.out).is_err() {
+                return;
+            }
+            std::mem::swap(&mut wire, &mut node.out);
             let Ok(m2) = Message::read_header(&wire) else { return };
             let action = ActionKind::from_code(m2.action).unwrap_or(ActionKind::Pass);
             msg = m2;
             if action != ActionKind::Repeat {
                 // Apply runtime forwarding and rewrite the header in place.
                 let target = msg.target;
-                let fwd = self.devices[&dev].runtime.forward(&mut msg, action, target);
+                let fwd = node.runtime.forward(&mut msg, action, target);
                 // Clear the per-hop action fields for the next node.
                 msg.action = 0;
                 msg.target = 0;
-                let mut hdr = Vec::with_capacity(netcl_runtime::NCL_HEADER_BYTES);
-                msg.write_header(&mut hdr);
-                wire[..netcl_runtime::NCL_HEADER_BYTES].copy_from_slice(&hdr);
-                self.clock += latency;
-                self.apply_forward(dev, fwd, wire);
-                return;
+                msg.write_header_into(&mut wire[..netcl_runtime::NCL_HEADER_BYTES]);
+                result = Some(fwd);
+                break;
             }
         }
-        // Recirculation cap exceeded: drop.
-        self.stats.kernel_drops += 1;
+        match result {
+            Some(fwd) => {
+                self.clock += latency;
+                self.apply_forward(dev, fwd, wire);
+            }
+            // Recirculation cap exceeded: drop.
+            None => self.stats.kernel_drops += 1,
+        }
     }
 
     fn apply_forward(&mut self, dev: u16, fwd: Forward, bytes: Vec<u8>) {
@@ -304,9 +350,7 @@ impl Network {
                 self.stats.kernel_drops += 1;
             }
             Forward::ToHost(h) => self.transmit(NodeId::Device(dev), NodeId::Host(h), bytes),
-            Forward::ToDevice(d) => {
-                self.transmit(NodeId::Device(dev), NodeId::Device(d), bytes)
-            }
+            Forward::ToDevice(d) => self.transmit(NodeId::Device(dev), NodeId::Device(d), bytes),
             Forward::Multicast(gid) => {
                 let members = self.topology.groups.get(&gid).cloned().unwrap_or_default();
                 for m in members {
@@ -317,9 +361,7 @@ impl Network {
                     if let NodeId::Device(d) = m {
                         if let Ok(mut msg) = Message::read_header(&copy) {
                             msg.to = d;
-                            let mut hdr = Vec::with_capacity(netcl_runtime::NCL_HEADER_BYTES);
-                            msg.write_header(&mut hdr);
-                            copy[..netcl_runtime::NCL_HEADER_BYTES].copy_from_slice(&hdr);
+                            msg.write_header_into(&mut copy[..netcl_runtime::NCL_HEADER_BYTES]);
                         }
                     }
                     self.transmit(NodeId::Device(dev), m, copy);
@@ -404,8 +446,7 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
             let reply = Message::new(msg.dst, msg.src, 0, netcl_runtime::device::NO_DEVICE);
             let v = k[0] * 1000;
             let packed =
-                pack(&reply, &spec2, &[Some(&[0]), Some(&[k[0]]), Some(&[v]), Some(&[0])])
-                    .unwrap();
+                pack(&reply, &spec2, &[Some(&[0]), Some(&[k[0]]), Some(&[v]), Some(&[0])]).unwrap();
             out.send(0, packed);
         });
 
@@ -433,12 +474,8 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
         let hit_reply_at = net.host_received(1)[0].0;
         let mut v = Vec::new();
         let mut hit = Vec::new();
-        unpack(
-            &net.host_received(1)[0].1,
-            &spec,
-            &mut [None, None, Some(&mut v), Some(&mut hit)],
-        )
-        .unwrap();
+        unpack(&net.host_received(1)[0].1, &spec, &mut [None, None, Some(&mut v), Some(&mut hit)])
+            .unwrap();
         assert_eq!((v[0], hit[0]), (42, 1), "served from the in-network cache");
 
         let t0 = net.now();
@@ -479,17 +516,32 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
         let spec = unit.model.kernels[0].specification();
         let switch = Switch::new(unit.devices[0].tna_p4.clone());
         let topo = star(1, &[1, 2], LinkSpec { loss: 1.0, ..Default::default() });
-        let mut net = NetworkBuilder::new(topo)
-            .device(1, switch, 500)
-            .sink_host(1)
-            .sink_host(2)
-            .build();
+        let mut net =
+            NetworkBuilder::new(topo).device(1, switch, 500).sink_host(1).sink_host(2).build();
         let m = Message::new(1, 2, 1, 1);
         let packed = pack(&m, &spec, &[Some(&[1]), Some(&[1]), None, None]).unwrap();
         net.send_from_host(1, 0, packed);
         net.run(100);
         assert_eq!(net.stats.link_losses, 1);
         assert_eq!(net.stats.delivered, 0);
+    }
+
+    /// A burst of same-timestamp queries is batched at the device: all of
+    /// them compute and all replies arrive, in send order.
+    #[test]
+    fn same_timestamp_burst_batched_at_device() {
+        let (mut net, spec) = build_cache_network();
+        for _ in 0..8 {
+            query(&mut net, &spec, 1000, 1); // all land at the same instant
+        }
+        net.run(1000);
+        assert_eq!(net.stats.kernel_executions, 8);
+        assert_eq!(net.host_received(1).len(), 8);
+        for (_, bytes) in net.host_received(1) {
+            let mut v = Vec::new();
+            unpack(bytes, &spec, &mut [None, None, Some(&mut v), None]).unwrap();
+            assert_eq!(v[0], 42);
+        }
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use netcl_sema::builtins::{AtomicOp, HashKind};
 
 /// Which P4 architecture dialect a program is written against.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Target {
     /// Intel Tofino Native Architecture.
+    #[default]
     Tna,
     /// p4lang v1model (BMv2 software switch).
     V1Model,
@@ -28,12 +29,6 @@ pub struct P4Program {
 
 /// `Target` with a default for `Default` derives.
 pub type TargetOpt = Target;
-
-impl Default for Target {
-    fn default() -> Self {
-        Target::Tna
-    }
-}
 
 impl P4Program {
     /// Finds a control by name.

@@ -61,7 +61,10 @@ impl Category {
     /// we follow the paper's "52% compute" framing by counting actions as
     /// compute.
     pub fn is_packet_processing(self) -> bool {
-        matches!(self, Category::Headers | Category::Parsers | Category::Tables | Category::Declarations)
+        matches!(
+            self,
+            Category::Headers | Category::Parsers | Category::Tables | Category::Declarations
+        )
     }
 }
 
@@ -94,12 +97,8 @@ impl Breakdown {
 
     /// Share of lines that are packet-processing plumbing.
     pub fn packet_processing_percent(&self) -> f64 {
-        let pp: usize = self
-            .lines
-            .iter()
-            .filter(|(c, _)| c.is_packet_processing())
-            .map(|(_, n)| n)
-            .sum();
+        let pp: usize =
+            self.lines.iter().filter(|(c, _)| c.is_packet_processing()).map(|(_, n)| n).sum();
         if self.total() == 0 {
             0.0
         } else {
@@ -238,7 +237,10 @@ mod tests {
                 actions: vec![ActionDef {
                     name: "hit".into(),
                     params: vec![("v".into(), 32)],
-                    body: vec![Stmt::Assign(Expr::field(&["hdr", "cache", "V"]), Expr::field(&["v"]))],
+                    body: vec![Stmt::Assign(
+                        Expr::field(&["hdr", "cache", "V"]),
+                        Expr::field(&["v"]),
+                    )],
                 }],
                 tables: vec![TableDef {
                     name: "cache".into(),

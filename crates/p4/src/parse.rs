@@ -49,8 +49,8 @@ struct Token {
 
 const PUNCTS: &[&str] = &[
     "|+|", "|-|", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "..", "(", ")",
-    "{", "}", "[", "]", "<", ">", ";", ",", ".", ":", "=", "+", "-", "*", "/", "&", "|", "^",
-    "~", "!", "@", "#",
+    "{", "}", "[", "]", "<", ">", ";", ",", ".", ":", "=", "+", "-", "*", "/", "&", "|", "^", "~",
+    "!", "@", "#",
 ];
 
 fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
@@ -115,7 +115,8 @@ fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
                     i += 1;
                     let width = value as u32;
                     let mut v2 = 0u64;
-                    if bytes.get(i) == Some(&b'0') && matches!(bytes.get(i + 1), Some(b'x' | b'X')) {
+                    if bytes.get(i) == Some(&b'0') && matches!(bytes.get(i + 1), Some(b'x' | b'X'))
+                    {
                         i += 2;
                         while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
                             v2 = v2 * 16 + (bytes[i] as char).to_digit(16).unwrap() as u64;
@@ -213,11 +214,9 @@ impl Parser {
     fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
         // Split `>>` into two `>` when closing nested template argument
         // lists (`Register<bit<32>, bit<32>>`).
-        if p == ">" {
-            if matches!(self.peek(), Some(Tok::Punct(">>"))) {
-                self.tokens[self.pos].tok = Tok::Punct(">");
-                return Ok(());
-            }
+        if p == ">" && matches!(self.peek(), Some(Tok::Punct(">>"))) {
+            self.tokens[self.pos].tok = Tok::Punct(">");
+            return Ok(());
         }
         if self.eat_punct(p) {
             Ok(())
@@ -528,11 +527,10 @@ impl Parser {
         let body = self.stmts_until_close()?;
         self.expect_punct("}")?;
         self.expect_punct(";")?;
-        let (op, cond, operands) = recover_salu(&body)
-            .ok_or_else(|| ParseError {
-                line: self.line(),
-                message: format!("unrecognized SALU microprogram in RegisterAction `{name}`"),
-            })?;
+        let (op, cond, operands) = recover_salu(&body).ok_or_else(|| ParseError {
+            line: self.line(),
+            message: format!("unrecognized SALU microprogram in RegisterAction `{name}`"),
+        })?;
         Ok(RegisterActionDef { name, register, op, cond, operands })
     }
 
@@ -584,7 +582,8 @@ impl Parser {
                     self.skip_parens()?;
                 }
                 self.expect_punct(";")?;
-            } else if self.eat_kw("const") || matches!(self.peek(), Some(Tok::Ident(k)) if k == "entries")
+            } else if self.eat_kw("const")
+                || matches!(self.peek(), Some(Tok::Ident(k)) if k == "entries")
             {
                 self.eat_kw("entries");
                 self.expect_punct("=")?;
@@ -702,19 +701,17 @@ impl Parser {
         self.expect_punct("=")?;
         // RHS: check for `.execute(` / `.get(` method forms.
         let save = self.pos;
-        if let Ok(rhs_path) = self.try_method_call() {
-            if let Some((obj, method, args)) = rhs_path {
-                self.expect_punct(";")?;
-                return match method.as_str() {
-                    "execute" => Ok(Stmt::ExecuteRegisterAction {
-                        dst: Some(lhs),
-                        ra: obj,
-                        index: args.into_iter().next().unwrap_or(Expr::val(0, 32)),
-                    }),
-                    "get" => Ok(Stmt::HashGet { dst: lhs, hash: obj, args }),
-                    other => self.err(format!("unknown method `{other}`")),
-                };
-            }
+        if let Ok(Some((obj, method, args))) = self.try_method_call() {
+            self.expect_punct(";")?;
+            return match method.as_str() {
+                "execute" => Ok(Stmt::ExecuteRegisterAction {
+                    dst: Some(lhs),
+                    ra: obj,
+                    index: args.into_iter().next().unwrap_or(Expr::val(0, 32)),
+                }),
+                "get" => Ok(Stmt::HashGet { dst: lhs, hash: obj, args }),
+                other => self.err(format!("unknown method `{other}`")),
+            };
         }
         self.pos = save;
         // `x = func(args);` extern call form.
@@ -957,9 +954,8 @@ fn recover_salu(body: &[Stmt]) -> Option<(AtomicOp, Option<Expr>, Vec<Expr>)> {
             _ => None,
         }
     };
-    let out_stmt = |s: &Stmt| -> bool {
-        matches!(s, Stmt::Assign(lhs, rhs) if is_out(lhs) && is_mem(rhs))
-    };
+    let out_stmt =
+        |s: &Stmt| -> bool { matches!(s, Stmt::Assign(lhs, rhs) if is_out(lhs) && is_mem(rhs)) };
 
     match body {
         // o = m;                       → atomic_read
@@ -1154,11 +1150,7 @@ parser P(packet_in pkt, out headers_t hdr) {
                 register_actions: vec![RegisterActionDef {
                     name: "bump".into(),
                     register: "R".into(),
-                    op: AtomicOp {
-                        rmw: AtomicRmw::Or,
-                        cond: true,
-                        ret_new: true,
-                    },
+                    op: AtomicOp { rmw: AtomicRmw::Or, cond: true, ret_new: true },
                     cond: Some(Expr::Bin(
                         P4BinOp::Ne,
                         Box::new(Expr::field(&["meta", "c"])),
@@ -1170,7 +1162,10 @@ parser P(packet_in pkt, out headers_t hdr) {
                 actions: vec![ActionDef {
                     name: "set".into(),
                     params: vec![("v".into(), 16)],
-                    body: vec![Stmt::Assign(Expr::field(&["hdr", "ncl", "dst"]), Expr::field(&["v"]))],
+                    body: vec![Stmt::Assign(
+                        Expr::field(&["hdr", "ncl", "dst"]),
+                        Expr::field(&["v"]),
+                    )],
                 }],
                 tables: vec![TableDef {
                     name: "fwd".into(),
@@ -1192,10 +1187,7 @@ parser P(packet_in pkt, out headers_t hdr) {
                             Box::new(Expr::field(&["hdr", "ncl", "src"])),
                             Box::new(Expr::val(3, 16)),
                         ),
-                        then: vec![Stmt::Assign(
-                            Expr::field(&["meta", "t0"]),
-                            Expr::val(1, 16),
-                        )],
+                        then: vec![Stmt::Assign(Expr::field(&["meta", "t0"]), Expr::val(1, 16))],
                         els: vec![],
                     },
                 ],

@@ -10,10 +10,14 @@ use crate::ast::*;
 /// Prints a full program.
 pub fn print_program(p: &P4Program) -> String {
     let mut w = Writer { out: String::new(), indent: 0 };
-    w.line(&format!("// {} — generated for {}", p.name, match p.target {
-        Target::Tna => "Intel Tofino (TNA)",
-        Target::V1Model => "v1model",
-    }));
+    w.line(&format!(
+        "// {} — generated for {}",
+        p.name,
+        match p.target {
+            Target::Tna => "Intel Tofino (TNA)",
+            Target::V1Model => "v1model",
+        }
+    ));
     w.line("#include <core.p4>");
     w.line(match p.target {
         Target::Tna => "#include <tna.p4>",
@@ -94,10 +98,7 @@ impl Writer {
     }
 
     fn control(&mut self, c: &ControlDef, target: Target) {
-        self.line(&format!(
-            "control {}(inout headers_t hdr, inout metadata_t meta) {{",
-            c.name
-        ));
+        self.line(&format!("control {}(inout headers_t hdr, inout metadata_t meta) {{", c.name));
         self.indent += 1;
         for (name, bits) in &c.locals {
             self.line(&format!("bit<{bits}> {name};"));
@@ -123,10 +124,7 @@ impl Writer {
                 netcl_sema::builtins::HashKind::Xor16 => "XOR16",
                 netcl_sema::builtins::HashKind::Identity => "IDENTITY",
             };
-            self.line(&format!(
-                "Hash<bit<{}>>(HashAlgorithm_t.{algo}) {};",
-                h.out_bits, h.name
-            ));
+            self.line(&format!("Hash<bit<{}>>(HashAlgorithm_t.{algo}) {};", h.out_bits, h.name));
         }
         for a in &c.actions {
             let params: Vec<String> =
@@ -163,9 +161,7 @@ impl Writer {
                     ra.register, ra.name
                 ));
                 self.indent += 1;
-                self.line(&format!(
-                    "void apply(inout bit<{bits}> m, out bit<{bits}> o) {{"
-                ));
+                self.line(&format!("void apply(inout bit<{bits}> m, out bit<{bits}> o) {{"));
                 self.indent += 1;
                 self.salu_body(ra);
                 self.indent -= 1;
@@ -309,12 +305,7 @@ impl Writer {
             },
             Stmt::HashGet { dst, hash, args } => {
                 let args: Vec<String> = args.iter().map(print_expr).collect();
-                self.line(&format!(
-                    "{} = {}.get({{{}}});",
-                    print_expr(dst),
-                    hash,
-                    args.join(", ")
-                ));
+                self.line(&format!("{} = {}.get({{{}}});", print_expr(dst), hash, args.join(", ")));
             }
             Stmt::If { cond, then, els } => {
                 self.line(&format!("if ({}) {{", print_expr(cond)));
@@ -338,12 +329,9 @@ impl Writer {
             Stmt::ExternCall { dst, func, args } => {
                 let args: Vec<String> = args.iter().map(print_expr).collect();
                 match dst {
-                    Some(d) => self.line(&format!(
-                        "{} = {}({});",
-                        print_expr(d),
-                        func,
-                        args.join(", ")
-                    )),
+                    Some(d) => {
+                        self.line(&format!("{} = {}({});", print_expr(d), func, args.join(", ")))
+                    }
                     None => self.line(&format!("{}({});", func, args.join(", "))),
                 }
             }
@@ -386,7 +374,9 @@ pub fn print_expr(e: &Expr) -> String {
 pub fn loc(text: &str) -> usize {
     text.lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*'))
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*')
+        })
         .count()
 }
 
@@ -411,10 +401,7 @@ mod tests {
             actions: vec![ActionDef {
                 name: "CacheHit".into(),
                 params: vec![("v".into(), 32)],
-                body: vec![Stmt::Assign(
-                    Expr::field(&["hdr", "cache", "V"]),
-                    Expr::field(&["v"]),
-                )],
+                body: vec![Stmt::Assign(Expr::field(&["hdr", "cache", "V"]), Expr::field(&["v"]))],
             }],
             tables: vec![TableDef {
                 name: "cache".into(),
@@ -503,15 +490,13 @@ mod tests {
 
     #[test]
     fn expr_printing() {
-        let e = Expr::Bin(
-            P4BinOp::SatAdd,
-            Box::new(Expr::field(&["m"])),
-            Box::new(Expr::val(1, 32)),
-        );
+        let e =
+            Expr::Bin(P4BinOp::SatAdd, Box::new(Expr::field(&["m"])), Box::new(Expr::val(1, 32)));
         assert_eq!(print_expr(&e), "(m |+| 32w1)");
         let s = Expr::Slice(Box::new(Expr::field(&["meta", "x"])), 15, 8);
         assert_eq!(print_expr(&s), "(meta.x)[15:8]");
-        let idx = Expr::Field(vec![PathSeg::new("hdr"), PathSeg::indexed("v", 3), PathSeg::new("value")]);
+        let idx =
+            Expr::Field(vec![PathSeg::new("hdr"), PathSeg::indexed("v", 3), PathSeg::new("value")]);
         assert_eq!(print_expr(&idx), "hdr.v[3].value");
     }
 }

@@ -24,8 +24,8 @@ fn remove_dead_instructions(f: &mut Function) -> bool {
         let mut grew = false;
         for b in f.blocks.iter() {
             for inst in &b.insts {
-                let keep = inst.kind.has_side_effects()
-                    || inst.results.iter().any(|r| used.contains(r));
+                let keep =
+                    inst.kind.has_side_effects() || inst.results.iter().any(|r| used.contains(r));
                 if keep {
                     for op in inst.kind.operands() {
                         if let Operand::Value(v) = op {

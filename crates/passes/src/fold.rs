@@ -106,14 +106,12 @@ fn simplify_inst(kind: &InstKind, ty: IrTy) -> Option<Operand> {
             _ if a == b => Some(*a),
             _ => None,
         },
-        InstKind::Cast { kind, a, to } => match a {
-            Operand::Const(c, from) => Some(Operand::Const(kind.eval(*c, *from, *to), *to)),
-            _ => None,
-        },
-        InstKind::Un { op, a } => match a {
-            Operand::Const(c, aty) => Some(Operand::Const(op.eval(*c, *aty), ty)),
-            _ => None,
-        },
+        InstKind::Cast { kind, a: Operand::Const(c, from), to } => {
+            Some(Operand::Const(kind.eval(*c, *from, *to), *to))
+        }
+        InstKind::Un { op, a: Operand::Const(c, aty) } => {
+            Some(Operand::Const(op.eval(*c, *aty), ty))
+        }
         InstKind::Phi { incoming } => {
             // All-same-operand φ folds to that operand.
             let first = incoming.first()?.1;
@@ -123,13 +121,10 @@ fn simplify_inst(kind: &InstKind, ty: IrTy) -> Option<Operand> {
                 None
             }
         }
-        InstKind::Hash { kind, bits, a } => match a {
-            Operand::Const(c, aty) => {
-                let key_bytes = aty.bits.div_ceil(8).max(1) as u32;
-                Some(Operand::imm(kind.compute(*c, key_bytes, *bits), ty))
-            }
-            _ => None,
-        },
+        InstKind::Hash { kind, bits, a: Operand::Const(c, aty) } => {
+            let key_bytes = aty.bits.div_ceil(8).max(1) as u32;
+            Some(Operand::imm(kind.compute(*c, key_bytes, *bits), ty))
+        }
         _ => None,
     }
 }
@@ -208,11 +203,7 @@ fn simplify_bin(op: IrBinOp, a: Operand, b: Operand, ty: IrTy) -> Option<Operand
                 return Some(b);
             }
         }
-        Sub | Shl | LShr | AShr | USubSat => {
-            if cb == Some(0) {
-                return Some(a);
-            }
-        }
+        Sub | Shl | LShr | AShr | USubSat if cb == Some(0) => return Some(a),
         Mul => {
             if cb == Some(1) {
                 return Some(a);
@@ -224,11 +215,7 @@ fn simplify_bin(op: IrBinOp, a: Operand, b: Operand, ty: IrTy) -> Option<Operand
                 return Some(Operand::Const(0, ty));
             }
         }
-        UDiv | SDiv => {
-            if cb == Some(1) {
-                return Some(a);
-            }
-        }
+        UDiv | SDiv if cb == Some(1) => return Some(a),
         And => {
             if cb == Some(0) || ca == Some(0) {
                 return Some(Operand::Const(0, ty));
@@ -297,7 +284,10 @@ mod tests {
         b.switch_to(t);
         b.terminate(Terminator::Ret(ActionRef::pass()));
         b.switch_to(e);
-        b.terminate(Terminator::Ret(ActionRef { kind: netcl_sema::ActionKind::Drop, target: None }));
+        b.terminate(Terminator::Ret(ActionRef {
+            kind: netcl_sema::ActionKind::Drop,
+            target: None,
+        }));
         let mut f = b.finish();
         while fold_function(&mut f) || crate::dce::run_on_function(&mut f) {}
         // The entry now branches unconditionally to t.

@@ -337,7 +337,9 @@ mod tests {
         b.terminate(Terminator::CondBr { cond: Op::imm(1, IrTy::I1), then_bb: t, else_bb: e });
         b.switch_to(t);
         b.emit(
-            InstKind::MemRead { mem: MemRef { mem: MemId(0), indices: vec![Op::imm(0, IrTy::I32)] } },
+            InstKind::MemRead {
+                mem: MemRef { mem: MemId(0), indices: vec![Op::imm(0, IrTy::I32)] },
+            },
             IrTy::I32,
         );
         b.terminate(Terminator::Ret(ActionRef::pass()));

@@ -79,6 +79,7 @@ pub enum PipelineTarget {
 
 /// Runs the full pipeline in paper order. Returns `Err` (with diagnostics in
 /// `diags`) when a target restriction rejects the program.
+#[allow(clippy::result_unit_err)] // errors are reported through `diags`
 pub fn run_pipeline(
     module: &mut Module,
     target: PipelineTarget,
@@ -159,7 +160,11 @@ pub fn run_pipeline(
     // Sanity: passes must leave verifiable IR behind.
     if let Err(errs) = netcl_ir::verify::verify_module(module) {
         for e in errs {
-            diags.error("E0399", format!("internal: post-pass verification failed: {e}"), netcl_util::Span::DUMMY);
+            diags.error(
+                "E0399",
+                format!("internal: post-pass verification failed: {e}"),
+                netcl_util::Span::DUMMY,
+            );
         }
         return Err(());
     }

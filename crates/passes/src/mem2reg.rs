@@ -32,9 +32,10 @@ pub fn run_on_function(f: &mut Function) -> usize {
     for &slot in &promotable {
         let mut def_blocks: Vec<BlockId> = Vec::new();
         for (bid, b) in f.blocks.iter_enumerated() {
-            if b.insts.iter().any(
-                |i| matches!(&i.kind, InstKind::LocalStore { slot: s, .. } if *s == slot),
-            ) {
+            if b.insts
+                .iter()
+                .any(|i| matches!(&i.kind, InstKind::LocalStore { slot: s, .. } if *s == slot))
+            {
                 def_blocks.push(bid);
             }
         }
@@ -51,9 +52,10 @@ pub fn run_on_function(f: &mut Function) -> usize {
                         ty,
                         name: Some(f.locals[slot].name.clone()),
                     });
-                    f.blocks[fr]
-                        .insts
-                        .insert(0, Inst { kind: InstKind::Phi { incoming: vec![] }, results: vec![v] });
+                    f.blocks[fr].insts.insert(
+                        0,
+                        Inst { kind: InstKind::Phi { incoming: vec![] }, results: vec![v] },
+                    );
                     phi_of.insert((fr, slot), v);
                     work.push(fr);
                 }
@@ -115,7 +117,6 @@ pub fn run_on_function(f: &mut Function) -> usize {
                     if let Some((&(_, slot), _)) = phi_of
                         .iter()
                         .find(|((b, _), &v)| *b == bid && inst.results.first() == Some(&v))
-                        .map(|(k, v)| (k, v))
                     {
                         stacks.entry(slot).or_default().push(Operand::Value(inst.results[0]));
                         pushed.push(slot);
@@ -141,11 +142,8 @@ pub fn run_on_function(f: &mut Function) -> usize {
 
         // Fill φ incoming of CFG successors.
         for succ in f.blocks[bid].term.successors() {
-            let slots: Vec<LocalId> = phi_of
-                .iter()
-                .filter(|((b, _), _)| *b == succ)
-                .map(|((_, s), _)| *s)
-                .collect();
+            let slots: Vec<LocalId> =
+                phi_of.iter().filter(|((b, _), _)| *b == succ).map(|((_, s), _)| *s).collect();
             for slot in slots {
                 let phi_v = phi_of[&(succ, slot)];
                 let cur = stacks
@@ -220,10 +218,10 @@ fn find_promotable(f: &Function) -> Vec<LocalId> {
     for b in f.blocks.iter() {
         for inst in &b.insts {
             match &inst.kind {
-                InstKind::LocalLoad { slot, index } | InstKind::LocalStore { slot, index, .. } => {
-                    if index.as_const() != Some(0) {
-                        bad.insert(*slot);
-                    }
+                InstKind::LocalLoad { slot, index } | InstKind::LocalStore { slot, index, .. }
+                    if index.as_const() != Some(0) =>
+                {
+                    bad.insert(*slot);
                 }
                 _ => {}
             }
@@ -251,14 +249,20 @@ mod tests {
         let out = b.add_arg("o", IrTy::I32, 1, true);
         let x = b.add_local("x", IrTy::I32, 1);
         let i0 = Op::imm(0, IrTy::I32);
-        b.emit(InstKind::LocalStore { slot: x, index: i0, value: Op::imm(1, IrTy::I32) }, IrTy::I32);
+        b.emit(
+            InstKind::LocalStore { slot: x, index: i0, value: Op::imm(1, IrTy::I32) },
+            IrTy::I32,
+        );
         let c = b.emit(InstKind::ArgRead { arg: argc, index: i0 }, IrTy::I32).unwrap();
         let cond = b.icmp(IcmpPred::Ne, Op::Value(c), Op::imm(0, IrTy::I32));
         let t = b.new_block();
         let j = b.new_block();
         b.terminate(Terminator::CondBr { cond, then_bb: t, else_bb: j });
         b.switch_to(t);
-        b.emit(InstKind::LocalStore { slot: x, index: i0, value: Op::imm(2, IrTy::I32) }, IrTy::I32);
+        b.emit(
+            InstKind::LocalStore { slot: x, index: i0, value: Op::imm(2, IrTy::I32) },
+            IrTy::I32,
+        );
         b.terminate(Terminator::Br(j));
         b.switch_to(j);
         let v = b.emit(InstKind::LocalLoad { slot: x, index: i0 }, IrTy::I32).unwrap();
@@ -334,7 +338,10 @@ mod tests {
         let out = b.add_arg("o", IrTy::I32, 1, true);
         let x = b.add_local("x", IrTy::I32, 1);
         let i0 = Op::imm(0, IrTy::I32);
-        b.emit(InstKind::LocalStore { slot: x, index: i0, value: Op::imm(1, IrTy::I32) }, IrTy::I32);
+        b.emit(
+            InstKind::LocalStore { slot: x, index: i0, value: Op::imm(1, IrTy::I32) },
+            IrTy::I32,
+        );
         let v1 = b.emit(InstKind::LocalLoad { slot: x, index: i0 }, IrTy::I32).unwrap();
         let v2 = b.bin(IrBinOp::Add, Op::Value(v1), Op::imm(10, IrTy::I32), IrTy::I32);
         b.emit(InstKind::LocalStore { slot: x, index: i0, value: v2 }, IrTy::I32);

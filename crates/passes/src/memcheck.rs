@@ -431,9 +431,7 @@ mod tests {
         b.switch_to(t);
         let x1 = b.emit(read(0, 0), IrTy::I32).unwrap();
         b.emit(
-            InstKind::MemRead {
-                mem: MemRef { mem: MemId(1), indices: vec![Op::Value(x1)] },
-            },
+            InstKind::MemRead { mem: MemRef { mem: MemId(1), indices: vec![Op::Value(x1)] } },
             IrTy::I32,
         );
         b.terminate(Terminator::Ret(ActionRef::pass()));
@@ -441,9 +439,7 @@ mod tests {
         b.switch_to(e);
         let x2 = b.emit(read(1, 0), IrTy::I32).unwrap();
         b.emit(
-            InstKind::MemRead {
-                mem: MemRef { mem: MemId(0), indices: vec![Op::Value(x2)] },
-            },
+            InstKind::MemRead { mem: MemRef { mem: MemId(0), indices: vec![Op::Value(x2)] } },
             IrTy::I32,
         );
         b.terminate(Terminator::Ret(ActionRef::pass()));

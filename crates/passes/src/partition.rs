@@ -19,8 +19,7 @@ use netcl_util::idx::Idx;
 /// Partitions every eligible global. Returns the number of split objects.
 pub fn partition_module(module: &mut Module) -> usize {
     let mut split_count = 0;
-    loop {
-        let Some(target) = find_partitionable(module) else { break };
+    while let Some(target) = find_partitionable(module) {
         split_one(module, target);
         split_count += 1;
     }
@@ -206,7 +205,9 @@ mod tests {
         // Fig. 7's Bitmap: accesses Bitmap[0][i] and Bitmap[1][i].
         let mut b = FuncBuilder::new("allreduce", 1);
         let argi = b.add_arg("i", IrTy::I16, 1, false);
-        let i = b.emit(InstKind::ArgRead { arg: argi, index: Op::imm(0, IrTy::I32) }, IrTy::I16).unwrap();
+        let i = b
+            .emit(InstKind::ArgRead { arg: argi, index: Op::imm(0, IrTy::I32) }, IrTy::I16)
+            .unwrap();
         b.emit(atomic_or(MemId(0), Op::imm(0, IrTy::I16), Op::Value(i)), IrTy::I16);
         b.emit(atomic_or(MemId(0), Op::imm(1, IrTy::I16), Op::Value(i)), IrTy::I16);
         b.terminate(Terminator::Ret(ActionRef::pass()));
@@ -240,7 +241,9 @@ mod tests {
     fn dynamic_outer_index_blocks_partitioning() {
         let mut b = FuncBuilder::new("k", 1);
         let argi = b.add_arg("i", IrTy::I16, 1, false);
-        let i = b.emit(InstKind::ArgRead { arg: argi, index: Op::imm(0, IrTy::I32) }, IrTy::I16).unwrap();
+        let i = b
+            .emit(InstKind::ArgRead { arg: argi, index: Op::imm(0, IrTy::I32) }, IrTy::I16)
+            .unwrap();
         b.emit(atomic_or(MemId(0), Op::Value(i), Op::imm(3, IrTy::I16)), IrTy::I16);
         b.terminate(Terminator::Ret(ActionRef::pass()));
         let mut m = Module {
@@ -266,17 +269,14 @@ mod tests {
         };
         let mut b = FuncBuilder::new("k", 1);
         let k = b.add_arg("k", IrTy::I32, 1, false);
-        let kv = b.emit(InstKind::ArgRead { arg: k, index: Op::imm(0, IrTy::I32) }, IrTy::I32).unwrap();
+        let kv =
+            b.emit(InstKind::ArgRead { arg: k, index: Op::imm(0, IrTy::I32) }, IrTy::I32).unwrap();
         b.emit_lookup(MemId(0), Op::Value(kv), IrTy::I32);
         b.emit_lookup(MemId(0), Op::Value(kv), IrTy::I32);
         b.emit_lookup(MemId(0), Op::Value(kv), IrTy::I32);
         b.terminate(Terminator::Ret(ActionRef::pass()));
-        let mut m = Module {
-            name: "t".into(),
-            device: 0,
-            globals: vec![table],
-            kernels: vec![b.finish()],
-        };
+        let mut m =
+            Module { name: "t".into(), device: 0, globals: vec![table], kernels: vec![b.finish()] };
         assert_eq!(duplicate_lookup_memory(&mut m), 2);
         assert_eq!(m.globals.len(), 3);
         assert_eq!(m.globals[1].name, "cache__dup1");
@@ -308,12 +308,8 @@ mod tests {
         b.emit_lookup(MemId(0), Op::imm(1, IrTy::I32), IrTy::I32);
         b.emit_lookup(MemId(0), Op::imm(2, IrTy::I32), IrTy::I32);
         b.terminate(Terminator::Ret(ActionRef::pass()));
-        let mut m = Module {
-            name: "t".into(),
-            device: 0,
-            globals: vec![table],
-            kernels: vec![b.finish()],
-        };
+        let mut m =
+            Module { name: "t".into(), device: 0, globals: vec![table], kernels: vec![b.finish()] };
         assert_eq!(duplicate_lookup_memory(&mut m), 0);
         assert_eq!(m.globals.len(), 1);
     }

@@ -28,15 +28,9 @@ pub fn run_on_function(f: &mut Function) -> usize {
         let InstKind::Phi { incoming } = inst.kind else { unreachable!() };
         let result = inst.results[0];
         let ty = f.values[result].ty;
-        let name = f.values[result]
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("phi{}", result.0));
-        let slot = f.locals.push(netcl_ir::func::LocalSlot {
-            name: format!("{name}.ph"),
-            ty,
-            count: 1,
-        });
+        let name = f.values[result].name.clone().unwrap_or_else(|| format!("phi{}", result.0));
+        let slot =
+            f.locals.push(netcl_ir::func::LocalSlot { name: format!("{name}.ph"), ty, count: 1 });
         let zero_idx = Operand::imm(0, IrTy::I32);
         // Store in each incoming predecessor, before its terminator.
         for (pred, value) in incoming {

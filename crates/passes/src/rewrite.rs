@@ -38,7 +38,8 @@ pub fn icmp_to_sub_msb(f: &mut Function) -> usize {
             }
             let result = inst.results[0];
             let ty = f.operand_ty(a);
-            let signed = matches!(pred, IcmpPred::Slt | IcmpPred::Sle | IcmpPred::Sgt | IcmpPred::Sge);
+            let signed =
+                matches!(pred, IcmpPred::Slt | IcmpPred::Sle | IcmpPred::Sgt | IcmpPred::Sge);
             // Normalize to a strict less-than: a < b (swap for >), and track
             // whether the final result needs inversion (for <=, >=).
             let (lhs, rhs, invert) = match pred {

@@ -70,10 +70,7 @@ pub fn ensure_structured(f: &mut Function) -> Result<StructurizeStats, String> {
 }
 
 fn reachable_inst_count(f: &Function) -> usize {
-    netcl_ir::dom::reverse_postorder(f)
-        .into_iter()
-        .map(|b| f.blocks[b].insts.len())
-        .sum()
+    netcl_ir::dom::reverse_postorder(f).into_iter().map(|b| f.blocks[b].insts.len()).sum()
 }
 
 /// Immediate post-dominators over the CFG extended with a virtual exit.
@@ -82,8 +79,8 @@ fn reachable_inst_count(f: &Function) -> usize {
 pub fn immediate_postdominators(f: &Function) -> HashMap<BlockId, Option<BlockId>> {
     let n = f.blocks.len();
     let exit = n; // virtual node index
-    // Reverse edges: node -> its "predecessors" in the reversed graph are
-    // its CFG successors; the exit's reversed successors are all Ret blocks.
+                  // Reverse edges: node -> its "predecessors" in the reversed graph are
+                  // its CFG successors; the exit's reversed successors are all Ret blocks.
     let mut rev_succ: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // reversed graph adjacency
     for (bid, b) in f.blocks.iter_enumerated() {
         match &b.term {
@@ -214,10 +211,8 @@ impl<'a> Rebuilder<'a> {
         if Some(orig) == stop {
             return Ok(cont.expect("stop requires a continuation"));
         }
-        let new_b = self.new_blocks.push(Block {
-            insts: Vec::new(),
-            term: Terminator::Unterminated,
-        });
+        let new_b =
+            self.new_blocks.push(Block { insts: Vec::new(), term: Terminator::Unterminated });
         // Clone instructions with fresh result values.
         let src_insts = self.src.blocks[orig].insts.clone();
         for inst in src_insts {

@@ -88,10 +88,7 @@ impl ManagedMemory {
                     mems.insert(
                         g.name.clone(),
                         MemInfo {
-                            kind: MemKind::Plain {
-                                register: g.name.clone(),
-                                dims: g.dims.clone(),
-                            },
+                            kind: MemKind::Plain { register: g.name.clone(), dims: g.dims.clone() },
                             managed: g.managed,
                             lookup: g.lookup,
                         },
@@ -104,17 +101,15 @@ impl ManagedMemory {
 
     /// Resolves `(name, indices)` → `(register, flat index)`.
     pub fn resolve(&self, name: &str, indices: &[usize]) -> Result<(String, usize), ManagedError> {
-        let info = self
-            .mems
-            .get(name)
-            .ok_or_else(|| ManagedError::UnknownMemory(name.to_string()))?;
+        let info =
+            self.mems.get(name).ok_or_else(|| ManagedError::UnknownMemory(name.to_string()))?;
         match &info.kind {
-            MemKind::Plain { register, dims } => {
-                Ok((register.clone(), flatten(dims, indices)?))
-            }
+            MemKind::Plain { register, dims } => Ok((register.clone(), flatten(dims, indices)?)),
             MemKind::Partitioned { parts } => {
                 let Some((&outer, rest)) = indices.split_first() else {
-                    return Err(ManagedError::BadIndex("partitioned memory needs an outer index".into()));
+                    return Err(ManagedError::BadIndex(
+                        "partitioned memory needs an outer index".into(),
+                    ));
                 };
                 let (reg, dims) = parts
                     .get(outer)
@@ -216,10 +211,8 @@ impl ManagedMemory {
     }
 
     fn lookup_tables(&self, sw: &Switch, name: &str) -> Result<Vec<String>, ManagedError> {
-        let info = self
-            .mems
-            .get(name)
-            .ok_or_else(|| ManagedError::UnknownMemory(name.to_string()))?;
+        let info =
+            self.mems.get(name).ok_or_else(|| ManagedError::UnknownMemory(name.to_string()))?;
         if !info.lookup || !info.managed {
             return Err(ManagedError::UnknownMemory(format!("{name} (not managed lookup)")));
         }

@@ -78,15 +78,7 @@ pub struct Message {
 impl Message {
     /// `send_{src→dst}(comp, dev, m)` header (§IV).
     pub fn new(src: u16, dst: u16, comp: u8, dev: u16) -> Message {
-        Message {
-            src,
-            dst,
-            from: crate::device::NO_DEVICE,
-            to: dev,
-            comp,
-            action: 0,
-            target: 0,
-        }
+        Message { src, dst, from: crate::device::NO_DEVICE, to: dev, comp, action: 0, target: 0 }
     }
 
     /// Total packet size for a kernel specification.
@@ -96,13 +88,22 @@ impl Message {
 
     /// Serializes the header into the first [`NCL_HEADER_BYTES`] bytes.
     pub fn write_header(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.src.to_be_bytes());
-        out.extend_from_slice(&self.dst.to_be_bytes());
-        out.extend_from_slice(&self.from.to_be_bytes());
-        out.extend_from_slice(&self.to.to_be_bytes());
-        out.push(self.comp);
-        out.push(self.action);
-        out.extend_from_slice(&self.target.to_be_bytes());
+        let base = out.len();
+        out.resize(base + NCL_HEADER_BYTES, 0);
+        self.write_header_into(&mut out[base..]);
+    }
+
+    /// Serializes the header in place into `out` (at least
+    /// [`NCL_HEADER_BYTES`] long), without allocating. The simulator uses
+    /// this to rewrite per-hop fields directly in the wire buffer.
+    pub fn write_header_into(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst.to_be_bytes());
+        out[4..6].copy_from_slice(&self.from.to_be_bytes());
+        out[6..8].copy_from_slice(&self.to.to_be_bytes());
+        out[8] = self.comp;
+        out[9] = self.action;
+        out[10..12].copy_from_slice(&self.target.to_be_bytes());
     }
 
     /// Parses a header from wire bytes.
@@ -275,12 +276,9 @@ mod tests {
         let spec = agg_spec();
         let m = Message::new(3, 3, 1, 1);
         let values: Vec<u64> = (0..32).map(|i| i * 10).collect();
-        let packed = pack(
-            &m,
-            &spec,
-            &[Some(&[0]), Some(&[7]), Some(&[7]), Some(&[1 << 3]), Some(&values)],
-        )
-        .unwrap();
+        let packed =
+            pack(&m, &spec, &[Some(&[0]), Some(&[7]), Some(&[7]), Some(&[1 << 3]), Some(&values)])
+                .unwrap();
         assert_eq!(packed.len(), NCL_HEADER_BYTES + (1 + 2 + 2 + 2) + 32 * 4);
         let mut out = Vec::new();
         unpack(&packed, &spec, &mut [None, None, None, None, Some(&mut out)]).unwrap();
@@ -333,12 +331,9 @@ _kernel(1) _at(1) void k(char op, unsigned key, uint16_t &small,
             .unwrap();
         let spec = unit.model.kernels[0].specification();
         let m = Message::new(5, 6, 1, 1);
-        let packed = pack(
-            &m,
-            &spec,
-            &[Some(&[7]), Some(&[0xAABBCCDD]), Some(&[3]), Some(&[1, 2, 3, 4])],
-        )
-        .unwrap();
+        let packed =
+            pack(&m, &spec, &[Some(&[7]), Some(&[0xAABBCCDD]), Some(&[3]), Some(&[1, 2, 3, 4])])
+                .unwrap();
         let mut sw = netcl_bmv2::Switch::new(unit.devices[0].tna_p4.clone());
         let (pkt, _) = sw.process(&packed).unwrap();
         assert_eq!(pkt.get("ncl.src"), 5);

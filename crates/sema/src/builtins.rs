@@ -364,10 +364,9 @@ pub fn resolve(segments: &[&str], targs: &[u64]) -> Result<Builtin, ResolveError
     }
     match segments {
         ["ncl", name] => resolve_simple(name, targs),
-        ["ncl", target @ ("tna" | "v1"), name] => Ok(Builtin::TargetIntrinsic {
-            target: target.to_string(),
-            name: name.to_string(),
-        }),
+        ["ncl", target @ ("tna" | "v1"), name] => {
+            Ok(Builtin::TargetIntrinsic { target: target.to_string(), name: name.to_string() })
+        }
         _ => Err(ResolveError::Unknown(segments.join("::"))),
     }
 }
@@ -464,10 +463,7 @@ mod tests {
     #[test]
     fn resolve_actions() {
         assert_eq!(resolve(&["ncl", "drop"], &[]), Ok(Builtin::Action(ActionKind::Drop)));
-        assert_eq!(
-            resolve(&["ncl", "multicast"], &[]),
-            Ok(Builtin::Action(ActionKind::Multicast))
-        );
+        assert_eq!(resolve(&["ncl", "multicast"], &[]), Ok(Builtin::Action(ActionKind::Multicast)));
         assert_eq!(resolve(&["ncl", "pass"], &[]), Ok(Builtin::Action(ActionKind::Pass)));
     }
 
@@ -475,10 +471,7 @@ mod tests {
     fn resolve_hashes_with_widths() {
         assert_eq!(resolve(&["ncl", "crc32"], &[16]), Ok(Builtin::Hash(HashKind::Crc32, 16)));
         assert_eq!(resolve(&["ncl", "crc16"], &[]), Ok(Builtin::Hash(HashKind::Crc16, 16)));
-        assert!(matches!(
-            resolve(&["ncl", "crc32"], &[99]),
-            Err(ResolveError::BadTemplateArgs(_))
-        ));
+        assert!(matches!(resolve(&["ncl", "crc32"], &[99]), Err(ResolveError::BadTemplateArgs(_))));
     }
 
     #[test]

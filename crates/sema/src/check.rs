@@ -212,11 +212,11 @@ impl<'a> Checker<'a> {
                     dims = vec![entries.len().max(1)];
                 }
             } else {
-                if g.init.is_some() {
+                if let Some(init) = &g.init {
                     self.diags.error(
                         "E0229",
                         "non-lookup global memory is zero-initialized and may not have an initializer",
-                        g.init.as_ref().unwrap().span(),
+                        init.span(),
                     );
                 }
                 if inferred {
@@ -263,12 +263,12 @@ impl<'a> Checker<'a> {
                         self.diags.error("E0214", "kv entry must be `{key, value}`", *s);
                         continue;
                     }
-                    match (self.entry_const(&kv[0]), self.entry_const(&kv[1])) {
-                        (Some(k), Some(v)) => out.push(LookupEntry::Exact {
+                    if let (Some(k), Some(v)) = (self.entry_const(&kv[0]), self.entry_const(&kv[1]))
+                    {
+                        out.push(LookupEntry::Exact {
                             key: key.ty().wrap(k),
                             value: value.ty().wrap(v),
-                        }),
-                        _ => {}
+                        });
                     }
                 }
                 (Ty::Rv { range, value }, Init::List(rv, s)) => {
@@ -599,12 +599,8 @@ impl<'a> Checker<'a> {
 
     fn check_bodies(&mut self) {
         // Snapshot entity lists; bodies are checked against the full model.
-        let kernel_items: Vec<(usize, LocationSet)> = self
-            .model
-            .kernels
-            .iter()
-            .map(|k| (k.item_index, k.locations.clone()))
-            .collect();
+        let kernel_items: Vec<(usize, LocationSet)> =
+            self.model.kernels.iter().map(|k| (k.item_index, k.locations.clone())).collect();
         let netfn_items: Vec<(usize, usize, LocationSet, Ty)> = self
             .model
             .net_fns
@@ -787,11 +783,7 @@ impl<'a> Checker<'a> {
         let ty = match &d.ty {
             TypeExpr::Auto => {
                 let Some(Init::Expr(init)) = &d.init else {
-                    self.diags.error(
-                        "E0223",
-                        "`auto` requires a scalar initializer",
-                        d.span,
-                    );
+                    self.diags.error("E0223", "`auto` requires a scalar initializer", d.span);
                     return;
                 };
                 let t = self.check_expr(init, ctx);
@@ -828,11 +820,7 @@ impl<'a> Checker<'a> {
             match &d.init {
                 Some(Init::Expr(e)) => {
                     if !dims.is_empty() {
-                        self.diags.error(
-                            "E0201",
-                            "array initializers use brace lists",
-                            e.span,
-                        );
+                        self.diags.error("E0201", "array initializers use brace lists", e.span);
                     }
                     let t = self.check_expr(e, ctx);
                     if !t.converts_to(ty) {
@@ -869,20 +857,13 @@ impl<'a> Checker<'a> {
                 None => {}
             }
         }
-        ctx.scopes
-            .last_mut()
-            .unwrap()
-            .insert(d.name, VarInfo { ty, dims, root: Root::Local });
+        ctx.scopes.last_mut().unwrap().insert(d.name, VarInfo { ty, dims, root: Root::Local });
     }
 
     fn check_condition(&mut self, e: &Expr, ctx: &mut FnCtx<'_>) {
         let ty = self.check_expr(e, ctx);
         if !ty.is_arith() && ty != Ty::Bool {
-            self.diags.error(
-                "E0201",
-                format!("condition must be scalar, found `{ty}`"),
-                e.span,
-            );
+            self.diags.error("E0201", format!("condition must be scalar, found `{ty}`"), e.span);
         }
     }
 
@@ -952,7 +933,11 @@ impl<'a> Checker<'a> {
                 UnOp::Neg | UnOp::BitNot => {
                     let t = self.check_expr(inner, ctx);
                     if !t.is_arith() {
-                        self.diags.error("E0201", format!("cannot apply operator to `{t}`"), e.span);
+                        self.diags.error(
+                            "E0201",
+                            format!("cannot apply operator to `{t}`"),
+                            e.span,
+                        );
                         return Ty::I32;
                     }
                     t.promote()
@@ -1071,28 +1056,22 @@ impl<'a> Checker<'a> {
                     }
                 }
             }
-            ExprKind::IncDec { expr, .. } => {
-                match self.check_place(expr, ctx) {
-                    Some(p) if p.dims_left == 0 && p.ty.is_int() => {
-                        if let Root::Global(g) = p.root {
-                            if self.model.globals[g].lookup {
-                                self.diags.error("E0220", "`_lookup_` memory is not writable", e.span);
-                            }
-                            self.check_reference_validity(g, e.span, ctx);
+            ExprKind::IncDec { expr, .. } => match self.check_place(expr, ctx) {
+                Some(p) if p.dims_left == 0 && p.ty.is_int() => {
+                    if let Root::Global(g) = p.root {
+                        if self.model.globals[g].lookup {
+                            self.diags.error("E0220", "`_lookup_` memory is not writable", e.span);
                         }
-                        p.ty
+                        self.check_reference_validity(g, e.span, ctx);
                     }
-                    Some(p) => {
-                        self.diags.error(
-                            "E0201",
-                            format!("cannot increment `{}`", p.ty),
-                            e.span,
-                        );
-                        Ty::I32
-                    }
-                    None => Ty::I32,
+                    p.ty
                 }
-            }
+                Some(p) => {
+                    self.diags.error("E0201", format!("cannot increment `{}`", p.ty), e.span);
+                    Ty::I32
+                }
+                None => Ty::I32,
+            },
             ExprKind::Sizeof(te) => {
                 if Ty::from_type_expr(te).is_none() {
                     self.diags.error("E0105", "unknown type in sizeof", e.span);
@@ -1138,15 +1117,15 @@ impl<'a> Checker<'a> {
             ExprKind::Index(base, idx) => {
                 let it = self.check_expr(idx, ctx);
                 if !it.is_arith() {
-                    self.diags.error("E0201", format!("index must be integer, found `{it}`"), idx.span);
+                    self.diags.error(
+                        "E0201",
+                        format!("index must be integer, found `{it}`"),
+                        idx.span,
+                    );
                 }
                 let base_place = self.check_place(base, ctx)?;
                 if base_place.dims_left == 0 {
-                    self.diags.error(
-                        "E0201",
-                        "indexing into a scalar",
-                        e.span,
-                    );
+                    self.diags.error("E0201", "indexing into a scalar", e.span);
                     return None;
                 }
                 Some(PlaceInfo {
@@ -1182,7 +1161,11 @@ impl<'a> Checker<'a> {
                         return None;
                     }
                 }
-                self.diags.error("E0201", "member access is only for `device`/`msg` builtins", e.span);
+                self.diags.error(
+                    "E0201",
+                    "member access is only for `device`/`msg` builtins",
+                    e.span,
+                );
                 None
             }
             ExprKind::Unary(UnOp::Deref, inner) => {
@@ -1200,11 +1183,7 @@ impl<'a> Checker<'a> {
                     return None;
                 }
                 if p.root != Root::ParamPtr {
-                    self.diags.error(
-                        "E0211",
-                        "`*` only applies to pointer parameters",
-                        e.span,
-                    );
+                    self.diags.error("E0211", "`*` only applies to pointer parameters", e.span);
                 }
                 Some(PlaceInfo { root: p.root, ty: p.ty, dims_left: p.dims_left - 1 })
             }
@@ -1271,9 +1250,9 @@ impl<'a> Checker<'a> {
                     .iter()
                     .map(|t| match t {
                         TemplateArg::Const(c) => *c,
-                        TemplateArg::Type(te) => Ty::from_type_expr(te)
-                            .map(|t| t.bits() as u64)
-                            .unwrap_or(0),
+                        TemplateArg::Type(te) => {
+                            Ty::from_type_expr(te).map(|t| t.bits() as u64).unwrap_or(0)
+                        }
                     })
                     .collect();
                 match builtins::resolve(&segs, &widths) {
@@ -1287,7 +1266,11 @@ impl<'a> Checker<'a> {
                         Ty::I32
                     }
                     Err(ResolveError::Unknown(n)) => {
-                        self.diags.error("E0224", format!("unknown ncl builtin `{n}`"), callee.span);
+                        self.diags.error(
+                            "E0224",
+                            format!("unknown ncl builtin `{n}`"),
+                            callee.span,
+                        );
                         Ty::I32
                     }
                     Err(ResolveError::BadTemplateArgs(n)) => {
@@ -1323,13 +1306,7 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn check_netfn_call(
-        &mut self,
-        e: &Expr,
-        nf: usize,
-        args: &[Expr],
-        ctx: &mut FnCtx<'_>,
-    ) -> Ty {
+    fn check_netfn_call(&mut self, e: &Expr, nf: usize, args: &[Expr], ctx: &mut FnCtx<'_>) -> Ty {
         let (nparams, ret, name) = {
             let f = &self.model.net_fns[nf];
             (f.params.clone(), f.ret, f.name.clone())
@@ -1354,26 +1331,23 @@ impl<'a> Checker<'a> {
                     }
                 }
                 PassMode::Reference | PassMode::Pointer => {
-                    match self.check_place(arg, ctx) {
-                        Some(p) => {
-                            if p.dims_left != 0 && param.mode == PassMode::Reference {
-                                self.diags.error("E0201", "cannot bind array to `&`", arg.span);
-                            }
-                            if param.mode == PassMode::Reference && p.ty != param.ty {
-                                self.diags.error(
-                                    "E0201",
-                                    format!(
-                                        "reference parameter `{}` requires exactly `{}`, found `{}`",
-                                        param.name, param.ty, p.ty
-                                    ),
-                                    arg.span,
-                                );
-                            }
-                            if let Root::Global(g) = p.root {
-                                self.check_reference_validity(g, arg.span, ctx);
-                            }
+                    if let Some(p) = self.check_place(arg, ctx) {
+                        if p.dims_left != 0 && param.mode == PassMode::Reference {
+                            self.diags.error("E0201", "cannot bind array to `&`", arg.span);
                         }
-                        None => {}
+                        if param.mode == PassMode::Reference && p.ty != param.ty {
+                            self.diags.error(
+                                "E0201",
+                                format!(
+                                    "reference parameter `{}` requires exactly `{}`, found `{}`",
+                                    param.name, param.ty, p.ty
+                                ),
+                                arg.span,
+                            );
+                        }
+                        if let Root::Global(g) = p.root {
+                            self.check_reference_validity(g, arg.span, ctx);
+                        }
                     }
                 }
             }
@@ -1407,11 +1381,7 @@ impl<'a> Checker<'a> {
         match b {
             Builtin::Action(kind) => {
                 if !ctx.is_kernel {
-                    self.diags.error(
-                        "E0204",
-                        "actions may only be used in kernels (§V-A)",
-                        e.span,
-                    );
+                    self.diags.error("E0204", "actions may only be used in kernels (§V-A)", e.span);
                 }
                 if argn(self, kind.arg_count()) {
                     for a in args {
@@ -1476,20 +1446,20 @@ impl<'a> Checker<'a> {
                     if let Some(out) = args.get(2) {
                         match val_ty {
                             Some(vt) => match self.check_place(out, ctx) {
-                                Some(p) if p.dims_left == 0 => {
-                                    if p.ty != vt {
-                                        self.diags.error(
-                                            "E0201",
-                                            format!(
-                                                "lookup output requires `{vt}`, found `{}`",
-                                                p.ty
-                                            ),
-                                            out.span,
-                                        );
-                                    }
+                                Some(p) if p.dims_left == 0 && p.ty != vt => {
+                                    self.diags.error(
+                                        "E0201",
+                                        format!("lookup output requires `{vt}`, found `{}`", p.ty),
+                                        out.span,
+                                    );
                                 }
+                                Some(p) if p.dims_left == 0 => {}
                                 Some(_) => {
-                                    self.diags.error("E0202", "lookup output must be scalar", out.span);
+                                    self.diags.error(
+                                        "E0202",
+                                        "lookup output must be scalar",
+                                        out.span,
+                                    );
                                 }
                                 None => {}
                             },
@@ -1582,11 +1552,7 @@ impl<'a> Checker<'a> {
         };
         let place = self.check_place(inner, ctx)?;
         if place.dims_left != 0 {
-            self.diags.error(
-                "E0213",
-                "atomic address must resolve to a single element",
-                arg.span,
-            );
+            self.diags.error("E0213", "atomic address must resolve to a single element", arg.span);
             return None;
         }
         match place.root {
@@ -1616,11 +1582,7 @@ impl<'a> Checker<'a> {
 
     /// Checks the table argument of `ncl::lookup`, returning (key_ty,
     /// Some(value_ty) for kv/rv, None for membership sets).
-    fn check_lookup_table(
-        &mut self,
-        arg: &Expr,
-        ctx: &mut FnCtx<'_>,
-    ) -> Option<(Ty, Option<Ty>)> {
+    fn check_lookup_table(&mut self, arg: &Expr, ctx: &mut FnCtx<'_>) -> Option<(Ty, Option<Ty>)> {
         let ExprKind::Ident(name) = &arg.kind else {
             self.diags.error(
                 "E0210",
@@ -1640,11 +1602,7 @@ impl<'a> Checker<'a> {
         };
         let g = &self.model.globals[gi];
         if !g.lookup {
-            self.diags.error(
-                "E0210",
-                format!("`{n}` is not `_lookup_` memory"),
-                arg.span,
-            );
+            self.diags.error("E0210", format!("`{n}` is not `_lookup_` memory"), arg.span);
             return None;
         }
         let result = match g.elem {
@@ -1783,8 +1741,7 @@ _kernel(2) void b(int x[4]) {}
 _kernel(3) void c(int _spec(4) *x) {}
 _kernel(4) void d(int x, int y[2], int *z) {}
 "#);
-        let s: Vec<String> =
-            a.model.kernels.iter().map(|k| k.specification().describe()).collect();
+        let s: Vec<String> = a.model.kernels.iter().map(|k| k.specification().describe()).collect();
         assert_eq!(s[0], "[3][int32_t]");
         assert_eq!(s[1], "[4][int32_t]");
         assert_eq!(s[2], "[4][int32_t]");
@@ -1793,10 +1750,7 @@ _kernel(4) void d(int x, int y[2], int *z) {}
 
     #[test]
     fn spec_mismatch_same_computation() {
-        err(
-            "_kernel(1) _at(1) void a(int x[3]) {} _kernel(1) _at(2) void b(int x[4]) {}",
-            "E0208",
-        );
+        err("_kernel(1) _at(1) void a(int x[3]) {} _kernel(1) _at(2) void b(int x[4]) {}", "E0208");
     }
 
     #[test]
@@ -1878,10 +1832,7 @@ _kernel(4) void d(int x, int y[2], int *z) {}
         err("_kernel(1) void k(int x) { return 1; }", "E0203");
         err("_kernel(300) void k(int x) {}", "E0215");
         err("_kernel(1) void k(ncl::kv<int,int> x) {}", "E0216");
-        err(
-            "_kernel(1) void k(int x) {} _net_ void f(int y) { k(1); }",
-            "E0218",
-        );
+        err("_kernel(1) void k(int x) {} _net_ void f(int y) { k(1); }", "E0218");
     }
 
     #[test]
@@ -1909,10 +1860,7 @@ _kernel(4) void d(int x, int y[2], int *z) {}
             "_net_ void f(int x); _net_ void g(int x) { f(1); } _net_ void f(int x) { g(1); }",
             "E0231", // prototype without body also reported
         );
-        err(
-            "_net_ int f(int x) { return f(x); }",
-            "E0217",
-        );
+        err("_net_ int f(int x) { return f(x); }", "E0217");
     }
 
     #[test]
@@ -1940,7 +1888,9 @@ _kernel(4) void d(int x, int y[2], int *z) {}
 
     #[test]
     fn auto_inference() {
-        let a = ok("_net_ void f(uint16_t b, uint16_t m, unsigned &o) { auto seen = b & m; o = seen; }");
+        let a = ok(
+            "_net_ void f(uint16_t b, uint16_t m, unsigned &o) { auto seen = b & m; o = seen; }",
+        );
         let _ = a;
         err("_net_ void f() { auto x; }", "E0223");
     }

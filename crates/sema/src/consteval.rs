@@ -23,19 +23,10 @@ pub fn eval_const(expr: &Expr, diags: &mut DiagnosticSink) -> Option<u64> {
 
 /// Evaluates and range-checks a constant against `ty`, reporting `E0215` if
 /// it does not fit.
-pub fn eval_const_in(
-    expr: &Expr,
-    ty: Ty,
-    what: &str,
-    diags: &mut DiagnosticSink,
-) -> Option<u64> {
+pub fn eval_const_in(expr: &Expr, ty: Ty, what: &str, diags: &mut DiagnosticSink) -> Option<u64> {
     let v = eval_const(expr, diags)?;
     if v > ty.max_value() {
-        diags.error(
-            "E0215",
-            format!("{what} `{v}` does not fit in {ty}"),
-            expr.span,
-        );
+        diags.error("E0215", format!("{what} `{v}` does not fit in {ty}"), expr.span);
         return None;
     }
     Some(v)
@@ -94,9 +85,7 @@ pub fn try_eval(expr: &Expr) -> Option<u64> {
                 _ => None,
             }
         }
-        ExprKind::Sizeof(te) => {
-            Ty::from_type_expr(te).map(|t| t.size_bytes() as u64)
-        }
+        ExprKind::Sizeof(te) => Ty::from_type_expr(te).map(|t| t.size_bytes() as u64),
         _ => None,
     }
 }
@@ -127,8 +116,8 @@ pub fn dummy_span() -> Span {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netcl_lang::parse;
     use netcl_lang::ast::{Init, Item};
+    use netcl_lang::parse;
 
     /// Parses a global `int x[] = {EXPR};` and returns the initializer expr.
     fn expr_of(src: &str) -> Expr {

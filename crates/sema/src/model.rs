@@ -94,11 +94,7 @@ impl KernelInfo {
     /// Derives the kernel's specification.
     pub fn specification(&self) -> Specification {
         Specification {
-            items: self
-                .params
-                .iter()
-                .map(|p| SpecItem { count: p.count, ty: p.ty })
-                .collect(),
+            items: self.params.iter().map(|p| SpecItem { count: p.count, ty: p.ty }).collect(),
         }
     }
 }
@@ -243,9 +239,7 @@ mod tests {
     use super::*;
 
     fn spec(items: &[(u32, Ty)]) -> Specification {
-        Specification {
-            items: items.iter().map(|&(count, ty)| SpecItem { count, ty }).collect(),
-        }
+        Specification { items: items.iter().map(|&(count, ty)| SpecItem { count, ty }).collect() }
     }
 
     #[test]

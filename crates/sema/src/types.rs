@@ -272,7 +272,10 @@ mod tests {
         assert!(Ty::U64.converts_to(Ty::U8)); // narrowing allowed, C-style
         assert!(Ty::Bool.converts_to(Ty::U32));
         assert!(!Ty::Action.converts_to(Ty::U32));
-        let kv = Ty::Kv { key: ScalarTy { bits: 32, signed: false }, value: ScalarTy { bits: 32, signed: false } };
+        let kv = Ty::Kv {
+            key: ScalarTy { bits: 32, signed: false },
+            value: ScalarTy { bits: 32, signed: false },
+        };
         assert!(!kv.converts_to(Ty::U32));
     }
 
@@ -281,7 +284,10 @@ mod tests {
         assert_eq!(Ty::U8.size_bytes(), 1);
         assert_eq!(Ty::Bool.size_bytes(), 1);
         assert_eq!(Ty::U32.size_bytes(), 4);
-        let kv = Ty::Kv { key: ScalarTy { bits: 32, signed: false }, value: ScalarTy { bits: 32, signed: false } };
+        let kv = Ty::Kv {
+            key: ScalarTy { bits: 32, signed: false },
+            value: ScalarTy { bits: 32, signed: false },
+        };
         assert_eq!(kv.size_bytes(), 8);
     }
 

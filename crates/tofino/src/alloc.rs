@@ -70,10 +70,7 @@ impl std::fmt::Display for AllocError {
 pub fn allocate(program: &P4Program, spec: &TofinoSpec) -> Result<AllocationReport, AllocError> {
     let phv = phv::account(program, spec);
     if phv.used_bits() > phv.capacity_bits {
-        return Err(AllocError::PhvOverflow {
-            used: phv.used_bits(),
-            capacity: phv.capacity_bits,
-        });
+        return Err(AllocError::PhvOverflow { used: phv.used_bits(), capacity: phv.capacity_bits });
     }
 
     // Iterate until register pinning reaches a fixpoint. Each round repins
@@ -188,12 +185,7 @@ impl<'a> Allocator<'a> {
         }
     }
 
-    fn walk(
-        &mut self,
-        stmts: &[Stmt],
-        control: &ControlDef,
-        gate: u32,
-    ) -> Result<(), AllocError> {
+    fn walk(&mut self, stmts: &[Stmt], control: &ControlDef, gate: u32) -> Result<(), AllocError> {
         for stmt in stmts {
             self.stmt(stmt, control, gate)?;
             if self.repin.is_some() {
@@ -217,7 +209,11 @@ impl<'a> Allocator<'a> {
                     // consumer's crossbar input on Tofino: the destination
                     // is usable as soon as the source is, and no stage hop
                     // is paid. One VLIW slot still performs the copy.
-                    self.place("move", min.saturating_sub(0), Demand { vliw: 1, ..Default::default() })?;
+                    self.place(
+                        "move",
+                        min.saturating_sub(0),
+                        Demand { vliw: 1, ..Default::default() },
+                    )?;
                     let e = self.avail.entry(field_path(dst)).or_insert(0);
                     *e = (*e).max(min);
                     return Ok(());
@@ -243,11 +239,7 @@ impl<'a> Allocator<'a> {
                     reads.extend(fields_of(a));
                 }
                 let min = gate.max(self.avail_of(&reads));
-                let s = self.place(
-                    "hash",
-                    min,
-                    Demand { hash_units: 1, ..Default::default() },
-                )?;
+                let s = self.place("hash", min, Demand { hash_units: 1, ..Default::default() })?;
                 self.define(field_path(dst), s);
             }
             Stmt::ExecuteRegisterAction { dst, ra, index } => {
@@ -283,8 +275,7 @@ impl<'a> Allocator<'a> {
                         // the SALU and SRAM — including registers pre-pinned
                         // by an earlier repin round.
                         if first_placement {
-                            if self.stages[fixed as usize].salus + 1 > self.spec.salus_per_stage
-                            {
+                            if self.stages[fixed as usize].salus + 1 > self.spec.salus_per_stage {
                                 // No SALU left at the pinned stage: push the
                                 // register later and retry the round.
                                 self.repin = Some((reg_name, fixed + 1));
@@ -411,11 +402,10 @@ fn fields_of(e: &Expr) -> Vec<String> {
 
 fn collect_fields(e: &Expr, out: &mut Vec<String>) {
     match e {
-        Expr::Field(segs) => {
-            if !segs.iter().any(|s| s.name.starts_with('$')) {
-                out.push(path_string(segs));
-            }
+        Expr::Field(segs) if !segs.iter().any(|s| s.name.starts_with('$')) => {
+            out.push(path_string(segs));
         }
+        Expr::Field(_) => {}
         Expr::Bin(_, a, b) => {
             collect_fields(a, out);
             collect_fields(b, out);

@@ -170,7 +170,11 @@ mod tests {
     fn report_with(stages: Vec<StageUse>) -> AllocationReport {
         AllocationReport {
             program: "t".into(),
-            stages_used: stages.iter().rposition(|s| !s.is_empty()).map(|i| i as u32 + 1).unwrap_or(0),
+            stages_used: stages
+                .iter()
+                .rposition(|s| !s.is_empty())
+                .map(|i| i as u32 + 1)
+                .unwrap_or(0),
             per_stage: stages,
             phv: PhvReport { header_bits: 200, metadata_bits: 100, capacity_bits: 4096 },
             spec: TofinoSpec::tofino1(),

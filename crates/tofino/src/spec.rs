@@ -78,8 +78,7 @@ mod tests {
         assert!(s.sram_bits_per_stage > s.tcam_bits_per_stage);
         assert_eq!(s.phv_bits, 4096);
         // Pipeline transit must stay below 1µs (paper Fig. 13).
-        let worst =
-            s.parser_cycles + s.stages * s.stage_cycles + s.deparser_cycles + s.tm_cycles;
+        let worst = s.parser_cycles + s.stages * s.stage_cycles + s.deparser_cycles + s.tm_cycles;
         let ns = worst as f64 / s.clock_hz * 1e9;
         assert!(ns < 1000.0, "worst pipe transit {ns} ns");
     }

@@ -53,6 +53,20 @@ impl BitSet {
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
+    /// Grows the bitset to at least `len` bits (new bits clear). Never
+    /// shrinks. Lets long-lived sets (e.g. per-packet validity in the
+    /// software switch) absorb late-interned indices without reallocation
+    /// churn.
+    pub fn ensure_len(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            let words = len.div_ceil(64);
+            if words > self.words.len() {
+                self.words.resize(words, 0);
+            }
+        }
+    }
+
     /// Sets every bit.
     pub fn insert_all(&mut self) {
         for w in &mut self.words {

@@ -104,11 +104,7 @@ impl SourceFile {
     pub fn line_text(&self, line: u32) -> &str {
         let idx = (line - 1) as usize;
         let start = self.line_starts[idx] as usize;
-        let end = self
-            .line_starts
-            .get(idx + 1)
-            .map(|&s| s as usize)
-            .unwrap_or(self.text.len());
+        let end = self.line_starts.get(idx + 1).map(|&s| s as usize).unwrap_or(self.text.len());
         self.text[start..end].trim_end_matches('\n')
     }
 }
@@ -233,7 +229,8 @@ impl Diagnostic {
             let text = f.line_text(line);
             let _ = write!(out, "\n  {} | {}", line, text);
             let pad = col as usize - 1 + line.to_string().len() + 4;
-            let carets = (self.span.len().max(1) as usize).min(text.len().saturating_sub(col as usize - 1).max(1));
+            let carets = (self.span.len().max(1) as usize)
+                .min(text.len().saturating_sub(col as usize - 1).max(1));
             let _ = write!(out, "\n{}{}", " ".repeat(pad), "^".repeat(carets));
         }
         for (span, label) in &self.notes {

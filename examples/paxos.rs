@@ -17,8 +17,16 @@ fn main() {
     let mut topo = Topology::new();
     topo.link(NodeId::Host(1), NodeId::Device(LEADER_DEV), LinkSpec::default());
     for a in 0..NUM_ACCEPTORS {
-        topo.link(NodeId::Device(LEADER_DEV), NodeId::Device(ACCEPTOR_DEV + a), LinkSpec::default());
-        topo.link(NodeId::Device(ACCEPTOR_DEV + a), NodeId::Device(LEARNER_DEV), LinkSpec::default());
+        topo.link(
+            NodeId::Device(LEADER_DEV),
+            NodeId::Device(ACCEPTOR_DEV + a),
+            LinkSpec::default(),
+        );
+        topo.link(
+            NodeId::Device(ACCEPTOR_DEV + a),
+            NodeId::Device(LEARNER_DEV),
+            LinkSpec::default(),
+        );
     }
     topo.link(NodeId::Device(LEARNER_DEV), NodeId::Host(2), LinkSpec::default());
     topo.multicast_group(
@@ -38,11 +46,8 @@ fn main() {
     }
     net.run(1_000_000);
 
-    let mut delivered: Vec<(u64, Vec<u64>)> = net
-        .host_received(2)
-        .iter()
-        .filter_map(|(_, b)| parse_delivery(b))
-        .collect();
+    let mut delivered: Vec<(u64, Vec<u64>)> =
+        net.host_received(2).iter().filter_map(|(_, b)| parse_delivery(b)).collect();
     delivered.sort();
     for (inst, val) in &delivered {
         println!("decided instance {inst}: value[0..3] = {:?}", &val[..3]);

@@ -44,8 +44,11 @@ fn main() {
         .compile("fig4.ncl", SOURCE)
         .expect("Fig. 4 compiles");
     let dev = &unit.devices[0];
-    println!("compiled for device {}: {} P4 lines (TNA)", dev.device,
-        netcl_p4::print::loc(&netcl_p4::print::print_program(&dev.tna_p4)));
+    println!(
+        "compiled for device {}: {} P4 lines (TNA)",
+        dev.device,
+        netcl_p4::print::loc(&netcl_p4::print::print_program(&dev.tna_p4))
+    );
 
     // 2. Check the Tofino fit (bf-p4c's role).
     let fitting = netcl_tofino::fit(&dev.tna_p4).expect("fits the 12-stage pipe");
@@ -72,7 +75,11 @@ fn main() {
             "GET {key}: hit={} v={} action={}",
             hit[0],
             val[0],
-            if pkt.get("ncl.action") == 5 { "reflect (answered in-network)" } else { "pass (to server)" }
+            if pkt.get("ncl.action") == 5 {
+                "reflect (answered in-network)"
+            } else {
+                "pass (to server)"
+            }
         );
     }
 }

@@ -1,0 +1,103 @@
+//! A hermetic, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment cannot fetch crates, so this shim provides the
+//! subset of the criterion API the `benches/` harness uses: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is a simple
+//! warmup-then-measure wall-clock loop; results print as
+//! `name: median_ns ns/iter (n iters)`.
+
+use std::time::Instant;
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f` over the bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup to populate caches / lazy statics.
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: 10, _parent: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let iters = if self.sample_size == 0 { 10 } else { self.sample_size };
+        run_one(name, iters, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration budget for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing buffered).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u64, f: &mut F) {
+    let mut b = Bencher { iters: iters.max(1), elapsed_ns: 0 };
+    f(&mut b);
+    let per = b.elapsed_ns / b.iters.max(1) as u128;
+    println!("bench {label}: {per} ns/iter ({} iters)", b.iters);
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,411 @@
+//! A hermetic, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real proptest cannot be fetched. This shim implements the subset of
+//! the API this repository's property tests use — `Strategy`, `Just`,
+//! ranges, tuples, `prop_oneof!`, `proptest::collection::{vec, btree_set}`,
+//! `any::<T>()`, the `proptest!` macro, and `prop_assert*!` — with a
+//! deterministic SplitMix64 case generator. There is no shrinking: a failing
+//! case reports its case index and seed so it can be replayed.
+
+use std::ops::Range;
+
+/// Deterministic per-test RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. Object-safe so `prop_oneof!` can box alternatives.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (API parity with proptest's `boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds from alternatives (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Unconstrained values of `T` (proptest's `any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector strategy with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` strategy with target size in `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Ordered-set strategy; duplicates are redrawn (bounded attempts).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.clone().sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts: small element domains may not reach `n`.
+            for _ in 0..n * 16 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs one property over `config.cases` deterministic cases.
+///
+/// The per-case closure returns `Err(reason)` on `prop_assert*!` failure;
+/// the runner panics with the case index and seed for replay.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    for i in 0..config.cases {
+        // Derive a distinct, reproducible seed per case.
+        let seed = 0xC0FF_EE00_0000_0000u64 ^ ((i as u64) << 16) ^ i as u64;
+        let mut rng = TestRng::new(seed);
+        if let Err(msg) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i} (seed {seed:#x}):\n{msg}");
+        }
+    }
+}
+
+/// Declares property tests. Supported grammar (subset of proptest's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(a in strategy_a, b in strategy_b) { ...body... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), rng);)*
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts inside a property body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_samples_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2u8)];
+        let mut rng = TestRng::new(7);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_compiles(x in 0u64..10, v in crate::collection::vec(0u8..4, 1..5)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

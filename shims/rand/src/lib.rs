@@ -1,0 +1,107 @@
+//! A hermetic, dependency-free stand-in for the `rand` crate.
+//!
+//! Provides the small API surface workspace code may reach for — `Rng`
+//! (`gen`, `gen_range`), `SeedableRng`, `rngs::StdRng`, `thread_rng()` —
+//! backed by SplitMix64. Deterministic per process unless seeded.
+
+use std::ops::Range;
+
+/// Sampleable primitive types.
+pub trait Standard: Sized {
+    /// Draws from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> $t { bits as $t }
+        }
+    )*};
+}
+
+impl_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        bits as f64 / u64::MAX as f64
+    }
+}
+
+/// Random number generator interface.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Uniform `u64` in `range`.
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.next_u64() % (range.end - range.start)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// RNG implementations.
+pub mod rngs {
+    /// The standard RNG (SplitMix64 here).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// A process-global generator (not actually thread-local; deterministic).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0x5DEE_CE66_D000_0001);
+    rngs::StdRng { state: COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed) }
+}
+
+/// One-off uniform value.
+pub fn random<T: Standard>() -> T {
+    use Rng as _;
+    thread_rng().gen()
+}
+
+/// Commonly imported names.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{random, thread_rng, Rng, SeedableRng};
+}

@@ -154,14 +154,9 @@ _kernel(1) _at(1,2) void a(int x) { m[0] = 1; }
 /// kernel `a` (same-path double access) is rejected with E0302.
 #[test]
 fn section_5d_memory_rules() {
-    compiles(
-        "_net_ int m[42];\n_kernel(1) void b(int x, int &o) { o = (x > 10) ? m[0] : m[1]; }",
-    );
+    compiles("_net_ int m[42];\n_kernel(1) void b(int x, int &o) { o = (x > 10) ? m[0] : m[1]; }");
     let err = Compiler::new(CompileOptions { target: EmitTarget::Tna, ..Default::default() })
-        .compile(
-            "a.ncl",
-            "_net_ int m[42];\n_kernel(2) void a(int x, int &o) { o = m[0] + m[1]; }",
-        )
+        .compile("a.ncl", "_net_ int m[42];\n_kernel(2) void a(int x, int &o) { o = m[0] + m[1]; }")
         .unwrap_err();
     assert!(err.codes.iter().any(|c| c == "E0302"));
 }

@@ -94,8 +94,8 @@ fn runtime_wire_format_end_to_end() {
 #[test]
 fn diagnostics_have_stable_codes() {
     let cases = [
-        ("int x;", "E0227"),                                         // bare global
-        ("_kernel(1) void k(int x) { while (x) {} }", "E0306"),      // loop
+        ("int x;", "E0227"),                                    // bare global
+        ("_kernel(1) void k(int x) { while (x) {} }", "E0306"), // loop
         ("_net_ int m[2];\n_kernel(1) void k(int &o) { o = m[0] + m[1]; }", "E0302"),
         ("_kernel(1) _at(1) void a(int x) {}\n_kernel(1) _at(1) void b(int x) {}", "E0206"),
         ("_kernel(1) void a(int x[3]) {}\n_kernel(1) void b(int x[4]) {}", "E0206"), // Eq.1 first

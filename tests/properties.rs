@@ -1,20 +1,14 @@
 //! Property-based tests over core invariants (proptest).
 
+use netcl::sema::model::{SpecItem, Specification};
+use netcl::sema::Ty;
 use netcl::{CompileOptions, Compiler};
 use netcl_bmv2::Switch;
 use netcl_runtime::message::{pack, unpack, Message};
-use netcl::sema::model::{SpecItem, Specification};
-use netcl::sema::Ty;
 use proptest::prelude::*;
 
 fn arb_ty() -> impl Strategy<Value = Ty> {
-    prop_oneof![
-        Just(Ty::U8),
-        Just(Ty::U16),
-        Just(Ty::U32),
-        Just(Ty::U64),
-        Just(Ty::Bool),
-    ]
+    prop_oneof![Just(Ty::U8), Just(Ty::U16), Just(Ty::U32), Just(Ty::U64), Just(Ty::Bool),]
 }
 
 fn arb_spec() -> impl Strategy<Value = Specification> {
@@ -76,6 +70,62 @@ proptest! {
         prop_assert_eq!(calc::result_of(&reply).unwrap(), calc::reference(op, a as u64, b as u64));
     }
 
+    /// For every Table III application, the compiled fast path and the
+    /// tree-walking interpreter oracle agree packet-for-packet on random
+    /// wire bytes: same output bytes, same error (drop) decisions, and the
+    /// same final register state.
+    #[test]
+    fn compiled_matches_interpreter_all_apps(seed in any::<u64>()) {
+        static PROGRAMS: std::sync::OnceLock<Vec<(String, netcl_p4::P4Program)>> =
+            std::sync::OnceLock::new();
+        let programs = PROGRAMS.get_or_init(|| {
+            netcl_apps::all_apps()
+                .into_iter()
+                .map(|app| {
+                    let unit = Compiler::new(CompileOptions::default())
+                        .compile(app.name, &app.netcl_source)
+                        .unwrap();
+                    let p4 = unit.device(app.device).expect("kernel device").tna_p4.clone();
+                    (app.name.to_string(), p4)
+                })
+                .collect()
+        });
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for (name, program) in programs {
+            let mut fast = Switch::new(program.clone());
+            let mut oracle = Switch::new(program.clone());
+            oracle.set_interpreted(true);
+            for _ in 0..6 {
+                let len = (next() % 160) as usize;
+                let wire: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+                match (fast.process(&wire), oracle.process(&wire)) {
+                    (Ok((_, of)), Ok((_, oo))) => {
+                        prop_assert_eq!(&of, &oo, "{name}: output bytes diverge on {wire:?}")
+                    }
+                    (Err(ef), Err(eo)) => {
+                        prop_assert_eq!(&ef, &eo, "{name}: errors diverge on {wire:?}")
+                    }
+                    (rf, ro) => prop_assert!(
+                        false,
+                        "{name}: only one engine errored on {wire:?}: {rf:?} vs {ro:?}"
+                    ),
+                }
+            }
+            let fr: Vec<(String, Vec<u64>)> =
+                fast.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+            let or: Vec<(String, Vec<u64>)> =
+                oracle.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+            prop_assert_eq!(fr, or, "{name}: register state diverges");
+        }
+    }
+
     /// Every lookup-table state the host installs is observed exactly by
     /// the data plane (managed memory coherence).
     #[test]
@@ -128,13 +178,7 @@ fn allreduce_correct_under_random_loss() {
         .compile("agg.ncl", &agg::netcl_source(&cfg))
         .unwrap();
     for loss_pct in [0u32, 2, 5, 10] {
-        let r = agg::run_allreduce(
-            &unit.devices[0].tna_p4,
-            &cfg,
-            8,
-            500,
-            loss_pct as f64 / 100.0,
-        );
+        let r = agg::run_allreduce(&unit.devices[0].tna_p4, &cfg, 8, 500, loss_pct as f64 / 100.0);
         assert!(r.all_correct, "loss {loss_pct}%: {r:?}");
     }
 }
