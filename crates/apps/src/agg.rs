@@ -15,6 +15,7 @@ use netcl_bmv2::Switch;
 use netcl_net::{HostEvent, LinkSpec, NetworkBuilder, NodeId, Outbox};
 use netcl_p4::ast::*;
 use netcl_runtime::message::{pack, unpack, Message};
+use netcl_runtime::reliable::{Reliable, RetryPolicy};
 use netcl_sema::builtins::{AtomicOp, AtomicRmw};
 use netcl_sema::model::Specification;
 
@@ -491,17 +492,51 @@ pub fn chunk_packet(cfg: &AggConfig, w: u32, c: u32) -> Vec<u8> {
     .expect("chunk packs")
 }
 
-/// The retransmission timeout used by workers.
+/// The base retransmission timeout used by workers (backed off and capped
+/// by the shared [`Reliable`] helper).
 pub const RTO_NS: u64 = 400_000;
 
+/// Quiet period between acknowledging a chunk and reusing its slot for the
+/// next one. The switch's alternating-bit slot scheme is safe only when a
+/// worker's packets arrive in order; a reordered stale copy of the previous
+/// chunk arriving after the new version has started would clear the
+/// worker's bit in the live bitmap and let a duplicate double-add. Waiting
+/// out the network's maximum packet lifetime (transit + jitter + reorder
+/// hold-back, cf. TCP's TIME_WAIT) before reusing the slot drains those
+/// copies. Must exceed the deployment's reorder horizon and stay below
+/// [`RTO_NS`].
+pub const SLOT_REUSE_GUARD_NS: u64 = 100_000;
+
+/// The quiet period `link` requires before a slot can be reused: only links
+/// that can hold packets back (reorder, jitter) or clone them (duplication)
+/// can produce the stale-copy hazard; on in-order links every copy of the
+/// previous chunk has provably arrived by the time its ack did, so workers
+/// advance immediately (the lossless/lossy benchmark path is unchanged).
+pub fn slot_guard_ns(link: &LinkSpec) -> u64 {
+    if link.reorder > 0.0 || link.duplicate > 0.0 || link.jitter_ns > 0 {
+        SLOT_REUSE_GUARD_NS
+    } else {
+        0
+    }
+}
+
 /// Creates a worker host handler streaming `total_chunks` chunks.
+///
+/// Loss recovery rides on the shared host reliability helper: each chunk is
+/// sent under its chunk id as the key, the switch's aggregate (multicast or
+/// reflected) acts as the ack, and unacked chunks are retransmitted with
+/// capped exponential backoff. Kickoff happens through plain (non-reliable)
+/// timer tokens carrying the chunk id, so the first transmission also goes
+/// through the helper and is tracked like any retransmission.
 pub fn worker_handler(
     cfg: AggConfig,
     w: u32,
     total_chunks: u32,
+    guard_ns: u64,
     state: Arc<Mutex<WorkerState>>,
 ) -> netcl_net::HostHandler {
     let s = spec(&cfg);
+    let mut rel = Reliable::new(RetryPolicy { base_rto_ns: RTO_NS, ..Default::default() });
     Box::new(move |_now, ev, out: &mut Outbox| {
         let mut st = state.lock().unwrap();
         match ev {
@@ -523,26 +558,36 @@ pub fn worker_handler(
                 if agg_idx[0] as u32 != ver * cfg.num_slots + slot {
                     return;
                 }
+                rel.ack_key(chunk as u64);
                 st.results.insert(chunk, values);
                 st.exps.insert(chunk, exp[0]);
                 st.completed.push(chunk);
                 let next = chunk + cfg.num_slots;
                 if next < total_chunks {
                     st.inflight.insert(slot, next);
-                    out.send(0, chunk_packet(&cfg, w, next));
-                    out.set_timer(RTO_NS, next as u64);
+                    if guard_ns == 0 {
+                        rel.send(next as u64, chunk_packet(&cfg, w, next), out);
+                    } else {
+                        // Reuse the slot only after the quiet period: the
+                        // timer token re-enters the kickoff path below.
+                        out.set_timer(guard_ns, next as u64);
+                    }
                 } else {
                     st.inflight.remove(&slot);
                 }
+                st.retransmits = rel.stats.retransmits;
             }
-            HostEvent::Timer(chunk64) => {
-                let chunk = chunk64 as u32;
-                let slot = chunk % cfg.num_slots;
-                if st.inflight.get(&slot) == Some(&chunk) && !st.results.contains_key(&chunk) {
-                    st.retransmits += 1;
-                    out.send(0, chunk_packet(&cfg, w, chunk));
-                    out.set_timer(RTO_NS, chunk64);
+            HostEvent::Timer(token) => {
+                if !rel.on_timer(token, out) {
+                    // Not a reliability timer: a kickoff token carrying the
+                    // chunk id for this worker's first transmission.
+                    let chunk = token as u32;
+                    let slot = chunk % cfg.num_slots;
+                    if st.inflight.get(&slot) == Some(&chunk) && !st.results.contains_key(&chunk) {
+                        rel.send(token, chunk_packet(&cfg, w, chunk), out);
+                    }
                 }
+                st.retransmits = rel.stats.retransmits;
             }
         }
     })
@@ -571,35 +616,66 @@ pub fn run_allreduce(
     device_latency_ns: u64,
     loss: f64,
 ) -> AggRunResult {
+    run_allreduce_chaos(
+        program,
+        cfg,
+        total_chunks,
+        device_latency_ns,
+        LinkSpec::lossy(loss),
+        0x5DEECE66D,
+        netcl_net::FaultSchedule::new(),
+        4_000_000,
+    )
+    .0
+}
+
+/// Runs AllReduce under an arbitrary link spec, RNG seed, and fault
+/// schedule — the chaos suite's entry point. Also returns the final
+/// [`netcl_net::NetStats`], the artifact the replay-determinism contract
+/// compares across reruns of the same `(seed, schedule)`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce_chaos(
+    program: &P4Program,
+    cfg: &AggConfig,
+    total_chunks: u32,
+    device_latency_ns: u64,
+    link: LinkSpec,
+    seed: u64,
+    faults: netcl_net::FaultSchedule,
+    max_events: u64,
+) -> (AggRunResult, netcl_net::NetStats) {
     let mut topo = netcl_net::topo::star(
         1,
         &(0..cfg.num_workers).map(|w| 100 + w as u16).collect::<Vec<_>>(),
-        LinkSpec { loss, ..Default::default() },
+        link,
     );
     topo.multicast_group(42, (0..cfg.num_workers).map(|w| NodeId::Host(100 + w as u16)).collect());
-    let mut builder =
-        NetworkBuilder::new(topo).device(1, Switch::new(program.clone()), device_latency_ns);
+    let mut builder = NetworkBuilder::new(topo)
+        .device(1, Switch::new(program.clone()), device_latency_ns)
+        .seed(seed)
+        .faults(faults);
     let states: Vec<Arc<Mutex<WorkerState>>> =
         (0..cfg.num_workers).map(|_| Arc::new(Mutex::new(WorkerState::default()))).collect();
     for w in 0..cfg.num_workers {
         builder = builder.host(
             100 + w as u16,
-            worker_handler(*cfg, w, total_chunks, states[w as usize].clone()),
+            worker_handler(*cfg, w, total_chunks, slot_guard_ns(&link), states[w as usize].clone()),
         );
     }
     let mut net = builder.build();
 
-    // Kick off: each worker fills the slot window.
+    // Kick off: each worker fills the slot window. The kickoff timers carry
+    // the chunk id; the handler routes them through its reliability helper
+    // so the first transmission arms retransmission like any other.
     let window = cfg.num_slots.min(total_chunks);
     for w in 0..cfg.num_workers {
         for c in 0..window {
             let jitter = (w as u64) * 50 + (c as u64) * 10;
-            net.send_from_host(100 + w as u16, jitter, chunk_packet(cfg, w, c));
-            net.set_host_timer(100 + w as u16, jitter + RTO_NS, c as u64);
+            net.set_host_timer(100 + w as u16, jitter, c as u64);
             states[w as usize].lock().unwrap().inflight.insert(c % cfg.num_slots, c);
         }
     }
-    net.run(4_000_000);
+    net.run(max_events);
     let duration_ns = net.now().max(1);
 
     let mut all_correct = true;
@@ -626,13 +702,14 @@ pub fn run_allreduce(
         let _ = w;
     }
     let ate = total_chunks as f64 * cfg.slot_size as f64;
-    AggRunResult {
+    let result = AggRunResult {
         duration_ns,
         ate_per_sec_per_worker: ate / (duration_ns as f64 / 1e9),
         all_correct,
         retransmits,
         kernel_executions: net.stats.kernel_executions,
-    }
+    };
+    (result, net.stats.clone())
 }
 
 #[cfg(test)]
@@ -699,8 +776,8 @@ mod tests {
         let mut builder =
             NetworkBuilder::new(topo).device(1, Switch::new(unit.devices[0].tna_p4.clone()), 500);
         for w in 0..3u32 {
-            builder =
-                builder.host(100 + w as u16, worker_handler(cfg, w, 1, states[w as usize].clone()));
+            builder = builder
+                .host(100 + w as u16, worker_handler(cfg, w, 1, 0, states[w as usize].clone()));
         }
         let mut net = builder.build();
         for w in 0..3u32 {

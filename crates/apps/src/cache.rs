@@ -738,6 +738,172 @@ pub fn run_cache_experiment(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos driver: reliable PUT-then-GET coherence over a faulty network
+// ---------------------------------------------------------------------------
+
+/// The value the chaos client writes to `key` (distinct from the initial
+/// [`server_value`], so a stale read is detectable).
+pub fn chaos_put_value(cfg: &CacheConfig, key: u64) -> Vec<u64> {
+    (0..cfg.words as u64).map(|i| (key.wrapping_mul(7) + 1000 + i) & 0xFFFF_FFFF).collect()
+}
+
+/// Result of a chaos coherence run.
+#[derive(Debug)]
+pub struct CacheChaosResult {
+    /// Keys exercised (one PUT then one GET each).
+    pub keys: u64,
+    /// GETs completed (PUT acked, GET answered).
+    pub completed: u64,
+    /// GET responses that did not return the last written value — the
+    /// coherence violation count; must be 0.
+    pub stale: u64,
+}
+
+/// Control-plane repopulation closure: given a fresh switch and the
+/// server's current store, (re)installs the cache's `_managed_` state.
+pub type RepopulateFn =
+    Arc<dyn Fn(&mut Switch, &std::collections::HashMap<u64, Vec<u64>>) + Send + Sync>;
+
+/// Runs a PUT-then-GET coherence workload under a chaotic network: the
+/// client reliably PUTs each key once (the KVS server's reply is the ack),
+/// then reliably GETs it and checks the response equals the written value —
+/// whether the switch or the server answered. `repopulate` is the
+/// control-plane path: called once at build time with an empty store and
+/// re-run as the device-restart hook with the server's current store, so a
+/// restarted switch never serves values older than the server's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cache_chaos(
+    program: &P4Program,
+    repopulate: RepopulateFn,
+    cfg: &CacheConfig,
+    keys: u64,
+    link: LinkSpec,
+    seed: u64,
+    faults: netcl_net::FaultSchedule,
+    max_events: u64,
+) -> (CacheChaosResult, netcl_net::NetStats) {
+    use netcl_runtime::reliable::{Reliable, RetryPolicy};
+    let topo = netcl_net::topo::star(1, &[1, 2], link);
+    let s = spec(cfg);
+
+    // The KVS server (host 2) is the authority: PUTs update its store and
+    // are answered (the client's ack); GET misses read from it.
+    let store = Arc::new(Mutex::new(std::collections::HashMap::<u64, Vec<u64>>::new()));
+    let store_srv = store.clone();
+    let s_srv = s.clone();
+    let cfg_srv = *cfg;
+    let server = Box::new(move |_now: u64, ev: HostEvent, out: &mut Outbox| {
+        let HostEvent::Message(bytes) = ev else { return };
+        let mut op = Vec::new();
+        let mut k = Vec::new();
+        let mut v = Vec::new();
+        let Ok(msg) =
+            unpack(&bytes, &s_srv, &mut [Some(&mut op), Some(&mut k), None, None, Some(&mut v)])
+        else {
+            return;
+        };
+        let reply = Message::new(msg.dst, msg.src, 0, netcl_runtime::device::NO_DEVICE);
+        match op[0] {
+            OP_PUT => {
+                store_srv.lock().unwrap().insert(k[0], v.clone());
+                let packed = pack(
+                    &reply,
+                    &s_srv,
+                    &[Some(&[OP_PUT]), Some(&[k[0]]), Some(&[0]), Some(&[0]), Some(&v)],
+                )
+                .unwrap();
+                out.send(2_000, packed);
+            }
+            OP_GET => {
+                let val = store_srv
+                    .lock()
+                    .unwrap()
+                    .get(&k[0])
+                    .cloned()
+                    .unwrap_or_else(|| server_value(&cfg_srv, k[0]));
+                let packed = pack(
+                    &reply,
+                    &s_srv,
+                    &[Some(&[OP_GET]), Some(&[k[0]]), Some(&[0]), Some(&[0]), Some(&val)],
+                )
+                .unwrap();
+                out.send(2_000, packed);
+            }
+            _ => {}
+        }
+    });
+
+    // The client (host 1): PUT each key (reliable key `k<<1`), on first
+    // PUT-ack GET it back (reliable key `k<<1|1`), check the value.
+    let progress = Arc::new(Mutex::new((0u64, 0u64))); // (completed, stale)
+    let progress_cl = progress.clone();
+    let s_cl = s.clone();
+    let cfg_cl = *cfg;
+    let mut rel = Reliable::new(RetryPolicy { base_rto_ns: 100_000, ..Default::default() });
+    let client = Box::new(move |_now: u64, ev: HostEvent, out: &mut Outbox| match ev {
+        HostEvent::Message(bytes) => {
+            let mut op = Vec::new();
+            let mut k = Vec::new();
+            let mut v = Vec::new();
+            let Ok(_) =
+                unpack(&bytes, &s_cl, &mut [Some(&mut op), Some(&mut k), None, None, Some(&mut v)])
+            else {
+                return;
+            };
+            let key = k[0];
+            if op[0] == OP_PUT {
+                if rel.ack_key(key << 1) {
+                    rel.send((key << 1) | 1, request(&cfg_cl, 1, 2, OP_GET, key, None), out);
+                }
+            } else if op[0] == OP_GET && rel.ack_key((key << 1) | 1) {
+                let mut st = progress_cl.lock().unwrap();
+                st.0 += 1;
+                if v != chaos_put_value(&cfg_cl, key) {
+                    st.1 += 1;
+                }
+            }
+        }
+        HostEvent::Timer(token) => {
+            if !rel.on_timer(token, out) {
+                // Kickoff token: one reliable PUT per key.
+                let key = token;
+                rel.send(
+                    key << 1,
+                    request(&cfg_cl, 1, 2, OP_PUT, key, Some(&chaos_put_value(&cfg_cl, key))),
+                    out,
+                );
+            }
+        }
+    });
+
+    let mut sw = Switch::new(program.clone());
+    repopulate(&mut sw, &store.lock().unwrap());
+    let store_hook = store.clone();
+    let repop = repopulate.clone();
+    let mut net = NetworkBuilder::new(topo)
+        .device(1, sw, 700)
+        .host(1, client)
+        .host(2, server)
+        .seed(seed)
+        .faults(faults)
+        .on_restart(
+            1,
+            Box::new(move |sw: &mut Switch| {
+                repop(sw, &store_hook.lock().unwrap());
+            }),
+        )
+        .build();
+    for key in 0..keys {
+        net.set_host_timer(1, key * 10_000, key);
+    }
+    net.run(max_events);
+
+    let (completed, stale) = *progress.lock().unwrap();
+    let result = CacheChaosResult { keys, completed, stale };
+    (result, net.stats.clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,8 +9,14 @@
 //! same kernel at every acceptor device derives its vote bit from
 //! `device.id` (§V-C), which the compiler materializes per device.
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use netcl_bmv2::Switch;
+use netcl_net::{FaultSchedule, HostEvent, LinkSpec, NetworkBuilder, NodeId, Outbox, Topology};
 use netcl_p4::ast::*;
 use netcl_runtime::message::{pack, unpack, Message};
+use netcl_runtime::reliable::{Reliable, RetryPolicy};
 use netcl_sema::builtins::{AtomicOp, AtomicRmw};
 use netcl_sema::model::Specification;
 
@@ -35,6 +41,9 @@ pub const T_PHASE2A: u64 = 2;
 pub const T_PHASE2B: u64 = 3;
 /// Delivery (learner → replica host).
 pub const T_DELIVER: u64 = 4;
+/// Host-level delivery acknowledgment (replica host → proposer host; pure
+/// transit, no device computes it).
+pub const T_ACK: u64 = 5;
 
 fn majority_cond(var: &str) -> String {
     // ≥2 of 3 vote bits set.
@@ -210,6 +219,149 @@ pub fn parse_delivery(bytes: &[u8]) -> Option<(u64, Vec<u64>)> {
     } else {
         None
     }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos driver: reliable proposer + acking replica over a faulty network
+// ---------------------------------------------------------------------------
+
+/// Builds the paper's P4xos topology (h1 — leader — {acceptors} — learner —
+/// h2) with `link` on every edge, plus the acceptor multicast group.
+pub fn chaos_topology(link: LinkSpec) -> Topology {
+    let mut topo = Topology::new();
+    topo.link(NodeId::Host(1), NodeId::Device(LEADER_DEV), link);
+    for a in 0..NUM_ACCEPTORS {
+        topo.link(NodeId::Device(LEADER_DEV), NodeId::Device(ACCEPTOR_DEV + a), link);
+        topo.link(NodeId::Device(ACCEPTOR_DEV + a), NodeId::Device(LEARNER_DEV), link);
+    }
+    topo.link(NodeId::Device(LEARNER_DEV), NodeId::Host(2), link);
+    topo.multicast_group(
+        ACCEPTOR_GROUP,
+        (0..NUM_ACCEPTORS).map(|a| NodeId::Device(ACCEPTOR_DEV + a)).collect(),
+    );
+    topo
+}
+
+/// The proposal value for proposal id `pid`: `value[1]` carries the pid so
+/// deliveries and acks can be correlated end to end.
+pub fn chaos_value(pid: u64) -> [u64; 8] {
+    [pid * 10, pid, 0, 0, 0, 0, 0, 7]
+}
+
+/// The replica's delivery ack, routed back as plain transit (no computing
+/// device), carrying the pid in `value[1]`.
+pub fn ack_packet(replica: u16, proposer: u16, pid: u64) -> Vec<u8> {
+    let m = Message::new(replica, proposer, 1, netcl_runtime::device::NO_DEVICE);
+    pack(
+        &m,
+        &spec(),
+        &[Some(&[T_ACK]), Some(&[0]), Some(&[0]), Some(&[0]), Some(&[0]), Some(&chaos_value(pid))],
+    )
+    .expect("packs")
+}
+
+/// Result of a chaos consensus run.
+#[derive(Debug)]
+pub struct PaxosChaosResult {
+    /// Proposals issued.
+    pub proposals: u64,
+    /// Distinct proposal ids delivered at least once.
+    pub decided: u64,
+    /// Instances delivered with more than one distinct value — the safety
+    /// violation count; must be 0.
+    pub conflicts: u64,
+    /// Acks the proposer received (first acks, not duplicates).
+    pub acked: u64,
+}
+
+/// Runs `proposals` proposals through the full P4xos pipeline under a
+/// chaotic network. The proposer retransmits unacked proposals via the
+/// shared reliability helper (each retransmission becomes a *new* Paxos
+/// instance — the leader sequences every request — so instance-level
+/// safety is unaffected by duplication). Returns the result plus the final
+/// `NetStats` for the replay-determinism contract.
+pub fn run_paxos_chaos(
+    programs: &[(u16, P4Program)],
+    proposals: u64,
+    link: LinkSpec,
+    seed: u64,
+    faults: FaultSchedule,
+    max_events: u64,
+) -> (PaxosChaosResult, netcl_net::NetStats) {
+    let mut builder = NetworkBuilder::new(chaos_topology(link)).seed(seed).faults(faults);
+    for (id, program) in programs {
+        builder = builder.device(*id, Switch::new(program.clone()), 600);
+    }
+
+    // Replica (host 2): record deliveries per instance, ack every copy (a
+    // duplicate delivery re-acks, which only helps the ack get through).
+    let deliveries: Arc<Mutex<BTreeMap<u64, Vec<Vec<u64>>>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let dels = deliveries.clone();
+    let replica = Box::new(move |_now: u64, ev: HostEvent, out: &mut Outbox| {
+        let HostEvent::Message(bytes) = ev else { return };
+        let Some((inst, val)) = parse_delivery(&bytes) else { return };
+        let pid = val[1];
+        dels.lock().unwrap().entry(inst).or_default().push(val);
+        out.send(0, ack_packet(2, 1, pid));
+    });
+
+    // Proposer (host 1): kickoff timers carry the pid; unacked proposals
+    // retransmit with backoff.
+    let acked = Arc::new(Mutex::new(0u64));
+    let acked2 = acked.clone();
+    let mut rel = Reliable::new(RetryPolicy { base_rto_ns: 300_000, ..Default::default() });
+    let proposer = Box::new(move |_now: u64, ev: HostEvent, out: &mut Outbox| match ev {
+        HostEvent::Message(bytes) => {
+            let mut ty = Vec::new();
+            let mut val = Vec::new();
+            let Ok(_) = unpack(
+                &bytes,
+                &spec(),
+                &mut [Some(&mut ty), None, None, None, None, Some(&mut val)],
+            ) else {
+                return;
+            };
+            if ty[0] == T_ACK && rel.ack_key(val[1]) {
+                *acked2.lock().unwrap() += 1;
+            }
+        }
+        HostEvent::Timer(token) => {
+            if !rel.on_timer(token, out) {
+                let pid = token;
+                rel.send(pid, proposal(1, 2, 1, &chaos_value(pid)), out);
+            }
+        }
+    });
+
+    let mut net = builder.host(1, proposer).host(2, replica).build();
+    for pid in 0..proposals {
+        net.set_host_timer(1, pid * 20_000, pid);
+    }
+    net.run(max_events);
+
+    let dels = deliveries.lock().unwrap();
+    let mut decided = std::collections::HashSet::new();
+    let mut conflicts = 0u64;
+    for vals in dels.values() {
+        let mut distinct: Vec<&Vec<u64>> = Vec::new();
+        for v in vals {
+            if !distinct.contains(&v) {
+                distinct.push(v);
+            }
+            decided.insert(v[1]);
+        }
+        if distinct.len() > 1 {
+            conflicts += 1;
+        }
+    }
+    let result = PaxosChaosResult {
+        proposals,
+        decided: decided.len() as u64,
+        conflicts,
+        acked: *acked.lock().unwrap(),
+    };
+    (result, net.stats.clone())
 }
 
 // ---------------------------------------------------------------------------

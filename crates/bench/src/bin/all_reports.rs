@@ -11,6 +11,7 @@ fn main() {
         netcl_bench::report_fig14_cache(),
         netcl_bench::report_ablations(),
         netcl_bench::report_ablate_duplication(),
+        netcl_bench::report_chaos(8),
     ] {
         println!("{r}");
     }

@@ -1,0 +1,6 @@
+//! Prints the chaos fault-injection report (see EXPERIMENTS.md). An optional
+//! argument sets the seeds per row (default 8).
+fn main() {
+    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    print!("{}", netcl_bench::report_chaos(seeds));
+}

@@ -408,6 +408,147 @@ _kernel(1) _at(1) void k(unsigned a, unsigned b, unsigned &x, unsigned &y) {
     out
 }
 
+/// Chaos report: fault-layer activity and safety outcomes for the three
+/// distributed applications under the regimes `tests/chaos.rs` asserts —
+/// clean, 20% loss with reorder + duplication, and chaos plus a scheduled
+/// fault (link outage / device restart). `seeds` runs per row are summed.
+pub fn report_chaos(seeds: u64) -> String {
+    use netcl_apps::paxos;
+    use netcl_net::{FaultSchedule, LinkSpec, NetStats, NodeId};
+    use netcl_runtime::managed::ManagedMemory;
+    use std::sync::Arc;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Chaos — safety under loss/reorder/duplication ({seeds} seeds per row)");
+    let _ = writeln!(
+        out,
+        "{:<7} {:<16} {:>5} {:>8} {:>6} {:>6} {:>6} {:>7} {:>8} {:>7}",
+        "APP", "SCENARIO", "SAFE", "deliv", "loss", "dup", "reord", "fdrop", "restart", "rexmit"
+    );
+    let mut row = |app: &str, scen: &str, safe: bool, s: &NetStats, rexmit: u64| {
+        let _ = writeln!(
+            out,
+            "{:<7} {:<16} {:>5} {:>8} {:>6} {:>6} {:>6} {:>7} {:>8} {:>7}",
+            app,
+            scen,
+            if safe { "yes" } else { "NO" },
+            s.delivered,
+            s.link_losses,
+            s.duplicates,
+            s.reordered,
+            s.fault_drops,
+            s.device_restarts,
+            rexmit,
+        );
+    };
+    let chaos = LinkSpec::chaos(0.2);
+
+    let cfg = agg::AggConfig { num_workers: 3, num_slots: 4, slot_size: 8 };
+    let agg_unit = Compiler::new(CompileOptions::default())
+        .compile("agg.ncl", &agg::netcl_source(&cfg))
+        .expect("agg compiles");
+    let agg_outage =
+        FaultSchedule::new().link_outage(NodeId::Host(100), NodeId::Device(1), 40_000, 90_000);
+    for (scen, link, faults) in [
+        ("clean", LinkSpec::lossy(0.0), FaultSchedule::new()),
+        ("chaos 20%", chaos, FaultSchedule::new()),
+        ("chaos+outage", chaos, agg_outage),
+    ] {
+        let (mut safe, mut sum, mut rexmit) = (true, NetStats::default(), 0);
+        for seed in 0..seeds {
+            let (r, s) = agg::run_allreduce_chaos(
+                &agg_unit.devices[0].tna_p4,
+                &cfg,
+                8,
+                500,
+                link,
+                seed,
+                faults.clone(),
+                300_000,
+            );
+            safe &= r.all_correct;
+            rexmit += r.retransmits;
+            sum.accumulate(&s);
+        }
+        row("AGG", scen, safe, &sum, rexmit);
+    }
+
+    let paxos_unit = Compiler::new(CompileOptions::default())
+        .compile("paxos.ncl", &paxos::full_source())
+        .expect("paxos compiles");
+    let programs: Vec<(u16, netcl_p4::ast::P4Program)> =
+        paxos_unit.devices.iter().map(|d| (d.device, d.tna_p4.clone())).collect();
+    let acceptor_outage = FaultSchedule::new().device_outage(paxos::ACCEPTOR_DEV, 30_000, 120_000);
+    for (scen, link, faults) in [
+        ("clean", LinkSpec::lossy(0.0), FaultSchedule::new()),
+        ("chaos 20%", chaos, FaultSchedule::new()),
+        ("chaos+restart", chaos, acceptor_outage),
+    ] {
+        let (mut safe, mut sum) = (true, NetStats::default());
+        for seed in 0..seeds {
+            let (r, s) = paxos::run_paxos_chaos(&programs, 6, link, seed, faults.clone(), 200_000);
+            safe &= r.conflicts == 0 && r.decided == r.proposals;
+            sum.accumulate(&s);
+        }
+        row("PAXOS", scen, safe, &sum, 0);
+    }
+
+    let ccfg = cache::CacheConfig { slots: 16, words: 4, threshold: 8, sketch_cols: 256 };
+    let cache_unit = Compiler::new(CompileOptions::default())
+        .compile("cache.ncl", &cache::netcl_source(&ccfg))
+        .expect("cache compiles");
+    let keys = 6u64;
+    let mm = ManagedMemory::new(&cache_unit.devices[0].tna_ir);
+    let repop_cfg = ccfg;
+    let repopulate: cache::RepopulateFn = Arc::new(move |sw, store| {
+        if store.is_empty() {
+            for k in 0..keys {
+                cache::populate(
+                    &mm,
+                    sw,
+                    &repop_cfg,
+                    k as u16,
+                    k,
+                    &cache::server_value(&repop_cfg, k),
+                );
+            }
+        } else {
+            for (&k, v) in store {
+                cache::populate(&mm, sw, &repop_cfg, k as u16, k, v);
+            }
+        }
+    });
+    let cache_outage = FaultSchedule::new().device_outage(1, 25_000, 80_000);
+    for (scen, link, faults) in [
+        ("clean", LinkSpec::lossy(0.0), FaultSchedule::new()),
+        ("chaos 20%", chaos, FaultSchedule::new()),
+        ("chaos+restart", chaos, cache_outage),
+    ] {
+        let (mut safe, mut sum) = (true, NetStats::default());
+        for seed in 0..seeds {
+            let (r, s) = cache::run_cache_chaos(
+                &cache_unit.devices[0].tna_p4,
+                repopulate.clone(),
+                &ccfg,
+                keys,
+                link,
+                seed,
+                faults.clone(),
+                200_000,
+            );
+            safe &= r.stale == 0 && r.completed == keys;
+            sum.accumulate(&s);
+        }
+        row("CACHE", scen, safe, &sum, 0);
+    }
+
+    let _ = writeln!(
+        out,
+        "(replay any regime with the same seed + schedule: NetStats are byte-identical)"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +581,15 @@ mod tests {
                 let ns: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
                 assert!(ns < 1000.0, "{line}");
             }
+        }
+    }
+
+    #[test]
+    fn chaos_report_all_safe() {
+        let t = report_chaos(2);
+        assert!(!t.contains(" NO "), "a safety property failed:\n{t}");
+        for app in ["AGG", "PAXOS", "CACHE"] {
+            assert_eq!(t.matches(app).count(), 3, "{t}");
         }
     }
 

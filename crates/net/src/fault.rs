@@ -1,0 +1,113 @@
+//! Scheduled fault events: the deterministic chaos layer's control track.
+//!
+//! Faults are scheduled on the simulator's event queue like any other
+//! event, so a run is fully described by `(seed, fault schedule)` — the
+//! determinism contract the chaos test suite replays failing cases from.
+//! Link-level *distributions* (loss, duplication, corruption, reorder,
+//! jitter) live on [`crate::topo::LinkSpec`]; this module covers the
+//! discrete events: links going down and up, network partitions, and
+//! devices failing and restarting.
+
+use crate::topo::NodeId;
+
+/// A discrete fault applied to the network at a scheduled time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// Take the bidirectional link between two nodes down. Traffic reroutes
+    /// around it if the topology allows; otherwise it is dropped and
+    /// counted in `NetStats::fault_drops`.
+    LinkDown(NodeId, NodeId),
+    /// Restore a downed link.
+    LinkUp(NodeId, NodeId),
+    /// Partition the network: only nodes on the same side of the cut can
+    /// reach each other. Nodes in the vector form one island; everything
+    /// else forms the other.
+    Partition(Vec<NodeId>),
+    /// Heal an active partition.
+    Heal,
+    /// A device fails: packets arriving at it are blackholed and all of its
+    /// state (registers *and* `_managed_` tables) is lost.
+    DeviceFail(u16),
+    /// A failed device restarts with factory state (zeroed registers,
+    /// program-initial tables). If a restart hook was registered via
+    /// `NetworkBuilder::on_restart`, it runs next, repopulating `_managed_`
+    /// memory through the control plane exactly as a NetCL controller
+    /// would.
+    DeviceRestart(u16),
+}
+
+impl Fault {
+    /// Short tag for logs and stats displays.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::LinkDown(..) => "link-down",
+            Fault::LinkUp(..) => "link-up",
+            Fault::Partition(_) => "partition",
+            Fault::Heal => "heal",
+            Fault::DeviceFail(_) => "device-fail",
+            Fault::DeviceRestart(_) => "device-restart",
+        }
+    }
+}
+
+/// A time-ordered fault schedule. Thin wrapper over `Vec<(at_ns, Fault)>`
+/// with builder-style helpers so tests read declaratively.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<(u64, Fault)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Adds a fault at an absolute simulated time.
+    pub fn at(mut self, at_ns: u64, fault: Fault) -> FaultSchedule {
+        self.events.push((at_ns, fault));
+        self
+    }
+
+    /// Takes a link down at `down_ns` and restores it at `up_ns`.
+    pub fn link_outage(self, a: NodeId, b: NodeId, down_ns: u64, up_ns: u64) -> FaultSchedule {
+        self.at(down_ns, Fault::LinkDown(a, b)).at(up_ns, Fault::LinkUp(a, b))
+    }
+
+    /// Fails a device at `fail_ns` and restarts it at `restart_ns`.
+    pub fn device_outage(self, device: u16, fail_ns: u64, restart_ns: u64) -> FaultSchedule {
+        self.at(fail_ns, Fault::DeviceFail(device)).at(restart_ns, Fault::DeviceRestart(device))
+    }
+
+    /// Partitions `island` off at `cut_ns` and heals at `heal_ns`.
+    pub fn partition(self, island: Vec<NodeId>, cut_ns: u64, heal_ns: u64) -> FaultSchedule {
+        self.at(cut_ns, Fault::Partition(island)).at(heal_ns, Fault::Heal)
+    }
+
+    /// The scheduled events in insertion order.
+    pub fn events(&self) -> &[(u64, Fault)] {
+        &self.events
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_builders_compose() {
+        let s = FaultSchedule::new()
+            .link_outage(NodeId::Host(1), NodeId::Device(1), 100, 200)
+            .device_outage(3, 150, 400)
+            .partition(vec![NodeId::Host(1)], 500, 600);
+        assert_eq!(s.events().len(), 6);
+        assert_eq!(s.events()[0], (100, Fault::LinkDown(NodeId::Host(1), NodeId::Device(1))));
+        assert_eq!(s.events()[3], (400, Fault::DeviceRestart(3)));
+        assert_eq!(s.events()[5].1.kind(), "heal");
+    }
+}

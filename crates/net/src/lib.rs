@@ -10,8 +10,12 @@
 //! The simulator is deterministic: a seeded RNG drives loss injection, and
 //! events at equal timestamps process in insertion order.
 
+pub mod fault;
 pub mod sim;
 pub mod topo;
 
-pub use sim::{HostEvent, HostHandler, NetStats, Network, NetworkBuilder, Outbox};
+pub use fault::{Fault, FaultSchedule};
+pub use sim::{
+    HostEvent, HostHandler, NetStats, Network, NetworkBuilder, NodeCounters, Outbox, RestartHook,
+};
 pub use topo::{LinkSpec, NodeId, Topology};

@@ -1,14 +1,15 @@
 //! The event-driven simulator core.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use netcl_bmv2::{Packet, Switch};
 use netcl_runtime::device::{DeviceRuntime, Forward};
 use netcl_runtime::message::Message;
 use netcl_sema::builtins::ActionKind;
 
-use crate::topo::{NodeId, Topology};
+use crate::fault::{Fault, FaultSchedule};
+use crate::topo::{link_key, NodeId, Topology};
 
 /// Events delivered to a host handler.
 #[derive(Debug, Clone)]
@@ -41,6 +42,23 @@ impl Outbox {
 /// A host's application logic.
 pub type HostHandler = Box<dyn FnMut(u64, HostEvent, &mut Outbox)>;
 
+/// A device restart hook: runs against the freshly-restarted switch so the
+/// application can repopulate `_managed_` state through the control plane
+/// (what a NetCL controller does after a device comes back).
+pub type RestartHook = Box<dyn FnMut(&mut Switch)>;
+
+// `Outbox` is exactly the send/timer surface the host reliability helper
+// needs, so wire it up as its transport.
+impl netcl_runtime::reliable::Transport for Outbox {
+    fn send(&mut self, delay_ns: u64, bytes: Vec<u8>) {
+        Outbox::send(self, delay_ns, bytes);
+    }
+
+    fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        Outbox::set_timer(self, delay_ns, token);
+    }
+}
+
 struct DeviceNode {
     switch: Switch,
     runtime: DeviceRuntime,
@@ -60,8 +78,19 @@ struct HostNode {
     process_ns: u64,
 }
 
-/// Simulation statistics.
-#[derive(Debug, Default, Clone)]
+/// Per-node delivery breakdown.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Messages delivered to (hosts) or processed at (devices) this node.
+    pub delivered: u64,
+    /// Messages dropped at this node or on their way into it.
+    pub dropped: u64,
+}
+
+/// Simulation statistics. `PartialEq`/`Eq` back the determinism contract:
+/// two runs with the same `(seed, fault schedule)` must produce *identical*
+/// stats, which the chaos suite asserts to make failing seeds replayable.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages delivered to hosts.
     pub delivered: u64,
@@ -73,6 +102,49 @@ pub struct NetStats {
     pub kernel_executions: u64,
     /// Total events processed.
     pub events: u64,
+    /// Messages with no route to their target (topology gap). Stays 0 on
+    /// well-formed topologies with no scheduled faults.
+    pub unroutable: u64,
+    /// Messages dropped by scheduled faults: downed links with no detour,
+    /// partitions, and failed devices.
+    pub fault_drops: u64,
+    /// Extra copies created by link duplication.
+    pub duplicates: u64,
+    /// Messages delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Messages held back by the reorder distribution.
+    pub reordered: u64,
+    /// Device restarts executed.
+    pub device_restarts: u64,
+    /// Per-node delivered/dropped breakdown (keyed deterministically).
+    pub per_node: BTreeMap<NodeId, NodeCounters>,
+}
+
+impl NetStats {
+    fn node(&mut self, n: NodeId) -> &mut NodeCounters {
+        self.per_node.entry(n).or_default()
+    }
+
+    /// Folds another run's counters into this one (per-node breakdown
+    /// included) — for aggregating over a seed matrix.
+    pub fn accumulate(&mut self, other: &NetStats) {
+        self.delivered += other.delivered;
+        self.kernel_drops += other.kernel_drops;
+        self.link_losses += other.link_losses;
+        self.kernel_executions += other.kernel_executions;
+        self.events += other.events;
+        self.unroutable += other.unroutable;
+        self.fault_drops += other.fault_drops;
+        self.duplicates += other.duplicates;
+        self.corrupted += other.corrupted;
+        self.reordered += other.reordered;
+        self.device_restarts += other.device_restarts;
+        for (n, c) in &other.per_node {
+            let e = self.per_node.entry(*n).or_default();
+            e.delivered += c.delivered;
+            e.dropped += c.dropped;
+        }
+    }
 }
 
 /// Builder for a [`Network`].
@@ -82,6 +154,8 @@ pub struct NetworkBuilder {
     devices: Vec<(u16, Switch, u64)>,
     hosts: Vec<(u16, Option<HostHandler>, u64)>,
     seed: u64,
+    faults: Vec<(u64, Fault)>,
+    restart_hooks: HashMap<u16, RestartHook>,
 }
 
 impl NetworkBuilder {
@@ -108,9 +182,30 @@ impl NetworkBuilder {
         self
     }
 
-    /// Sets the loss-RNG seed.
+    /// Sets the fault-RNG seed. Together with the fault schedule this fully
+    /// determines a run: same `(seed, schedule)` → identical [`NetStats`].
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Schedules one fault at an absolute simulated time.
+    pub fn fault(mut self, at_ns: u64, fault: Fault) -> Self {
+        self.faults.push((at_ns, fault));
+        self
+    }
+
+    /// Schedules a whole [`FaultSchedule`].
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults.extend(schedule.events().iter().cloned());
+        self
+    }
+
+    /// Registers a hook run after device `id` restarts, with factory state
+    /// already restored — the place to repopulate `_managed_` memory
+    /// through the control plane.
+    pub fn on_restart(mut self, id: u16, hook: RestartHook) -> Self {
+        self.restart_hooks.insert(id, hook);
         self
     }
 
@@ -134,7 +229,7 @@ impl NetworkBuilder {
         for (id, handler, process_ns) in self.hosts {
             hosts.insert(id, HostNode { handler, received: Vec::new(), process_ns });
         }
-        Network {
+        let mut net = Network {
             topology: self.topology,
             devices,
             hosts,
@@ -143,7 +238,16 @@ impl NetworkBuilder {
             seq: 0,
             rng: self.seed,
             stats: NetStats::default(),
+            fault_list: Vec::new(),
+            downed: HashSet::new(),
+            island: None,
+            failed: HashSet::new(),
+            restart_hooks: self.restart_hooks,
+        };
+        for (at, fault) in self.faults {
+            net.schedule_fault(at, fault);
         }
+        net
     }
 }
 
@@ -158,6 +262,15 @@ pub struct Network {
     rng: u64,
     /// Statistics.
     pub stats: NetStats,
+    /// Scheduled faults, referenced by index from `EventOrd::Fault`.
+    fault_list: Vec<Fault>,
+    /// Links currently down (order-normalized endpoint pairs).
+    downed: HashSet<(NodeId, NodeId)>,
+    /// Active partition: one island of nodes, cut off from the rest.
+    island: Option<HashSet<NodeId>>,
+    /// Devices currently failed (blackholing traffic).
+    failed: HashSet<u16>,
+    restart_hooks: HashMap<u16, RestartHook>,
 }
 
 // BinaryHeap payload must be Ord; carry the event in a side map keyed by
@@ -170,6 +283,7 @@ enum EventOrd {
     Arrive(NodeId),
     Timer(NodeId, u64),
     HostSend(NodeId),
+    Fault(usize),
 }
 
 impl Network {
@@ -208,12 +322,29 @@ impl Network {
         self.push(at_ns, EventOrd::Timer(NodeId::Host(host), token), Vec::new());
     }
 
-    fn rand01(&mut self) -> f64 {
+    /// Schedules a fault at an absolute simulated time (also available on
+    /// the builder; this form lets tests inject mid-run).
+    pub fn schedule_fault(&mut self, at_ns: u64, fault: Fault) {
+        let idx = self.fault_list.len();
+        self.fault_list.push(fault);
+        self.push(at_ns, EventOrd::Fault(idx), Vec::new());
+    }
+
+    /// Whether device `id` is currently failed.
+    pub fn device_failed(&self, id: u16) -> bool {
+        self.failed.contains(&id)
+    }
+
+    fn rand_u64(&mut self) -> u64 {
         self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.rng;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        z ^ (z >> 31)
+    }
+
+    fn rand01(&mut self) -> f64 {
+        self.rand_u64() as f64 / u64::MAX as f64
     }
 
     /// Runs until the event queue drains or `max_events` processed.
@@ -260,10 +391,60 @@ impl Network {
                 }
                 EventOrd::Arrive(NodeId::Host(h)) => self.host_receive(h, bytes),
                 EventOrd::Timer(NodeId::Host(h), token) => self.host_timer(h, token),
+                EventOrd::Fault(idx) => self.apply_fault(idx),
                 _ => {}
             }
         }
         n
+    }
+
+    fn apply_fault(&mut self, idx: usize) {
+        let fault = self.fault_list[idx].clone();
+        match fault {
+            Fault::LinkDown(a, b) => {
+                self.downed.insert(link_key(a, b));
+            }
+            Fault::LinkUp(a, b) => {
+                self.downed.remove(&link_key(a, b));
+            }
+            Fault::Partition(island) => {
+                self.island = Some(island.into_iter().collect());
+            }
+            Fault::Heal => {
+                self.island = None;
+            }
+            Fault::DeviceFail(d) => {
+                self.failed.insert(d);
+            }
+            Fault::DeviceRestart(d) => {
+                self.failed.remove(&d);
+                if let Some(node) = self.devices.get_mut(&d) {
+                    // Factory state: zeroed registers, program-initial
+                    // tables — everything volatile is gone.
+                    node.switch = Switch::new(node.switch.program().clone());
+                    node.pkt = node.switch.new_packet();
+                    self.stats.device_restarts += 1;
+                    // The registered controller hook repopulates `_managed_`
+                    // memory through the control plane.
+                    if let Some(mut hook) = self.restart_hooks.remove(&d) {
+                        hook(&mut node.switch);
+                        self.restart_hooks.insert(d, hook);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a single hop is currently traversable (link up, not crossing
+    /// an active partition cut).
+    fn hop_open(&self, from: NodeId, to: NodeId) -> bool {
+        if self.downed.contains(&link_key(from, to)) {
+            return false;
+        }
+        match &self.island {
+            Some(island) => island.contains(&from) == island.contains(&to),
+            None => true,
+        }
     }
 
     fn host_transmit(&mut self, host: u16, bytes: Vec<u8>) {
@@ -274,36 +455,87 @@ impl Network {
         } else {
             NodeId::Host(msg.dst)
         };
-        self.transmit(NodeId::Host(host), target, bytes);
+        let now = self.clock;
+        self.transmit(NodeId::Host(host), target, now, bytes);
     }
 
-    /// Moves a message one hop toward `target`.
-    fn transmit(&mut self, from: NodeId, target: NodeId, bytes: Vec<u8>) {
+    /// Moves a message one hop toward `target`, departing at `at` (≥ the
+    /// current clock; device forwards depart after their kernel latency).
+    fn transmit(&mut self, from: NodeId, target: NodeId, at: u64, bytes: Vec<u8>) {
         if from == target {
             if let NodeId::Host(h) = target {
-                self.push(self.clock, EventOrd::Arrive(NodeId::Host(h)), bytes);
+                self.push(at, EventOrd::Arrive(NodeId::Host(h)), bytes);
             }
             return;
         }
-        let Some((hop, link)) = self.topology.next_hop(from, target) else {
-            return; // unroutable: drop silently (counted as loss)
+        let hop = self.topology.next_hop_avoiding(from, target, &self.downed);
+        let Some((hop, link)) = hop.filter(|(h, _)| self.hop_open(from, *h)) else {
+            // No traversable route. Distinguish a topology gap (a bug in
+            // the experiment setup) from a scheduled fault eating the path.
+            if self.downed.is_empty() && self.island.is_none() {
+                self.stats.unroutable += 1;
+            } else {
+                self.stats.fault_drops += 1;
+            }
+            self.stats.node(from).dropped += 1;
+            return;
         };
         if link.loss > 0.0 && self.rand01() < link.loss {
             self.stats.link_losses += 1;
+            self.stats.node(hop).dropped += 1;
             return;
         }
-        let at = self.clock + link.transit_ns(bytes.len());
-        self.push(at, EventOrd::Arrive(hop), bytes);
+        let mut bytes = bytes;
+        if link.corrupt > 0.0 && self.rand01() < link.corrupt && !bytes.is_empty() {
+            let bit = self.rand_u64() as usize % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            self.stats.corrupted += 1;
+        }
+        let copies = if link.duplicate > 0.0 && self.rand01() < link.duplicate {
+            self.stats.duplicates += 1;
+            2
+        } else {
+            1
+        };
+        for i in 0..copies {
+            let mut arrive = at + link.transit_ns(bytes.len());
+            if link.jitter_ns > 0 {
+                arrive += self.rand_u64() % (link.jitter_ns + 1);
+            }
+            if link.reorder > 0.0 && self.rand01() < link.reorder {
+                arrive += link.reorder_ns;
+                self.stats.reordered += 1;
+            }
+            // The last copy moves the buffer — the common lossless single
+            // delivery stays allocation-free.
+            let payload = if i + 1 == copies { std::mem::take(&mut bytes) } else { bytes.clone() };
+            self.push(arrive, EventOrd::Arrive(hop), payload);
+        }
     }
 
     fn device_receive(&mut self, dev: u16, bytes: Vec<u8>) {
-        let Some(node) = self.devices.get_mut(&dev) else { return };
-        let Ok(mut msg) = Message::read_header(&bytes) else { return };
+        if self.failed.contains(&dev) {
+            // A failed device blackholes everything that reaches it.
+            self.stats.fault_drops += 1;
+            self.stats.node(NodeId::Device(dev)).dropped += 1;
+            return;
+        }
+        if !self.devices.contains_key(&dev) {
+            return;
+        }
+        let Ok(mut msg) = Message::read_header(&bytes) else {
+            // Corrupted beyond header recognition: the shim parser rejects.
+            self.stats.node(NodeId::Device(dev)).dropped += 1;
+            return;
+        };
+        self.stats.node(NodeId::Device(dev)).delivered += 1;
+        let node = self.devices.get_mut(&dev).expect("checked above");
         let runtime = node.runtime;
         if !runtime.should_compute(&msg) {
             // No implicit computation: transit toward the target (§IV).
             let fwd = runtime.transit(&msg);
-            self.apply_forward(dev, fwd, bytes);
+            let now = self.clock;
+            self.apply_forward(dev, fwd, now, bytes);
             return;
         }
         // Execute the kernel (with recirculation for repeat(), capped),
@@ -316,6 +548,9 @@ impl Network {
             self.stats.kernel_executions += 1;
             latency += node.latency_ns;
             if node.switch.process_into(&wire, &mut node.pkt, &mut node.out).is_err() {
+                // Malformed (possibly corrupted) packet: the pipeline
+                // rejects it.
+                self.stats.node(NodeId::Device(dev)).dropped += 1;
                 return;
             }
             std::mem::swap(&mut wire, &mut node.out);
@@ -336,21 +571,30 @@ impl Network {
         }
         match result {
             Some(fwd) => {
-                self.clock += latency;
-                self.apply_forward(dev, fwd, wire);
+                // The kernel latency delays *this* message's departure; it
+                // must not warp the global clock (which would shift every
+                // other in-flight event's frame of reference).
+                let depart = self.clock + latency;
+                self.apply_forward(dev, fwd, depart, wire);
             }
             // Recirculation cap exceeded: drop.
-            None => self.stats.kernel_drops += 1,
+            None => {
+                self.stats.kernel_drops += 1;
+                self.stats.node(NodeId::Device(dev)).dropped += 1;
+            }
         }
     }
 
-    fn apply_forward(&mut self, dev: u16, fwd: Forward, bytes: Vec<u8>) {
+    fn apply_forward(&mut self, dev: u16, fwd: Forward, at: u64, bytes: Vec<u8>) {
         match fwd {
             Forward::Drop => {
                 self.stats.kernel_drops += 1;
+                self.stats.node(NodeId::Device(dev)).dropped += 1;
             }
-            Forward::ToHost(h) => self.transmit(NodeId::Device(dev), NodeId::Host(h), bytes),
-            Forward::ToDevice(d) => self.transmit(NodeId::Device(dev), NodeId::Device(d), bytes),
+            Forward::ToHost(h) => self.transmit(NodeId::Device(dev), NodeId::Host(h), at, bytes),
+            Forward::ToDevice(d) => {
+                self.transmit(NodeId::Device(dev), NodeId::Device(d), at, bytes)
+            }
             Forward::Multicast(gid) => {
                 let members = self.topology.groups.get(&gid).cloned().unwrap_or_default();
                 for m in members {
@@ -364,7 +608,7 @@ impl Network {
                             msg.write_header_into(&mut copy[..netcl_runtime::NCL_HEADER_BYTES]);
                         }
                     }
-                    self.transmit(NodeId::Device(dev), m, copy);
+                    self.transmit(NodeId::Device(dev), m, at, copy);
                 }
             }
             Forward::Recirculate => unreachable!("handled in device_receive"),
@@ -373,6 +617,7 @@ impl Network {
 
     fn host_receive(&mut self, host: u16, bytes: Vec<u8>) {
         self.stats.delivered += 1;
+        self.stats.node(NodeId::Host(host)).delivered += 1;
         let now = self.clock;
         let Some(node) = self.hosts.get_mut(&host) else { return };
         node.received.push((now, bytes.clone()));
@@ -492,6 +737,7 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
             miss_rtt > 2 * hit_reply_at,
             "miss RTT {miss_rtt} should well exceed hit RTT {hit_reply_at}"
         );
+        assert_eq!(net.stats.unroutable, 0, "every message found a route");
     }
 
     #[test]
@@ -536,12 +782,122 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
         }
         net.run(1000);
         assert_eq!(net.stats.kernel_executions, 8);
+        assert_eq!(net.stats.unroutable, 0);
         assert_eq!(net.host_received(1).len(), 8);
         for (_, bytes) in net.host_received(1) {
             let mut v = Vec::new();
             unpack(bytes, &spec, &mut [None, None, Some(&mut v), None]).unwrap();
             assert_eq!(v[0], 42);
         }
+    }
+
+    /// Regression for the clock-warp bug: device kernel latency used to be
+    /// added to the global clock, delaying every other in-flight event.
+    /// Two hosts issue concurrent cached queries; each reply must arrive at
+    /// the same (symmetric-topology) time, unaffected by the other flow's
+    /// kernel execution.
+    #[test]
+    fn kernel_latency_does_not_warp_concurrent_flows() {
+        let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile("cache.ncl", CACHE_SRC)
+            .unwrap();
+        let spec = unit.model.kernels[0].specification();
+        let switch = Switch::new(unit.devices[0].tna_p4.clone());
+        let topo = star(1, &[1, 2], LinkSpec::default());
+        let mut net =
+            NetworkBuilder::new(topo).device(1, switch, 500).sink_host(1).sink_host(2).build();
+        // Host 1 → reflect to host 1; host 2 → reflect to host 2, both hit.
+        let m1 = Message::new(1, 2, 1, 1);
+        net.send_from_host(
+            1,
+            1000,
+            pack(&m1, &spec, &[Some(&[1]), Some(&[1]), None, None]).unwrap(),
+        );
+        let m2 = Message::new(2, 1, 1, 1);
+        net.send_from_host(
+            2,
+            1000,
+            pack(&m2, &spec, &[Some(&[1]), Some(&[2]), None, None]).unwrap(),
+        );
+        net.run(100);
+        let t1 = net.host_received(1)[0].0;
+        let t2 = net.host_received(2)[0].0;
+        assert_eq!(
+            t1, t2,
+            "symmetric flows must see identical reply times; a mismatch means \
+             one flow's kernel latency leaked into the other's timestamps"
+        );
+        assert_eq!(net.stats.unroutable, 0);
+    }
+
+    #[test]
+    fn link_outage_drops_then_recovers() {
+        let (mut net, spec) = build_cache_network();
+        net.schedule_fault(0, Fault::LinkDown(NodeId::Host(1), NodeId::Device(1)));
+        net.schedule_fault(50_000, Fault::LinkUp(NodeId::Host(1), NodeId::Device(1)));
+        query(&mut net, &spec, 1000, 1); // during the outage: dropped
+        query(&mut net, &spec, 60_000, 1); // after repair: served
+        net.run(100);
+        assert_eq!(net.stats.fault_drops, 1);
+        assert_eq!(net.stats.unroutable, 0, "fault drops are not topology gaps");
+        assert_eq!(net.host_received(1).len(), 1);
+        assert!(net.host_received(1)[0].0 > 60_000);
+    }
+
+    #[test]
+    fn partition_cuts_cross_island_traffic() {
+        let (mut net, spec) = build_cache_network();
+        // Host 1 alone on one side; the device and host 2 on the other.
+        net.schedule_fault(0, Fault::Partition(vec![NodeId::Host(1)]));
+        net.schedule_fault(50_000, Fault::Heal);
+        query(&mut net, &spec, 1000, 1);
+        query(&mut net, &spec, 60_000, 1);
+        net.run(100);
+        assert_eq!(net.stats.fault_drops, 1);
+        assert_eq!(net.host_received(1).len(), 1, "only the post-heal query answered");
+    }
+
+    #[test]
+    fn device_fail_blackholes_and_restart_restores() {
+        let (mut net, spec) = build_cache_network();
+        net.schedule_fault(0, Fault::DeviceFail(1));
+        net.schedule_fault(50_000, Fault::DeviceRestart(1));
+        query(&mut net, &spec, 1000, 1); // blackholed at the failed device
+        query(&mut net, &spec, 60_000, 1); // after restart: program-initial
+                                           // cache entries are back
+        net.run(100);
+        assert_eq!(net.stats.fault_drops, 1);
+        assert_eq!(net.stats.device_restarts, 1);
+        assert_eq!(net.host_received(1).len(), 1);
+        let mut v = Vec::new();
+        unpack(&net.host_received(1)[0].1, &spec, &mut [None, None, Some(&mut v), None]).unwrap();
+        assert_eq!(v[0], 42, "restart restored the program-initial cache entry");
+    }
+
+    #[test]
+    fn restart_hook_runs_against_fresh_switch() {
+        let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile("cache.ncl", CACHE_SRC)
+            .unwrap();
+        let switch = Switch::new(unit.devices[0].tna_p4.clone());
+        let topo = star(1, &[1], LinkSpec::default());
+        let ran = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let ran2 = ran.clone();
+        let mut net = NetworkBuilder::new(topo)
+            .device(1, switch, 500)
+            .sink_host(1)
+            .on_restart(
+                1,
+                Box::new(move |_sw: &mut Switch| {
+                    ran2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }),
+            )
+            .fault(100, Fault::DeviceFail(1))
+            .fault(200, Fault::DeviceRestart(1))
+            .build();
+        net.run(100);
+        assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert!(!net.device_failed(1));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! simulator does the same — the programmer's assumed topology (Fig. 5c) is
 //! built directly.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A network node: a host (end system) or a programmable device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -25,7 +25,10 @@ impl std::fmt::Display for NodeId {
     }
 }
 
-/// Link parameters.
+/// Link parameters, including the per-link fault distributions driven by
+/// the simulator's seeded RNG. The default is the paper's lossless testbed;
+/// every fault knob at zero leaves the delivery path (and the RNG stream)
+/// exactly as it was without the chaos layer.
 #[derive(Clone, Copy, Debug)]
 pub struct LinkSpec {
     /// Propagation latency in nanoseconds.
@@ -34,16 +37,66 @@ pub struct LinkSpec {
     pub gbps: f64,
     /// Packet loss probability (0.0 – 1.0).
     pub loss: f64,
+    /// Probability a delivered message is duplicated (both copies arrive,
+    /// each with its own jitter/reorder draw).
+    pub duplicate: f64,
+    /// Probability a delivered message has one random bit flipped.
+    pub corrupt: f64,
+    /// Probability a delivered message is held back by [`Self::reorder_ns`]
+    /// extra nanoseconds, letting later sends overtake it.
+    pub reorder: f64,
+    /// Extra delay applied to reordered messages.
+    pub reorder_ns: u64,
+    /// Uniform per-message jitter: each delivery is delayed by a random
+    /// amount in `[0, jitter_ns]`.
+    pub jitter_ns: u64,
 }
 
 impl Default for LinkSpec {
     fn default() -> Self {
         // 100G link, ~1µs propagation, lossless — the paper's testbed NICs.
-        LinkSpec { latency_ns: 1000, gbps: 100.0, loss: 0.0 }
+        LinkSpec {
+            latency_ns: 1000,
+            gbps: 100.0,
+            loss: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            reorder_ns: 0,
+            jitter_ns: 0,
+        }
     }
 }
 
 impl LinkSpec {
+    /// A lossy link with the remaining fault knobs at their defaults.
+    pub fn lossy(loss: f64) -> LinkSpec {
+        LinkSpec { loss, ..Default::default() }
+    }
+
+    /// The chaos regime used by the property suite: `loss` plus reordering
+    /// (25% of messages held back 40µs), duplication (10%), and 2µs of
+    /// uniform jitter on every delivery.
+    pub fn chaos(loss: f64) -> LinkSpec {
+        LinkSpec {
+            loss,
+            duplicate: 0.1,
+            reorder: 0.25,
+            reorder_ns: 40_000,
+            jitter_ns: 2_000,
+            ..Default::default()
+        }
+    }
+
+    /// Whether any fault distribution is active on this link.
+    pub fn faulty(&self) -> bool {
+        self.loss > 0.0
+            || self.duplicate > 0.0
+            || self.corrupt > 0.0
+            || self.reorder > 0.0
+            || self.jitter_ns > 0
+    }
+
     /// Time to put `bytes` on the wire plus propagation.
     pub fn transit_ns(&self, bytes: usize) -> u64 {
         let ser = (bytes as f64 * 8.0) / self.gbps; // ns at gbps
@@ -83,6 +136,18 @@ impl Topology {
 
     /// Next hop from `from` toward `to` (BFS shortest path), with the link.
     pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<(NodeId, LinkSpec)> {
+        self.next_hop_avoiding(from, to, &HashSet::new())
+    }
+
+    /// Next hop from `from` toward `to`, routing around the links in
+    /// `down` (order-normalized endpoint pairs, as [`link_key`] builds).
+    /// This is how the simulator reroutes around scheduled link failures.
+    pub fn next_hop_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        down: &HashSet<(NodeId, NodeId)>,
+    ) -> Option<(NodeId, LinkSpec)> {
         if from == to {
             return None;
         }
@@ -94,7 +159,8 @@ impl Topology {
                 break;
             }
             for &(next, spec) in self.neighbors(n) {
-                if next != from && !parent.contains_key(&next) {
+                if next != from && !parent.contains_key(&next) && !down.contains(&link_key(n, next))
+                {
                     parent.insert(next, (n, spec));
                     queue.push_back(next);
                 }
@@ -116,6 +182,16 @@ impl Topology {
         let mut v: Vec<NodeId> = self.links.keys().copied().collect();
         v.sort();
         v
+    }
+}
+
+/// Order-normalized endpoint pair identifying a bidirectional link, the
+/// key used for scheduled link up/down state.
+pub fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
     }
 }
 
@@ -165,8 +241,26 @@ mod tests {
     }
 
     #[test]
+    fn routing_avoids_downed_links() {
+        // h1 — dev1 — dev2 — h2, plus a backup path dev1 — dev3 — dev2.
+        let mut t = Topology::new();
+        t.link(NodeId::Host(1), NodeId::Device(1), LinkSpec::default());
+        t.link(NodeId::Device(1), NodeId::Device(2), LinkSpec::default());
+        t.link(NodeId::Device(1), NodeId::Device(3), LinkSpec::default());
+        t.link(NodeId::Device(3), NodeId::Device(2), LinkSpec::default());
+        t.link(NodeId::Device(2), NodeId::Host(2), LinkSpec::default());
+        let mut down = HashSet::new();
+        down.insert(link_key(NodeId::Device(2), NodeId::Device(1)));
+        let (hop, _) = t.next_hop_avoiding(NodeId::Device(1), NodeId::Host(2), &down).unwrap();
+        assert_eq!(hop, NodeId::Device(3), "detours around the downed link");
+        // Severing the backup too makes the destination unreachable.
+        down.insert(link_key(NodeId::Device(1), NodeId::Device(3)));
+        assert!(t.next_hop_avoiding(NodeId::Device(1), NodeId::Host(2), &down).is_none());
+    }
+
+    #[test]
     fn transit_time_includes_serialization() {
-        let l = LinkSpec { latency_ns: 1000, gbps: 100.0, loss: 0.0 };
+        let l = LinkSpec { latency_ns: 1000, gbps: 100.0, ..Default::default() };
         // 1250 bytes at 100 Gb/s = 100 ns serialization.
         assert_eq!(l.transit_ns(1250), 1100);
         assert_eq!(l.transit_ns(0), 1000);

@@ -17,7 +17,9 @@
 pub mod device;
 pub mod managed;
 pub mod message;
+pub mod reliable;
 
 pub use device::{DeviceRuntime, Forward, NO_DEVICE};
 pub use managed::ManagedMemory;
 pub use message::{Message, MessageError, NCL_HEADER_BYTES};
+pub use reliable::{Reliable, ReliableStats, RetryPolicy, Transport, RELIABLE_TOKEN};

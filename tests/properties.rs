@@ -126,6 +126,66 @@ proptest! {
         }
     }
 
+    /// Wire parsing is total: `Message::read_header` and `unpack` never
+    /// panic on arbitrary byte strings — the input path the simulator's
+    /// corruption fault exercises — and report `Truncated` exactly when the
+    /// buffer is shorter than the specification demands.
+    #[test]
+    fn unpack_is_total_on_arbitrary_bytes(
+        spec in arb_spec(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        use netcl_runtime::message::{MessageError, NCL_HEADER_BYTES};
+        let header = Message::read_header(&bytes);
+        if bytes.len() < NCL_HEADER_BYTES {
+            prop_assert_eq!(header, Err(MessageError::Truncated));
+        } else {
+            prop_assert!(header.is_ok());
+        }
+        let mut outs: Vec<Vec<u64>> = vec![Vec::new(); spec.items.len()];
+        let mut refs: Vec<Option<&mut Vec<u64>>> = outs.iter_mut().map(Some).collect();
+        match unpack(&bytes, &spec, &mut refs) {
+            Ok(hdr) => {
+                prop_assert!(bytes.len() >= Message::size(&spec));
+                prop_assert_eq!(Ok(hdr), header);
+            }
+            Err(e) => {
+                prop_assert!(bytes.len() < Message::size(&spec));
+                prop_assert_eq!(e, MessageError::Truncated);
+            }
+        }
+    }
+
+    /// Any strict prefix of a well-formed packet is rejected as truncated,
+    /// and a single flipped bit never breaks parsing (there is no checksum:
+    /// the corrupted packet decodes, just to different field values).
+    #[test]
+    fn truncation_errs_and_bit_flips_parse(
+        spec in arb_spec(),
+        cut in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        use netcl_runtime::message::MessageError;
+        let zeros: Vec<Option<&[u64]>> = spec.items.iter().map(|_| None).collect();
+        let m = Message::new(3, 4, 9, 1);
+        let bytes = pack(&m, &spec, &zeros).unwrap();
+
+        let cut = (cut % bytes.len() as u64) as usize;
+        let mut none: Vec<Option<&mut Vec<u64>>> = spec.items.iter().map(|_| None).collect();
+        prop_assert_eq!(
+            unpack(&bytes[..cut], &spec, &mut none),
+            Err(MessageError::Truncated)
+        );
+
+        let mut flipped = bytes.clone();
+        let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        let mut outs: Vec<Vec<u64>> = vec![Vec::new(); spec.items.len()];
+        let mut refs: Vec<Option<&mut Vec<u64>>> = outs.iter_mut().map(Some).collect();
+        prop_assert!(unpack(&flipped, &spec, &mut refs).is_ok());
+        prop_assert!(Message::read_header(&flipped).is_ok());
+    }
+
     /// Every lookup-table state the host installs is observed exactly by
     /// the data plane (managed memory coherence).
     #[test]
