@@ -1,4 +1,4 @@
-//! AGG — in-network AllReduce (SwitchML [13], paper Fig. 7 + §VII).
+//! AGG — in-network AllReduce (SwitchML \[13\], paper Fig. 7 + §VII).
 //!
 //! Workers stream fixed-size chunks of a tensor to a top-of-rack switch;
 //! the switch aggregates per slot, drops intermediate packets, and
@@ -111,7 +111,7 @@ pub fn spec(cfg: &AggConfig) -> Specification {
 /// observes in Table V):
 ///
 /// * slot-completion decisions go through a **ternary MAT on the counter**
-///   ("the handwritten P4 code, following [13], uses MATs with ternary
+///   ("the handwritten P4 code, following \[13\], uses MATs with ternary
 ///   lookups that do use TCAM"), where the compiler evaluates the
 ///   conditions inside the SALUs;
 /// * RegisterActions read and write the argument header fields directly —
@@ -644,6 +644,35 @@ pub fn run_allreduce_chaos(
     faults: netcl_net::FaultSchedule,
     max_events: u64,
 ) -> (AggRunResult, netcl_net::NetStats) {
+    let (r, stats, _) = run_allreduce_chaos_observed(
+        program,
+        cfg,
+        total_chunks,
+        device_latency_ns,
+        link,
+        seed,
+        faults,
+        max_events,
+        None,
+    );
+    (r, stats)
+}
+
+/// [`run_allreduce_chaos`] with optional observability: when `obs` is set,
+/// the third return value carries the run's Perfetto-loadable trace
+/// (DESIGN.md §12). Observability never changes the returned stats.
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce_chaos_observed(
+    program: &P4Program,
+    cfg: &AggConfig,
+    total_chunks: u32,
+    device_latency_ns: u64,
+    link: LinkSpec,
+    seed: u64,
+    faults: netcl_net::FaultSchedule,
+    max_events: u64,
+    obs: Option<netcl_net::ObsConfig>,
+) -> (AggRunResult, netcl_net::NetStats, Option<netcl_obs::Trace>) {
     let mut topo = netcl_net::topo::star(
         1,
         &(0..cfg.num_workers).map(|w| 100 + w as u16).collect::<Vec<_>>(),
@@ -654,6 +683,9 @@ pub fn run_allreduce_chaos(
         .device(1, Switch::new(program.clone()), device_latency_ns)
         .seed(seed)
         .faults(faults);
+    if let Some(cfg) = obs {
+        builder = builder.observe(cfg);
+    }
     let states: Vec<Arc<Mutex<WorkerState>>> =
         (0..cfg.num_workers).map(|_| Arc::new(Mutex::new(WorkerState::default()))).collect();
     for w in 0..cfg.num_workers {
@@ -709,7 +741,8 @@ pub fn run_allreduce_chaos(
         retransmits,
         kernel_executions: net.stats.kernel_executions,
     };
-    (result, net.stats.clone())
+    let trace = net.take_trace();
+    (result, net.stats.clone(), trace)
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
-//! CACHE — in-network key-value caching (NetCache [16], paper §VII).
+//! CACHE — in-network key-value caching (NetCache \[16\], paper §VII).
 //!
 //! Extends Fig. 4 the way the paper describes: GET/PUT/DEL operations, a
 //! validity bit implementing the write-back policy, two-step cache-line
 //! access (a MAT maps the 8-byte key to a slot index, registers hold the
 //! value words), the cache-line *sharing* bitmap tracking which words of a
 //! line belong to the key, per-slot hit counters, and hot-key detection via
-//! a count-min sketch followed by a Bloom filter. Unlike [16], misses are
+//! a count-min sketch followed by a Bloom filter. Unlike \[16\], misses are
 //! marked hot in an extra header field on their way to the KVS server
 //! (which then populates the cache through the control plane).
 
@@ -131,7 +131,7 @@ pub fn spec(cfg: &CacheConfig) -> Specification {
     Specification {
         items: vec![
             SpecItem { count: 1, ty: Ty::U8 },          // op
-            SpecItem { count: 1, ty: Ty::U64 },         // k (8-byte keys, as in [16])
+            SpecItem { count: 1, ty: Ty::U64 },         // k (8-byte keys, as in \[16\])
             SpecItem { count: 1, ty: Ty::U8 },          // hit
             SpecItem { count: 1, ty: Ty::U32 },         // hot
             SpecItem { count: cfg.words, ty: Ty::U32 }, // v

@@ -1,4 +1,4 @@
-//! CALC — the P4-tutorials calculator [78], the paper's small stateless
+//! CALC — the P4-tutorials calculator \[78\], the paper's small stateless
 //! application: the switch computes `a OP b` and reflects the result.
 
 use netcl_p4::ast::*;

@@ -14,6 +14,8 @@
 //!    the TCAM-vs-SRAM contrast Table V highlights).
 //! 3. **Host-side drivers and workload generators** for the end-to-end
 //!    experiments (Fig. 14).
+//!
+//! DESIGN.md §5 indexes which driver regenerates which table/figure.
 
 pub mod agg;
 pub mod cache;

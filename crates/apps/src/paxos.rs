@@ -1,4 +1,4 @@
-//! P4xos — in-network Paxos [20] (paper Fig. 11, §VII).
+//! P4xos — in-network Paxos \[20\] (paper Fig. 11, §VII).
 //!
 //! Three kernels of one computation at three locations: the **leader**
 //! sequences client requests into instances (phase 2A), **acceptors** vote

@@ -1,6 +1,47 @@
-//! Prints the chaos fault-injection report (see EXPERIMENTS.md). An optional
-//! argument sets the seeds per row (default 8).
+//! Prints the chaos fault-injection report (see EXPERIMENTS.md).
+//!
+//! ```text
+//! chaos [SEEDS] [--trace FILE [--seed N]]
+//! ```
+//!
+//! `SEEDS` sets the seeds per row (default 8). `--trace FILE` additionally
+//! records one AGG chaos run as Chrome `trace_event` JSON — open the file
+//! at <https://ui.perfetto.dev> to see per-device kernel spans, host
+//! deliveries, drops, and the event-queue depth over simulated time.
 fn main() {
-    let seeds = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds = 8;
+    let mut trace_file: Option<String> = None;
+    let mut trace_seed = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                trace_file = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("error: --trace takes a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "--seed" => {
+                i += 1;
+                trace_seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --seed takes a number");
+                    std::process::exit(2);
+                });
+            }
+            n if n.parse::<u64>().is_ok() => seeds = n.parse().unwrap(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if let Some(file) = trace_file {
+        let json = netcl_bench::chaos_trace_json(trace_seed);
+        std::fs::write(&file, json).expect("write trace file");
+        println!("wrote Perfetto trace of AGG chaos seed {trace_seed} to {file}");
+    }
     print!("{}", netcl_bench::report_chaos(seeds));
 }

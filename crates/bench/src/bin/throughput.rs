@@ -116,6 +116,11 @@ struct Row {
     name: &'static str,
     compiled_pps: f64,
     interpreted_pps: f64,
+    /// Data-plane counters from the compiled measurement (warmup included),
+    /// captured before the interpreter run so they describe the fast path.
+    counters: netcl_bmv2::SwitchCounters,
+    /// Per-table `(name, hits, misses)` for the same window.
+    tables: Vec<(String, u64, u64)>,
 }
 
 fn main() {
@@ -134,17 +139,26 @@ fn main() {
     let mut rows = Vec::new();
     for mut app in [calc_app(), agg_app(), cache_app(), pacc_app()] {
         app.switch.set_interpreted(false);
+        app.switch.reset_counters();
         let compiled_pps = measure(&mut app.switch, &app.packets, compiled_n);
+        let counters = app.switch.counters().clone();
+        let tables: Vec<(String, u64, u64)> =
+            app.switch.table_stats().map(|(n, h, m)| (n.to_string(), h, m)).collect();
         app.switch.set_interpreted(true);
         let interpreted_pps = measure(&mut app.switch, &app.packets, interp_n);
         println!(
-            "{:<6} compiled {:>12.0} pps   interpreted {:>12.0} pps   speedup {:.2}x",
+            "{:<6} compiled {:>12.0} pps   interpreted {:>12.0} pps   speedup {:.2}x   \
+             ({} pkts, {} hits, {} misses, {} reg-actions)",
             app.name,
             compiled_pps,
             interpreted_pps,
             compiled_pps / interpreted_pps,
+            counters.packets,
+            counters.total_hits(),
+            counters.total_misses(),
+            counters.reg_action_execs,
         );
-        rows.push(Row { name: app.name, compiled_pps, interpreted_pps });
+        rows.push(Row { name: app.name, compiled_pps, interpreted_pps, counters, tables });
     }
 
     if smoke {
@@ -156,13 +170,32 @@ fn main() {
     json.push_str("  \"apps\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"app\": \"{}\", \"compiled_pps\": {:.0}, \"interpreted_pps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"app\": \"{}\", \"compiled_pps\": {:.0}, \"interpreted_pps\": {:.0}, \"speedup\": {:.2},\n",
             r.name,
             r.compiled_pps,
             r.interpreted_pps,
             r.compiled_pps / r.interpreted_pps,
-            if i + 1 < rows.len() { "," } else { "" },
         ));
+        let c = &r.counters;
+        json.push_str(&format!(
+            "     \"breakdown\": {{\"packets\": {}, \"errors\": {}, \"table_hits\": {}, \
+             \"table_misses\": {}, \"reg_action_execs\": {}, \"action_calls\": {}, \
+             \"extern_calls\": {}, \"tables\": [",
+            c.packets,
+            c.errors,
+            c.total_hits(),
+            c.total_misses(),
+            c.reg_action_execs,
+            c.action_calls,
+            c.extern_calls,
+        ));
+        for (j, (t, h, m)) in r.tables.iter().enumerate() {
+            json.push_str(&format!(
+                "{}{{\"table\": \"{t}\", \"hits\": {h}, \"misses\": {m}}}",
+                if j > 0 { ", " } else { "" },
+            ));
+        }
+        json.push_str(&format!("]}}}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_switch.json", &json).expect("write BENCH_switch.json");

@@ -549,6 +549,29 @@ pub fn report_chaos(seeds: u64) -> String {
     out
 }
 
+/// Runs one AGG chaos run (20% chaos link) with tracing enabled and
+/// returns the Perfetto-loadable `trace_event` JSON (DESIGN.md §12). The
+/// seed picks the replayable run to visualize.
+pub fn chaos_trace_json(seed: u64) -> String {
+    use netcl_net::{FaultSchedule, LinkSpec, ObsConfig};
+    let cfg = agg::AggConfig { num_workers: 3, num_slots: 4, slot_size: 8 };
+    let agg_unit = Compiler::new(CompileOptions::default())
+        .compile("agg.ncl", &agg::netcl_source(&cfg))
+        .expect("agg compiles");
+    let (_, _, trace) = agg::run_allreduce_chaos_observed(
+        &agg_unit.devices[0].tna_p4,
+        &cfg,
+        8,
+        500,
+        LinkSpec::chaos(0.2),
+        seed,
+        FaultSchedule::new(),
+        300_000,
+        Some(ObsConfig { trace: true }),
+    );
+    trace.expect("tracing was enabled").to_json()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,17 +8,17 @@
 //! * a [`SlotTable`] interning every canonical field/metadata path into a
 //!   dense [`FieldSlot`] and every header instance into a [`HeaderId`],
 //!   with deparse layouts resolved up front;
-//! * postfix expression programs ([`EOp`]) evaluated on a reusable stack;
-//! * flat statement op arrays ([`COp`]) with relative branch skips instead
+//! * postfix expression programs (`EOp`) evaluated on a reusable stack;
+//! * flat statement op arrays (`COp`) with relative branch skips instead
 //!   of nested statement trees;
-//! * a compiled parser FSM ([`CParser`]) whose extracts are pre-flattened
+//! * a compiled parser FSM (`CParser`) whose extracts are pre-flattened
 //!   `(slot, width)` plans.
 //!
 //! The compiled form is semantically identical to the interpreter — the
 //! interpreter stays available behind [`crate::Switch::set_interpreted`] as
 //! the differential-test oracle. Any entity the interpreter would only
 //! discover to be missing at execution time (unknown action, table, parser
-//! state, ...) lowers to a [`COp::Fail`]/[`StateRef::Unknown`] carrying the
+//! state, ...) lowers to a `COp::Fail`/`StateRef::Unknown` carrying the
 //! interpreter's exact error message, so errors surface at the same moment
 //! with the same text.
 
@@ -447,7 +447,7 @@ struct Compiler<'p> {
 }
 
 /// Compiles a program. Infallible: unresolvable references become deferred
-/// [`COp::Fail`] ops matching the interpreter's lazy error behavior.
+/// `COp::Fail` ops matching the interpreter's lazy error behavior.
 pub fn compile(program: &P4Program) -> CompiledProgram {
     let mut c = Compiler {
         program,

@@ -16,11 +16,14 @@
 //! interface ([`Switch::register_write`], [`Switch::table_insert`], ...)
 //! backs the NetCL `_managed_` memory API (§V-B).
 //!
-//! Programs are lowered once at [`Switch::new`] by [`compile`] into flat,
+//! Programs are lowered once at [`Switch::new`] by [`mod@compile`] into flat,
 //! index-addressed op arrays; per-packet execution walks those arrays with
 //! zero heap allocation for interned fields. The original tree-walking
 //! interpreter remains available via [`Switch::set_interpreted`] as the
 //! differential-testing oracle.
+//!
+//! DESIGN.md §10 describes the compiled fast path; §12 the data-plane
+//! counters ([`Switch::counters`]) both engines maintain identically.
 
 pub mod compile;
 pub mod eval;
@@ -29,4 +32,4 @@ pub mod switch;
 
 pub use compile::{compile, CompiledProgram, FieldSlot, HeaderId, SlotTable};
 pub use packet::{FieldError, Packet, PacketError};
-pub use switch::{Switch, SwitchError};
+pub use switch::{Switch, SwitchCounters, SwitchError};

@@ -3,7 +3,7 @@
 //! Two execution engines share one runtime state:
 //!
 //! * the **compiled** fast path (default): flat op arrays produced by
-//!   [`crate::compile`], slot-addressed packet fields, zero per-packet heap
+//!   [`mod@crate::compile`], slot-addressed packet fields, zero per-packet heap
 //!   allocation for already-interned fields;
 //! * the **tree-walking interpreter** (behind [`Switch::set_interpreted`]):
 //!   re-evaluates the AST per packet through the string compatibility
@@ -51,6 +51,52 @@ fn field_err(e: FieldError, header: &str) -> SwitchError {
     }
 }
 
+/// Per-switch data-plane counters (DESIGN.md §12). Always on — each is a
+/// single integer increment on an already-taken branch, which the
+/// throughput benchmark bounds at < 2% — and they count identically on the
+/// compiled and interpreted engines, so the differential tests compare
+/// them too. Reset by [`Switch::reset_counters`] and by device restarts
+/// (a fresh switch starts from zero, like real hardware).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SwitchCounters {
+    /// Packets entering the pipeline (parse attempts).
+    pub packets: u64,
+    /// Packets rejected with an error (parse failure or a deferred
+    /// compile-time failure surfacing at execution).
+    pub errors: u64,
+    /// Table hits, by table-state index (see [`Switch::table_stats`]).
+    pub table_hits: Vec<u64>,
+    /// Table misses, by table-state index.
+    pub table_misses: Vec<u64>,
+    /// `RegisterAction` executions (SALU microprograms).
+    pub reg_action_execs: u64,
+    /// Action invocations (table-driven and direct calls).
+    pub action_calls: u64,
+    /// Extern function calls (hash engines count separately under their
+    /// tables' keys; this counts `random` and the ncl intrinsics).
+    pub extern_calls: u64,
+}
+
+impl SwitchCounters {
+    fn new(cp: &CompiledProgram) -> SwitchCounters {
+        SwitchCounters {
+            table_hits: vec![0; cp.table_states.len()],
+            table_misses: vec![0; cp.table_states.len()],
+            ..SwitchCounters::default()
+        }
+    }
+
+    /// Total hits across all tables.
+    pub fn total_hits(&self) -> u64 {
+        self.table_hits.iter().sum()
+    }
+
+    /// Total misses across all tables.
+    pub fn total_misses(&self) -> u64 {
+        self.table_misses.iter().sum()
+    }
+}
+
 /// Mutable per-switch state shared by both engines, plus the compiled
 /// path's reusable scratch buffers (all stack-disciplined so re-entrant
 /// table/action execution never allocates in steady state).
@@ -68,6 +114,9 @@ struct RuntimeState {
     scratch: Vec<u64>,
     /// Saved `(slot, value, present)` for action-parameter bindings.
     param_saves: Vec<(compile::FieldSlot, u64, bool)>,
+    /// Data-plane counters (lives here so the compiled path's free
+    /// functions can increment through `st`).
+    counters: SwitchCounters,
 }
 
 impl RuntimeState {
@@ -80,6 +129,7 @@ impl RuntimeState {
             keys: Vec::new(),
             scratch: Vec::new(),
             param_saves: Vec::new(),
+            counters: SwitchCounters::new(cp),
         }
     }
 }
@@ -92,8 +142,11 @@ pub struct Switch {
     /// When set, `process` runs the tree-walking oracle instead of the
     /// compiled ops.
     interpreted: bool,
-    /// Packets processed (telemetry).
+    /// Packets processed (telemetry). Mirrors `counters().packets`; kept
+    /// as a field for existing callers.
     pub packets_processed: u64,
+    /// Opt-in per-packet wall-time histogram ([`Switch::set_timing`]).
+    timing: Option<netcl_obs::Histogram>,
 }
 
 impl Switch {
@@ -102,7 +155,40 @@ impl Switch {
     pub fn new(program: P4Program) -> Switch {
         let compiled = Arc::new(compile::compile(&program));
         let st = RuntimeState::new(&compiled);
-        Switch { program, compiled, st, interpreted: false, packets_processed: 0 }
+        Switch { program, compiled, st, interpreted: false, packets_processed: 0, timing: None }
+    }
+
+    // ---- observability (DESIGN.md §12) ----------------------------------
+
+    /// The data-plane counters accumulated so far. Counted identically by
+    /// both engines, so they participate in the differential contract.
+    pub fn counters(&self) -> &SwitchCounters {
+        &self.st.counters
+    }
+
+    /// Zeroes all counters (e.g. between a warmup and a measured run).
+    pub fn reset_counters(&mut self) {
+        self.st.counters = SwitchCounters::new(&self.compiled);
+        self.packets_processed = 0;
+    }
+
+    /// Per-table `(name, hits, misses)`, in table-state order. Duplicated
+    /// lookup tables (`name__dupN`) report separately.
+    pub fn table_stats(&self) -> impl Iterator<Item = (&str, u64, u64)> {
+        self.compiled.table_states.iter().enumerate().map(|(i, t)| {
+            (t.name.as_str(), self.st.counters.table_hits[i], self.st.counters.table_misses[i])
+        })
+    }
+
+    /// Enables (or disables) the per-packet wall-time histogram. Off by
+    /// default: when off, `process_into` never reads the clock.
+    pub fn set_timing(&mut self, on: bool) {
+        self.timing = if on { Some(netcl_obs::Histogram::new()) } else { None };
+    }
+
+    /// The per-packet wall-time histogram, when timing is enabled.
+    pub fn timing(&self) -> Option<&netcl_obs::Histogram> {
+        self.timing.as_ref()
     }
 
     /// The program this switch runs.
@@ -229,7 +315,25 @@ impl Switch {
         pkt: &mut Packet,
         out: &mut Vec<u8>,
     ) -> Result<(), SwitchError> {
+        let watch = self.timing.as_ref().map(|_| netcl_obs::Stopwatch::start());
+        let r = self.process_inner(wire, pkt, out);
+        if let (Some(w), Some(h)) = (watch, self.timing.as_mut()) {
+            h.record(w.elapsed_ns());
+        }
+        if r.is_err() {
+            self.st.counters.errors += 1;
+        }
+        r
+    }
+
+    fn process_inner(
+        &mut self,
+        wire: &[u8],
+        pkt: &mut Packet,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SwitchError> {
         self.packets_processed += 1;
+        self.st.counters.packets += 1;
         out.clear();
         pkt.ensure_slots(&self.compiled.slots);
         pkt.reset();
@@ -387,6 +491,7 @@ impl Switch {
                 self.apply_table(name, control, pkt)?;
             }
             Stmt::ExecuteRegisterAction { dst, ra, index } => {
+                self.st.counters.reg_action_execs += 1;
                 let radef = control
                     .register_action(ra)
                     .ok_or_else(|| SwitchError::Unknown(format!("RegisterAction `{ra}`")))?
@@ -460,6 +565,7 @@ impl Switch {
                 }
             }
             Stmt::ExternCall { dst, func, args } => {
+                self.st.counters.extern_calls += 1;
                 let widths = self.width_fn();
                 let mut vals = Vec::new();
                 for a in args {
@@ -515,12 +621,8 @@ impl Switch {
         let widths = self.width_fn();
         let key_vals: Vec<u64> = t.keys.iter().map(|(k, _)| eval(k, pkt, &widths).0).collect();
         drop(widths);
-        let entries = self
-            .compiled
-            .table_index
-            .get(name)
-            .map(|&i| self.st.tables[i as usize].clone())
-            .unwrap_or_default();
+        let state = self.compiled.table_index.get(name).copied();
+        let entries = state.map(|i| self.st.tables[i as usize].clone()).unwrap_or_default();
         let hit = entries.iter().find(|e| {
             e.keys.len() == key_vals.len()
                 && e.keys.iter().zip(&key_vals).all(|(ek, kv)| match ek {
@@ -528,6 +630,12 @@ impl Switch {
                     EntryKey::Range(lo, hi) => lo <= kv && kv <= hi,
                 })
         });
+        if let Some(i) = state {
+            match hit {
+                Some(_) => self.st.counters.table_hits[i as usize] += 1,
+                None => self.st.counters.table_misses[i as usize] += 1,
+            }
+        }
         match hit {
             Some(entry) => {
                 let entry = entry.clone();
@@ -556,6 +664,7 @@ impl Switch {
         control: &ControlDef,
         pkt: &mut Packet,
     ) -> Result<(), SwitchError> {
+        self.st.counters.action_calls += 1;
         // Bind parameters as metadata under their bare names (action-local).
         let saved: Vec<(String, Option<u64>)> =
             action.params.iter().map(|(n, _)| (n.clone(), pkt.meta_opt(n))).collect();
@@ -743,6 +852,7 @@ fn exec_region(
                 assign_to(pkt, dst, v);
             }
             COp::ExternCall { dst, func, args } => {
+                st.counters.extern_calls += 1;
                 let vbase = st.scratch.len();
                 for ai in args.start..args.start + args.len {
                     let (v, _) = eval_ref(cp, cp.args[ai as usize], pkt, &mut st.stack);
@@ -796,6 +906,7 @@ fn call_action(
     st: &mut RuntimeState,
 ) -> Result<(), SwitchError> {
     let a = &cp.actions[action as usize];
+    st.counters.action_calls += 1;
     let save_base = st.param_saves.len();
     for &(slot, _) in &a.params {
         st.param_saves.push((slot, pkt.value(slot), pkt.meta_present(slot)));
@@ -853,6 +964,10 @@ fn apply_table_compiled(
     }
     st.keys.truncate(kbase);
     match hit_idx {
+        Some(_) => st.counters.table_hits[state] += 1,
+        None => st.counters.table_misses[state] += 1,
+    }
+    match hit_idx {
         Some(ei) => {
             // Entry actions resolve by name in the applying table's scope
             // (runtime entries may name any action; unknown ones are
@@ -889,6 +1004,7 @@ fn exec_reg_action(
     st: &mut RuntimeState,
 ) -> Result<(), SwitchError> {
     let cra = &cp.reg_actions[ra as usize];
+    st.counters.reg_action_execs += 1;
     let (idx, _) = eval_ref(cp, index, pkt, &mut st.stack);
     let cond = match cra.cond {
         Some(c) => eval_ref(cp, c, pkt, &mut st.stack).0 != 0,
@@ -1064,6 +1180,34 @@ mod tests {
         let fr: Vec<_> = fast.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
         let or: Vec<_> = oracle.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
         assert_eq!(fr, or, "register state diverges");
+        // Both engines count the same events: counters are part of the
+        // differential contract.
+        assert_eq!(fast.counters(), oracle.counters(), "counters diverge");
+    }
+
+    /// Counters track packets, table hits/misses, reg-action executions and
+    /// errors, and reset cleanly.
+    #[test]
+    fn counters_track_data_plane_events() {
+        let mut sw = Switch::new(counting_program());
+        sw.set_timing(true);
+        sw.process(&wire(7, 0)).unwrap(); // hit
+        sw.process(&wire(8, 5)).unwrap(); // miss
+        sw.process(&[0x01]).unwrap_err(); // parse error
+        let c = sw.counters();
+        assert_eq!(c.packets, 3);
+        assert_eq!(c.errors, 1);
+        assert_eq!(c.reg_action_execs, 2);
+        assert_eq!(c.total_hits(), 1);
+        assert_eq!(c.total_misses(), 1);
+        assert_eq!(c.action_calls, 1, "only the hit ran `setv`");
+        let stats: Vec<_> = sw.table_stats().collect();
+        assert_eq!(stats, vec![("t", 1, 1)]);
+        // Timing recorded one sample per completed pipeline run.
+        assert_eq!(sw.timing().unwrap().count(), 3);
+        sw.reset_counters();
+        assert_eq!(sw.counters().packets, 0);
+        assert_eq!(sw.counters().total_hits(), 0);
     }
 
     /// Deferred compilation errors surface with the interpreter's message,

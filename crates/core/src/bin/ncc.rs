@@ -3,12 +3,13 @@
 //! ```text
 //! ncc <file.ncl> [--device N] [--target tna|v1model|both]
 //!     [--emit-p4 DIR] [--dump-ir] [--no-speculation] [--no-dup-lookup]
-//!     [--no-icmp-rewrite] [--report]
+//!     [--no-icmp-rewrite] [--report] [--emit-pass-report]
 //! ```
 //!
 //! Compiles a NetCL-C translation unit for every device it mentions,
-//! optionally writing the generated P4 programs, dumping the IR, and
-//! printing the Tofino fit report.
+//! optionally writing the generated P4 programs, dumping the IR, printing
+//! the Tofino fit report, and printing per-pass telemetry (wall time, IR
+//! deltas, rewrites fired — DESIGN.md §12).
 
 use netcl::{CompileOptions, Compiler, EmitTarget};
 
@@ -45,11 +46,12 @@ fn main() {
             }
             "--dump-ir" => dump_ir = true,
             "--report" => report = true,
+            "--emit-pass-report" => opts.pass_report = true,
             "--no-speculation" => opts.flags.speculation = false,
             "--no-dup-lookup" => opts.flags.duplicate_lookup = false,
             "--no-icmp-rewrite" => opts.flags.icmp_to_sub_msb = false,
             "--help" | "-h" => {
-                eprintln!("usage: ncc <file.ncl> [--device N] [--target tna|v1model|both] [--emit-p4 DIR] [--dump-ir] [--report] [--no-speculation] [--no-dup-lookup] [--no-icmp-rewrite]");
+                eprintln!("usage: ncc <file.ncl> [--device N] [--target tna|v1model|both] [--emit-p4 DIR] [--dump-ir] [--report] [--emit-pass-report] [--no-speculation] [--no-dup-lookup] [--no-icmp-rewrite]");
                 return;
             }
             f if !f.starts_with('-') => file = Some(f.to_string()),
@@ -104,6 +106,9 @@ fn main() {
                         Ok(r) => println!("{}", r.table_v_row()),
                         Err(e) => println!("device {}: does not fit: {e}", dev.device),
                     }
+                }
+                for rep in [&dev.tna_pass_report, &dev.v1_pass_report].into_iter().flatten() {
+                    println!("device {}: {}", dev.device, rep.render());
                 }
             }
             eprintln!(

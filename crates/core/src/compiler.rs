@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use netcl_ir::Module;
 use netcl_p4::ast::{P4Program, Target};
-use netcl_passes::{PassFlags, PipelineTarget};
+use netcl_passes::{PassFlags, PassReport, PipelineTarget};
 use netcl_sema::Model;
 use netcl_util::DiagnosticSink;
 
@@ -37,6 +37,10 @@ pub struct CompileOptions {
     /// Devices to compile for; defaults to every device mentioned in an
     /// `_at(...)` (or device 0 for location-less programs).
     pub devices: Option<Vec<u16>>,
+    /// Collect per-pass telemetry (wall time, IR deltas, rewrite counts)
+    /// into [`CompiledDevice::tna_pass_report`] / `v1_pass_report`
+    /// (DESIGN.md §12; surfaced by `ncc --emit-pass-report`).
+    pub pass_report: bool,
 }
 
 /// Per-phase wall-clock timings.
@@ -74,6 +78,11 @@ pub struct CompiledDevice {
     pub tna_p4: P4Program,
     /// Generated v1model P4.
     pub v1_p4: P4Program,
+    /// Per-pass telemetry for the Tofino pipeline (when
+    /// [`CompileOptions::pass_report`] is set).
+    pub tna_pass_report: Option<PassReport>,
+    /// Per-pass telemetry for the v1model pipeline.
+    pub v1_pass_report: Option<PassReport>,
 }
 
 /// A fully compiled translation unit.
@@ -168,30 +177,43 @@ impl Compiler {
             let want_tna = self.options.target != EmitTarget::V1Model;
             let want_v1 = self.options.target != EmitTarget::Tna;
 
+            // One pipeline runner for both targets: telemetry-collecting
+            // when requested, bare otherwise.
+            let pipeline = |ir: &mut Module,
+                            target: PipelineTarget,
+                            diags: &mut DiagnosticSink|
+             -> (Result<(), ()>, Option<PassReport>) {
+                if self.options.pass_report {
+                    let (r, rep) = netcl_passes::run_pipeline_with_report(
+                        ir,
+                        target,
+                        &self.options.flags,
+                        diags,
+                    );
+                    (r, Some(rep))
+                } else {
+                    (netcl_passes::run_pipeline(ir, target, &self.options.flags, diags), None)
+                }
+            };
+
             let t0 = Instant::now();
             let mut tna_ir = base.clone();
-            if want_tna
-                && netcl_passes::run_pipeline(
-                    &mut tna_ir,
-                    PipelineTarget::Tofino,
-                    &self.options.flags,
-                    &mut diags,
-                )
-                .is_err()
-            {
-                return Err(render(&diags, &unit.source_map));
+            let mut tna_pass_report = None;
+            if want_tna {
+                let (r, rep) = pipeline(&mut tna_ir, PipelineTarget::Tofino, &mut diags);
+                tna_pass_report = rep;
+                if r.is_err() {
+                    return Err(render(&diags, &unit.source_map));
+                }
             }
             let mut v1_ir = base;
-            if want_v1
-                && netcl_passes::run_pipeline(
-                    &mut v1_ir,
-                    PipelineTarget::V1Model,
-                    &self.options.flags,
-                    &mut diags,
-                )
-                .is_err()
-            {
-                return Err(render(&diags, &unit.source_map));
+            let mut v1_pass_report = None;
+            if want_v1 {
+                let (r, rep) = pipeline(&mut v1_ir, PipelineTarget::V1Model, &mut diags);
+                v1_pass_report = rep;
+                if r.is_err() {
+                    return Err(render(&diags, &unit.source_map));
+                }
             }
             timings.passes += t0.elapsed();
 
@@ -215,7 +237,15 @@ impl Compiler {
             };
             timings.codegen += t0.elapsed();
 
-            out_devices.push(CompiledDevice { device: dev, tna_ir, v1_ir, tna_p4, v1_p4 });
+            out_devices.push(CompiledDevice {
+                device: dev,
+                tna_ir,
+                v1_ir,
+                tna_p4,
+                v1_p4,
+                tna_pass_report,
+                v1_pass_report,
+            });
         }
 
         let warnings = diags

@@ -30,6 +30,10 @@
 //! let p4 = &unit.devices[0].tna_p4;
 //! assert!(p4.controls.iter().any(|c| !c.tables.is_empty()));
 //! ```
+//!
+//! DESIGN.md §4 walks the pipeline stage by stage; §12 documents the
+//! per-pass telemetry behind [`CompileOptions::pass_report`] and
+//! `ncc --emit-pass-report`.
 
 pub mod codegen;
 pub mod compiler;

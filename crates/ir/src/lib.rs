@@ -12,9 +12,11 @@
 //! * [`func`] — instructions, blocks, functions, modules, and the builder
 //! * [`dom`] — CFG orders, dominator tree, dominance frontiers
 //! * [`verify`] — structural and dominance verification
-//! * [`print`] — textual dump (stable, used by golden tests)
+//! * [`mod@print`] — textual dump (stable, used by golden tests)
 //! * [`interp`] — a reference interpreter used for differential testing
 //!   against the generated P4 running on the bmv2 model
+//!
+//! DESIGN.md §4 shows where the IR sits in the `ncc` pipeline.
 
 pub mod dom;
 pub mod func;

@@ -16,6 +16,8 @@
 //!
 //! The pipeline is [`preprocess`] → [`lexer`] → [`parser`] producing the
 //! [`ast`]. Semantic analysis lives in the `netcl-sema` crate.
+//!
+//! DESIGN.md §3 records exactly what the frontend accepts and rejects.
 
 pub mod ast;
 pub mod lexer;

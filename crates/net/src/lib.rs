@@ -9,6 +9,9 @@
 //!
 //! The simulator is deterministic: a seeded RNG drives loss injection, and
 //! events at equal timestamps process in insertion order.
+//!
+//! DESIGN.md §11 specifies the fault model and the determinism contract;
+//! §12 covers the opt-in observability layer ([`NetworkBuilder::observe`]).
 
 pub mod fault;
 pub mod sim;
@@ -16,6 +19,7 @@ pub mod topo;
 
 pub use fault::{Fault, FaultSchedule};
 pub use sim::{
-    HostEvent, HostHandler, NetStats, Network, NetworkBuilder, NodeCounters, Outbox, RestartHook,
+    HostEvent, HostHandler, NetObs, NetStats, Network, NetworkBuilder, NodeCounters, ObsConfig,
+    Outbox, RestartHook,
 };
 pub use topo::{LinkSpec, NodeId, Topology};

@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use netcl_bmv2::{Packet, Switch};
+use netcl_obs::{Histogram, Stopwatch, Trace, Value};
 use netcl_runtime::device::{DeviceRuntime, Forward};
 use netcl_runtime::message::Message;
 use netcl_sema::builtins::ActionKind;
@@ -116,6 +117,8 @@ pub struct NetStats {
     pub reordered: u64,
     /// Device restarts executed.
     pub device_restarts: u64,
+    /// Recirculation passes (kernel executions beyond a message's first).
+    pub recirculations: u64,
     /// Per-node delivered/dropped breakdown (keyed deterministically).
     pub per_node: BTreeMap<NodeId, NodeCounters>,
 }
@@ -139,11 +142,46 @@ impl NetStats {
         self.corrupted += other.corrupted;
         self.reordered += other.reordered;
         self.device_restarts += other.device_restarts;
+        self.recirculations += other.recirculations;
         for (n, c) in &other.per_node {
             let e = self.per_node.entry(*n).or_default();
             e.delivered += c.delivered;
             e.dropped += c.dropped;
         }
+    }
+}
+
+/// What [`NetworkBuilder::observe`] turns on. Observability is strictly
+/// opt-out-by-default: a network built without `observe` never reads the
+/// wall clock and allocates nothing for telemetry (the <2% throughput
+/// budget in DESIGN.md §12 is for the *enabled* case).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ObsConfig {
+    /// Also record a per-message Chrome `trace_event` timeline
+    /// ([`Network::take_trace`]); histograms alone are much cheaper.
+    pub trace: bool,
+}
+
+/// Wall-clock observability for a run. Kept *outside* [`NetStats`] on
+/// purpose: stats are `Eq` and back the chaos determinism contract, while
+/// everything in here depends on host wall time and would differ between
+/// two otherwise-identical runs.
+#[derive(Debug, Default, Clone)]
+pub struct NetObs {
+    /// Event-queue depth, sampled after each event is popped.
+    pub queue_depth: Histogram,
+    /// Wall-clock nanoseconds spent processing each event.
+    pub event_wall_ns: Histogram,
+    /// The message timeline (simulated time), when tracing was requested.
+    pub trace: Option<Trace>,
+}
+
+/// Trace thread-track id for a node: devices use their id, hosts are
+/// offset so the tracks never collide.
+fn tid_of(n: NodeId) -> u32 {
+    match n {
+        NodeId::Device(d) => d as u32,
+        NodeId::Host(h) => 0x1_0000 + h as u32,
     }
 }
 
@@ -156,6 +194,7 @@ pub struct NetworkBuilder {
     seed: u64,
     faults: Vec<(u64, Fault)>,
     restart_hooks: HashMap<u16, RestartHook>,
+    obs: Option<ObsConfig>,
 }
 
 impl NetworkBuilder {
@@ -209,8 +248,33 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables observability (queue-depth and event-latency histograms;
+    /// optionally a Perfetto-loadable trace) for the built network.
+    pub fn observe(mut self, cfg: ObsConfig) -> Self {
+        self.obs = Some(cfg);
+        self
+    }
+
     /// Builds the network.
     pub fn build(self) -> Network {
+        let obs = self.obs.map(|cfg| {
+            let trace = cfg.trace.then(|| {
+                let mut t = Trace::new();
+                t.name_process(0, "netcl-sim");
+                let mut dev_ids: Vec<u16> = self.devices.iter().map(|(id, ..)| *id).collect();
+                dev_ids.sort_unstable();
+                for id in dev_ids {
+                    t.name_thread(0, tid_of(NodeId::Device(id)), format!("device {id}"));
+                }
+                let mut host_ids: Vec<u16> = self.hosts.iter().map(|(id, ..)| *id).collect();
+                host_ids.sort_unstable();
+                for id in host_ids {
+                    t.name_thread(0, tid_of(NodeId::Host(id)), format!("host {id}"));
+                }
+                t
+            });
+            NetObs { trace, ..NetObs::default() }
+        });
         let mut devices = HashMap::new();
         for (id, switch, latency_ns) in self.devices {
             let pkt = switch.new_packet();
@@ -243,6 +307,7 @@ impl NetworkBuilder {
             island: None,
             failed: HashSet::new(),
             restart_hooks: self.restart_hooks,
+            obs,
         };
         for (at, fault) in self.faults {
             net.schedule_fault(at, fault);
@@ -271,6 +336,8 @@ pub struct Network {
     /// Devices currently failed (blackholing traffic).
     failed: HashSet<u16>,
     restart_hooks: HashMap<u16, RestartHook>,
+    /// Wall-clock observability; `None` (the default) costs nothing.
+    obs: Option<NetObs>,
 }
 
 // BinaryHeap payload must be Ord; carry the event in a side map keyed by
@@ -305,6 +372,25 @@ impl Network {
     /// Immutable switch access.
     pub fn switch(&self, id: u16) -> Option<&Switch> {
         self.devices.get(&id).map(|d| &d.switch)
+    }
+
+    /// The run's observability data, when enabled via
+    /// [`NetworkBuilder::observe`].
+    pub fn obs(&self) -> Option<&NetObs> {
+        self.obs.as_ref()
+    }
+
+    /// Takes the recorded trace out of the network (e.g. to serialize it
+    /// after a run). Subsequent events are no longer traced.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.obs.as_mut().and_then(|o| o.trace.take())
+    }
+
+    /// Records an instant marker on a node's trace track, if tracing.
+    fn trace_instant(&mut self, name: &'static str, node: NodeId, ts: u64) {
+        if let Some(tr) = self.obs.as_mut().and_then(|o| o.trace.as_mut()) {
+            tr.instant(name, "sim", 0, tid_of(node), ts, Vec::new());
+        }
     }
 
     fn push(&mut self, time: u64, ord: EventOrd, bytes: Vec<u8>) {
@@ -359,6 +445,14 @@ impl Network {
             self.clock = self.clock.max(time);
             self.stats.events += 1;
             n += 1;
+            let watch = self.obs.as_ref().map(|_| Stopwatch::start());
+            if let Some(o) = self.obs.as_mut() {
+                let depth = self.events.len() as u64;
+                o.queue_depth.record(depth);
+                if let Some(tr) = o.trace.as_mut() {
+                    tr.counter("queue_depth", 0, time, depth);
+                }
+            }
             match ord {
                 EventOrd::HostSend(NodeId::Host(h)) => self.host_transmit(h, bytes),
                 EventOrd::Arrive(NodeId::Device(d)) => {
@@ -393,6 +487,9 @@ impl Network {
                 EventOrd::Timer(NodeId::Host(h), token) => self.host_timer(h, token),
                 EventOrd::Fault(idx) => self.apply_fault(idx),
                 _ => {}
+            }
+            if let (Some(w), Some(o)) = (watch, self.obs.as_mut()) {
+                o.event_wall_ns.record(w.elapsed_ns());
             }
         }
         n
@@ -478,11 +575,13 @@ impl Network {
                 self.stats.fault_drops += 1;
             }
             self.stats.node(from).dropped += 1;
+            self.trace_instant("drop.fault", from, at);
             return;
         };
         if link.loss > 0.0 && self.rand01() < link.loss {
             self.stats.link_losses += 1;
             self.stats.node(hop).dropped += 1;
+            self.trace_instant("drop.loss", hop, at);
             return;
         }
         let mut bytes = bytes;
@@ -518,6 +617,7 @@ impl Network {
             // A failed device blackholes everything that reaches it.
             self.stats.fault_drops += 1;
             self.stats.node(NodeId::Device(dev)).dropped += 1;
+            self.trace_instant("drop.fault", NodeId::Device(dev), self.clock);
             return;
         }
         if !self.devices.contains_key(&dev) {
@@ -543,14 +643,20 @@ impl Network {
         // recirculation passes reuse the same allocations.
         let mut wire = bytes;
         let mut latency = 0u64;
+        let mut passes = 0u64;
         let mut result = None;
-        for _pass in 0..8 {
+        for pass in 0..8 {
             self.stats.kernel_executions += 1;
+            if pass > 0 {
+                self.stats.recirculations += 1;
+            }
+            passes += 1;
             latency += node.latency_ns;
             if node.switch.process_into(&wire, &mut node.pkt, &mut node.out).is_err() {
                 // Malformed (possibly corrupted) packet: the pipeline
                 // rejects it.
                 self.stats.node(NodeId::Device(dev)).dropped += 1;
+                self.trace_instant("drop.reject", NodeId::Device(dev), self.clock);
                 return;
             }
             std::mem::swap(&mut wire, &mut node.out);
@@ -560,27 +666,45 @@ impl Network {
             if action != ActionKind::Repeat {
                 // Apply runtime forwarding and rewrite the header in place.
                 let target = msg.target;
+                let act_code = msg.action;
                 let fwd = node.runtime.forward(&mut msg, action, target);
                 // Clear the per-hop action fields for the next node.
                 msg.action = 0;
                 msg.target = 0;
                 msg.write_header_into(&mut wire[..netcl_runtime::NCL_HEADER_BYTES]);
-                result = Some(fwd);
+                result = Some((fwd, act_code));
                 break;
             }
         }
         match result {
-            Some(fwd) => {
+            Some((fwd, act_code)) => {
                 // The kernel latency delays *this* message's departure; it
                 // must not warp the global clock (which would shift every
                 // other in-flight event's frame of reference).
                 let depart = self.clock + latency;
+                if let Some(tr) = self.obs.as_mut().and_then(|o| o.trace.as_mut()) {
+                    tr.complete(
+                        "kernel",
+                        "device",
+                        0,
+                        tid_of(NodeId::Device(dev)),
+                        self.clock,
+                        latency,
+                        vec![
+                            ("action", Value::U64(act_code as u64)),
+                            ("recircs", Value::U64(passes - 1)),
+                            ("src", Value::U64(msg.src as u64)),
+                            ("dst", Value::U64(msg.dst as u64)),
+                        ],
+                    );
+                }
                 self.apply_forward(dev, fwd, depart, wire);
             }
             // Recirculation cap exceeded: drop.
             None => {
                 self.stats.kernel_drops += 1;
                 self.stats.node(NodeId::Device(dev)).dropped += 1;
+                self.trace_instant("drop.kernel", NodeId::Device(dev), self.clock);
             }
         }
     }
@@ -619,6 +743,7 @@ impl Network {
         self.stats.delivered += 1;
         self.stats.node(NodeId::Host(host)).delivered += 1;
         let now = self.clock;
+        self.trace_instant("deliver", NodeId::Host(host), now);
         let Some(node) = self.hosts.get_mut(&host) else { return };
         node.received.push((now, bytes.clone()));
         let process_ns = node.process_ns;
@@ -898,6 +1023,67 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
         net.run(100);
         assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 1);
         assert!(!net.device_failed(1));
+    }
+
+    /// Observability is opt-in, lives outside `NetStats`, and captures the
+    /// run as a Perfetto-loadable trace plus histograms.
+    #[test]
+    fn observe_records_trace_and_histograms() {
+        let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile("cache.ncl", CACHE_SRC)
+            .unwrap();
+        let spec = unit.model.kernels[0].specification();
+        let switch = Switch::new(unit.devices[0].tna_p4.clone());
+        let topo = star(1, &[1, 2], LinkSpec::default());
+        let mut net = NetworkBuilder::new(topo)
+            .device(1, switch, 500)
+            .sink_host(1)
+            .sink_host(2)
+            .observe(ObsConfig { trace: true })
+            .build();
+        let m = Message::new(1, 2, 1, 1);
+        let packed = pack(&m, &spec, &[Some(&[1]), Some(&[1]), None, None]).unwrap();
+        net.send_from_host(1, 0, packed);
+        net.run(100);
+        let obs = net.obs().expect("observability enabled");
+        assert!(obs.queue_depth.count() > 0, "queue depth sampled per event");
+        assert_eq!(obs.queue_depth.count(), obs.event_wall_ns.count());
+        let trace = net.take_trace().expect("trace recorded");
+        let names: Vec<&str> = trace.events().iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"kernel"), "device span recorded: {names:?}");
+        assert!(names.contains(&"deliver"), "host delivery marked: {names:?}");
+        assert!(names.contains(&"thread_name"), "tracks are named");
+        let json = trace.to_json();
+        assert!(json.contains("\"ph\":\"X\"") && json.contains("\"ph\":\"M\""));
+        // Taking the trace leaves histograms in place.
+        assert!(net.obs().unwrap().trace.is_none());
+    }
+
+    /// Turning observability on must not perturb the deterministic stats:
+    /// an observed run and a plain run with the same seed are `Eq`.
+    #[test]
+    fn stats_identical_with_and_without_obs() {
+        let run = |observe: bool| {
+            let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+                .compile("cache.ncl", CACHE_SRC)
+                .unwrap();
+            let spec = unit.model.kernels[0].specification();
+            let switch = Switch::new(unit.devices[0].tna_p4.clone());
+            let topo = star(1, &[1, 2], LinkSpec::default());
+            let mut b = NetworkBuilder::new(topo).device(1, switch, 500).sink_host(1).sink_host(2);
+            if observe {
+                b = b.observe(ObsConfig { trace: true });
+            }
+            let mut net = b.build();
+            let m = Message::new(1, 2, 1, 1);
+            let packed = pack(&m, &spec, &[Some(&[1]), Some(&[1]), None, None]).unwrap();
+            net.send_from_host(1, 0, packed);
+            net.run(100);
+            net.stats.clone()
+        };
+        let plain = run(false);
+        assert!(run(true) == plain, "observability must not change NetStats");
+        assert_eq!(plain.recirculations, 0, "cache kernel never recirculates");
     }
 
     #[test]

@@ -1,0 +1,530 @@
+//! Observability primitives for the NetCL toolchain (DESIGN.md §12).
+//!
+//! Every layer of the system — the `ncc` pass pipeline, the bmv2 software
+//! switch, and the network simulator — reports what it did through the
+//! types in this crate: monotonic [`Counter`]s, log₂-bucketed
+//! [`Histogram`]s, wall-clock [`Stopwatch`] span timers, and structured
+//! [`Event`]s. Two sink formats serialize them without any external
+//! dependency: JSON Lines ([`Event::to_json`], [`JsonlSink`]) for machine
+//! consumption, and an aligned pretty form ([`Event::pretty`]) for
+//! consoles. [`trace::Trace`] additionally collects Chrome `trace_event`
+//! records and exports Perfetto-loadable JSON.
+//!
+//! The design contract is *zero overhead when disabled*: nothing in this
+//! crate installs global state or background threads. Instrumented code
+//! holds an `Option<...>` (or a plain integer counter) and the disabled
+//! path is a branch on `None` — the throughput benchmark in
+//! `EXPERIMENTS.md` holds the enabled-counters regression under 2%.
+
+pub mod hist;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use trace::Trace;
+
+use std::fmt::Write as _;
+
+/// A monotonically increasing counter.
+///
+/// A thin newtype over `u64` so counter math (saturating increments,
+/// merging across runs) lives in one audited place.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Folds another counter in (for aggregating over runs).
+    pub fn merge(&mut self, other: &Counter) {
+        self.add(other.0);
+    }
+}
+
+/// A wall-clock span timer. Create with [`Stopwatch::start`], read with
+/// [`Stopwatch::elapsed_ns`]; feed the result to a [`Histogram`] or an
+/// [`Event`] field.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturated to `u64`.
+    pub fn elapsed_ns(&self) -> u64 {
+        let d = self.0.elapsed();
+        d.as_secs().saturating_mul(1_000_000_000).saturating_add(d.subsec_nanos() as u64)
+    }
+}
+
+/// A field value in a structured [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Serializes the value as a JSON token into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::Str(s) => write_json_string(out, s),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// Escapes and quotes `s` as a JSON string into `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One structured observability event: a name, a timestamp, and a flat set
+/// of typed fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name (dotted convention: `pass.fold`, `sim.deliver`).
+    pub name: String,
+    /// Timestamp in nanoseconds. Simulator events carry simulated time;
+    /// compiler events carry wall time since process start (or zero).
+    pub ts_ns: u64,
+    /// Typed fields, serialized in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A new event with no fields.
+    pub fn new(name: impl Into<String>, ts_ns: u64) -> Event {
+        Event { name: name.into(), ts_ns, fields: Vec::new() }
+    }
+
+    /// Adds a field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// One JSON object, no trailing newline: the JSONL record form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"event\":");
+        write_json_string(&mut out, &self.name);
+        let _ = write!(out, ",\"ts_ns\":{}", self.ts_ns);
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_json_string(&mut out, k);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a JSONL record produced by [`Event::to_json`] back into an
+    /// event. Only the subset this crate emits is supported — enough for
+    /// round-trip tests and for tools that post-process our own sinks.
+    pub fn from_json(line: &str) -> Option<Event> {
+        let mut p = JsonParser { s: line.as_bytes(), i: 0 };
+        p.expect(b'{')?;
+        let mut name = None;
+        let mut ts_ns = 0u64;
+        let mut fields = Vec::new();
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "event" => name = Some(p.string()?),
+                "ts_ns" => {
+                    ts_ns = match p.value()? {
+                        Value::U64(v) => v,
+                        _ => return None,
+                    }
+                }
+                other => {
+                    let v = p.value()?;
+                    // Leak-free static lookup is impossible for arbitrary
+                    // keys; round-tripped events use a small intern table.
+                    fields.push((intern_key(other), v));
+                }
+            }
+            match p.next_non_ws()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        Some(Event { name: name?, ts_ns, fields })
+    }
+
+    /// Aligned console form: `ts  name  k=v k=v`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{:>12}ns  {:<24}", self.ts_ns, self.name);
+        for (k, v) in &self.fields {
+            match v {
+                Value::Str(s) => {
+                    let _ = write!(out, " {k}={s}");
+                }
+                Value::U64(n) => {
+                    let _ = write!(out, " {k}={n}");
+                }
+                Value::I64(n) => {
+                    let _ = write!(out, " {k}={n}");
+                }
+                Value::F64(n) => {
+                    let _ = write!(out, " {k}={n:.3}");
+                }
+                Value::Bool(b) => {
+                    let _ = write!(out, " {k}={b}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Interns field keys recovered from JSON so [`Event`] can keep its
+/// `&'static str` key representation. The observability vocabulary is a
+/// small closed set; unknown keys fall back to a leaked allocation (rare,
+/// test-only paths).
+fn intern_key(k: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "app",
+        "device",
+        "kernel",
+        "pass",
+        "wall_ns",
+        "insts",
+        "blocks",
+        "rewrites",
+        "runs",
+        "packets",
+        "hits",
+        "misses",
+        "table",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "p50",
+        "p99",
+        "seed",
+        "delivered",
+        "dropped",
+        "depth",
+        "action",
+        "src",
+        "dst",
+        "recircs",
+        "value",
+    ];
+    for known in KNOWN {
+        if *known == k {
+            return known;
+        }
+    }
+    Box::leak(k.to_string().into_boxed_str())
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn next_non_ws(&mut self) -> Option<u8> {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+        let b = *self.s.get(self.i)?;
+        self.i += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        (self.next_non_ws()? == b).then_some(())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.next_non_ws()? != b'"' {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            let b = *self.s.get(self.i)?;
+            self.i += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.s.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(self.s.get(self.i..self.i + 4)?).ok()?;
+                            self.i += 4;
+                            out.push(char::from_u32(u32::from_str_radix(hex, 16).ok()?)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => {
+                    // Re-decode multi-byte UTF-8 starting at b.
+                    let start = self.i - 1;
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = std::str::from_utf8(self.s.get(start..start + len)?).ok()?;
+                    out.push_str(chunk);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        let b = self.next_non_ws()?;
+        match b {
+            b'"' => {
+                self.i -= 1;
+                Some(Value::Str(self.string()?))
+            }
+            b't' => {
+                self.i += 3;
+                Some(Value::Bool(true))
+            }
+            b'f' => {
+                self.i += 4;
+                Some(Value::Bool(false))
+            }
+            _ => {
+                let start = self.i - 1;
+                while self
+                    .s
+                    .get(self.i)
+                    .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'-' | b'e' | b'E'))
+                {
+                    self.i += 1;
+                }
+                let tok = std::str::from_utf8(&self.s[start..self.i]).ok()?;
+                if tok.contains(['.', 'e', 'E']) {
+                    Some(Value::F64(tok.parse().ok()?))
+                } else if tok.starts_with('-') {
+                    Some(Value::I64(tok.parse().ok()?))
+                } else {
+                    Some(Value::U64(tok.parse().ok()?))
+                }
+            }
+        }
+    }
+}
+
+/// An in-memory JSON Lines sink: collects events as serialized lines,
+/// flushable to any `io::Write` (a file, a pipe, a test buffer).
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    lines: Vec<String>,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> JsonlSink {
+        JsonlSink::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: &Event) {
+        self.lines.push(event.to_json());
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the sink is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The buffered lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The whole sink as one newline-terminated string.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes all buffered records to `w`, newline-terminated.
+    pub fn flush_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_math() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let mut d = Counter::new();
+        d.add(u64::MAX);
+        d.merge(&c);
+        assert_eq!(d.get(), u64::MAX, "merge saturates instead of wrapping");
+    }
+
+    #[test]
+    fn event_jsonl_round_trip() {
+        let e = Event::new("sim.deliver", 12_345)
+            .field("dst", 7u64)
+            .field("app", "AGG \"quoted\"\n")
+            .field("depth", -3i64)
+            .field("value", 1.5f64)
+            .field("dropped", true);
+        let line = e.to_json();
+        assert!(line.starts_with("{\"event\":\"sim.deliver\",\"ts_ns\":12345,"));
+        let back = Event::from_json(&line).expect("parses");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn jsonl_sink_collects_and_flushes() {
+        let mut sink = JsonlSink::new();
+        assert!(sink.is_empty());
+        sink.push(&Event::new("a", 1));
+        sink.push(&Event::new("b", 2).field("count", 3u64));
+        assert_eq!(sink.len(), 2);
+        let mut buf = Vec::new();
+        sink.flush_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(Event::from_json(line).is_some(), "unparseable: {line}");
+        }
+    }
+
+    #[test]
+    fn pretty_renders_fields() {
+        let p = Event::new("pass.fold", 10).field("insts", 5u64).pretty();
+        assert!(p.contains("pass.fold"));
+        assert!(p.contains("insts=5"));
+    }
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+}

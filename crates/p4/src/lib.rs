@@ -9,13 +9,15 @@
 //!   tables with const entries, actions, and apply blocks. The subset is
 //!   exactly what the NetCL backend emits (paper Fig. 9) plus what our
 //!   handwritten P4 baselines use.
-//! * [`print`] — renders a program to P4-16 text (TNA or v1model dialect).
+//! * [`mod@print`] — renders a program to P4-16 text (TNA or v1model dialect).
 //! * [`parse`] — parses that same subset back; `print ∘ parse` is a
 //!   fixpoint, and the handwritten baselines in `netcl-apps` are stored as
 //!   `.p4` files parsed through this module.
 //! * [`classify`] — assigns each line of a program to a construct category
 //!   (headers, parsers, MATs, RegisterActions, control, declarations),
 //!   regenerating the paper's Figure 12 breakdown.
+//!
+//! DESIGN.md §2 places this interchange format in the system inventory.
 
 pub mod ast;
 pub mod classify;

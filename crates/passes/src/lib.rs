@@ -6,7 +6,7 @@
 //! **Common stage (all P4 targets)** — constant folding and instruction
 //! simplification ([`fold`]), dead-code elimination and unreachable-block
 //! removal ([`dce`]), CFG simplification and the CFG-is-a-DAG check
-//! ([`cfg`]), and mem2reg promotion of scalar locals to SSA ([`mem2reg`]).
+//! ([`mod@cfg`]), and mem2reg promotion of scalar locals to SSA ([`mem2reg`]).
 //! Reaching the end of this stage guarantees the program compiles for the
 //! v1model target.
 //!
@@ -32,11 +32,15 @@ pub mod mem2reg;
 pub mod memcheck;
 pub mod partition;
 pub mod phielim;
+pub mod report;
 pub mod rewrite;
 pub mod structurize;
 
+pub use report::{PassOutcome, PassReport, PassStat};
+
 use netcl_ir::Module;
 use netcl_util::DiagnosticSink;
+use report::Recorder;
 
 /// Compiler flags controlling optional transformations (§VI-B: "we provide
 /// several compiler flags to control certain transformations").
@@ -86,33 +90,64 @@ pub fn run_pipeline(
     flags: &PassFlags,
     diags: &mut DiagnosticSink,
 ) -> Result<(), ()> {
+    run_pipeline_inner(module, target, flags, diags, Recorder(None))
+}
+
+/// [`run_pipeline`] with per-pass telemetry: wall time, IR deltas, and
+/// rewrite counts per pass (DESIGN.md §12). The report comes back even when
+/// the pipeline rejects the program, so failures are attributable too.
+pub fn run_pipeline_with_report(
+    module: &mut Module,
+    target: PipelineTarget,
+    flags: &PassFlags,
+    diags: &mut DiagnosticSink,
+) -> (Result<(), ()>, PassReport) {
+    let label = match target {
+        PipelineTarget::Tofino => "tna",
+        PipelineTarget::V1Model => "v1model",
+    };
+    let mut report = PassReport::begin(label, module);
+    let r = run_pipeline_inner(module, target, flags, diags, Recorder(Some(&mut report)));
+    report.finish(module);
+    (r, report)
+}
+
+fn run_pipeline_inner(
+    module: &mut Module,
+    target: PipelineTarget,
+    flags: &PassFlags,
+    diags: &mut DiagnosticSink,
+    mut rec: Recorder<'_>,
+) -> Result<(), ()> {
     // Common stage: "peephole optimization, instruction simplification and
     // DCE passes. The main goal is for the CFG to become a DAG."
     for f in module.kernels.iter_mut() {
         for _ in 0..4 {
-            let mut changed = fold::fold_function(f);
-            changed |= fold::strength_reduce(f) > 0;
-            changed |= dce::run_on_function(f);
-            changed |= cfg::simplify(f);
+            let mut changed = rec.on_fn("fold", f, fold::fold_function);
+            changed |= rec.on_fn("strength-reduce", f, fold::strength_reduce) > 0;
+            changed |= rec.on_fn("dce", f, dce::run_on_function);
+            changed |= rec.on_fn("cfg-simplify", f, cfg::simplify);
             if !changed {
                 break;
             }
         }
     }
-    for f in &module.kernels {
-        if let Err(msg) = cfg::check_dag(f) {
-            diags.error("E0301", msg, netcl_util::Span::DUMMY);
-        }
+    for f in module.kernels.iter_mut() {
+        rec.on_fn("cfg-check-dag", f, |f| {
+            if let Err(msg) = cfg::check_dag(f) {
+                diags.error("E0301", msg, netcl_util::Span::DUMMY);
+            }
+        });
     }
     if diags.has_errors() {
         return Err(());
     }
     for f in module.kernels.iter_mut() {
-        mem2reg::run_on_function(f);
+        rec.on_fn("mem2reg", f, mem2reg::run_on_function);
         for _ in 0..4 {
-            let mut changed = fold::fold_function(f);
-            changed |= dce::run_on_function(f);
-            changed |= cfg::simplify(f);
+            let mut changed = rec.on_fn("fold", f, fold::fold_function);
+            changed |= rec.on_fn("dce", f, dce::run_on_function);
+            changed |= rec.on_fn("cfg-simplify", f, cfg::simplify);
             if !changed {
                 break;
             }
@@ -120,24 +155,26 @@ pub fn run_pipeline(
     }
 
     if target == PipelineTarget::Tofino {
-        partition::partition_module(module);
+        rec.on_module("partition", module, partition::partition_module);
         if flags.duplicate_lookup {
-            partition::duplicate_lookup_memory(module);
+            rec.on_module("dup-lookup", module, partition::duplicate_lookup_memory);
         }
         for f in module.kernels.iter_mut() {
-            hoist::hoist_common_values(f);
+            rec.on_fn("hoist-common", f, hoist::hoist_common_values);
             if flags.speculation {
-                hoist::speculate(f);
+                rec.on_fn("speculate", f, hoist::speculate);
             }
             if flags.icmp_to_sub_msb {
-                rewrite::icmp_to_sub_msb(f);
+                rec.on_fn("icmp-to-sub-msb", f, rewrite::icmp_to_sub_msb);
             }
-            rewrite::detect_bswap(f);
+            rec.on_fn("detect-bswap", f, rewrite::detect_bswap);
             // The icmp rewrite leaves `or x, 0` copies behind; fold them.
-            fold::fold_function(f);
-            dce::run_on_function(f);
+            rec.on_fn("fold", f, fold::fold_function);
+            rec.on_fn("dce", f, dce::run_on_function);
         }
-        memcheck::check_module(module, flags.distance_threshold, diags);
+        rec.on_module("memcheck", module, |m| {
+            memcheck::check_module(m, flags.distance_threshold, diags)
+        });
         if diags.has_errors() {
             return Err(());
         }
@@ -147,25 +184,31 @@ pub fn run_pipeline(
     // structurizer requires φ-free IR (cross-join dataflow must already flow
     // through local slots so tail duplication is sound).
     for f in module.kernels.iter_mut() {
-        phielim::run_on_function(f);
-        if let Err(msg) = structurize::ensure_structured(f) {
-            diags.error("E0305", msg, netcl_util::Span::DUMMY);
-        }
-        dce::run_on_function(f);
+        rec.on_fn("phi-elim", f, phielim::run_on_function);
+        rec.on_fn("structurize", f, |f| {
+            if let Err(msg) = structurize::ensure_structured(f) {
+                diags.error("E0305", msg, netcl_util::Span::DUMMY);
+            }
+        });
+        rec.on_fn("dce", f, dce::run_on_function);
     }
     if diags.has_errors() {
         return Err(());
     }
 
     // Sanity: passes must leave verifiable IR behind.
-    if let Err(errs) = netcl_ir::verify::verify_module(module) {
-        for e in errs {
-            diags.error(
-                "E0399",
-                format!("internal: post-pass verification failed: {e}"),
-                netcl_util::Span::DUMMY,
-            );
+    rec.on_module("ir-verify", module, |m| {
+        if let Err(errs) = netcl_ir::verify::verify_module(m) {
+            for e in errs {
+                diags.error(
+                    "E0399",
+                    format!("internal: post-pass verification failed: {e}"),
+                    netcl_util::Span::DUMMY,
+                );
+            }
         }
+    });
+    if diags.has_errors() {
         return Err(());
     }
     Ok(())

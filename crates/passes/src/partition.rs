@@ -109,7 +109,7 @@ fn split_one(module: &mut Module, id: MemId) {
     module.globals[id.index()].origin = Some((base_name, usize::MAX));
 }
 
-/// True when a global is a partition husk left behind by [`split_one`].
+/// True when a global is a partition husk left behind by `split_one`.
 pub fn is_replaced_husk(g: &netcl_ir::GlobalDef) -> bool {
     matches!(&g.origin, Some((_, idx)) if *idx == usize::MAX)
 }

@@ -1,0 +1,266 @@
+//! Per-pass telemetry for the §VI-B pipeline (DESIGN.md §12).
+//!
+//! The paper's pipeline makes the mapping decisions programmers otherwise
+//! debug blind — speculation, memory duplication, stage fitting. A
+//! [`PassReport`] records, per pass (aggregated over kernels and fixpoint
+//! iterations): wall time, the IR delta it caused (instructions and blocks
+//! added/removed), and how many rewrites fired. `ncc --emit-pass-report`
+//! prints the rendered table; [`PassReport::to_events`] exports the same
+//! data as JSONL through `netcl-obs`.
+
+use netcl_ir::{Function, Module};
+use netcl_obs::{Event, Stopwatch};
+use std::fmt::Write as _;
+
+/// What a pass entry point reports back, normalized to "rewrites fired".
+pub trait PassOutcome {
+    /// Number of rewrites/changes this run applied.
+    fn rewrites(&self) -> u64;
+}
+
+impl PassOutcome for bool {
+    fn rewrites(&self) -> u64 {
+        *self as u64
+    }
+}
+
+impl PassOutcome for usize {
+    fn rewrites(&self) -> u64 {
+        *self as u64
+    }
+}
+
+impl PassOutcome for () {
+    fn rewrites(&self) -> u64 {
+        0
+    }
+}
+
+/// Aggregated statistics for one named pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name as it appears in the pipeline.
+    pub name: &'static str,
+    /// Invocations (per kernel × per fixpoint iteration).
+    pub runs: u64,
+    /// Total wall time across runs, nanoseconds.
+    pub wall_ns: u64,
+    /// Net instructions added (negative: removed).
+    pub insts_delta: i64,
+    /// Net blocks added (negative: removed).
+    pub blocks_delta: i64,
+    /// Rewrites fired (pass-reported change count).
+    pub rewrites: u64,
+}
+
+/// Sizes of a function or module: `(instructions, blocks)`.
+fn fn_size(f: &Function) -> (u64, u64) {
+    (f.blocks.iter().map(|b| b.insts.len() as u64).sum(), f.blocks.len() as u64)
+}
+
+fn module_size(m: &Module) -> (u64, u64) {
+    m.kernels.iter().map(fn_size).fold((0, 0), |(i, b), (fi, fb)| (i + fi, b + fb))
+}
+
+/// The pipeline telemetry for one `run_pipeline` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassReport {
+    /// Target label (`"tna"` or `"v1model"`).
+    pub target: &'static str,
+    /// Kernel count in the module.
+    pub kernels: u64,
+    /// Instructions before the first pass.
+    pub insts_start: u64,
+    /// Instructions after the last pass.
+    pub insts_end: u64,
+    /// Blocks before the first pass.
+    pub blocks_start: u64,
+    /// Blocks after the last pass.
+    pub blocks_end: u64,
+    /// Per-pass aggregates, in first-execution order.
+    pub passes: Vec<PassStat>,
+}
+
+impl PassReport {
+    /// Starts a report by snapshotting the module.
+    pub fn begin(target: &'static str, module: &Module) -> PassReport {
+        let (insts, blocks) = module_size(module);
+        PassReport {
+            target,
+            kernels: module.kernels.len() as u64,
+            insts_start: insts,
+            insts_end: insts,
+            blocks_start: blocks,
+            blocks_end: blocks,
+            passes: Vec::new(),
+        }
+    }
+
+    /// Final module snapshot (call once the pipeline is done).
+    pub fn finish(&mut self, module: &Module) {
+        let (insts, blocks) = module_size(module);
+        self.insts_end = insts;
+        self.blocks_end = blocks;
+    }
+
+    /// Total pipeline wall time, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.passes.iter().map(|p| p.wall_ns).sum()
+    }
+
+    /// The aggregate entry for `name`, if that pass ran.
+    pub fn pass(&self, name: &str) -> Option<&PassStat> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    fn stat_mut(&mut self, name: &'static str) -> &mut PassStat {
+        if let Some(i) = self.passes.iter().position(|p| p.name == name) {
+            return &mut self.passes[i];
+        }
+        self.passes.push(PassStat {
+            name,
+            runs: 0,
+            wall_ns: 0,
+            insts_delta: 0,
+            blocks_delta: 0,
+            rewrites: 0,
+        });
+        self.passes.last_mut().expect("just pushed")
+    }
+
+    fn record(
+        &mut self,
+        name: &'static str,
+        wall_ns: u64,
+        before: (u64, u64),
+        after: (u64, u64),
+        rewrites: u64,
+    ) {
+        let s = self.stat_mut(name);
+        s.runs += 1;
+        s.wall_ns += wall_ns;
+        s.insts_delta += after.0 as i64 - before.0 as i64;
+        s.blocks_delta += after.1 as i64 - before.1 as i64;
+        s.rewrites += rewrites;
+    }
+
+    /// Runs a function pass under measurement.
+    pub fn on_fn<R: PassOutcome>(
+        &mut self,
+        name: &'static str,
+        f: &mut Function,
+        run: impl FnOnce(&mut Function) -> R,
+    ) -> R {
+        let before = fn_size(f);
+        let sw = Stopwatch::start();
+        let r = run(f);
+        let wall = sw.elapsed_ns();
+        self.record(name, wall, before, fn_size(f), r.rewrites());
+        r
+    }
+
+    /// Runs a module pass under measurement.
+    pub fn on_module<R: PassOutcome>(
+        &mut self,
+        name: &'static str,
+        m: &mut Module,
+        run: impl FnOnce(&mut Module) -> R,
+    ) -> R {
+        let before = module_size(m);
+        let sw = Stopwatch::start();
+        let r = run(m);
+        let wall = sw.elapsed_ns();
+        self.record(name, wall, before, module_size(m), r.rewrites());
+        r
+    }
+
+    /// The human-readable table `ncc --emit-pass-report` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pass report — target {}, {} kernel(s): {} insts → {}, {} blocks → {}, {:.2} ms total",
+            self.target,
+            self.kernels,
+            self.insts_start,
+            self.insts_end,
+            self.blocks_start,
+            self.blocks_end,
+            self.total_ns() as f64 / 1e6,
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:>11} {:>8} {:>8} {:>9}",
+            "PASS", "RUNS", "WALL(µs)", "ΔINSTS", "ΔBLOCKS", "REWRITES"
+        );
+        for p in &self.passes {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>5} {:>11.1} {:>+8} {:>+8} {:>9}",
+                p.name,
+                p.runs,
+                p.wall_ns as f64 / 1e3,
+                p.insts_delta,
+                p.blocks_delta,
+                p.rewrites
+            );
+        }
+        out
+    }
+
+    /// JSONL export: one `pass` event per pass plus a `pipeline` summary.
+    pub fn to_events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.passes.len() + 1);
+        for p in &self.passes {
+            out.push(
+                Event::new(format!("pass.{}", p.name), 0)
+                    .field("runs", p.runs)
+                    .field("wall_ns", p.wall_ns)
+                    .field("insts", p.insts_delta)
+                    .field("blocks", p.blocks_delta)
+                    .field("rewrites", p.rewrites),
+            );
+        }
+        out.push(
+            Event::new("pipeline", 0)
+                .field("wall_ns", self.total_ns())
+                .field("insts", self.insts_end)
+                .field("blocks", self.blocks_end)
+                .field("runs", self.kernels),
+        );
+        out
+    }
+}
+
+/// An optional-report recorder: measures through a `Some` report, runs the
+/// pass bare through `None` — so the pipeline has a single set of call
+/// sites and pays nothing when telemetry is off.
+pub struct Recorder<'a>(pub Option<&'a mut PassReport>);
+
+impl Recorder<'_> {
+    /// Function-pass dispatch.
+    pub fn on_fn<R: PassOutcome>(
+        &mut self,
+        name: &'static str,
+        f: &mut Function,
+        run: impl FnOnce(&mut Function) -> R,
+    ) -> R {
+        match self.0.as_deref_mut() {
+            Some(rep) => rep.on_fn(name, f, run),
+            None => run(f),
+        }
+    }
+
+    /// Module-pass dispatch.
+    pub fn on_module<R: PassOutcome>(
+        &mut self,
+        name: &'static str,
+        m: &mut Module,
+        run: impl FnOnce(&mut Module) -> R,
+    ) -> R {
+        match self.0.as_deref_mut() {
+            Some(rep) => rep.on_module(name, m, run),
+            None => run(m),
+        }
+    }
+}

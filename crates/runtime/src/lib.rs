@@ -13,6 +13,8 @@
 //! 4-tuple, it decides the next hop and updates the tuple, enforcing the
 //! no-implicit-computation rule (§IV). The base program / network layer
 //! (the `netcl-net` simulator) then moves the message.
+//!
+//! DESIGN.md §2 lists both runtimes in the system inventory.
 
 pub mod device;
 pub mod managed;

@@ -20,6 +20,8 @@
 //! ordering, unrollable loops) are intentionally **not** checked here: the
 //! paper's design is "unrestricted at the language level, reject per-target"
 //! (§V-D), so those checks live in the pass pipeline.
+//!
+//! DESIGN.md §3 lists every enforced rule with its diagnostic code.
 
 pub mod builtins;
 pub mod check;

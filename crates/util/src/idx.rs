@@ -1,14 +1,14 @@
 //! Typed index handles and index-keyed vectors.
 //!
 //! The IR, the P4 AST, and the Tofino allocator all use arena-style storage
-//! where entities are referenced by dense integer indices. [`define_index!`]
+//! where entities are referenced by dense integer indices. [`define_index!`](crate::define_index)
 //! generates a newtype per entity kind so that a block index can never be
 //! confused with an instruction index, and [`IndexVec`] provides a vector
 //! indexed by such a newtype.
 
 use std::marker::PhantomData;
 
-/// Trait implemented by index newtypes created with [`define_index!`].
+/// Trait implemented by index newtypes created with [`define_index!`](crate::define_index).
 pub trait Idx: Copy + Eq + std::hash::Hash + std::fmt::Debug + 'static {
     /// Constructs from a raw `usize`.
     fn from_usize(i: usize) -> Self;

@@ -5,6 +5,8 @@
 //! ([`intern`]), stable typed index handles ([`idx`]), the hash functions the
 //! NetCL device library exposes ([`hash`]), and a small fixed-capacity bitset
 //! ([`bitset`]) used by the resource allocator and the AllReduce application.
+//!
+//! DESIGN.md §2 shows where this crate sits under everything else.
 
 pub mod bitset;
 pub mod diag;
