@@ -1,19 +1,26 @@
 //! Packets/sec throughput of the bmv2 software switch: the compiled fast
-//! path versus the tree-walking interpreter oracle, per application.
+//! path (scalar and batched) versus the tree-walking interpreter oracle,
+//! per application.
 //!
 //! Run `cargo run --release -p netcl-bench --bin throughput` to reproduce
 //! `BENCH_switch.json` at the repository root. Pass `--smoke` for a
-//! seconds-scale CI sanity run that prints results without writing the file.
+//! seconds-scale CI sanity run that prints results without writing the
+//! file. In every mode the binary first checks that
+//! [`Switch::process_batch`] agrees with a scalar `process_into` loop
+//! packet-for-packet on each app — outputs, outcomes, counters, and
+//! registers — and exits nonzero on any divergence, so CI's smoke run
+//! doubles as the batched/scalar differential gate.
 //!
 //! Each application processes a small rotating set of representative
 //! packets through one long-lived `Switch`, reusing one packet and one
-//! output buffer (`process_into`), so the measurement isolates per-packet
-//! execution cost rather than allocation or setup.
+//! output buffer (`process_into`) or one [`PacketBatch`], so the
+//! measurement isolates per-packet execution cost rather than allocation
+//! or setup.
 
 use std::time::Instant;
 
 use netcl_apps::{agg, cache, calc, paxos};
-use netcl_bmv2::Switch;
+use netcl_bmv2::{PacketBatch, Switch};
 use netcl_runtime::managed::ManagedMemory;
 use netcl_runtime::message::{pack, Message};
 
@@ -112,9 +119,116 @@ fn measure(sw: &mut Switch, packets: &[Vec<u8>], total: usize) -> f64 {
     done as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Processes `total` packets through `process_batch` in fixed-size batches
+/// (cycling over the set) and returns packets/sec. The batch is reused
+/// across iterations, so the steady state allocates nothing.
+fn measure_batch(sw: &mut Switch, packets: &[Vec<u8>], total: usize) -> f64 {
+    const BATCH: usize = 64;
+    let mut batch = PacketBatch::new();
+    // Warm up state, caches, and scratch buffers.
+    for wire in packets {
+        batch.push(wire);
+    }
+    sw.process_batch(&mut batch);
+    let mut next = 0usize;
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < total {
+        let n = BATCH.min(total - done);
+        batch.clear();
+        for _ in 0..n {
+            batch.push(&packets[next]);
+            next = (next + 1) % packets.len();
+        }
+        sw.process_batch(&mut batch);
+        done += n;
+    }
+    done as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The batched/scalar differential gate: two freshly-built copies of the
+/// app process the same packet sequence, one through `process_into`, one
+/// through `process_batch`, and every observable must match.
+fn verify_batch_matches_scalar(build: fn() -> BenchApp) -> bool {
+    let mut scalar = build();
+    let mut batched = build();
+    let name = scalar.name;
+    let mut batch = PacketBatch::new();
+    let mut pkt = scalar.switch.new_packet();
+    let mut out = Vec::new();
+    // Cycle the set several times so register state evolves across rounds.
+    for round in 0..5 {
+        batch.clear();
+        for w in &scalar.packets {
+            batch.push(w);
+        }
+        batched.switch.process_batch(&mut batch);
+        for (i, w) in scalar.packets.iter().enumerate() {
+            let r = scalar.switch.process_into(w, &mut pkt, &mut out);
+            if &r != batch.outcome(i) {
+                eprintln!(
+                    "DIVERGENCE {name} round {round} packet {i}: scalar {r:?} vs batched {:?}",
+                    batch.outcome(i)
+                );
+                return false;
+            }
+            if r.is_ok() && out.as_slice() != batch.output(i) {
+                eprintln!("DIVERGENCE {name} round {round} packet {i}: output bytes differ");
+                return false;
+            }
+        }
+    }
+    if scalar.switch.counters() != batched.switch.counters() {
+        eprintln!(
+            "DIVERGENCE {name}: counters {:?} vs {:?}",
+            scalar.switch.counters(),
+            batched.switch.counters()
+        );
+        return false;
+    }
+    let regs = |sw: &Switch| -> Vec<(String, Vec<u64>)> {
+        sw.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect()
+    };
+    if regs(&scalar.switch) != regs(&batched.switch) {
+        eprintln!("DIVERGENCE {name}: register state differs");
+        return false;
+    }
+    true
+}
+
+/// Simulator histograms for the bench report: a short observed network run
+/// (the sim's batched delivery path) whose queue-depth and event wall-time
+/// distributions are exported as JSON events.
+fn netobs_histograms_json() -> String {
+    use netcl_net::topo::star;
+    use netcl_net::{LinkSpec, NetworkBuilder, ObsConfig};
+    let cfg = cache::CacheConfig::default();
+    let unit = netcl_apps::compile("cache.ncl", &cache::netcl_source(&cfg));
+    let switch = Switch::new(unit.devices[0].tna_p4.clone());
+    let mut net = NetworkBuilder::new(star(1, &[1, 2], LinkSpec::default()))
+        .device(1, switch, 500)
+        .sink_host(1)
+        .sink_host(2)
+        .observe(ObsConfig { trace: false })
+        .build();
+    for round in 0..50u64 {
+        for k in 0..4u64 {
+            net.send_from_host(1, round * 1_000, cache::request(&cfg, 1, 2, 1, k, None));
+        }
+    }
+    net.run(100_000);
+    let obs = net.obs().expect("observability enabled");
+    format!(
+        "[{},\n   {}]",
+        obs.queue_depth.to_event("sim.queue_depth", 0).to_json(),
+        obs.event_wall_ns.to_event("sim.event_wall_ns", 0).to_json(),
+    )
+}
+
 struct Row {
     name: &'static str,
     compiled_pps: f64,
+    batched_pps: f64,
     interpreted_pps: f64,
     /// Data-plane counters from the compiled measurement (warmup included),
     /// captured before the interpreter run so they describe the fast path.
@@ -136,21 +250,38 @@ fn main() {
     }
     let (compiled_n, interp_n) = if smoke { (2_000, 200) } else { (400_000, 40_000) };
 
+    let builders: [fn() -> BenchApp; 4] = [calc_app, agg_app, cache_app, pacc_app];
+
+    // The differential gate runs first, in smoke mode too: CI fails if the
+    // batched path panics or diverges from scalar on any app.
+    for build in builders {
+        if !verify_batch_matches_scalar(build) {
+            eprintln!("error: batched execution diverged from the scalar path");
+            std::process::exit(1);
+        }
+    }
+    println!("batched/scalar differential gate: all apps agree");
+
     let mut rows = Vec::new();
-    for mut app in [calc_app(), agg_app(), cache_app(), pacc_app()] {
+    for build in builders {
+        let mut app = build();
         app.switch.set_interpreted(false);
         app.switch.reset_counters();
         let compiled_pps = measure(&mut app.switch, &app.packets, compiled_n);
         let counters = app.switch.counters().clone();
         let tables: Vec<(String, u64, u64)> =
             app.switch.table_stats().map(|(n, h, m)| (n.to_string(), h, m)).collect();
+        let batched_pps = measure_batch(&mut app.switch, &app.packets, compiled_n);
         app.switch.set_interpreted(true);
         let interpreted_pps = measure(&mut app.switch, &app.packets, interp_n);
         println!(
-            "{:<6} compiled {:>12.0} pps   interpreted {:>12.0} pps   speedup {:.2}x   \
+            "{:<6} compiled {:>12.0} pps   batched {:>12.0} pps ({:.2}x)   \
+             interpreted {:>12.0} pps   speedup {:.2}x   \
              ({} pkts, {} hits, {} misses, {} reg-actions)",
             app.name,
             compiled_pps,
+            batched_pps,
+            batched_pps / compiled_pps,
             interpreted_pps,
             compiled_pps / interpreted_pps,
             counters.packets,
@@ -158,7 +289,14 @@ fn main() {
             counters.total_misses(),
             counters.reg_action_execs,
         );
-        rows.push(Row { name: app.name, compiled_pps, interpreted_pps, counters, tables });
+        rows.push(Row {
+            name: app.name,
+            compiled_pps,
+            batched_pps,
+            interpreted_pps,
+            counters,
+            tables,
+        });
     }
 
     if smoke {
@@ -170,9 +308,12 @@ fn main() {
     json.push_str("  \"apps\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"app\": \"{}\", \"compiled_pps\": {:.0}, \"interpreted_pps\": {:.0}, \"speedup\": {:.2},\n",
+            "    {{\"app\": \"{}\", \"compiled_pps\": {:.0}, \"batched_pps\": {:.0}, \
+             \"batched_speedup\": {:.2}, \"interpreted_pps\": {:.0}, \"speedup\": {:.2},\n",
             r.name,
             r.compiled_pps,
+            r.batched_pps,
+            r.batched_pps / r.compiled_pps,
             r.interpreted_pps,
             r.compiled_pps / r.interpreted_pps,
         ));
@@ -197,7 +338,9 @@ fn main() {
         }
         json.push_str(&format!("]}}}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"sim_histograms\": {}\n", netobs_histograms_json()));
+    json.push_str("}\n");
     std::fs::write("BENCH_switch.json", &json).expect("write BENCH_switch.json");
     println!("wrote BENCH_switch.json");
 }

@@ -225,6 +225,18 @@ pub(crate) enum COp {
         /// Relative skip when the condition is false.
         else_skip: u32,
     },
+    /// Peephole-fused `Assign` + `BranchExpr` whose condition was a single
+    /// load of the assigned slot: evaluate, store, branch on the stored
+    /// (masked) value without re-reading it (see [`mod@crate::peephole`]).
+    AssignBranch {
+        /// Destination slot (never [`Dest::None`] — fusion requires a
+        /// loadable destination).
+        dst: Dest,
+        /// Right-hand side.
+        expr: Span,
+        /// Relative skip when the stored value is zero.
+        else_skip: u32,
+    },
     /// `if (t.apply().hit / miss)`: applies the table (with side effects),
     /// then branches.
     BranchTable {
@@ -403,12 +415,19 @@ pub struct CompiledProgram {
     /// Canonical path → declared width (locals first, headers overwrite) —
     /// also serves the interpreter's width function.
     pub(crate) field_widths: HashMap<String, u32>,
+    /// What the peephole pass did to this program.
+    pub(crate) peephole: crate::peephole::PeepholeStats,
 }
 
 impl CompiledProgram {
     /// The deferred-error message for a `Fail` op.
     pub(crate) fn fail_msg(&self, id: u32) -> &str {
         &self.fail_msgs[id as usize]
+    }
+
+    /// What the peephole pass did at compile time (tests and telemetry).
+    pub fn peephole_stats(&self) -> crate::peephole::PeepholeStats {
+        self.peephole
     }
 }
 
@@ -476,7 +495,7 @@ pub fn compile(program: &P4Program) -> CompiledProgram {
         c.compile_control(control);
     }
     let parser = program.parser.as_ref().map(|p| c.compile_parser(p));
-    CompiledProgram {
+    let mut cp = CompiledProgram {
         slots: Arc::new(c.slots),
         eops: c.eops,
         cops: c.cops,
@@ -494,7 +513,10 @@ pub fn compile(program: &P4Program) -> CompiledProgram {
         table_states: c.table_states,
         table_index: c.table_index,
         field_widths: c.field_widths,
-    }
+        peephole: crate::peephole::PeepholeStats::default(),
+    };
+    cp.peephole = crate::peephole::optimize(&mut cp);
+    cp
 }
 
 impl Compiler<'_> {

@@ -23,13 +23,19 @@
 //! differential-testing oracle.
 //!
 //! DESIGN.md §10 describes the compiled fast path; §12 the data-plane
-//! counters ([`Switch::counters`]) both engines maintain identically.
+//! counters ([`Switch::counters`]) both engines maintain identically; §13
+//! the batched entry point ([`Switch::process_batch`]) and the [`mod@peephole`]
+//! pass over the compiled op stream.
 
+pub mod batch;
 pub mod compile;
 pub mod eval;
 pub mod packet;
+pub mod peephole;
 pub mod switch;
 
+pub use batch::PacketBatch;
 pub use compile::{compile, CompiledProgram, FieldSlot, HeaderId, SlotTable};
 pub use packet::{FieldError, Packet, PacketError};
+pub use peephole::PeepholeStats;
 pub use switch::{Switch, SwitchCounters, SwitchError};

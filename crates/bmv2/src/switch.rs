@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use crate::batch::PacketBatch;
 use crate::compile::{
     self, CExtract, COp, CTransition, CompiledProgram, Dest, EOp, ExternFn, Span, StateRef,
 };
@@ -346,13 +347,94 @@ impl Switch {
             }
             self.deparse_interp(pkt, out)
         } else {
-            let cp = Arc::clone(&self.compiled);
-            parse_compiled(&cp, wire, pkt, &mut self.st)?;
-            for &region in &cp.applies {
-                exec_region(&cp, region, pkt, &mut self.st)?;
-            }
-            deparse_compiled(&cp, pkt, out)
+            // Split borrows: the compiled program and the runtime state are
+            // disjoint fields, so no per-packet `Arc` refcount traffic.
+            let Switch { compiled, st, .. } = self;
+            run_compiled(compiled, wire, pkt, out, st)
         }
+    }
+
+    // ---- batched processing (DESIGN.md §13) -----------------------------
+
+    /// Runs every packet of `batch` through the pipeline, in order,
+    /// recording per-packet outcomes and outputs in the batch. Semantically
+    /// identical to calling [`Switch::process_into`] once per packet — the
+    /// differential tests assert outputs, errors, and counters match — but
+    /// the slot-table setup, counter updates, and program borrow are
+    /// amortized over the batch on the compiled engine.
+    pub fn process_batch(&mut self, batch: &mut PacketBatch) {
+        let _ = self.process_batch_from(batch, 0, |_| false);
+    }
+
+    /// Batched processing with an early-stop predicate, for callers that
+    /// must interleave work mid-batch (the simulator stops at a packet
+    /// requesting recirculation, finishes its extra passes scalar-style,
+    /// then resumes — preserving the exact scalar order of register and RNG
+    /// mutations).
+    ///
+    /// Packets `start..batch.len()` are processed in order. After each
+    /// *successful* packet, `stop` inspects its output; returning `true`
+    /// halts the batch and this returns `Some(i)` with packet `i` already
+    /// processed and packets `i+1..` untouched. Returns `None` once the
+    /// batch is exhausted.
+    pub fn process_batch_from(
+        &mut self,
+        batch: &mut PacketBatch,
+        start: usize,
+        mut stop: impl FnMut(&[u8]) -> bool,
+    ) -> Option<usize> {
+        batch.prepare(&self.compiled.slots);
+        let end = batch.len();
+        if self.interpreted {
+            // The oracle runs the scalar entry point per packet: it exists
+            // to be obviously equivalent, not fast.
+            for i in start..end {
+                let (r, hit) = {
+                    let (wire, pkt, out) = batch.slot_mut(i);
+                    let r = self.process_into(wire, pkt, out);
+                    let hit = r.is_ok() && stop(out);
+                    (r, hit)
+                };
+                batch.set_outcome(i, r);
+                if hit {
+                    return Some(i);
+                }
+            }
+            return None;
+        }
+        let Switch { compiled, st, timing, packets_processed, .. } = self;
+        let cp: &CompiledProgram = compiled;
+        let mut done = 0u64;
+        let mut stopped = None;
+        for i in start..end {
+            done += 1;
+            let watch = timing.as_ref().map(|_| netcl_obs::Stopwatch::start());
+            let (r, hit) = {
+                let (wire, pkt, out) = batch.slot_mut(i);
+                // `prepare` already shaped the packet; skip `ensure_slots`.
+                out.clear();
+                pkt.reset();
+                let r = run_compiled(cp, wire, pkt, out, st);
+                let hit = r.is_ok() && stop(out);
+                (r, hit)
+            };
+            if let (Some(w), Some(h)) = (watch, timing.as_mut()) {
+                h.record(w.elapsed_ns());
+            }
+            if r.is_err() {
+                st.counters.errors += 1;
+            }
+            batch.set_outcome(i, r);
+            if hit {
+                stopped = Some(i);
+                break;
+            }
+        }
+        // Bulk counter update: totals match the scalar per-packet
+        // increments for every packet actually attempted.
+        st.counters.packets += done;
+        *packets_processed += done;
+        stopped
     }
 
     // ---- interpreter oracle ---------------------------------------------
@@ -684,6 +766,23 @@ impl Switch {
 
 // ---- compiled fast path -------------------------------------------------
 
+/// One full parse → ingress → deparse run on the compiled engine. Shared
+/// by the scalar ([`Switch::process_into`]) and batched
+/// ([`Switch::process_batch`]) entry points so they cannot drift apart.
+fn run_compiled(
+    cp: &CompiledProgram,
+    wire: &[u8],
+    pkt: &mut Packet,
+    out: &mut Vec<u8>,
+    st: &mut RuntimeState,
+) -> Result<(), SwitchError> {
+    parse_compiled(cp, wire, pkt, st)?;
+    for &region in &cp.applies {
+        exec_region(cp, region, pkt, st)?;
+    }
+    deparse_compiled(cp, pkt, out)
+}
+
 /// Evaluates a postfix expression region against the reusable stack.
 /// Re-entrant: operates relative to the current stack top.
 fn eval_ref(
@@ -876,6 +975,19 @@ fn exec_region(
             }
             COp::BranchExpr { cond, else_skip } => {
                 if eval_ref(cp, cond, pkt, &mut st.stack).0 == 0 {
+                    pc += else_skip as usize;
+                }
+            }
+            COp::AssignBranch { dst, expr, else_skip } => {
+                let (v, _) = eval_ref(cp, expr, pkt, &mut st.stack);
+                assign_to(pkt, dst, v);
+                // Branch on the stored (masked) value, exactly as the
+                // unfused pair re-read it.
+                let stored = match dst {
+                    Dest::Header(s, _) | Dest::Meta(s, _) => pkt.value(s),
+                    Dest::None => v,
+                };
+                if stored == 0 {
                     pc += else_skip as usize;
                 }
             }
@@ -1340,4 +1452,106 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
   }
 }
 "#;
+
+    // ---- batched execution (DESIGN.md §13) ------------------------------
+
+    /// A mixed batch of hits, misses, and malformed packets: batched
+    /// processing produces the same outputs, outcomes, counters, and
+    /// register state as a scalar loop.
+    #[test]
+    fn process_batch_matches_scalar_loop() {
+        let wires: Vec<Vec<u8>> =
+            vec![wire(7, 0), wire(8, 5), vec![0x01], wire(7, 1), vec![], wire(3, 3)];
+
+        let mut scalar = Switch::new(counting_program());
+        scalar.set_timing(true);
+        let mut pkt = scalar.new_packet();
+        let mut out = Vec::new();
+        let mut scalar_results = Vec::new();
+        for w in &wires {
+            let r = scalar.process_into(w, &mut pkt, &mut out);
+            scalar_results.push((r, out.clone()));
+        }
+
+        let mut batched = Switch::new(counting_program());
+        batched.set_timing(true);
+        let mut batch = PacketBatch::new();
+        for w in &wires {
+            batch.push(w);
+        }
+        batched.process_batch(&mut batch);
+
+        for (i, (r, o)) in scalar_results.iter().enumerate() {
+            assert_eq!(batch.outcome(i), r, "outcome diverges at {i}");
+            if r.is_ok() {
+                assert_eq!(batch.output(i), o.as_slice(), "output diverges at {i}");
+            }
+        }
+        assert_eq!(batched.counters(), scalar.counters(), "counters diverge");
+        assert_eq!(batched.packets_processed, scalar.packets_processed);
+        let br: Vec<_> = batched.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+        let sr: Vec<_> = scalar.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+        assert_eq!(br, sr, "register state diverges");
+        // One timing sample per attempted packet, like the scalar path.
+        assert_eq!(batched.timing().unwrap().count(), wires.len() as u64);
+    }
+
+    /// The interpreter oracle exposes the same batched entry point and
+    /// agrees with the compiled engine batch-for-batch.
+    #[test]
+    fn process_batch_interpreter_oracle_agrees() {
+        let wires = [wire(7, 0), vec![0xAB], wire(8, 1), wire(7, 2)];
+        let mut fast = Switch::new(counting_program());
+        let mut oracle = Switch::new(counting_program());
+        oracle.set_interpreted(true);
+        let (mut fb, mut ob) = (PacketBatch::new(), PacketBatch::new());
+        for w in &wires {
+            fb.push(w);
+            ob.push(w);
+        }
+        fast.process_batch(&mut fb);
+        oracle.process_batch(&mut ob);
+        for i in 0..wires.len() {
+            assert_eq!(fb.outcome(i), ob.outcome(i), "outcome diverges at {i}");
+            assert_eq!(fb.output(i), ob.output(i), "output diverges at {i}");
+        }
+        assert_eq!(fast.counters(), oracle.counters(), "counters diverge");
+    }
+
+    /// `process_batch_from` halts at the first packet the predicate flags,
+    /// leaves the rest untouched, and resumes exactly where it stopped.
+    #[test]
+    fn process_batch_from_stops_and_resumes() {
+        let mut sw = Switch::new(counting_program());
+        let mut batch = PacketBatch::new();
+        for w in [wire(1, 0), wire(7, 0), wire(2, 0)] {
+            batch.push(&w);
+        }
+        // Stop on the table hit (v rewritten to 99).
+        let stopped = sw.process_batch_from(&mut batch, 0, |out| out == wire(7, 99));
+        assert_eq!(stopped, Some(1));
+        assert_eq!(sw.counters().packets, 2, "third packet untouched");
+        assert_eq!(sw.register_read("R", 0), Some(2));
+        let stopped = sw.process_batch_from(&mut batch, 2, |_| false);
+        assert_eq!(stopped, None);
+        assert_eq!(sw.counters().packets, 3);
+        assert_eq!(batch.output(2), wire(2, 0));
+    }
+
+    /// Reusing one batch across calls keeps outputs and outcomes correct
+    /// (buffer recycling must not leak stale bytes).
+    #[test]
+    fn batch_reuse_is_clean() {
+        let mut sw = Switch::new(counting_program());
+        let mut batch = PacketBatch::new();
+        batch.push(&wire(7, 0));
+        sw.process_batch(&mut batch);
+        assert_eq!(batch.output(0), wire(7, 99));
+        batch.clear();
+        batch.push(&[0x01]);
+        batch.push(&wire(8, 4));
+        sw.process_batch(&mut batch);
+        assert!(batch.outcome(0).is_err());
+        assert_eq!(batch.output(1), wire(8, 4));
+    }
 }

@@ -4,14 +4,19 @@
 //! ncc <file.ncl> [--device N] [--target tna|v1model|both]
 //!     [--emit-p4 DIR] [--dump-ir] [--no-speculation] [--no-dup-lookup]
 //!     [--no-icmp-rewrite] [--report] [--emit-pass-report]
+//!     [--emit-pass-report-jsonl=FILE.jsonl]
 //! ```
 //!
 //! Compiles a NetCL-C translation unit for every device it mentions,
 //! optionally writing the generated P4 programs, dumping the IR, printing
 //! the Tofino fit report, and printing per-pass telemetry (wall time, IR
-//! deltas, rewrites fired — DESIGN.md §12).
+//! deltas, rewrites fired — DESIGN.md §12). With
+//! `--emit-pass-report-jsonl` the same telemetry is written as JSON Lines
+//! (one event per pass per device, tagged with `device` and `target`
+//! fields) for machine consumption.
 
 use netcl::{CompileOptions, Compiler, EmitTarget};
+use netcl_obs::{JsonlSink, Value};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +25,7 @@ fn main() {
     let mut emit_dir: Option<String> = None;
     let mut dump_ir = false;
     let mut report = false;
+    let mut jsonl_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -47,11 +53,20 @@ fn main() {
             "--dump-ir" => dump_ir = true,
             "--report" => report = true,
             "--emit-pass-report" => opts.pass_report = true,
+            "--emit-pass-report-jsonl" => {
+                i += 1;
+                opts.pass_report = true;
+                jsonl_path = Some(args[i].clone());
+            }
+            f if f.starts_with("--emit-pass-report-jsonl=") => {
+                opts.pass_report = true;
+                jsonl_path = Some(f["--emit-pass-report-jsonl=".len()..].to_string());
+            }
             "--no-speculation" => opts.flags.speculation = false,
             "--no-dup-lookup" => opts.flags.duplicate_lookup = false,
             "--no-icmp-rewrite" => opts.flags.icmp_to_sub_msb = false,
             "--help" | "-h" => {
-                eprintln!("usage: ncc <file.ncl> [--device N] [--target tna|v1model|both] [--emit-p4 DIR] [--dump-ir] [--report] [--emit-pass-report] [--no-speculation] [--no-dup-lookup] [--no-icmp-rewrite]");
+                eprintln!("usage: ncc <file.ncl> [--device N] [--target tna|v1model|both] [--emit-p4 DIR] [--dump-ir] [--report] [--emit-pass-report] [--emit-pass-report-jsonl=FILE.jsonl] [--no-speculation] [--no-dup-lookup] [--no-icmp-rewrite]");
                 return;
             }
             f if !f.starts_with('-') => file = Some(f.to_string()),
@@ -73,6 +88,7 @@ fn main() {
 
     match Compiler::new(opts).compile(&file, &source) {
         Ok(unit) => {
+            let mut sink = JsonlSink::new();
             for w in &unit.warnings {
                 eprintln!("{w}");
             }
@@ -108,8 +124,22 @@ fn main() {
                     }
                 }
                 for rep in [&dev.tna_pass_report, &dev.v1_pass_report].into_iter().flatten() {
-                    println!("device {}: {}", dev.device, rep.render());
+                    if jsonl_path.is_none() {
+                        println!("device {}: {}", dev.device, rep.render());
+                    }
+                    for mut ev in rep.to_events() {
+                        ev.fields.push(("device", Value::U64(dev.device as u64)));
+                        ev.fields.push(("target", Value::Str(rep.target.to_string())));
+                        sink.push(&ev);
+                    }
                 }
+            }
+            if let Some(path) = &jsonl_path {
+                std::fs::write(path, sink.to_jsonl()).unwrap_or_else(|e| {
+                    eprintln!("ncc: cannot write `{path}`: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("ncc: wrote {} pass event(s) to {path}", sink.len());
             }
             eprintln!(
                 "ncc: {:.1} ms total ({:.1} ms frontend, {:.1} ms passes, {:.1} ms codegen)",

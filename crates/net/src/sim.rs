@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
-use netcl_bmv2::{Packet, Switch};
+use netcl_bmv2::{Packet, PacketBatch, Switch};
 use netcl_obs::{Histogram, Stopwatch, Trace, Value};
 use netcl_runtime::device::{DeviceRuntime, Forward};
 use netcl_runtime::message::Message;
@@ -69,6 +69,98 @@ struct DeviceNode {
     /// not allocate per packet.
     pkt: Packet,
     out: Vec<u8>,
+    /// Reusable delivery batch for [`Switch::process_batch`] (DESIGN.md
+    /// §13). Reshapes itself automatically after a device restart swaps the
+    /// program.
+    batch: PacketBatch,
+    /// Scratch for the per-message delivery plan, reused across batches.
+    plan: Vec<BatchPlan>,
+}
+
+/// What phase A of batched delivery decided about one arrival, consumed in
+/// message order by phase C (see `device_receive_batch`).
+enum BatchPlan {
+    /// Header unreadable: count a drop.
+    HeaderDrop,
+    /// Not for this device: forward with the original bytes at `clock`.
+    Transit(Forward, Vec<u8>),
+    /// The next kernel input of the device batch (inputs are pushed and
+    /// consumed in message order); the outcome is filled in by phase B.
+    Compute,
+}
+
+/// How one kernel input left phase B of batched delivery.
+enum KernelOutcome {
+    /// Final pass produced a forward: rewritten wire, forward decision,
+    /// original action code, total passes, and src/dst for tracing.
+    Forward { wire: Vec<u8>, fwd: Forward, act_code: u8, passes: u64, src: u16, dst: u16 },
+    /// The pipeline rejected the packet on its `passes`-th pass.
+    Reject { passes: u64 },
+    /// The post-kernel header was unreadable: the message vanishes
+    /// silently (matches the scalar path).
+    Vanish { passes: u64 },
+    /// All 8 passes asked to repeat: recirculation cap drop.
+    CapExceeded,
+}
+
+/// Resolves a batch slot that finished in a single pass (phase B).
+fn single_pass_outcome(batch: &mut PacketBatch, i: usize, runtime: DeviceRuntime) -> KernelOutcome {
+    if batch.outcome(i).is_err() {
+        return KernelOutcome::Reject { passes: 1 };
+    }
+    let wire = batch.take_output(i);
+    match Message::read_header(&wire) {
+        Err(_) => {
+            batch.recycle(wire);
+            KernelOutcome::Vanish { passes: 1 }
+        }
+        Ok(msg) => finish_forward(msg, wire, runtime, 1),
+    }
+}
+
+/// Applies runtime forwarding to a final (non-repeat) kernel output,
+/// rewriting the header in place — the scalar path's post-loop bookkeeping.
+fn finish_forward(
+    mut msg: Message,
+    mut wire: Vec<u8>,
+    runtime: DeviceRuntime,
+    passes: u64,
+) -> KernelOutcome {
+    let action = ActionKind::from_code(msg.action).unwrap_or(ActionKind::Pass);
+    let target = msg.target;
+    let act_code = msg.action;
+    let fwd = runtime.forward(&mut msg, action, target);
+    // Clear the per-hop action fields for the next node.
+    msg.action = 0;
+    msg.target = 0;
+    msg.write_header_into(&mut wire[..netcl_runtime::NCL_HEADER_BYTES]);
+    KernelOutcome::Forward { wire, fwd, act_code, passes, src: msg.src, dst: msg.dst }
+}
+
+/// Completes a recirculating packet's extra passes scalar-style: the batch
+/// ran pass 0; passes 1..8 ping-pong through the node's scratch buffers,
+/// mutating registers and the per-switch RNG in exactly the scalar order.
+fn finish_recirculation(node: &mut DeviceNode, batch: &mut PacketBatch, i: usize) -> KernelOutcome {
+    let mut wire = batch.take_output(i);
+    let mut passes = 1u64;
+    for _ in 1..8 {
+        passes += 1;
+        if node.switch.process_into(&wire, &mut node.pkt, &mut node.out).is_err() {
+            batch.recycle(wire);
+            return KernelOutcome::Reject { passes };
+        }
+        std::mem::swap(&mut wire, &mut node.out);
+        let Ok(msg) = Message::read_header(&wire) else {
+            batch.recycle(wire);
+            return KernelOutcome::Vanish { passes };
+        };
+        let action = ActionKind::from_code(msg.action).unwrap_or(ActionKind::Pass);
+        if action != ActionKind::Repeat {
+            return finish_forward(msg, wire, node.runtime, passes);
+        }
+    }
+    batch.recycle(wire);
+    KernelOutcome::CapExceeded
 }
 
 struct HostNode {
@@ -286,6 +378,8 @@ impl NetworkBuilder {
                     latency_ns,
                     pkt,
                     out: Vec::new(),
+                    batch: PacketBatch::new(),
+                    plan: Vec::new(),
                 },
             );
         }
@@ -308,6 +402,7 @@ impl NetworkBuilder {
             failed: HashSet::new(),
             restart_hooks: self.restart_hooks,
             obs,
+            scalar_delivery: false,
         };
         for (at, fault) in self.faults {
             net.schedule_fault(at, fault);
@@ -338,6 +433,10 @@ pub struct Network {
     restart_hooks: HashMap<u16, RestartHook>,
     /// Wall-clock observability; `None` (the default) costs nothing.
     obs: Option<NetObs>,
+    /// When set, deliveries run through the scalar `device_receive` path
+    /// instead of `device_receive_batch` — kept for the batched/scalar
+    /// equivalence tests (DESIGN.md §13).
+    scalar_delivery: bool,
 }
 
 // BinaryHeap payload must be Ord; carry the event in a side map keyed by
@@ -421,6 +520,15 @@ impl Network {
         self.failed.contains(&id)
     }
 
+    /// Forces deliveries through the scalar per-packet path instead of
+    /// [`Switch::process_batch`]. The batched path (the default) is proven
+    /// byte-for-byte equivalent — `NetStats`, `SwitchCounters`, traces —
+    /// by the equivalence tests; this switch exists so they can keep
+    /// proving it.
+    pub fn set_scalar_delivery(&mut self, scalar: bool) {
+        self.scalar_delivery = scalar;
+    }
+
     fn rand_u64(&mut self) -> u64 {
         self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.rng;
@@ -479,8 +587,12 @@ impl Network {
                             _ => break,
                         }
                     }
-                    for b in batch.drain(..) {
-                        self.device_receive(d, b);
+                    if self.scalar_delivery {
+                        for b in batch.drain(..) {
+                            self.device_receive(d, b);
+                        }
+                    } else {
+                        self.device_receive_batch(d, &mut batch);
                     }
                 }
                 EventOrd::Arrive(NodeId::Host(h)) => self.host_receive(h, bytes),
@@ -706,6 +818,149 @@ impl Network {
                 self.stats.node(NodeId::Device(dev)).dropped += 1;
                 self.trace_instant("drop.kernel", NodeId::Device(dev), self.clock);
             }
+        }
+    }
+
+    /// Batched delivery: runs a same-timestamp burst of arrivals at one
+    /// device through [`Switch::process_batch_from`] while reproducing the
+    /// scalar path's observable behavior byte for byte (DESIGN.md §13).
+    ///
+    /// Three phases keep determinism:
+    ///
+    /// - **A (classify, message order):** parse headers and split arrivals
+    ///   into drops, transits, and kernel inputs. No stats, traces, or
+    ///   event pushes happen yet.
+    /// - **B (compute, packet order):** one `process_batch_from` call per
+    ///   contiguous run of kernel inputs. Register and per-switch RNG
+    ///   mutations happen here in exactly the scalar packet order; a packet
+    ///   asking to recirculate stops the batch, finishes its extra passes
+    ///   scalar-style through the node's scratch buffers, and the batch
+    ///   resumes after it.
+    /// - **C (effects, message order):** stats, trace events, and forwards
+    ///   — and therefore every event-queue `seq` and every Network-RNG draw
+    ///   inside `transmit` — replay in the same order the scalar loop would
+    ///   have produced them.
+    fn device_receive_batch(&mut self, dev: u16, arrivals: &mut Vec<Vec<u8>>) {
+        if self.failed.contains(&dev) {
+            // A failed device blackholes everything that reaches it.
+            for _ in arrivals.drain(..) {
+                self.stats.fault_drops += 1;
+                self.stats.node(NodeId::Device(dev)).dropped += 1;
+                self.trace_instant("drop.fault", NodeId::Device(dev), self.clock);
+            }
+            return;
+        }
+        if !self.devices.contains_key(&dev) {
+            arrivals.clear();
+            return;
+        }
+        let node = self.devices.get_mut(&dev).expect("checked above");
+        let runtime = node.runtime;
+        let latency_ns = node.latency_ns;
+        let mut batch = std::mem::take(&mut node.batch);
+        let mut plan = std::mem::take(&mut node.plan);
+        batch.clear();
+        plan.clear();
+
+        // Phase A.
+        for bytes in arrivals.drain(..) {
+            match Message::read_header(&bytes) {
+                Err(_) => plan.push(BatchPlan::HeaderDrop),
+                Ok(msg) if !runtime.should_compute(&msg) => {
+                    plan.push(BatchPlan::Transit(runtime.transit(&msg), bytes));
+                }
+                Ok(_) => {
+                    plan.push(BatchPlan::Compute);
+                    batch.push(&bytes);
+                    batch.recycle(bytes);
+                }
+            }
+        }
+
+        // Phase B.
+        let mut results: Vec<KernelOutcome> = Vec::with_capacity(batch.len());
+        let mut start = 0usize;
+        while start < batch.len() {
+            let node = self.devices.get_mut(&dev).expect("checked above");
+            let stopped = node.switch.process_batch_from(&mut batch, start, |out| {
+                matches!(
+                    Message::read_header(out),
+                    Ok(m) if ActionKind::from_code(m.action).unwrap_or(ActionKind::Pass)
+                        == ActionKind::Repeat
+                )
+            });
+            let upto = stopped.unwrap_or(batch.len());
+            for i in results.len()..upto {
+                results.push(single_pass_outcome(&mut batch, i, runtime));
+            }
+            let Some(i) = stopped else { break };
+            results.push(finish_recirculation(node, &mut batch, i));
+            start = i + 1;
+        }
+
+        // Phase C.
+        let mut outcomes = results.into_iter();
+        for entry in plan.drain(..) {
+            match entry {
+                BatchPlan::HeaderDrop => {
+                    self.stats.node(NodeId::Device(dev)).dropped += 1;
+                }
+                BatchPlan::Transit(fwd, bytes) => {
+                    self.stats.node(NodeId::Device(dev)).delivered += 1;
+                    let now = self.clock;
+                    self.apply_forward(dev, fwd, now, bytes);
+                }
+                BatchPlan::Compute => {
+                    self.stats.node(NodeId::Device(dev)).delivered += 1;
+                    match outcomes.next().expect("one outcome per kernel input") {
+                        KernelOutcome::Forward { wire, fwd, act_code, passes, src, dst } => {
+                            self.stats.kernel_executions += passes;
+                            self.stats.recirculations += passes - 1;
+                            let latency = passes * latency_ns;
+                            let depart = self.clock + latency;
+                            if let Some(tr) = self.obs.as_mut().and_then(|o| o.trace.as_mut()) {
+                                tr.complete(
+                                    "kernel",
+                                    "device",
+                                    0,
+                                    tid_of(NodeId::Device(dev)),
+                                    self.clock,
+                                    latency,
+                                    vec![
+                                        ("action", Value::U64(act_code as u64)),
+                                        ("recircs", Value::U64(passes - 1)),
+                                        ("src", Value::U64(src as u64)),
+                                        ("dst", Value::U64(dst as u64)),
+                                    ],
+                                );
+                            }
+                            self.apply_forward(dev, fwd, depart, wire);
+                        }
+                        KernelOutcome::Reject { passes } => {
+                            self.stats.kernel_executions += passes;
+                            self.stats.recirculations += passes - 1;
+                            self.stats.node(NodeId::Device(dev)).dropped += 1;
+                            self.trace_instant("drop.reject", NodeId::Device(dev), self.clock);
+                        }
+                        KernelOutcome::Vanish { passes } => {
+                            self.stats.kernel_executions += passes;
+                            self.stats.recirculations += passes - 1;
+                        }
+                        KernelOutcome::CapExceeded => {
+                            self.stats.kernel_executions += 8;
+                            self.stats.recirculations += 7;
+                            self.stats.kernel_drops += 1;
+                            self.stats.node(NodeId::Device(dev)).dropped += 1;
+                            self.trace_instant("drop.kernel", NodeId::Device(dev), self.clock);
+                        }
+                    }
+                }
+            }
+        }
+        // Return the scratch to the node for the next burst.
+        if let Some(node) = self.devices.get_mut(&dev) {
+            node.batch = batch;
+            node.plan = plan;
         }
     }
 
@@ -1102,5 +1357,106 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
         net.set_host_timer(1, 900, 3);
         net.run(10);
         assert_eq!(*fired.lock().unwrap(), vec![(100, 1), (500, 2), (900, 3)]);
+    }
+
+    /// The batched delivery path must be observationally identical to the
+    /// scalar one — same `NetStats`, same `SwitchCounters`, same replies at
+    /// the same timestamps — even with every chaos link impairment (loss,
+    /// corruption, duplication, jitter, reordering) drawing from the RNG
+    /// streams.
+    #[test]
+    fn batched_delivery_matches_scalar() {
+        let run = |scalar: bool| {
+            let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+                .compile("cache.ncl", CACHE_SRC)
+                .unwrap();
+            let spec = unit.model.kernels[0].specification();
+            let switch = Switch::new(unit.devices[0].tna_p4.clone());
+            let topo = star(1, &[1, 2], LinkSpec::chaos(0.1));
+            let mut net = NetworkBuilder::new(topo)
+                .seed(42)
+                .device(1, switch, 500)
+                .sink_host(1)
+                .sink_host(2)
+                .build();
+            net.set_scalar_delivery(scalar);
+            for round in 0..20u64 {
+                for key in [1u64, 2, 9] {
+                    // Hit keys reflect at the switch; misses pass through
+                    // to the sink host, so both forward paths run.
+                    let m = Message::new(1, 2, 1, 1);
+                    let packed = pack(&m, &spec, &[Some(&[1]), Some(&[key]), None, None]).unwrap();
+                    net.send_from_host(1, round * 1000, packed);
+                }
+            }
+            net.run(10_000);
+            let counters = net.switch(1).unwrap().counters().clone();
+            let received: Vec<_> = net.host_received(1).to_vec();
+            (net.stats.clone(), counters, received)
+        };
+        let batched = run(false);
+        let scalar = run(true);
+        assert!(batched.0 == scalar.0, "NetStats diverged:\n{:#?}\nvs\n{:#?}", batched.0, scalar.0);
+        assert_eq!(batched.1, scalar.1, "SwitchCounters diverged");
+        assert_eq!(batched.2, scalar.2, "host deliveries diverged");
+        assert!(batched.0.link_losses > 0, "chaos links should actually fire");
+    }
+
+    /// `ncl::repeat()` recirculation under batched delivery: a packet that
+    /// stops the batch mid-way finishes its extra passes scalar-style and
+    /// the rest of the burst resumes — with stats equal to the scalar path.
+    #[test]
+    fn batched_recirculation_matches_scalar() {
+        const REPEAT_SRC: &str = r#"
+_kernel(1) _at(1) void spin(unsigned k, unsigned &n) {
+  n = n + 1;
+  if (n < 3) return ncl::repeat();
+  return ncl::reflect();
+}
+"#;
+        let run = |scalar: bool| {
+            let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+                .compile("spin.ncl", REPEAT_SRC)
+                .unwrap();
+            let spec = unit.model.kernels[0].specification();
+            let switch = Switch::new(unit.devices[0].tna_p4.clone());
+            let topo = star(1, &[1, 2], LinkSpec::default());
+            let mut net =
+                NetworkBuilder::new(topo).device(1, switch, 500).sink_host(1).sink_host(2).build();
+            net.set_scalar_delivery(scalar);
+            // A same-timestamp burst: every compute packet recirculates
+            // (stopping the batch), and a transit message for an absent
+            // device rides along in the middle of it.
+            for _ in 0..3 {
+                let m = Message::new(1, 2, 1, 1);
+                let packed = pack(&m, &spec, &[Some(&[5]), Some(&[0])]).unwrap();
+                net.send_from_host(1, 1000, packed);
+            }
+            let transit = Message::new(1, 2, 1, 7);
+            net.send_from_host(1, 1000, pack(&transit, &spec, &[Some(&[5]), Some(&[0])]).unwrap());
+            net.run(10_000);
+            let counters = net.switch(1).unwrap().counters().clone();
+            let received: Vec<_> = net.host_received(1).to_vec();
+            (net.stats.clone(), counters, received)
+        };
+        let batched = run(false);
+        let scalar = run(true);
+        assert!(batched.0 == scalar.0, "NetStats diverged:\n{:#?}\nvs\n{:#?}", batched.0, scalar.0);
+        assert_eq!(batched.1, scalar.1, "SwitchCounters diverged");
+        assert_eq!(batched.2, scalar.2, "host deliveries diverged");
+        assert_eq!(batched.0.recirculations, 6, "each of 3 packets recirculates twice");
+        assert_eq!(batched.0.kernel_executions, 9, "3 packets x 3 passes");
+        // The replies carry the recirculation count in the payload.
+        let spec = netcl::Compiler::new(netcl::CompileOptions::default())
+            .compile("spin.ncl", REPEAT_SRC)
+            .unwrap()
+            .model
+            .kernels[0]
+            .specification();
+        for (_, bytes) in &batched.2 {
+            let mut n = Vec::new();
+            unpack(bytes, &spec, &mut [None, Some(&mut n)]).unwrap();
+            assert_eq!(n[0], 3);
+        }
     }
 }

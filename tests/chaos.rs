@@ -226,3 +226,71 @@ fn replay_is_deterministic_cache() {
     assert_eq!(a, b);
     assert_eq!(a.device_restarts, 1);
 }
+
+// ---------------------------------------------------------------------------
+// Batched delivery equivalence (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// The batched delivery path (the simulator default) is observationally
+/// identical to the scalar one for every Table III application under the
+/// full chaos regime — loss, corruption, duplication, jitter, reordering,
+/// a device failure, and a restart — across a seed matrix. `NetStats` and
+/// the device's `SwitchCounters` must match field-for-field.
+#[test]
+fn batched_delivery_equals_scalar_under_chaos_all_apps() {
+    use netcl_bmv2::Switch;
+    use netcl_net::topo::star;
+    use netcl_net::{Fault, NetworkBuilder};
+    use netcl_runtime::message::Message;
+
+    for app in netcl_apps::all_apps() {
+        let unit = compile(app.name, &app.netcl_source);
+        let p4 = unit.device(app.device).expect("kernel device").tna_p4.clone();
+        let dev = app.device;
+        let run = |scalar: bool, seed: u64| {
+            let topo = star(dev, &[1, 2], chaos_link());
+            let mut net = NetworkBuilder::new(topo)
+                .seed(seed)
+                .device(dev, Switch::new(p4.clone()), 500)
+                .sink_host(1)
+                .sink_host(2)
+                .fault(40_000, Fault::DeviceFail(dev))
+                .fault(80_000, Fault::DeviceRestart(dev))
+                .build();
+            net.set_scalar_delivery(scalar);
+            // Same-timestamp bursts of pseudo-random payloads: some parse,
+            // some reject — equivalence must hold either way.
+            for round in 0..25u64 {
+                for i in 0..4u64 {
+                    let m = Message::new(1, 2, 1, dev);
+                    let mut bytes = Vec::new();
+                    m.write_header(&mut bytes);
+                    bytes.extend(
+                        (0..96u64).map(|j| (round.wrapping_mul(31) ^ i.wrapping_mul(7) ^ j) as u8),
+                    );
+                    net.send_from_host(1, round * 5_000, bytes);
+                }
+            }
+            net.run(500_000);
+            (net.stats.clone(), net.switch(dev).unwrap().counters().clone())
+        };
+        for seed in [1u64, 7, 42] {
+            let batched = run(false, seed);
+            let scalar = run(true, seed);
+            assert!(
+                batched == scalar,
+                "{}: batched delivery diverged from scalar at seed {seed}:\n{:#?}\nvs\n{:#?}",
+                app.name,
+                batched,
+                scalar
+            );
+            assert!(batched.0.kernel_executions > 0, "{}: no kernel traffic", app.name);
+            assert_eq!(batched.0.device_restarts, 1, "{}: restart fault must fire", app.name);
+            assert!(
+                batched.1.packets > 0,
+                "{}: the restarted switch must still see packets",
+                app.name
+            );
+        }
+    }
+}

@@ -126,6 +126,90 @@ proptest! {
         }
     }
 
+    /// For every Table III application (plus a synthetic recirculating
+    /// kernel), `Switch::process_batch` over a batch of random wires —
+    /// valid, truncated, and garbage alike — produces exactly the outcomes,
+    /// output bytes, `SwitchCounters`, and register state of a scalar
+    /// `process_into` loop over the same wires.
+    #[test]
+    fn process_batch_matches_scalar_loop_all_apps(seed in any::<u64>()) {
+        use netcl_bmv2::PacketBatch;
+        static PROGRAMS: std::sync::OnceLock<Vec<(String, netcl_p4::P4Program)>> =
+            std::sync::OnceLock::new();
+        let programs = PROGRAMS.get_or_init(|| {
+            let mut ps: Vec<(String, netcl_p4::P4Program)> = netcl_apps::all_apps()
+                .into_iter()
+                .map(|app| {
+                    let unit = Compiler::new(CompileOptions::default())
+                        .compile(app.name, &app.netcl_source)
+                        .unwrap();
+                    let p4 = unit.device(app.device).expect("kernel device").tna_p4.clone();
+                    (app.name.to_string(), p4)
+                })
+                .collect();
+            // `ncl::repeat()` coverage: no Table III app recirculates.
+            let spin = Compiler::new(CompileOptions::default())
+                .compile(
+                    "spin.ncl",
+                    "_kernel(1) _at(1) void spin(unsigned k, unsigned &n) {\n\
+                       n = n + 1;\n\
+                       if (n < 3) return ncl::repeat();\n\
+                       return ncl::reflect();\n\
+                     }\n",
+                )
+                .unwrap();
+            ps.push(("spin".to_string(), spin.devices[0].tna_p4.clone()));
+            ps
+        });
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for (name, program) in programs {
+            let mut scalar = Switch::new(program.clone());
+            let mut batched = Switch::new(program.clone());
+            let wires: Vec<Vec<u8>> = (0..8)
+                .map(|_| {
+                    let len = (next() % 160) as usize;
+                    (0..len).map(|_| next() as u8).collect()
+                })
+                .collect();
+            let mut batch = PacketBatch::new();
+            for w in &wires {
+                batch.push(w);
+            }
+            batched.process_batch(&mut batch);
+            let mut pkt = scalar.new_packet();
+            for (i, w) in wires.iter().enumerate() {
+                let mut out = Vec::new();
+                let r = scalar.process_into(w, &mut pkt, &mut out);
+                prop_assert_eq!(
+                    &r, batch.outcome(i),
+                    "{}: outcome diverges on packet {} ({:?})", name, i, w
+                );
+                if r.is_ok() {
+                    prop_assert_eq!(
+                        out.as_slice(), batch.output(i),
+                        "{}: output bytes diverge on packet {}", name, i
+                    );
+                }
+            }
+            prop_assert_eq!(
+                scalar.counters(), batched.counters(),
+                "{}: SwitchCounters diverge", name
+            );
+            let sr: Vec<(String, Vec<u64>)> =
+                scalar.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+            let br: Vec<(String, Vec<u64>)> =
+                batched.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+            prop_assert_eq!(sr, br, "{}: register state diverges", name);
+        }
+    }
+
     /// Wire parsing is total: `Message::read_header` and `unpack` never
     /// panic on arbitrary byte strings — the input path the simulator's
     /// corruption fault exercises — and report `Truncated` exactly when the
