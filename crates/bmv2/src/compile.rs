@@ -429,6 +429,31 @@ impl CompiledProgram {
     pub fn peephole_stats(&self) -> crate::peephole::PeepholeStats {
         self.peephole
     }
+
+    /// A per-variant histogram of the lowered op stream (perf diagnostics:
+    /// what a given app's data plane is made of).
+    pub fn op_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for op in &self.cops {
+            let name = match op {
+                COp::Assign { .. } => "Assign",
+                COp::AssignBranch { .. } => "AssignBranch",
+                COp::BranchExpr { .. } => "BranchExpr",
+                COp::BranchTable { .. } => "BranchTable",
+                COp::Jump(_) => "Jump",
+                COp::CallAction(_) => "CallAction",
+                COp::ApplyTable(_) => "ApplyTable",
+                COp::ExecRegAction { .. } => "ExecRegAction",
+                COp::HashGet { .. } => "HashGet",
+                COp::ExternCall { .. } => "ExternCall",
+                COp::SetValid(_) => "SetValid",
+                COp::SetInvalid(_) => "SetInvalid",
+                COp::Fail(_) => "Fail",
+            };
+            *counts.entry(name).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
 }
 
 /// Per-control name scopes (the interpreter resolves all names against the

@@ -16,16 +16,19 @@
 //! interface ([`Switch::register_write`], [`Switch::table_insert`], ...)
 //! backs the NetCL `_managed_` memory API (§V-B).
 //!
-//! Programs are lowered once at [`Switch::new`] by [`mod@compile`] into flat,
-//! index-addressed op arrays; per-packet execution walks those arrays with
-//! zero heap allocation for interned fields. The original tree-walking
-//! interpreter remains available via [`Switch::set_interpreted`] as the
+//! Programs are lowered once at [`Switch::new`] by [`mod@compile`] into
+//! flat, index-addressed op arrays, and lowered once more by
+//! [`mod@threaded`] into direct-threaded closure arrays — the default
+//! engine. Per-packet execution walks those arrays with zero heap
+//! allocation for interned fields. [`Switch::set_engine`] selects among
+//! the three engines; the original tree-walking interpreter remains the
 //! differential-testing oracle.
 //!
 //! DESIGN.md §10 describes the compiled fast path; §12 the data-plane
-//! counters ([`Switch::counters`]) both engines maintain identically; §13
+//! counters ([`Switch::counters`]) every engine maintains identically; §13
 //! the batched entry point ([`Switch::process_batch`]) and the [`mod@peephole`]
-//! pass over the compiled op stream.
+//! pass over the compiled op stream; §14 the direct-threaded backend and
+//! the phase-split batch execution.
 
 pub mod batch;
 pub mod compile;
@@ -33,9 +36,10 @@ pub mod eval;
 pub mod packet;
 pub mod peephole;
 pub mod switch;
+pub mod threaded;
 
-pub use batch::PacketBatch;
+pub use batch::{PacketBatch, DEFAULT_BATCH};
 pub use compile::{compile, CompiledProgram, FieldSlot, HeaderId, SlotTable};
 pub use packet::{FieldError, Packet, PacketError};
 pub use peephole::PeepholeStats;
-pub use switch::{Switch, SwitchCounters, SwitchError};
+pub use switch::{Engine, Switch, SwitchCounters, SwitchError};

@@ -1,14 +1,22 @@
 //! The switch: parser FSM, ingress execution, deparser, and state.
 //!
-//! Two execution engines share one runtime state:
+//! Three execution engines share one runtime state (selected with
+//! [`Switch::set_engine`]):
 //!
-//! * the **compiled** fast path (default): flat op arrays produced by
-//!   [`mod@crate::compile`], slot-addressed packet fields, zero per-packet heap
-//!   allocation for already-interned fields;
-//! * the **tree-walking interpreter** (behind [`Switch::set_interpreted`]):
-//!   re-evaluates the AST per packet through the string compatibility
-//!   layer. It is intentionally kept simple and serves as the differential
-//!   oracle for the compiled path.
+//! * the **threaded** fast path (default): the flat op stream lowered
+//!   once more into direct-threaded closure arrays by
+//!   [`mod@crate::threaded`] — no per-op `match`, pre-resolved slots,
+//!   masks, and register/table handles (DESIGN.md §14);
+//! * the **compiled** pc-loop: flat op arrays produced by
+//!   [`mod@crate::compile`], slot-addressed packet fields, zero per-packet
+//!   heap allocation for already-interned fields;
+//! * the **tree-walking interpreter**: re-evaluates the AST per packet
+//!   through the string compatibility layer. It is intentionally kept
+//!   simple and serves as the differential oracle for the other two.
+//!
+//! All three count, mutate, and fail identically — the differential
+//! proptests and the chaos matrix hold them to byte-for-byte equal
+//! outputs, errors, [`SwitchCounters`], and register state.
 
 use std::sync::Arc;
 
@@ -18,8 +26,32 @@ use crate::compile::{
 };
 use crate::eval::{bin_value, canonical, eval, instance_of, mask_of};
 use crate::packet::{read_field, write_field, FieldError, Packet, PacketError};
+use crate::threaded::{self, ThreadedProgram};
 use netcl_ir::interp::eval_intrinsic;
 use netcl_p4::ast::*;
+
+/// Which execution engine a [`Switch`] runs (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Tree-walking AST interpreter (the differential oracle).
+    Interpreted,
+    /// Flat-op pc-loop produced by [`mod@crate::compile`].
+    Compiled,
+    /// Direct-threaded closure arrays (the default; DESIGN.md §14).
+    #[default]
+    Threaded,
+}
+
+impl Engine {
+    /// Stable lowercase label, used on [`SwitchCounters`] and trace spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Interpreted => "interpreted",
+            Engine::Compiled => "compiled",
+            Engine::Threaded => "threaded",
+        }
+    }
+}
 
 /// Runtime errors (all indicate malformed programs or packets).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,8 +90,14 @@ fn field_err(e: FieldError, header: &str) -> SwitchError {
 /// compiled and interpreted engines, so the differential tests compare
 /// them too. Reset by [`Switch::reset_counters`] and by device restarts
 /// (a fresh switch starts from zero, like real hardware).
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone)]
 pub struct SwitchCounters {
+    /// Which engine accumulated these counts ([`Engine::name`]): shows up
+    /// in telemetry and Perfetto traces so interpreted/compiled/threaded
+    /// runs are distinguishable. Deliberately **excluded from equality**:
+    /// the differential tests compare counters across engines, and the
+    /// label is the one field that legitimately differs.
+    pub backend: &'static str,
     /// Packets entering the pipeline (parse attempts).
     pub packets: u64,
     /// Packets rejected with an error (parse failure or a deferred
@@ -78,9 +116,25 @@ pub struct SwitchCounters {
     pub extern_calls: u64,
 }
 
+/// Equality ignores the `backend` label (see its doc).
+impl PartialEq for SwitchCounters {
+    fn eq(&self, other: &Self) -> bool {
+        self.packets == other.packets
+            && self.errors == other.errors
+            && self.table_hits == other.table_hits
+            && self.table_misses == other.table_misses
+            && self.reg_action_execs == other.reg_action_execs
+            && self.action_calls == other.action_calls
+            && self.extern_calls == other.extern_calls
+    }
+}
+
+impl Eq for SwitchCounters {}
+
 impl SwitchCounters {
-    fn new(cp: &CompiledProgram) -> SwitchCounters {
+    fn new(cp: &CompiledProgram, backend: &'static str) -> SwitchCounters {
         SwitchCounters {
+            backend,
             table_hits: vec![0; cp.table_states.len()],
             table_misses: vec![0; cp.table_states.len()],
             ..SwitchCounters::default()
@@ -101,27 +155,28 @@ impl SwitchCounters {
 /// Mutable per-switch state shared by both engines, plus the compiled
 /// path's reusable scratch buffers (all stack-disciplined so re-entrant
 /// table/action execution never allocates in steady state).
-struct RuntimeState {
+pub(crate) struct RuntimeState {
     /// Register cells, by [`CompiledProgram`] register index.
-    registers: Vec<Vec<u64>>,
+    pub(crate) registers: Vec<Vec<u64>>,
     /// Table entries, by table-state index (shared by name).
-    tables: Vec<Vec<TableEntry>>,
-    rng: u64,
-    /// Postfix evaluation stack.
-    stack: Vec<(u64, u32)>,
+    pub(crate) tables: Vec<Vec<TableEntry>>,
+    pub(crate) rng: u64,
+    /// Postfix evaluation stack (compiled engine only; the threaded engine
+    /// evaluates through closure trees and never touches it).
+    pub(crate) stack: Vec<(u64, u32)>,
     /// Table key values for in-flight applies.
-    keys: Vec<u64>,
+    pub(crate) keys: Vec<u64>,
     /// Action args / RA operands / extern arg values.
-    scratch: Vec<u64>,
+    pub(crate) scratch: Vec<u64>,
     /// Saved `(slot, value, present)` for action-parameter bindings.
-    param_saves: Vec<(compile::FieldSlot, u64, bool)>,
+    pub(crate) param_saves: Vec<(compile::FieldSlot, u64, bool)>,
     /// Data-plane counters (lives here so the compiled path's free
     /// functions can increment through `st`).
-    counters: SwitchCounters,
+    pub(crate) counters: SwitchCounters,
 }
 
 impl RuntimeState {
-    fn new(cp: &CompiledProgram) -> RuntimeState {
+    fn new(cp: &CompiledProgram, backend: &'static str) -> RuntimeState {
         RuntimeState {
             registers: cp.regs.iter().map(|r| vec![0u64; r.size]).collect(),
             tables: cp.table_states.iter().map(|t| t.entries.clone()).collect(),
@@ -130,7 +185,7 @@ impl RuntimeState {
             keys: Vec::new(),
             scratch: Vec::new(),
             param_saves: Vec::new(),
-            counters: SwitchCounters::new(cp),
+            counters: SwitchCounters::new(cp, backend),
         }
     }
 }
@@ -139,10 +194,11 @@ impl RuntimeState {
 pub struct Switch {
     program: P4Program,
     compiled: Arc<CompiledProgram>,
+    /// The direct-threaded lowering of `compiled` (built once, in `new`).
+    threaded: ThreadedProgram,
     st: RuntimeState,
-    /// When set, `process` runs the tree-walking oracle instead of the
-    /// compiled ops.
-    interpreted: bool,
+    /// Which engine `process` runs ([`Switch::set_engine`]).
+    engine: Engine,
     /// Packets processed (telemetry). Mirrors `counters().packets`; kept
     /// as a field for existing callers.
     pub packets_processed: u64,
@@ -152,11 +208,14 @@ pub struct Switch {
 
 impl Switch {
     /// Instantiates a switch for `program` with zeroed registers. The
-    /// program is compiled to flat form here, once.
+    /// program is compiled to flat form — and lowered to direct-threaded
+    /// form — here, once.
     pub fn new(program: P4Program) -> Switch {
         let compiled = Arc::new(compile::compile(&program));
-        let st = RuntimeState::new(&compiled);
-        Switch { program, compiled, st, interpreted: false, packets_processed: 0, timing: None }
+        let threaded = threaded::lower(&compiled);
+        let engine = Engine::default();
+        let st = RuntimeState::new(&compiled, engine.name());
+        Switch { program, compiled, threaded, st, engine, packets_processed: 0, timing: None }
     }
 
     // ---- observability (DESIGN.md §12) ----------------------------------
@@ -169,7 +228,7 @@ impl Switch {
 
     /// Zeroes all counters (e.g. between a warmup and a measured run).
     pub fn reset_counters(&mut self) {
-        self.st.counters = SwitchCounters::new(&self.compiled);
+        self.st.counters = SwitchCounters::new(&self.compiled, self.engine.name());
         self.packets_processed = 0;
     }
 
@@ -202,15 +261,28 @@ impl Switch {
         &self.compiled
     }
 
-    /// Selects the tree-walking interpreter (`true`) or the compiled fast
-    /// path (`false`, the default). State carries over either way.
+    /// Selects the execution engine. Registers, tables, and counters carry
+    /// over; only the counters' backend label changes.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+        self.st.counters.backend = engine.name();
+    }
+
+    /// The currently selected engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Back-compat engine toggle: `true` selects the interpreter oracle,
+    /// `false` the compiled pc-loop (what the pre-[`Engine`] flag meant —
+    /// note *not* the threaded default; use [`Switch::set_engine`]).
     pub fn set_interpreted(&mut self, interpreted: bool) {
-        self.interpreted = interpreted;
+        self.set_engine(if interpreted { Engine::Interpreted } else { Engine::Compiled });
     }
 
     /// Whether the interpreter oracle is selected.
     pub fn interpreted(&self) -> bool {
-        self.interpreted
+        self.engine == Engine::Interpreted
     }
 
     /// A packet shaped for this switch's slot table, for reuse with
@@ -338,19 +410,26 @@ impl Switch {
         out.clear();
         pkt.ensure_slots(&self.compiled.slots);
         pkt.reset();
-        if self.interpreted {
-            self.parse_interp(wire, pkt)?;
-            let controls = self.program.controls.clone();
-            for control in &controls {
-                let apply = control.apply.clone();
-                self.exec_stmts(&apply, control, pkt)?;
+        match self.engine {
+            Engine::Interpreted => {
+                self.parse_interp(wire, pkt)?;
+                let controls = self.program.controls.clone();
+                for control in &controls {
+                    let apply = control.apply.clone();
+                    self.exec_stmts(&apply, control, pkt)?;
+                }
+                self.deparse_interp(pkt, out)
             }
-            self.deparse_interp(pkt, out)
-        } else {
-            // Split borrows: the compiled program and the runtime state are
+            // Split borrows: the program forms and the runtime state are
             // disjoint fields, so no per-packet `Arc` refcount traffic.
-            let Switch { compiled, st, .. } = self;
-            run_compiled(compiled, wire, pkt, out, st)
+            Engine::Compiled => {
+                let Switch { compiled, st, .. } = self;
+                run_compiled(compiled, wire, pkt, out, st)
+            }
+            Engine::Threaded => {
+                let Switch { threaded, st, .. } = self;
+                threaded::run_threaded(threaded, wire, pkt, out, st)
+            }
         }
     }
 
@@ -360,10 +439,55 @@ impl Switch {
     /// recording per-packet outcomes and outputs in the batch. Semantically
     /// identical to calling [`Switch::process_into`] once per packet — the
     /// differential tests assert outputs, errors, and counters match — but
-    /// the slot-table setup, counter updates, and program borrow are
-    /// amortized over the batch on the compiled engine.
+    /// executed **phase-split** on the compiled/threaded engines: parse
+    /// sweeps the whole batch over the contiguous wire arena, then the op
+    /// stream runs per packet *in order* (register/RNG mutation order is
+    /// observable), then deparse sweeps again. Parse and deparse touch no
+    /// cross-packet state, so hoisting them is unobservable, and each
+    /// phase runs its one specialized loop branch-predictably over the
+    /// batch instead of interleaving three (DESIGN.md §14).
+    ///
+    /// Falls back to the per-packet loop when the interpreter oracle or
+    /// per-packet timing is active (timing needs a whole-pipeline stopwatch
+    /// per packet).
     pub fn process_batch(&mut self, batch: &mut PacketBatch) {
-        let _ = self.process_batch_from(batch, 0, |_| false);
+        if self.engine == Engine::Interpreted || self.timing.is_some() {
+            let _ = self.process_batch_from(batch, 0, |_| false);
+            return;
+        }
+        let Switch { compiled, threaded, st, packets_processed, engine, .. } = self;
+        let cp: &CompiledProgram = compiled;
+        batch.prepare_split(&cp.slots);
+        let n = batch.len();
+        // Each engine gets its own monomorphized phase loops (the closure
+        // args devirtualize at the call sites below).
+        let errors = {
+            let parts = batch.phase_parts();
+            match engine {
+                Engine::Threaded => run_phases(
+                    parts,
+                    st,
+                    |wire, pkt, _| threaded::parse_threaded(threaded, wire, pkt),
+                    |pkt, st| threaded::exec_threaded(threaded, pkt, st),
+                    |pkt, out| threaded::deparse_threaded(threaded, pkt, out),
+                ),
+                _ => run_phases(
+                    parts,
+                    st,
+                    |wire, pkt, st| parse_compiled(cp, wire, pkt, st),
+                    |pkt, st| {
+                        cp.applies.iter().try_for_each(|&region| exec_region(cp, region, pkt, st))
+                    },
+                    |pkt, out| deparse_compiled(cp, pkt, out),
+                ),
+            }
+        };
+        if errors > 0 {
+            batch.note_errors();
+        }
+        st.counters.packets += n as u64;
+        st.counters.errors += errors;
+        *packets_processed += n as u64;
     }
 
     /// Batched processing with an early-stop predicate, for callers that
@@ -385,7 +509,7 @@ impl Switch {
     ) -> Option<usize> {
         batch.prepare(&self.compiled.slots);
         let end = batch.len();
-        if self.interpreted {
+        if self.engine == Engine::Interpreted {
             // The oracle runs the scalar entry point per packet: it exists
             // to be obviously equivalent, not fast.
             for i in start..end {
@@ -402,7 +526,7 @@ impl Switch {
             }
             return None;
         }
-        let Switch { compiled, st, timing, packets_processed, .. } = self;
+        let Switch { compiled, threaded, st, timing, packets_processed, engine, .. } = self;
         let cp: &CompiledProgram = compiled;
         let mut done = 0u64;
         let mut stopped = None;
@@ -414,7 +538,10 @@ impl Switch {
                 // `prepare` already shaped the packet; skip `ensure_slots`.
                 out.clear();
                 pkt.reset();
-                let r = run_compiled(cp, wire, pkt, out, st);
+                let r = match engine {
+                    Engine::Threaded => threaded::run_threaded(threaded, wire, pkt, out, st),
+                    _ => run_compiled(cp, wire, pkt, out, st),
+                };
                 let hit = r.is_ok() && stop(out);
                 (r, hit)
             };
@@ -765,6 +892,72 @@ impl Switch {
 }
 
 // ---- compiled fast path -------------------------------------------------
+
+/// The phase-split batch pipeline, monomorphized per engine via the three
+/// phase closures. Sweeps [`crate::batch::PHASE_WINDOW`]-sized windows: within a window
+/// every packet is parsed, then executed strictly in order, then
+/// deparsed — so each phase runs one specialized loop branch-predictably,
+/// while the live parsed state stays bounded (the window's scratch
+/// packets) and L1-warm for the exec pass no matter the batch size.
+/// Windows run in packet order, so the observable order of register/RNG
+/// mutations is exactly the scalar loop's.
+#[allow(clippy::type_complexity)]
+fn run_phases<P, E, D>(
+    parts: (&[u8], &[(u32, u32)], &mut [Packet], &mut [Vec<u8>], &mut [Result<(), SwitchError>]),
+    st: &mut RuntimeState,
+    parse: P,
+    exec: E,
+    deparse: D,
+) -> u64
+where
+    P: Fn(&[u8], &mut Packet, &mut RuntimeState) -> Result<(), SwitchError>,
+    E: Fn(&mut Packet, &mut RuntimeState) -> Result<(), SwitchError>,
+    D: Fn(&Packet, &mut Vec<u8>) -> Result<(), SwitchError>,
+{
+    let (arena, ranges, pkts, outs, outcomes) = parts;
+    let n = ranges.len();
+    let window = pkts.len();
+    let mut errors = 0u64;
+    let mut base = 0usize;
+    while base < n {
+        let hi = (base + window).min(n);
+        // Phase 1: parse the window off the shared arena.
+        for i in base..hi {
+            let pkt = &mut pkts[i - base];
+            pkt.reset();
+            let (s, l) = ranges[i];
+            if let Err(e) = parse(&arena[s as usize..(s + l) as usize], pkt, st) {
+                outcomes[i] = Err(e);
+                errors += 1;
+            }
+        }
+        // Phase 2: execute, strictly in packet order.
+        for i in base..hi {
+            if outcomes[i].is_err() {
+                continue;
+            }
+            if let Err(e) = exec(&mut pkts[i - base], st) {
+                outcomes[i] = Err(e);
+                errors += 1;
+            }
+        }
+        // Phase 3: deparse the survivors (outputs cleared for every
+        // attempted packet, exactly like the scalar loop).
+        for i in base..hi {
+            let out = &mut outs[i];
+            out.clear();
+            if outcomes[i].is_err() {
+                continue;
+            }
+            if let Err(e) = deparse(&pkts[i - base], out) {
+                outcomes[i] = Err(e);
+                errors += 1;
+            }
+        }
+        base = hi;
+    }
+    errors
+}
 
 /// One full parse → ingress → deparse run on the compiled engine. Shared
 /// by the scalar ([`Switch::process_into`]) and batched

@@ -287,6 +287,7 @@ pub struct NetworkBuilder {
     faults: Vec<(u64, Fault)>,
     restart_hooks: HashMap<u16, RestartHook>,
     obs: Option<ObsConfig>,
+    engine: Option<netcl_bmv2::Engine>,
 }
 
 impl NetworkBuilder {
@@ -347,6 +348,14 @@ impl NetworkBuilder {
         self
     }
 
+    /// Selects the execution engine for every device in the network
+    /// (default: each switch keeps its own setting — normally
+    /// [`netcl_bmv2::Engine::Threaded`]). Device restarts preserve it.
+    pub fn engine(mut self, engine: netcl_bmv2::Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
     /// Builds the network.
     pub fn build(self) -> Network {
         let obs = self.obs.map(|cfg| {
@@ -368,7 +377,10 @@ impl NetworkBuilder {
             NetObs { trace, ..NetObs::default() }
         });
         let mut devices = HashMap::new();
-        for (id, switch, latency_ns) in self.devices {
+        for (id, mut switch, latency_ns) in self.devices {
+            if let Some(engine) = self.engine {
+                switch.set_engine(engine);
+            }
             let pkt = switch.new_packet();
             devices.insert(
                 id,
@@ -629,8 +641,12 @@ impl Network {
                 self.failed.remove(&d);
                 if let Some(node) = self.devices.get_mut(&d) {
                     // Factory state: zeroed registers, program-initial
-                    // tables — everything volatile is gone.
+                    // tables — everything volatile is gone. The selected
+                    // execution engine is configuration, not volatile
+                    // state: it survives the restart.
+                    let engine = node.switch.engine();
                     node.switch = Switch::new(node.switch.program().clone());
+                    node.switch.set_engine(engine);
                     node.pkt = node.switch.new_packet();
                     self.stats.device_restarts += 1;
                     // The registered controller hook repopulates `_managed_`
@@ -742,6 +758,7 @@ impl Network {
         };
         self.stats.node(NodeId::Device(dev)).delivered += 1;
         let node = self.devices.get_mut(&dev).expect("checked above");
+        let backend = node.switch.engine().name();
         let runtime = node.runtime;
         if !runtime.should_compute(&msg) {
             // No implicit computation: transit toward the target (§IV).
@@ -807,6 +824,7 @@ impl Network {
                             ("recircs", Value::U64(passes - 1)),
                             ("src", Value::U64(msg.src as u64)),
                             ("dst", Value::U64(msg.dst as u64)),
+                            ("backend", Value::Str(backend.to_string())),
                         ],
                     );
                 }
@@ -899,6 +917,7 @@ impl Network {
         }
 
         // Phase C.
+        let backend = self.devices.get(&dev).map(|n| n.switch.engine().name()).unwrap_or("unknown");
         let mut outcomes = results.into_iter();
         for entry in plan.drain(..) {
             match entry {
@@ -931,6 +950,7 @@ impl Network {
                                         ("recircs", Value::U64(passes - 1)),
                                         ("src", Value::U64(src as u64)),
                                         ("dst", Value::U64(dst as u64)),
+                                        ("backend", Value::Str(backend.to_string())),
                                     ],
                                 );
                             }

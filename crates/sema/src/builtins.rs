@@ -142,6 +142,7 @@ impl AtomicRmw {
     /// Applies the RMW to `old` with operands `ops`, at width `ty`, returning
     /// the new memory value. (Shared by the IR interpreter and bmv2's
     /// RegisterAction evaluation, so semantics are defined exactly once.)
+    #[inline]
     pub fn apply(self, old: u64, ops: &[u64], ty: Ty) -> u64 {
         let m = |v: u64| ty.wrap(v);
         match self {
@@ -221,6 +222,7 @@ impl AtomicOp {
     }
 
     /// Executes against `old`, returning `(new_memory, returned_value)`.
+    #[inline]
     pub fn execute(self, old: u64, cond: bool, ops: &[u64], ty: Ty) -> (u64, u64) {
         let enabled = !self.cond || cond;
         let new = if enabled { self.rmw.apply(old, ops, ty) } else { old };
@@ -293,6 +295,7 @@ impl HashKind {
     }
 
     /// Computes the hash of a key's little-endian bytes, folded to `bits`.
+    #[inline]
     pub fn compute(self, key: u64, key_bytes: u32, bits: u8) -> u64 {
         let le = key.to_le_bytes();
         let data = &le[..key_bytes.min(8) as usize];

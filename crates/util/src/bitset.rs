@@ -28,6 +28,7 @@ impl BitSet {
     }
 
     /// Sets bit `i`, returning whether it changed.
+    #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
         assert!(i < self.len, "bit {i} out of range {}", self.len);
         let (w, b) = (i / 64, i % 64);
@@ -37,6 +38,7 @@ impl BitSet {
     }
 
     /// Clears bit `i`, returning whether it changed.
+    #[inline]
     pub fn remove(&mut self, i: usize) -> bool {
         assert!(i < self.len, "bit {i} out of range {}", self.len);
         let (w, b) = (i / 64, i % 64);
@@ -46,6 +48,7 @@ impl BitSet {
     }
 
     /// Whether bit `i` is set.
+    #[inline]
     pub fn contains(&self, i: usize) -> bool {
         if i >= self.len {
             return false;

@@ -9,6 +9,13 @@
 //!
 //! The matrix size defaults to 64 and can be overridden with
 //! `NETCL_CHAOS_SEEDS` (e.g. `NETCL_CHAOS_SEEDS=8` for a quick local run).
+//!
+//! Engines: every safety test below runs on the **direct-threaded**
+//! backend — it is the `Switch` default (DESIGN.md §14) — and
+//! `batched_delivery_equals_scalar_under_chaos_all_apps` additionally runs
+//! an explicit engine matrix (threaded × compiled, batched × scalar),
+//! asserting all four runs produce identical `NetStats` and
+//! `SwitchCounters`.
 
 use std::sync::Arc;
 
@@ -238,7 +245,7 @@ fn replay_is_deterministic_cache() {
 /// the device's `SwitchCounters` must match field-for-field.
 #[test]
 fn batched_delivery_equals_scalar_under_chaos_all_apps() {
-    use netcl_bmv2::Switch;
+    use netcl_bmv2::{Engine, Switch};
     use netcl_net::topo::star;
     use netcl_net::{Fault, NetworkBuilder};
     use netcl_runtime::message::Message;
@@ -247,11 +254,12 @@ fn batched_delivery_equals_scalar_under_chaos_all_apps() {
         let unit = compile(app.name, &app.netcl_source);
         let p4 = unit.device(app.device).expect("kernel device").tna_p4.clone();
         let dev = app.device;
-        let run = |scalar: bool, seed: u64| {
+        let run = |scalar: bool, engine: Engine, seed: u64| {
             let topo = star(dev, &[1, 2], chaos_link());
             let mut net = NetworkBuilder::new(topo)
                 .seed(seed)
                 .device(dev, Switch::new(p4.clone()), 500)
+                .engine(engine)
                 .sink_host(1)
                 .sink_host(2)
                 .fault(40_000, Fault::DeviceFail(dev))
@@ -272,25 +280,60 @@ fn batched_delivery_equals_scalar_under_chaos_all_apps() {
                 }
             }
             net.run(500_000);
-            (net.stats.clone(), net.switch(dev).unwrap().counters().clone())
-        };
-        for seed in [1u64, 7, 42] {
-            let batched = run(false, seed);
-            let scalar = run(true, seed);
-            assert!(
-                batched == scalar,
-                "{}: batched delivery diverged from scalar at seed {seed}:\n{:#?}\nvs\n{:#?}",
-                app.name,
-                batched,
-                scalar
-            );
-            assert!(batched.0.kernel_executions > 0, "{}: no kernel traffic", app.name);
-            assert_eq!(batched.0.device_restarts, 1, "{}: restart fault must fire", app.name);
-            assert!(
-                batched.1.packets > 0,
-                "{}: the restarted switch must still see packets",
+            assert_eq!(
+                net.switch(dev).unwrap().engine(),
+                engine,
+                "{}: engine selection must survive the device restart",
                 app.name
             );
+            (net.stats.clone(), net.switch(dev).unwrap().counters().clone())
+        };
+        // Engine matrix: the threaded default and the compiled pc-loop
+        // must each hold batched ≡ scalar — and all four runs must agree
+        // with each other (threaded ≡ compiled under chaos).
+        for seed in [1u64, 7, 42] {
+            let mut first: Option<(netcl_net::NetStats, netcl_bmv2::SwitchCounters)> = None;
+            for engine in [Engine::Threaded, Engine::Compiled] {
+                let batched = run(false, engine, seed);
+                let scalar = run(true, engine, seed);
+                assert!(
+                    batched == scalar,
+                    "{} [{}]: batched delivery diverged from scalar at seed {seed}:\n\
+                     {:#?}\nvs\n{:#?}",
+                    app.name,
+                    engine.name(),
+                    batched,
+                    scalar
+                );
+                assert_eq!(
+                    batched.1.backend,
+                    engine.name(),
+                    "{}: counters must carry the engine label",
+                    app.name
+                );
+                if let Some(prev) = &first {
+                    assert!(
+                        *prev == batched,
+                        "{}: engines diverged at seed {seed}:\n{:#?}\nvs\n{:#?}",
+                        app.name,
+                        prev,
+                        batched
+                    );
+                } else {
+                    assert!(batched.0.kernel_executions > 0, "{}: no kernel traffic", app.name);
+                    assert_eq!(
+                        batched.0.device_restarts, 1,
+                        "{}: restart fault must fire",
+                        app.name
+                    );
+                    assert!(
+                        batched.1.packets > 0,
+                        "{}: the restarted switch must still see packets",
+                        app.name
+                    );
+                    first = Some(batched);
+                }
+            }
         }
     }
 }

@@ -3,7 +3,7 @@
 use netcl::sema::model::{SpecItem, Specification};
 use netcl::sema::Ty;
 use netcl::{CompileOptions, Compiler};
-use netcl_bmv2::Switch;
+use netcl_bmv2::{Engine, Switch};
 use netcl_runtime::message::{pack, unpack, Message};
 use proptest::prelude::*;
 
@@ -100,6 +100,7 @@ proptest! {
         };
         for (name, program) in programs {
             let mut fast = Switch::new(program.clone());
+            fast.set_engine(Engine::Compiled);
             let mut oracle = Switch::new(program.clone());
             oracle.set_interpreted(true);
             for _ in 0..6 {
@@ -170,43 +171,144 @@ proptest! {
             z ^ (z >> 31)
         };
         for (name, program) in programs {
-            let mut scalar = Switch::new(program.clone());
-            let mut batched = Switch::new(program.clone());
-            let wires: Vec<Vec<u8>> = (0..8)
-                .map(|_| {
-                    let len = (next() % 160) as usize;
-                    (0..len).map(|_| next() as u8).collect()
+            // Both fast engines must hold batched ≡ scalar (the threaded
+            // default takes the phase-split path; so does compiled).
+            for engine in [Engine::Threaded, Engine::Compiled] {
+                let mut scalar = Switch::new(program.clone());
+                scalar.set_engine(engine);
+                let mut batched = Switch::new(program.clone());
+                batched.set_engine(engine);
+                let wires: Vec<Vec<u8>> = (0..8)
+                    .map(|_| {
+                        let len = (next() % 160) as usize;
+                        (0..len).map(|_| next() as u8).collect()
+                    })
+                    .collect();
+                let mut batch = PacketBatch::new();
+                for w in &wires {
+                    batch.push(w);
+                }
+                batched.process_batch(&mut batch);
+                let mut pkt = scalar.new_packet();
+                for (i, w) in wires.iter().enumerate() {
+                    let mut out = Vec::new();
+                    let r = scalar.process_into(w, &mut pkt, &mut out);
+                    prop_assert_eq!(
+                        &r, batch.outcome(i),
+                        "{} [{}]: outcome diverges on packet {} ({:?})",
+                        name, engine.name(), i, w
+                    );
+                    if r.is_ok() {
+                        prop_assert_eq!(
+                            out.as_slice(), batch.output(i),
+                            "{} [{}]: output bytes diverge on packet {}", name, engine.name(), i
+                        );
+                    }
+                }
+                prop_assert_eq!(
+                    scalar.counters(), batched.counters(),
+                    "{} [{}]: SwitchCounters diverge", name, engine.name()
+                );
+                let sr: Vec<(String, Vec<u64>)> =
+                    scalar.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+                let br: Vec<(String, Vec<u64>)> =
+                    batched.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+                prop_assert_eq!(sr, br, "{} [{}]: register state diverges", name, engine.name());
+            }
+        }
+    }
+
+    /// The direct-threaded backend ≡ the compiled pc-loop ≡ the
+    /// tree-walking interpreter, packet for packet, for every Table III
+    /// application plus a recirculating `ncl::repeat` kernel, on random
+    /// wires (valid, truncated, and garbage alike): same output bytes,
+    /// same error values, same `SwitchCounters`, same final registers.
+    #[test]
+    fn threaded_matches_compiled_and_interpreter_all_apps(seed in any::<u64>()) {
+        static PROGRAMS: std::sync::OnceLock<Vec<(String, netcl_p4::P4Program)>> =
+            std::sync::OnceLock::new();
+        let programs = PROGRAMS.get_or_init(|| {
+            let mut ps: Vec<(String, netcl_p4::P4Program)> = netcl_apps::all_apps()
+                .into_iter()
+                .map(|app| {
+                    let unit = Compiler::new(CompileOptions::default())
+                        .compile(app.name, &app.netcl_source)
+                        .unwrap();
+                    let p4 = unit.device(app.device).expect("kernel device").tna_p4.clone();
+                    (app.name.to_string(), p4)
                 })
                 .collect();
-            let mut batch = PacketBatch::new();
-            for w in &wires {
-                batch.push(w);
-            }
-            batched.process_batch(&mut batch);
-            let mut pkt = scalar.new_packet();
-            for (i, w) in wires.iter().enumerate() {
-                let mut out = Vec::new();
-                let r = scalar.process_into(w, &mut pkt, &mut out);
-                prop_assert_eq!(
-                    &r, batch.outcome(i),
-                    "{}: outcome diverges on packet {} ({:?})", name, i, w
-                );
-                if r.is_ok() {
-                    prop_assert_eq!(
-                        out.as_slice(), batch.output(i),
-                        "{}: output bytes diverge on packet {}", name, i
-                    );
+            // `ncl::repeat()` coverage: no Table III app recirculates.
+            let spin = Compiler::new(CompileOptions::default())
+                .compile(
+                    "spin.ncl",
+                    "_kernel(1) _at(1) void spin(unsigned k, unsigned &n) {\n\
+                       n = n + 1;\n\
+                       if (n < 3) return ncl::repeat();\n\
+                       return ncl::reflect();\n\
+                     }\n",
+                )
+                .unwrap();
+            ps.push(("spin".to_string(), spin.devices[0].tna_p4.clone()));
+            ps
+        });
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for (name, program) in programs {
+            let mut threaded = Switch::new(program.clone());
+            prop_assert_eq!(threaded.engine(), Engine::Threaded, "threaded is the default");
+            let mut compiled = Switch::new(program.clone());
+            compiled.set_engine(Engine::Compiled);
+            let mut oracle = Switch::new(program.clone());
+            oracle.set_engine(Engine::Interpreted);
+            for _ in 0..6 {
+                let len = (next() % 160) as usize;
+                let wire: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+                let rt = threaded.process(&wire);
+                let rc = compiled.process(&wire);
+                let ro = oracle.process(&wire);
+                match (&rt, &rc, &ro) {
+                    (Ok((_, ot)), Ok((_, oc)), Ok((_, oo))) => {
+                        prop_assert_eq!(ot, oc, "{name}: threaded/compiled outputs on {wire:?}");
+                        prop_assert_eq!(ot, oo, "{name}: threaded/oracle outputs on {wire:?}");
+                    }
+                    (Err(et), Err(ec), Err(eo)) => {
+                        prop_assert_eq!(et, ec, "{name}: threaded/compiled errors on {wire:?}");
+                        prop_assert_eq!(et, eo, "{name}: threaded/oracle errors on {wire:?}");
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "{name}: engines disagree about failing {wire:?}: \
+                         {rt:?} vs {rc:?} vs {ro:?}"
+                    ),
                 }
             }
             prop_assert_eq!(
-                scalar.counters(), batched.counters(),
-                "{}: SwitchCounters diverge", name
+                threaded.counters(), compiled.counters(),
+                "{}: threaded/compiled counters diverge", name
             );
-            let sr: Vec<(String, Vec<u64>)> =
-                scalar.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
-            let br: Vec<(String, Vec<u64>)> =
-                batched.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
-            prop_assert_eq!(sr, br, "{}: register state diverges", name);
+            prop_assert_eq!(
+                threaded.counters(), oracle.counters(),
+                "{}: threaded/oracle counters diverge", name
+            );
+            // The backend label is the one field that must differ.
+            prop_assert_eq!(threaded.counters().backend, "threaded");
+            prop_assert_eq!(compiled.counters().backend, "compiled");
+            prop_assert_eq!(oracle.counters().backend, "interpreted");
+            let tr: Vec<(String, Vec<u64>)> =
+                threaded.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+            let cr: Vec<(String, Vec<u64>)> =
+                compiled.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+            let orr: Vec<(String, Vec<u64>)> =
+                oracle.registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+            prop_assert_eq!(&tr, &cr, "{}: threaded/compiled registers diverge", name);
+            prop_assert_eq!(&tr, &orr, "{}: threaded/oracle registers diverge", name);
         }
     }
 
