@@ -1,0 +1,259 @@
+//! Events/sec of the sharded discrete-event simulator on a fat-tree
+//! workload — 1, 2, 4, and 8 shards over the same run (DESIGN.md §15).
+//!
+//! Run `cargo run --release -p netcl-bench --bin sim_sharded` to measure a
+//! k=36 fat-tree (11 664 hosts, 1 620 switches) and merge a `sim_sharded`
+//! section into `BENCH_switch.json` at the repository root (run the
+//! `throughput` binary first — it rewrites the whole file). Pass `--smoke`
+//! for a seconds-scale CI run (k=8, fewer flows) that prints results
+//! without touching the file.
+//!
+//! Every shard count is first cross-checked for exactness: the merged
+//! `NetStats` must be byte-identical to the 1-shard run — the bench
+//! doubles as a large-topology determinism gate, and exits nonzero on any
+//! divergence.
+//!
+//! Two rates are reported per shard count:
+//!
+//! - `wall_eps`: events / wall-clock seconds of `run()`. On a multi-core
+//!   host this shows the parallel speedup directly; on a single-core
+//!   container the threads serialize and it shows only overhead.
+//! - `critical_path_eps`: events / Σ per-round max shard busy time — the
+//!   wall time an adequately provisioned host would see, measured (not
+//!   modeled) from each shard's actual busy intervals. This is the
+//!   scaling number quoted in EXPERIMENTS.md, labeled as such.
+
+use std::time::Instant;
+
+use netcl_apps::calc;
+use netcl_bmv2::Switch;
+use netcl_net::topo::LinkSpec;
+use netcl_net::{FatTree, Flow, NetStats, NetworkBuilder, Zipf};
+use netcl_runtime::message::{pack, Message};
+
+/// One flow rendered to wire bytes: a CALC request computing at the
+/// destination host's edge switch, whose reply reflects back to the source.
+fn calc_packet(src: u16, dst: u16, dev: u16, a: u64, b: u64) -> Vec<u8> {
+    let m = Message::new(src, dst, 1, dev);
+    pack(&m, &calc::spec(), &[Some(&[calc::OP_ADD]), Some(&[a]), Some(&[b]), None]).expect("packs")
+}
+
+/// The edge switch serving host index `idx` (hosts are pod-major,
+/// `k/2` per edge switch).
+fn edge_of(ft: &FatTree, idx: usize) -> u16 {
+    let half = (ft.k / 2) as usize;
+    let pod = idx / (half * half);
+    let within = (idx % (half * half)) / half;
+    ft.edge_by_pod[pod][within]
+}
+
+struct RunResult {
+    shards: usize,
+    stats: NetStats,
+    wall_s: f64,
+    critical_path_s: f64,
+    rounds: u64,
+}
+
+/// Builds the network fresh (switch state must not leak across shard
+/// counts), injects the flow schedule, runs to completion, and measures.
+///
+/// Each shard count runs twice — the threaded runner for wall clock, the
+/// sequential runner for the critical path. On a single-core container
+/// the threaded runner's per-shard busy windows absorb preemption while
+/// another shard's thread holds the CPU; the sequential runner executes
+/// the identical round/window schedule with no thread handoffs, so its
+/// per-round max-busy sum measures the actual computational depth. The
+/// two runs must also produce identical `NetStats` (the threaded ≡
+/// sequential determinism contract, here at 10⁴-host scale).
+fn run_once(
+    ft: &FatTree,
+    p4: &netcl_p4::ast::P4Program,
+    flows: &[Flow],
+    zipf_n: usize,
+    shards: usize,
+) -> RunResult {
+    let threaded = measure_run(ft, p4, flows, zipf_n, shards, true);
+    if shards == 1 {
+        return threaded;
+    }
+    let sequential = measure_run(ft, p4, flows, zipf_n, shards, false);
+    if threaded.stats != sequential.stats {
+        eprintln!(
+            "DIVERGENCE: {shards}-shard threaded vs sequential NetStats:\n{:#?}\nvs\n{:#?}",
+            threaded.stats, sequential.stats
+        );
+        std::process::exit(1);
+    }
+    RunResult {
+        shards,
+        stats: threaded.stats,
+        wall_s: threaded.wall_s,
+        critical_path_s: sequential.critical_path_s,
+        rounds: sequential.rounds,
+    }
+}
+
+fn measure_run(
+    ft: &FatTree,
+    p4: &netcl_p4::ast::P4Program,
+    flows: &[Flow],
+    zipf_n: usize,
+    shards: usize,
+    threaded: bool,
+) -> RunResult {
+    let mut b = NetworkBuilder::new(ft.topology.clone()).seed(1);
+    for pod in ft.edge_by_pod.iter().chain(ft.agg_by_pod.iter()) {
+        for &d in pod {
+            b = b.device(d, Switch::new(p4.clone()), 500);
+        }
+    }
+    for &c in &ft.core {
+        b = b.device(c, Switch::new(p4.clone()), 500);
+    }
+    for &h in &ft.hosts {
+        b = b.sink_host(h);
+    }
+    let mut net = b.build_sharded(ft.partition(shards)).expect("valid partition");
+    net.set_threaded(threaded);
+    for f in flows {
+        // Scatter Zipf ranks across the tree with a multiplicative
+        // permutation (the constant is prime, hence coprime with any
+        // smaller host count): without it the entire Zipf head lands in
+        // pod 0 and shard 0 carries ~2/3 of the run.
+        let dst_idx = ((f.key as usize - 1) * 2654435761) % zipf_n;
+        let dst = ft.hosts[dst_idx];
+        let dev = edge_of(ft, dst_idx);
+        net.send_from_host(f.src, f.at_ns, calc_packet(f.src, dst, dev, f.key, f.at_ns));
+    }
+    let start = Instant::now();
+    net.run(100_000_000);
+    let wall_s = start.elapsed().as_secs_f64();
+    if std::env::var("NETCL_SIM_DEBUG").is_ok() {
+        let busy: Vec<f64> = net.busy_ns().iter().map(|&b| b as f64 / 1e9).collect();
+        eprintln!(
+            "debug: shards={shards} threaded={threaded} busy={busy:?} sum={:.3}s events/shard={:?}",
+            busy.iter().sum::<f64>(),
+            net.shard_stats().iter().map(|s| s.events).collect::<Vec<_>>(),
+        );
+    }
+    RunResult {
+        shards,
+        stats: net.stats(),
+        wall_s,
+        critical_path_s: net.critical_path_ns() as f64 / 1e9,
+        rounds: net.rounds(),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("error: unknown argument `{other}` (expected `--smoke`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (mut k, mut nflows) = if smoke { (8u16, 2_000usize) } else { (36, 20_000) };
+    if let Some(v) = std::env::var("NETCL_SIM_K").ok().and_then(|s| s.parse().ok()) {
+        k = v;
+    }
+    if let Some(v) = std::env::var("NETCL_SIM_FLOWS").ok().and_then(|s| s.parse().ok()) {
+        nflows = v;
+    }
+    let ft = FatTree::new(k, LinkSpec::default()).expect("even arity");
+    println!(
+        "fat-tree k={k}: {} hosts, {} switches, {} flows",
+        ft.num_hosts(),
+        ft.core.len() + ft.num_hosts() / ((k as usize / 2) * (k as usize / 2)) * (k as usize),
+        nflows
+    );
+
+    let unit = netcl_apps::compile("calc.ncl", &calc::netcl_source());
+    let p4 = &unit.devices[0].tna_p4;
+
+    // Sources are a strided subset of hosts (clients), destinations are
+    // Zipf-popular (CACHE-style skew); the schedule is pure f(seed).
+    let sources: Vec<u16> = ft.hosts.iter().copied().step_by(16).collect();
+    let zipf = Zipf::new(ft.num_hosts(), 0.99);
+    let flows = netcl_net::workload::zipf_flows(7, &sources, &zipf, nflows, 10);
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let r = run_once(&ft, p4, &flows, zipf.n(), shards);
+        println!(
+            "{} shard(s): {:>9} events  wall {:>7.3}s ({:>10.0} ev/s)  \
+             critical-path {:>7.3}s ({:>10.0} ev/s)  {:>5} rounds",
+            r.shards,
+            r.stats.events,
+            r.wall_s,
+            r.stats.events as f64 / r.wall_s,
+            r.critical_path_s,
+            r.stats.events as f64 / r.critical_path_s.max(1e-9),
+            r.rounds,
+        );
+        if let Some(first) = results.first() {
+            if r.stats != first.stats {
+                eprintln!(
+                    "DIVERGENCE: {}-shard NetStats differ from 1-shard:\n{:#?}\nvs\n{:#?}",
+                    r.shards, r.stats, first.stats
+                );
+                std::process::exit(1);
+            }
+        } else {
+            assert!(r.stats.kernel_executions > 0, "flows must exercise kernels");
+            assert_eq!(r.stats.unroutable, 0, "fat-tree must route everything");
+        }
+        results.push(r);
+    }
+    println!("determinism cross-check: all shard counts produced identical NetStats");
+
+    if smoke {
+        println!("smoke run: not writing BENCH_switch.json");
+        return;
+    }
+
+    let mut section = String::from("{\n");
+    section.push_str(&format!(
+        "    \"topology\": \"fat-tree\", \"k\": {k}, \"hosts\": {}, \"flows\": {nflows},\n",
+        ft.num_hosts()
+    ));
+    section.push_str("    \"rows\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        section.push_str(&format!(
+            "      {{\"shards\": {}, \"events\": {}, \"wall_s\": {:.3}, \
+             \"wall_eps\": {:.0}, \"critical_path_s\": {:.3}, \
+             \"critical_path_eps\": {:.0}, \"rounds\": {}}}{}\n",
+            r.shards,
+            r.stats.events,
+            r.wall_s,
+            r.stats.events as f64 / r.wall_s,
+            r.critical_path_s,
+            r.stats.events as f64 / r.critical_path_s.max(1e-9),
+            r.rounds,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    section.push_str("    ]\n  }");
+
+    let path = "BENCH_switch.json";
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path} ({e}); run the throughput binary first");
+        std::process::exit(1);
+    });
+    // The sim_sharded section is always the last top-level key: strip an
+    // existing one (or the closing brace) and re-append.
+    let base = match json.find(",\n  \"sim_sharded\":") {
+        Some(i) => json[..i].to_string(),
+        None => {
+            let t = json.trim_end();
+            t.strip_suffix('}').expect("JSON object").trim_end().to_string()
+        }
+    };
+    std::fs::write(path, format!("{base},\n  \"sim_sharded\": {section}\n}}\n"))
+        .expect("write BENCH_switch.json");
+    println!("merged sim_sharded section into {path}");
+}

@@ -14,12 +14,17 @@
 //! §12 covers the opt-in observability layer ([`NetworkBuilder::observe`]).
 
 pub mod fault;
+mod route;
+pub mod shard;
 pub mod sim;
 pub mod topo;
+pub mod workload;
 
 pub use fault::{Fault, FaultSchedule};
+pub use shard::{Partition, ShardedNetwork};
 pub use sim::{
     HostEvent, HostHandler, NetObs, NetStats, Network, NetworkBuilder, NodeCounters, ObsConfig,
     Outbox, RestartHook,
 };
 pub use topo::{LinkSpec, NodeId, Topology};
+pub use workload::{FatTree, Flow, Straggler, WorkloadRng, Zipf};

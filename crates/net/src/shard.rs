@@ -1,0 +1,564 @@
+//! Sharded parallel simulation with conservative lookahead (DESIGN.md §15).
+//!
+//! The topology is partitioned into shards; each shard is a full
+//! [`Network`] that owns a subset of the nodes and runs the ordinary
+//! event loop over them. Shards only interact through *arrivals* that
+//! cross a partition boundary, and every such arrival is at least one
+//! inter-shard link latency in the future — so a shard may safely process
+//! every event strictly earlier than
+//!
+//! ```text
+//! H_s = min over shards t ≠ s of (next_event_time(t) + dist(t, s))
+//! ```
+//!
+//! where `dist` is the all-pairs shortest path over the shard graph with
+//! edge weights equal to the minimum latency of the links crossing each
+//! boundary (Floyd–Warshall, so multi-hop chains through intermediate
+//! shards are bounded correctly). This is classic conservative
+//! (CMB/YAWNS-style) synchronization: windows of independent work
+//! separated by barriers where cross-shard arrivals are exchanged.
+//!
+//! Determinism is inherited, not re-proven: event keys (`EventSrc`) are
+//! locally derivable and unique, chaos RNG streams are per sending node,
+//! and the fault schedule is replicated into every shard with identical
+//! keys — so each shard reproduces exactly the per-node event sequence of
+//! the scalar run, and the merged run is byte-identical to
+//! [`NetworkBuilder::build`] + [`Network::run`] with the same
+//! `(seed, schedule)`. The determinism suite (`tests/determinism.rs`)
+//! asserts this for every app, both shard runners, under chaos.
+
+use crate::fault::Fault;
+use crate::sim::{ExternalEvent, NetObs, NetStats, Network, NetworkBuilder, XsEvent};
+use crate::topo::{NodeId, Topology};
+use netcl_bmv2::Switch;
+use netcl_obs::trace::Trace;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
+use std::time::Instant;
+
+// The threaded runner hands each shard to its own thread.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Network>();
+};
+
+/// An assignment of every node to exactly one shard.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    groups: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// A partition from explicit per-shard node groups.
+    pub fn new(groups: Vec<Vec<NodeId>>) -> Partition {
+        Partition { groups }
+    }
+
+    /// Deals `nodes` round-robin across `shards` groups — a quick way to
+    /// shard an arbitrary topology for tests.
+    pub fn round_robin(nodes: &[NodeId], shards: usize) -> Partition {
+        let mut groups = vec![Vec::new(); shards.max(1)];
+        for (i, &n) in nodes.iter().enumerate() {
+            groups[i % shards.max(1)].push(n);
+        }
+        Partition { groups }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The per-shard node groups.
+    pub fn groups(&self) -> &[Vec<NodeId>] {
+        &self.groups
+    }
+
+    /// The node → shard map, rejecting duplicate assignments.
+    fn shard_of(&self) -> Result<HashMap<NodeId, usize>, String> {
+        let mut m = HashMap::new();
+        for (i, g) in self.groups.iter().enumerate() {
+            for &n in g {
+                if m.insert(n, i).is_some() {
+                    return Err(format!("node {n} assigned to more than one shard"));
+                }
+            }
+        }
+        Ok(m)
+    }
+}
+
+impl NetworkBuilder {
+    /// Builds the configuration as a set of shard networks coordinated by
+    /// a [`ShardedNetwork`]. Every topology node and every added
+    /// device/host must be assigned to exactly one shard, and every link
+    /// crossing a shard boundary must have nonzero latency (the lookahead
+    /// window collapses otherwise).
+    pub fn build_sharded(self, partition: Partition) -> Result<ShardedNetwork, String> {
+        if partition.num_shards() == 0 {
+            return Err("partition has no shards".into());
+        }
+        let shard_of = partition.shard_of()?;
+        for n in self.topology.nodes() {
+            if !shard_of.contains_key(&n) {
+                return Err(format!("topology node {n} not assigned to any shard"));
+            }
+        }
+        for (id, ..) in &self.devices {
+            if !shard_of.contains_key(&NodeId::Device(*id)) {
+                return Err(format!("device {id} not assigned to any shard"));
+            }
+        }
+        for (id, ..) in &self.hosts {
+            if !shard_of.contains_key(&NodeId::Host(*id)) {
+                return Err(format!("host {id} not assigned to any shard"));
+            }
+        }
+        let dist = lookahead_matrix(&self.topology, &shard_of, partition.num_shards())?;
+
+        // Split the configuration by owner. The full topology, seed, and
+        // fault schedule are replicated into every shard: topology for
+        // routing (paths cross shards), the seed because per-node RNG
+        // streams derive from it, the schedule so fault keys and fault
+        // *state* (downed links, partitions, failed devices) match the
+        // scalar run in every shard. Devices, hosts, and restart hooks go
+        // only to their owner.
+        let nsh = partition.num_shards();
+        let mut dev_split: Vec<Vec<_>> = (0..nsh).map(|_| Vec::new()).collect();
+        for (id, sw, lat) in self.devices {
+            dev_split[shard_of[&NodeId::Device(id)]].push((id, sw, lat));
+        }
+        let mut host_split: Vec<Vec<_>> = (0..nsh).map(|_| Vec::new()).collect();
+        for (id, h, lat) in self.hosts {
+            host_split[shard_of[&NodeId::Host(id)]].push((id, h, lat));
+        }
+        let mut hook_split: Vec<HashMap<_, _>> = (0..nsh).map(|_| HashMap::new()).collect();
+        for (id, hook) in self.restart_hooks {
+            hook_split[shard_of[&NodeId::Device(id)]].insert(id, hook);
+        }
+        let routes = crate::route::RouteCache::new(&self.topology);
+        let mut shards = Vec::with_capacity(nsh);
+        for (i, (devices, (hosts, restart_hooks))) in
+            dev_split.into_iter().zip(host_split.into_iter().zip(hook_split)).enumerate()
+        {
+            let owned: HashSet<NodeId> = partition.groups[i].iter().copied().collect();
+            let b = NetworkBuilder {
+                topology: self.topology.clone(),
+                devices,
+                hosts,
+                seed: self.seed,
+                faults: self.faults.clone(),
+                restart_hooks,
+                obs: self.obs,
+                engine: self.engine,
+            };
+            shards.push(b.build_part_with(Some(owned), routes.clone()));
+        }
+        Ok(ShardedNetwork {
+            shards,
+            shard_of,
+            dist,
+            ext_seq: 0,
+            threaded: true,
+            rounds: 0,
+            busy_ns: vec![0; nsh],
+            critical_path_ns: 0,
+        })
+    }
+}
+
+/// All-pairs conservative lookahead over the shard graph: edge weight
+/// between adjacent shards is the minimum latency among the links crossing
+/// that boundary; Floyd–Warshall closes the matrix so chains through
+/// intermediate shards are bounded too.
+fn lookahead_matrix(
+    topo: &Topology,
+    shard_of: &HashMap<NodeId, usize>,
+    nsh: usize,
+) -> Result<Vec<Vec<u64>>, String> {
+    let mut dist = vec![vec![u64::MAX; nsh]; nsh];
+    for (s, row) in dist.iter_mut().enumerate() {
+        row[s] = 0;
+    }
+    for node in topo.nodes() {
+        let a = shard_of[&node];
+        for &(nb, spec) in topo.neighbors(node) {
+            let b = shard_of[&nb];
+            if a == b {
+                continue;
+            }
+            if spec.latency_ns == 0 {
+                return Err(format!(
+                    "inter-shard link {node} — {nb} has zero latency: no lookahead window"
+                ));
+            }
+            if spec.latency_ns < dist[a][b] {
+                dist[a][b] = spec.latency_ns;
+            }
+        }
+    }
+    for k in 0..nsh {
+        for i in 0..nsh {
+            for j in 0..nsh {
+                let via = dist[i][k].saturating_add(dist[k][j]);
+                if via < dist[i][j] {
+                    dist[i][j] = via;
+                }
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Per-shard horizons for one window. Shard `s` must not advance past the
+/// earliest arrival it does not yet know about. Such an arrival is a chain
+/// starting at some shard's pending event and ending at `s`:
+///
+/// * starting at `t ≠ s`: no earlier than `next_t + dist(t, s)`;
+/// * starting at `s` *itself* and bouncing back (s → t → s): no earlier
+///   than `next_s + min over t≠s of (dist(s,t) + dist(t,s))`. Dropping
+///   this term is the classic conservative-sync mistake — a shard runs
+///   far ahead on its own sends and the replies land in its past.
+///
+/// The shard holding the globally earliest event always gets a horizon
+/// past it (inter-shard distances are ≥ 1), so every round progresses.
+fn horizons_of(dist: &[Vec<u64>], nexts: &[Option<u64>]) -> Vec<u64> {
+    (0..nexts.len())
+        .map(|s| {
+            let mut h = u64::MAX;
+            let mut round_trip = u64::MAX;
+            for (t, next) in nexts.iter().enumerate() {
+                if t == s {
+                    continue;
+                }
+                round_trip = round_trip.min(dist[s][t].saturating_add(dist[t][s]));
+                if let Some(nt) = next {
+                    h = h.min(nt.saturating_add(dist[t][s]));
+                }
+            }
+            if let Some(ns) = nexts[s] {
+                h = h.min(ns.saturating_add(round_trip));
+            }
+            h
+        })
+        .collect()
+}
+
+/// A set of shard networks advancing in conservative-lookahead windows.
+///
+/// Mirrors the driver surface of [`Network`] (sends, timers, faults,
+/// accessors); stats and observability are merged across shards on
+/// demand, in shard-index order, via [`NetStats::accumulate`] — whose
+/// order-independence is itself under test.
+pub struct ShardedNetwork {
+    shards: Vec<Network>,
+    shard_of: HashMap<NodeId, usize>,
+    /// `dist[t][s]`: lookahead bound from shard `t` to shard `s`.
+    dist: Vec<Vec<u64>>,
+    /// Driver-injection counter, kept at the wrapper so injection keys
+    /// match the scalar run's no matter which shard owns the target.
+    ext_seq: u64,
+    threaded: bool,
+    /// Synchronization rounds executed.
+    rounds: u64,
+    /// Cumulative wall-clock busy time per shard.
+    busy_ns: Vec<u64>,
+    /// Sum over rounds of the slowest shard's busy time — the wall time an
+    /// ideal machine with one core per shard would need (the bench reports
+    /// events/sec against both this and actual wall time).
+    critical_path_ns: u64,
+}
+
+impl std::fmt::Debug for ShardedNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNetwork")
+            .field("shards", &self.shards.len())
+            .field("rounds", &self.rounds)
+            .field("threaded", &self.threaded)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedNetwork {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Selects the threaded (default) or sequential window runner. Both
+    /// produce byte-identical results; the sequential one exists so the
+    /// determinism suite can diff them.
+    pub fn set_threaded(&mut self, threaded: bool) {
+        self.threaded = threaded;
+    }
+
+    /// Injects a send from a host at an absolute time (same key the
+    /// scalar run would assign to this injection).
+    pub fn send_from_host(&mut self, host: u16, at_ns: u64, bytes: Vec<u8>) {
+        self.ext_seq += 1;
+        let shard = self.shard_of[&NodeId::Host(host)];
+        self.shards[shard].inject_external(
+            at_ns,
+            self.ext_seq,
+            ExternalEvent::HostSend(host, bytes),
+        );
+    }
+
+    /// Arms a host timer at an absolute time.
+    pub fn set_host_timer(&mut self, host: u16, at_ns: u64, token: u64) {
+        self.ext_seq += 1;
+        let shard = self.shard_of[&NodeId::Host(host)];
+        self.shards[shard].inject_external(at_ns, self.ext_seq, ExternalEvent::Timer(host, token));
+    }
+
+    /// Schedules a fault mid-run, replicated into every shard with the
+    /// same key (all shards carry the same fault list, so indices agree).
+    pub fn schedule_fault(&mut self, at_ns: u64, fault: Fault) {
+        for sh in &mut self.shards {
+            sh.schedule_fault(at_ns, fault.clone());
+        }
+    }
+
+    /// Runs until every shard drains or ~`max_events` are processed
+    /// (a soft cap: each window may overshoot by one shard window).
+    /// Returns the number of events processed across all shards.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        if self.threaded && self.shards.len() > 1 {
+            self.run_threaded(max_events)
+        } else {
+            self.run_sequential(max_events)
+        }
+    }
+
+    fn run_sequential(&mut self, max_events: u64) -> u64 {
+        let mut total = 0u64;
+        while total < max_events {
+            let nexts: Vec<Option<u64>> = self.shards.iter().map(|s| s.next_event_time()).collect();
+            if nexts.iter().all(Option::is_none) {
+                break;
+            }
+            let horizons = horizons_of(&self.dist, &nexts);
+            let mut round = 0u64;
+            let mut round_max = 0u64;
+            for (i, sh) in self.shards.iter_mut().enumerate() {
+                let t0 = Instant::now();
+                round += sh.run_until(horizons[i], max_events - total);
+                let busy = t0.elapsed().as_nanos() as u64;
+                self.busy_ns[i] += busy;
+                round_max = round_max.max(busy);
+            }
+            let moved = self.route_xs();
+            total += round;
+            self.rounds += 1;
+            self.critical_path_ns += round_max;
+            if round == 0 && !moved {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Routes every shard's outbound cross-shard arrivals to their owners.
+    /// Delivery order across shards is irrelevant to the outcome: event
+    /// keys are unique, so each shard's heap imposes the same total order
+    /// whatever the insertion sequence.
+    fn route_xs(&mut self) -> bool {
+        let mut moved = false;
+        for i in 0..self.shards.len() {
+            let xs = self.shards[i].take_xs_out();
+            for ev in xs {
+                let t = self.shard_of[&ev.target];
+                debug_assert!(
+                    ev.time >= self.shards[t].now(),
+                    "lookahead violation: arrival at {} for t={} but shard {t} already at {}",
+                    ev.target,
+                    ev.time,
+                    self.shards[t].now()
+                );
+                self.shards[t].inject_keyed(ev.time, ev.src, ev.target, ev.bytes);
+                moved = true;
+            }
+        }
+        moved
+    }
+
+    fn run_threaded(&mut self, max_events: u64) -> u64 {
+        let nsh = self.shards.len();
+        let dist = &self.dist;
+        let shard_of = &self.shard_of;
+        let busy_ns = &mut self.busy_ns;
+        let rounds = &mut self.rounds;
+        let critical_path_ns = &mut self.critical_path_ns;
+        let mut total = 0u64;
+        // Own next-event times, updated from worker reports; arrivals in
+        // flight between shards live in `pending` until the next window.
+        let mut nexts: Vec<Option<u64>> = self.shards.iter().map(|s| s.next_event_time()).collect();
+        let mut pending: Vec<Vec<XsEvent>> = (0..nsh).map(|_| Vec::new()).collect();
+        let (res_tx, res_rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            let mut cmd_txs = Vec::with_capacity(nsh);
+            for (i, sh) in self.shards.iter_mut().enumerate() {
+                let (tx, rx) = mpsc::channel::<(u64, u64, Vec<XsEvent>)>();
+                cmd_txs.push(tx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((horizon, budget, xs)) = rx.recv() {
+                        for ev in xs {
+                            debug_assert!(
+                                ev.time >= sh.now(),
+                                "lookahead violation: arrival at {} for t={} but shard {i} already at {}",
+                                ev.target,
+                                ev.time,
+                                sh.now()
+                            );
+                            sh.inject_keyed(ev.time, ev.src, ev.target, ev.bytes);
+                        }
+                        let t0 = Instant::now();
+                        let did = sh.run_until(horizon, budget);
+                        let busy = t0.elapsed().as_nanos() as u64;
+                        let out = sh.take_xs_out();
+                        let next = sh.next_event_time();
+                        if res_tx.send((i, did, busy, out, next)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            while total < max_events {
+                // A shard's effective next event is the earlier of its own
+                // queue head and any arrival waiting to be delivered to it.
+                let eff: Vec<Option<u64>> = (0..nsh)
+                    .map(|i| {
+                        let mut m = nexts[i];
+                        for ev in &pending[i] {
+                            m = Some(m.map_or(ev.time, |x| x.min(ev.time)));
+                        }
+                        m
+                    })
+                    .collect();
+                if eff.iter().all(Option::is_none) {
+                    break;
+                }
+                let horizons = horizons_of(dist, &eff);
+                for (i, tx) in cmd_txs.iter().enumerate() {
+                    let xs = std::mem::take(&mut pending[i]);
+                    // A worker only exits when the command channel drops,
+                    // so sends cannot fail mid-run.
+                    tx.send((horizons[i], max_events - total, xs)).unwrap();
+                }
+                let mut round = 0u64;
+                let mut round_max = 0u64;
+                let mut moved = false;
+                for _ in 0..nsh {
+                    let (i, did, busy, out, next) = res_rx.recv().unwrap();
+                    round += did;
+                    busy_ns[i] += busy;
+                    round_max = round_max.max(busy);
+                    nexts[i] = next;
+                    for ev in out {
+                        pending[shard_of[&ev.target]].push(ev);
+                        moved = true;
+                    }
+                }
+                total += round;
+                *rounds += 1;
+                *critical_path_ns += round_max;
+                if round == 0 && !moved {
+                    break;
+                }
+            }
+            drop(cmd_txs); // workers exit their recv loops
+        });
+        total
+    }
+
+    /// Merged statistics across shards (shard-index order).
+    pub fn stats(&self) -> NetStats {
+        let mut s = NetStats::default();
+        for sh in &self.shards {
+            s.accumulate(&sh.stats);
+        }
+        s
+    }
+
+    /// Each shard's own statistics, in shard-index order — the inputs the
+    /// merge folds over (and what the accumulate-order tests exercise).
+    pub fn shard_stats(&self) -> Vec<&NetStats> {
+        self.shards.iter().map(|s| &s.stats).collect()
+    }
+
+    /// Merged observability across shards, when enabled at build time:
+    /// histograms merged bucket-wise, per-shard traces absorbed into one
+    /// timeline.
+    pub fn obs(&self) -> Option<NetObs> {
+        if self.shards.iter().all(|s| s.obs().is_none()) {
+            return None;
+        }
+        let mut merged = NetObs::default();
+        let mut trace: Option<Trace> = None;
+        for sh in &self.shards {
+            if let Some(o) = sh.obs() {
+                merged.queue_depth.merge(&o.queue_depth);
+                merged.event_wall_ns.merge(&o.event_wall_ns);
+                if let Some(t) = &o.trace {
+                    match &mut trace {
+                        Some(acc) => acc.absorb(t.clone()),
+                        None => trace = Some(t.clone()),
+                    }
+                }
+            }
+        }
+        merged.trace = trace;
+        Some(merged)
+    }
+
+    /// Current simulated time: the furthest any shard has advanced.
+    pub fn now(&self) -> u64 {
+        self.shards.iter().map(Network::now).max().unwrap_or(0)
+    }
+
+    /// Messages a host received, with arrival timestamps.
+    pub fn host_received(&self, id: u16) -> &[(u64, Vec<u8>)] {
+        match self.shard_of.get(&NodeId::Host(id)) {
+            Some(&s) => self.shards[s].host_received(id),
+            None => &[],
+        }
+    }
+
+    /// Direct control-plane access to a device's switch (on its owner).
+    pub fn switch_mut(&mut self, id: u16) -> Option<&mut Switch> {
+        let s = *self.shard_of.get(&NodeId::Device(id))?;
+        self.shards[s].switch_mut(id)
+    }
+
+    /// Immutable switch access.
+    pub fn switch(&self, id: u16) -> Option<&Switch> {
+        let s = *self.shard_of.get(&NodeId::Device(id))?;
+        self.shards[s].switch(id)
+    }
+
+    /// Whether device `id` is currently failed (fault state is replicated,
+    /// so any shard could answer; the owner is canonical).
+    pub fn device_failed(&self, id: u16) -> bool {
+        match self.shard_of.get(&NodeId::Device(id)) {
+            Some(&s) => self.shards[s].device_failed(id),
+            None => false,
+        }
+    }
+
+    /// Synchronization rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Cumulative wall-clock busy nanoseconds per shard.
+    pub fn busy_ns(&self) -> &[u64] {
+        &self.busy_ns
+    }
+
+    /// Sum over rounds of the slowest shard's busy time — the run's
+    /// critical path on an ideal one-core-per-shard machine.
+    pub fn critical_path_ns(&self) -> u64 {
+        self.critical_path_ns
+    }
+}

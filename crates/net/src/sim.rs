@@ -10,6 +10,7 @@ use netcl_runtime::message::Message;
 use netcl_sema::builtins::ActionKind;
 
 use crate::fault::{Fault, FaultSchedule};
+use crate::route::RouteCache;
 use crate::topo::{link_key, NodeId, Topology};
 
 /// Events delivered to a host handler.
@@ -40,13 +41,15 @@ impl Outbox {
     }
 }
 
-/// A host's application logic.
-pub type HostHandler = Box<dyn FnMut(u64, HostEvent, &mut Outbox)>;
+/// A host's application logic. `Send` so a host can live on a shard
+/// thread ([`crate::shard::ShardedNetwork`]).
+pub type HostHandler = Box<dyn FnMut(u64, HostEvent, &mut Outbox) + Send>;
 
 /// A device restart hook: runs against the freshly-restarted switch so the
 /// application can repopulate `_managed_` state through the control plane
-/// (what a NetCL controller does after a device comes back).
-pub type RestartHook = Box<dyn FnMut(&mut Switch)>;
+/// (what a NetCL controller does after a device comes back). `Send` for
+/// the same reason as [`HostHandler`].
+pub type RestartHook = Box<dyn FnMut(&mut Switch) + Send>;
 
 // `Outbox` is exactly the send/timer surface the host reliability helper
 // needs, so wire it up as its transport.
@@ -193,7 +196,10 @@ pub struct NetStats {
     pub link_losses: u64,
     /// Device kernel executions.
     pub kernel_executions: u64,
-    /// Total events processed.
+    /// Total traffic events processed (sends, arrivals, timers).
+    /// Scheduled-fault applications are control-plane actions — replicated
+    /// into every shard of a sharded run — and are deliberately not
+    /// counted, so this field merges shard-exactly.
     pub events: u64,
     /// Messages with no route to their target (topology gap). Stays 0 on
     /// well-formed topologies with no scheduled faults.
@@ -277,17 +283,19 @@ fn tid_of(n: NodeId) -> u32 {
     }
 }
 
-/// Builder for a [`Network`].
+/// Builder for a [`Network`] (or, via
+/// [`build_sharded`](NetworkBuilder::build_sharded) in [`crate::shard`],
+/// a set of shard networks over the same configuration).
 #[derive(Default)]
 pub struct NetworkBuilder {
-    topology: Topology,
-    devices: Vec<(u16, Switch, u64)>,
-    hosts: Vec<(u16, Option<HostHandler>, u64)>,
-    seed: u64,
-    faults: Vec<(u64, Fault)>,
-    restart_hooks: HashMap<u16, RestartHook>,
-    obs: Option<ObsConfig>,
-    engine: Option<netcl_bmv2::Engine>,
+    pub(crate) topology: Topology,
+    pub(crate) devices: Vec<(u16, Switch, u64)>,
+    pub(crate) hosts: Vec<(u16, Option<HostHandler>, u64)>,
+    pub(crate) seed: u64,
+    pub(crate) faults: Vec<(u64, Fault)>,
+    pub(crate) restart_hooks: HashMap<u16, RestartHook>,
+    pub(crate) obs: Option<ObsConfig>,
+    pub(crate) engine: Option<netcl_bmv2::Engine>,
 }
 
 impl NetworkBuilder {
@@ -358,6 +366,24 @@ impl NetworkBuilder {
 
     /// Builds the network.
     pub fn build(self) -> Network {
+        self.build_part(None)
+    }
+
+    /// Builds a network that owns only `owned` nodes (one shard); `None`
+    /// owns everything. The shard runner routes `xs_out` arrivals.
+    pub(crate) fn build_part(self, owned: Option<HashSet<NodeId>>) -> Network {
+        let routes = RouteCache::new(&self.topology);
+        self.build_part_with(owned, routes)
+    }
+
+    /// [`Self::build_part`] with a pre-built route cache — the sharded
+    /// builder constructs one cache and clones it into every shard, so the
+    /// precomputed switch forest is built once and shared (`Arc`).
+    pub(crate) fn build_part_with(
+        self,
+        owned: Option<HashSet<NodeId>>,
+        routes: RouteCache,
+    ) -> Network {
         let obs = self.obs.map(|cfg| {
             let trace = cfg.trace.then(|| {
                 let mut t = Trace::new();
@@ -405,8 +431,11 @@ impl NetworkBuilder {
             hosts,
             events: BinaryHeap::new(),
             clock: 0,
-            seq: 0,
-            rng: self.seed,
+            ext_seq: 0,
+            node_seq: HashMap::new(),
+            cur_node: None,
+            seed: self.seed,
+            rngs: HashMap::new(),
             stats: NetStats::default(),
             fault_list: Vec::new(),
             downed: HashSet::new(),
@@ -415,6 +444,9 @@ impl NetworkBuilder {
             restart_hooks: self.restart_hooks,
             obs,
             scalar_delivery: false,
+            routes,
+            owned,
+            xs_out: Vec::new(),
         };
         for (at, fault) in self.faults {
             net.schedule_fault(at, fault);
@@ -428,10 +460,21 @@ pub struct Network {
     topology: Topology,
     devices: HashMap<u16, DeviceNode>,
     hosts: HashMap<u16, HostNode>,
-    events: BinaryHeap<Reverse<(u64, u64, NodeOrd)>>,
+    events: BinaryHeap<Reverse<(u64, EventSrc, NodeOrd)>>,
     clock: u64,
-    seq: u64,
-    rng: u64,
+    /// Driver-injection counter ([`EventSrc::External`]).
+    ext_seq: u64,
+    /// Per-node push counters ([`EventSrc::Node`]).
+    node_seq: HashMap<NodeId, u64>,
+    /// The node whose event is currently being processed; its counter and
+    /// RNG stream serve any pushes and draws made during processing.
+    cur_node: Option<NodeId>,
+    /// The run seed; per-node RNG streams are derived from it lazily.
+    seed: u64,
+    /// Per-node chaos RNG streams. Draws for a transmit happen on the
+    /// *sending* node's stream, so a shard owning that node reproduces the
+    /// scalar run's draws exactly (DESIGN.md §15).
+    rngs: HashMap<NodeId, u64>,
     /// Statistics.
     pub stats: NetStats,
     /// Scheduled faults, referenced by index from `EventOrd::Fault`.
@@ -449,10 +492,43 @@ pub struct Network {
     /// instead of `device_receive_batch` — kept for the batched/scalar
     /// equivalence tests (DESIGN.md §13).
     scalar_delivery: bool,
+    /// Memoized routing trees — one per active destination over a dense
+    /// node index, invalidated whenever the downed-link set changes (see
+    /// `route.rs`). Pure memoization: the run's observable behavior
+    /// depends only on the tree contents, which are a deterministic
+    /// function of (topology, downed set) — this is what makes 10⁴-host
+    /// fat-tree workloads simulable.
+    routes: RouteCache,
+    /// When `Some`, this network is one shard: it owns only these nodes,
+    /// and arrivals pushed toward any other node land in `xs_out` for the
+    /// shard runner to route. `None` (the default) owns everything.
+    owned: Option<HashSet<NodeId>>,
+    /// Outbound cross-shard arrivals produced by the current window.
+    xs_out: Vec<XsEvent>,
 }
 
-// BinaryHeap payload must be Ord; carry the event in a side map keyed by
-// seq... simpler: make Event itself ordered via a wrapper.
+/// Deterministic event provenance, the same-timestamp tiebreaker.
+///
+/// The old tiebreaker was a single global push counter, which only exists
+/// in a single-threaded run. This key is *locally derivable*: faults are
+/// keyed by their schedule index, driver injections by a call-order
+/// counter, and everything pushed while processing an event at node `n` by
+/// `(n, per-node counter)`. A shard therefore assigns every event exactly
+/// the key the scalar run would, which is what makes sharded execution
+/// byte-identical (DESIGN.md §15). Keys are unique, so heap order is a
+/// total order independent of push order.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
+pub(crate) enum EventSrc {
+    /// Scheduled fault, keyed by its index in the fault list.
+    Control(u64),
+    /// Driver injection (`send_from_host` / `set_host_timer`), call order.
+    External(u64),
+    /// Pushed while processing an event at this node (per-node counter).
+    Node(NodeId, u64),
+}
+
+// BinaryHeap payload must be Ord; EventSrc keys are unique so the payload
+// wrapper below is never actually compared.
 #[derive(PartialEq, Eq, PartialOrd, Ord, Debug)]
 struct NodeOrd(Vec<u8>, EventOrd);
 
@@ -462,6 +538,22 @@ enum EventOrd {
     Timer(NodeId, u64),
     HostSend(NodeId),
     Fault(usize),
+}
+
+/// An event that crossed a shard boundary: always an arrival, carrying the
+/// deterministic key it was pushed with on the sending shard.
+#[derive(Debug)]
+pub(crate) struct XsEvent {
+    pub(crate) time: u64,
+    pub(crate) src: EventSrc,
+    pub(crate) target: NodeId,
+    pub(crate) bytes: Vec<u8>,
+}
+
+/// A driver injection routed to a shard by the sharded wrapper.
+pub(crate) enum ExternalEvent {
+    HostSend(u16, Vec<u8>),
+    Timer(u16, u64),
 }
 
 impl Network {
@@ -504,9 +596,75 @@ impl Network {
         }
     }
 
+    /// Pushes an event with a deterministic key: pushes made while an event
+    /// at node `n` is being processed are keyed `(n, per-node counter)`;
+    /// pushes from outside the event loop are driver injections.
     fn push(&mut self, time: u64, ord: EventOrd, bytes: Vec<u8>) {
-        self.seq += 1;
-        self.events.push(Reverse((time, self.seq, NodeOrd(bytes, ord))));
+        let src = match self.cur_node {
+            Some(n) => {
+                let c = self.node_seq.entry(n).or_default();
+                *c += 1;
+                EventSrc::Node(n, *c)
+            }
+            None => {
+                self.ext_seq += 1;
+                EventSrc::External(self.ext_seq)
+            }
+        };
+        self.push_keyed(time, src, ord, bytes);
+    }
+
+    /// Pushes a fully-keyed event, routing arrivals at non-owned nodes to
+    /// the cross-shard outbox. Only arrivals can cross shards: sends and
+    /// timers are always pushed by (or injected at) the node itself.
+    fn push_keyed(&mut self, time: u64, src: EventSrc, ord: EventOrd, bytes: Vec<u8>) {
+        if let Some(owned) = &self.owned {
+            if let EventOrd::Arrive(target) = ord {
+                if !owned.contains(&target) {
+                    self.xs_out.push(XsEvent { time, src, target, bytes });
+                    return;
+                }
+            }
+        }
+        self.events.push(Reverse((time, src, NodeOrd(bytes, ord))));
+    }
+
+    /// Injects an event with an externally-assigned key — how the shard
+    /// runner delivers cross-shard arrivals and replays driver injections
+    /// with the same keys the scalar run would assign.
+    pub(crate) fn inject_keyed(
+        &mut self,
+        time: u64,
+        src: EventSrc,
+        ord_target: NodeId,
+        bytes: Vec<u8>,
+    ) {
+        self.push_keyed(time, src, EventOrd::Arrive(ord_target), bytes);
+    }
+
+    /// Injects a driver event (send or timer) with an explicit external
+    /// sequence number, used by the sharded wrapper to keep injection keys
+    /// identical to a scalar run's.
+    pub(crate) fn inject_external(&mut self, time: u64, ext_seq: u64, ord: ExternalEvent) {
+        let src = EventSrc::External(ext_seq);
+        match ord {
+            ExternalEvent::HostSend(h, bytes) => {
+                self.push_keyed(time, src, EventOrd::HostSend(NodeId::Host(h)), bytes)
+            }
+            ExternalEvent::Timer(h, token) => {
+                self.push_keyed(time, src, EventOrd::Timer(NodeId::Host(h), token), Vec::new())
+            }
+        }
+    }
+
+    /// Earliest pending event time, if any.
+    pub(crate) fn next_event_time(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse((t, ..))| *t)
+    }
+
+    /// Drains the cross-shard arrivals produced by the last window.
+    pub(crate) fn take_xs_out(&mut self) -> Vec<XsEvent> {
+        std::mem::take(&mut self.xs_out)
     }
 
     /// Injects a send from a host at an absolute time.
@@ -520,11 +678,13 @@ impl Network {
     }
 
     /// Schedules a fault at an absolute simulated time (also available on
-    /// the builder; this form lets tests inject mid-run).
+    /// the builder; this form lets tests inject mid-run). Faults are keyed
+    /// by schedule index, so replicating one schedule across shards yields
+    /// identical keys in every shard.
     pub fn schedule_fault(&mut self, at_ns: u64, fault: Fault) {
         let idx = self.fault_list.len();
         self.fault_list.push(fault);
-        self.push(at_ns, EventOrd::Fault(idx), Vec::new());
+        self.push_keyed(at_ns, EventSrc::Control(idx as u64), EventOrd::Fault(idx), Vec::new());
     }
 
     /// Whether device `id` is currently failed.
@@ -541,29 +701,58 @@ impl Network {
         self.scalar_delivery = scalar;
     }
 
-    fn rand_u64(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.rng;
+    /// Draws from `node`'s chaos RNG stream (splitmix64, lazily seeded
+    /// from `seed ⊕ tag(node)`). Streams are per-node so a shard owning
+    /// the node reproduces the scalar run's draws regardless of how other
+    /// shards' events interleave globally.
+    fn rand_u64(&mut self, node: NodeId) -> u64 {
+        let tag = match node {
+            NodeId::Host(h) => 0x486F_7374_0000_0000u64 | h as u64,
+            NodeId::Device(d) => 0x4465_7663_0000_0000u64 | d as u64,
+        };
+        let seed = self.seed;
+        let state = self.rngs.entry(node).or_insert_with(|| {
+            // One splitmix step decorrelates the per-node seeds.
+            let mut z = seed ^ tag;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        });
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
 
-    fn rand01(&mut self) -> f64 {
-        self.rand_u64() as f64 / u64::MAX as f64
+    fn rand01(&mut self, node: NodeId) -> f64 {
+        self.rand_u64(node) as f64 / u64::MAX as f64
     }
 
     /// Runs until the event queue drains or `max_events` processed.
     /// Returns the number of events processed.
     pub fn run(&mut self, max_events: u64) -> u64 {
+        self.run_until(u64::MAX, max_events)
+    }
+
+    /// Runs events with `time < horizon` (the conservative-lookahead window
+    /// bound; `u64::MAX` means unbounded) up to `max_events`. Returns the
+    /// number of events processed.
+    pub(crate) fn run_until(&mut self, horizon: u64, max_events: u64) -> u64 {
         let mut n = 0;
         let mut batch: Vec<Vec<u8>> = Vec::new();
         while n < max_events {
+            match self.events.peek() {
+                Some(Reverse((t, ..))) if *t < horizon => {}
+                _ => break,
+            }
             let Some(Reverse((time, _, NodeOrd(bytes, ord)))) = self.events.pop() else {
                 break;
             };
             self.clock = self.clock.max(time);
-            self.stats.events += 1;
+            if !matches!(ord, EventOrd::Fault(_)) {
+                self.stats.events += 1;
+            }
             n += 1;
             let watch = self.obs.as_ref().map(|_| Stopwatch::start());
             if let Some(o) = self.obs.as_mut() {
@@ -573,6 +762,14 @@ impl Network {
                     tr.counter("queue_depth", 0, time, depth);
                 }
             }
+            // Pushes and RNG draws made while processing this event are
+            // attributed to the node it happens at (the deterministic key
+            // and stream scheme above).
+            self.cur_node = match &ord {
+                EventOrd::HostSend(n) | EventOrd::Arrive(n) => Some(*n),
+                EventOrd::Timer(n, _) => Some(*n),
+                EventOrd::Fault(_) => None,
+            };
             match ord {
                 EventOrd::HostSend(NodeId::Host(h)) => self.host_transmit(h, bytes),
                 EventOrd::Arrive(NodeId::Device(d)) => {
@@ -612,6 +809,7 @@ impl Network {
                 EventOrd::Fault(idx) => self.apply_fault(idx),
                 _ => {}
             }
+            self.cur_node = None;
             if let (Some(w), Some(o)) = (watch, self.obs.as_mut()) {
                 o.event_wall_ns.record(w.elapsed_ns());
             }
@@ -624,9 +822,11 @@ impl Network {
         match fault {
             Fault::LinkDown(a, b) => {
                 self.downed.insert(link_key(a, b));
+                self.routes.invalidate();
             }
             Fault::LinkUp(a, b) => {
                 self.downed.remove(&link_key(a, b));
+                self.routes.invalidate();
             }
             Fault::Partition(island) => {
                 self.island = Some(island.into_iter().collect());
@@ -693,7 +893,7 @@ impl Network {
             }
             return;
         }
-        let hop = self.topology.next_hop_avoiding(from, target, &self.downed);
+        let hop = self.routes.hop(from, target, &self.downed);
         let Some((hop, link)) = hop.filter(|(h, _)| self.hop_open(from, *h)) else {
             // No traversable route. Distinguish a topology gap (a bug in
             // the experiment setup) from a scheduled fault eating the path.
@@ -706,19 +906,19 @@ impl Network {
             self.trace_instant("drop.fault", from, at);
             return;
         };
-        if link.loss > 0.0 && self.rand01() < link.loss {
+        if link.loss > 0.0 && self.rand01(from) < link.loss {
             self.stats.link_losses += 1;
             self.stats.node(hop).dropped += 1;
             self.trace_instant("drop.loss", hop, at);
             return;
         }
         let mut bytes = bytes;
-        if link.corrupt > 0.0 && self.rand01() < link.corrupt && !bytes.is_empty() {
-            let bit = self.rand_u64() as usize % (bytes.len() * 8);
+        if link.corrupt > 0.0 && self.rand01(from) < link.corrupt && !bytes.is_empty() {
+            let bit = self.rand_u64(from) as usize % (bytes.len() * 8);
             bytes[bit / 8] ^= 1 << (bit % 8);
             self.stats.corrupted += 1;
         }
-        let copies = if link.duplicate > 0.0 && self.rand01() < link.duplicate {
+        let copies = if link.duplicate > 0.0 && self.rand01(from) < link.duplicate {
             self.stats.duplicates += 1;
             2
         } else {
@@ -727,9 +927,9 @@ impl Network {
         for i in 0..copies {
             let mut arrive = at + link.transit_ns(bytes.len());
             if link.jitter_ns > 0 {
-                arrive += self.rand_u64() % (link.jitter_ns + 1);
+                arrive += self.rand_u64(from) % (link.jitter_ns + 1);
             }
-            if link.reorder > 0.0 && self.rand01() < link.reorder {
+            if link.reorder > 0.0 && self.rand01(from) < link.reorder {
                 arrive += link.reorder_ns;
                 self.stats.reordered += 1;
             }

@@ -177,6 +177,32 @@ impl Topology {
         hop
     }
 
+    /// Every node's next hop toward `to` (with the link), from one reverse
+    /// BFS — shortest paths, ties broken by neighbor-list order. Nodes
+    /// absent from the map cannot reach `to` around the links in `down`.
+    /// The simulator caches one tree per active destination: a fat-tree
+    /// run routes to thousands of targets from millions of hops, and
+    /// per-(source, target) BFS is what made 10⁴-host runs infeasible.
+    pub fn routing_tree(
+        &self,
+        to: NodeId,
+        down: &HashSet<(NodeId, NodeId)>,
+    ) -> HashMap<NodeId, (NodeId, LinkSpec)> {
+        let mut hops: HashMap<NodeId, (NodeId, LinkSpec)> = HashMap::new();
+        let mut queue = VecDeque::from([to]);
+        while let Some(n) = queue.pop_front() {
+            for &(next, spec) in self.neighbors(n) {
+                if next != to && !hops.contains_key(&next) && !down.contains(&link_key(n, next)) {
+                    // `next` was discovered from `n`, so `n` is one step
+                    // closer to `to`: it is `next`'s hop.
+                    hops.insert(next, (n, spec));
+                    queue.push_back(next);
+                }
+            }
+        }
+        hops
+    }
+
     /// All nodes that appear in links.
     pub fn nodes(&self) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self.links.keys().copied().collect();

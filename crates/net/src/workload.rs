@@ -1,0 +1,340 @@
+//! Flow-level workload generation for large-scale runs (DESIGN.md §15).
+//!
+//! The paper evaluates its four apps on a six-server testbed (§VII); the
+//! ROADMAP's north star is traffic from millions of users. This module
+//! makes such runs *expressible*: a k-ary fat-tree topology builder
+//! (k³/4 hosts — k=36 is 11 664, k=48 is 27 648), a Zipf key sampler for
+//! CACHE-style skewed access, a straggler delay model for AGG-style
+//! synchronized workers, and a deterministic flow generator tying them
+//! together. Everything is a pure function of its seed: the same seed
+//! yields the same flows, which the proptest suite (`tests/workload.rs`)
+//! pins down.
+
+use crate::shard::Partition;
+use crate::topo::{LinkSpec, NodeId, Topology};
+
+/// A small deterministic RNG (splitmix64) for workload generation —
+/// deliberately separate from the simulator's per-node chaos streams so
+/// generating a workload never perturbs a run's fault draws.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng {
+    state: u64,
+}
+
+impl WorkloadRng {
+    /// A stream fully determined by `seed`.
+    pub fn new(seed: u64) -> WorkloadRng {
+        WorkloadRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Zipf(n, s) sampler over ranks `1..=n`: `P(r) ∝ r⁻ˢ`. Samples by
+/// binary-searching a precomputed CDF, so a draw is O(log n).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// A sampler over `n ≥ 1` ranks with skew `s ≥ 0` (s = 0 is uniform;
+    /// CACHE-style key popularity is usually s ≈ 0.9–1.1).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf, s }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The configured skew parameter.
+    pub fn skew(&self) -> f64 {
+        self.s
+    }
+
+    /// The model probability of rank `r` (1-based) — what the proptest
+    /// suite checks empirical frequencies against.
+    pub fn prob(&self, r: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&r));
+        let lo = if r == 1 { 0.0 } else { self.cdf[r - 2] };
+        self.cdf[r - 1] - lo
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut WorkloadRng) -> u64 {
+        let u = rng.next_f64();
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+}
+
+/// Straggler delay model for AGG-style synchronized workers: every
+/// response takes `base_ns` plus uniform jitter, and with probability
+/// `prob` a worker straggles for `straggle_ns` extra — the tail that
+/// in-network aggregation is meant to hide.
+#[derive(Debug, Clone, Copy)]
+pub struct Straggler {
+    /// Common-case processing time.
+    pub base_ns: u64,
+    /// Uniform extra delay in `[0, jitter_ns)` on every response.
+    pub jitter_ns: u64,
+    /// Probability a response straggles.
+    pub prob: f64,
+    /// Extra delay when it does.
+    pub straggle_ns: u64,
+}
+
+impl Straggler {
+    /// One worker's response delay.
+    pub fn delay_ns(&self, rng: &mut WorkloadRng) -> u64 {
+        let mut d = self.base_ns;
+        if self.jitter_ns > 0 {
+            d += rng.below(self.jitter_ns);
+        }
+        if self.prob > 0.0 && rng.next_f64() < self.prob {
+            d += self.straggle_ns;
+        }
+        d
+    }
+}
+
+/// One generated request: injected at `src` at `at_ns`, targeting `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Absolute injection time.
+    pub at_ns: u64,
+    /// Source host id.
+    pub src: u16,
+    /// Application key (a Zipf rank for CACHE-style workloads).
+    pub key: u64,
+}
+
+/// Generates `count` flows: sources drawn uniformly from `hosts`, keys
+/// from `zipf`, injection times spaced by uniform gaps in
+/// `[0, 2·mean_gap_ns)` so the long-run rate is one flow per
+/// `mean_gap_ns`. Deterministic per seed.
+pub fn zipf_flows(
+    seed: u64,
+    hosts: &[u16],
+    zipf: &Zipf,
+    count: usize,
+    mean_gap_ns: u64,
+) -> Vec<Flow> {
+    assert!(!hosts.is_empty(), "need at least one source host");
+    let mut rng = WorkloadRng::new(seed);
+    let mut at = 0u64;
+    let mut flows = Vec::with_capacity(count);
+    for _ in 0..count {
+        at += rng.below(2 * mean_gap_ns.max(1)) + 1;
+        flows.push(Flow {
+            at_ns: at,
+            src: hosts[rng.below(hosts.len() as u64) as usize],
+            key: zipf.sample(&mut rng),
+        });
+    }
+    flows
+}
+
+/// A k-ary fat-tree (Al-Fares et al.): k pods, each with k/2 edge and k/2
+/// agg switches; (k/2)² core switches; k³/4 hosts. Hosts and switches get
+/// dense ids, and [`FatTree::partition`] shards the tree by pod — the
+/// natural cut, since pods only meet at the core.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// Arity (even, ≥ 2).
+    pub k: u16,
+    /// The built topology.
+    pub topology: Topology,
+    /// All host ids, pod-major.
+    pub hosts: Vec<u16>,
+    /// Host ids grouped by pod.
+    pub hosts_by_pod: Vec<Vec<u16>>,
+    /// Edge-switch device ids by pod.
+    pub edge_by_pod: Vec<Vec<u16>>,
+    /// Agg-switch device ids by pod.
+    pub agg_by_pod: Vec<Vec<u16>>,
+    /// Core-switch device ids.
+    pub core: Vec<u16>,
+}
+
+impl FatTree {
+    /// Builds the k-ary tree with `spec` on every link. `k` must be even,
+    /// ≥ 2, and small enough for dense u16 ids (k ≤ 56).
+    pub fn new(k: u16, spec: LinkSpec) -> Result<FatTree, String> {
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(format!("fat-tree arity must be even and ≥ 2, got {k}"));
+        }
+        let half = (k / 2) as usize;
+        let nhosts = half * half * k as usize;
+        if nhosts > u16::MAX as usize {
+            return Err(format!("fat-tree k={k} needs {nhosts} host ids; max is {}", u16::MAX));
+        }
+        let mut topology = Topology::new();
+        // Core switches take device ids 0..(k/2)².
+        let core: Vec<u16> = (0..(half * half) as u16).collect();
+        let mut next_dev = core.len() as u16;
+        let mut next_host = 0u16;
+        let mut hosts = Vec::with_capacity(nhosts);
+        let mut hosts_by_pod = Vec::with_capacity(k as usize);
+        let mut edge_by_pod = Vec::with_capacity(k as usize);
+        let mut agg_by_pod = Vec::with_capacity(k as usize);
+        for _pod in 0..k {
+            let edge: Vec<u16> = (0..half).map(|i| next_dev + i as u16).collect();
+            let agg: Vec<u16> = (0..half).map(|i| next_dev + (half + i) as u16).collect();
+            next_dev += 2 * half as u16;
+            // Edge ↔ agg: full bipartite within the pod.
+            for &e in &edge {
+                for &a in &agg {
+                    topology.link(NodeId::Device(e), NodeId::Device(a), spec);
+                }
+            }
+            // Agg ↔ core: agg j uplinks to core block j.
+            for (j, &a) in agg.iter().enumerate() {
+                for c in 0..half {
+                    topology.link(NodeId::Device(a), NodeId::Device(core[j * half + c]), spec);
+                }
+            }
+            // Hosts hang off edge switches, k/2 each.
+            let mut pod_hosts = Vec::with_capacity(half * half);
+            for &e in &edge {
+                for _ in 0..half {
+                    topology.link(NodeId::Host(next_host), NodeId::Device(e), spec);
+                    pod_hosts.push(next_host);
+                    next_host += 1;
+                }
+            }
+            hosts.extend_from_slice(&pod_hosts);
+            hosts_by_pod.push(pod_hosts);
+            edge_by_pod.push(edge);
+            agg_by_pod.push(agg);
+        }
+        Ok(FatTree { k, topology, hosts, hosts_by_pod, edge_by_pod, agg_by_pod, core })
+    }
+
+    /// Total host count (k³/4).
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Shards the tree by pod: pod `p`'s hosts, edge, and agg switches go
+    /// to shard `p mod shards`; core switches are dealt round-robin. All
+    /// inter-shard links are then agg↔core (or edge↔agg for co-resident
+    /// pods), each with the tree's uniform link latency as lookahead.
+    pub fn partition(&self, shards: usize) -> Partition {
+        let shards = shards.max(1);
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        for (p, pod_hosts) in self.hosts_by_pod.iter().enumerate() {
+            let g = &mut groups[p % shards];
+            g.extend(pod_hosts.iter().map(|&h| NodeId::Host(h)));
+            g.extend(self.edge_by_pod[p].iter().map(|&d| NodeId::Device(d)));
+            g.extend(self.agg_by_pod[p].iter().map(|&d| NodeId::Device(d)));
+        }
+        for (i, &c) in self.core.iter().enumerate() {
+            groups[i % shards].push(NodeId::Device(c));
+        }
+        Partition::new(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prob_sums_to_one() {
+        let z = Zipf::new(100, 0.99);
+        let total: f64 = (1..=100).map(|r| z.prob(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Skew means rank 1 beats rank 100 decisively.
+        assert!(z.prob(1) > 10.0 * z.prob(100));
+    }
+
+    #[test]
+    fn zipf_uniform_at_zero_skew() {
+        let z = Zipf::new(50, 0.0);
+        for r in 1..=50 {
+            assert!((z.prob(r) - 0.02).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flows_deterministic_per_seed() {
+        let z = Zipf::new(1000, 1.0);
+        let a = zipf_flows(7, &[1, 2, 3], &z, 200, 1000);
+        let b = zipf_flows(7, &[1, 2, 3], &z, 200, 1000);
+        assert_eq!(a, b);
+        let c = zipf_flows(8, &[1, 2, 3], &z, 200, 1000);
+        assert_ne!(a, c, "different seed, different flows");
+        // Injection times strictly increase.
+        assert!(a.windows(2).all(|w| w[0].at_ns < w[1].at_ns));
+    }
+
+    #[test]
+    fn straggler_tail_shows_up() {
+        let s = Straggler { base_ns: 1000, jitter_ns: 100, prob: 0.25, straggle_ns: 50_000 };
+        let mut rng = WorkloadRng::new(42);
+        let delays: Vec<u64> = (0..400).map(|_| s.delay_ns(&mut rng)).collect();
+        let stragglers = delays.iter().filter(|&&d| d >= 50_000).count();
+        assert!((50..150).contains(&stragglers), "~25% should straggle, got {stragglers}/400");
+        assert!(delays.iter().all(|&d| d >= 1000));
+    }
+
+    #[test]
+    fn fat_tree_k4_shape() {
+        let ft = FatTree::new(4, LinkSpec::default()).unwrap();
+        assert_eq!(ft.num_hosts(), 16);
+        assert_eq!(ft.core.len(), 4);
+        assert_eq!(ft.edge_by_pod.iter().map(Vec::len).sum::<usize>(), 8);
+        assert_eq!(ft.agg_by_pod.iter().map(Vec::len).sum::<usize>(), 8);
+        // Any-to-any routing works across pods.
+        let (hop, _) = ft.topology.next_hop(NodeId::Host(0), NodeId::Host(15)).unwrap();
+        assert!(matches!(hop, NodeId::Device(_)));
+    }
+
+    #[test]
+    fn fat_tree_rejects_odd_arity() {
+        assert!(FatTree::new(3, LinkSpec::default()).is_err());
+        assert!(FatTree::new(0, LinkSpec::default()).is_err());
+    }
+
+    #[test]
+    fn fat_tree_partition_covers_every_node() {
+        let ft = FatTree::new(4, LinkSpec::default()).unwrap();
+        for shards in [1, 2, 3, 4] {
+            let p = ft.partition(shards);
+            assert_eq!(p.num_shards(), shards);
+        }
+    }
+}

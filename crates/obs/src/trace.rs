@@ -59,6 +59,13 @@ impl Trace {
         &self.events
     }
 
+    /// Appends every event from `other` — how per-shard traces are merged
+    /// into one timeline after a sharded run. Metadata records (track
+    /// names) may repeat; the Perfetto UI tolerates duplicates.
+    pub fn absorb(&mut self, other: Trace) {
+        self.events.extend(other.events);
+    }
+
     /// Records a complete span (`ph:"X"`).
     #[allow(clippy::too_many_arguments)] // mirrors the trace_event field list
     pub fn complete(

@@ -238,6 +238,72 @@ fn replay_is_deterministic_cache() {
 // Batched delivery equivalence (DESIGN.md §13)
 // ---------------------------------------------------------------------------
 
+/// Sharded row of the matrix (ISSUE 7): scheduled faults landing on
+/// *inter-shard* links — a link outage severing the host–device boundary
+/// and a device outage wiping the kernel device — produce identical fault
+/// counter breakdowns (`fault_drops`, `link_losses`, `device_restarts`,
+/// per-node drops) sharded vs. scalar, for a sample of chaos seeds. The
+/// fault schedule is replicated into every shard, so fault *state* agrees
+/// even where the fault's endpoints live in different shards.
+#[test]
+fn sharded_fault_counters_equal_scalar_on_inter_shard_faults() {
+    use netcl_bmv2::Switch;
+    use netcl_net::topo::star;
+    use netcl_net::{NetworkBuilder, NodeId, Partition};
+    use netcl_runtime::message::Message;
+
+    for app in netcl_apps::all_apps() {
+        let unit = compile(app.name, &app.netcl_source);
+        let p4 = unit.device(app.device).expect("kernel device").tna_p4.clone();
+        let dev = app.device;
+        let builder = |seed: u64| {
+            NetworkBuilder::new(star(dev, &[1, 2], chaos_link()))
+                .seed(seed)
+                .device(dev, Switch::new(p4.clone()), 500)
+                .sink_host(1)
+                .sink_host(2)
+                .faults(
+                    FaultSchedule::new()
+                        // h1–dev is an inter-shard link below.
+                        .link_outage(NodeId::Host(1), NodeId::Device(dev), 30_000, 70_000)
+                        .device_outage(dev, 90_000, 110_000),
+                )
+        };
+        let drive = |send: &mut dyn FnMut(u16, u64, Vec<u8>)| {
+            for round in 0..30u64 {
+                let m = Message::new(1, 2, 1, dev);
+                let mut bytes = Vec::new();
+                m.write_header(&mut bytes);
+                bytes.extend((0..64u64).map(|j| (round.wrapping_mul(13) ^ j) as u8));
+                send(1, round * 5_000, bytes);
+            }
+        };
+        // The partition puts the faulted link's endpoints in different
+        // shards: the device with h2, h1 alone.
+        let partition =
+            Partition::new(vec![vec![NodeId::Device(dev), NodeId::Host(2)], vec![NodeId::Host(1)]]);
+        for seed in 0..seed_matrix().min(16) {
+            let scalar = {
+                let mut net = builder(seed).build();
+                drive(&mut |h, at, b| net.send_from_host(h, at, b));
+                net.run(400_000);
+                net.stats.clone()
+            };
+            assert!(scalar.fault_drops > 0, "{}: seed {seed}: faults must bite", app.name);
+            assert_eq!(scalar.device_restarts, 1, "{}: seed {seed}", app.name);
+            let mut net = builder(seed).build_sharded(partition.clone()).unwrap();
+            drive(&mut |h, at, b| net.send_from_host(h, at, b));
+            net.run(400_000);
+            assert_eq!(
+                scalar,
+                net.stats(),
+                "{}: sharded fault counters diverged at seed {seed}",
+                app.name
+            );
+        }
+    }
+}
+
 /// The batched delivery path (the simulator default) is observationally
 /// identical to the scalar one for every Table III application under the
 /// full chaos regime — loss, corruption, duplication, jitter, reordering,

@@ -1,0 +1,408 @@
+//! Cross-shard determinism suite: a sharded run is byte-identical to the
+//! single-threaded run with the same `(seed, schedule)` — merged
+//! `NetStats`, per-device `SwitchCounters`, and every host's received
+//! byte stream. This is the Eq-replay contract (DESIGN.md §11) surviving
+//! the shard runner (DESIGN.md §15) verbatim.
+//!
+//! Each equivalence is asserted three ways per app and seed: scalar
+//! (plain [`netcl_net::Network`]), sharded with the sequential window
+//! runner, and sharded with the threaded runner — so a divergence blames
+//! either the window protocol or thread scheduling, never both at once.
+//!
+//! CI runs this suite twice with different `NETCL_DETERMINISM_SEED`
+//! bases and unconstrained `--test-threads`, so a lucky interleaving
+//! cannot hide scheduling nondeterminism.
+
+use netcl_bmv2::{Switch, SwitchCounters};
+use netcl_net::topo::star;
+use netcl_net::{
+    Fault, LinkSpec, NetStats, NetworkBuilder, NodeCounters, NodeId, Partition, ShardedNetwork,
+};
+use netcl_runtime::message::Message;
+
+fn compile(name: &str, src: &str) -> netcl::CompiledUnit {
+    netcl::Compiler::new(netcl::CompileOptions::default()).compile(name, src).unwrap()
+}
+
+/// Seed-matrix base, varied in CI (`NETCL_DETERMINISM_SEED`) so the suite
+/// does not always test the same eight seeds.
+fn seed_base() -> u64 {
+    std::env::var("NETCL_DETERMINISM_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+/// The full chaos regime: 20% loss, duplication, reordering, jitter.
+fn chaos_link() -> LinkSpec {
+    LinkSpec::chaos(0.2)
+}
+
+/// Everything a run can observably produce: merged stats, the kernel
+/// device's counters, and each host's timestamped byte stream.
+#[derive(Debug, PartialEq)]
+struct RunOutcome {
+    stats: NetStats,
+    counters: SwitchCounters,
+    received: Vec<Vec<(u64, Vec<u8>)>>,
+}
+
+/// The shared driver: hosts 1..=4 on one kernel device, same-timestamp
+/// bursts of pseudo-random payloads from two different source hosts, a
+/// device outage mid-run. Identical injection sequence for scalar and
+/// sharded runs.
+fn drive_star<N>(
+    net: &mut N,
+    dev: u16,
+    send: impl Fn(&mut N, u16, u64, Vec<u8>),
+    run: impl Fn(&mut N, u64) -> u64,
+) {
+    for round in 0..25u64 {
+        for i in 0..4u64 {
+            let (src, dst) = if i % 2 == 0 { (1, 2) } else { (3, 4) };
+            let m = Message::new(src, dst, 1, dev);
+            let mut bytes = Vec::new();
+            m.write_header(&mut bytes);
+            bytes
+                .extend((0..96u64).map(|j| (round.wrapping_mul(31) ^ i.wrapping_mul(7) ^ j) as u8));
+            send(net, src, round * 5_000, bytes);
+        }
+    }
+    run(net, 500_000);
+}
+
+fn star_builder(dev: u16, p4: &netcl_p4::P4Program, seed: u64) -> NetworkBuilder {
+    NetworkBuilder::new(star(dev, &[1, 2, 3, 4], chaos_link()))
+        .seed(seed)
+        .device(dev, Switch::new(p4.clone()), 500)
+        .sink_host(1)
+        .sink_host(2)
+        .sink_host(3)
+        .sink_host(4)
+        .fault(40_000, Fault::DeviceFail(dev))
+        .fault(80_000, Fault::DeviceRestart(dev))
+}
+
+fn scalar_outcome(dev: u16, p4: &netcl_p4::P4Program, seed: u64) -> RunOutcome {
+    let mut net = star_builder(dev, p4, seed).build();
+    drive_star(&mut net, dev, |n, h, at, b| n.send_from_host(h, at, b), |n, max| n.run(max));
+    RunOutcome {
+        stats: net.stats.clone(),
+        counters: net.switch(dev).unwrap().counters().clone(),
+        received: (1..=4).map(|h| net.host_received(h).to_vec()).collect(),
+    }
+}
+
+fn sharded_outcome(
+    dev: u16,
+    p4: &netcl_p4::P4Program,
+    seed: u64,
+    partition: Partition,
+    threaded: bool,
+) -> RunOutcome {
+    let mut net = star_builder(dev, p4, seed).build_sharded(partition).expect("valid partition");
+    net.set_threaded(threaded);
+    drive_star(&mut net, dev, |n, h, at, b| n.send_from_host(h, at, b), |n, max| n.run(max));
+    RunOutcome {
+        stats: net.stats(),
+        counters: net.switch(dev).unwrap().counters().clone(),
+        received: (1..=4).map(|h| net.host_received(h).to_vec()).collect(),
+    }
+}
+
+/// Device with hosts 1 and 3 in shard 0; hosts 2 and 4 in shard 1 — every
+/// delivery to an even host crosses the boundary.
+fn two_shards(dev: u16) -> Partition {
+    Partition::new(vec![
+        vec![NodeId::Device(dev), NodeId::Host(1), NodeId::Host(3)],
+        vec![NodeId::Host(2), NodeId::Host(4)],
+    ])
+}
+
+/// One node per shard: every hop is a shard crossing.
+fn max_shards(dev: u16) -> Partition {
+    Partition::new(vec![
+        vec![NodeId::Device(dev)],
+        vec![NodeId::Host(1)],
+        vec![NodeId::Host(2)],
+        vec![NodeId::Host(3)],
+        vec![NodeId::Host(4)],
+    ])
+}
+
+/// The headline acceptance criterion: for every Table III app, a ≥2-shard
+/// run — sequential and threaded — is byte-identical to the scalar run
+/// across at least 8 chaos seeds.
+#[test]
+fn sharded_matches_scalar_all_apps() {
+    for app in netcl_apps::all_apps() {
+        let unit = compile(app.name, &app.netcl_source);
+        let p4 = &unit.device(app.device).expect("kernel device").tna_p4;
+        let dev = app.device;
+        for seed in seed_base()..seed_base() + 8 {
+            let scalar = scalar_outcome(dev, p4, seed);
+            assert!(
+                scalar.stats.link_losses + scalar.stats.fault_drops > 0,
+                "{}: chaos must actually fire at seed {seed}",
+                app.name
+            );
+            assert_eq!(scalar.stats.device_restarts, 1, "{}", app.name);
+            for threaded in [false, true] {
+                let two = sharded_outcome(dev, p4, seed, two_shards(dev), threaded);
+                assert_eq!(
+                    scalar,
+                    two,
+                    "{}: 2-shard ({}) diverged from scalar at seed {seed}",
+                    app.name,
+                    if threaded { "threaded" } else { "sequential" }
+                );
+                let five = sharded_outcome(dev, p4, seed, max_shards(dev), threaded);
+                assert_eq!(
+                    scalar,
+                    five,
+                    "{}: 5-shard ({}) diverged from scalar at seed {seed}",
+                    app.name,
+                    if threaded { "threaded" } else { "sequential" }
+                );
+            }
+        }
+    }
+}
+
+/// Multi-hop chains: h1 — dev1 — dev2 — h2 with one node group per shard.
+/// Traffic computed at dev1 transits dev2, so cross-shard arrivals chain
+/// through an intermediate shard and the lookahead matrix must be
+/// transitive (Floyd–Warshall, not just direct neighbors).
+#[test]
+fn sharded_matches_scalar_across_multi_hop_chain() {
+    let unit = compile("calc.ncl", &netcl_apps::calc::netcl_source());
+    let p4 = &unit.devices[0].tna_p4;
+    let build = || {
+        let mut topo = netcl_net::Topology::new();
+        topo.link(NodeId::Host(1), NodeId::Device(1), chaos_link());
+        topo.link(NodeId::Device(1), NodeId::Device(2), chaos_link());
+        topo.link(NodeId::Device(2), NodeId::Host(2), chaos_link());
+        NetworkBuilder::new(topo)
+            .seed(11)
+            .device(1, Switch::new(p4.clone()), 500)
+            .device(2, Switch::new(p4.clone()), 500)
+            .sink_host(1)
+            .sink_host(2)
+            .fault(30_000, Fault::LinkDown(NodeId::Device(1), NodeId::Device(2)))
+            .fault(60_000, Fault::LinkUp(NodeId::Device(1), NodeId::Device(2)))
+    };
+    let drive = |send: &mut dyn FnMut(u16, u64, Vec<u8>)| {
+        for round in 0..30u64 {
+            // Alternate computed traffic (CALC reflects to the sender from
+            // dev2, crossing two boundaries back) with pure transit to h2
+            // (forwarded through both devices, crossing all three).
+            let dev = if round % 2 == 0 { 2 } else { netcl_runtime::device::NO_DEVICE };
+            let m = Message::new(1, 2, 1, dev);
+            let mut bytes = Vec::new();
+            m.write_header(&mut bytes);
+            bytes.extend((0..64u64).map(|j| (round ^ j) as u8));
+            send(1, round * 4_000, bytes);
+        }
+    };
+    let scalar = {
+        let mut net = build().build();
+        drive(&mut |h, at, b| net.send_from_host(h, at, b));
+        net.run(200_000);
+        (net.stats.clone(), net.host_received(2).to_vec())
+    };
+    assert!(scalar.1.len() > 1, "traffic must reach h2 through the chain");
+    let partition = Partition::new(vec![
+        vec![NodeId::Host(1)],
+        vec![NodeId::Device(1)],
+        vec![NodeId::Device(2), NodeId::Host(2)],
+    ]);
+    for threaded in [false, true] {
+        let mut net = build().build_sharded(partition.clone()).unwrap();
+        net.set_threaded(threaded);
+        drive(&mut |h, at, b| net.send_from_host(h, at, b));
+        net.run(200_000);
+        assert_eq!(scalar.0, net.stats(), "stats diverged (threaded={threaded})");
+        assert_eq!(scalar.1, net.host_received(2).to_vec(), "payloads diverged");
+    }
+}
+
+/// The sequential and threaded window runners agree with each other on a
+/// freshly-built pair of networks (not just each against scalar), over a
+/// seed sweep wider than the scalar comparison's.
+#[test]
+fn threaded_runner_equals_sequential_runner() {
+    let unit = compile("calc.ncl", &netcl_apps::calc::netcl_source());
+    let p4 = &unit.devices[0].tna_p4;
+    for seed in seed_base()..seed_base() + 16 {
+        let a = sharded_outcome(1, p4, seed, two_shards(1), false);
+        let b = sharded_outcome(1, p4, seed, two_shards(1), true);
+        assert_eq!(a, b, "runners diverged at seed {seed}");
+    }
+}
+
+/// Timers routed through the sharded wrapper keep their scalar keys: a
+/// host timer armed by the driver fires identically in both runs.
+#[test]
+fn sharded_timers_match_scalar() {
+    let unit = compile("calc.ncl", &netcl_apps::calc::netcl_source());
+    let p4 = &unit.devices[0].tna_p4;
+    let scalar = {
+        let mut net = star_builder(1, p4, 5).build();
+        net.set_host_timer(1, 10_000, 77);
+        net.send_from_host(1, 12_000, b"after-timer".to_vec());
+        net.run(100_000);
+        net.stats.clone()
+    };
+    for threaded in [false, true] {
+        let mut net = star_builder(1, p4, 5).build_sharded(two_shards(1)).unwrap();
+        net.set_threaded(threaded);
+        net.set_host_timer(1, 10_000, 77);
+        net.send_from_host(1, 12_000, b"after-timer".to_vec());
+        net.run(100_000);
+        assert_eq!(scalar, net.stats());
+    }
+}
+
+/// Partition validation rejects unassigned nodes, double assignment, and
+/// zero-latency inter-shard links — each with a diagnosable error.
+#[test]
+fn build_sharded_validates_partitions() {
+    let unit = compile("calc.ncl", &netcl_apps::calc::netcl_source());
+    let p4 = &unit.devices[0].tna_p4;
+    let builder = || {
+        NetworkBuilder::new(star(1, &[1, 2], LinkSpec::default()))
+            .device(1, Switch::new(p4.clone()), 500)
+            .sink_host(1)
+            .sink_host(2)
+    };
+    let missing = Partition::new(vec![vec![NodeId::Device(1), NodeId::Host(1)]]);
+    let err = builder().build_sharded(missing).unwrap_err();
+    assert!(err.contains("not assigned"), "{err}");
+
+    let duplicated = Partition::new(vec![
+        vec![NodeId::Device(1), NodeId::Host(1)],
+        vec![NodeId::Host(1), NodeId::Host(2)],
+    ]);
+    let err = builder().build_sharded(duplicated).unwrap_err();
+    assert!(err.contains("more than one shard"), "{err}");
+
+    let zero = LinkSpec { latency_ns: 0, ..LinkSpec::default() };
+    let net = NetworkBuilder::new(star(1, &[1, 2], zero))
+        .device(1, Switch::new(p4.clone()), 500)
+        .sink_host(1)
+        .sink_host(2)
+        .build_sharded(Partition::new(vec![
+            vec![NodeId::Device(1)],
+            vec![NodeId::Host(1), NodeId::Host(2)],
+        ]));
+    let err = net.unwrap_err();
+    assert!(err.contains("zero latency"), "{err}");
+
+    // A zero-latency link *inside* one shard is fine.
+    let mut topo = star(1, &[1, 2], LinkSpec::default());
+    topo.link(NodeId::Host(1), NodeId::Host(2), zero);
+    let ok = NetworkBuilder::new(topo)
+        .device(1, Switch::new(p4.clone()), 500)
+        .sink_host(1)
+        .sink_host(2)
+        .build_sharded(Partition::new(vec![
+            vec![NodeId::Host(1), NodeId::Host(2)],
+            vec![NodeId::Device(1)],
+        ]));
+    assert!(ok.is_ok());
+}
+
+/// `NetStats::accumulate` is commutative and associative — the property
+/// the shard merge leans on (ISSUE 7 satellite). Checked on synthetic
+/// stats with overlapping per-node keys, then on real per-shard stats
+/// from a chaos run.
+#[test]
+fn netstats_accumulate_is_order_independent() {
+    let mk = |base: u64, nodes: &[(NodeId, u64, u64)]| {
+        let mut s = NetStats {
+            delivered: base,
+            kernel_drops: base + 1,
+            link_losses: base * 2,
+            kernel_executions: base + 3,
+            events: base * 5,
+            unroutable: base % 3,
+            fault_drops: base + 7,
+            duplicates: base % 5,
+            corrupted: base % 2,
+            reordered: base + 11,
+            device_restarts: base % 4,
+            recirculations: base + 13,
+            ..NetStats::default()
+        };
+        for &(n, d, dr) in nodes {
+            s.per_node.insert(n, NodeCounters { delivered: d, dropped: dr });
+        }
+        s
+    };
+    let a = mk(3, &[(NodeId::Host(1), 10, 2), (NodeId::Device(1), 5, 0)]);
+    let b = mk(17, &[(NodeId::Host(2), 4, 4), (NodeId::Device(1), 9, 1)]);
+    let c = mk(29, &[(NodeId::Host(1), 1, 1), (NodeId::Host(9), 0, 7)]);
+
+    let fold = |order: &[&NetStats]| {
+        let mut acc = NetStats::default();
+        for s in order {
+            acc.accumulate(s);
+        }
+        acc
+    };
+    let abc = fold(&[&a, &b, &c]);
+    // Commutativity: every permutation agrees.
+    for order in [[&a, &c, &b], [&b, &a, &c], [&b, &c, &a], [&c, &a, &b], [&c, &b, &a]] {
+        assert_eq!(abc, fold(&order));
+    }
+    // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    let mut left = NetStats::default();
+    left.accumulate(&a);
+    left.accumulate(&b);
+    let mut left_c = left.clone();
+    left_c.accumulate(&c);
+    let mut bc = NetStats::default();
+    bc.accumulate(&b);
+    bc.accumulate(&c);
+    let mut a_bc = a.clone();
+    a_bc.accumulate(&bc);
+    assert_eq!(left_c, a_bc);
+
+    // And on real shard stats from a chaos run.
+    let unit = compile("calc.ncl", &netcl_apps::calc::netcl_source());
+    let p4 = &unit.devices[0].tna_p4;
+    let mut net: ShardedNetwork = star_builder(1, p4, 13).build_sharded(max_shards(1)).unwrap();
+    drive_star(&mut net, 1, |n, h, at, b| n.send_from_host(h, at, b), |n, max| n.run(max));
+    let shard_stats: Vec<NetStats> = net.shard_stats().into_iter().cloned().collect();
+    assert!(shard_stats.len() >= 2);
+    let forward = fold(&shard_stats.iter().collect::<Vec<_>>());
+    let backward = fold(&shard_stats.iter().rev().collect::<Vec<_>>());
+    assert_eq!(forward, backward);
+    assert_eq!(forward, net.stats(), "the merge accessor folds in shard order");
+}
+
+/// Sharded observability merges per-shard histograms and traces without
+/// touching the determinism contract: stats still match scalar while the
+/// merged trace contains every shard's track names.
+#[test]
+fn sharded_obs_merges_across_shards() {
+    let unit = compile("calc.ncl", &netcl_apps::calc::netcl_source());
+    let p4 = &unit.devices[0].tna_p4;
+    let obs = netcl_net::ObsConfig { trace: true };
+    let scalar = {
+        let mut net = star_builder(1, p4, 2).observe(obs).build();
+        drive_star(&mut net, 1, |n, h, at, b| n.send_from_host(h, at, b), |n, max| n.run(max));
+        net.stats.clone()
+    };
+    let mut net = star_builder(1, p4, 2).observe(obs).build_sharded(two_shards(1)).unwrap();
+    drive_star(&mut net, 1, |n, h, at, b| n.send_from_host(h, at, b), |n, max| n.run(max));
+    assert_eq!(scalar, net.stats());
+    let merged = net.obs().expect("observability enabled");
+    assert!(merged.queue_depth.count() > 0);
+    let trace = merged.trace.as_ref().expect("tracing enabled");
+    let names: Vec<String> = trace
+        .events()
+        .iter()
+        .filter(|e| e.name == "thread_name")
+        .map(|e| format!("{:?}", e.args))
+        .collect();
+    assert!(names.iter().any(|n| n.contains("device 1")), "{names:?}");
+    assert!(names.iter().any(|n| n.contains("host 2")), "{names:?}");
+}
