@@ -539,8 +539,21 @@ fn main() {
         json.push_str(&format!("]}}}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"sim_histograms\": {}\n", netobs_histograms_json()));
-    json.push_str("}\n");
+    json.push_str(&format!("  \"sim_histograms\": {}", netobs_histograms_json()));
+    // Preserve the sections other bench binaries merged in
+    // (compile_throughput, sim_sharded): carry their tail over verbatim
+    // instead of wiping it on every regeneration.
+    let tail = std::fs::read_to_string("BENCH_switch.json").ok().and_then(|old| {
+        let start = old
+            .find(",\n  \"compile_throughput\":")
+            .or_else(|| old.find(",\n  \"sim_sharded\":"))?;
+        let end = old.rfind("\n}")?;
+        (start < end).then(|| old[start..end].to_string())
+    });
+    if let Some(t) = tail {
+        json.push_str(&t);
+    }
+    json.push_str("\n}\n");
     std::fs::write("BENCH_switch.json", &json).expect("write BENCH_switch.json");
     println!("wrote BENCH_switch.json");
 }

@@ -28,10 +28,13 @@
 //! counters ([`Switch::counters`]) every engine maintains identically; §13
 //! the batched entry point ([`Switch::process_batch`]) and the [`mod@peephole`]
 //! pass over the compiled op stream; §14 the direct-threaded backend and
-//! the phase-split batch execution.
+//! the phase-split batch execution; §16 the runtime control plane
+//! ([`mod@ctrl`]): validated, atomic table-update batches applied to a
+//! running switch without a reload.
 
 pub mod batch;
 pub mod compile;
+pub mod ctrl;
 pub mod eval;
 pub mod packet;
 pub mod peephole;
@@ -40,6 +43,7 @@ pub mod threaded;
 
 pub use batch::{PacketBatch, DEFAULT_BATCH};
 pub use compile::{compile, CompiledProgram, FieldSlot, HeaderId, SlotTable};
+pub use ctrl::{TableOp, TableUpdate, UpdateError};
 pub use packet::{FieldError, Packet, PacketError};
 pub use peephole::PeepholeStats;
 pub use switch::{Engine, Switch, SwitchCounters, SwitchError};

@@ -114,6 +114,12 @@ pub struct SwitchCounters {
     /// Extern function calls (hash engines count separately under their
     /// tables' keys; this counts `random` and the ncl intrinsics).
     pub extern_calls: u64,
+    /// Control-plane table operations applied through
+    /// [`Switch::apply_update`] (one per op in an accepted batch).
+    pub table_updates: u64,
+    /// Control-plane update *batches* rejected by validation (nothing
+    /// applied — see [`crate::ctrl`]).
+    pub update_rejects: u64,
 }
 
 /// Equality ignores the `backend` label (see its doc).
@@ -126,6 +132,8 @@ impl PartialEq for SwitchCounters {
             && self.reg_action_execs == other.reg_action_execs
             && self.action_calls == other.action_calls
             && self.extern_calls == other.extern_calls
+            && self.table_updates == other.table_updates
+            && self.update_rejects == other.update_rejects
     }
 }
 
@@ -193,10 +201,13 @@ impl RuntimeState {
 /// A software switch instance executing one P4 program.
 pub struct Switch {
     program: P4Program,
-    compiled: Arc<CompiledProgram>,
+    /// Crate-visible so the control-plane module ([`crate::ctrl`]) can
+    /// validate updates against the compiled table metadata.
+    pub(crate) compiled: Arc<CompiledProgram>,
     /// The direct-threaded lowering of `compiled` (built once, in `new`).
     threaded: ThreadedProgram,
-    st: RuntimeState,
+    /// Crate-visible so [`crate::ctrl`] can bump the update counters.
+    pub(crate) st: RuntimeState,
     /// Which engine `process` runs ([`Switch::set_engine`]).
     engine: Engine,
     /// Packets processed (telemetry). Mirrors `counters().packets`; kept

@@ -1,0 +1,336 @@
+//! Incremental recompilation cache (DESIGN.md §16).
+//!
+//! `ncc` compiles workloads of many translation units; editing one kernel
+//! should not pay the pass pipeline and codegen for the other 999. A
+//! [`CompileCache`] keeps two content-addressed maps:
+//!
+//! * **unit cache** — keyed by FNV-1a over (options fingerprint, unit
+//!   name, source text). A hit returns the whole [`CompiledUnit`] without
+//!   touching the frontend.
+//! * **device cache** — keyed by FNV-1a over (options fingerprint, the
+//!   printed post-sema base IR for that device). A hit skips the §VI-B
+//!   pass pipeline and P4 codegen for that device; editing one kernel of
+//!   a multi-device unit therefore re-runs the backend only for the
+//!   devices that kernel is `_at(...)`. The printed IR embeds the device
+//!   id (codegen specializes on it), so distinct devices never alias.
+//!
+//! Keys are content hashes, so a mutated source simply misses and
+//! recompiles; nothing is ever invalidated in place. Served artifacts are
+//! marked by [`CompiledUnit::reuse`] and by `from_cache` on any embedded
+//! `PassReport`s, so telemetry consumers can tell a replayed report from a
+//! live pipeline run. The `compile_throughput` bench gates on
+//! [`CacheStats`] to prove there is no silent cache miss.
+
+use std::collections::HashMap;
+
+use crate::compiler::{CompileOptions, CompiledDevice, CompiledUnit, EmitTarget};
+
+/// How much of a [`CompiledUnit`] was served from a [`CompileCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// The whole unit was a cache hit (frontend, sema, lowering, passes
+    /// and codegen all skipped).
+    pub unit_hit: bool,
+    /// Devices this unit compiled for.
+    pub devices_total: usize,
+    /// Devices whose pass pipeline + codegen were served from the device
+    /// cache (equals `devices_total` on a unit hit).
+    pub devices_reused: usize,
+}
+
+/// Hit/miss counters for a [`CompileCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Whole-unit lookups that hit.
+    pub unit_hits: u64,
+    /// Whole-unit lookups that missed.
+    pub unit_misses: u64,
+    /// Per-device lookups that hit.
+    pub device_hits: u64,
+    /// Per-device lookups that missed.
+    pub device_misses: u64,
+}
+
+/// The two-level artifact cache behind `Compiler::compile_incremental`.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    units: HashMap<u64, CompiledUnit>,
+    devices: HashMap<u64, CompiledDevice>,
+    stats: CacheStats,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Hit/miss counters accumulated since construction (or [`Self::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Cached unit count.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Cached per-device artifact count.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Drops all cached artifacts and resets the counters.
+    pub fn clear(&mut self) {
+        self.units.clear();
+        self.devices.clear();
+        self.stats = CacheStats::default();
+    }
+
+    /// Whole-unit lookup; counts the hit or miss.
+    pub(crate) fn unit(&mut self, key: u64) -> Option<CompiledUnit> {
+        let hit = self.units.get(&key).cloned();
+        match hit {
+            Some(_) => self.stats.unit_hits += 1,
+            None => self.stats.unit_misses += 1,
+        }
+        hit
+    }
+
+    pub(crate) fn put_unit(&mut self, key: u64, unit: CompiledUnit) {
+        self.units.insert(key, unit);
+    }
+
+    /// Per-device lookup; counts the hit or miss.
+    pub(crate) fn device(&mut self, key: u64) -> Option<CompiledDevice> {
+        let hit = self.devices.get(&key).cloned();
+        match hit {
+            Some(_) => self.stats.device_hits += 1,
+            None => self.stats.device_misses += 1,
+        }
+        hit
+    }
+
+    pub(crate) fn put_device(&mut self, key: u64, device: CompiledDevice) {
+        self.devices.insert(key, device);
+    }
+}
+
+/// 64-bit FNV-1a, written out so the cache has no hasher dependency and
+/// keys are stable across runs (the bench compares reuse counts to
+/// expectations recorded in CI).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+}
+
+/// Hashes every [`CompileOptions`] field that can change the artifacts.
+/// Two compilers with equal fingerprints produce byte-identical output for
+/// equal input, so fingerprints partition the cache key space.
+pub(crate) fn options_fingerprint(options: &CompileOptions) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&[match options.target {
+        EmitTarget::Tna => 0u8,
+        EmitTarget::V1Model => 1,
+        EmitTarget::Both => 2,
+    }]);
+    let f = &options.flags;
+    h.write(&[
+        f.speculation as u8,
+        f.duplicate_lookup as u8,
+        f.icmp_to_sub_msb as u8,
+        f.bitcast_on_hash as u8,
+    ]);
+    h.write(&f.distance_threshold.to_le_bytes());
+    h.write(&[options.pass_report as u8]);
+    match &options.devices {
+        None => {
+            h.write(&[0u8]);
+        }
+        Some(list) => {
+            h.write(&[1u8]).write_u64(list.len() as u64);
+            for d in list {
+                h.write(&d.to_le_bytes());
+            }
+        }
+    }
+    h.0
+}
+
+/// Unit key: options fingerprint + unit name + full source text.
+pub(crate) fn unit_key(fingerprint: u64, name: &str, source: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(fingerprint)
+        .write_u64(name.len() as u64)
+        .write(name.as_bytes())
+        .write(source.as_bytes());
+    h.0
+}
+
+/// Device key: options fingerprint + the printed post-sema base IR + the
+/// lookup-entry data (the printer records only entry *counts*, but the
+/// generated MATs embed the values). The pass pipeline and codegen are
+/// pure functions of these inputs, so equal keys imply equal artifacts.
+pub(crate) fn device_key(fingerprint: u64, base: &netcl_ir::Module) -> u64 {
+    use netcl_sema::model::LookupEntry;
+    let mut h = Fnv1a::new();
+    h.write_u64(fingerprint).write(netcl_ir::print::print_module(base).as_bytes());
+    for g in &base.globals {
+        for e in &g.entries {
+            match e {
+                LookupEntry::Member { key } => h.write(&[1]).write_u64(*key),
+                LookupEntry::Exact { key, value } => {
+                    h.write(&[2]).write_u64(*key).write_u64(*value)
+                }
+                LookupEntry::Range { lo, hi, value } => {
+                    h.write(&[3]).write_u64(*lo).write_u64(*hi).write_u64(*value)
+                }
+            };
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{tests::FIG4_CACHE, Compiler};
+
+    #[test]
+    fn unit_hit_serves_identical_artifacts() {
+        let cc = Compiler::new(CompileOptions::default());
+        let mut cache = CompileCache::new();
+        let cold = cc.compile_incremental("fig4.ncl", FIG4_CACHE, &mut cache).unwrap();
+        assert!(!cold.reuse.unit_hit);
+        assert_eq!(cold.reuse.devices_reused, 0);
+
+        let warm = cc.compile_incremental("fig4.ncl", FIG4_CACHE, &mut cache).unwrap();
+        assert!(warm.reuse.unit_hit);
+        assert_eq!(warm.reuse.devices_reused, warm.reuse.devices_total);
+        // Byte-identical output: the serve path never re-runs a pass.
+        assert_eq!(
+            netcl_p4::print::print_program(&cold.devices[0].tna_p4),
+            netcl_p4::print::print_program(&warm.devices[0].tna_p4),
+        );
+        assert_eq!(
+            netcl_ir::print::print_module(&cold.devices[0].tna_ir),
+            netcl_ir::print::print_module(&warm.devices[0].tna_ir),
+        );
+        let st = cache.stats();
+        assert_eq!((st.unit_hits, st.unit_misses), (1, 1));
+    }
+
+    #[test]
+    fn mutation_misses_and_recompiles() {
+        let cc = Compiler::new(CompileOptions::default());
+        let mut cache = CompileCache::new();
+        cc.compile_incremental("fig4.ncl", FIG4_CACHE, &mut cache).unwrap();
+        let mutated = FIG4_CACHE.replace("#define THRESH 512", "#define THRESH 600");
+        let warm = cc.compile_incremental("fig4.ncl", &mutated, &mut cache).unwrap();
+        assert!(!warm.reuse.unit_hit, "mutated source must miss the unit cache");
+        assert_eq!(warm.reuse.devices_reused, 0, "mutated IR must miss the device cache");
+        // And the mutated artifact matches its own cold compile exactly.
+        let cold = cc.compile("fig4.ncl", &mutated).unwrap();
+        assert_eq!(
+            netcl_p4::print::print_program(&cold.devices[0].tna_p4),
+            netcl_p4::print::print_program(&warm.devices[0].tna_p4),
+        );
+    }
+
+    #[test]
+    fn untouched_device_reuses_after_mutation() {
+        // Two kernels on two devices: editing the device-2 kernel leaves
+        // device 1's base IR unchanged, so only device 2 recompiles.
+        let src = |idx: usize| {
+            format!(
+                r#"
+_net_ _at(1) int sa[8];
+_net_ _at(2) int sb[8];
+_kernel(1) _at(1) void ka(int x, int &o) {{ o = ncl::atomic_add(&sa[0], x); }}
+_kernel(2) _at(2) void kb(int x, int &o) {{ o = ncl::atomic_add(&sb[{idx}], x); }}
+"#
+            )
+        };
+        let cc = Compiler::new(CompileOptions::default());
+        let mut cache = CompileCache::new();
+        let cold = cc.compile_incremental("t.ncl", &src(0), &mut cache).unwrap();
+        assert_eq!(cold.reuse.devices_total, 2);
+        assert_eq!(cold.reuse.devices_reused, 0);
+
+        let warm = cc.compile_incremental("t.ncl", &src(1), &mut cache).unwrap();
+        assert!(!warm.reuse.unit_hit);
+        assert_eq!(warm.reuse.devices_total, 2);
+        assert_eq!(warm.reuse.devices_reused, 1, "device 1 must be served from cache");
+        // Device 1's artifact is byte-identical to the cold compile;
+        // device 2 actually picked up the edit.
+        let p4 =
+            |u: &CompiledUnit, d: u16| netcl_p4::print::print_program(&u.device(d).unwrap().tna_p4);
+        assert_eq!(p4(&cold, 1), p4(&warm, 1));
+        assert_ne!(p4(&cold, 2), p4(&warm, 2));
+        assert_eq!(warm.device(1).unwrap().device, 1);
+        assert_eq!(warm.device(2).unwrap().device, 2);
+    }
+
+    #[test]
+    fn lookup_entry_values_are_part_of_the_key() {
+        // The IR printer shows only the entry *count* for lookup globals;
+        // a value-only edit must still miss the device cache.
+        let src = |v: u64| {
+            format!(
+                r#"
+_net_ _lookup_ ncl::kv<unsigned, unsigned> t[] = {{{{1,{v}}}, {{2,7}}}};
+_kernel(1) _at(1) void g(unsigned k, unsigned &v, char &hit) {{ hit = ncl::lookup(t, k, v); }}
+"#
+            )
+        };
+        let cc = Compiler::new(CompileOptions::default());
+        let mut cache = CompileCache::new();
+        cc.compile_incremental("t.ncl", &src(10), &mut cache).unwrap();
+        let warm = cc.compile_incremental("t.ncl", &src(11), &mut cache).unwrap();
+        assert_eq!(warm.reuse.devices_reused, 0, "changed entry value served stale artifact");
+        let cold = cc.compile("t.ncl", &src(11)).unwrap();
+        assert_eq!(
+            netcl_p4::print::print_program(&cold.devices[0].tna_p4),
+            netcl_p4::print::print_program(&warm.devices[0].tna_p4),
+        );
+    }
+
+    #[test]
+    fn options_partition_the_key_space() {
+        let a = options_fingerprint(&CompileOptions::default());
+        let b =
+            options_fingerprint(&CompileOptions { target: EmitTarget::Tna, ..Default::default() });
+        let mut flags_off = CompileOptions::default();
+        flags_off.flags.speculation = !flags_off.flags.speculation;
+        let c = options_fingerprint(&flags_off);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn cached_pass_reports_are_marked() {
+        let cc = Compiler::new(CompileOptions { pass_report: true, ..Default::default() });
+        let mut cache = CompileCache::new();
+        let cold = cc.compile_incremental("fig4.ncl", FIG4_CACHE, &mut cache).unwrap();
+        assert!(!cold.devices[0].tna_pass_report.as_ref().unwrap().from_cache);
+        let warm = cc.compile_incremental("fig4.ncl", FIG4_CACHE, &mut cache).unwrap();
+        assert!(warm.devices[0].tna_pass_report.as_ref().unwrap().from_cache);
+        assert!(warm.devices[0].v1_pass_report.as_ref().unwrap().from_cache);
+    }
+}

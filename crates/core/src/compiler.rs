@@ -12,6 +12,7 @@ use netcl_passes::{PassFlags, PassReport, PipelineTarget};
 use netcl_sema::Model;
 use netcl_util::DiagnosticSink;
 
+use crate::cache::{self, CompileCache, ReuseStats};
 use crate::codegen;
 use crate::lower;
 
@@ -86,16 +87,21 @@ pub struct CompiledDevice {
 }
 
 /// A fully compiled translation unit.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CompiledUnit {
     /// The semantic model (kernel specifications for the host runtime).
     pub model: Model,
     /// Per-device outputs.
     pub devices: Vec<CompiledDevice>,
-    /// Phase timings.
+    /// Phase timings. On a cache hit these are the *original* run's
+    /// timings — wall-clock savings show up in the caller's clock, not
+    /// here.
     pub timings: CompileTimings,
     /// Warnings (rendered).
     pub warnings: Vec<String>,
+    /// What the incremental cache contributed (all-zero for cold
+    /// [`Compiler::compile`] calls).
+    pub reuse: ReuseStats,
 }
 
 impl CompiledUnit {
@@ -133,8 +139,47 @@ impl Compiler {
         Compiler { options }
     }
 
-    /// Compiles one NetCL-C translation unit.
+    /// Compiles one NetCL-C translation unit (no caching).
     pub fn compile(&self, name: &str, source: &str) -> Result<CompiledUnit, CompileError> {
+        self.compile_with(name, source, None)
+    }
+
+    /// Compiles one unit through the incremental cache (DESIGN.md §16):
+    /// unchanged units are served whole, and devices whose post-sema base
+    /// IR is unchanged skip the pass pipeline and codegen. Served
+    /// artifacts carry [`ReuseStats`] and `from_cache` pass reports.
+    pub fn compile_incremental(
+        &self,
+        name: &str,
+        source: &str,
+        cache: &mut CompileCache,
+    ) -> Result<CompiledUnit, CompileError> {
+        self.compile_with(name, source, Some(cache))
+    }
+
+    /// The single compile path: `cache = None` is a cold compile.
+    pub fn compile_with(
+        &self,
+        name: &str,
+        source: &str,
+        mut cache: Option<&mut CompileCache>,
+    ) -> Result<CompiledUnit, CompileError> {
+        let fingerprint = cache::options_fingerprint(&self.options);
+        let ukey = cache::unit_key(fingerprint, name, source);
+        if let Some(c) = cache.as_deref_mut() {
+            if let Some(mut unit) = c.unit(ukey) {
+                unit.reuse = ReuseStats {
+                    unit_hit: true,
+                    devices_total: unit.devices.len(),
+                    devices_reused: unit.devices.len(),
+                };
+                for d in &mut unit.devices {
+                    mark_cached(d);
+                }
+                return Ok(unit);
+            }
+        }
+
         let mut timings = CompileTimings::default();
 
         let t0 = Instant::now();
@@ -156,6 +201,7 @@ impl Compiler {
             self.options.devices.clone().unwrap_or_else(|| analysis.model.mentioned_devices());
 
         let mut out_devices = Vec::new();
+        let mut reuse = ReuseStats::default();
         for dev in devices {
             let t0 = Instant::now();
             let base = lower::lower_device(&unit, &analysis, dev, &mut diags);
@@ -172,6 +218,22 @@ impl Compiler {
                     ),
                     codes: vec!["E0399".into()],
                 });
+            }
+            reuse.devices_total += 1;
+
+            // Device-level reuse: the pass pipeline and codegen are pure
+            // functions of (base IR, flags, target), so an unchanged base
+            // IR means the cached artifact is byte-identical to what a
+            // fresh run would produce.
+            let dkey = cache.as_ref().map(|_| cache::device_key(fingerprint, &base));
+            if let (Some(c), Some(k)) = (cache.as_deref_mut(), dkey) {
+                if let Some(mut d) = c.device(k) {
+                    d.device = dev;
+                    mark_cached(&mut d);
+                    reuse.devices_reused += 1;
+                    out_devices.push(d);
+                    continue;
+                }
             }
 
             let want_tna = self.options.target != EmitTarget::V1Model;
@@ -237,7 +299,7 @@ impl Compiler {
             };
             timings.codegen += t0.elapsed();
 
-            out_devices.push(CompiledDevice {
+            let compiled = CompiledDevice {
                 device: dev,
                 tna_ir,
                 v1_ir,
@@ -245,7 +307,11 @@ impl Compiler {
                 v1_p4,
                 tna_pass_report,
                 v1_pass_report,
-            });
+            };
+            if let (Some(c), Some(k)) = (cache.as_deref_mut(), dkey) {
+                c.put_device(k, compiled.clone());
+            }
+            out_devices.push(compiled);
         }
 
         let warnings = diags
@@ -254,7 +320,23 @@ impl Compiler {
             .filter(|d| d.severity == netcl_util::Severity::Warning)
             .map(|d| d.render(&unit.source_map))
             .collect();
-        Ok(CompiledUnit { model: analysis.model, devices: out_devices, timings, warnings })
+        let out =
+            CompiledUnit { model: analysis.model, devices: out_devices, timings, warnings, reuse };
+        if let Some(c) = cache {
+            c.put_unit(ukey, out.clone());
+        }
+        Ok(out)
+    }
+}
+
+/// Flags every embedded pass report as cache-served so telemetry
+/// consumers don't mistake a replayed report for a live pipeline run.
+fn mark_cached(d: &mut CompiledDevice) {
+    if let Some(r) = d.tna_pass_report.as_mut() {
+        r.from_cache = true;
+    }
+    if let Some(r) = d.v1_pass_report.as_mut() {
+        r.from_cache = true;
     }
 }
 
@@ -266,7 +348,7 @@ fn render(diags: &DiagnosticSink, map: &netcl_util::SourceMap) -> CompileError {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use netcl_ir::interp::{execute, DeviceState, ExecEnv};
     use netcl_sema::builtins::ActionKind;

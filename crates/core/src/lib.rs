@@ -31,14 +31,25 @@
 //! assert!(p4.controls.iter().any(|c| !c.tables.is_empty()));
 //! ```
 //!
+//! For workloads of many units, [`Compiler::compile_incremental`] reuses
+//! unchanged artifacts through a content-addressed [`CompileCache`]:
+//! whole units are keyed by source text, per-device artifacts by the
+//! printed post-sema base IR, so an edit recompiles only what it touched.
+//! Served results carry [`compiler::CompiledUnit::reuse`] and mark their
+//! pass reports `from_cache` (the `compile_throughput` bench gates on
+//! this).
+//!
 //! DESIGN.md §4 walks the pipeline stage by stage; §12 documents the
 //! per-pass telemetry behind [`CompileOptions::pass_report`] and
-//! `ncc --emit-pass-report`.
+//! `ncc --emit-pass-report`; §16 covers the runtime control plane and the
+//! incremental recompilation cache ([`cache`]).
 
+pub mod cache;
 pub mod codegen;
 pub mod compiler;
 pub mod lower;
 
+pub use cache::{CacheStats, CompileCache, ReuseStats};
 pub use compiler::{
     CompileError, CompileOptions, CompiledDevice, CompiledUnit, Compiler, EmitTarget,
 };

@@ -148,6 +148,9 @@ impl NetworkBuilder {
                 hosts,
                 seed: self.seed,
                 faults: self.faults.clone(),
+                // Rule-update schedules replicate like faults so update
+                // keys agree in every shard; application is owner-only.
+                updates: self.updates.clone(),
                 restart_hooks,
                 obs: self.obs,
                 engine: self.engine,
@@ -316,6 +319,24 @@ impl ShardedNetwork {
     pub fn schedule_fault(&mut self, at_ns: u64, fault: Fault) {
         for sh in &mut self.shards {
             sh.schedule_fault(at_ns, fault.clone());
+        }
+    }
+
+    /// Schedules a control-plane rule update mid-run, replicated into
+    /// every shard with the same key; only the shard owning the device
+    /// applies (and counts) it, so merged stats match the scalar run.
+    pub fn schedule_update(&mut self, at_ns: u64, device: u16, update: netcl_bmv2::TableUpdate) {
+        for sh in &mut self.shards {
+            sh.schedule_update(at_ns, device, update.clone());
+        }
+    }
+
+    /// Applies a rule update to a device now, on its owner shard, through
+    /// the journaled path (see [`Network::apply_update`]).
+    pub fn apply_update(&mut self, device: u16, update: netcl_bmv2::TableUpdate) -> bool {
+        match self.shard_of.get(&NodeId::Device(device)) {
+            Some(&s) => self.shards[s].apply_update(device, update),
+            None => false,
         }
     }
 

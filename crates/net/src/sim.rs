@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
-use netcl_bmv2::{Packet, PacketBatch, Switch};
+use netcl_bmv2::{Packet, PacketBatch, Switch, TableUpdate};
 use netcl_obs::{Histogram, Stopwatch, Trace, Value};
 use netcl_runtime::device::{DeviceRuntime, Forward};
 use netcl_runtime::message::Message;
@@ -217,6 +217,13 @@ pub struct NetStats {
     pub device_restarts: u64,
     /// Recirculation passes (kernel executions beyond a message's first).
     pub recirculations: u64,
+    /// Control-plane rule-update batches applied to a live device
+    /// ([`Network::schedule_update`]); counted only where the device
+    /// lives, so shards merge exactly.
+    pub rule_updates: u64,
+    /// Rule-update batches that did not land: the target device was failed
+    /// (blackholed) at delivery time, or the batch failed validation.
+    pub rule_update_rejects: u64,
     /// Per-node delivered/dropped breakdown (keyed deterministically).
     pub per_node: BTreeMap<NodeId, NodeCounters>,
 }
@@ -241,6 +248,8 @@ impl NetStats {
         self.reordered += other.reordered;
         self.device_restarts += other.device_restarts;
         self.recirculations += other.recirculations;
+        self.rule_updates += other.rule_updates;
+        self.rule_update_rejects += other.rule_update_rejects;
         for (n, c) in &other.per_node {
             let e = self.per_node.entry(*n).or_default();
             e.delivered += c.delivered;
@@ -293,6 +302,7 @@ pub struct NetworkBuilder {
     pub(crate) hosts: Vec<(u16, Option<HostHandler>, u64)>,
     pub(crate) seed: u64,
     pub(crate) faults: Vec<(u64, Fault)>,
+    pub(crate) updates: Vec<(u64, u16, TableUpdate)>,
     pub(crate) restart_hooks: HashMap<u16, RestartHook>,
     pub(crate) obs: Option<ObsConfig>,
     pub(crate) engine: Option<netcl_bmv2::Engine>,
@@ -338,6 +348,16 @@ impl NetworkBuilder {
     /// Schedules a whole [`FaultSchedule`].
     pub fn faults(mut self, schedule: FaultSchedule) -> Self {
         self.faults.extend(schedule.events().iter().cloned());
+        self
+    }
+
+    /// Schedules a control-plane rule update: the [`TableUpdate`] batch is
+    /// applied atomically to device `device`'s switch at `at_ns`
+    /// (DESIGN.md §16). Applied updates are journaled and replayed after a
+    /// [`Fault::DeviceRestart`], so live rule changes survive where a full
+    /// reload would lose them.
+    pub fn update(mut self, at_ns: u64, device: u16, update: TableUpdate) -> Self {
+        self.updates.push((at_ns, device, update));
         self
     }
 
@@ -438,6 +458,8 @@ impl NetworkBuilder {
             rngs: HashMap::new(),
             stats: NetStats::default(),
             fault_list: Vec::new(),
+            update_list: Vec::new(),
+            applied_updates: HashMap::new(),
             downed: HashSet::new(),
             island: None,
             failed: HashSet::new(),
@@ -450,6 +472,9 @@ impl NetworkBuilder {
         };
         for (at, fault) in self.faults {
             net.schedule_fault(at, fault);
+        }
+        for (at, dev, update) in self.updates {
+            net.schedule_update(at, dev, update);
         }
         net
     }
@@ -479,6 +504,14 @@ pub struct Network {
     pub stats: NetStats,
     /// Scheduled faults, referenced by index from `EventOrd::Fault`.
     fault_list: Vec<Fault>,
+    /// Scheduled rule updates, referenced by index from
+    /// `EventOrd::RuleUpdate`. Replicated into every shard (like faults)
+    /// so indices — and therefore event keys — agree everywhere.
+    update_list: Vec<(u16, TableUpdate)>,
+    /// Per-device journal of applied updates, replayed (after the restart
+    /// hook) when the device restarts — live rule changes survive the
+    /// factory reset (DESIGN.md §16).
+    applied_updates: HashMap<u16, Vec<TableUpdate>>,
     /// Links currently down (order-normalized endpoint pairs).
     downed: HashSet<(NodeId, NodeId)>,
     /// Active partition: one island of nodes, cut off from the rest.
@@ -538,7 +571,15 @@ enum EventOrd {
     Timer(NodeId, u64),
     HostSend(NodeId),
     Fault(usize),
+    RuleUpdate(usize),
 }
+
+/// Rule-update control keys live in the top half of the
+/// [`EventSrc::Control`] space so they can never collide with fault keys
+/// (fault index `i` → `Control(i)`, update index `i` → `Control(BIT | i)`).
+/// At equal timestamps faults therefore order before rule updates — fixed,
+/// documented, and identical in every shard.
+const RULE_UPDATE_KEY_BIT: u64 = 1 << 63;
 
 /// An event that crossed a shard boundary: always an arrival, carrying the
 /// deterministic key it was pushed with on the sending shard.
@@ -687,6 +728,32 @@ impl Network {
         self.push_keyed(at_ns, EventSrc::Control(idx as u64), EventOrd::Fault(idx), Vec::new());
     }
 
+    /// Schedules a control-plane rule update at an absolute simulated time
+    /// (also available on the builder; this form lets a controller inject
+    /// mid-run). Keyed by schedule index in a space disjoint from fault
+    /// keys, so replicating one schedule across shards yields identical
+    /// keys in every shard.
+    pub fn schedule_update(&mut self, at_ns: u64, device: u16, update: TableUpdate) {
+        let idx = self.update_list.len();
+        self.update_list.push((device, update));
+        self.push_keyed(
+            at_ns,
+            EventSrc::Control(RULE_UPDATE_KEY_BIT | idx as u64),
+            EventOrd::RuleUpdate(idx),
+            Vec::new(),
+        );
+    }
+
+    /// Applies a rule update to a device *now*, through the same journaled
+    /// path a scheduled update takes: counted in
+    /// [`NetStats::rule_updates`] / [`NetStats::rule_update_rejects`] and
+    /// replayed after a device restart. Returns whether the batch landed.
+    /// A device this network does not own (sharding) is a no-op `false` —
+    /// the owner shard counts it.
+    pub fn apply_update(&mut self, device: u16, update: TableUpdate) -> bool {
+        self.apply_rule_update_inner(device, &update)
+    }
+
     /// Whether device `id` is currently failed.
     pub fn device_failed(&self, id: u16) -> bool {
         self.failed.contains(&id)
@@ -750,7 +817,7 @@ impl Network {
                 break;
             };
             self.clock = self.clock.max(time);
-            if !matches!(ord, EventOrd::Fault(_)) {
+            if !matches!(ord, EventOrd::Fault(_) | EventOrd::RuleUpdate(_)) {
                 self.stats.events += 1;
             }
             n += 1;
@@ -768,7 +835,7 @@ impl Network {
             self.cur_node = match &ord {
                 EventOrd::HostSend(n) | EventOrd::Arrive(n) => Some(*n),
                 EventOrd::Timer(n, _) => Some(*n),
-                EventOrd::Fault(_) => None,
+                EventOrd::Fault(_) | EventOrd::RuleUpdate(_) => None,
             };
             match ord {
                 EventOrd::HostSend(NodeId::Host(h)) => self.host_transmit(h, bytes),
@@ -807,6 +874,7 @@ impl Network {
                 EventOrd::Arrive(NodeId::Host(h)) => self.host_receive(h, bytes),
                 EventOrd::Timer(NodeId::Host(h), token) => self.host_timer(h, token),
                 EventOrd::Fault(idx) => self.apply_fault(idx),
+                EventOrd::RuleUpdate(idx) => self.apply_rule_update(idx),
                 _ => {}
             }
             self.cur_node = None;
@@ -815,6 +883,39 @@ impl Network {
             }
         }
         n
+    }
+
+    fn apply_rule_update(&mut self, idx: usize) {
+        let (dev, update) = self.update_list[idx].clone();
+        self.apply_rule_update_inner(dev, &update);
+    }
+
+    /// The one rule-update path (scheduled and immediate): validate-then-
+    /// apply on the owner, count it, and journal successes for replay
+    /// after a restart. Non-owned devices (sharding) are a silent no-op —
+    /// the schedule is replicated, the application is not.
+    fn apply_rule_update_inner(&mut self, dev: u16, update: &TableUpdate) -> bool {
+        if !self.devices.contains_key(&dev) {
+            return false;
+        }
+        if self.failed.contains(&dev) {
+            // The controller cannot reach a failed device: the batch is
+            // lost, not queued (and not journaled — it never landed).
+            self.stats.rule_update_rejects += 1;
+            self.trace_instant("update.reject", NodeId::Device(dev), self.clock);
+            return false;
+        }
+        let node = self.devices.get_mut(&dev).expect("checked above");
+        let applied = node.switch.apply_update(update).is_ok();
+        if applied {
+            self.stats.rule_updates += 1;
+            self.applied_updates.entry(dev).or_default().push(update.clone());
+            self.trace_instant("update.apply", NodeId::Device(dev), self.clock);
+        } else {
+            self.stats.rule_update_rejects += 1;
+            self.trace_instant("update.reject", NodeId::Device(dev), self.clock);
+        }
+        applied
     }
 
     fn apply_fault(&mut self, idx: usize) {
@@ -854,6 +955,15 @@ impl Network {
                     if let Some(mut hook) = self.restart_hooks.remove(&d) {
                         hook(&mut node.switch);
                         self.restart_hooks.insert(d, hook);
+                    }
+                    // Replay journaled rule updates *after* the hook: the
+                    // hook restores the checkpoint, the journal re-applies
+                    // every live rule change made since — a reload no
+                    // longer loses them (DESIGN.md §16).
+                    if let Some(journal) = self.applied_updates.get(&d) {
+                        for u in journal {
+                            let _ = node.switch.apply_update(u);
+                        }
                     }
                 }
             }

@@ -23,6 +23,14 @@
 //!
 //! Every transform pass preserves kernel semantics; the test-suite checks
 //! this differentially with the IR interpreter on randomized inputs.
+//!
+//! Per-pass telemetry lives in [`report`] (DESIGN.md §12): a
+//! [`PassReport`] records wall time, IR deltas and rewrite counts for
+//! each pass, exports them as JSONL, and carries a `from_cache` marker so
+//! reports replayed by the incremental recompilation cache (DESIGN.md
+//! §16) are distinguishable from live runs. The pipeline itself is a pure
+//! function of (IR, [`PassFlags`], [`PipelineTarget`]) — the property the
+//! cache's content-addressed keys rely on.
 
 pub mod cfg;
 pub mod dce;

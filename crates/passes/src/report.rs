@@ -79,6 +79,10 @@ pub struct PassReport {
     pub blocks_end: u64,
     /// Per-pass aggregates, in first-execution order.
     pub passes: Vec<PassStat>,
+    /// Whether this report was served from the incremental-compile cache
+    /// instead of a fresh pipeline run: the per-pass numbers then describe
+    /// the *original* run whose artifacts were reused (DESIGN.md §16).
+    pub from_cache: bool,
 }
 
 impl PassReport {
@@ -93,6 +97,7 @@ impl PassReport {
             blocks_start: blocks,
             blocks_end: blocks,
             passes: Vec::new(),
+            from_cache: false,
         }
     }
 
@@ -179,7 +184,8 @@ impl PassReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "pass report — target {}, {} kernel(s): {} insts → {}, {} blocks → {}, {:.2} ms total",
+            "pass report{} — target {}, {} kernel(s): {} insts → {}, {} blocks → {}, {:.2} ms total",
+            if self.from_cache { " (cached)" } else { "" },
             self.target,
             self.kernels,
             self.insts_start,
@@ -226,7 +232,8 @@ impl PassReport {
                 .field("wall_ns", self.total_ns())
                 .field("insts", self.insts_end)
                 .field("blocks", self.blocks_end)
-                .field("runs", self.kernels),
+                .field("runs", self.kernels)
+                .field("from_cache", self.from_cache as u64),
         );
         out
     }

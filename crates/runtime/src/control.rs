@@ -1,0 +1,320 @@
+//! The runtime control plane: source-level rule updates for a *running*
+//! switch (DESIGN.md §16).
+//!
+//! [`ManagedMemory`] resolves source names to physical device state;
+//! [`ControlPlane`] builds on it to turn one source-level `_managed_
+//! _lookup_` mutation into an **atomic** [`TableUpdate`] batch covering
+//! every match-action table the compiler materialized for that lookup
+//! (duplication fans one source table out to `lu_<name>_…` MATs, one per
+//! access site — they must change together or the data plane observes a
+//! torn update). The batch is validated and applied by
+//! [`netcl_bmv2::Switch::apply_update`]: all MATs update, or none do.
+//!
+//! Unlike a program reload (what [`DeviceRestart`] does in the chaos
+//! harness), applying a `TableUpdate` touches *only* the targeted tables:
+//! registers — all `_managed_` scalar and array state — and the other
+//! tables keep their live contents. The simulator additionally journals
+//! scheduled updates per device and replays them after a restart, so
+//! updated rules survive where a full reload would lose them
+//! (`netcl_net::sim`).
+//!
+//! [`DeviceRestart`]: netcl_bmv2::Switch
+//!
+//! Engine uniformity: all three execution engines read the same runtime
+//! table store, so an applied update is visible to the threaded default
+//! and the interpreter oracle alike; the chaos matrix asserts the
+//! resulting packet streams, counters, and stats are byte-identical.
+
+use crate::managed::{ManagedError, ManagedMemory};
+use netcl_bmv2::{Switch, TableUpdate, UpdateError};
+use netcl_ir::Module;
+use netcl_p4::ast::{EntryKey, TableEntry};
+use netcl_sema::model::LookupEntry;
+
+/// Control-plane errors: name resolution or batch validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// The source-level name did not resolve to managed lookup state.
+    Managed(ManagedError),
+    /// The built batch failed validation (nothing was applied).
+    Update(UpdateError),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::Managed(e) => write!(f, "{e}"),
+            ControlError::Update(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<ManagedError> for ControlError {
+    fn from(e: ManagedError) -> Self {
+        ControlError::Managed(e)
+    }
+}
+
+impl From<UpdateError> for ControlError {
+    fn from(e: UpdateError) -> Self {
+        ControlError::Update(e)
+    }
+}
+
+/// Source-level control plane for one device's switch.
+///
+/// Construct it from the device's lowered IR module (the same input
+/// [`ManagedMemory::new`] takes); the resolver inside survives for the
+/// life of the program, across any number of updates and device restarts.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    mm: ManagedMemory,
+}
+
+impl ControlPlane {
+    /// Builds the control plane from a compiled device module.
+    pub fn new(module: &Module) -> ControlPlane {
+        ControlPlane { mm: ManagedMemory::new(module) }
+    }
+
+    /// The underlying managed-memory resolver (scalar/array register
+    /// access: `ncl::managed_read` / `ncl::managed_write`).
+    pub fn memory(&self) -> &ManagedMemory {
+        &self.mm
+    }
+
+    // ---- batch builders --------------------------------------------------
+
+    /// Builds the atomic batch that inserts `entry` into every MAT of the
+    /// source-level lookup `name`. The batch can be applied immediately
+    /// ([`ControlPlane::insert`]) or scheduled against a running
+    /// simulation (`Network::schedule_update`).
+    pub fn build_insert(
+        &self,
+        sw: &Switch,
+        name: &str,
+        entry: &LookupEntry,
+    ) -> Result<TableUpdate, ControlError> {
+        self.build(sw, name, |u, t, action| u.insert(t, to_table_entry(entry, action)))
+    }
+
+    /// Builds the batch that upserts `entry` (replaces any entry with the
+    /// same key, in every MAT).
+    pub fn build_modify(
+        &self,
+        sw: &Switch,
+        name: &str,
+        entry: &LookupEntry,
+    ) -> Result<TableUpdate, ControlError> {
+        self.build(sw, name, |u, t, action| u.modify(t, to_table_entry(entry, action)))
+    }
+
+    /// Builds the batch that removes `key` from every MAT.
+    pub fn build_remove(
+        &self,
+        sw: &Switch,
+        name: &str,
+        key: u64,
+    ) -> Result<TableUpdate, ControlError> {
+        self.build(sw, name, |u, t, _| u.delete(t, vec![EntryKey::Value(key)]))
+    }
+
+    /// Builds the batch that replaces the lookup's contents wholesale.
+    pub fn build_replace(
+        &self,
+        sw: &Switch,
+        name: &str,
+        entries: &[LookupEntry],
+    ) -> Result<TableUpdate, ControlError> {
+        self.build(sw, name, |u, t, action| {
+            let rows: Vec<TableEntry> = entries.iter().map(|e| to_table_entry(e, action)).collect();
+            u.set(t, rows)
+        })
+    }
+
+    fn build(
+        &self,
+        sw: &Switch,
+        name: &str,
+        mut op: impl FnMut(TableUpdate, String, &str) -> TableUpdate,
+    ) -> Result<TableUpdate, ControlError> {
+        let mut update = TableUpdate::new();
+        for t in self.mm.lookup_tables(sw, name)? {
+            let action = sw
+                .program()
+                .controls
+                .iter()
+                .find_map(|c| c.table(&t).and_then(|td| td.actions.first().cloned()))
+                .unwrap_or_default();
+            update = op(update, t, &action);
+        }
+        Ok(update)
+    }
+
+    // ---- immediate application -------------------------------------------
+
+    /// Atomically inserts `entry` into the source-level lookup `name` on a
+    /// running switch. Returns the number of table operations applied.
+    pub fn insert(
+        &self,
+        sw: &mut Switch,
+        name: &str,
+        entry: &LookupEntry,
+    ) -> Result<usize, ControlError> {
+        let u = self.build_insert(sw, name, entry)?;
+        Ok(sw.apply_update(&u)?)
+    }
+
+    /// Atomically upserts `entry` (modify-or-insert by key).
+    pub fn modify(
+        &self,
+        sw: &mut Switch,
+        name: &str,
+        entry: &LookupEntry,
+    ) -> Result<usize, ControlError> {
+        let u = self.build_modify(sw, name, entry)?;
+        Ok(sw.apply_update(&u)?)
+    }
+
+    /// Atomically removes `key` from the lookup.
+    pub fn remove(&self, sw: &mut Switch, name: &str, key: u64) -> Result<usize, ControlError> {
+        let u = self.build_remove(sw, name, key)?;
+        Ok(sw.apply_update(&u)?)
+    }
+
+    /// Atomically replaces the lookup's contents.
+    pub fn replace(
+        &self,
+        sw: &mut Switch,
+        name: &str,
+        entries: &[LookupEntry],
+    ) -> Result<usize, ControlError> {
+        let u = self.build_replace(sw, name, entries)?;
+        Ok(sw.apply_update(&u)?)
+    }
+}
+
+fn to_table_entry(e: &LookupEntry, action: &str) -> TableEntry {
+    match *e {
+        LookupEntry::Member { key } => TableEntry {
+            keys: vec![EntryKey::Value(key)],
+            action: action.to_string(),
+            args: vec![],
+        },
+        LookupEntry::Exact { key, value } => TableEntry {
+            keys: vec![EntryKey::Value(key)],
+            action: action.to_string(),
+            args: vec![value],
+        },
+        LookupEntry::Range { lo, hi, value } => TableEntry {
+            keys: vec![EntryKey::Range(lo, hi)],
+            action: action.to_string(),
+            args: vec![value],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{pack, unpack, Message};
+    use netcl_bmv2::Engine;
+
+    const SRC: &str = r#"
+_managed_ unsigned epoch;
+_managed_ _lookup_ ncl::kv<unsigned, unsigned> cache[8] = {{1, 42}};
+_kernel(1) _at(1) void k(unsigned key, unsigned &v, char &hit, unsigned &e) {
+  hit = ncl::lookup(cache, key, v);
+  e = epoch;
+}
+"#;
+
+    fn compiled() -> (netcl::CompiledUnit, Switch, ControlPlane) {
+        let unit =
+            netcl::Compiler::new(netcl::CompileOptions::default()).compile("c.ncl", SRC).unwrap();
+        let sw = Switch::new(unit.devices[0].tna_p4.clone());
+        let cp = ControlPlane::new(&unit.devices[0].tna_ir);
+        (unit, sw, cp)
+    }
+
+    fn run_key(unit: &netcl::CompiledUnit, sw: &mut Switch, key: u64) -> (u64, u64, u64) {
+        let spec = unit.model.kernels[0].specification();
+        let m = Message::new(1, 2, 1, 1);
+        let packed = pack(&m, &spec, &[Some(&[key]), None, None, None]).unwrap();
+        let (_, out) = sw.process(&packed).unwrap();
+        let mut v = Vec::new();
+        let mut hit = Vec::new();
+        let mut e = Vec::new();
+        unpack(&out, &spec, &mut [None, Some(&mut v), Some(&mut hit), Some(&mut e)]).unwrap();
+        (v[0], hit[0], e[0])
+    }
+
+    /// Live updates without a reload: registers keep their state while
+    /// tables change, and the update counters reflect every applied op.
+    #[test]
+    fn live_update_preserves_managed_registers() {
+        let (unit, mut sw, cp) = compiled();
+        cp.memory().write(&mut sw, "epoch", &[], 7).unwrap();
+        let applied =
+            cp.insert(&mut sw, "cache", &LookupEntry::Exact { key: 9, value: 77 }).unwrap();
+        assert!(applied >= 1);
+        let (v, hit, e) = run_key(&unit, &mut sw, 9);
+        assert_eq!((v, hit), (77, 1), "new rule is live");
+        assert_eq!(e, 7, "register state survived the update");
+        assert_eq!(sw.counters().table_updates, applied as u64);
+        assert_eq!(sw.counters().update_rejects, 0);
+    }
+
+    /// Upsert replaces by key; remove evicts everywhere.
+    #[test]
+    fn modify_and_remove_roundtrip() {
+        let (unit, mut sw, cp) = compiled();
+        cp.modify(&mut sw, "cache", &LookupEntry::Exact { key: 1, value: 100 }).unwrap();
+        let (v, hit, _) = run_key(&unit, &mut sw, 1);
+        assert_eq!((v, hit), (100, 1), "static entry replaced");
+        cp.remove(&mut sw, "cache", 1).unwrap();
+        let (_, hit, _) = run_key(&unit, &mut sw, 1);
+        assert_eq!(hit, 0);
+    }
+
+    /// A batch that fails validation applies nothing and counts a reject.
+    #[test]
+    fn rejected_batch_is_all_or_nothing() {
+        let (unit, mut sw, cp) = compiled();
+        let mut u =
+            cp.build_insert(&sw, "cache", &LookupEntry::Exact { key: 5, value: 1 }).unwrap();
+        // Poison the *last* op: the earlier valid ops must not apply.
+        u = u.delete("no_such_table", vec![EntryKey::Value(0)]);
+        assert!(matches!(
+            sw.apply_update(&u),
+            Err(UpdateError::UnknownTable(t)) if t == "no_such_table"
+        ));
+        let (_, hit, _) = run_key(&unit, &mut sw, 5);
+        assert_eq!(hit, 0, "valid prefix of a rejected batch must not land");
+        assert_eq!(sw.counters().table_updates, 0);
+        assert_eq!(sw.counters().update_rejects, 1);
+    }
+
+    /// The same update applied to each engine's switch yields identical
+    /// outputs and counters — the differential contract covers live
+    /// updates.
+    #[test]
+    fn update_is_engine_uniform() {
+        let engines = [Engine::Threaded, Engine::Compiled, Engine::Interpreted];
+        let mut results = Vec::new();
+        for engine in engines {
+            let (unit, mut sw, cp) = compiled();
+            sw.set_engine(engine);
+            cp.insert(&mut sw, "cache", &LookupEntry::Exact { key: 3, value: 33 }).unwrap();
+            cp.remove(&mut sw, "cache", 1).unwrap();
+            let out = (run_key(&unit, &mut sw, 3), run_key(&unit, &mut sw, 1));
+            results.push((out, sw.counters().clone()));
+        }
+        assert_eq!(results[0].0, results[1].0);
+        assert_eq!(results[0].0, results[2].0);
+        assert_eq!(results[0].1, results[1].1, "counters differ threaded vs compiled");
+        assert_eq!(results[0].1, results[2].1, "counters differ threaded vs interpreted");
+    }
+}

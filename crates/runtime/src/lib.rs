@@ -6,7 +6,9 @@
 //! specifications the compiler records (§V-A); [`managed`] implements
 //! `ncl::managed_read` / `ncl::managed_write` and `_managed_ _lookup_`
 //! table updates through the device's control plane, transparently
-//! resolving compiler memory partitioning.
+//! resolving compiler memory partitioning; [`control`] is the runtime
+//! control plane (DESIGN.md §16) — atomic, validated table-update batches
+//! applied to a *running* switch without a program reload.
 //!
 //! **Device runtime** — [`device`] implements the NetCL forwarding
 //! semantics: given the action a kernel selected (Table II) and the header
@@ -16,11 +18,13 @@
 //!
 //! DESIGN.md §2 lists both runtimes in the system inventory.
 
+pub mod control;
 pub mod device;
 pub mod managed;
 pub mod message;
 pub mod reliable;
 
+pub use control::{ControlError, ControlPlane};
 pub use device::{DeviceRuntime, Forward, NO_DEVICE};
 pub use managed::ManagedMemory;
 pub use message::{Message, MessageError, NCL_HEADER_BYTES};

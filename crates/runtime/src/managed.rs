@@ -210,7 +210,10 @@ impl ManagedMemory {
         Ok(())
     }
 
-    fn lookup_tables(&self, sw: &Switch, name: &str) -> Result<Vec<String>, ManagedError> {
+    /// The match-action tables materialized for a managed lookup (one per
+    /// access site — the `name`, `name__dup1`, ... fan-out that an atomic
+    /// [`crate::control::ControlPlane`] batch must update together).
+    pub fn lookup_tables(&self, sw: &Switch, name: &str) -> Result<Vec<String>, ManagedError> {
         let info =
             self.mems.get(name).ok_or_else(|| ManagedError::UnknownMemory(name.to_string()))?;
         if !info.lookup || !info.managed {

@@ -403,3 +403,250 @@ fn batched_delivery_equals_scalar_under_chaos_all_apps() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Runtime reconfiguration under chaos (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+/// The lookup + managed-register unit the reconfiguration tests drive: a
+/// table the control plane updates live, and a register whose fate
+/// distinguishes an update (state preserved) from a restart (state wiped).
+const RECONF_SRC: &str = r#"
+_managed_ unsigned epoch;
+_managed_ _lookup_ ncl::kv<unsigned, unsigned> rules[8] = {{1, 42}};
+_kernel(1) _at(1) void k(unsigned key, unsigned &v, char &hit, unsigned &e) {
+  hit = ncl::lookup(rules, key, v);
+  e = epoch;
+}
+"#;
+
+/// Queries `key` directly on the device switch and returns `(v, hit, e)`.
+fn reconf_query(
+    unit: &netcl::CompiledUnit,
+    sw: &mut netcl_bmv2::Switch,
+    key: u64,
+) -> (u64, u64, u64) {
+    use netcl_runtime::message::{pack, unpack, Message};
+    let spec = unit.model.kernels[0].specification();
+    let m = Message::new(1, 2, 1, 1);
+    let packed = pack(&m, &spec, &[Some(&[key]), None, None, None]).unwrap();
+    let (_, out) = sw.process(&packed).unwrap();
+    let (mut v, mut hit, mut e) = (Vec::new(), Vec::new(), Vec::new());
+    unpack(&out, &spec, &mut [None, Some(&mut v), Some(&mut hit), Some(&mut e)]).unwrap();
+    (v[0], hit[0], e[0])
+}
+
+/// Scheduled rule updates race a device failure and restart under the
+/// chaos link: updates applied before or at the restart survive it (the
+/// simulator journals and replays them), an update landing on the failed
+/// device is rejected and stays gone, and the whole run replays
+/// byte-identically. A full reload (fresh `Switch`) loses the same rules —
+/// the contrast the live control plane exists for.
+#[test]
+fn rule_updates_survive_restart_and_replay_deterministically() {
+    use netcl::sema::model::LookupEntry;
+    use netcl_bmv2::Switch;
+    use netcl_net::topo::star;
+    use netcl_net::{Fault, NetworkBuilder};
+    use netcl_runtime::message::Message;
+    use netcl_runtime::ControlPlane;
+
+    let unit = compile("reconf.ncl", RECONF_SRC);
+    let p4 = unit.devices[0].tna_p4.clone();
+    let cp = ControlPlane::new(&unit.devices[0].tna_ir);
+    // Batches are built against a template switch: the table layout is a
+    // pure function of the program, so they apply to any instance of it.
+    let template = Switch::new(p4.clone());
+    let u9 =
+        cp.build_insert(&template, "rules", &LookupEntry::Exact { key: 9, value: 77 }).unwrap();
+    let u5 =
+        cp.build_insert(&template, "rules", &LookupEntry::Exact { key: 5, value: 55 }).unwrap();
+    let u3 =
+        cp.build_insert(&template, "rules", &LookupEntry::Exact { key: 3, value: 33 }).unwrap();
+    let ops_per_batch = u9.len() as u64;
+
+    let run = |seed: u64| {
+        let mut net = NetworkBuilder::new(star(1, &[1, 2], chaos_link()))
+            .seed(seed)
+            .device(1, Switch::new(p4.clone()), 500)
+            .sink_host(1)
+            .sink_host(2)
+            .fault(40_000, Fault::DeviceFail(1))
+            .fault(80_000, Fault::DeviceRestart(1))
+            .update(20_000, 1, u9.clone()) // applied live, journaled
+            .update(60_000, 1, u5.clone()) // device is down: rejected
+            .update(80_000, 1, u3.clone()) // same tick as the restart: fault orders first
+            .build();
+        net.switch_mut(1).unwrap().register_write("epoch", 0, 7);
+        for round in 0..30u64 {
+            let m = Message::new(1, 2, 1, 1);
+            let mut bytes = Vec::new();
+            m.write_header(&mut bytes);
+            bytes.extend((0..32u64).map(|j| (round.wrapping_mul(17) ^ j) as u8));
+            net.send_from_host(1, round * 5_000, bytes);
+        }
+        net.run(400_000);
+        let counters = net.switch(1).unwrap().counters().clone();
+        let queries: Vec<(u64, u64, u64)> = [9, 3, 5, 1]
+            .iter()
+            .map(|&k| reconf_query(&unit, net.switch_mut(1).unwrap(), k))
+            .collect();
+        (net.stats.clone(), counters, queries)
+    };
+
+    for seed in 0..seed_matrix().min(8) {
+        let (stats, counters, queries) = run(seed);
+        assert_eq!(stats.device_restarts, 1, "seed {seed}");
+        assert_eq!(stats.rule_updates, 2, "seed {seed}: u9 and u3 apply (u3 after the restart)");
+        assert_eq!(stats.rule_update_rejects, 1, "seed {seed}: u5 hit the failed device");
+        // The restart resets counters; what remains is the journal replay
+        // of u9 plus the same-tick u3 batch.
+        assert_eq!(counters.table_updates, 2 * ops_per_batch, "seed {seed}");
+        // Updated rules survived the restart via the journal...
+        assert_eq!((queries[0].0, queries[0].1), (77, 1), "seed {seed}: u9 lost by restart");
+        assert_eq!((queries[1].0, queries[1].1), (33, 1), "seed {seed}: u3 lost");
+        // ...the rejected one stayed gone, and static entries came back.
+        assert_eq!(queries[2].1, 0, "seed {seed}: rejected update resurrected");
+        assert_eq!((queries[3].0, queries[3].1), (42, 1), "seed {seed}: static entry");
+        // The restart DID wipe registers — that is what distinguishes a
+        // live table update from a reload.
+        assert_eq!(queries[0].2, 0, "seed {seed}: epoch should be factory-reset");
+        // A full reload loses every live rule the journal preserved.
+        let mut fresh = Switch::new(p4.clone());
+        assert_eq!(reconf_query(&unit, &mut fresh, 9).1, 0, "reload keeps live rules?");
+    }
+    // Replay determinism: same (seed, schedule) → byte-identical run.
+    assert_eq!(run(11), run(11));
+}
+
+/// The same chaos schedule — traffic, faults, and live rule updates — on
+/// the threaded, compiled, and interpreter engines: `NetStats`, the
+/// device's `SwitchCounters`, and post-run rule visibility are identical.
+/// The differential contract covers runtime reconfiguration.
+#[test]
+fn rule_updates_are_engine_uniform_under_chaos() {
+    use netcl::sema::model::LookupEntry;
+    use netcl_bmv2::{Engine, Switch};
+    use netcl_net::topo::star;
+    use netcl_net::{Fault, NetworkBuilder};
+    use netcl_runtime::message::Message;
+    use netcl_runtime::ControlPlane;
+
+    let unit = compile("reconf.ncl", RECONF_SRC);
+    let p4 = unit.devices[0].tna_p4.clone();
+    let cp = ControlPlane::new(&unit.devices[0].tna_ir);
+    let template = Switch::new(p4.clone());
+    let ins =
+        cp.build_insert(&template, "rules", &LookupEntry::Exact { key: 6, value: 66 }).unwrap();
+    let del = cp.build_remove(&template, "rules", 1).unwrap();
+
+    let run = |engine: Engine, seed: u64| {
+        let mut net = NetworkBuilder::new(star(1, &[1, 2], chaos_link()))
+            .seed(seed)
+            .device(1, Switch::new(p4.clone()), 500)
+            .engine(engine)
+            .sink_host(1)
+            .sink_host(2)
+            .fault(50_000, Fault::DeviceFail(1))
+            .fault(70_000, Fault::DeviceRestart(1))
+            .update(30_000, 1, ins.clone())
+            .update(90_000, 1, del.clone())
+            .build();
+        for round in 0..20u64 {
+            let m = Message::new(1, 2, 1, 1);
+            let mut bytes = Vec::new();
+            m.write_header(&mut bytes);
+            bytes.extend((0..32u64).map(|j| (round.wrapping_mul(23) ^ j) as u8));
+            net.send_from_host(1, round * 6_000, bytes);
+        }
+        net.run(400_000);
+        let counters = net.switch(1).unwrap().counters().clone();
+        let queries: Vec<(u64, u64, u64)> =
+            [6, 1].iter().map(|&k| reconf_query(&unit, net.switch_mut(1).unwrap(), k)).collect();
+        (net.stats.clone(), counters, queries)
+    };
+
+    for seed in [2u64, 13] {
+        let t = run(Engine::Threaded, seed);
+        let c = run(Engine::Compiled, seed);
+        let i = run(Engine::Interpreted, seed);
+        assert_eq!(t, c, "threaded vs compiled diverged at seed {seed}");
+        assert_eq!(t, i, "threaded vs interpreted diverged at seed {seed}");
+        assert_eq!(t.0.rule_updates, 2, "seed {seed}");
+        assert_eq!((t.2[0].0, t.2[0].1), (66, 1), "seed {seed}: inserted rule live");
+        assert_eq!(t.2[1].1, 0, "seed {seed}: removed rule still hit");
+    }
+}
+
+/// Scheduled rule updates under sharding: the schedule is replicated into
+/// every shard (event keys agree) but applied owner-only, so the merged
+/// `NetStats` — including `rule_updates` — are byte-identical to the
+/// scalar run even when the update's device and the traffic source live
+/// in different shards.
+#[test]
+fn sharded_rule_updates_equal_scalar() {
+    use netcl::sema::model::LookupEntry;
+    use netcl_bmv2::Switch;
+    use netcl_net::topo::star;
+    use netcl_net::{Fault, NetworkBuilder, NodeId, Partition};
+    use netcl_runtime::message::Message;
+    use netcl_runtime::ControlPlane;
+
+    let unit = compile("reconf.ncl", RECONF_SRC);
+    let p4 = unit.devices[0].tna_p4.clone();
+    let cp = ControlPlane::new(&unit.devices[0].tna_ir);
+    let template = Switch::new(p4.clone());
+    let ins =
+        cp.build_insert(&template, "rules", &LookupEntry::Exact { key: 4, value: 44 }).unwrap();
+    let upd =
+        cp.build_modify(&template, "rules", &LookupEntry::Exact { key: 1, value: 99 }).unwrap();
+
+    let builder = |seed: u64| {
+        NetworkBuilder::new(star(1, &[1, 2], chaos_link()))
+            .seed(seed)
+            .device(1, Switch::new(p4.clone()), 500)
+            .sink_host(1)
+            .sink_host(2)
+            .fault(45_000, Fault::DeviceFail(1))
+            .fault(75_000, Fault::DeviceRestart(1))
+            .update(25_000, 1, ins.clone())
+            .update(75_000, 1, upd.clone())
+    };
+    let drive = |send: &mut dyn FnMut(u16, u64, Vec<u8>)| {
+        for round in 0..25u64 {
+            let m = Message::new(1, 2, 1, 1);
+            let mut bytes = Vec::new();
+            m.write_header(&mut bytes);
+            bytes.extend((0..32u64).map(|j| (round.wrapping_mul(29) ^ j) as u8));
+            send(1, round * 5_000, bytes);
+        }
+    };
+    let partition =
+        Partition::new(vec![vec![NodeId::Device(1), NodeId::Host(2)], vec![NodeId::Host(1)]]);
+    for seed in 0..seed_matrix().min(8) {
+        let (scalar_stats, scalar_regs) = {
+            let mut net = builder(seed).build();
+            drive(&mut |h, at, b| net.send_from_host(h, at, b));
+            net.run(400_000);
+            let regs: Vec<(String, Vec<u64>)> = net
+                .switch(1)
+                .unwrap()
+                .registers()
+                .map(|(n, c)| (n.to_string(), c.to_vec()))
+                .collect();
+            (net.stats.clone(), regs)
+        };
+        assert_eq!(scalar_stats.rule_updates, 2, "seed {seed}");
+        let mut net = builder(seed).build_sharded(partition.clone()).unwrap();
+        drive(&mut |h, at, b| net.send_from_host(h, at, b));
+        net.run(400_000);
+        assert_eq!(scalar_stats, net.stats(), "seed {seed}: sharded stats diverged");
+        let sharded_regs: Vec<(String, Vec<u64>)> =
+            net.switch(1).unwrap().registers().map(|(n, c)| (n.to_string(), c.to_vec())).collect();
+        assert_eq!(scalar_regs, sharded_regs, "seed {seed}: device state diverged");
+        let (v, hit, _) = reconf_query(&unit, net.switch_mut(1).unwrap(), 4);
+        assert_eq!((v, hit), (44, 1), "seed {seed}: update missing in sharded run");
+        let (v, hit, _) = reconf_query(&unit, net.switch_mut(1).unwrap(), 1);
+        assert_eq!((v, hit), (99, 1), "seed {seed}: modify missing in sharded run");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the incremental recompilation cache (DESIGN.md §16):
+//! compiling a mutated unit through a warm [`CompileCache`] must be
+//! byte-identical — printed IR and printed P4, both dialects, every
+//! device — to a cold compile of the same source, for all four paper
+//! applications under randomized mutations.
+//!
+//! Two mutation shapes are exercised:
+//!
+//! - **config mutations** (AGG, CACHE): the generated source changes in a
+//!   way that changes the lowered IR, so both cache levels miss and the
+//!   full pipeline re-runs;
+//! - **comment mutations** (CALC, PACC): the source text changes but the
+//!   lowered IR does not, so the unit cache misses while every device's
+//!   backend artifact is served from the device cache — the served clone
+//!   must still match a cold compile exactly.
+
+use netcl::{CompileCache, CompileOptions, CompiledUnit, Compiler};
+use netcl_apps::{agg, cache, calc, paxos};
+use proptest::prelude::*;
+
+/// Every byte-comparable artifact of a unit, rendered: printed base IRs
+/// and printed P4 for both dialects, per device, in device order.
+fn rendered(unit: &CompiledUnit) -> String {
+    let mut out = String::new();
+    for d in &unit.devices {
+        out.push_str(&format!(";; device {}\n", d.device));
+        out.push_str(&netcl::ir::print::print_module(&d.tna_ir));
+        out.push_str(&netcl::ir::print::print_module(&d.v1_ir));
+        out.push_str(&netcl::p4::print::print_program(&d.tna_p4));
+        out.push_str(&netcl::p4::print::print_program(&d.v1_p4));
+    }
+    out
+}
+
+/// Warm a cache with `base`, then compile `mutated` both incrementally
+/// (through the warm cache) and cold; the outputs must be byte-identical.
+/// Returns the incrementally compiled unit for reuse-shape assertions.
+fn check_incremental(name: &str, base: &str, mutated: &str) -> CompiledUnit {
+    let cc = Compiler::new(CompileOptions::default());
+    let mut cache = CompileCache::new();
+    cc.compile_incremental(name, base, &mut cache).expect("base compiles");
+    let warm = cc.compile_incremental(name, mutated, &mut cache).expect("mutated compiles");
+    let cold = cc.compile(name, mutated).expect("cold compiles");
+    assert_eq!(
+        rendered(&cold),
+        rendered(&warm),
+        "incremental compile of `{name}` differs from cold compile"
+    );
+    warm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// AGG under config mutations: worker/slot/size changes alter the
+    /// lowered IR, so nothing stale can be served.
+    #[test]
+    fn agg_incremental_equals_cold(w in 2u32..6, s in 2u32..6, z in 4u32..12) {
+        let base = agg::netcl_source(&agg::AggConfig::default());
+        let mutated = agg::netcl_source(&agg::AggConfig {
+            num_workers: w,
+            num_slots: s,
+            slot_size: z,
+        });
+        check_incremental("agg.ncl", &base, &mutated);
+    }
+
+    /// CACHE under threshold/width mutations.
+    #[test]
+    fn cache_incremental_equals_cold(t in 1u32..1024, c in 6u32..10) {
+        let base = cache::netcl_source(&cache::CacheConfig::default());
+        let mutated = cache::netcl_source(&cache::CacheConfig {
+            threshold: t,
+            sketch_cols: 1 << c,
+            ..Default::default()
+        });
+        check_incremental("cache.ncl", &base, &mutated);
+    }
+
+    /// CALC under comment-only mutations: the unit cache misses (source
+    /// text changed) but the device backend is served from the cache —
+    /// and must still equal a cold compile byte-for-byte.
+    #[test]
+    fn calc_incremental_equals_cold(n in 0u64..100_000) {
+        let base = calc::netcl_source();
+        let mutated = format!("{base}\n// revision {n}\n");
+        let warm = check_incremental("calc.ncl", &base, &mutated);
+        prop_assert!(!warm.reuse.unit_hit);
+        prop_assert_eq!(warm.reuse.devices_reused, warm.reuse.devices_total);
+    }
+
+    /// PACC (the multi-device Paxos unit) under comment-only mutations:
+    /// every device's artifact is reused, none go stale.
+    #[test]
+    fn paxos_incremental_equals_cold(n in 0u64..100_000) {
+        let base = paxos::full_source();
+        let mutated = format!("{base}\n// revision {n}\n");
+        let warm = check_incremental("paxos.ncl", &base, &mutated);
+        prop_assert!(!warm.reuse.unit_hit);
+        prop_assert!(warm.reuse.devices_total > 1, "paxos should be multi-device");
+        prop_assert_eq!(warm.reuse.devices_reused, warm.reuse.devices_total);
+    }
+}
