@@ -1,0 +1,501 @@
+//! Merged-vs-dedicated multi-tenant throughput and placement quality
+//! (DESIGN.md §17).
+//!
+//! Two real NetCL applications — AGG (tenant 0) and CACHE (tenant 1) —
+//! are merged onto one switch with `netcl::compile_tenants`, and each
+//! tenant's stream is measured twice: on the merged pipeline (per-tenant
+//! accounting enabled) and on its dedicated-switch solo baseline (the
+//! tenant's namespaced module re-extracted from the merge, so the wire
+//! format is identical). The ratio is the cost of sharing; the
+//! `multi_tenant` section of `BENCH_switch.json` records it together
+//! with a placement-quality figure from `netcl_place::plan` over the
+//! allocator-reported per-tenant footprints.
+//!
+//! Modes:
+//!
+//! - `--smoke`: seconds-scale CI run, prints results, writes nothing;
+//! - `--gate`: fails (exit 1) if any tenant's merged throughput drops
+//!   more than 10% below the dedicated baseline recorded in the
+//!   checked-in `BENCH_switch.json`;
+//! - default: full measurement, merges the section into
+//!   `BENCH_switch.json`.
+//!
+//! Every mode first runs a correctness pass: each tenant's packets
+//! produce byte-identical outputs on the merged and dedicated switches,
+//! the merged switch's per-tenant counters reconcile exactly with the
+//! solo runs' global counters, and an over-budget tenant set is rejected
+//! with a structured `E0502` diagnostic — never a panic.
+
+use std::time::Instant;
+
+use netcl_apps::{agg, cache};
+use netcl_bmv2::Switch;
+use netcl_runtime::managed::ManagedMemory;
+use netcl_tofino::{TenantBudget, TenantBudgets, TofinoSpec};
+
+/// One tenant's bench state: its merged-comp packet stream plus the
+/// merged and dedicated switches it runs on.
+struct TenantBench {
+    id: u16,
+    name: &'static str,
+    packets: Vec<Vec<u8>>,
+}
+
+/// AGG sized for a *shared* pipeline: two tenants split one switch's PHV,
+/// so each runs a narrower shape than it would alone (the default 32-value
+/// AGG plus the 8-word CACHE overflow the 4096-bit PHV together — exactly
+/// the budget pressure the tenant model exists to surface).
+fn agg_cfg() -> agg::AggConfig {
+    agg::AggConfig { slot_size: 8, ..Default::default() }
+}
+
+fn cache_cfg() -> cache::CacheConfig {
+    cache::CacheConfig { words: 4, ..Default::default() }
+}
+
+fn sources() -> (String, String) {
+    (agg::netcl_source(&agg_cfg()), cache::netcl_source(&cache_cfg()))
+}
+
+fn compile_merged(
+    budgets: &TenantBudgets,
+) -> Result<netcl::MergedCompilation, netcl::CompileError> {
+    let (agg_src, cache_src) = sources();
+    netcl::compile_tenants(
+        &[
+            netcl::TenantSource { tenant: 0, name: "agg.ncl", source: &agg_src },
+            netcl::TenantSource { tenant: 1, name: "cache.ncl", source: &cache_src },
+        ],
+        1,
+        &netcl::CompileOptions::default(),
+        budgets,
+    )
+}
+
+/// The wire offset of the NCL comp byte (the tenant classifier).
+const COMP_BYTE: usize = 8;
+
+/// Rewrites a packet built against a tenant's original comp numbering to
+/// the merged comp id. Solo baselines keep merged ids, so the same bytes
+/// run on both switches.
+fn to_merged_comp(mut wire: Vec<u8>, merged_comp: u8) -> Vec<u8> {
+    wire[COMP_BYTE] = merged_comp;
+    wire
+}
+
+/// Seeds the CACHE tenant's lookup/value state through the control plane,
+/// under its merged (`t1__`) names — identically on whichever switch is
+/// passed, so merged and dedicated start from the same state.
+fn populate_cache(module: &netcl::ir::Module, sw: &mut Switch) {
+    use netcl::sema::model::LookupEntry;
+    let cfg = cache_cfg();
+    let mm = ManagedMemory::new(module);
+    for k in 0..4u64 {
+        let slot = k as u16;
+        let value = cache::server_value(&cfg, k);
+        mm.lookup_insert(sw, "t1__index", LookupEntry::Exact { key: k, value: slot as u64 })
+            .expect("insert t1__index");
+        for (i, &w) in value.iter().enumerate() {
+            mm.write(sw, "t1__Val", &[i, slot as usize], w).expect("write t1__Val");
+        }
+        mm.write(sw, "t1__Share", &[slot as usize], (1u64 << cfg.words) - 1).expect("t1__Share");
+        mm.write(sw, "t1__Valid", &[slot as usize], 1).expect("t1__Valid");
+    }
+}
+
+fn tenant_streams(merged: &netcl::MergedCompilation) -> Vec<TenantBench> {
+    let agg_cfg = self::agg_cfg();
+    let cache_cfg = self::cache_cfg();
+    let comp_of = |tenant: u16| {
+        merged.tenant(tenant).expect("tenant slice").map.comp(1).expect("kernel comp 1")
+    };
+    let mut agg_packets = Vec::new();
+    for c in 0..4 {
+        for w in 0..agg_cfg.num_workers {
+            agg_packets.push(to_merged_comp(agg::chunk_packet(&agg_cfg, w, c), comp_of(0)));
+        }
+    }
+    let cache_packets = (0..8u64)
+        .map(|k| to_merged_comp(cache::request(&cache_cfg, 1, 2, 1, k, None), comp_of(1)))
+        .collect();
+    vec![
+        TenantBench { id: 0, name: "AGG", packets: agg_packets },
+        TenantBench { id: 1, name: "CACHE", packets: cache_packets },
+    ]
+}
+
+fn merged_switch(merged: &netcl::MergedCompilation) -> Switch {
+    let mut sw = Switch::new(merged.merged.tna_p4.clone());
+    let comps: Vec<(u8, u16)> = merged
+        .tenants
+        .iter()
+        .flat_map(|s| s.map.comps.iter().map(|&(_, m)| (m, s.tenant)))
+        .collect();
+    sw.set_tenants(&comps);
+    populate_cache(&merged.merged.tna_ir, &mut sw);
+    sw
+}
+
+fn solo_switch(merged: &netcl::MergedCompilation, tenant: u16) -> Switch {
+    let slice = merged.tenant(tenant).expect("tenant slice");
+    let mut sw = Switch::new(slice.solo.tna_p4.clone());
+    if tenant == 1 {
+        populate_cache(&slice.solo.tna_ir, &mut sw);
+    }
+    sw
+}
+
+/// Processes `total` packets (cycling the set) and returns packets/sec.
+fn measure(sw: &mut Switch, packets: &[Vec<u8>], total: usize) -> f64 {
+    let mut pkt = sw.new_packet();
+    let mut out = Vec::new();
+    for wire in packets {
+        let _ = sw.process_into(wire, &mut pkt, &mut out);
+    }
+    let start = Instant::now();
+    let mut done = 0usize;
+    'outer: loop {
+        for wire in packets {
+            let _ = sw.process_into(wire, &mut pkt, &mut out);
+            done += 1;
+            if done >= total {
+                break 'outer;
+            }
+        }
+    }
+    done as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The correctness pass, run in every mode: merged ≡ dedicated on
+/// outputs, per-tenant counters reconcile with the solo runs, and
+/// over-budget sets reject structurally.
+fn verify(merged: &netcl::MergedCompilation, tenants: &[TenantBench]) -> bool {
+    let mut msw = merged_switch(merged);
+    let mut ok = true;
+    for t in tenants {
+        let mut solo = solo_switch(merged, t.id);
+        let mut pkt_m = msw.new_packet();
+        let mut pkt_s = solo.new_packet();
+        let (mut out_m, mut out_s) = (Vec::new(), Vec::new());
+        for round in 0..3 {
+            for (i, w) in t.packets.iter().enumerate() {
+                let rm = msw.process_into(w, &mut pkt_m, &mut out_m);
+                let rs = solo.process_into(w, &mut pkt_s, &mut out_s);
+                if rm != rs || (rm.is_ok() && out_m != out_s) {
+                    eprintln!(
+                        "DIVERGENCE {}: merged vs dedicated, round {round} packet {i}",
+                        t.name
+                    );
+                    ok = false;
+                }
+            }
+        }
+        let tc = msw.tenant_counters(t.id);
+        let sc = solo.counters();
+        if tc.packets != sc.packets || tc.reg_action_execs != sc.reg_action_execs {
+            eprintln!(
+                "DIVERGENCE {}: per-tenant counters {tc:?} vs solo (packets {}, reg {})",
+                t.name, sc.packets, sc.reg_action_execs
+            );
+            ok = false;
+        }
+        // The tenant's registers on the shared switch end byte-identical
+        // to the dedicated run (names match: solo keeps the namespace).
+        let pick = |sw: &Switch, id: u16| -> Vec<(String, Vec<u64>)> {
+            sw.registers()
+                .filter(|(n, _)| netcl::util::tenant::of(n) == Some(id))
+                .map(|(n, c)| (n.to_string(), c.to_vec()))
+                .collect()
+        };
+        if pick(&msw, t.id) != pick(&solo, t.id) {
+            eprintln!("DIVERGENCE {}: tenant register state differs merged vs solo", t.name);
+            ok = false;
+        }
+    }
+    // Over-budget rejection is structured, never a panic.
+    let tight = TenantBudgets {
+        per_tenant: vec![(
+            1,
+            TenantBudget { stages: 12, sram_bits: u64::MAX, salus: 64, tables: 0 },
+        )],
+        default_budget: None,
+    };
+    match compile_merged(&tight) {
+        Err(e) if e.codes.iter().any(|c| c == "E0502") => {}
+        Err(e) => {
+            eprintln!("budget rejection carried codes {:?}, expected E0502", e.codes);
+            ok = false;
+        }
+        Ok(_) => {
+            eprintln!("zero-table budget for tenant 1 was not rejected");
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "multi-tenant differential: merged ≡ dedicated outputs/counters/registers, \
+             over-budget set rejects with E0502"
+        );
+    }
+    ok
+}
+
+struct Row {
+    tenant: u16,
+    name: &'static str,
+    dedicated_pps: f64,
+    merged_pps: f64,
+    packets: u64,
+    reg_action_execs: u64,
+    table_hits: u64,
+    table_misses: u64,
+}
+
+fn measure_rows(merged: &netcl::MergedCompilation, tenants: &[TenantBench], n: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for t in tenants {
+        let mut solo = solo_switch(merged, t.id);
+        let dedicated_pps = measure(&mut solo, &t.packets, n);
+        // A fresh merged switch per tenant: the measured stream is
+        // tenant-only, so the ratio isolates the merged pipeline's
+        // dispatch-and-baggage cost rather than traffic sharing.
+        let mut msw = merged_switch(merged);
+        let merged_pps = measure(&mut msw, &t.packets, n);
+        let tc = msw.tenant_counters(t.id);
+        let (table_hits, table_misses) = msw.tenant_table_stats(t.id);
+        rows.push(Row {
+            tenant: t.id,
+            name: t.name,
+            dedicated_pps,
+            merged_pps,
+            packets: tc.packets,
+            reg_action_execs: tc.reg_action_execs,
+            table_hits,
+            table_misses,
+        });
+    }
+    rows
+}
+
+/// Aggregate throughput of the shared switch on a round-robin interleave
+/// of every tenant's packets — the "both tenants live at once" figure.
+fn measure_interleaved(
+    merged: &netcl::MergedCompilation,
+    tenants: &[TenantBench],
+    n: usize,
+) -> f64 {
+    let mut mixed = Vec::new();
+    let longest = tenants.iter().map(|t| t.packets.len()).max().unwrap_or(0);
+    for i in 0..longest {
+        for t in tenants {
+            mixed.push(t.packets[i % t.packets.len()].clone());
+        }
+    }
+    let mut msw = merged_switch(merged);
+    measure(&mut msw, &mixed, n)
+}
+
+struct PlacementQuality {
+    switches: usize,
+    switches_used: usize,
+    mean_utilization: f64,
+    assignment: Vec<(u16, usize)>,
+}
+
+/// Grades the FFD planner on the allocator-reported footprints: 2 tenants
+/// over a 2-switch topology (a tight merge should use 1).
+fn placement_quality(merged: &netcl::MergedCompilation) -> PlacementQuality {
+    let report = merged.report.as_ref().expect("Tofino allocation report");
+    let spec = TofinoSpec::tofino1();
+    let footprints = netcl_place::TenantFootprint::from_report(report);
+    let p = netcl_place::plan(&footprints, 2, &spec).expect("placement plans");
+    let assignment =
+        footprints.iter().map(|f| (f.tenant, p.switch_of(f.tenant).expect("placed"))).collect();
+    PlacementQuality {
+        switches: 2,
+        switches_used: p.switches_used(),
+        mean_utilization: p.mean_utilization(),
+        assignment,
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:<6} tenant {}  dedicated {:>11.0} pps   merged {:>11.0} pps ({:.2}x)   \
+         ({} pkts, {} reg-actions, {} hits, {} misses)",
+        r.name,
+        r.tenant,
+        r.dedicated_pps,
+        r.merged_pps,
+        r.merged_pps / r.dedicated_pps,
+        r.packets,
+        r.reg_action_execs,
+        r.table_hits,
+        r.table_misses,
+    );
+}
+
+/// Pulls one tenant's numeric field out of the checked-in multi_tenant
+/// section (hand-rolled: the repo deliberately has no JSON dependency).
+fn baseline_field(json: &str, name: &str, field: &str) -> Option<f64> {
+    let sect = &json[json.find("\"multi_tenant\":")?..];
+    let start = sect.find(&format!("\"app\": \"{name}\""))?;
+    let block = &sect[start..];
+    let key = format!("\"{field}\":");
+    let at = block.find(&key)? + key.len();
+    let num: String = block[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The CI gate (satellite task): each tenant's merged throughput must stay
+/// within 10% of the dedicated-switch baseline recorded in the checked-in
+/// `BENCH_switch.json`. Raw pps swings with runner speed, so the recorded
+/// baseline is normalized: the effective floor is the *smaller* of the
+/// recorded dedicated figure and the in-run dedicated re-measurement — a
+/// slower runner lowers both sides together, while a genuine merged-path
+/// regression lowers only the merged side and still trips the gate.
+fn run_gate(rows: &[Row]) -> i32 {
+    let json = match std::fs::read_to_string("BENCH_switch.json") {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("gate FAIL: cannot read BENCH_switch.json baseline: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0;
+    for r in rows {
+        let Some(recorded) = baseline_field(&json, r.name, "dedicated_pps") else {
+            eprintln!(
+                "gate FAIL: no {} dedicated_pps in BENCH_switch.json multi_tenant section",
+                r.name
+            );
+            failures += 1;
+            continue;
+        };
+        let baseline = recorded.min(r.dedicated_pps);
+        println!(
+            "gate: {:<6} merged {:.0} pps vs dedicated baseline {:.0} pps \
+             (recorded {:.0}, in-run {:.0}) = {:.2}x",
+            r.name,
+            r.merged_pps,
+            baseline,
+            recorded,
+            r.dedicated_pps,
+            r.merged_pps / baseline
+        );
+        if r.merged_pps < 0.9 * baseline {
+            eprintln!(
+                "gate FAIL: {} merged {:.0} pps dropped >10% below dedicated baseline {:.0}",
+                r.name, r.merged_pps, baseline
+            );
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("multi-tenant regression gate: pass");
+        0
+    } else {
+        1
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut gate = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--gate" => gate = true,
+            other => {
+                eprintln!("error: unknown argument `{other}` (expected `--smoke` or `--gate`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n = if smoke {
+        2_000
+    } else if gate {
+        100_000
+    } else {
+        300_000
+    };
+
+    let merged = compile_merged(&TenantBudgets::default()).expect("AGG+CACHE merge compiles");
+    let tenants = tenant_streams(&merged);
+    if !verify(&merged, &tenants) {
+        eprintln!("error: multi-tenant differential failed");
+        std::process::exit(1);
+    }
+
+    let rows = measure_rows(&merged, &tenants, n);
+    for r in &rows {
+        print_row(r);
+    }
+    let interleaved_pps = measure_interleaved(&merged, &tenants, n);
+    let pq = placement_quality(&merged);
+    println!(
+        "merged interleaved {:>11.0} pps   placement: {}/{} switches used, \
+         mean utilization {:.3}",
+        interleaved_pps, pq.switches_used, pq.switches, pq.mean_utilization
+    );
+
+    if gate {
+        std::process::exit(run_gate(&rows));
+    }
+    if smoke {
+        println!("smoke run: not writing BENCH_switch.json");
+        return;
+    }
+
+    let mut section = String::from("{\n    \"tenants\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        section.push_str(&format!(
+            "      {{\"tenant\": {}, \"app\": \"{}\", \"dedicated_pps\": {:.0}, \
+             \"merged_pps\": {:.0}, \"merged_over_dedicated\": {:.3}, \"packets\": {}, \
+             \"reg_action_execs\": {}, \"table_hits\": {}, \"table_misses\": {}}}{}\n",
+            r.tenant,
+            r.name,
+            r.dedicated_pps,
+            r.merged_pps,
+            r.merged_pps / r.dedicated_pps,
+            r.packets,
+            r.reg_action_execs,
+            r.table_hits,
+            r.table_misses,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    section.push_str("    ],\n");
+    section.push_str(&format!("    \"merged_interleaved_pps\": {interleaved_pps:.0},\n"));
+    let assign: Vec<String> = pq.assignment.iter().map(|(t, s)| format!("[{t}, {s}]")).collect();
+    section.push_str(&format!(
+        "    \"placement\": {{\"switches\": {}, \"switches_used\": {}, \
+         \"mean_utilization\": {:.3}, \"tenant_switch\": [{}]}}\n  }}",
+        pq.switches,
+        pq.switches_used,
+        pq.mean_utilization,
+        assign.join(", ")
+    ));
+
+    let path = "BENCH_switch.json";
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path} ({e}); run the throughput binary first");
+        std::process::exit(1);
+    });
+    // The multi_tenant section is the last top-level key: strip an
+    // existing one (or the closing brace) and re-append.
+    let base = match json.find(",\n  \"multi_tenant\":") {
+        Some(i) => json[..i].to_string(),
+        None => {
+            let t = json.trim_end();
+            t.strip_suffix('}').expect("JSON object").trim_end().to_string()
+        }
+    };
+    std::fs::write(path, format!("{base},\n  \"multi_tenant\": {section}\n}}\n"))
+        .expect("write BENCH_switch.json");
+    println!("merged multi_tenant section into {path}");
+}

@@ -244,16 +244,25 @@ fn main() {
         eprintln!("error: cannot read {path} ({e}); run the throughput binary first");
         std::process::exit(1);
     });
-    // The sim_sharded section is always the last top-level key: strip an
-    // existing one (or the closing brace) and re-append.
-    let base = match json.find(",\n  \"sim_sharded\":") {
-        Some(i) => json[..i].to_string(),
-        None => {
-            let t = json.trim_end();
-            t.strip_suffix('}').expect("JSON object").trim_end().to_string()
+    // Drop any previous sim_sharded section: it spans from its key to the
+    // next top-level key (multi_tenant) or the closing brace.
+    let json = match json.find(",\n  \"sim_sharded\":") {
+        Some(start) => {
+            let rest = &json[start + 1..];
+            let end = rest
+                .find(",\n  \"multi_tenant\":")
+                .map(|i| start + 1 + i)
+                .unwrap_or_else(|| json.rfind("\n}").expect("closing brace"));
+            format!("{}{}", &json[..start], &json[end..])
         }
+        None => json,
     };
-    std::fs::write(path, format!("{base},\n  \"sim_sharded\": {section}\n}}\n"))
-        .expect("write BENCH_switch.json");
+    // Insert before multi_tenant (which keeps the last slot) or at the end.
+    let insert_at = json
+        .find(",\n  \"multi_tenant\":")
+        .unwrap_or_else(|| json.rfind("\n}").expect("closing brace"));
+    let out =
+        format!("{},\n  \"sim_sharded\": {section}{}", &json[..insert_at], &json[insert_at..]);
+    std::fs::write(path, out).expect("write BENCH_switch.json");
     println!("merged sim_sharded section into {path}");
 }

@@ -273,7 +273,7 @@ fn netobs_histograms_json() -> String {
         .device(1, switch, 500)
         .sink_host(1)
         .sink_host(2)
-        .observe(ObsConfig { trace: false })
+        .observe(ObsConfig::default())
         .build();
     for round in 0..50u64 {
         for k in 0..4u64 {
@@ -541,12 +541,13 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str(&format!("  \"sim_histograms\": {}", netobs_histograms_json()));
     // Preserve the sections other bench binaries merged in
-    // (compile_throughput, sim_sharded): carry their tail over verbatim
-    // instead of wiping it on every regeneration.
+    // (compile_throughput, sim_sharded, multi_tenant): carry their tail
+    // over verbatim instead of wiping it on every regeneration.
     let tail = std::fs::read_to_string("BENCH_switch.json").ok().and_then(|old| {
         let start = old
             .find(",\n  \"compile_throughput\":")
-            .or_else(|| old.find(",\n  \"sim_sharded\":"))?;
+            .or_else(|| old.find(",\n  \"sim_sharded\":"))
+            .or_else(|| old.find(",\n  \"multi_tenant\":"))?;
         let end = old.rfind("\n}")?;
         (start < end).then(|| old[start..end].to_string())
     });

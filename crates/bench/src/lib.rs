@@ -567,7 +567,7 @@ pub fn chaos_trace_json(seed: u64) -> String {
         seed,
         FaultSchedule::new(),
         300_000,
-        Some(ObsConfig { trace: true }),
+        Some(ObsConfig { trace: true, ..Default::default() }),
     );
     trace.expect("tracing was enabled").to_json()
 }

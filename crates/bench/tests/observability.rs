@@ -23,8 +23,9 @@ fn switch_counters_match_netstats() {
     let workers: Vec<u16> = (0..cfg.num_workers).map(|w| 100 + w as u16).collect();
     let mut topo = netcl_net::topo::star(1, &workers, LinkSpec::default());
     topo.multicast_group(42, workers.iter().map(|&w| NodeId::Host(w)).collect());
-    let mut builder =
-        NetworkBuilder::new(topo).device(1, switch, 500).observe(ObsConfig { trace: true });
+    let mut builder = NetworkBuilder::new(topo)
+        .device(1, switch, 500)
+        .observe(ObsConfig { trace: true, ..Default::default() });
     for &w in &workers {
         builder = builder.sink_host(w);
     }
@@ -52,8 +53,8 @@ fn switch_counters_match_netstats() {
     // The trace saw every kernel execution as a span and every host
     // delivery as an instant.
     let trace = net.take_trace().expect("tracing enabled");
-    let spans = trace.events().iter().filter(|e| e.name == "kernel").count() as u64;
-    let delivers = trace.events().iter().filter(|e| e.name == "deliver").count() as u64;
+    let spans = trace.events().filter(|e| e.name == "kernel").count() as u64;
+    let delivers = trace.events().filter(|e| e.name == "deliver").count() as u64;
     // Recirculation passes fold into one span per arriving message.
     assert_eq!(spans + stats.recirculations, stats.kernel_executions);
     assert_eq!(delivers, stats.delivered);
@@ -101,8 +102,25 @@ fn pass_report_populated_for_agg() {
     for pass in ["fold", "dce", "mem2reg", "speculate"] {
         assert!(table.contains(pass), "missing {pass} in:\n{table}");
     }
-    // The JSONL event form round-trips through the parser.
-    for ev in rep.to_events() {
+    // Per-kernel attribution: the transpose of the per-pass table. Both
+    // views partition the same measured runs, so every aggregate must
+    // reconcile; function passes land on the kernel, module passes on
+    // the `<module>` pseudo-kernel; both show up in the rendered table.
+    rep.reconcile().expect("per-kernel view reconciles with per-pass view");
+    assert!(
+        rep.per_kernel.iter().any(|k| k.kernel != netcl::passes::MODULE_KERNEL),
+        "the AGG kernel must have attributed passes"
+    );
+    let module = rep.kernel(netcl::passes::MODULE_KERNEL).expect("module passes attributed");
+    assert!(module.runs > 0);
+    let kernel_wall: u64 = rep.per_kernel.iter().map(|k| k.wall_ns).sum();
+    assert_eq!(kernel_wall, rep.total_ns(), "kernel wall times sum to the pipeline total");
+    assert!(table.contains("KERNEL"), "rendered table lists the per-kernel section");
+    // The JSONL event form round-trips through the parser, and each
+    // kernel exports its own event.
+    let events = rep.to_events();
+    assert!(events.iter().any(|e| e.name.starts_with("kernel.")));
+    for ev in events {
         let back = netcl_obs::Event::from_json(&ev.to_json()).expect("round-trips");
         assert_eq!(back.name, ev.name);
     }

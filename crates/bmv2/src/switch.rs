@@ -120,6 +120,25 @@ pub struct SwitchCounters {
     /// Control-plane update *batches* rejected by validation (nothing
     /// applied — see [`crate::ctrl`]).
     pub update_rejects: u64,
+    /// Per-tenant sub-views (DESIGN.md §17), keyed by tenant id. Empty
+    /// until [`Switch::set_tenants`] configures the comp→tenant map;
+    /// maintained identically by all three engines and both batch paths,
+    /// so they participate in the differential contract like every other
+    /// counter.
+    pub tenants: std::collections::BTreeMap<u16, TenantCounters>,
+}
+
+/// One tenant's slice of the data-plane counters. Packets attribute by
+/// the NCL shim's `comp` byte (wire byte 8 — the tenant classifier at
+/// ingress); `RegisterAction` executions attribute by delta around each
+/// packet's execution, which is exact because namespaced kernels dispatch
+/// exclusively on `comp`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Packets entering the pipeline with this tenant's comp byte.
+    pub packets: u64,
+    /// SALU microprograms executed on behalf of this tenant's packets.
+    pub reg_action_execs: u64,
 }
 
 /// Equality ignores the `backend` label (see its doc).
@@ -134,6 +153,7 @@ impl PartialEq for SwitchCounters {
             && self.extern_calls == other.extern_calls
             && self.table_updates == other.table_updates
             && self.update_rejects == other.update_rejects
+            && self.tenants == other.tenants
     }
 }
 
@@ -198,6 +218,24 @@ impl RuntimeState {
     }
 }
 
+/// The comp→tenant classification a multi-tenant switch attributes
+/// counters with ([`Switch::set_tenants`]). A 256-entry direct map: the
+/// NCL `comp` byte indexes it, `u16::MAX` means "no tenant".
+struct Tenancy {
+    comp_tenant: [u16; 256],
+}
+
+impl Tenancy {
+    /// The NCL shim header places `comp` at wire byte 8.
+    const COMP_BYTE: usize = 8;
+
+    fn of_wire(&self, wire: &[u8]) -> Option<u16> {
+        let comp = *wire.get(Self::COMP_BYTE)?;
+        let t = self.comp_tenant[comp as usize];
+        (t != u16::MAX).then_some(t)
+    }
+}
+
 /// A software switch instance executing one P4 program.
 pub struct Switch {
     program: P4Program,
@@ -215,6 +253,9 @@ pub struct Switch {
     pub packets_processed: u64,
     /// Opt-in per-packet wall-time histogram ([`Switch::set_timing`]).
     timing: Option<netcl_obs::Histogram>,
+    /// Per-tenant attribution config; `None` (the default) costs nothing
+    /// on the packet path.
+    tenancy: Option<Box<Tenancy>>,
 }
 
 impl Switch {
@@ -226,7 +267,16 @@ impl Switch {
         let threaded = threaded::lower(&compiled);
         let engine = Engine::default();
         let st = RuntimeState::new(&compiled, engine.name());
-        Switch { program, compiled, threaded, st, engine, packets_processed: 0, timing: None }
+        Switch {
+            program,
+            compiled,
+            threaded,
+            st,
+            engine,
+            packets_processed: 0,
+            timing: None,
+            tenancy: None,
+        }
     }
 
     // ---- observability (DESIGN.md §12) ----------------------------------
@@ -249,6 +299,51 @@ impl Switch {
         self.compiled.table_states.iter().enumerate().map(|(i, t)| {
             (t.name.as_str(), self.st.counters.table_hits[i], self.st.counters.table_misses[i])
         })
+    }
+
+    // ---- multi-tenant attribution (DESIGN.md §17) ------------------------
+
+    /// Configures per-tenant counter attribution: `comps` maps each NCL
+    /// computation id to its owning tenant (the merge driver's
+    /// `TenantMapEntry` provides exactly this). Packets classify by the
+    /// shim's `comp` byte at ingress; comps not listed attribute to
+    /// nobody. Survives engine switches and [`Switch::reset_counters`],
+    /// but not a device restart (a fresh switch knows no tenants — the
+    /// simulator's restart hooks re-apply it, like real control planes
+    /// re-push config).
+    pub fn set_tenants(&mut self, comps: &[(u8, u16)]) {
+        let mut map = [u16::MAX; 256];
+        for &(comp, tenant) in comps {
+            map[comp as usize] = tenant;
+        }
+        self.tenancy = Some(Box::new(Tenancy { comp_tenant: map }));
+    }
+
+    /// Drops tenant attribution; existing per-tenant counts remain until
+    /// [`Switch::reset_counters`].
+    pub fn clear_tenants(&mut self) {
+        self.tenancy = None;
+    }
+
+    /// One tenant's counter sub-view (zeroes when it processed nothing).
+    pub fn tenant_counters(&self, tenant: u16) -> TenantCounters {
+        self.st.counters.tenants.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// One tenant's `(hits, misses)` summed over the tables its namespace
+    /// owns. Derived from the per-table counters and the `t<id>__` name
+    /// prefix — tables dispatch behind the tenant's comp match, so
+    /// per-name totals *are* per-tenant totals, with no per-packet cost.
+    pub fn tenant_table_stats(&self, tenant: u16) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for (i, t) in self.compiled.table_states.iter().enumerate() {
+            if netcl_util::tenant::of(&t.name) == Some(tenant) {
+                hits += self.st.counters.table_hits[i];
+                misses += self.st.counters.table_misses[i];
+            }
+        }
+        (hits, misses)
     }
 
     /// Enables (or disables) the per-packet wall-time histogram. Off by
@@ -418,18 +513,26 @@ impl Switch {
     ) -> Result<(), SwitchError> {
         self.packets_processed += 1;
         self.st.counters.packets += 1;
+        // Tenant attribution brackets the engine run: the comp byte names
+        // the tenant, and the reg-action delta across the run is exactly
+        // the tenant's (kernels dispatch exclusively on comp).
+        let tenant = self.tenancy.as_deref().and_then(|t| t.of_wire(wire));
+        let ra_before = if tenant.is_some() { self.st.counters.reg_action_execs } else { 0 };
         out.clear();
         pkt.ensure_slots(&self.compiled.slots);
         pkt.reset();
-        match self.engine {
+        let r = match self.engine {
             Engine::Interpreted => {
-                self.parse_interp(wire, pkt)?;
-                let controls = self.program.controls.clone();
-                for control in &controls {
-                    let apply = control.apply.clone();
-                    self.exec_stmts(&apply, control, pkt)?;
-                }
-                self.deparse_interp(pkt, out)
+                let mut run = |sw: &mut Switch| -> Result<(), SwitchError> {
+                    sw.parse_interp(wire, pkt)?;
+                    let controls = sw.program.controls.clone();
+                    for control in &controls {
+                        let apply = control.apply.clone();
+                        sw.exec_stmts(&apply, control, pkt)?;
+                    }
+                    sw.deparse_interp(pkt, out)
+                };
+                run(self)
             }
             // Split borrows: the program forms and the runtime state are
             // disjoint fields, so no per-packet `Arc` refcount traffic.
@@ -441,7 +544,14 @@ impl Switch {
                 let Switch { threaded, st, .. } = self;
                 threaded::run_threaded(threaded, wire, pkt, out, st)
             }
+        };
+        if let Some(tid) = tenant {
+            let delta = self.st.counters.reg_action_execs - ra_before;
+            let e = self.st.counters.tenants.entry(tid).or_default();
+            e.packets += 1;
+            e.reg_action_execs += delta;
         }
+        r
     }
 
     // ---- batched processing (DESIGN.md §13) -----------------------------
@@ -466,8 +576,9 @@ impl Switch {
             let _ = self.process_batch_from(batch, 0, |_| false);
             return;
         }
-        let Switch { compiled, threaded, st, packets_processed, engine, .. } = self;
+        let Switch { compiled, threaded, st, packets_processed, engine, tenancy, .. } = self;
         let cp: &CompiledProgram = compiled;
+        let tenancy = tenancy.as_deref();
         batch.prepare_split(&cp.slots);
         let n = batch.len();
         // Each engine gets its own monomorphized phase loops (the closure
@@ -478,6 +589,7 @@ impl Switch {
                 Engine::Threaded => run_phases(
                     parts,
                     st,
+                    tenancy,
                     |wire, pkt, _| threaded::parse_threaded(threaded, wire, pkt),
                     |pkt, st| threaded::exec_threaded(threaded, pkt, st),
                     |pkt, out| threaded::deparse_threaded(threaded, pkt, out),
@@ -485,6 +597,7 @@ impl Switch {
                 _ => run_phases(
                     parts,
                     st,
+                    tenancy,
                     |wire, pkt, st| parse_compiled(cp, wire, pkt, st),
                     |pkt, st| {
                         cp.applies.iter().try_for_each(|&region| exec_region(cp, region, pkt, st))
@@ -537,8 +650,10 @@ impl Switch {
             }
             return None;
         }
-        let Switch { compiled, threaded, st, timing, packets_processed, engine, .. } = self;
+        let Switch { compiled, threaded, st, timing, packets_processed, engine, tenancy, .. } =
+            self;
         let cp: &CompiledProgram = compiled;
+        let tenancy = tenancy.as_deref();
         let mut done = 0u64;
         let mut stopped = None;
         for i in start..end {
@@ -549,10 +664,18 @@ impl Switch {
                 // `prepare` already shaped the packet; skip `ensure_slots`.
                 out.clear();
                 pkt.reset();
+                let tenant = tenancy.and_then(|t| t.of_wire(wire));
+                let ra_before = if tenant.is_some() { st.counters.reg_action_execs } else { 0 };
                 let r = match engine {
                     Engine::Threaded => threaded::run_threaded(threaded, wire, pkt, out, st),
                     _ => run_compiled(cp, wire, pkt, out, st),
                 };
+                if let Some(tid) = tenant {
+                    let delta = st.counters.reg_action_execs - ra_before;
+                    let e = st.counters.tenants.entry(tid).or_default();
+                    e.packets += 1;
+                    e.reg_action_execs += delta;
+                }
                 let hit = r.is_ok() && stop(out);
                 (r, hit)
             };
@@ -916,6 +1039,7 @@ impl Switch {
 fn run_phases<P, E, D>(
     parts: (&[u8], &[(u32, u32)], &mut [Packet], &mut [Vec<u8>], &mut [Result<(), SwitchError>]),
     st: &mut RuntimeState,
+    tenancy: Option<&Tenancy>,
     parse: P,
     exec: E,
     deparse: D,
@@ -930,9 +1054,21 @@ where
     let window = pkts.len();
     let mut errors = 0u64;
     let mut base = 0usize;
+    // Looks up the wire's tenant again per phase rather than buffering the
+    // phase-1 result: the comp byte is one arena load and keeping the two
+    // phases stateless preserves the window-scratch memory bound.
+    let tenant_of = |i: usize| {
+        tenancy.and_then(|t| {
+            let (s, l) = ranges[i];
+            t.of_wire(&arena[s as usize..(s + l) as usize])
+        })
+    };
     while base < n {
         let hi = (base + window).min(n);
-        // Phase 1: parse the window off the shared arena.
+        // Phase 1: parse the window off the shared arena. Per-tenant packet
+        // counts are credited here for every attempted packet — parse
+        // failures included — matching the scalar loop, which counts the
+        // packet before the engine runs.
         for i in base..hi {
             let pkt = &mut pkts[i - base];
             pkt.reset();
@@ -941,15 +1077,27 @@ where
                 outcomes[i] = Err(e);
                 errors += 1;
             }
+            if let Some(tid) = tenant_of(i) {
+                st.counters.tenants.entry(tid).or_default().packets += 1;
+            }
         }
-        // Phase 2: execute, strictly in packet order.
+        // Phase 2: execute, strictly in packet order. Register actions run
+        // only here (never in parse/deparse), so bracketing exec with a
+        // before/after delta attributes exactly the scalar loop's share —
+        // parse-failed packets executed zero actions there too.
         for i in base..hi {
             if outcomes[i].is_err() {
                 continue;
             }
+            let tenant = tenant_of(i);
+            let ra_before = if tenant.is_some() { st.counters.reg_action_execs } else { 0 };
             if let Err(e) = exec(&mut pkts[i - base], st) {
                 outcomes[i] = Err(e);
                 errors += 1;
+            }
+            if let Some(tid) = tenant {
+                let delta = st.counters.reg_action_execs - ra_before;
+                st.counters.tenants.entry(tid).or_default().reg_action_execs += delta;
             }
         }
         // Phase 3: deparse the survivors (outputs cleared for every
@@ -1757,5 +1905,194 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
         sw.process_batch(&mut batch);
         assert!(batch.outcome(0).is_err());
         assert_eq!(batch.output(1), wire(8, 4));
+    }
+
+    // ---- per-tenant accounting (DESIGN.md §17) --------------------------
+
+    /// A hand-built merged two-tenant program. The header mimics the NCL
+    /// shim: 8 bytes of preamble, then the comp byte at wire offset 8.
+    /// Comp 1 is tenant 0's kernel (one reg action on `t0__A`); comp 2 is
+    /// tenant 1's (two reg actions on `t1__B` plus a lookup MAT
+    /// `lu_t1__kv`).
+    fn tenant_program() -> P4Program {
+        let comp_is = |v: u64| {
+            Expr::Bin(
+                P4BinOp::Eq,
+                Box::new(Expr::field(&["hdr", "th", "comp"])),
+                Box::new(Expr::val(v, 8)),
+            )
+        };
+        let bump = |name: &str, register: &str| RegisterActionDef {
+            name: name.into(),
+            register: register.into(),
+            op: AtomicOp { rmw: AtomicRmw::Add, cond: false, ret_new: true },
+            cond: None,
+            operands: vec![Expr::val(1, 32)],
+        };
+        let exec = |ra: &str| Stmt::ExecuteRegisterAction {
+            dst: Some(Expr::field(&["meta", "cnt"])),
+            ra: ra.into(),
+            index: Expr::val(0, 32),
+        };
+        P4Program {
+            name: "tenants".into(),
+            target: Target::V1Model,
+            headers: vec![HeaderDef {
+                name: "th_t".into(),
+                fields: vec![("pad".into(), 64), ("comp".into(), 8), ("k".into(), 8)],
+                stack: 1,
+            }],
+            parser: Some(ParserDef {
+                name: "P".into(),
+                states: vec![ParserState {
+                    name: "start".into(),
+                    extracts: vec!["hdr.th".into()],
+                    transition: Transition::Accept,
+                }],
+            }),
+            controls: vec![ControlDef {
+                name: "Ig".into(),
+                locals: vec![("cnt".into(), 32)],
+                registers: vec![
+                    RegisterDef { name: "t0__A".into(), elem_bits: 32, size: 4 },
+                    RegisterDef { name: "t1__B".into(), elem_bits: 32, size: 4 },
+                ],
+                register_actions: vec![bump("bump0", "t0__A"), bump("bump1", "t1__B")],
+                hashes: vec![],
+                actions: vec![ActionDef {
+                    name: "setk".into(),
+                    params: vec![("x".into(), 8)],
+                    body: vec![Stmt::Assign(Expr::field(&["hdr", "th", "k"]), Expr::field(&["x"]))],
+                }],
+                tables: vec![TableDef {
+                    name: "lu_t1__kv".into(),
+                    keys: vec![(Expr::field(&["hdr", "th", "k"]), MatchKind::Exact)],
+                    actions: vec!["setk".into()],
+                    entries: vec![TableEntry {
+                        keys: vec![EntryKey::Value(7)],
+                        action: "setk".into(),
+                        args: vec![42],
+                    }],
+                    default_action: "NoAction".into(),
+                    size: 8,
+                }],
+                apply: vec![
+                    Stmt::If { cond: comp_is(1), then: vec![exec("bump0")], els: vec![] },
+                    Stmt::If {
+                        cond: comp_is(2),
+                        then: vec![
+                            exec("bump1"),
+                            exec("bump1"),
+                            Stmt::ApplyTable("lu_t1__kv".into()),
+                        ],
+                        els: vec![],
+                    },
+                ],
+            }],
+        }
+    }
+
+    /// A 10-byte wire for [`tenant_program`]: 8 zero bytes, comp, k.
+    fn twire(comp: u8, k: u8) -> Vec<u8> {
+        let mut w = vec![0u8; 8];
+        w.push(comp);
+        w.push(k);
+        w
+    }
+
+    /// All three engines attribute per-tenant packets, reg actions, and
+    /// table stats identically; unmapped comps stay unattributed.
+    #[test]
+    fn tenant_counters_uniform_across_engines() {
+        let run = |engine: Engine| {
+            let mut sw = Switch::new(tenant_program());
+            sw.set_engine(engine);
+            sw.set_tenants(&[(1, 0), (2, 1)]);
+            for w in [twire(1, 7), twire(2, 7), twire(2, 8), twire(3, 0)] {
+                sw.process(&w).unwrap();
+            }
+            sw
+        };
+        let switches = [Engine::Interpreted, Engine::Compiled, Engine::Threaded].map(run);
+        for sw in &switches {
+            let e = sw.engine().name();
+            assert_eq!(
+                sw.tenant_counters(0),
+                TenantCounters { packets: 1, reg_action_execs: 1 },
+                "tenant 0 on {e}"
+            );
+            assert_eq!(
+                sw.tenant_counters(1),
+                TenantCounters { packets: 2, reg_action_execs: 4 },
+                "tenant 1 on {e}"
+            );
+            assert_eq!(sw.tenant_counters(9), TenantCounters::default());
+            // comp 3 is unmapped: counted globally, attributed to no one.
+            assert_eq!(sw.counters().packets, 4);
+            assert_eq!(
+                sw.counters().tenants.values().map(|t| t.packets).sum::<u64>(),
+                3,
+                "one packet outside every tenant on {e}"
+            );
+            // Only comp-2 packets reach `lu_t1__kv`: k=7 hits, k=8 misses.
+            assert_eq!(sw.tenant_table_stats(1), (1, 1), "tenant 1 tables on {e}");
+            assert_eq!(sw.tenant_table_stats(0), (0, 0));
+        }
+        // Per-tenant maps are inside `SwitchCounters`' differential contract.
+        assert_eq!(switches[0].counters(), switches[1].counters());
+        assert_eq!(switches[1].counters(), switches[2].counters());
+    }
+
+    /// Both batch paths credit tenants exactly like the scalar loop, parse
+    /// errors included, and `clear_tenants` stops attribution.
+    #[test]
+    fn tenant_counters_batch_matches_scalar() {
+        // The 9-byte wire carries a readable comp byte but truncates the
+        // header: its tenant is charged the packet and zero reg actions.
+        let truncated = {
+            let mut w = vec![0u8; 8];
+            w.push(2);
+            w
+        };
+        let wires = [twire(1, 7), twire(2, 7), truncated, twire(2, 8), twire(3, 1), vec![0x01]];
+
+        let mut scalar = Switch::new(tenant_program());
+        scalar.set_tenants(&[(1, 0), (2, 1)]);
+        let mut pkt = scalar.new_packet();
+        let mut out = Vec::new();
+        for w in &wires {
+            let _ = scalar.process_into(w, &mut pkt, &mut out);
+        }
+
+        let mut batched = Switch::new(tenant_program());
+        batched.set_tenants(&[(1, 0), (2, 1)]);
+        let mut batch = PacketBatch::new();
+        for w in &wires {
+            batch.push(w);
+        }
+        batched.process_batch(&mut batch);
+        assert_eq!(batched.counters(), scalar.counters(), "phase-split batch diverges");
+
+        let mut resumable = Switch::new(tenant_program());
+        resumable.set_tenants(&[(1, 0), (2, 1)]);
+        let mut batch2 = PacketBatch::new();
+        for w in &wires {
+            batch2.push(w);
+        }
+        assert_eq!(resumable.process_batch_from(&mut batch2, 0, |_| false), None);
+        assert_eq!(resumable.counters(), scalar.counters(), "resumable batch diverges");
+
+        assert_eq!(
+            scalar.tenant_counters(1),
+            TenantCounters { packets: 3, reg_action_execs: 4 },
+            "truncated comp-2 packet charged, zero reg actions"
+        );
+
+        // Dropping tenancy stops attribution but not global counting.
+        let before = scalar.tenant_counters(0);
+        scalar.clear_tenants();
+        scalar.process(&twire(1, 7)).unwrap();
+        assert_eq!(scalar.tenant_counters(0), before);
+        assert_eq!(scalar.counters().packets, wires.len() as u64 + 1);
     }
 }

@@ -13,6 +13,11 @@
 //!   a multi-device unit therefore re-runs the backend only for the
 //!   devices that kernel is `_at(...)`. The printed IR embeds the device
 //!   id (codegen specializes on it), so distinct devices never alias.
+//! * **kernel seen-set** — FNV-1a over (options fingerprint, device, the
+//!   kernel's printed IR). Pure attribution: [`ReuseStats`] reports how
+//!   many kernels of a recompile were already known, so a one-kernel
+//!   edit is visible as exactly one cold kernel while its siblings (and
+//!   their devices' artifacts) stay cache-hit.
 //!
 //! Keys are content hashes, so a mutated source simply misses and
 //! recompiles; nothing is ever invalidated in place. Served artifacts are
@@ -36,6 +41,13 @@ pub struct ReuseStats {
     /// Devices whose pass pipeline + codegen were served from the device
     /// cache (equals `devices_total` on a unit hit).
     pub devices_reused: usize,
+    /// Kernels lowered across all devices of this unit.
+    pub kernels_total: usize,
+    /// Kernels whose post-sema IR was already known to the cache — the
+    /// per-kernel attribution behind `devices_reused`: a one-kernel edit
+    /// shows up as exactly one cold kernel here, and every device whose
+    /// kernels all reused serves its artifact from the device cache.
+    pub kernels_reused: usize,
 }
 
 /// Hit/miss counters for a [`CompileCache`].
@@ -49,13 +61,20 @@ pub struct CacheStats {
     pub device_hits: u64,
     /// Per-device lookups that missed.
     pub device_misses: u64,
+    /// Per-kernel IR hashes already in the seen-set.
+    pub kernel_hits: u64,
+    /// Per-kernel IR hashes recorded for the first time.
+    pub kernel_misses: u64,
 }
 
-/// The two-level artifact cache behind `Compiler::compile_incremental`.
+/// The two-level artifact cache behind `Compiler::compile_incremental`,
+/// plus a per-kernel seen-set that attributes each device hit or miss to
+/// the kernels that caused it.
 #[derive(Debug, Default)]
 pub struct CompileCache {
     units: HashMap<u64, CompiledUnit>,
     devices: HashMap<u64, CompiledDevice>,
+    kernels: std::collections::HashSet<u64>,
     stats: CacheStats,
 }
 
@@ -84,6 +103,7 @@ impl CompileCache {
     pub fn clear(&mut self) {
         self.units.clear();
         self.devices.clear();
+        self.kernels.clear();
         self.stats = CacheStats::default();
     }
 
@@ -113,6 +133,18 @@ impl CompileCache {
 
     pub(crate) fn put_device(&mut self, key: u64, device: CompiledDevice) {
         self.devices.insert(key, device);
+    }
+
+    /// Records a kernel's IR hash in the seen-set; returns whether it was
+    /// already known (i.e. this kernel's lowered IR is unchanged since
+    /// some earlier compile through this cache).
+    pub(crate) fn kernel(&mut self, key: u64) -> bool {
+        let seen = !self.kernels.insert(key);
+        match seen {
+            true => self.stats.kernel_hits += 1,
+            false => self.stats.kernel_misses += 1,
+        }
+        seen
     }
 }
 
@@ -203,6 +235,19 @@ pub(crate) fn device_key(fingerprint: u64, base: &netcl_ir::Module) -> u64 {
             };
         }
     }
+    h.0
+}
+
+/// Kernel key: options fingerprint + device id + the kernel's printed
+/// post-sema IR. This is the unit of change attribution: a device key is
+/// (conceptually) the combination of its kernels' keys and its globals,
+/// so a device misses exactly when one of its kernels' keys is cold or a
+/// global changed. A comment-only edit leaves every kernel key hot.
+pub(crate) fn kernel_key(fingerprint: u64, device: u16, f: &netcl_ir::Function) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(fingerprint)
+        .write(&device.to_le_bytes())
+        .write(netcl_ir::print::print_function(f).as_bytes());
     h.0
 }
 
@@ -308,6 +353,73 @@ _kernel(1) _at(1) void g(unsigned k, unsigned &v, char &hit) {{ hit = ncl::looku
             netcl_p4::print::print_program(&cold.devices[0].tna_p4),
             netcl_p4::print::print_program(&warm.devices[0].tna_p4),
         );
+    }
+
+    #[test]
+    fn comment_only_edit_keeps_sibling_device_entries_hot() {
+        // A comment near kernel A changes the source text (unit miss) but
+        // not any kernel's lowered IR: every kernel key stays hot and
+        // both devices' artifacts are served from the device cache.
+        let src = |note: &str| {
+            format!(
+                r#"
+_net_ _at(1) int sa[8];
+_net_ _at(2) int sb[8];
+_kernel(1) _at(1) void ka(int x, int &o) {{ {note} o = ncl::atomic_add(&sa[0], x); }}
+_kernel(2) _at(2) void kb(int x, int &o) {{ o = ncl::atomic_add(&sb[0], x); }}
+"#
+            )
+        };
+        let cc = Compiler::new(CompileOptions::default());
+        let mut cache = CompileCache::new();
+        let cold = cc.compile_incremental("t.ncl", &src(""), &mut cache).unwrap();
+        assert_eq!((cold.reuse.kernels_total, cold.reuse.kernels_reused), (2, 0));
+
+        let warm =
+            cc.compile_incremental("t.ncl", &src("/* retune threshold */"), &mut cache).unwrap();
+        assert!(!warm.reuse.unit_hit, "edited source must miss the unit cache");
+        assert_eq!(
+            (warm.reuse.kernels_total, warm.reuse.kernels_reused),
+            (2, 2),
+            "a comment-only edit must leave every kernel's IR hash hot"
+        );
+        assert_eq!(
+            warm.reuse.devices_reused, 2,
+            "kernel B's (and A's) device entries must be cache-hit"
+        );
+        let st = cache.stats();
+        assert_eq!((st.kernel_hits, st.kernel_misses), (2, 2));
+        assert_eq!((st.device_hits, st.device_misses), (2, 2));
+    }
+
+    #[test]
+    fn one_kernel_edit_attributes_the_miss_to_that_kernel() {
+        // A real edit to kernel B: B's key is cold, A's stays hot, and
+        // only B's device recompiles.
+        let src = |idx: usize| {
+            format!(
+                r#"
+_net_ _at(1) int sa[8];
+_net_ _at(2) int sb[8];
+_kernel(1) _at(1) void ka(int x, int &o) {{ o = ncl::atomic_add(&sa[0], x); }}
+_kernel(2) _at(2) void kb(int x, int &o) {{ o = ncl::atomic_add(&sb[{idx}], x); }}
+"#
+            )
+        };
+        let cc = Compiler::new(CompileOptions::default());
+        let mut cache = CompileCache::new();
+        cc.compile_incremental("t.ncl", &src(0), &mut cache).unwrap();
+        let warm = cc.compile_incremental("t.ncl", &src(1), &mut cache).unwrap();
+        assert_eq!(
+            (warm.reuse.kernels_total, warm.reuse.kernels_reused),
+            (2, 1),
+            "exactly the edited kernel must be cold"
+        );
+        assert_eq!(warm.reuse.devices_reused, 1, "only the edited kernel's device recompiles");
+        // A unit hit reports full kernel reuse without recomputing hashes.
+        let hit = cc.compile_incremental("t.ncl", &src(1), &mut cache).unwrap();
+        assert!(hit.reuse.unit_hit);
+        assert_eq!((hit.reuse.kernels_total, hit.reuse.kernels_reused), (2, 2));
     }
 
     #[test]

@@ -172,6 +172,8 @@ impl Compiler {
                     unit_hit: true,
                     devices_total: unit.devices.len(),
                     devices_reused: unit.devices.len(),
+                    kernels_total: unit.reuse.kernels_total,
+                    kernels_reused: unit.reuse.kernels_total,
                 };
                 for d in &mut unit.devices {
                     mark_cached(d);
@@ -220,6 +222,19 @@ impl Compiler {
                 });
             }
             reuse.devices_total += 1;
+
+            // Kernel-level attribution: record each kernel's IR hash so
+            // the reuse stats show *which* edits caused a device miss — a
+            // one-kernel edit reports one cold kernel, and its siblings'
+            // devices stay served from the device cache below.
+            if let Some(c) = cache.as_deref_mut() {
+                for f in &base.kernels {
+                    reuse.kernels_total += 1;
+                    if c.kernel(cache::kernel_key(fingerprint, dev, f)) {
+                        reuse.kernels_reused += 1;
+                    }
+                }
+            }
 
             // Device-level reuse: the pass pipeline and codegen are pure
             // functions of (base IR, flags, target), so an unchanged base

@@ -48,11 +48,13 @@ pub mod cache;
 pub mod codegen;
 pub mod compiler;
 pub mod lower;
+pub mod tenant;
 
 pub use cache::{CacheStats, CompileCache, ReuseStats};
 pub use compiler::{
     CompileError, CompileOptions, CompiledDevice, CompiledUnit, Compiler, EmitTarget,
 };
+pub use tenant::{compile_tenants, MergedCompilation, TenantSlice, TenantSource};
 
 // Re-export the layers for downstream crates (runtime, apps, benches).
 pub use netcl_ir as ir;

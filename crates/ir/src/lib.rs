@@ -12,6 +12,7 @@
 //! * [`func`] — instructions, blocks, functions, modules, and the builder
 //! * [`dom`] — CFG orders, dominator tree, dominance frontiers
 //! * [`verify`] — structural and dominance verification
+//! * [`merge`] — multi-tenant namespacing and module composition (§17)
 //! * [`mod@print`] — textual dump (stable, used by golden tests)
 //! * [`interp`] — a reference interpreter used for differential testing
 //!   against the generated P4 running on the bmv2 model
@@ -21,6 +22,7 @@
 pub mod dom;
 pub mod func;
 pub mod interp;
+pub mod merge;
 pub mod print;
 pub mod types;
 pub mod verify;

@@ -267,6 +267,11 @@ pub struct ObsConfig {
     /// Also record a per-message Chrome `trace_event` timeline
     /// ([`Network::take_trace`]); histograms alone are much cheaper.
     pub trace: bool,
+    /// Bound the trace to the most recent N data events
+    /// ([`Trace::bounded`]): long chaos runs stay O(capacity) instead of
+    /// O(run length). `None` keeps every event. Track-naming metadata is
+    /// exempt, and stats/counters are unaffected either way.
+    pub trace_capacity: Option<usize>,
 }
 
 /// Wall-clock observability for a run. Kept *outside* [`NetStats`] on
@@ -406,7 +411,10 @@ impl NetworkBuilder {
     ) -> Network {
         let obs = self.obs.map(|cfg| {
             let trace = cfg.trace.then(|| {
-                let mut t = Trace::new();
+                let mut t = match cfg.trace_capacity {
+                    Some(c) => Trace::bounded(c),
+                    None => Trace::new(),
+                };
                 t.name_process(0, "netcl-sim");
                 let mut dev_ids: Vec<u16> = self.devices.iter().map(|(id, ..)| *id).collect();
                 dev_ids.sort_unstable();
@@ -1624,7 +1632,7 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
             .device(1, switch, 500)
             .sink_host(1)
             .sink_host(2)
-            .observe(ObsConfig { trace: true })
+            .observe(ObsConfig { trace: true, ..Default::default() })
             .build();
         let m = Message::new(1, 2, 1, 1);
         let packed = pack(&m, &spec, &[Some(&[1]), Some(&[1]), None, None]).unwrap();
@@ -1634,7 +1642,7 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
         assert!(obs.queue_depth.count() > 0, "queue depth sampled per event");
         assert_eq!(obs.queue_depth.count(), obs.event_wall_ns.count());
         let trace = net.take_trace().expect("trace recorded");
-        let names: Vec<&str> = trace.events().iter().map(|e| e.name.as_str()).collect();
+        let names: Vec<&str> = trace.events().map(|e| e.name.as_str()).collect();
         assert!(names.contains(&"kernel"), "device span recorded: {names:?}");
         assert!(names.contains(&"deliver"), "host delivery marked: {names:?}");
         assert!(names.contains(&"thread_name"), "tracks are named");
@@ -1657,7 +1665,7 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
             let topo = star(1, &[1, 2], LinkSpec::default());
             let mut b = NetworkBuilder::new(topo).device(1, switch, 500).sink_host(1).sink_host(2);
             if observe {
-                b = b.observe(ObsConfig { trace: true });
+                b = b.observe(ObsConfig { trace: true, ..Default::default() });
             }
             let mut net = b.build();
             let m = Message::new(1, 2, 1, 1);
@@ -1669,6 +1677,55 @@ _kernel(1) _at(1) void query(char op, unsigned k, unsigned &v, char &hit) {
         let plain = run(false);
         assert!(run(true) == plain, "observability must not change NetStats");
         assert_eq!(plain.recirculations, 0, "cache kernel never recirculates");
+    }
+
+    /// Bounded tracing caps trace memory at O(capacity) while leaving the
+    /// deterministic stats and counters byte-identical to the unbounded
+    /// run: the ring only changes what the trace *retains*, never what the
+    /// network *does*.
+    #[test]
+    fn bounded_trace_caps_memory_without_changing_stats() {
+        let run = |capacity: Option<usize>| {
+            let unit = netcl::Compiler::new(netcl::CompileOptions::default())
+                .compile("cache.ncl", CACHE_SRC)
+                .unwrap();
+            let spec = unit.model.kernels[0].specification();
+            let switch = Switch::new(unit.devices[0].tna_p4.clone());
+            let topo = star(1, &[1, 2], LinkSpec::default());
+            let mut net = NetworkBuilder::new(topo)
+                .device(1, switch, 500)
+                .sink_host(1)
+                .sink_host(2)
+                .observe(ObsConfig { trace: true, trace_capacity: capacity })
+                .build();
+            for i in 0..32u64 {
+                let m = Message::new(1, 2, 1, 1);
+                let packed = pack(&m, &spec, &[Some(&[1]), Some(&[1]), None, None]).unwrap();
+                net.send_from_host(1, i * 1_000, packed);
+            }
+            net.run(100);
+            let counters = net.switch(1).unwrap().counters().clone();
+            let trace = net.take_trace().expect("trace recorded");
+            (net.stats.clone(), counters, trace)
+        };
+        let (stats_full, counters_full, trace_full) = run(None);
+        let (stats_ring, counters_ring, trace_ring) = run(Some(8));
+        assert!(stats_ring == stats_full, "bounding must not change NetStats");
+        assert_eq!(counters_ring, counters_full, "nor the data-plane counters");
+        // The full run saw many events; the ring kept only its capacity.
+        assert_eq!(trace_full.dropped(), 0);
+        assert!(trace_ring.dropped() > 0, "a 32-message run overflows 8 slots");
+        let data = |t: &netcl_obs::Trace| t.events().filter(|e| e.ph != 'M').count();
+        assert!(data(&trace_full) > 8);
+        assert_eq!(data(&trace_ring), 8, "retained data events == capacity");
+        assert_eq!(
+            data(&trace_ring) as u64 + trace_ring.dropped(),
+            data(&trace_full) as u64,
+            "kept + dropped accounts for every event the full run saw"
+        );
+        // Metadata (track names) survives bounding in full.
+        let meta = |t: &netcl_obs::Trace| t.events().filter(|e| e.ph == 'M').count();
+        assert_eq!(meta(&trace_ring), meta(&trace_full));
     }
 
     #[test]

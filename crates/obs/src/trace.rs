@@ -7,8 +7,16 @@
 //! [ui.perfetto.dev](https://ui.perfetto.dev) open directly. Timestamps
 //! are kept in nanoseconds internally and emitted as fractional
 //! microseconds, the unit the format mandates.
+//!
+//! A trace is unbounded by default. [`Trace::bounded`] caps it to the
+//! most recent N data events (a ring buffer): long chaos runs with
+//! tracing enabled stay O(buffer) instead of O(run length). Track-naming
+//! metadata (`ph:"M"`) is kept outside the ring — a truncated trace
+//! still labels every process and thread — and [`Trace::dropped`]
+//! reports how many events the ring evicted.
 
 use crate::{write_json_string, Value};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// One trace record.
@@ -32,38 +40,86 @@ pub struct TraceEvent {
     pub args: Vec<(&'static str, Value)>,
 }
 
-/// An in-memory trace: a growing list of [`TraceEvent`]s.
+/// An in-memory trace: metadata records plus a (optionally ring-bounded)
+/// list of data events.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    /// Track-naming metadata (`ph:"M"`), always kept.
+    meta: Vec<TraceEvent>,
+    /// Data events in record order; a ring of the most recent `capacity`
+    /// when bounded.
+    data: VecDeque<TraceEvent>,
+    /// Ring capacity; `None` grows without bound.
+    capacity: Option<usize>,
+    /// Data events evicted by the ring.
+    dropped: u64,
 }
 
 impl Trace {
-    /// An empty trace.
+    /// An empty, unbounded trace.
     pub fn new() -> Trace {
         Trace::default()
     }
 
-    /// Number of recorded events.
+    /// An empty trace that keeps only the most recent `capacity` data
+    /// events (metadata is exempt). `capacity` 0 records metadata only.
+    pub fn bounded(capacity: usize) -> Trace {
+        Trace { capacity: Some(capacity), ..Trace::default() }
+    }
+
+    /// Number of recorded events (metadata + retained data).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.meta.len() + self.data.len()
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.meta.is_empty() && self.data.is_empty()
     }
 
-    /// All recorded events.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// The ring capacity, if this trace is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Data events evicted by the ring (0 for unbounded traces).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// All retained events: metadata first, then data in record order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.meta.iter().chain(self.data.iter())
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        if e.ph == 'M' {
+            self.meta.push(e);
+            return;
+        }
+        if let Some(c) = self.capacity {
+            if c == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.data.len() >= c {
+                self.data.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.data.push_back(e);
     }
 
     /// Appends every event from `other` — how per-shard traces are merged
     /// into one timeline after a sharded run. Metadata records (track
-    /// names) may repeat; the Perfetto UI tolerates duplicates.
+    /// names) may repeat; the Perfetto UI tolerates duplicates. The
+    /// receiver's bound (if any) keeps applying, and evictions carry over.
     pub fn absorb(&mut self, other: Trace) {
-        self.events.extend(other.events);
+        self.dropped += other.dropped;
+        self.meta.extend(other.meta);
+        for e in other.data {
+            self.push(e);
+        }
     }
 
     /// Records a complete span (`ph:"X"`).
@@ -78,16 +134,7 @@ impl Trace {
         dur_ns: u64,
         args: Vec<(&'static str, Value)>,
     ) {
-        self.events.push(TraceEvent {
-            name: name.into(),
-            cat,
-            ph: 'X',
-            ts_ns,
-            dur_ns,
-            pid,
-            tid,
-            args,
-        });
+        self.push(TraceEvent { name: name.into(), cat, ph: 'X', ts_ns, dur_ns, pid, tid, args });
     }
 
     /// Records an instant marker (`ph:"i"`, thread scope).
@@ -100,22 +147,13 @@ impl Trace {
         ts_ns: u64,
         args: Vec<(&'static str, Value)>,
     ) {
-        self.events.push(TraceEvent {
-            name: name.into(),
-            cat,
-            ph: 'i',
-            ts_ns,
-            dur_ns: 0,
-            pid,
-            tid,
-            args,
-        });
+        self.push(TraceEvent { name: name.into(), cat, ph: 'i', ts_ns, dur_ns: 0, pid, tid, args });
     }
 
     /// Records a counter sample (`ph:"C"`): the UI draws one stacked area
     /// chart per counter name from these.
     pub fn counter(&mut self, name: impl Into<String>, pid: u32, ts_ns: u64, value: u64) {
-        self.events.push(TraceEvent {
+        self.push(TraceEvent {
             name: name.into(),
             cat: "counter",
             ph: 'C',
@@ -129,7 +167,7 @@ impl Trace {
 
     /// Names a thread track (`ph:"M"`, `thread_name`).
     pub fn name_thread(&mut self, pid: u32, tid: u32, name: impl Into<String>) {
-        self.events.push(TraceEvent {
+        self.push(TraceEvent {
             name: "thread_name".into(),
             cat: "__metadata",
             ph: 'M',
@@ -143,7 +181,7 @@ impl Trace {
 
     /// Names a process track (`ph:"M"`, `process_name`).
     pub fn name_process(&mut self, pid: u32, name: impl Into<String>) {
-        self.events.push(TraceEvent {
+        self.push(TraceEvent {
             name: "process_name".into(),
             cat: "__metadata",
             ph: 'M',
@@ -158,9 +196,9 @@ impl Trace {
     /// Serializes to the Chrome JSON Object Format. The result loads in
     /// Perfetto / `chrome://tracing` as-is.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        let mut out = String::with_capacity(64 + self.len() * 96);
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-        for (i, e) in self.events.iter().enumerate() {
+        for (i, e) in self.events().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -231,5 +269,63 @@ mod tests {
     fn empty_trace_still_valid() {
         let json = Trace::new().to_json();
         assert!(json.contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn bounded_trace_keeps_most_recent_and_all_metadata() {
+        let mut t = Trace::bounded(3);
+        t.name_process(0, "network");
+        for i in 0..10u64 {
+            t.instant(format!("ev{i}"), "host", 0, 1, i * 100, vec![]);
+            // Metadata interleaved with data never enters the ring.
+            t.name_thread(0, i as u32, format!("node {i}"));
+        }
+        assert_eq!(t.capacity(), Some(3));
+        assert_eq!(t.dropped(), 7);
+        // 11 metadata records + the 3 newest data events.
+        assert_eq!(t.len(), 11 + 3);
+        let data: Vec<&str> = t.events().filter(|e| e.ph != 'M').map(|e| e.name.as_str()).collect();
+        assert_eq!(data, ["ev7", "ev8", "ev9"], "ring keeps the tail, in order");
+        assert_eq!(t.events().filter(|e| e.ph == 'M').count(), 11);
+        // The truncated trace still serializes to well-formed JSON.
+        let json = t.to_json();
+        assert_eq!(json.matches("\"ph\":\"").count(), t.len());
+    }
+
+    #[test]
+    fn capacity_zero_records_metadata_only() {
+        let mut t = Trace::bounded(0);
+        t.name_process(0, "network");
+        t.instant("deliver", "host", 0, 1, 100, vec![]);
+        t.counter("queue_depth", 0, 200, 4);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn absorb_respects_receiver_bound() {
+        let mut donor = Trace::new();
+        donor.name_thread(0, 1, "device 1");
+        for i in 0..5u64 {
+            donor.instant(format!("d{i}"), "host", 0, 1, i, vec![]);
+        }
+        let mut t = Trace::bounded(2);
+        t.instant("local", "host", 0, 1, 0, vec![]);
+        t.absorb(donor);
+        assert_eq!(t.dropped(), 4, "local + d0..d2 evicted");
+        let data: Vec<&str> = t.events().filter(|e| e.ph != 'M').map(|e| e.name.as_str()).collect();
+        assert_eq!(data, ["d3", "d4"]);
+        assert_eq!(t.events().filter(|e| e.ph == 'M').count(), 1);
+    }
+
+    #[test]
+    fn unbounded_trace_never_drops() {
+        let mut t = Trace::new();
+        for i in 0..100u64 {
+            t.counter("queue_depth", 0, i, i);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), None);
     }
 }

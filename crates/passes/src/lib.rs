@@ -44,7 +44,7 @@ pub mod report;
 pub mod rewrite;
 pub mod structurize;
 
-pub use report::{PassOutcome, PassReport, PassStat};
+pub use report::{KernelStat, PassOutcome, PassReport, PassStat, MODULE_KERNEL};
 
 use netcl_ir::Module;
 use netcl_util::DiagnosticSink;

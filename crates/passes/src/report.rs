@@ -53,6 +53,29 @@ pub struct PassStat {
     pub rewrites: u64,
 }
 
+/// Aggregated statistics for one kernel, across every pass that touched
+/// it — the transpose of the per-pass table. Module-scope passes (layout,
+/// partitioning) are attributed to the pseudo-kernel [`MODULE_KERNEL`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Kernel name (or [`MODULE_KERNEL`] for module-scope passes).
+    pub kernel: String,
+    /// Pass invocations attributed to this kernel.
+    pub runs: u64,
+    /// Total wall time across those invocations, nanoseconds.
+    pub wall_ns: u64,
+    /// Net instructions added to this kernel (negative: removed).
+    pub insts_delta: i64,
+    /// Net blocks added (negative: removed).
+    pub blocks_delta: i64,
+    /// Rewrites fired on this kernel.
+    pub rewrites: u64,
+}
+
+/// The pseudo-kernel module-scope passes are attributed to: their deltas
+/// span kernels, so they cannot be assigned to any single one.
+pub const MODULE_KERNEL: &str = "<module>";
+
 /// Sizes of a function or module: `(instructions, blocks)`.
 fn fn_size(f: &Function) -> (u64, u64) {
     (f.blocks.iter().map(|b| b.insts.len() as u64).sum(), f.blocks.len() as u64)
@@ -79,6 +102,10 @@ pub struct PassReport {
     pub blocks_end: u64,
     /// Per-pass aggregates, in first-execution order.
     pub passes: Vec<PassStat>,
+    /// Per-kernel aggregates, in first-touch order — the same measured
+    /// runs as [`PassReport::passes`], partitioned by kernel instead of
+    /// by pass ([`PassReport::reconcile`] checks the two views agree).
+    pub per_kernel: Vec<KernelStat>,
     /// Whether this report was served from the incremental-compile cache
     /// instead of a fresh pipeline run: the per-pass numbers then describe
     /// the *original* run whose artifacts were reused (DESIGN.md §16).
@@ -97,6 +124,7 @@ impl PassReport {
             blocks_start: blocks,
             blocks_end: blocks,
             passes: Vec::new(),
+            per_kernel: Vec::new(),
             from_cache: false,
         }
     }
@@ -118,6 +146,12 @@ impl PassReport {
         self.passes.iter().find(|p| p.name == name)
     }
 
+    /// The aggregate entry for kernel `name` (or [`MODULE_KERNEL`]), if
+    /// any measured pass touched it.
+    pub fn kernel(&self, name: &str) -> Option<&KernelStat> {
+        self.per_kernel.iter().find(|k| k.kernel == name)
+    }
+
     fn stat_mut(&mut self, name: &'static str) -> &mut PassStat {
         if let Some(i) = self.passes.iter().position(|p| p.name == name) {
             return &mut self.passes[i];
@@ -133,38 +167,66 @@ impl PassReport {
         self.passes.last_mut().expect("just pushed")
     }
 
+    fn kernel_mut(&mut self, kernel: &str) -> &mut KernelStat {
+        if let Some(i) = self.per_kernel.iter().position(|k| k.kernel == kernel) {
+            return &mut self.per_kernel[i];
+        }
+        self.per_kernel.push(KernelStat {
+            kernel: kernel.to_string(),
+            runs: 0,
+            wall_ns: 0,
+            insts_delta: 0,
+            blocks_delta: 0,
+            rewrites: 0,
+        });
+        self.per_kernel.last_mut().expect("just pushed")
+    }
+
+    /// Every measured run lands in both partitions: once under its pass,
+    /// once under its kernel.
     fn record(
         &mut self,
         name: &'static str,
+        kernel: &str,
         wall_ns: u64,
         before: (u64, u64),
         after: (u64, u64),
         rewrites: u64,
     ) {
+        let insts = after.0 as i64 - before.0 as i64;
+        let blocks = after.1 as i64 - before.1 as i64;
         let s = self.stat_mut(name);
         s.runs += 1;
         s.wall_ns += wall_ns;
-        s.insts_delta += after.0 as i64 - before.0 as i64;
-        s.blocks_delta += after.1 as i64 - before.1 as i64;
+        s.insts_delta += insts;
+        s.blocks_delta += blocks;
         s.rewrites += rewrites;
+        let k = self.kernel_mut(kernel);
+        k.runs += 1;
+        k.wall_ns += wall_ns;
+        k.insts_delta += insts;
+        k.blocks_delta += blocks;
+        k.rewrites += rewrites;
     }
 
-    /// Runs a function pass under measurement.
+    /// Runs a function pass under measurement, attributed to the kernel.
     pub fn on_fn<R: PassOutcome>(
         &mut self,
         name: &'static str,
         f: &mut Function,
         run: impl FnOnce(&mut Function) -> R,
     ) -> R {
+        let kernel = f.name.clone();
         let before = fn_size(f);
         let sw = Stopwatch::start();
         let r = run(f);
         let wall = sw.elapsed_ns();
-        self.record(name, wall, before, fn_size(f), r.rewrites());
+        self.record(name, &kernel, wall, before, fn_size(f), r.rewrites());
         r
     }
 
-    /// Runs a module pass under measurement.
+    /// Runs a module pass under measurement, attributed to
+    /// [`MODULE_KERNEL`].
     pub fn on_module<R: PassOutcome>(
         &mut self,
         name: &'static str,
@@ -175,8 +237,44 @@ impl PassReport {
         let sw = Stopwatch::start();
         let r = run(m);
         let wall = sw.elapsed_ns();
-        self.record(name, wall, before, module_size(m), r.rewrites());
+        self.record(name, MODULE_KERNEL, wall, before, module_size(m), r.rewrites());
         r
+    }
+
+    /// Checks the per-pass and per-kernel views reconcile: they partition
+    /// the same set of measured runs, so every aggregate must agree.
+    /// Returns the first mismatching aggregate.
+    pub fn reconcile(&self) -> Result<(), String> {
+        let by_pass = self.passes.iter().fold((0u64, 0u64, 0i64, 0i64, 0u64), |a, p| {
+            (
+                a.0 + p.runs,
+                a.1 + p.wall_ns,
+                a.2 + p.insts_delta,
+                a.3 + p.blocks_delta,
+                a.4 + p.rewrites,
+            )
+        });
+        let by_kernel = self.per_kernel.iter().fold((0u64, 0u64, 0i64, 0i64, 0u64), |a, k| {
+            (
+                a.0 + k.runs,
+                a.1 + k.wall_ns,
+                a.2 + k.insts_delta,
+                a.3 + k.blocks_delta,
+                a.4 + k.rewrites,
+            )
+        });
+        for (label, p, k) in [
+            ("runs", by_pass.0 as i64, by_kernel.0 as i64),
+            ("wall_ns", by_pass.1 as i64, by_kernel.1 as i64),
+            ("insts_delta", by_pass.2, by_kernel.2),
+            ("blocks_delta", by_pass.3, by_kernel.3),
+            ("rewrites", by_pass.4 as i64, by_kernel.4 as i64),
+        ] {
+            if p != k {
+                return Err(format!("per-pass {label} {p} != per-kernel {label} {k}"));
+            }
+        }
+        Ok(())
     }
 
     /// The human-readable table `ncc --emit-pass-report` prints.
@@ -211,12 +309,30 @@ impl PassReport {
                 p.rewrites
             );
         }
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:>11} {:>8} {:>8} {:>9}",
+            "KERNEL", "RUNS", "WALL(µs)", "ΔINSTS", "ΔBLOCKS", "REWRITES"
+        );
+        for k in &self.per_kernel {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>5} {:>11.1} {:>+8} {:>+8} {:>9}",
+                k.kernel,
+                k.runs,
+                k.wall_ns as f64 / 1e3,
+                k.insts_delta,
+                k.blocks_delta,
+                k.rewrites
+            );
+        }
         out
     }
 
-    /// JSONL export: one `pass` event per pass plus a `pipeline` summary.
+    /// JSONL export: one `pass` event per pass, one `kernel` event per
+    /// kernel, plus a `pipeline` summary.
     pub fn to_events(&self) -> Vec<Event> {
-        let mut out = Vec::with_capacity(self.passes.len() + 1);
+        let mut out = Vec::with_capacity(self.passes.len() + self.per_kernel.len() + 1);
         for p in &self.passes {
             out.push(
                 Event::new(format!("pass.{}", p.name), 0)
@@ -225,6 +341,16 @@ impl PassReport {
                     .field("insts", p.insts_delta)
                     .field("blocks", p.blocks_delta)
                     .field("rewrites", p.rewrites),
+            );
+        }
+        for k in &self.per_kernel {
+            out.push(
+                Event::new(format!("kernel.{}", k.kernel), 0)
+                    .field("runs", k.runs)
+                    .field("wall_ns", k.wall_ns)
+                    .field("insts", k.insts_delta)
+                    .field("blocks", k.blocks_delta)
+                    .field("rewrites", k.rewrites),
             );
         }
         out.push(

@@ -38,6 +38,14 @@ pub enum ControlError {
     Managed(ManagedError),
     /// The built batch failed validation (nothing was applied).
     Update(UpdateError),
+    /// A tenant-scoped plane resolved a table outside its namespace; the
+    /// batch was rejected before anything touched the switch.
+    CrossTenant {
+        /// The scope the plane is bound to.
+        tenant: u16,
+        /// The offending table.
+        table: String,
+    },
 }
 
 impl std::fmt::Display for ControlError {
@@ -45,6 +53,9 @@ impl std::fmt::Display for ControlError {
         match self {
             ControlError::Managed(e) => write!(f, "{e}"),
             ControlError::Update(e) => write!(f, "{e}"),
+            ControlError::CrossTenant { tenant, table } => {
+                write!(f, "table `{table}` is outside tenant {tenant}'s namespace; batch rejected")
+            }
         }
     }
 }
@@ -71,16 +82,45 @@ impl From<UpdateError> for ControlError {
 #[derive(Debug, Clone)]
 pub struct ControlPlane {
     mm: ManagedMemory,
+    scope: Option<u16>,
 }
 
 impl ControlPlane {
     /// Builds the control plane from a compiled device module.
     pub fn new(module: &Module) -> ControlPlane {
-        ControlPlane { mm: ManagedMemory::new(module) }
+        ControlPlane { mm: ManagedMemory::new(module), scope: None }
+    }
+
+    /// Builds a control plane **scoped to one tenant** of a merged module
+    /// (DESIGN.md §17). Source names resolve inside the tenant's
+    /// namespace — `cache` means `t<id>__cache` — and every update batch
+    /// is validated to touch only `lu_t<id>__…` tables before it reaches
+    /// the switch: a scoped plane cannot mutate another tenant's rules,
+    /// by construction ([`ControlError::CrossTenant`]).
+    pub fn for_tenant(module: &Module, tenant: u16) -> ControlPlane {
+        ControlPlane { mm: ManagedMemory::new(module), scope: Some(tenant) }
+    }
+
+    /// The tenant this plane is scoped to, if any.
+    pub fn tenant(&self) -> Option<u16> {
+        self.scope
+    }
+
+    /// The name a source-level identifier resolves under: scoped planes
+    /// prefix bare names with their tenant namespace, already-namespaced
+    /// names pass through (and are then subject to the cross-tenant
+    /// check).
+    pub fn scoped_name(&self, name: &str) -> String {
+        match self.scope {
+            Some(t) if netcl_util::tenant::of(name).is_none() => netcl_util::tenant::apply(t, name),
+            _ => name.to_string(),
+        }
     }
 
     /// The underlying managed-memory resolver (scalar/array register
-    /// access: `ncl::managed_read` / `ncl::managed_write`).
+    /// access: `ncl::managed_read` / `ncl::managed_write`). Names here are
+    /// raw module-level names; scoped callers pass them through
+    /// [`ControlPlane::scoped_name`] first.
     pub fn memory(&self) -> &ManagedMemory {
         &self.mm
     }
@@ -140,8 +180,14 @@ impl ControlPlane {
         name: &str,
         mut op: impl FnMut(TableUpdate, String, &str) -> TableUpdate,
     ) -> Result<TableUpdate, ControlError> {
+        let name = self.scoped_name(name);
         let mut update = TableUpdate::new();
-        for t in self.mm.lookup_tables(sw, name)? {
+        for t in self.mm.lookup_tables(sw, &name)? {
+            if let Some(tenant) = self.scope {
+                if netcl_util::tenant::of(&t) != Some(tenant) {
+                    return Err(ControlError::CrossTenant { tenant, table: t });
+                }
+            }
             let action = sw
                 .program()
                 .controls
@@ -295,6 +341,65 @@ _kernel(1) _at(1) void k(unsigned key, unsigned &v, char &hit, unsigned &e) {
         assert_eq!(hit, 0, "valid prefix of a rejected batch must not land");
         assert_eq!(sw.counters().table_updates, 0);
         assert_eq!(sw.counters().update_rejects, 1);
+    }
+
+    const TEN0: &str = r#"
+_managed_ _lookup_ ncl::kv<unsigned, unsigned> kv[8] = {{1, 10}};
+_kernel(1) _at(1) void a(unsigned k, unsigned &v, char &hit) {
+  hit = ncl::lookup(kv, k, v);
+  if (hit) return ncl::reflect();
+}
+"#;
+    const TEN1: &str = r#"
+_managed_ _lookup_ ncl::kv<unsigned, unsigned> kv[8] = {{1, 11}};
+_kernel(1) _at(1) void b(unsigned k, unsigned &v, char &hit) {
+  hit = ncl::lookup(kv, k, v);
+  if (hit) return ncl::reflect();
+}
+"#;
+
+    /// A tenant-scoped plane resolves bare names inside its namespace and
+    /// refuses, pre-application, any batch that reaches another tenant's
+    /// tables — while an unscoped plane on the same merged module keeps
+    /// full reach.
+    #[test]
+    fn tenant_scoped_plane_isolates_namespaces() {
+        let sources = [
+            netcl::TenantSource { tenant: 0, name: "a.ncl", source: TEN0 },
+            netcl::TenantSource { tenant: 1, name: "b.ncl", source: TEN1 },
+        ];
+        let merged = netcl::compile_tenants(
+            &sources,
+            1,
+            &netcl::CompileOptions::default(),
+            &Default::default(),
+        )
+        .unwrap();
+        let mut sw = Switch::new(merged.merged.tna_p4.clone());
+
+        let cp1 = ControlPlane::for_tenant(&merged.merged.tna_ir, 1);
+        assert_eq!(cp1.tenant(), Some(1));
+        assert_eq!(cp1.scoped_name("kv"), "t1__kv");
+        assert_eq!(cp1.scoped_name("t0__kv"), "t0__kv", "namespaced names pass through");
+
+        let applied = cp1.insert(&mut sw, "kv", &LookupEntry::Exact { key: 9, value: 99 }).unwrap();
+        assert!(applied >= 1);
+
+        let err =
+            cp1.build_insert(&sw, "t0__kv", &LookupEntry::Exact { key: 7, value: 7 }).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ControlError::CrossTenant { tenant: 1, ref table } if table.starts_with("lu_t0__")
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("tenant 1"));
+        assert_eq!(sw.counters().update_rejects, 0, "rejected before reaching the switch");
+
+        // The operator's unscoped plane still reaches every namespace.
+        let cp = ControlPlane::new(&merged.merged.tna_ir);
+        assert!(cp.insert(&mut sw, "t0__kv", &LookupEntry::Exact { key: 5, value: 5 }).is_ok());
     }
 
     /// The same update applied to each engine's switch yields identical

@@ -22,9 +22,64 @@ use std::collections::HashMap;
 
 use crate::latency;
 use crate::phv;
-use crate::report::{AllocationReport, StageUse};
+use crate::report::{AllocationReport, StageUse, TenantUsage};
 use crate::spec::TofinoSpec;
 use netcl_p4::ast::*;
+
+/// A hard per-tenant resource cap for multi-tenant pipelines (DESIGN.md
+/// §17). All limits are pipe totals over the units *attributable* to the
+/// tenant by its `t<id>__` name prefix — registers (SALU + register SRAM)
+/// and match-action tables (SRAM/TCAM + logical table slots). Shared
+/// dispatch cost (the comp classifier, VLIW moves) is deliberately
+/// unattributed: it belongs to the merged program, not to any tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantBudget {
+    /// Maximum stage span (last occupied − first occupied + 1).
+    pub stages: u32,
+    /// Maximum SRAM bits (registers + exact-match tables).
+    pub sram_bits: u64,
+    /// Maximum stateful ALUs.
+    pub salus: u32,
+    /// Maximum logical tables.
+    pub tables: u32,
+}
+
+impl TenantBudget {
+    /// An even split of `spec` across `n` tenants (stage span is not
+    /// divided: kernels dispatch exclusively, so tenants may overlap in
+    /// stages).
+    pub fn split(spec: &TofinoSpec, n: u32) -> TenantBudget {
+        let n = n.max(1);
+        TenantBudget {
+            stages: spec.stages,
+            sram_bits: spec.sram_bits_per_stage * spec.stages as u64 / n as u64,
+            salus: spec.salus_per_stage * spec.stages / n,
+            tables: spec.tables_per_stage * spec.stages / n,
+        }
+    }
+}
+
+/// Per-tenant budget assignment: specific tenants first, then an optional
+/// default for everyone else. Tenants with no budget are uncapped (the
+/// global per-stage limits still apply).
+#[derive(Clone, Debug, Default)]
+pub struct TenantBudgets {
+    /// `(tenant, budget)` overrides.
+    pub per_tenant: Vec<(u16, TenantBudget)>,
+    /// Budget for tenants not listed above.
+    pub default_budget: Option<TenantBudget>,
+}
+
+impl TenantBudgets {
+    /// The budget applying to `tenant`, if any.
+    pub fn budget_for(&self, tenant: u16) -> Option<&TenantBudget> {
+        self.per_tenant
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, b)| b)
+            .or(self.default_budget.as_ref())
+    }
+}
 
 /// Why a program did not fit.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +103,20 @@ pub enum AllocError {
         /// Register name.
         register: String,
     },
+    /// A tenant exceeded its [`TenantBudget`]: the structured rejection
+    /// multi-tenant merging relies on (never a panic, never a silent
+    /// mis-allocation).
+    TenantBudget {
+        /// The offending tenant.
+        tenant: u16,
+        /// The exhausted resource (`"SRAM"`, `"SALUs"`, `"tables"`,
+        /// `"stages"`).
+        resource: &'static str,
+        /// What the tenant's units demand.
+        used: u64,
+        /// The tenant's cap.
+        cap: u64,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -62,12 +131,33 @@ impl std::fmt::Display for AllocError {
             AllocError::RegisterStageConflict { register } => {
                 write!(f, "register `{register}` cannot satisfy all access stages")
             }
+            AllocError::TenantBudget { tenant, resource, used, cap } => {
+                write!(
+                    f,
+                    "tenant {tenant} exceeds its {resource} budget: {used} used, {cap} allowed"
+                )
+            }
         }
     }
 }
 
-/// Allocates `program` on `spec`.
+/// Allocates `program` on `spec` with no tenant caps.
 pub fn allocate(program: &P4Program, spec: &TofinoSpec) -> Result<AllocationReport, AllocError> {
+    allocate_with_budgets(program, spec, &TenantBudgets::default())
+}
+
+/// Allocates `program` on `spec`, additionally enforcing per-tenant caps.
+///
+/// Usage is attributed to tenants by the `t<id>__` prefix on table and
+/// register names (see [`netcl_util::tenant`]); the resulting
+/// [`AllocationReport::tenants`] vector is filled in whether or not any
+/// budgets are set, so placement planning can read footprints from an
+/// uncapped allocation.
+pub fn allocate_with_budgets(
+    program: &P4Program,
+    spec: &TofinoSpec,
+    budgets: &TenantBudgets,
+) -> Result<AllocationReport, AllocError> {
     let phv = phv::account(program, spec);
     if phv.used_bits() > phv.capacity_bits {
         return Err(AllocError::PhvOverflow { used: phv.used_bits(), capacity: phv.capacity_bits });
@@ -87,6 +177,7 @@ pub fn allocate(program: &P4Program, spec: &TofinoSpec) -> Result<AllocationRepo
             reg_stage: pins.clone(),
             reg_sram_counted: Default::default(),
             repin: None,
+            tenant_use: HashMap::new(),
         };
         for control in &program.controls {
             a.walk(&control.apply, control, 0)?;
@@ -99,6 +190,43 @@ pub fn allocate(program: &P4Program, spec: &TofinoSpec) -> Result<AllocationRepo
             }
             pins.insert(reg, stage);
             continue;
+        }
+        // Tenant accumulation belongs to this (final, successful) round
+        // only: repin rounds above restart from scratch.
+        let mut tenants: Vec<TenantUsage> = a
+            .tenant_use
+            .into_iter()
+            .map(|(tenant, u)| TenantUsage {
+                tenant,
+                sram_bits: u.sram_bits,
+                tcam_bits: u.tcam_bits,
+                salus: u.salus,
+                tables: u.tables,
+                first_stage: u.first_stage,
+                last_stage: u.last_stage,
+            })
+            .collect();
+        tenants.sort_by_key(|t| t.tenant);
+        for t in &tenants {
+            let Some(b) = budgets.budget_for(t.tenant) else { continue };
+            let over = |resource, used: u64, cap: u64| AllocError::TenantBudget {
+                tenant: t.tenant,
+                resource,
+                used,
+                cap,
+            };
+            if t.sram_bits > b.sram_bits {
+                return Err(over("SRAM", t.sram_bits, b.sram_bits));
+            }
+            if t.salus > b.salus {
+                return Err(over("SALUs", t.salus as u64, b.salus as u64));
+            }
+            if t.tables > b.tables {
+                return Err(over("tables", t.tables as u64, b.tables as u64));
+            }
+            if t.stage_span() > b.stages {
+                return Err(over("stages", t.stage_span() as u64, b.stages as u64));
+            }
         }
         let stages_used = a
             .stages
@@ -118,9 +246,22 @@ pub fn allocate(program: &P4Program, spec: &TofinoSpec) -> Result<AllocationRepo
             spec: spec.clone(),
             latency_cycles,
             latency_ns,
+            tenants,
         });
     }
     Err(AllocError::RegisterStageConflict { register: "<unresolved>".into() })
+}
+
+/// Running per-tenant totals during one allocation round.
+#[derive(Default)]
+struct TenantAcc {
+    sram_bits: u64,
+    tcam_bits: u64,
+    salus: u32,
+    tables: u32,
+    first_stage: u32,
+    last_stage: u32,
+    touched: bool,
 }
 
 struct Allocator<'a> {
@@ -134,6 +275,8 @@ struct Allocator<'a> {
     reg_sram_counted: std::collections::HashSet<String>,
     /// Set when a register needs re-pinning to a later stage.
     repin: Option<(String, u32)>,
+    /// Per-tenant usage, attributed by `t<id>__` name prefix.
+    tenant_use: HashMap<u16, TenantAcc>,
 }
 
 /// Resource demand of a single unit.
@@ -155,6 +298,26 @@ impl<'a> Allocator<'a> {
     fn define(&mut self, field: String, stage: u32) {
         let e = self.avail.entry(field).or_insert(0);
         *e = (*e).max(stage + 1);
+    }
+
+    /// Credits a placed unit to its owning tenant, recovered from the
+    /// unit's name prefix. Non-tenant names are shared infrastructure and
+    /// accrue to nobody.
+    fn attribute(&mut self, name: &str, stage: u32, d: Demand) {
+        let Some(tenant) = netcl_util::tenant::of(name) else { return };
+        let u = self.tenant_use.entry(tenant).or_default();
+        u.sram_bits += d.sram_bits;
+        u.tcam_bits += d.tcam_bits;
+        u.salus += d.salus;
+        u.tables += d.tables;
+        if u.touched {
+            u.first_stage = u.first_stage.min(stage);
+            u.last_stage = u.last_stage.max(stage);
+        } else {
+            u.first_stage = stage;
+            u.last_stage = stage;
+            u.touched = true;
+        }
     }
 
     /// Places a unit at the earliest stage ≥ `min` with room for `d`.
@@ -284,6 +447,11 @@ impl<'a> Allocator<'a> {
                             let u = &mut self.stages[fixed as usize];
                             u.salus += 1;
                             u.sram_bits += sram;
+                            self.attribute(
+                                &reg_name,
+                                fixed,
+                                Demand { salus: 1, sram_bits: sram, ..Default::default() },
+                            );
                         }
                         if let Some(d) = dst {
                             self.define(field_path(d), fixed);
@@ -296,6 +464,9 @@ impl<'a> Allocator<'a> {
                         let d = Demand { salus: 1, sram_bits: sram, ..Default::default() };
                         let s = self.place(&format!("register `{reg_name}`"), min, d)?;
                         self.reg_stage.insert(reg_name.clone(), s);
+                        if first_placement {
+                            self.attribute(&reg_name, s, d);
+                        }
                         if let Some(d) = dst {
                             self.define(field_path(d), s);
                         }
@@ -379,6 +550,9 @@ impl<'a> Allocator<'a> {
             ..Default::default()
         };
         let s = self.place(&format!("table `{name}`"), min, d)?;
+        // Table SRAM/TCAM and the logical-table slot belong to the owning
+        // tenant; the VLIW move slots are shared dispatch cost.
+        self.attribute(&t.name, s, Demand { vliw: 0, ..d });
         // Action writes become available after this stage.
         for aname in &t.actions {
             if let Some(a) = control.action(aname) {
@@ -740,6 +914,88 @@ mod tests {
         };
         let r = allocate(&p, &spec());
         assert!(matches!(r, Err(AllocError::PhvOverflow { .. })));
+    }
+
+    /// Namespaced units accrue to their tenants; budgets reject overuse
+    /// with a structured diagnostic naming tenant and resource.
+    #[test]
+    fn tenant_attribution_and_budget_rejection() {
+        let ra = |t: u16| RegisterActionDef {
+            name: format!("t{t}__incr"),
+            register: format!("t{t}__Cnt"),
+            op: AtomicOp { rmw: AtomicRmw::SAdd, cond: false, ret_new: true },
+            cond: None,
+            operands: vec![Expr::val(1, 32)],
+        };
+        let reg = |t: u16| RegisterDef { name: format!("t{t}__Cnt"), elem_bits: 32, size: 1024 };
+        let control = ControlDef {
+            name: "Ig".into(),
+            locals: vec![("a".into(), 32), ("b".into(), 32)],
+            registers: vec![reg(0), reg(1)],
+            register_actions: vec![ra(0), ra(1)],
+            tables: vec![TableDef {
+                name: "lu_t1__cache_0".into(),
+                keys: vec![(Expr::field(&["hdr", "ncl", "K"]), MatchKind::Exact)],
+                actions: vec![],
+                entries: vec![],
+                default_action: "NoAction".into(),
+                size: 64,
+            }],
+            apply: vec![
+                Stmt::ExecuteRegisterAction {
+                    dst: Some(Expr::field(&["meta", "a"])),
+                    ra: "t0__incr".into(),
+                    index: Expr::val(0, 32),
+                },
+                Stmt::ExecuteRegisterAction {
+                    dst: Some(Expr::field(&["meta", "b"])),
+                    ra: "t1__incr".into(),
+                    index: Expr::val(0, 32),
+                },
+                Stmt::ApplyTable("lu_t1__cache_0".into()),
+            ],
+            ..Default::default()
+        };
+        let p = P4Program {
+            name: "mt".into(),
+            target: Target::Tna,
+            headers: vec![HeaderDef {
+                name: "ncl_t".into(),
+                fields: vec![("K".into(), 32)],
+                stack: 1,
+            }],
+            parser: None,
+            controls: vec![control],
+        };
+        let r = allocate(&p, &spec()).unwrap();
+        assert_eq!(r.tenants.len(), 2);
+        let t0 = &r.tenants[0];
+        let t1 = &r.tenants[1];
+        assert_eq!((t0.tenant, t0.salus, t0.tables), (0, 1, 0));
+        assert_eq!((t1.tenant, t1.salus, t1.tables), (1, 1, 1));
+        assert_eq!(t0.sram_bits, 32 * 1024);
+        assert!(t1.sram_bits > 32 * 1024, "register plus table rows");
+
+        // Cap tenant 1's tables at zero → structured rejection.
+        let budgets = TenantBudgets {
+            per_tenant: vec![(
+                1,
+                TenantBudget { stages: 12, sram_bits: u64::MAX, salus: 4, tables: 0 },
+            )],
+            default_budget: None,
+        };
+        let err = allocate_with_budgets(&p, &spec(), &budgets).unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::TenantBudget { tenant: 1, resource: "tables", used: 1, cap: 0 }
+        );
+
+        // An even split admits both tenants.
+        let even = TenantBudgets {
+            per_tenant: vec![],
+            default_budget: Some(TenantBudget::split(&spec(), 2)),
+        };
+        assert!(allocate_with_budgets(&p, &spec(), &even).is_ok());
     }
 
     /// End-to-end: the compiled Fig. 4 cache fits the 12-stage pipe.

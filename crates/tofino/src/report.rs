@@ -79,6 +79,34 @@ impl PhvReport {
     }
 }
 
+/// Pipe-total resources attributed to one tenant's namespaced units
+/// (DESIGN.md §17). Filled by the allocator whether or not budgets are
+/// enforced; the placement planner packs switches from these footprints.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// The tenant id recovered from `t<id>__` prefixes.
+    pub tenant: u16,
+    /// SRAM bits (registers + exact-match tables).
+    pub sram_bits: u64,
+    /// TCAM bits (ternary/range/LPM tables).
+    pub tcam_bits: u64,
+    /// Stateful ALUs.
+    pub salus: u32,
+    /// Logical tables.
+    pub tables: u32,
+    /// First stage any of this tenant's units occupies.
+    pub first_stage: u32,
+    /// Last stage any of this tenant's units occupies.
+    pub last_stage: u32,
+}
+
+impl TenantUsage {
+    /// Inclusive stage span.
+    pub fn stage_span(&self) -> u32 {
+        self.last_stage - self.first_stage + 1
+    }
+}
+
 /// The full fit report.
 #[derive(Clone, Debug)]
 pub struct AllocationReport {
@@ -96,6 +124,8 @@ pub struct AllocationReport {
     pub latency_ns: f64,
     /// Latency in cycles.
     pub latency_cycles: u32,
+    /// Per-tenant attribution (empty for single-tenant programs).
+    pub tenants: Vec<TenantUsage>,
 }
 
 impl AllocationReport {
@@ -180,6 +210,7 @@ mod tests {
             spec: TofinoSpec::tofino1(),
             latency_ns: 500.0,
             latency_cycles: 600,
+            tenants: vec![],
         }
     }
 

@@ -13,6 +13,7 @@ pub mod diag;
 pub mod hash;
 pub mod idx;
 pub mod intern;
+pub mod tenant;
 
 pub use diag::{Diagnostic, DiagnosticSink, Severity, SourceMap, Span};
 pub use intern::{Interner, Symbol};

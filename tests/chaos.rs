@@ -650,3 +650,345 @@ fn sharded_rule_updates_equal_scalar() {
         assert_eq!((v, hit), (99, 1), "seed {seed}: modify missing in sharded run");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Tenant isolation (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+/// Compiles AGG (tenant 0) and CACHE (tenant 1) into one merged switch
+/// program under the default budgets. The app shapes are shrunk (AGG
+/// slot_size 8, CACHE words 4) so both tenants' headers fit one PHV.
+fn merged_two_tenants() -> (netcl::MergedCompilation, agg::AggConfig, cache::CacheConfig) {
+    let acfg = agg::AggConfig { num_workers: 3, num_slots: 4, slot_size: 8 };
+    let ccfg = cache_cfg();
+    let asrc = agg::netcl_source(&acfg);
+    let csrc = cache::netcl_source(&ccfg);
+    let sources = [
+        netcl::TenantSource { tenant: 0, name: "agg.ncl", source: &asrc },
+        netcl::TenantSource { tenant: 1, name: "cache.ncl", source: &csrc },
+    ];
+    let merged =
+        netcl::compile_tenants(&sources, 1, &netcl::CompileOptions::default(), &Default::default())
+            .expect("AGG + CACHE must fit the default per-tenant budgets");
+    (merged, acfg, ccfg)
+}
+
+/// The comp→tenant map [`netcl_bmv2::Switch::set_tenants`] takes, derived
+/// from the merged unit's per-tenant maps.
+fn tenant_comps(merged: &netcl::MergedCompilation) -> Vec<(u8, u16)> {
+    merged
+        .tenants
+        .iter()
+        .flat_map(|s| s.map.comps.iter().map(move |&(_, m)| (m, s.tenant)))
+        .collect()
+}
+
+/// Rewrites the shim header's comp byte to the merged computation id —
+/// the app packet builders emit each tenant's *original* id.
+fn with_comp(mut bytes: Vec<u8>, comp: u8) -> Vec<u8> {
+    bytes[8] = comp;
+    bytes
+}
+
+/// AGG traffic: 12 chunk rounds from 3 workers, clustered mid-decade so
+/// no arrival lands near the fault boundaries at 48 µs and 88 µs (queueing
+/// skew from the other tenant must not push a packet across an outage
+/// edge in the merged run but not the solo one).
+fn agg_stream(acfg: &agg::AggConfig, comp: u8, send: &mut dyn FnMut(u16, u64, Vec<u8>)) {
+    for c in 0..12u32 {
+        for w in 0..3u32 {
+            let at = 3_000 + c as u64 * 10_000 + w as u64 * 300;
+            send(100 + w as u16, at, with_comp(agg::chunk_packet(acfg, w, c), comp));
+        }
+    }
+}
+
+/// CACHE traffic: 12 GETs from host 1 against keys 0..6 — key 1 is
+/// populated, so both the hit (reflect) and miss (forward to the server
+/// host 2) paths run. Offset from the AGG clusters.
+fn cache_stream(ccfg: &cache::CacheConfig, comp: u8, send: &mut dyn FnMut(u16, u64, Vec<u8>)) {
+    for r in 0..12u64 {
+        let at = 6_000 + r * 10_000;
+        let req = cache::request(ccfg, 1, 2, cache::OP_GET, r % CACHE_KEYS, None);
+        send(1, at, with_comp(req, comp));
+    }
+}
+
+/// Populates CACHE slot `slot` with `key` under tenant 1's namespaced
+/// state names ([`cache::populate`] hardcodes the un-namespaced ones).
+fn populate_t1(
+    mm: &ManagedMemory,
+    sw: &mut netcl_bmv2::Switch,
+    ccfg: &cache::CacheConfig,
+    slot: u16,
+    key: u64,
+) {
+    use netcl::sema::model::LookupEntry;
+    let value = cache::server_value(ccfg, key);
+    mm.lookup_insert(sw, "t1__index", LookupEntry::Exact { key, value: slot as u64 }).unwrap();
+    for (i, &w) in value.iter().enumerate() {
+        mm.write(sw, "t1__Val", &[i, slot as usize], w).unwrap();
+    }
+    mm.write(sw, "t1__Share", &[slot as usize], (1u64 << ccfg.words) - 1).unwrap();
+    mm.write(sw, "t1__Valid", &[slot as usize], 1).unwrap();
+}
+
+/// A device restart plus a tenant-1-scoped rule-update stream (applied
+/// live, rejected during the outage, journal-replayed across the restart)
+/// leave tenant 0's per-tenant counters, registers, and its hosts'
+/// received payloads **byte-identical** to tenant 0's dedicated-switch
+/// solo run — and symmetrically for tenant 1. Links are lossless and
+/// deterministic here: byte-identity against a solo run is only defined
+/// when the merged run's extra traffic draws no chaos randomness.
+#[test]
+fn tenant_isolation_restart_and_updates_leave_other_tenant_byte_identical() {
+    use netcl::sema::model::LookupEntry;
+    use netcl_bmv2::Switch;
+    use netcl_net::topo::star;
+    use netcl_net::{Fault, Network, NetworkBuilder};
+    use netcl_runtime::{ControlError, ControlPlane};
+
+    let (merged, acfg, ccfg) = merged_two_tenants();
+    let agg_comp = merged.tenant(0).unwrap().map.comp(1).unwrap();
+    let cache_comp = merged.tenant(1).unwrap().map.comp(1).unwrap();
+    let comps = tenant_comps(&merged);
+    let merged_p4 = merged.merged.tna_p4.clone();
+    let merged_mm = ManagedMemory::new(&merged.merged.tna_ir);
+    let solo0_p4 = merged.tenant(0).unwrap().solo.tna_p4.clone();
+    let solo1 = merged.tenant(1).unwrap().solo.clone();
+    let solo1_mm = ManagedMemory::new(&solo1.tna_ir);
+
+    // Tenant 1's update stream, built through a tenant-scoped plane: bare
+    // names resolve inside its namespace; the batches are name-based, so
+    // they apply identically to the merged switch and tenant 1's solo
+    // switch (the merge preserves per-tenant table names).
+    let cp1 = ControlPlane::for_tenant(&merged.merged.tna_ir, 1);
+    let template = Switch::new(merged_p4.clone());
+    let ins3 =
+        cp1.build_insert(&template, "index", &LookupEntry::Exact { key: 3, value: 1 }).unwrap();
+    let ins4 =
+        cp1.build_insert(&template, "index", &LookupEntry::Exact { key: 4, value: 2 }).unwrap();
+    let ins5 =
+        cp1.build_insert(&template, "index", &LookupEntry::Exact { key: 5, value: 3 }).unwrap();
+    // A tenant-0-scoped plane cannot even *build* a batch against tenant
+    // 1's tables — the cross-tenant guard fires before any switch is
+    // touched.
+    let cp0 = ControlPlane::for_tenant(&merged.merged.tna_ir, 0);
+    assert!(
+        matches!(
+            cp0.build_insert(&template, "t1__index", &LookupEntry::Exact { key: 9, value: 0 }),
+            Err(ControlError::CrossTenant { tenant: 0, .. })
+        ),
+        "tenant-0 plane must reject tenant-1 tables"
+    );
+
+    let hosts = [1u16, 2, 100, 101, 102];
+    let base = |sw: Switch| {
+        // Group 42 is AGG's multicast target: the completed aggregate fans
+        // out to the three workers.
+        let mut topo = star(1, &hosts, LinkSpec::default());
+        topo.multicast_group(42, vec![NodeId::Host(100), NodeId::Host(101), NodeId::Host(102)]);
+        let mut b = NetworkBuilder::new(topo)
+            .seed(5)
+            .device(1, sw, 500)
+            .fault(48_000, Fault::DeviceFail(1))
+            .fault(88_000, Fault::DeviceRestart(1));
+        for &h in &hosts {
+            b = b.sink_host(h);
+        }
+        b
+    };
+    let payloads = |net: &Network, h: u16| -> Vec<Vec<u8>> {
+        net.host_received(h).iter().map(|(_, b)| b.clone()).collect()
+    };
+    let tenant_regs = |net: &Network, tenant: u16| -> Vec<(String, Vec<u64>)> {
+        net.switch(1)
+            .unwrap()
+            .registers()
+            .filter(|(n, _)| netcl::util::tenant::of(n) == Some(tenant))
+            .map(|(n, c)| (n.to_string(), c.to_vec()))
+            .collect()
+    };
+    let updates = |b: NetworkBuilder| {
+        b.update(25_000, 1, ins3.clone()) // applied live, journaled
+            .update(60_000, 1, ins5.clone()) // device is down: rejected
+            .update(95_000, 1, ins4.clone()) // applied after the restart
+    };
+
+    // Merged run: both tenants' traffic, the restart, and tenant 1's
+    // update stream on one switch. The restart hook re-applies the
+    // comp→tenant map (a fresh switch knows no tenants).
+    let merged_net = {
+        let mut sw = Switch::new(merged_p4.clone());
+        sw.set_tenants(&comps);
+        populate_t1(&merged_mm, &mut sw, &ccfg, 0, 1);
+        let hook_comps = comps.clone();
+        let mut net = updates(base(sw))
+            .on_restart(1, Box::new(move |sw| sw.set_tenants(&hook_comps)))
+            .build();
+        agg_stream(&acfg, agg_comp, &mut |h, at, b| net.send_from_host(h, at, b));
+        cache_stream(&ccfg, cache_comp, &mut |h, at, b| net.send_from_host(h, at, b));
+        net.run(400_000);
+        net
+    };
+    assert_eq!(merged_net.stats.device_restarts, 1);
+    assert_eq!(merged_net.stats.rule_updates, 2, "live + post-restart batches apply");
+    assert_eq!(merged_net.stats.rule_update_rejects, 1, "mid-outage batch is rejected");
+
+    // Tenant 0's solo baseline: its namespaced program alone, same fault
+    // schedule, only its own traffic, no update stream.
+    let solo0_net = {
+        let mut net = base(Switch::new(solo0_p4.clone())).build();
+        agg_stream(&acfg, agg_comp, &mut |h, at, b| net.send_from_host(h, at, b));
+        net.run(400_000);
+        net
+    };
+    // Tenant 1's solo baseline: same faults AND the same update stream.
+    let solo1_net = {
+        let mut sw = Switch::new(solo1.tna_p4.clone());
+        populate_t1(&solo1_mm, &mut sw, &ccfg, 0, 1);
+        let mut net = updates(base(sw)).build();
+        cache_stream(&ccfg, cache_comp, &mut |h, at, b| net.send_from_host(h, at, b));
+        net.run(400_000);
+        net
+    };
+
+    // Tenant 0 is untouched by tenant 1's restart-window updates: its
+    // per-tenant counters equal the solo run's *global* counters, its
+    // registers match, and every AGG worker saw byte-identical payloads.
+    let t0 = merged_net.switch(1).unwrap().tenant_counters(0);
+    let solo0_counters = solo0_net.switch(1).unwrap().counters().clone();
+    assert_eq!(t0.packets, solo0_counters.packets, "tenant 0 packet count diverged from solo");
+    assert_eq!(t0.reg_action_execs, solo0_counters.reg_action_execs, "tenant 0 SALU execs");
+    assert!(t0.reg_action_execs > 0, "AGG must exercise RegisterActions");
+    assert_eq!(tenant_regs(&merged_net, 0), tenant_regs(&solo0_net, 0), "tenant 0 registers");
+    for h in [100u16, 101, 102] {
+        assert!(!payloads(&solo0_net, h).is_empty(), "worker {h} must receive aggregates");
+        assert_eq!(payloads(&merged_net, h), payloads(&solo0_net, h), "worker {h} payloads");
+    }
+
+    // And symmetrically for tenant 1 — including its table stats, so the
+    // journal-replayed inserts landed identically on both switches.
+    let t1 = merged_net.switch(1).unwrap().tenant_counters(1);
+    let solo1_counters = solo1_net.switch(1).unwrap().counters().clone();
+    assert_eq!(t1.packets, solo1_counters.packets, "tenant 1 packet count diverged from solo");
+    assert_eq!(t1.reg_action_execs, solo1_counters.reg_action_execs, "tenant 1 SALU execs");
+    assert_eq!(
+        merged_net.switch(1).unwrap().tenant_table_stats(1),
+        solo1_net.switch(1).unwrap().tenant_table_stats(1),
+        "tenant 1 table hit/miss breakdown"
+    );
+    assert_eq!(tenant_regs(&merged_net, 1), tenant_regs(&solo1_net, 1), "tenant 1 registers");
+    assert!(!payloads(&solo1_net, 2).is_empty(), "cache misses must reach the server");
+    assert_eq!(payloads(&merged_net, 1), payloads(&solo1_net, 1), "cache client payloads");
+    assert_eq!(payloads(&merged_net, 2), payloads(&solo1_net, 2), "cache server payloads");
+}
+
+/// The merged two-tenant switch under the full chaos regime — loss,
+/// duplication, corruption, reordering, a failure, a restart, and a
+/// tenant-scoped update stream — produces identical `NetStats` and
+/// `SwitchCounters` (including the per-tenant sub-views) on all three
+/// engines, and the sharded run matches the scalar one field-for-field.
+#[test]
+fn tenant_isolation_chaos_engine_matrix_sharded_equals_scalar() {
+    use netcl::sema::model::LookupEntry;
+    use netcl_bmv2::{Engine, Switch};
+    use netcl_net::topo::star;
+    use netcl_net::{Fault, NetworkBuilder, Partition};
+    use netcl_runtime::ControlPlane;
+
+    let (merged, acfg, ccfg) = merged_two_tenants();
+    let agg_comp = merged.tenant(0).unwrap().map.comp(1).unwrap();
+    let cache_comp = merged.tenant(1).unwrap().map.comp(1).unwrap();
+    let comps = tenant_comps(&merged);
+    let p4 = merged.merged.tna_p4.clone();
+    let mm = ManagedMemory::new(&merged.merged.tna_ir);
+
+    let cp1 = ControlPlane::for_tenant(&merged.merged.tna_ir, 1);
+    let template = Switch::new(p4.clone());
+    let ins =
+        cp1.build_insert(&template, "index", &LookupEntry::Exact { key: 3, value: 1 }).unwrap();
+
+    let hosts = [1u16, 2, 100, 101, 102];
+    let builder = |engine: Engine, seed: u64| {
+        let mut sw = Switch::new(p4.clone());
+        sw.set_tenants(&comps);
+        populate_t1(&mm, &mut sw, &ccfg, 0, 1);
+        let hook_comps = comps.clone();
+        let mut topo = star(1, &hosts, chaos_link());
+        topo.multicast_group(42, vec![NodeId::Host(100), NodeId::Host(101), NodeId::Host(102)]);
+        let mut b = NetworkBuilder::new(topo)
+            .seed(seed)
+            .device(1, sw, 500)
+            .engine(engine)
+            .fault(48_000, Fault::DeviceFail(1))
+            .fault(88_000, Fault::DeviceRestart(1))
+            .update(25_000, 1, ins.clone())
+            .on_restart(1, Box::new(move |sw| sw.set_tenants(&hook_comps)));
+        for &h in &hosts {
+            b = b.sink_host(h);
+        }
+        b
+    };
+    let drive = |send: &mut dyn FnMut(u16, u64, Vec<u8>)| {
+        agg_stream(&acfg, agg_comp, send);
+        cache_stream(&ccfg, cache_comp, send);
+    };
+    // Host 1 (the cache client) lives in a different shard from the
+    // device, so both tenants' traffic and the update stream cross the
+    // shard boundary.
+    let partition = Partition::new(vec![
+        vec![
+            NodeId::Device(1),
+            NodeId::Host(2),
+            NodeId::Host(100),
+            NodeId::Host(101),
+            NodeId::Host(102),
+        ],
+        vec![NodeId::Host(1)],
+    ]);
+
+    for seed in [3u64, 17] {
+        let mut first: Option<(netcl_net::NetStats, netcl_bmv2::SwitchCounters)> = None;
+        for engine in [Engine::Threaded, Engine::Compiled, Engine::Interpreted] {
+            let mut net = builder(engine, seed).build();
+            drive(&mut |h, at, b| net.send_from_host(h, at, b));
+            net.run(400_000);
+            let run = (net.stats.clone(), net.switch(1).unwrap().counters().clone());
+            if let Some(prev) = &first {
+                assert!(
+                    *prev == run,
+                    "[{}] diverged at seed {seed}:\n{:#?}\nvs\n{:#?}",
+                    engine.name(),
+                    prev,
+                    run
+                );
+            } else {
+                assert_eq!(run.0.device_restarts, 1, "seed {seed}");
+                let (t0, t1) = (run.1.tenants.get(&0), run.1.tenants.get(&1));
+                assert!(
+                    t0.is_some_and(|t| t.packets > 0) && t1.is_some_and(|t| t.packets > 0),
+                    "seed {seed}: both tenants must see traffic under chaos: {:?}",
+                    run.1.tenants
+                );
+                let attributed: u64 = run.1.tenants.values().map(|t| t.packets).sum();
+                assert!(
+                    attributed <= run.1.packets,
+                    "seed {seed}: attributed {attributed} > total {}",
+                    run.1.packets
+                );
+                first = Some(run);
+            }
+        }
+        let (scalar_stats, scalar_counters) = first.unwrap();
+        let mut net = builder(Engine::Threaded, seed).build_sharded(partition.clone()).unwrap();
+        drive(&mut |h, at, b| net.send_from_host(h, at, b));
+        net.run(400_000);
+        assert_eq!(scalar_stats, net.stats(), "seed {seed}: sharded stats diverged");
+        assert_eq!(
+            scalar_counters,
+            net.switch(1).unwrap().counters().clone(),
+            "seed {seed}: sharded per-tenant counters diverged"
+        );
+    }
+}

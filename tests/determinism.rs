@@ -385,7 +385,7 @@ fn netstats_accumulate_is_order_independent() {
 fn sharded_obs_merges_across_shards() {
     let unit = compile("calc.ncl", &netcl_apps::calc::netcl_source());
     let p4 = &unit.devices[0].tna_p4;
-    let obs = netcl_net::ObsConfig { trace: true };
+    let obs = netcl_net::ObsConfig { trace: true, ..Default::default() };
     let scalar = {
         let mut net = star_builder(1, p4, 2).observe(obs).build();
         drive_star(&mut net, 1, |n, h, at, b| n.send_from_host(h, at, b), |n, max| n.run(max));
@@ -399,7 +399,6 @@ fn sharded_obs_merges_across_shards() {
     let trace = merged.trace.as_ref().expect("tracing enabled");
     let names: Vec<String> = trace
         .events()
-        .iter()
         .filter(|e| e.name == "thread_name")
         .map(|e| format!("{:?}", e.args))
         .collect();
