@@ -476,7 +476,7 @@ pub fn chunk_packet(cfg: &AggConfig, w: u32, c: u32) -> Vec<u8> {
     let agg_idx = ver * cfg.num_slots + slot;
     let values: Vec<u64> = (0..cfg.slot_size).map(|i| element(w, c, i)).collect();
     let exp = (w as u64 % 8) + (c as u64 % 4); // worker-local exponent
-    let m = Message::new(100 + w as u16, 100 + w as u16, 1, 1);
+    let m = Message::new((100 + w) as u16, (100 + w) as u16, 1, 1);
     pack(
         &m,
         &s,
@@ -673,12 +673,9 @@ pub fn run_allreduce_chaos_observed(
     max_events: u64,
     obs: Option<netcl_net::ObsConfig>,
 ) -> (AggRunResult, netcl_net::NetStats, Option<netcl_obs::Trace>) {
-    let mut topo = netcl_net::topo::star(
-        1,
-        &(0..cfg.num_workers).map(|w| 100 + w as u16).collect::<Vec<_>>(),
-        link,
-    );
-    topo.multicast_group(42, (0..cfg.num_workers).map(|w| NodeId::Host(100 + w as u16)).collect());
+    let mut topo =
+        netcl_net::topo::star(1, &(0..cfg.num_workers).map(|w| 100 + w).collect::<Vec<_>>(), link);
+    topo.multicast_group(42, (0..cfg.num_workers).map(|w| NodeId::Host(100 + w)).collect());
     let mut builder = NetworkBuilder::new(topo)
         .device(1, Switch::new(program.clone()), device_latency_ns)
         .seed(seed)
@@ -690,7 +687,7 @@ pub fn run_allreduce_chaos_observed(
         (0..cfg.num_workers).map(|_| Arc::new(Mutex::new(WorkerState::default()))).collect();
     for w in 0..cfg.num_workers {
         builder = builder.host(
-            100 + w as u16,
+            100 + w,
             worker_handler(*cfg, w, total_chunks, slot_guard_ns(&link), states[w as usize].clone()),
         );
     }
@@ -703,7 +700,7 @@ pub fn run_allreduce_chaos_observed(
     for w in 0..cfg.num_workers {
         for c in 0..window {
             let jitter = (w as u64) * 50 + (c as u64) * 10;
-            net.set_host_timer(100 + w as u16, jitter, c as u64);
+            net.set_host_timer(100 + w, jitter, c as u64);
             states[w as usize].lock().unwrap().inflight.insert(c % cfg.num_slots, c);
         }
     }
@@ -809,12 +806,12 @@ mod tests {
         let mut builder =
             NetworkBuilder::new(topo).device(1, Switch::new(unit.devices[0].tna_p4.clone()), 500);
         for w in 0..3u32 {
-            builder = builder
-                .host(100 + w as u16, worker_handler(cfg, w, 1, 0, states[w as usize].clone()));
+            builder =
+                builder.host(100 + w, worker_handler(cfg, w, 1, 0, states[w as usize].clone()));
         }
         let mut net = builder.build();
         for w in 0..3u32 {
-            net.send_from_host(100 + w as u16, w as u64 * 100, chunk_packet(&cfg, w, 0));
+            net.send_from_host(100 + w, w as u64 * 100, chunk_packet(&cfg, w, 0));
             states[w as usize].lock().unwrap().inflight.insert(0, 0);
         }
         net.run(10_000);

@@ -1,12 +1,31 @@
-//! Events/sec of the sharded discrete-event simulator on a fat-tree
-//! workload — 1, 2, 4, and 8 shards over the same run (DESIGN.md §15).
+//! Events/sec of the sharded discrete-event simulator on fat-tree
+//! workloads, from 10⁴ to 10⁵+ hosts (DESIGN.md §15).
 //!
-//! Run `cargo run --release -p netcl-bench --bin sim_sharded` to measure a
-//! k=36 fat-tree (11 664 hosts, 1 620 switches) and merge a `sim_sharded`
-//! section into `BENCH_switch.json` at the repository root (run the
-//! `throughput` binary first — it rewrites the whole file). Pass `--smoke`
-//! for a seconds-scale CI run (k=8, fewer flows) that prints results
-//! without touching the file.
+//! Run `cargo run --release -p netcl-bench --bin sim_sharded` to measure
+//! three fat-trees — k=36 (11 664 hosts), k=48 (27 648), and k=74
+//! (101 306, the 10⁵-host point) — and merge a `sim_sharded` section into
+//! `BENCH_switch.json` at the repository root (run the `throughput` binary
+//! first — it rewrites the whole file). Flags:
+//!
+//! - `--smoke`: a seconds-scale CI run (one small config, shard counts 1
+//!   and 8) that prints results without touching the file. With
+//!   `NETCL_SIM_K=74 NETCL_SIM_FLOWS=…` this is the CI 10⁵-host gate:
+//!   build the full tree, route real flows, prove exactness — bounded
+//!   flows keep it under a minute.
+//! - `--gate`: measure the k=36 config and fail (exit 1) unless the
+//!   8-shard critical-path rate is ≥ 4× the 1-shard baseline and the
+//!   busiest shard carries ≤ 25% of events. Like the multi_tenant gate,
+//!   the baseline is `min(recorded, in-run)` so a slow CI host cannot
+//!   fake a pass by deflating the denominator.
+//!
+//! Three scaling mechanisms under test, all introduced together:
+//! event-weight-balanced partitioning ([`FatTree::partition_balanced`] —
+//! pods packed by traced flow load instead of dealt round-robin), streamed
+//! flow injection ([`FlowStream`] through a flow source — memory stays
+//! O(live events), reported as `peak_queue`), and window-batched
+//! cross-shard hand-offs (staged per-destination-shard, merged in key
+//! order). The recorded `partition_fp` fingerprints each row's partition
+//! for exact replay.
 //!
 //! Every shard count is first cross-checked for exactness: the merged
 //! `NetStats` must be byte-identical to the 1-shard run — the bench
@@ -23,16 +42,20 @@
 //!   modeled) from each shard's actual busy intervals. This is the
 //!   scaling number quoted in EXPERIMENTS.md, labeled as such.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use netcl_apps::calc;
 use netcl_bmv2::Switch;
 use netcl_net::topo::LinkSpec;
-use netcl_net::{FatTree, Flow, NetStats, NetworkBuilder, Zipf};
+use netcl_net::{FatTree, FlowStream, NetStats, NetworkBuilder, PrecomputedRoutes, Zipf};
 use netcl_runtime::message::{pack, Message};
 
 /// One flow rendered to wire bytes: a CALC request computing at the
 /// destination host's edge switch, whose reply reflects back to the source.
+/// Wire addresses are u16; host ids above the wire space fold modulo 2¹⁶
+/// (the `dst` field is cosmetic — the kernel reflects to `src`, so sources
+/// are restricted to wire-addressable hosts instead).
 fn calc_packet(src: u16, dst: u16, dev: u16, a: u64, b: u64) -> Vec<u8> {
     let m = Message::new(src, dst, 1, dev);
     pack(&m, &calc::spec(), &[Some(&[calc::OP_ADD]), Some(&[a]), Some(&[b]), None]).expect("packs")
@@ -47,16 +70,78 @@ fn edge_of(ft: &FatTree, idx: usize) -> u16 {
     ft.edge_by_pod[pod][within]
 }
 
+/// The flow schedule's fixed parameters: seed 7, Zipf(hosts, 0.99) keys,
+/// mean inter-arrival 10 ns — pure f(seed), identical in every run.
+const FLOW_SEED: u64 = 7;
+const MEAN_GAP_NS: u64 = 10;
+
+struct Workload {
+    sources: Vec<u32>,
+    zipf: Zipf,
+    nflows: usize,
+    /// Zipf rank → (wire destination, executing edge switch), the
+    /// multiplicative-permutation scatter precomputed once per topology.
+    dmap: Arc<Vec<(u16, u16)>>,
+}
+
+impl Workload {
+    fn new(ft: &FatTree, nflows: usize) -> Workload {
+        // Sources are a strided subset of hosts (clients), restricted to
+        // the u16 wire-addressable range so replies route back correctly;
+        // destinations are Zipf-popular (CACHE-style skew).
+        let sources: Vec<u32> =
+            ft.hosts.iter().copied().step_by(16).filter(|&h| h < 65_536).collect();
+        let zipf = Zipf::new(ft.num_hosts(), 0.99);
+        // Scatter Zipf ranks across the tree with a multiplicative
+        // permutation (the constant is prime, hence coprime with any
+        // smaller host count): without it the entire Zipf head lands in
+        // pod 0 and one shard carries most of the run.
+        let dmap: Vec<(u16, u16)> =
+            (0..ft.num_hosts()).map(|i| ((ft.hosts[i] % 65_536) as u16, edge_of(ft, i))).collect();
+        Workload { sources, zipf, nflows, dmap: Arc::new(dmap) }
+    }
+
+    fn stream(&self) -> FlowStream {
+        FlowStream::new(FLOW_SEED, &self.sources, &self.zipf, self.nflows, MEAN_GAP_NS)
+    }
+
+    fn scatter(&self, key: u64) -> usize {
+        ((key as usize - 1) * 2_654_435_761) % self.zipf.n()
+    }
+
+    /// `(source, executing device)` pairs for the partitioner's weight
+    /// tracing — the same schedule the run will inject.
+    fn pairs(&self) -> impl Iterator<Item = (u32, u16)> + '_ {
+        self.stream().map(|f| (f.src, self.dmap[self.scatter(f.key)].1))
+    }
+}
+
 struct RunResult {
     shards: usize,
     stats: NetStats,
     wall_s: f64,
     critical_path_s: f64,
     rounds: u64,
+    /// Per-shard event shares from the sequential run (threaded wall-time
+    /// scheduling doesn't change them — stats are byte-identical).
+    shares: Vec<f64>,
+    peak_queue: u64,
+    partition_fp: u64,
+}
+
+impl RunResult {
+    fn critical_path_eps(&self) -> f64 {
+        self.stats.events as f64 / self.critical_path_s.max(1e-9)
+    }
+
+    fn busiest_share(&self) -> f64 {
+        self.shares.iter().copied().fold(0.0, f64::max)
+    }
 }
 
 /// Builds the network fresh (switch state must not leak across shard
-/// counts), injects the flow schedule, runs to completion, and measures.
+/// counts), attaches the streamed flow schedule, runs to completion, and
+/// measures.
 ///
 /// Each shard count runs twice — the threaded runner for wall clock, the
 /// sequential runner for the critical path. On a single-core container
@@ -65,19 +150,19 @@ struct RunResult {
 /// the identical round/window schedule with no thread handoffs, so its
 /// per-round max-busy sum measures the actual computational depth. The
 /// two runs must also produce identical `NetStats` (the threaded ≡
-/// sequential determinism contract, here at 10⁴-host scale).
+/// sequential determinism contract, here at 10⁵-host scale).
 fn run_once(
     ft: &FatTree,
     p4: &netcl_p4::ast::P4Program,
-    flows: &[Flow],
-    zipf_n: usize,
+    routes: &PrecomputedRoutes,
+    wl: &Workload,
     shards: usize,
 ) -> RunResult {
-    let threaded = measure_run(ft, p4, flows, zipf_n, shards, true);
+    let threaded = measure_run(ft, p4, routes, wl, shards, true);
     if shards == 1 {
         return threaded;
     }
-    let sequential = measure_run(ft, p4, flows, zipf_n, shards, false);
+    let sequential = measure_run(ft, p4, routes, wl, shards, false);
     if threaded.stats != sequential.stats {
         eprintln!(
             "DIVERGENCE: {shards}-shard threaded vs sequential NetStats:\n{:#?}\nvs\n{:#?}",
@@ -91,17 +176,22 @@ fn run_once(
         wall_s: threaded.wall_s,
         critical_path_s: sequential.critical_path_s,
         rounds: sequential.rounds,
+        shares: sequential.shares,
+        peak_queue: sequential.peak_queue,
+        partition_fp: sequential.partition_fp,
     }
 }
 
 fn measure_run(
     ft: &FatTree,
     p4: &netcl_p4::ast::P4Program,
-    flows: &[Flow],
-    zipf_n: usize,
+    routes: &PrecomputedRoutes,
+    wl: &Workload,
     shards: usize,
     threaded: bool,
 ) -> RunResult {
+    let (partition, loads) = ft.partition_balanced(routes, wl.pairs(), shards);
+    let partition_fp = partition.fingerprint();
     let mut b = NetworkBuilder::new(ft.topology.clone()).seed(1);
     for pod in ft.edge_by_pod.iter().chain(ft.agg_by_pod.iter()) {
         for &d in pod {
@@ -114,27 +204,30 @@ fn measure_run(
     for &h in &ft.hosts {
         b = b.sink_host(h);
     }
-    let mut net = b.build_sharded(ft.partition(shards)).expect("valid partition");
+    let mut net = b.build_sharded_with(partition, routes).expect("valid partition");
     net.set_threaded(threaded);
-    for f in flows {
-        // Scatter Zipf ranks across the tree with a multiplicative
-        // permutation (the constant is prime, hence coprime with any
-        // smaller host count): without it the entire Zipf head lands in
-        // pod 0 and shard 0 carries ~2/3 of the run.
-        let dst_idx = ((f.key as usize - 1) * 2654435761) % zipf_n;
-        let dst = ft.hosts[dst_idx];
-        let dev = edge_of(ft, dst_idx);
-        net.send_from_host(f.src, f.at_ns, calc_packet(f.src, dst, dev, f.key, f.at_ns));
-    }
+    let mut stream = wl.stream();
+    let dmap = Arc::clone(&wl.dmap);
+    let zipf_n = wl.zipf.n();
+    net.set_flow_source(Box::new(move |/* lazy: pulled as sim time advances */| {
+        stream.next().map(|f| {
+            let idx = ((f.key as usize - 1) * 2_654_435_761) % zipf_n;
+            let (dst, dev) = dmap[idx];
+            (f.at_ns, f.src, calc_packet((f.src % 65_536) as u16, dst, dev, f.key, f.at_ns))
+        })
+    }));
     let start = Instant::now();
     net.run(100_000_000);
     let wall_s = start.elapsed().as_secs_f64();
+    let events: Vec<u64> = net.shard_stats().iter().map(|s| s.events).collect();
+    let total: u64 = events.iter().sum();
+    let shares: Vec<f64> = events.iter().map(|&e| e as f64 / (total as f64).max(1.0)).collect();
     if std::env::var("NETCL_SIM_DEBUG").is_ok() {
         let busy: Vec<f64> = net.busy_ns().iter().map(|&b| b as f64 / 1e9).collect();
         eprintln!(
-            "debug: shards={shards} threaded={threaded} busy={busy:?} sum={:.3}s events/shard={:?}",
+            "debug: shards={shards} threaded={threaded} busy={busy:?} sum={:.3}s \
+             events/shard={events:?} predicted-loads={loads:?}",
             busy.iter().sum::<f64>(),
-            net.shard_stats().iter().map(|s| s.events).collect::<Vec<_>>(),
         );
     }
     RunResult {
@@ -143,57 +236,54 @@ fn measure_run(
         wall_s,
         critical_path_s: net.critical_path_ns() as f64 / 1e9,
         rounds: net.rounds(),
+        shares,
+        peak_queue: net.peak_queue(),
+        partition_fp,
     }
 }
 
-fn main() {
-    let mut smoke = false;
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            other => {
-                eprintln!("error: unknown argument `{other}` (expected `--smoke`)");
-                std::process::exit(2);
-            }
-        }
-    }
-    let (mut k, mut nflows) = if smoke { (8u16, 2_000usize) } else { (36, 20_000) };
-    if let Some(v) = std::env::var("NETCL_SIM_K").ok().and_then(|s| s.parse().ok()) {
-        k = v;
-    }
-    if let Some(v) = std::env::var("NETCL_SIM_FLOWS").ok().and_then(|s| s.parse().ok()) {
-        nflows = v;
-    }
-    let ft = FatTree::new(k, LinkSpec::default()).expect("even arity");
-    println!(
-        "fat-tree k={k}: {} hosts, {} switches, {} flows",
-        ft.num_hosts(),
-        ft.core.len() + ft.num_hosts() / ((k as usize / 2) * (k as usize / 2)) * (k as usize),
-        nflows
-    );
+/// One measured topology: arity, flow count, and the shard counts swept.
+struct Config {
+    k: u16,
+    nflows: usize,
+    shard_counts: Vec<usize>,
+}
 
+/// Measures one config end to end; exits on any determinism divergence.
+fn measure_config(cfg: &Config) -> (FatTree, Vec<RunResult>) {
+    let ft = FatTree::new(cfg.k, LinkSpec::default()).expect("even arity");
+    println!(
+        "fat-tree k={}: {} hosts, {} switches, {} flows",
+        cfg.k,
+        ft.num_hosts(),
+        ft.core.len() + ft.k as usize * ft.k as usize,
+        cfg.nflows
+    );
+    let t0 = Instant::now();
+    let routes = PrecomputedRoutes::new(&ft.topology);
+    println!(
+        "  routes precomputed once in {:.2}s (shared across all builds)",
+        t0.elapsed().as_secs_f64()
+    );
+    let wl = Workload::new(&ft, cfg.nflows);
     let unit = netcl_apps::compile("calc.ncl", &calc::netcl_source());
     let p4 = &unit.devices[0].tna_p4;
-
-    // Sources are a strided subset of hosts (clients), destinations are
-    // Zipf-popular (CACHE-style skew); the schedule is pure f(seed).
-    let sources: Vec<u16> = ft.hosts.iter().copied().step_by(16).collect();
-    let zipf = Zipf::new(ft.num_hosts(), 0.99);
-    let flows = netcl_net::workload::zipf_flows(7, &sources, &zipf, nflows, 10);
-
     let mut results: Vec<RunResult> = Vec::new();
-    for shards in [1usize, 2, 4, 8] {
-        let r = run_once(&ft, p4, &flows, zipf.n(), shards);
+    for &shards in &cfg.shard_counts {
+        let r = run_once(&ft, p4, &routes, &wl, shards);
         println!(
             "{} shard(s): {:>9} events  wall {:>7.3}s ({:>10.0} ev/s)  \
-             critical-path {:>7.3}s ({:>10.0} ev/s)  {:>5} rounds",
+             critical-path {:>7.3}s ({:>10.0} ev/s)  {:>5} rounds  \
+             busiest {:>5.1}%  peak-queue {}",
             r.shards,
             r.stats.events,
             r.wall_s,
             r.stats.events as f64 / r.wall_s,
             r.critical_path_s,
-            r.stats.events as f64 / r.critical_path_s.max(1e-9),
+            r.critical_path_eps(),
             r.rounds,
+            r.busiest_share() * 100.0,
+            r.peak_queue,
         );
         if let Some(first) = results.first() {
             if r.stats != first.stats {
@@ -209,39 +299,146 @@ fn main() {
         }
         results.push(r);
     }
+    // The per-shard event-share histogram for the widest sweep point.
+    if let Some(r) = results.iter().rev().find(|r| r.shards > 1) {
+        let shares: Vec<String> = r.shares.iter().map(|s| format!("{:.1}%", s * 100.0)).collect();
+        println!("  {}-shard event shares: [{}]", r.shards, shares.join(", "));
+    }
     println!("determinism cross-check: all shard counts produced identical NetStats");
+    (ft, results)
+}
 
+/// Recorded 1-shard `critical_path_eps` for arity `k` from a previous
+/// `BENCH_switch.json`, if present — the gate's recorded baseline.
+fn recorded_baseline(json: &str, k: u16) -> Option<f64> {
+    let sec = json.find("\"sim_sharded\":").map(|i| &json[i..])?;
+    let cfg = sec.find(&format!("\"k\": {k},")).map(|i| &sec[i..])?;
+    let row = cfg.find("\"shards\": 1,").map(|i| &cfg[i..])?;
+    let val = row.find("\"critical_path_eps\": ").map(|i| &row[i + 21..])?;
+    let end = val.find([',', '}', '\n'])?;
+    val[..end].trim().parse().ok()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut gate = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--gate" => gate = true,
+            other => {
+                eprintln!("error: unknown argument `{other}` (expected `--smoke` or `--gate`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let env_k: Option<u16> = std::env::var("NETCL_SIM_K").ok().and_then(|s| s.parse().ok());
+    let env_flows: Option<usize> =
+        std::env::var("NETCL_SIM_FLOWS").ok().and_then(|s| s.parse().ok());
+    let configs: Vec<Config> = if smoke {
+        // CI-scale: one config, two shard counts, no file write. Defaults
+        // to a k=8 toy; NETCL_SIM_K=74 makes this the 10⁵-host smoke.
+        vec![Config {
+            k: env_k.unwrap_or(8),
+            nflows: env_flows.unwrap_or(2_000),
+            shard_counts: vec![1, 8],
+        }]
+    } else if gate {
+        // The gate measures the k=36 reference config only.
+        vec![Config {
+            k: env_k.unwrap_or(36),
+            nflows: env_flows.unwrap_or(20_000),
+            shard_counts: vec![1, 8],
+        }]
+    } else if let Some(k) = env_k {
+        vec![Config { k, nflows: env_flows.unwrap_or(20_000), shard_counts: vec![1, 2, 4, 8] }]
+    } else {
+        vec![
+            Config { k: 36, nflows: env_flows.unwrap_or(20_000), shard_counts: vec![1, 2, 4, 8] },
+            Config { k: 48, nflows: env_flows.unwrap_or(20_000), shard_counts: vec![1, 2, 4, 8] },
+            // The 10⁵-host point; 1 → 4 → 8 shards bounds build time.
+            Config { k: 74, nflows: env_flows.unwrap_or(20_000), shard_counts: vec![1, 4, 8] },
+        ]
+    };
+
+    let path = "BENCH_switch.json";
+    let prior = std::fs::read_to_string(path).ok();
+
+    let mut measured: Vec<(FatTree, Vec<RunResult>)> = Vec::new();
+    for cfg in &configs {
+        measured.push(measure_config(cfg));
+    }
+
+    if gate {
+        let (_, results) = &measured[0];
+        let k = configs[0].k;
+        let one = results.iter().find(|r| r.shards == 1).expect("1-shard row");
+        let eight = results.iter().find(|r| r.shards == 8).expect("8-shard row");
+        // Normalize against min(recorded, in-run): a slow host deflates
+        // both numerator and denominator, so the ratio holds; only a real
+        // scaling regression (or imbalance) fails.
+        let in_run = one.critical_path_eps();
+        let baseline = match prior.as_deref().and_then(|j| recorded_baseline(j, k)) {
+            Some(rec) => rec.min(in_run),
+            None => in_run,
+        };
+        let scale = eight.critical_path_eps() / baseline.max(1e-9);
+        let busiest = eight.busiest_share();
+        println!(
+            "gate: 8-shard critical-path scaling {scale:.2}x (need ≥ 4.0), \
+             busiest shard {:.1}% (need ≤ 25%)",
+            busiest * 100.0
+        );
+        if scale < 4.0 {
+            eprintln!("GATE FAIL: 8-shard critical-path scaling {scale:.2}x < 4.0x");
+            std::process::exit(1);
+        }
+        if busiest > 0.25 {
+            eprintln!("GATE FAIL: busiest shard carries {:.1}% > 25%", busiest * 100.0);
+            std::process::exit(1);
+        }
+        println!("gate passed");
+        return;
+    }
     if smoke {
         println!("smoke run: not writing BENCH_switch.json");
         return;
     }
 
-    let mut section = String::from("{\n");
-    section.push_str(&format!(
-        "    \"topology\": \"fat-tree\", \"k\": {k}, \"hosts\": {}, \"flows\": {nflows},\n",
-        ft.num_hosts()
-    ));
-    section.push_str("    \"rows\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    let mut section = String::from("{\n    \"topology\": \"fat-tree\",\n    \"configs\": [\n");
+    for (ci, (ft, results)) in measured.iter().enumerate() {
         section.push_str(&format!(
-            "      {{\"shards\": {}, \"events\": {}, \"wall_s\": {:.3}, \
-             \"wall_eps\": {:.0}, \"critical_path_s\": {:.3}, \
-             \"critical_path_eps\": {:.0}, \"rounds\": {}}}{}\n",
-            r.shards,
-            r.stats.events,
-            r.wall_s,
-            r.stats.events as f64 / r.wall_s,
-            r.critical_path_s,
-            r.stats.events as f64 / r.critical_path_s.max(1e-9),
-            r.rounds,
-            if i + 1 < results.len() { "," } else { "" },
+            "      {{\"k\": {}, \"hosts\": {}, \"flows\": {}, \"rows\": [\n",
+            configs[ci].k,
+            ft.num_hosts(),
+            configs[ci].nflows
         ));
+        for (i, r) in results.iter().enumerate() {
+            section.push_str(&format!(
+                "        {{\"shards\": {}, \"events\": {}, \"wall_s\": {:.3}, \
+                 \"wall_eps\": {:.0}, \"critical_path_s\": {:.3}, \
+                 \"critical_path_eps\": {:.0}, \"rounds\": {}, \
+                 \"busiest_share\": {:.3}, \"peak_queue\": {}, \
+                 \"partition_fp\": \"{:#018x}\"}}{}\n",
+                r.shards,
+                r.stats.events,
+                r.wall_s,
+                r.stats.events as f64 / r.wall_s,
+                r.critical_path_s,
+                r.critical_path_eps(),
+                r.rounds,
+                r.busiest_share(),
+                r.peak_queue,
+                r.partition_fp,
+                if i + 1 < results.len() { "," } else { "" },
+            ));
+        }
+        section.push_str(&format!("      ]}}{}\n", if ci + 1 < measured.len() { "," } else { "" }));
     }
     section.push_str("    ]\n  }");
 
-    let path = "BENCH_switch.json";
-    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("error: cannot read {path} ({e}); run the throughput binary first");
+    let json = prior.unwrap_or_else(|| {
+        eprintln!("error: cannot read {path}; run the throughput binary first");
         std::process::exit(1);
     });
     // Drop any previous sim_sharded section: it spans from its key to the

@@ -25,6 +25,15 @@ pub enum Fault {
     Partition(Vec<NodeId>),
     /// Heal an active partition.
     Heal,
+    /// A *gray* failure: the link stays up and keeps routing, but every
+    /// transit (and its jitter bound) is multiplied by the factor — the
+    /// misbehaving-but-alive middle ground real deployments hit far more
+    /// often than clean outages. Routing deliberately does NOT react (no
+    /// tree invalidation): traffic keeps flowing through the slow link,
+    /// counted in `NetStats::degraded_transits`.
+    LinkDegrade(NodeId, NodeId, u64),
+    /// Restore a degraded link to full speed.
+    LinkRestore(NodeId, NodeId),
     /// A device fails: packets arriving at it are blackholed and all of its
     /// state (registers *and* `_managed_` tables) is lost.
     DeviceFail(u16),
@@ -44,6 +53,8 @@ impl Fault {
             Fault::LinkUp(..) => "link-up",
             Fault::Partition(_) => "partition",
             Fault::Heal => "heal",
+            Fault::LinkDegrade(..) => "link-degrade",
+            Fault::LinkRestore(..) => "link-restore",
             Fault::DeviceFail(_) => "device-fail",
             Fault::DeviceRestart(_) => "device-restart",
         }
@@ -72,6 +83,19 @@ impl FaultSchedule {
     /// Takes a link down at `down_ns` and restores it at `up_ns`.
     pub fn link_outage(self, a: NodeId, b: NodeId, down_ns: u64, up_ns: u64) -> FaultSchedule {
         self.at(down_ns, Fault::LinkDown(a, b)).at(up_ns, Fault::LinkUp(a, b))
+    }
+
+    /// Degrades the link between `a` and `b` by `mult`× from `from_ns` and
+    /// restores it at `to_ns` — a gray-failure window.
+    pub fn slow_link(
+        self,
+        a: NodeId,
+        b: NodeId,
+        mult: u64,
+        from_ns: u64,
+        to_ns: u64,
+    ) -> FaultSchedule {
+        self.at(from_ns, Fault::LinkDegrade(a, b, mult)).at(to_ns, Fault::LinkRestore(a, b))
     }
 
     /// Fails a device at `fail_ns` and restarts it at `restart_ns`.

@@ -21,10 +21,11 @@ pub mod topo;
 pub mod workload;
 
 pub use fault::{Fault, FaultSchedule};
+pub use route::PrecomputedRoutes;
 pub use shard::{Partition, ShardedNetwork};
 pub use sim::{
-    HostEvent, HostHandler, NetObs, NetStats, Network, NetworkBuilder, NodeCounters, ObsConfig,
-    Outbox, RestartHook,
+    FlowSource, HostEvent, HostHandler, NetObs, NetStats, Network, NetworkBuilder, NodeCounters,
+    ObsConfig, Outbox, RestartHook,
 };
 pub use topo::{LinkSpec, NodeId, Topology};
-pub use workload::{FatTree, Flow, Straggler, WorkloadRng, Zipf};
+pub use workload::{FatTree, Flow, FlowStream, Straggler, WorkloadRng, Zipf};

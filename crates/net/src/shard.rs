@@ -28,7 +28,7 @@
 //! asserts this for every app, both shard runners, under chaos.
 
 use crate::fault::Fault;
-use crate::sim::{ExternalEvent, NetObs, NetStats, Network, NetworkBuilder, XsEvent};
+use crate::sim::{ExternalEvent, FlowSource, NetObs, NetStats, Network, NetworkBuilder, XsEvent};
 use crate::topo::{NodeId, Topology};
 use netcl_bmv2::Switch;
 use netcl_obs::trace::Trace;
@@ -74,6 +74,66 @@ impl Partition {
         &self.groups
     }
 
+    /// Packs weighted *units* (groups of nodes that must stay together —
+    /// a fat-tree pod, a core switch) onto `shards` shards by longest
+    /// processing time: units in descending weight order, each onto the
+    /// currently lightest shard. Returns the partition and the resulting
+    /// per-shard loads.
+    ///
+    /// Deterministic: ties in weight break toward the lower unit index and
+    /// ties in load toward the lower shard index, so the assignment is a
+    /// pure function of the input order. LPT's bound applies — the busiest
+    /// shard carries at most `total/shards + max_unit_weight`, which the
+    /// partitioner proptests assert on random fat-trees.
+    pub fn balanced_with_weights(
+        units: Vec<(Vec<NodeId>, u64)>,
+        shards: usize,
+    ) -> (Partition, Vec<u64>) {
+        let shards = shards.max(1);
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(units[i].1), i));
+        let mut groups = vec![Vec::new(); shards];
+        let mut loads = vec![0u64; shards];
+        let mut units: Vec<Option<(Vec<NodeId>, u64)>> = units.into_iter().map(Some).collect();
+        for i in order {
+            let (nodes, w) = units[i].take().expect("each unit placed once");
+            let lightest = (0..shards).min_by_key(|&s| (loads[s], s)).expect("shards ≥ 1");
+            loads[lightest] += w;
+            groups[lightest].extend(nodes);
+        }
+        (Partition { groups }, loads)
+    }
+
+    /// [`Self::balanced_with_weights`] without the load report.
+    pub fn balanced(units: Vec<(Vec<NodeId>, u64)>, shards: usize) -> Partition {
+        Self::balanced_with_weights(units, shards).0
+    }
+
+    /// A stable 64-bit digest of the assignment (shard index and node
+    /// list order both count). Recorded next to benchmark rows so a run
+    /// can be replayed against the exact partition that produced it.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical byte walk of the groups.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for (i, g) in self.groups.iter().enumerate() {
+            eat(i as u64);
+            eat(g.len() as u64);
+            for &n in g {
+                eat(match n {
+                    NodeId::Host(x) => (1u64 << 48) | x as u64,
+                    NodeId::Device(x) => (2u64 << 48) | x as u64,
+                });
+            }
+        }
+        h
+    }
+
     /// The node → shard map, rejecting duplicate assignments.
     fn shard_of(&self) -> Result<HashMap<NodeId, usize>, String> {
         let mut m = HashMap::new();
@@ -95,6 +155,27 @@ impl NetworkBuilder {
     /// crossing a shard boundary must have nonzero latency (the lookahead
     /// window collapses otherwise).
     pub fn build_sharded(self, partition: Partition) -> Result<ShardedNetwork, String> {
+        self.build_sharded_inner(partition, None)
+    }
+
+    /// [`Self::build_sharded`] with a route cache precomputed by
+    /// [`crate::PrecomputedRoutes::new`] **from this same topology**. A
+    /// bench sweeping shard counts over one fat-tree rebuilds the network
+    /// per count; the switch forest (seconds and ~190 MB at 10⁵ hosts) is
+    /// identical every time and should be paid for once.
+    pub fn build_sharded_with(
+        self,
+        partition: Partition,
+        routes: &crate::PrecomputedRoutes,
+    ) -> Result<ShardedNetwork, String> {
+        self.build_sharded_inner(partition, Some(routes.cache.clone()))
+    }
+
+    fn build_sharded_inner(
+        self,
+        partition: Partition,
+        routes: Option<crate::route::RouteCache>,
+    ) -> Result<ShardedNetwork, String> {
         if partition.num_shards() == 0 {
             return Err("partition has no shards".into());
         }
@@ -136,7 +217,7 @@ impl NetworkBuilder {
         for (id, hook) in self.restart_hooks {
             hook_split[shard_of[&NodeId::Device(id)]].insert(id, hook);
         }
-        let routes = crate::route::RouteCache::new(&self.topology);
+        let routes = routes.unwrap_or_else(|| crate::route::RouteCache::new(&self.topology));
         let mut shards = Vec::with_capacity(nsh);
         for (i, (devices, (hosts, restart_hooks))) in
             dev_split.into_iter().zip(host_split.into_iter().zip(hook_split)).enumerate()
@@ -166,6 +247,9 @@ impl NetworkBuilder {
             rounds: 0,
             busy_ns: vec![0; nsh],
             critical_path_ns: 0,
+            peak_queue: 0,
+            flow_source: None,
+            next_flow: None,
         })
     }
 }
@@ -225,6 +309,15 @@ fn lookahead_matrix(
 ///
 /// The shard holding the globally earliest event always gets a horizon
 /// past it (inter-shard distances are ≥ 1), so every round progresses.
+/// Cap (ns past the globally earliest event) on how far the streamed
+/// injector pre-pumps flows each round. Flows inside the conservative
+/// window are known-future external events, so injecting them eagerly is
+/// free — and essential: clamping every horizon at the *next* flow would
+/// shrink rounds to one inter-arrival gap (~ns) and serialize the run on
+/// round overhead. The cap bounds live memory to O(window / mean gap)
+/// flows when horizons are unbounded (single shard, drained queues).
+const PUMP_WINDOW_NS: u64 = 65_536;
+
 fn horizons_of(dist: &[Vec<u64>], nexts: &[Option<u64>]) -> Vec<u64> {
     (0..nexts.len())
         .map(|s| {
@@ -270,6 +363,18 @@ pub struct ShardedNetwork {
     /// ideal machine with one core per shard would need (the bench reports
     /// events/sec against both this and actual wall time).
     critical_path_ns: u64,
+    /// High-water mark of live events across all shards, sampled at round
+    /// starts — the memory proxy showing streamed injection holds O(live
+    /// events), not O(schedule).
+    peak_queue: u64,
+    /// Streamed driver injections ([`Self::set_flow_source`]), pulled and
+    /// routed to owner shards as rounds reach each flow's time.
+    flow_source: Option<FlowSource>,
+    /// The next not-yet-injected flow — a one-flow lookahead. Flows due
+    /// inside the conservative window are pumped eagerly before each
+    /// round ([`PUMP_WINDOW_NS`]); only then does the remaining flow
+    /// clamp horizons (no shard may run past an uninjected flow).
+    next_flow: Option<(u64, u32, Vec<u8>)>,
 }
 
 impl std::fmt::Debug for ShardedNetwork {
@@ -297,7 +402,7 @@ impl ShardedNetwork {
 
     /// Injects a send from a host at an absolute time (same key the
     /// scalar run would assign to this injection).
-    pub fn send_from_host(&mut self, host: u16, at_ns: u64, bytes: Vec<u8>) {
+    pub fn send_from_host(&mut self, host: u32, at_ns: u64, bytes: Vec<u8>) {
         self.ext_seq += 1;
         let shard = self.shard_of[&NodeId::Host(host)];
         self.shards[shard].inject_external(
@@ -308,7 +413,7 @@ impl ShardedNetwork {
     }
 
     /// Arms a host timer at an absolute time.
-    pub fn set_host_timer(&mut self, host: u16, at_ns: u64, token: u64) {
+    pub fn set_host_timer(&mut self, host: u32, at_ns: u64, token: u64) {
         self.ext_seq += 1;
         let shard = self.shard_of[&NodeId::Host(host)];
         self.shards[shard].inject_external(at_ns, self.ext_seq, ExternalEvent::Timer(host, token));
@@ -351,14 +456,73 @@ impl ShardedNetwork {
         }
     }
 
+    /// Attaches a lazy flow schedule (see [`Network::set_flow_source`]):
+    /// flows are pulled, keyed, and routed to their owner shards as rounds
+    /// reach each injection time. Byte-identical to injecting the whole
+    /// schedule via [`Self::send_from_host`] up front, with memory bounded
+    /// by live events instead of schedule length. Call before any other
+    /// driver injection.
+    pub fn set_flow_source(&mut self, mut source: FlowSource) {
+        self.next_flow = source();
+        self.flow_source = Some(source);
+    }
+
+    /// Injects every flow due at or before `upto` into its owner shard,
+    /// with the same `External` keys a scalar run would assign.
+    fn pump_flows(&mut self, upto: u64) {
+        while let Some((at, ..)) = self.next_flow {
+            if at > upto {
+                break;
+            }
+            let (at, host, bytes) = self.next_flow.take().expect("checked above");
+            self.ext_seq += 1;
+            let shard = self.shard_of[&NodeId::Host(host)];
+            self.shards[shard].inject_external(
+                at,
+                self.ext_seq,
+                ExternalEvent::HostSend(host, bytes),
+            );
+            self.next_flow = self.flow_source.as_mut().and_then(|s| s());
+        }
+    }
+
     fn run_sequential(&mut self, max_events: u64) -> u64 {
         let mut total = 0u64;
         while total < max_events {
-            let nexts: Vec<Option<u64>> = self.shards.iter().map(|s| s.next_event_time()).collect();
-            if nexts.iter().all(Option::is_none) {
-                break;
+            let g = self.shards.iter().filter_map(|s| s.next_event_time()).min();
+            match (g, self.next_flow.as_ref().map(|f| f.0)) {
+                (None, None) => break,
+                (g, Some(f)) if g.is_none_or(|g| f <= g) => {
+                    // Every pending event is at or after the next flow:
+                    // stream in all flows due by the earliest event (at
+                    // least one) and recompute the round with them queued.
+                    self.pump_flows(g.unwrap_or(f));
+                    continue;
+                }
+                _ => {}
             }
-            let horizons = horizons_of(&self.dist, &nexts);
+            if self.next_flow.is_some() {
+                // Eager pump: inject every flow due inside this round's
+                // conservative window (capped), so the window is bounded
+                // by lookahead, not by the flow inter-arrival gap.
+                let nexts: Vec<Option<u64>> =
+                    self.shards.iter().map(|s| s.next_event_time()).collect();
+                let h_min = horizons_of(&self.dist, &nexts).into_iter().min().unwrap_or(u64::MAX);
+                let cap = g.expect("matched above").saturating_add(PUMP_WINDOW_NS);
+                self.pump_flows(h_min.min(cap));
+            }
+            let nexts: Vec<Option<u64>> = self.shards.iter().map(|s| s.next_event_time()).collect();
+            let mut horizons = horizons_of(&self.dist, &nexts);
+            if let Some((f, ..)) = self.next_flow {
+                // No shard may run past the next uninjected flow. The
+                // pumps above guarantee f is strictly after the earliest
+                // event, so the round still progresses.
+                for h in &mut horizons {
+                    *h = (*h).min(f);
+                }
+            }
+            let live: u64 = self.shards.iter().map(|s| s.queue_len() as u64).sum();
+            self.peak_queue = self.peak_queue.max(live);
             let mut round = 0u64;
             let mut round_max = 0u64;
             for (i, sh) in self.shards.iter_mut().enumerate() {
@@ -379,15 +543,18 @@ impl ShardedNetwork {
         total
     }
 
-    /// Routes every shard's outbound cross-shard arrivals to their owners.
-    /// Delivery order across shards is irrelevant to the outcome: event
-    /// keys are unique, so each shard's heap imposes the same total order
-    /// whatever the insertion sequence.
+    /// Routes every shard's outbound cross-shard arrivals to their owners,
+    /// coalesced into one staged batch per destination shard
+    /// ([`Network::stage_xs`]) — one sort-and-merge per shard per round
+    /// instead of a heap push per event. Delivery order across shards is
+    /// irrelevant to the outcome: event keys are unique, so the merged
+    /// order is the same total order whatever the insertion sequence.
     fn route_xs(&mut self) -> bool {
         let mut moved = false;
-        for i in 0..self.shards.len() {
-            let xs = self.shards[i].take_xs_out();
-            for ev in xs {
+        let nsh = self.shards.len();
+        let mut per_shard: Vec<Vec<XsEvent>> = (0..nsh).map(|_| Vec::new()).collect();
+        for i in 0..nsh {
+            for ev in self.shards[i].take_xs_out() {
                 let t = self.shard_of[&ev.target];
                 debug_assert!(
                     ev.time >= self.shards[t].now(),
@@ -396,9 +563,12 @@ impl ShardedNetwork {
                     ev.time,
                     self.shards[t].now()
                 );
-                self.shards[t].inject_keyed(ev.time, ev.src, ev.target, ev.bytes);
+                per_shard[t].push(ev);
                 moved = true;
             }
+        }
+        for (t, batch) in per_shard.into_iter().enumerate() {
+            self.shards[t].stage_xs(batch);
         }
         moved
     }
@@ -410,71 +580,147 @@ impl ShardedNetwork {
         let busy_ns = &mut self.busy_ns;
         let rounds = &mut self.rounds;
         let critical_path_ns = &mut self.critical_path_ns;
+        let peak_queue = &mut self.peak_queue;
+        let ext_seq = &mut self.ext_seq;
+        let flow_source = &mut self.flow_source;
+        let next_flow = &mut self.next_flow;
         let mut total = 0u64;
         // Own next-event times, updated from worker reports; arrivals in
-        // flight between shards live in `pending` until the next window.
+        // flight between shards live in `pending` until the next window,
+        // and streamed flows awaiting delivery to their owner shard in
+        // `flow_pend` (the workers hold the shards, so the wrapper hands
+        // both over with each round's command).
         let mut nexts: Vec<Option<u64>> = self.shards.iter().map(|s| s.next_event_time()).collect();
         let mut pending: Vec<Vec<XsEvent>> = (0..nsh).map(|_| Vec::new()).collect();
+        let mut flow_pend: Vec<Vec<(u64, u64, ExternalEvent)>> =
+            (0..nsh).map(|_| Vec::new()).collect();
         let (res_tx, res_rx) = mpsc::channel();
         std::thread::scope(|scope| {
             let mut cmd_txs = Vec::with_capacity(nsh);
             for (i, sh) in self.shards.iter_mut().enumerate() {
-                let (tx, rx) = mpsc::channel::<(u64, u64, Vec<XsEvent>)>();
+                let (tx, rx) =
+                    mpsc::channel::<(u64, u64, Vec<XsEvent>, Vec<(u64, u64, ExternalEvent)>)>();
                 cmd_txs.push(tx);
                 let res_tx = res_tx.clone();
                 scope.spawn(move || {
-                    while let Ok((horizon, budget, xs)) = rx.recv() {
-                        for ev in xs {
-                            debug_assert!(
-                                ev.time >= sh.now(),
-                                "lookahead violation: arrival at {} for t={} but shard {i} already at {}",
-                                ev.target,
-                                ev.time,
-                                sh.now()
-                            );
-                            sh.inject_keyed(ev.time, ev.src, ev.target, ev.bytes);
+                    while let Ok((horizon, budget, xs, flows)) = rx.recv() {
+                        for (at, seq, ev) in flows {
+                            sh.inject_external(at, seq, ev);
                         }
+                        if cfg!(debug_assertions) {
+                            for ev in &xs {
+                                debug_assert!(
+                                    ev.time >= sh.now(),
+                                    "lookahead violation: arrival at {} for t={} but shard {i} already at {}",
+                                    ev.target,
+                                    ev.time,
+                                    sh.now()
+                                );
+                            }
+                        }
+                        sh.stage_xs(xs);
+                        // Live-event footprint entering the round, after
+                        // this round's deliveries landed.
+                        let live = sh.queue_len() as u64;
                         let t0 = Instant::now();
                         let did = sh.run_until(horizon, budget);
                         let busy = t0.elapsed().as_nanos() as u64;
                         let out = sh.take_xs_out();
                         let next = sh.next_event_time();
-                        if res_tx.send((i, did, busy, out, next)).is_err() {
+                        if res_tx.send((i, did, busy, out, next, live)).is_err() {
                             break;
                         }
                     }
                 });
             }
             while total < max_events {
-                // A shard's effective next event is the earlier of its own
-                // queue head and any arrival waiting to be delivered to it.
+                // A shard's effective next event is the earliest of its own
+                // queue head and anything waiting to be delivered to it —
+                // cross-shard arrivals or streamed flows.
                 let eff: Vec<Option<u64>> = (0..nsh)
                     .map(|i| {
                         let mut m = nexts[i];
                         for ev in &pending[i] {
                             m = Some(m.map_or(ev.time, |x| x.min(ev.time)));
                         }
+                        for (at, ..) in &flow_pend[i] {
+                            m = Some(m.map_or(*at, |x| x.min(*at)));
+                        }
                         m
                     })
                     .collect();
+                let g = eff.iter().flatten().copied().min();
+                if let Some(f) = next_flow.as_ref().map(|f| f.0) {
+                    if g.is_none_or(|g| f <= g) {
+                        // Every pending event is at or after the next flow:
+                        // pull in all flows due by the earliest event (at
+                        // least one) and recompute with them pending.
+                        let upto = g.unwrap_or(f);
+                        loop {
+                            match next_flow.as_ref() {
+                                Some((at, ..)) if *at <= upto => {}
+                                _ => break,
+                            }
+                            let (at, host, bytes) = next_flow.take().expect("checked above");
+                            *ext_seq += 1;
+                            flow_pend[shard_of[&NodeId::Host(host)]].push((
+                                at,
+                                *ext_seq,
+                                ExternalEvent::HostSend(host, bytes),
+                            ));
+                            *next_flow = flow_source.as_mut().and_then(|s| s());
+                        }
+                        continue;
+                    }
+                }
                 if eff.iter().all(Option::is_none) {
                     break;
                 }
-                let horizons = horizons_of(dist, &eff);
+                let mut eff = eff;
+                if next_flow.is_some() {
+                    // Eager pump: stage every flow due inside this round's
+                    // conservative window (capped) — same threshold the
+                    // sequential runner computes, so rounds line up.
+                    let h_min = horizons_of(dist, &eff).into_iter().min().unwrap_or(u64::MAX);
+                    let upto = g.expect("events exist here").saturating_add(PUMP_WINDOW_NS);
+                    let upto = h_min.min(upto);
+                    loop {
+                        match next_flow.as_ref() {
+                            Some((at, ..)) if *at <= upto => {}
+                            _ => break,
+                        }
+                        let (at, host, bytes) = next_flow.take().expect("checked above");
+                        *ext_seq += 1;
+                        let t = shard_of[&NodeId::Host(host)];
+                        flow_pend[t].push((at, *ext_seq, ExternalEvent::HostSend(host, bytes)));
+                        eff[t] = Some(eff[t].map_or(at, |x| x.min(at)));
+                        *next_flow = flow_source.as_mut().and_then(|s| s());
+                    }
+                }
+                let mut horizons = horizons_of(dist, &eff);
+                if let Some((f, ..)) = next_flow {
+                    // No shard may run past the next uninjected flow.
+                    for h in &mut horizons {
+                        *h = (*h).min(*f);
+                    }
+                }
                 for (i, tx) in cmd_txs.iter().enumerate() {
                     let xs = std::mem::take(&mut pending[i]);
+                    let flows = std::mem::take(&mut flow_pend[i]);
                     // A worker only exits when the command channel drops,
                     // so sends cannot fail mid-run.
-                    tx.send((horizons[i], max_events - total, xs)).unwrap();
+                    tx.send((horizons[i], max_events - total, xs, flows)).unwrap();
                 }
                 let mut round = 0u64;
                 let mut round_max = 0u64;
+                let mut round_live = 0u64;
                 let mut moved = false;
                 for _ in 0..nsh {
-                    let (i, did, busy, out, next) = res_rx.recv().unwrap();
+                    let (i, did, busy, out, next, live) = res_rx.recv().unwrap();
                     round += did;
                     busy_ns[i] += busy;
                     round_max = round_max.max(busy);
+                    round_live += live;
                     nexts[i] = next;
                     for ev in out {
                         pending[shard_of[&ev.target]].push(ev);
@@ -484,6 +730,7 @@ impl ShardedNetwork {
                 total += round;
                 *rounds += 1;
                 *critical_path_ns += round_max;
+                *peak_queue = (*peak_queue).max(round_live);
                 if round == 0 && !moved {
                     break;
                 }
@@ -539,7 +786,7 @@ impl ShardedNetwork {
     }
 
     /// Messages a host received, with arrival timestamps.
-    pub fn host_received(&self, id: u16) -> &[(u64, Vec<u8>)] {
+    pub fn host_received(&self, id: u32) -> &[(u64, Vec<u8>)] {
         match self.shard_of.get(&NodeId::Host(id)) {
             Some(&s) => self.shards[s].host_received(id),
             None => &[],
@@ -581,5 +828,12 @@ impl ShardedNetwork {
     /// critical path on an ideal one-core-per-shard machine.
     pub fn critical_path_ns(&self) -> u64 {
         self.critical_path_ns
+    }
+
+    /// High-water mark of live events across all shards, sampled at round
+    /// starts. With a flow source attached this is the run's memory
+    /// footprint proxy — O(live events) rather than O(schedule length).
+    pub fn peak_queue(&self) -> u64 {
+        self.peak_queue
     }
 }

@@ -1,7 +1,8 @@
 //! The event-driven simulator core.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use netcl_bmv2::{Packet, PacketBatch, Switch, TableUpdate};
 use netcl_obs::{Histogram, Stopwatch, Trace, Value};
@@ -50,6 +51,16 @@ pub type HostHandler = Box<dyn FnMut(u64, HostEvent, &mut Outbox) + Send>;
 /// (what a NetCL controller does after a device comes back). `Send` for
 /// the same reason as [`HostHandler`].
 pub type RestartHook = Box<dyn FnMut(&mut Switch) + Send>;
+
+/// A lazy flow generator: each call yields the next driver injection as
+/// `(at_ns, source host, wire bytes)`, in nondecreasing `at_ns` order;
+/// `None` ends the schedule. [`Network::set_flow_source`] (and the sharded
+/// equivalent) pulls flows as simulated time reaches them, so a 10⁶-flow
+/// run holds O(live events) in memory instead of materializing the whole
+/// schedule up front — with results byte-identical to pre-injecting the
+/// same flows (`tests/determinism.rs` asserts this for every app).
+/// `Send` so the sharded wrapper can hold it alongside shard threads.
+pub type FlowSource = Box<dyn FnMut() -> Option<(u64, u32, Vec<u8>)> + Send>;
 
 // `Outbox` is exactly the send/timer surface the host reliability helper
 // needs, so wire it up as its transport.
@@ -224,6 +235,9 @@ pub struct NetStats {
     /// Rule-update batches that did not land: the target device was failed
     /// (blackholed) at delivery time, or the batch failed validation.
     pub rule_update_rejects: u64,
+    /// Transits that crossed a gray-degraded link
+    /// ([`Fault::LinkDegrade`]) — delivered, just slower.
+    pub degraded_transits: u64,
     /// Per-node delivered/dropped breakdown (keyed deterministically).
     pub per_node: BTreeMap<NodeId, NodeCounters>,
 }
@@ -250,6 +264,7 @@ impl NetStats {
         self.recirculations += other.recirculations;
         self.rule_updates += other.rule_updates;
         self.rule_update_rejects += other.rule_update_rejects;
+        self.degraded_transits += other.degraded_transits;
         for (n, c) in &other.per_node {
             let e = self.per_node.entry(*n).or_default();
             e.delivered += c.delivered;
@@ -293,7 +308,7 @@ pub struct NetObs {
 fn tid_of(n: NodeId) -> u32 {
     match n {
         NodeId::Device(d) => d as u32,
-        NodeId::Host(h) => 0x1_0000 + h as u32,
+        NodeId::Host(h) => 0x1_0000 + h,
     }
 }
 
@@ -302,9 +317,12 @@ fn tid_of(n: NodeId) -> u32 {
 /// a set of shard networks over the same configuration).
 #[derive(Default)]
 pub struct NetworkBuilder {
-    pub(crate) topology: Topology,
+    /// `Arc` so the sharded builder replicates the topology into every
+    /// shard by reference — at 10⁵ hosts a deep clone per shard is ~100 MB
+    /// of pure duplication. Shards only read it (routing, group fan-out).
+    pub(crate) topology: Arc<Topology>,
     pub(crate) devices: Vec<(u16, Switch, u64)>,
-    pub(crate) hosts: Vec<(u16, Option<HostHandler>, u64)>,
+    pub(crate) hosts: Vec<(u32, Option<HostHandler>, u64)>,
     pub(crate) seed: u64,
     pub(crate) faults: Vec<(u64, Fault)>,
     pub(crate) updates: Vec<(u64, u16, TableUpdate)>,
@@ -316,7 +334,7 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts from a topology.
     pub fn new(topology: Topology) -> NetworkBuilder {
-        NetworkBuilder { topology, seed: 0x5DEECE66D, ..Default::default() }
+        NetworkBuilder { topology: Arc::new(topology), seed: 0x5DEECE66D, ..Default::default() }
     }
 
     /// Adds a device running `switch`, with per-packet latency.
@@ -326,13 +344,13 @@ impl NetworkBuilder {
     }
 
     /// Adds a host with an event handler.
-    pub fn host(mut self, id: u16, handler: HostHandler) -> Self {
+    pub fn host(mut self, id: u32, handler: HostHandler) -> Self {
         self.hosts.push((id, Some(handler), 2000));
         self
     }
 
     /// Adds a passive host (messages recorded, no reaction).
-    pub fn sink_host(mut self, id: u16) -> Self {
+    pub fn sink_host(mut self, id: u32) -> Self {
         self.hosts.push((id, None, 2000));
         self
     }
@@ -421,7 +439,7 @@ impl NetworkBuilder {
                 for id in dev_ids {
                     t.name_thread(0, tid_of(NodeId::Device(id)), format!("device {id}"));
                 }
-                let mut host_ids: Vec<u16> = self.hosts.iter().map(|(id, ..)| *id).collect();
+                let mut host_ids: Vec<u32> = self.hosts.iter().map(|(id, ..)| *id).collect();
                 host_ids.sort_unstable();
                 for id in host_ids {
                     t.name_thread(0, tid_of(NodeId::Host(id)), format!("host {id}"));
@@ -469,6 +487,7 @@ impl NetworkBuilder {
             update_list: Vec::new(),
             applied_updates: HashMap::new(),
             downed: HashSet::new(),
+            degraded: HashMap::new(),
             island: None,
             failed: HashSet::new(),
             restart_hooks: self.restart_hooks,
@@ -477,6 +496,9 @@ impl NetworkBuilder {
             routes,
             owned,
             xs_out: Vec::new(),
+            xs_in: VecDeque::new(),
+            flow_source: None,
+            next_flow: None,
         };
         for (at, fault) in self.faults {
             net.schedule_fault(at, fault);
@@ -490,9 +512,9 @@ impl NetworkBuilder {
 
 /// The running simulation.
 pub struct Network {
-    topology: Topology,
+    topology: Arc<Topology>,
     devices: HashMap<u16, DeviceNode>,
-    hosts: HashMap<u16, HostNode>,
+    hosts: HashMap<u32, HostNode>,
     events: BinaryHeap<Reverse<(u64, EventSrc, NodeOrd)>>,
     clock: u64,
     /// Driver-injection counter ([`EventSrc::External`]).
@@ -522,6 +544,11 @@ pub struct Network {
     applied_updates: HashMap<u16, Vec<TableUpdate>>,
     /// Links currently down (order-normalized endpoint pairs).
     downed: HashSet<(NodeId, NodeId)>,
+    /// Links currently gray-degraded (order-normalized endpoint pairs →
+    /// latency multiplier). Deliberately *not* part of the routing state:
+    /// a degraded link keeps carrying traffic, so trees are never
+    /// invalidated by it.
+    degraded: HashMap<(NodeId, NodeId), u64>,
     /// Active partition: one island of nodes, cut off from the rest.
     island: Option<HashSet<NodeId>>,
     /// Devices currently failed (blackholing traffic).
@@ -546,6 +573,20 @@ pub struct Network {
     owned: Option<HashSet<NodeId>>,
     /// Outbound cross-shard arrivals produced by the current window.
     xs_out: Vec<XsEvent>,
+    /// Inbound cross-shard arrivals, staged in batches by the shard runner
+    /// ([`Network::stage_xs`]) and kept sorted by `(time, key)`. A second
+    /// event source merged with the heap during `run_until`: staged
+    /// batches arrive pre-sorted, so draining them is O(1) per event
+    /// instead of O(log n) heap churn, and same-timestamp arrivals flow
+    /// straight into the device batch path.
+    xs_in: VecDeque<XsEvent>,
+    /// Streamed driver injections ([`Network::set_flow_source`]); pulled
+    /// as the run loop reaches each flow's injection time.
+    flow_source: Option<FlowSource>,
+    /// The next not-yet-injected flow from `flow_source` (its lookahead
+    /// of one — flow times are nondecreasing, so this bounds the run
+    /// horizon).
+    next_flow: Option<(u64, u32, Vec<u8>)>,
 }
 
 /// Deterministic event provenance, the same-timestamp tiebreaker.
@@ -601,8 +642,8 @@ pub(crate) struct XsEvent {
 
 /// A driver injection routed to a shard by the sharded wrapper.
 pub(crate) enum ExternalEvent {
-    HostSend(u16, Vec<u8>),
-    Timer(u16, u64),
+    HostSend(u32, Vec<u8>),
+    Timer(u32, u64),
 }
 
 impl Network {
@@ -612,7 +653,7 @@ impl Network {
     }
 
     /// Messages a host received, with arrival timestamps.
-    pub fn host_received(&self, id: u16) -> &[(u64, Vec<u8>)] {
+    pub fn host_received(&self, id: u32) -> &[(u64, Vec<u8>)] {
         self.hosts.get(&id).map(|h| h.received.as_slice()).unwrap_or(&[])
     }
 
@@ -678,17 +719,35 @@ impl Network {
         self.events.push(Reverse((time, src, NodeOrd(bytes, ord))));
     }
 
-    /// Injects an event with an externally-assigned key — how the shard
-    /// runner delivers cross-shard arrivals and replays driver injections
-    /// with the same keys the scalar run would assign.
-    pub(crate) fn inject_keyed(
-        &mut self,
-        time: u64,
-        src: EventSrc,
-        ord_target: NodeId,
-        bytes: Vec<u8>,
-    ) {
-        self.push_keyed(time, src, EventOrd::Arrive(ord_target), bytes);
+    /// Stages a batch of cross-shard arrivals — how the shard runner
+    /// delivers one window's hand-offs, already carrying the keys the
+    /// scalar run would assign. The batch is sorted once and merged into
+    /// the staging queue; `run_until` then drains it interleaved with the
+    /// heap in global `(time, key)` order. One sort per batch replaces a
+    /// heap push per event, and a burst of same-timestamp arrivals at one
+    /// device reaches `process_batch` in one contiguous run.
+    pub(crate) fn stage_xs(&mut self, mut batch: Vec<XsEvent>) {
+        if batch.is_empty() {
+            return;
+        }
+        batch.sort_unstable_by_key(|e| (e.time, e.src));
+        match self.xs_in.back() {
+            // Common case: everything staged earlier has earlier keys
+            // (lookahead windows only move forward) — pure append.
+            Some(back) if (back.time, back.src) > (batch[0].time, batch[0].src) => {
+                let old: Vec<XsEvent> = std::mem::take(&mut self.xs_in).into();
+                let mut old = old.into_iter().peekable();
+                let mut new = batch.into_iter().peekable();
+                while let (Some(a), Some(b)) = (old.peek(), new.peek()) {
+                    let next =
+                        if (a.time, a.src) <= (b.time, b.src) { old.next() } else { new.next() };
+                    self.xs_in.extend(next);
+                }
+                self.xs_in.extend(old);
+                self.xs_in.extend(new);
+            }
+            _ => self.xs_in.extend(batch),
+        }
     }
 
     /// Injects a driver event (send or timer) with an explicit external
@@ -706,9 +765,21 @@ impl Network {
         }
     }
 
-    /// Earliest pending event time, if any.
+    /// Earliest pending event time across the heap and the staged
+    /// cross-shard queue, if any.
     pub(crate) fn next_event_time(&self) -> Option<u64> {
-        self.events.peek().map(|Reverse((t, ..))| *t)
+        let heap = self.events.peek().map(|Reverse((t, ..))| *t);
+        let staged = self.xs_in.front().map(|e| e.time);
+        match (heap, staged) {
+            (Some(h), Some(s)) => Some(h.min(s)),
+            (h, s) => h.or(s),
+        }
+    }
+
+    /// Pending events not yet processed — the live-event footprint the
+    /// streamed-injection bench reports as its memory proxy.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.events.len() + self.xs_in.len()
     }
 
     /// Drains the cross-shard arrivals produced by the last window.
@@ -717,12 +788,12 @@ impl Network {
     }
 
     /// Injects a send from a host at an absolute time.
-    pub fn send_from_host(&mut self, host: u16, at_ns: u64, bytes: Vec<u8>) {
+    pub fn send_from_host(&mut self, host: u32, at_ns: u64, bytes: Vec<u8>) {
         self.push(at_ns, EventOrd::HostSend(NodeId::Host(host)), bytes);
     }
 
     /// Arms a host timer at an absolute time.
-    pub fn set_host_timer(&mut self, host: u16, at_ns: u64, token: u64) {
+    pub fn set_host_timer(&mut self, host: u32, at_ns: u64, token: u64) {
         self.push(at_ns, EventOrd::Timer(NodeId::Host(host), token), Vec::new());
     }
 
@@ -804,10 +875,59 @@ impl Network {
         self.rand_u64(node) as f64 / u64::MAX as f64
     }
 
-    /// Runs until the event queue drains or `max_events` processed.
-    /// Returns the number of events processed.
+    /// Attaches a lazy flow schedule: `source` yields driver injections
+    /// `(at_ns, host, bytes)` in nondecreasing time order, and the run
+    /// loop pulls each one as simulated time reaches it. Equivalent to
+    /// calling [`Self::send_from_host`] for every flow up front — same
+    /// keys, same event order, byte-identical results — but the event
+    /// queue only ever holds live events, so schedule length no longer
+    /// bounds memory.
+    ///
+    /// Call before any other driver injection: streamed flows consume
+    /// `External` key numbers in yield order as they are pumped.
+    pub fn set_flow_source(&mut self, mut source: FlowSource) {
+        self.next_flow = source();
+        self.flow_source = Some(source);
+    }
+
+    /// Injects every flow due at or before `upto`.
+    fn pump_flows(&mut self, upto: u64) {
+        while let Some((at, ..)) = self.next_flow {
+            if at > upto {
+                break;
+            }
+            let (at, host, bytes) = self.next_flow.take().expect("checked above");
+            debug_assert!(at >= self.clock, "flow times must be nondecreasing");
+            self.send_from_host(host, at, bytes);
+            self.next_flow = self.flow_source.as_mut().and_then(|s| s());
+        }
+    }
+
+    /// Runs until the event queue (and any attached flow source) drains or
+    /// `max_events` processed. Returns the number of events processed.
+    ///
+    /// With a flow source attached, the loop alternates between running
+    /// events strictly before the next flow's injection time and pumping
+    /// the flows due at it — the interleaving every event would have had
+    /// if the whole schedule had been injected up front.
     pub fn run(&mut self, max_events: u64) -> u64 {
-        self.run_until(u64::MAX, max_events)
+        let mut n = 0;
+        while n < max_events {
+            match self.next_flow {
+                Some((f, ..)) => {
+                    n += self.run_until(f, max_events - n);
+                    if n >= max_events {
+                        break;
+                    }
+                    self.pump_flows(f);
+                }
+                None => {
+                    n += self.run_until(u64::MAX, max_events - n);
+                    break;
+                }
+            }
+        }
+        n
     }
 
     /// Runs events with `time < horizon` (the conservative-lookahead window
@@ -817,12 +937,29 @@ impl Network {
         let mut n = 0;
         let mut batch: Vec<Vec<u8>> = Vec::new();
         while n < max_events {
-            match self.events.peek() {
-                Some(Reverse((t, ..))) if *t < horizon => {}
-                _ => break,
-            }
-            let Some(Reverse((time, _, NodeOrd(bytes, ord)))) = self.events.pop() else {
+            // Two event sources — the heap and the staged cross-shard
+            // queue — merged in global `(time, key)` order. Keys are
+            // unique, so the merge is a total order regardless of which
+            // side an event arrived on.
+            let heap_key = self.events.peek().map(|Reverse((t, s, _))| (*t, *s));
+            let staged_key = self.xs_in.front().map(|e| (e.time, e.src));
+            let take_staged = match (heap_key, staged_key) {
+                (None, None) => break,
+                (Some(h), Some(s)) => s < h,
+                (h, _) => h.is_none(),
+            };
+            let key_time = if take_staged { staged_key } else { heap_key }.expect("source").0;
+            if key_time >= horizon {
                 break;
+            }
+            let (time, bytes, ord) = if take_staged {
+                let e = self.xs_in.pop_front().expect("peeked");
+                (e.time, e.bytes, EventOrd::Arrive(e.target))
+            } else {
+                let Some(Reverse((time, _, NodeOrd(bytes, ord)))) = self.events.pop() else {
+                    break;
+                };
+                (time, bytes, ord)
             };
             self.clock = self.clock.max(time);
             if !matches!(ord, EventOrd::Fault(_) | EventOrd::RuleUpdate(_)) {
@@ -831,7 +968,7 @@ impl Network {
             n += 1;
             let watch = self.obs.as_ref().map(|_| Stopwatch::start());
             if let Some(o) = self.obs.as_mut() {
-                let depth = self.events.len() as u64;
+                let depth = (self.events.len() + self.xs_in.len()) as u64;
                 o.queue_depth.record(depth);
                 if let Some(tr) = o.trace.as_mut() {
                     tr.counter("queue_depth", 0, time, depth);
@@ -855,21 +992,41 @@ impl Network {
                     batch.clear();
                     batch.push(bytes);
                     while n < max_events {
-                        match self.events.peek() {
-                            Some(Reverse((
-                                t,
-                                _,
-                                NodeOrd(_, EventOrd::Arrive(NodeId::Device(d2))),
-                            ))) if *t == time && *d2 == d => {
-                                let Some(Reverse((_, _, NodeOrd(b, _)))) = self.events.pop() else {
-                                    break;
-                                };
-                                self.stats.events += 1;
-                                n += 1;
-                                batch.push(b);
-                            }
-                            _ => break,
+                        // Continue the batch only while the *globally next*
+                        // event (across both sources) is a same-timestamp
+                        // arrival at this device — anything else would
+                        // reorder the merged pop sequence.
+                        let hk = self.events.peek().map(|Reverse((t, s, _))| (*t, *s));
+                        let sk = self.xs_in.front().map(|e| (e.time, e.src));
+                        let staged = match (hk, sk) {
+                            (None, None) => break,
+                            (Some(h), Some(s)) => s < h,
+                            (h, _) => h.is_none(),
+                        };
+                        let hit = if staged {
+                            let e = self.xs_in.front().expect("peeked");
+                            e.time == time && e.target == NodeId::Device(d)
+                        } else {
+                            matches!(
+                                self.events.peek(),
+                                Some(Reverse((t, _, NodeOrd(_, EventOrd::Arrive(NodeId::Device(d2))))))
+                                    if *t == time && *d2 == d
+                            )
+                        };
+                        if !hit {
+                            break;
                         }
+                        let b = if staged {
+                            self.xs_in.pop_front().expect("peeked").bytes
+                        } else {
+                            let Some(Reverse((_, _, NodeOrd(b, _)))) = self.events.pop() else {
+                                break;
+                            };
+                            b
+                        };
+                        self.stats.events += 1;
+                        n += 1;
+                        batch.push(b);
                     }
                     if self.scalar_delivery {
                         for b in batch.drain(..) {
@@ -943,6 +1100,15 @@ impl Network {
             Fault::Heal => {
                 self.island = None;
             }
+            // Gray failures: no route invalidation on purpose — the link
+            // still works, so the routing plane never notices and traffic
+            // keeps crossing it at the degraded rate.
+            Fault::LinkDegrade(a, b, mult) => {
+                self.degraded.insert(link_key(a, b), mult.max(1));
+            }
+            Fault::LinkRestore(a, b) => {
+                self.degraded.remove(&link_key(a, b));
+            }
             Fault::DeviceFail(d) => {
                 self.failed.insert(d);
             }
@@ -990,13 +1156,13 @@ impl Network {
         }
     }
 
-    fn host_transmit(&mut self, host: u16, bytes: Vec<u8>) {
+    fn host_transmit(&mut self, host: u32, bytes: Vec<u8>) {
         // Route toward the computing device (or destination host).
         let Ok(msg) = Message::read_header(&bytes) else { return };
         let target = if msg.to != netcl_runtime::device::NO_DEVICE {
             NodeId::Device(msg.to)
         } else {
-            NodeId::Host(msg.dst)
+            NodeId::Host(msg.dst as u32)
         };
         let now = self.clock;
         self.transmit(NodeId::Host(host), target, now, bytes);
@@ -1042,10 +1208,21 @@ impl Network {
         } else {
             1
         };
+        // Gray degradation stretches transit and jitter by the multiplier
+        // without touching the RNG draw sequence — per-node streams stay
+        // byte-identical whether or not a degrade window is active.
+        let slow = if self.degraded.is_empty() {
+            1
+        } else {
+            *self.degraded.get(&link_key(from, hop)).unwrap_or(&1)
+        };
+        if slow > 1 {
+            self.stats.degraded_transits += 1;
+        }
         for i in 0..copies {
-            let mut arrive = at + link.transit_ns(bytes.len());
+            let mut arrive = at + slow * link.transit_ns(bytes.len());
             if link.jitter_ns > 0 {
-                arrive += self.rand_u64(from) % (link.jitter_ns + 1);
+                arrive += self.rand_u64(from) % (slow * link.jitter_ns + 1);
             }
             if link.reorder > 0.0 && self.rand01(from) < link.reorder {
                 arrive += link.reorder_ns;
@@ -1308,7 +1485,9 @@ impl Network {
                 self.stats.kernel_drops += 1;
                 self.stats.node(NodeId::Device(dev)).dropped += 1;
             }
-            Forward::ToHost(h) => self.transmit(NodeId::Device(dev), NodeId::Host(h), at, bytes),
+            Forward::ToHost(h) => {
+                self.transmit(NodeId::Device(dev), NodeId::Host(h as u32), at, bytes)
+            }
             Forward::ToDevice(d) => {
                 self.transmit(NodeId::Device(dev), NodeId::Device(d), at, bytes)
             }
@@ -1332,7 +1511,7 @@ impl Network {
         }
     }
 
-    fn host_receive(&mut self, host: u16, bytes: Vec<u8>) {
+    fn host_receive(&mut self, host: u32, bytes: Vec<u8>) {
         self.stats.delivered += 1;
         self.stats.node(NodeId::Host(host)).delivered += 1;
         let now = self.clock;
@@ -1350,7 +1529,7 @@ impl Network {
         }
     }
 
-    fn host_timer(&mut self, host: u16, token: u64) {
+    fn host_timer(&mut self, host: u32, token: u64) {
         let now = self.clock;
         let Some(node) = self.hosts.get_mut(&host) else { return };
         if let Some(mut handler) = node.handler.take() {
@@ -1363,7 +1542,7 @@ impl Network {
         }
     }
 
-    fn flush_outbox(&mut self, host: u16, base: u64, outbox: Outbox) {
+    fn flush_outbox(&mut self, host: u32, base: u64, outbox: Outbox) {
         for (delay, bytes) in outbox.sends {
             self.push(base + delay, EventOrd::HostSend(NodeId::Host(host)), bytes);
         }

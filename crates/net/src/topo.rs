@@ -10,8 +10,11 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// A network node: a host (end system) or a programmable device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NodeId {
-    /// Host with NetCL host id.
-    Host(u16),
+    /// Host with NetCL host id. Simulator host ids are u32 — a 10⁵-host
+    /// fat-tree (k=74 is 101 306 hosts) outgrows the u16 wire format, which
+    /// stays u16: only wire-addressable hosts (ids < 65 536) can appear as
+    /// message sources/destinations, but any host can inject traffic.
+    Host(u32),
     /// Programmable device with NetCL device id.
     Device(u16),
 }
@@ -178,8 +181,14 @@ impl Topology {
     }
 
     /// Every node's next hop toward `to` (with the link), from one reverse
-    /// BFS — shortest paths, ties broken by neighbor-list order. Nodes
-    /// absent from the map cannot reach `to` around the links in `down`.
+    /// BFS — shortest paths, equal-length ties broken by a deterministic
+    /// per-(destination, node) hash (`ecmp_rank`) over the candidates in
+    /// neighbor-list order. Nodes absent from the map cannot reach `to`
+    /// around the links in `down`. The hashed tie-break is ECMP-style path
+    /// spreading: a single-path topology routes exactly as insertion-order
+    /// tie-breaking did, while a fat-tree spreads different destinations
+    /// over different agg/core switches instead of concentrating every
+    /// inter-pod path through the first-listed uplink.
     /// The simulator caches one tree per active destination: a fat-tree
     /// run routes to thousands of targets from millions of hops, and
     /// per-(source, target) BFS is what made 10⁴-host runs infeasible.
@@ -188,19 +197,51 @@ impl Topology {
         to: NodeId,
         down: &HashSet<(NodeId, NodeId)>,
     ) -> HashMap<NodeId, (NodeId, LinkSpec)> {
-        let mut hops: HashMap<NodeId, (NodeId, LinkSpec)> = HashMap::new();
+        // Pass 1: BFS levels from the destination.
+        let mut level: HashMap<NodeId, u32> = HashMap::from([(to, 0)]);
         let mut queue = VecDeque::from([to]);
         while let Some(n) = queue.pop_front() {
-            for &(next, spec) in self.neighbors(n) {
-                if next != to && !hops.contains_key(&next) && !down.contains(&link_key(n, next)) {
-                    // `next` was discovered from `n`, so `n` is one step
-                    // closer to `to`: it is `next`'s hop.
-                    hops.insert(next, (n, spec));
+            let l = level[&n];
+            for &(next, _) in self.neighbors(n) {
+                if !level.contains_key(&next) && !down.contains(&link_key(n, next)) {
+                    level.insert(next, l + 1);
                     queue.push_back(next);
                 }
             }
         }
+        // Pass 2: each reachable node picks the hashed candidate among its
+        // neighbors one level closer. The hash keys on the *alias* of the
+        // destination — a degree-1 destination (a host) shares its uplink
+        // switch's tree in the dense cache, so it must share the uplink's
+        // tie-breaks here too (`route.rs` leaf aliasing).
+        let root = self.ecmp_alias(to);
+        let mut hops: HashMap<NodeId, (NodeId, LinkSpec)> = HashMap::new();
+        for (&n, &l) in &level {
+            if n == to {
+                continue;
+            }
+            let cands: Vec<(NodeId, LinkSpec)> = self
+                .neighbors(n)
+                .iter()
+                .copied()
+                .filter(|&(m, _)| {
+                    level.get(&m) == Some(&(l - 1)) && !down.contains(&link_key(n, m))
+                })
+                .collect();
+            let pick = cands[(ecmp_rank(root, n) % cands.len() as u64) as usize];
+            hops.insert(n, pick);
+        }
         hops
+    }
+
+    /// The ECMP hash root for routes toward `to`: a degree-1 node with a
+    /// multi-degree uplink aliases to that uplink (matching the dense
+    /// cache's leaf-target aliasing), everything else is itself.
+    pub(crate) fn ecmp_alias(&self, to: NodeId) -> NodeId {
+        match self.neighbors(to) {
+            [(up, _)] if self.neighbors(*up).len() > 1 => *up,
+            _ => to,
+        }
     }
 
     /// All nodes that appear in links.
@@ -209,6 +250,25 @@ impl Topology {
         v.sort();
         v
     }
+}
+
+/// Deterministic ECMP tie-break rank: a splitmix-style hash of
+/// (destination-tree root, routing node). Every routing-tree builder — the
+/// reference [`Topology::routing_tree`], the dense cache's lazy builder,
+/// and the precomputed switch forest (`route.rs`) — must break equal-cost
+/// ties with exactly this rank over candidates in neighbor-list order, or
+/// their trees diverge and the cache-vs-reference equivalence breaks.
+pub(crate) fn ecmp_rank(root: NodeId, node: NodeId) -> u64 {
+    fn tag(n: NodeId) -> u64 {
+        match n {
+            NodeId::Host(h) => (1u64 << 48) | h as u64,
+            NodeId::Device(d) => (2u64 << 48) | d as u64,
+        }
+    }
+    let mut z = tag(root).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag(node).rotate_left(17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Order-normalized endpoint pair identifying a bidirectional link, the
@@ -223,7 +283,7 @@ pub fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 
 /// Builds the single-switch star of Fig. 5(c) left: every listed host
 /// connected to one device.
-pub fn star(device: u16, hosts: &[u16], spec: LinkSpec) -> Topology {
+pub fn star(device: u16, hosts: &[u32], spec: LinkSpec) -> Topology {
     let mut t = Topology::new();
     for &h in hosts {
         t.link(NodeId::Host(h), NodeId::Device(device), spec);

@@ -269,7 +269,7 @@ fn sharded_fault_counters_equal_scalar_on_inter_shard_faults() {
                         .device_outage(dev, 90_000, 110_000),
                 )
         };
-        let drive = |send: &mut dyn FnMut(u16, u64, Vec<u8>)| {
+        let drive = |send: &mut dyn FnMut(u32, u64, Vec<u8>)| {
             for round in 0..30u64 {
                 let m = Message::new(1, 2, 1, dev);
                 let mut bytes = Vec::new();
@@ -300,6 +300,81 @@ fn sharded_fault_counters_equal_scalar_on_inter_shard_faults() {
                 "{}: sharded fault counters diverged at seed {seed}",
                 app.name
             );
+        }
+    }
+}
+
+/// Gray-failure row of the chaos matrix (ISSUE 10): a mid-run slow-link
+/// window — 10× transit and jitter on the client–device link, routing
+/// deliberately left alone — stretches deliveries without dropping them.
+/// Sharded runs (both window runners, the degraded link spanning the
+/// shard boundary) stay byte-identical to scalar, and
+/// `degraded_transits` counts every slowed transit identically.
+#[test]
+fn sharded_equals_scalar_under_gray_degraded_links() {
+    use netcl_bmv2::Switch;
+    use netcl_net::topo::star;
+    use netcl_net::{NetworkBuilder, NodeId, Partition};
+    use netcl_runtime::message::Message;
+
+    for app in netcl_apps::all_apps() {
+        let unit = compile(app.name, &app.netcl_source);
+        let p4 = unit.device(app.device).expect("kernel device").tna_p4.clone();
+        let dev = app.device;
+        let builder = |seed: u64| {
+            NetworkBuilder::new(star(dev, &[1, 2], chaos_link()))
+                .seed(seed)
+                .device(dev, Switch::new(p4.clone()), 500)
+                .sink_host(1)
+                .sink_host(2)
+                .faults(
+                    FaultSchedule::new()
+                        // The h1–dev link crawls at 10× for most of the
+                        // run; below, its endpoints live in different
+                        // shards (the window widens the lookahead test).
+                        .slow_link(NodeId::Host(1), NodeId::Device(dev), 10, 20_000, 110_000),
+                )
+        };
+        let drive = |send: &mut dyn FnMut(u32, u64, Vec<u8>)| {
+            for round in 0..30u64 {
+                let m = Message::new(1, 2, 1, dev);
+                let mut bytes = Vec::new();
+                m.write_header(&mut bytes);
+                bytes.extend((0..64u64).map(|j| (round.wrapping_mul(19) ^ j) as u8));
+                send(1, round * 5_000, bytes);
+            }
+        };
+        let partition =
+            Partition::new(vec![vec![NodeId::Device(dev), NodeId::Host(2)], vec![NodeId::Host(1)]]);
+        for seed in 0..seed_matrix().min(16) {
+            let scalar = {
+                let mut net = builder(seed).build();
+                drive(&mut |h, at, b| net.send_from_host(h, at, b));
+                net.run(400_000);
+                net.stats.clone()
+            };
+            assert!(
+                scalar.degraded_transits > 0,
+                "{}: seed {seed}: the slow-link window must cover traffic",
+                app.name
+            );
+            assert_eq!(
+                scalar.fault_drops, 0,
+                "{}: seed {seed}: a gray failure is not an outage — nothing fault-drops",
+                app.name
+            );
+            for threaded in [false, true] {
+                let mut net = builder(seed).build_sharded(partition.clone()).unwrap();
+                net.set_threaded(threaded);
+                drive(&mut |h, at, b| net.send_from_host(h, at, b));
+                net.run(400_000);
+                assert_eq!(
+                    scalar,
+                    net.stats(),
+                    "{}: sharded (threaded={threaded}) diverged under gray failure at seed {seed}",
+                    app.name
+                );
+            }
         }
     }
 }
@@ -612,7 +687,7 @@ fn sharded_rule_updates_equal_scalar() {
             .update(25_000, 1, ins.clone())
             .update(75_000, 1, upd.clone())
     };
-    let drive = |send: &mut dyn FnMut(u16, u64, Vec<u8>)| {
+    let drive = |send: &mut dyn FnMut(u32, u64, Vec<u8>)| {
         for round in 0..25u64 {
             let m = Message::new(1, 2, 1, 1);
             let mut bytes = Vec::new();
@@ -694,11 +769,11 @@ fn with_comp(mut bytes: Vec<u8>, comp: u8) -> Vec<u8> {
 /// no arrival lands near the fault boundaries at 48 µs and 88 µs (queueing
 /// skew from the other tenant must not push a packet across an outage
 /// edge in the merged run but not the solo one).
-fn agg_stream(acfg: &agg::AggConfig, comp: u8, send: &mut dyn FnMut(u16, u64, Vec<u8>)) {
+fn agg_stream(acfg: &agg::AggConfig, comp: u8, send: &mut dyn FnMut(u32, u64, Vec<u8>)) {
     for c in 0..12u32 {
         for w in 0..3u32 {
             let at = 3_000 + c as u64 * 10_000 + w as u64 * 300;
-            send(100 + w as u16, at, with_comp(agg::chunk_packet(acfg, w, c), comp));
+            send(100 + w, at, with_comp(agg::chunk_packet(acfg, w, c), comp));
         }
     }
 }
@@ -706,7 +781,7 @@ fn agg_stream(acfg: &agg::AggConfig, comp: u8, send: &mut dyn FnMut(u16, u64, Ve
 /// CACHE traffic: 12 GETs from host 1 against keys 0..6 — key 1 is
 /// populated, so both the hit (reflect) and miss (forward to the server
 /// host 2) paths run. Offset from the AGG clusters.
-fn cache_stream(ccfg: &cache::CacheConfig, comp: u8, send: &mut dyn FnMut(u16, u64, Vec<u8>)) {
+fn cache_stream(ccfg: &cache::CacheConfig, comp: u8, send: &mut dyn FnMut(u32, u64, Vec<u8>)) {
     for r in 0..12u64 {
         let at = 6_000 + r * 10_000;
         let req = cache::request(ccfg, 1, 2, cache::OP_GET, r % CACHE_KEYS, None);
@@ -782,7 +857,7 @@ fn tenant_isolation_restart_and_updates_leave_other_tenant_byte_identical() {
         "tenant-0 plane must reject tenant-1 tables"
     );
 
-    let hosts = [1u16, 2, 100, 101, 102];
+    let hosts = [1u32, 2, 100, 101, 102];
     let base = |sw: Switch| {
         // Group 42 is AGG's multicast target: the completed aggregate fans
         // out to the three workers.
@@ -798,7 +873,7 @@ fn tenant_isolation_restart_and_updates_leave_other_tenant_byte_identical() {
         }
         b
     };
-    let payloads = |net: &Network, h: u16| -> Vec<Vec<u8>> {
+    let payloads = |net: &Network, h: u32| -> Vec<Vec<u8>> {
         net.host_received(h).iter().map(|(_, b)| b.clone()).collect()
     };
     let tenant_regs = |net: &Network, tenant: u16| -> Vec<(String, Vec<u64>)> {
@@ -862,7 +937,7 @@ fn tenant_isolation_restart_and_updates_leave_other_tenant_byte_identical() {
     assert_eq!(t0.reg_action_execs, solo0_counters.reg_action_execs, "tenant 0 SALU execs");
     assert!(t0.reg_action_execs > 0, "AGG must exercise RegisterActions");
     assert_eq!(tenant_regs(&merged_net, 0), tenant_regs(&solo0_net, 0), "tenant 0 registers");
-    for h in [100u16, 101, 102] {
+    for h in [100u32, 101, 102] {
         assert!(!payloads(&solo0_net, h).is_empty(), "worker {h} must receive aggregates");
         assert_eq!(payloads(&merged_net, h), payloads(&solo0_net, h), "worker {h} payloads");
     }
@@ -909,7 +984,7 @@ fn tenant_isolation_chaos_engine_matrix_sharded_equals_scalar() {
     let ins =
         cp1.build_insert(&template, "index", &LookupEntry::Exact { key: 3, value: 1 }).unwrap();
 
-    let hosts = [1u16, 2, 100, 101, 102];
+    let hosts = [1u32, 2, 100, 101, 102];
     let builder = |engine: Engine, seed: u64| {
         let mut sw = Switch::new(p4.clone());
         sw.set_tenants(&comps);
@@ -930,7 +1005,7 @@ fn tenant_isolation_chaos_engine_matrix_sharded_equals_scalar() {
         }
         b
     };
-    let drive = |send: &mut dyn FnMut(u16, u64, Vec<u8>)| {
+    let drive = |send: &mut dyn FnMut(u32, u64, Vec<u8>)| {
         agg_stream(&acfg, agg_comp, send);
         cache_stream(&ccfg, cache_comp, send);
     };

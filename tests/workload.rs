@@ -3,11 +3,15 @@
 //! randomly-sized fat-trees are well-formed — every host reachable, no
 //! duplicate links, the Al-Fares node-count formulas hold, and the pod
 //! partition covers every node exactly once.
+//!
+//! ISSUE 10 extends the suite to the event-weight-balanced partitioner:
+//! LPT packing respects its load bound and is deterministic per input,
+//! both on synthetic weights and on random fat-trees with traced flows.
 
 use std::collections::HashSet;
 
 use netcl_net::topo::LinkSpec;
-use netcl_net::{FatTree, NodeId, WorkloadRng, Zipf};
+use netcl_net::{FatTree, FlowStream, NodeId, Partition, PrecomputedRoutes, WorkloadRng, Zipf};
 use proptest::prelude::*;
 
 proptest! {
@@ -148,5 +152,94 @@ proptest! {
         let all: HashSet<NodeId> = ft.topology.nodes().into_iter().collect();
         prop_assert_eq!(total, all.len());
         prop_assert_eq!(seen, all);
+    }
+
+    /// The LPT packer honors the classic guarantee — busiest shard ≤
+    /// total/shards + heaviest unit — and is a pure function of its
+    /// input: same units, same fingerprint and same predicted loads.
+    #[test]
+    fn lpt_packing_is_bounded_and_deterministic(
+        weights in proptest::collection::vec(0u64..1_000, 1..48),
+        shards in 1usize..=8,
+    ) {
+        let units = |ws: &[u64]| -> Vec<(Vec<NodeId>, u64)> {
+            ws.iter().enumerate().map(|(i, &w)| (vec![NodeId::Host(i as u32)], w)).collect()
+        };
+        let (p, loads) = Partition::balanced_with_weights(units(&weights), shards);
+        let (p2, loads2) = Partition::balanced_with_weights(units(&weights), shards);
+        prop_assert_eq!(p.fingerprint(), p2.fingerprint());
+        prop_assert_eq!(&loads, &loads2);
+        prop_assert_eq!(loads.len(), shards.max(1));
+        let total: u64 = weights.iter().sum();
+        prop_assert_eq!(loads.iter().sum::<u64>(), total);
+        let max_unit = weights.iter().copied().max().unwrap_or(0);
+        let max_load = loads.iter().copied().max().unwrap_or(0);
+        prop_assert!(
+            max_load <= total / shards as u64 + max_unit,
+            "LPT bound violated: busiest {max_load} > {total}/{shards} + {max_unit}"
+        );
+    }
+}
+
+proptest! {
+    // Each case precomputes a routing forest and traces a flow set, so
+    // keep the case count below the default 64.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The event-weight-balanced fat-tree partitioner (ISSUE 10): on
+    /// random arities, shard counts, and Zipf flow sets, the partition is
+    /// an exact node cover, deterministic per (topology, workload) — same
+    /// fingerprint on re-trace — and its busiest shard carries at most
+    /// the LPT bound (total/shards + heaviest unit, units measured by
+    /// giving each one its own shard).
+    #[test]
+    fn balanced_fat_tree_partition_bounds_busiest_shard(
+        half_k in 2u16..=4,
+        shards in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let k = half_k * 2;
+        let ft = FatTree::new(k, LinkSpec::default()).unwrap();
+        let routes = PrecomputedRoutes::new(&ft.topology);
+        let zipf = Zipf::new(ft.num_hosts(), 0.99);
+        let half = (k / 2) as usize;
+        // The same scatter the sim_sharded bench applies to Zipf ranks.
+        let pairs: Vec<(u32, u16)> = FlowStream::new(seed, &ft.hosts, &zipf, 200, 10)
+            .map(|f| {
+                let idx = ((f.key as usize - 1) * 2_654_435_761) % ft.num_hosts();
+                let pod = idx / (half * half);
+                let within = (idx % (half * half)) / half;
+                (f.src, ft.edge_by_pod[pod][within])
+            })
+            .collect();
+        let (p, loads) = ft.partition_balanced(&routes, pairs.iter().copied(), shards);
+
+        // Exact cover of every node.
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        for group in p.groups() {
+            for &node in group {
+                prop_assert!(seen.insert(node), "{:?} assigned twice", node);
+            }
+        }
+        let all: HashSet<NodeId> = ft.topology.nodes().into_iter().collect();
+        prop_assert_eq!(seen, all);
+
+        // Deterministic per input.
+        let (p2, loads2) = ft.partition_balanced(&routes, pairs.iter().copied(), shards);
+        prop_assert_eq!(p.fingerprint(), p2.fingerprint());
+        prop_assert_eq!(&loads, &loads2);
+
+        // LPT bound, with unit weights observed by isolating every unit
+        // (pods and individual core switches) on its own shard.
+        let nunits = k as usize + half * half;
+        let (_, unit_loads) = ft.partition_balanced(&routes, pairs.iter().copied(), nunits);
+        let total: u64 = loads.iter().sum();
+        prop_assert_eq!(unit_loads.iter().sum::<u64>(), total);
+        let max_unit = unit_loads.iter().copied().max().unwrap_or(0);
+        let max_load = loads.iter().copied().max().unwrap_or(0);
+        prop_assert!(
+            max_load <= total / shards as u64 + max_unit,
+            "busiest shard {max_load} exceeds {total}/{shards} + {max_unit} (k={k})"
+        );
     }
 }
